@@ -1,0 +1,253 @@
+//! Structural fault collapsing: grouping stem stuck-at faults into
+//! equivalence classes so ATPG, dictionaries and diagnosis work on one
+//! representative per class. (The paper's Table 1 reports "equivalent
+//! fault classes" in exactly this sense — its reference \[2\].)
+//!
+//! The stem-fault rule used here: if line `l` fans out *only* to gate `g`,
+//! then `l` stuck-at the controlling value of `g` is equivalent to `g`'s
+//! output stuck-at the controlled output value, and for BUF/NOT chains
+//! both polarities collapse through. Classes are built with union-find
+//! over those edges.
+
+use std::collections::HashMap;
+
+use incdx_fault::StuckAt;
+use incdx_netlist::{GateKind, Netlist};
+
+/// The collapsed fault universe of a netlist.
+#[derive(Debug, Clone)]
+pub struct FaultClasses {
+    classes: Vec<Vec<StuckAt>>,
+}
+
+impl FaultClasses {
+    /// Builds the structural equivalence classes over both polarities of
+    /// every stem fault (constants and DFFs excluded).
+    pub fn build(netlist: &Netlist) -> Self {
+        let faults = crate::generate::all_stuck_at_faults(netlist);
+        let index: HashMap<StuckAt, usize> =
+            faults.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+        let mut uf = UnionFind::new(faults.len());
+        for (id, gate) in netlist.iter() {
+            if !gate.kind().is_logic() {
+                continue;
+            }
+            let inverting = gate.kind().is_inverting();
+            for &f in gate.fanins() {
+                if netlist.fanouts(f).len() != 1 {
+                    continue; // stems with fanout branches don't collapse
+                }
+                if netlist.outputs().contains(&f) {
+                    continue; // a PO stem is directly observable: not
+                              // equivalent to the gate's output fault
+                }
+                match gate.kind() {
+                    GateKind::Buf | GateKind::Not => {
+                        for v in [false, true] {
+                            let a = StuckAt::new(f, v);
+                            let b = StuckAt::new(id, v ^ inverting);
+                            if let (Some(&x), Some(&y)) = (index.get(&a), index.get(&b)) {
+                                uf.union(x, y);
+                            }
+                        }
+                    }
+                    GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                        let c = gate.kind().controlling_value().expect("and/or family");
+                        let a = StuckAt::new(f, c);
+                        let b = StuckAt::new(id, c ^ inverting);
+                        if let (Some(&x), Some(&y)) = (index.get(&a), index.get(&b)) {
+                            uf.union(x, y);
+                        }
+                    }
+                    // XOR/XNOR inputs have no controlling value: no
+                    // structural equivalence.
+                    _ => {}
+                }
+            }
+        }
+        let mut grouped: HashMap<usize, Vec<StuckAt>> = HashMap::new();
+        for (i, &f) in faults.iter().enumerate() {
+            grouped.entry(uf.find(i)).or_default().push(f);
+        }
+        let mut classes: Vec<Vec<StuckAt>> = grouped
+            .into_values()
+            .map(|mut v| {
+                v.sort();
+                v
+            })
+            .collect();
+        classes.sort();
+        FaultClasses { classes }
+    }
+
+    /// The equivalence classes, each sorted, in deterministic order.
+    pub fn classes(&self) -> &[Vec<StuckAt>] {
+        &self.classes
+    }
+
+    /// One representative (the smallest member) per class — the collapsed
+    /// fault list for ATPG.
+    pub fn representatives(&self) -> Vec<StuckAt> {
+        self.classes.iter().map(|c| c[0]).collect()
+    }
+
+    /// Total faults before collapsing.
+    pub fn total_faults(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+
+    /// The collapse ratio `representatives / total` (lower = more
+    /// collapsing).
+    pub fn ratio(&self) -> f64 {
+        self.classes.len() as f64 / self.total_faults().max(1) as f64
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+    use incdx_sim::{PackedMatrix, Simulator};
+
+    /// Reference check: two faults are functionally equivalent iff their
+    /// faulty circuits agree on every input assignment.
+    fn functionally_equivalent(n: &Netlist, a: StuckAt, b: StuckAt) -> bool {
+        let ni = n.inputs().len();
+        let nv = 1usize << ni;
+        let mut pi = PackedMatrix::new(ni, nv);
+        for v in 0..nv {
+            for i in 0..ni {
+                pi.set(i, v, v >> i & 1 == 1);
+            }
+        }
+        let mut sim = Simulator::new();
+        let mut fa = n.clone();
+        a.apply(&mut fa).unwrap();
+        let mut fb = n.clone();
+        b.apply(&mut fb).unwrap();
+        let va = sim.run_for_inputs(&fa, n.inputs(), &pi);
+        let vb = sim.run_for_inputs(&fb, n.inputs(), &pi);
+        n.outputs().iter().all(|o| {
+            (0..nv).all(|v| va.get(o.index(), v) == vb.get(o.index(), v))
+        })
+    }
+
+    #[test]
+    fn classes_are_functionally_equivalent_on_c17() {
+        let n = parse_bench(
+            "INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+             10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+             22 = NAND(10, 16)\n23 = NAND(16, 19)\n",
+        )
+        .unwrap();
+        let fc = FaultClasses::build(&n);
+        assert!(fc.classes().len() < fc.total_faults(), "something collapses");
+        for class in fc.classes() {
+            let rep = class[0];
+            for &other in &class[1..] {
+                assert!(
+                    functionally_equivalent(&n, rep, other),
+                    "{rep} !~ {other}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_chain_collapses_fully() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\nb1 = NOT(a)\nb2 = NOT(b1)\ny = BUF(b2)\n")
+            .unwrap();
+        let fc = FaultClasses::build(&n);
+        // 4 lines × 2 polarities = 8 faults collapsing into 2 classes
+        // (the two polarities of the single signal path).
+        assert_eq!(fc.total_faults(), 8);
+        assert_eq!(fc.classes().len(), 2);
+        assert!((fc.ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fanout_stems_do_not_collapse() {
+        // `a` fans out to two gates: its faults stay distinct from both.
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n",
+        )
+        .unwrap();
+        let fc = FaultClasses::build(&n);
+        let a = n.find_by_name("a").unwrap();
+        for class in fc.classes() {
+            if class.iter().any(|f| f.line() == a) {
+                assert!(class.iter().all(|f| f.line() == a), "{class:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn representatives_cover_every_class_once() {
+        let n = incdx_gen::generate("c880a").unwrap();
+        let fc = FaultClasses::build(&n);
+        let reps = fc.representatives();
+        assert_eq!(reps.len(), fc.classes().len());
+        assert!(fc.ratio() < 0.95, "an ALU collapses substantially: {}", fc.ratio());
+        // Representatives are distinct.
+        let mut sorted = reps.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), reps.len());
+    }
+
+    #[test]
+    fn random_circuits_collapse_soundly() {
+        use rand::SeedableRng;
+        let _ = rand::rngs::StdRng::seed_from_u64(0);
+        for seed in 0..5 {
+            let n = incdx_gen::random_dag(
+                &incdx_gen::RandomDagConfig {
+                    inputs: 5,
+                    gates: 25,
+                    outputs: 4,
+                    max_fanin: 3,
+                    xor_fraction: 0.15,
+                    window: 12,
+                },
+                seed,
+            );
+            let fc = FaultClasses::build(&n);
+            for class in fc.classes() {
+                let rep = class[0];
+                for &other in &class[1..] {
+                    assert!(
+                        functionally_equivalent(&n, rep, other),
+                        "seed {seed}: {rep} !~ {other}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Static test-set compaction: the classic reverse-order pass. Vectors
+//! are fault-simulated newest-first; a vector is kept only if it detects
+//! a fault nothing later in the pass has covered. Because PODEM emits
+//! broad early vectors whose faults later targeted vectors often re-cover,
+//! reverse order drops a sizeable fraction at no coverage loss.
+
+use incdx_fault::StuckAt;
+use incdx_netlist::Netlist;
+use incdx_sim::PackedMatrix;
+
+use crate::faultsim::fault_simulate;
+
+/// Compacts `vectors` against `faults`, preserving exactly the detected
+/// fault set. Returns the kept vectors in their original relative order.
+///
+/// # Panics
+///
+/// Panics if the netlist is not combinational or vector widths disagree.
+pub fn compact_tests(
+    netlist: &Netlist,
+    faults: &[StuckAt],
+    vectors: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    if vectors.is_empty() || faults.is_empty() {
+        return vectors.to_vec();
+    }
+    let mut alive: Vec<StuckAt> = faults.to_vec();
+    let mut keep = vec![false; vectors.len()];
+    for (vi, vector) in vectors.iter().enumerate().rev() {
+        if alive.is_empty() {
+            break;
+        }
+        let mut pi = PackedMatrix::new(netlist.inputs().len(), 1);
+        for (i, &bit) in vector.iter().enumerate() {
+            pi.set(i, 0, bit);
+        }
+        let hit = fault_simulate(netlist, &alive, &pi);
+        let newly = hit.iter().filter(|&&h| h).count();
+        if newly > 0 {
+            keep[vi] = true;
+            alive = alive
+                .iter()
+                .zip(&hit)
+                .filter(|(_, &h)| !h)
+                .map(|(f, _)| *f)
+                .collect();
+        }
+    }
+    vectors
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(v, _)| v.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{all_stuck_at_faults, generate_tests, TestGenConfig};
+
+    fn detected_count(netlist: &Netlist, faults: &[StuckAt], vectors: &[Vec<bool>]) -> usize {
+        if vectors.is_empty() {
+            return 0;
+        }
+        let mut pi = PackedMatrix::new(netlist.inputs().len(), vectors.len());
+        for (v, vector) in vectors.iter().enumerate() {
+            for (i, &bit) in vector.iter().enumerate() {
+                pi.set(i, v, bit);
+            }
+        }
+        fault_simulate(netlist, faults, &pi)
+            .iter()
+            .filter(|&&h| h)
+            .count()
+    }
+
+    #[test]
+    fn coverage_is_preserved_and_size_never_grows() {
+        for name in ["c17", "c432a", "c880a"] {
+            let n = incdx_gen::generate(name).unwrap();
+            let ts = generate_tests(&n, &TestGenConfig::default());
+            let faults = all_stuck_at_faults(&n);
+            let before = detected_count(&n, &faults, &ts.vectors);
+            let compacted = compact_tests(&n, &faults, &ts.vectors);
+            assert!(compacted.len() <= ts.vectors.len(), "{name}");
+            let after = detected_count(&n, &faults, &compacted);
+            assert_eq!(before, after, "{name}: coverage must not drop");
+        }
+    }
+
+    #[test]
+    fn duplicate_vectors_are_dropped() {
+        let n = incdx_gen::generate("c17").unwrap();
+        let faults = all_stuck_at_faults(&n);
+        let ts = generate_tests(&n, &TestGenConfig::default());
+        // Triple every vector: compaction must fall back to ≤ original.
+        let mut tripled = Vec::new();
+        for v in &ts.vectors {
+            tripled.push(v.clone());
+            tripled.push(v.clone());
+            tripled.push(v.clone());
+        }
+        let compacted = compact_tests(&n, &faults, &tripled);
+        assert!(compacted.len() <= ts.vectors.len());
+        assert_eq!(
+            detected_count(&n, &faults, &compacted),
+            detected_count(&n, &faults, &tripled)
+        );
+    }
+
+    #[test]
+    fn empty_inputs_pass_through() {
+        let n = incdx_gen::generate("c17").unwrap();
+        let faults = all_stuck_at_faults(&n);
+        assert!(compact_tests(&n, &faults, &[]).is_empty());
+        let vectors = vec![vec![false; n.inputs().len()]];
+        assert_eq!(compact_tests(&n, &[], &vectors), vectors);
+    }
+}

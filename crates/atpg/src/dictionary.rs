@@ -1,0 +1,247 @@
+//! A classic cause-effect **fault dictionary** — the pre-computed
+//! single-fault diagnosis baseline the paper's incremental method is
+//! measured against. Each modelled fault's full primary-output *syndrome*
+//! (the PO-bit differences against the fault-free circuit) is stored; a
+//! failing device is diagnosed by matching its observed syndrome.
+//!
+//! Exact single faults match perfectly; *multiple* faults generally match
+//! no dictionary entry — which is precisely the limitation (§1: the
+//! suspect space grows as `#lines^#errors`) that motivates the paper's
+//! incremental approach. The `baseline_dictionary` experiment binary
+//! quantifies this.
+
+use incdx_fault::StuckAt;
+use incdx_netlist::Netlist;
+use incdx_sim::{PackedMatrix, Response, Simulator};
+
+/// A full-response fault dictionary over a fixed vector set.
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    faults: Vec<StuckAt>,
+    /// Per fault: the concatenated PO-difference words (syndrome).
+    syndromes: Vec<Vec<u64>>,
+    words_per_syndrome: usize,
+}
+
+impl FaultDictionary {
+    /// Simulates every fault of `faults` on `vectors` and records its
+    /// syndrome. Undetected faults store the all-zero syndrome and are
+    /// reported by [`Self::diagnose`] only for passing devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is not combinational or shapes disagree.
+    pub fn build(netlist: &Netlist, faults: Vec<StuckAt>, vectors: &PackedMatrix) -> Self {
+        let mut sim = Simulator::new();
+        let base = sim.run(netlist, vectors);
+        let wpr = base.words_per_row();
+        let num_pos = netlist.outputs().len();
+        let words_per_syndrome = wpr * num_pos;
+        let mut vals = base.clone();
+        let mut syndromes = Vec::with_capacity(faults.len());
+        let mut saved: Vec<u64> = Vec::new();
+        for fault in &faults {
+            let cone = netlist.fanout_cone_sorted(fault.line());
+            saved.clear();
+            for &g in &cone {
+                saved.extend_from_slice(vals.row(g.index()));
+            }
+            vals.row_mut(fault.line().index())
+                .fill(if fault.value() { !0 } else { 0 });
+            sim.run_cone(netlist, &mut vals, &cone);
+            let mut syndrome = vec![0u64; words_per_syndrome];
+            for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                let (a, b) = (vals.row(po.index()), base.row(po.index()));
+                for w in 0..wpr {
+                    syndrome[po_idx * wpr + w] = a[w] ^ b[w];
+                }
+            }
+            mask_tail(&mut syndrome, wpr, vectors.num_vectors());
+            syndromes.push(syndrome);
+            for (i, &g) in cone.iter().enumerate() {
+                vals.row_mut(g.index())
+                    .copy_from_slice(&saved[i * wpr..(i + 1) * wpr]);
+            }
+        }
+        FaultDictionary {
+            faults,
+            syndromes,
+            words_per_syndrome,
+        }
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Is the dictionary empty?
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The observed syndrome of a device: PO differences between the
+    /// device response and the fault-free circuit, in dictionary layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree with the build-time netlist/vectors.
+    pub fn device_syndrome(
+        &self,
+        netlist: &Netlist,
+        device: &Response,
+        vectors: &PackedMatrix,
+    ) -> Vec<u64> {
+        let mut sim = Simulator::new();
+        let base = sim.run(netlist, vectors);
+        let wpr = base.words_per_row();
+        let mut syndrome = vec![0u64; self.words_per_syndrome];
+        for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+            let got = device.po_values().row(po_idx);
+            let want = base.row(po.index());
+            for w in 0..wpr {
+                syndrome[po_idx * wpr + w] = got[w] ^ want[w];
+            }
+        }
+        mask_tail(&mut syndrome, wpr, vectors.num_vectors());
+        syndrome
+    }
+
+    /// Exact-match diagnosis: every fault whose stored syndrome equals the
+    /// observed one. Empty for out-of-dictionary behaviour (e.g. multiple
+    /// faults).
+    pub fn diagnose(&self, syndrome: &[u64]) -> Vec<StuckAt> {
+        self.faults
+            .iter()
+            .zip(&self.syndromes)
+            .filter(|(_, s)| s.as_slice() == syndrome && s.iter().any(|&w| w != 0))
+            .map(|(f, _)| *f)
+            .collect()
+    }
+
+    /// Nearest-entry diagnosis: the dictionary faults minimising the
+    /// Hamming distance to the observed syndrome, with that distance
+    /// (0 = exact). The classic "closest match" fallback practitioners
+    /// use when the device behaviour is out of model.
+    pub fn diagnose_closest(&self, syndrome: &[u64]) -> (Vec<StuckAt>, u32) {
+        let mut best = u32::MAX;
+        let mut matches = Vec::new();
+        for (f, s) in self.faults.iter().zip(&self.syndromes) {
+            let d: u32 = s
+                .iter()
+                .zip(syndrome)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            match d.cmp(&best) {
+                std::cmp::Ordering::Less => {
+                    best = d;
+                    matches.clear();
+                    matches.push(*f);
+                }
+                std::cmp::Ordering::Equal => matches.push(*f),
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        (matches, best)
+    }
+}
+
+fn mask_tail(syndrome: &mut [u64], wpr: usize, num_vectors: usize) {
+    if num_vectors.is_multiple_of(64) {
+        return;
+    }
+    let tail = (1u64 << (num_vectors % 64)) - 1;
+    for chunk in syndrome.chunks_mut(wpr) {
+        if let Some(last) = chunk.last_mut() {
+            *last &= tail;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::all_stuck_at_faults;
+    use incdx_gen::generate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Netlist, FaultDictionary, PackedMatrix) {
+        let n = generate("c432a").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pi = PackedMatrix::random(n.inputs().len(), 300, &mut rng);
+        let dict = FaultDictionary::build(&n, all_stuck_at_faults(&n), &pi);
+        (n, dict, pi)
+    }
+
+    #[test]
+    fn exact_match_recovers_single_fault() {
+        let (n, dict, pi) = setup();
+        let mut sim = Simulator::new();
+        let picks = [n.len() / 4, n.len() / 2, n.len() - 3];
+        for idx in picks {
+            let fault = StuckAt::new(incdx_netlist::GateId::from_index(idx), true);
+            let mut device_nl = n.clone();
+            fault.apply(&mut device_nl).unwrap();
+            let device = Response::capture(
+                &device_nl,
+                &sim.run_for_inputs(&device_nl, n.inputs(), &pi),
+            );
+            let syndrome = dict.device_syndrome(&n, &device, &pi);
+            if syndrome.iter().all(|&w| w == 0) {
+                continue; // fault not excited on these vectors
+            }
+            let diag = dict.diagnose(&syndrome);
+            assert!(diag.contains(&fault), "fault {fault} missed");
+            // Exact matches are the equivalence class — closest agrees.
+            let (closest, d) = dict.diagnose_closest(&syndrome);
+            assert_eq!(d, 0);
+            assert_eq!(closest, diag);
+        }
+    }
+
+    #[test]
+    fn double_fault_breaks_the_dictionary() {
+        let (n, dict, pi) = setup();
+        let mut sim = Simulator::new();
+        // Two faults in different cones: the combined syndrome is the
+        // union, which matches no single-fault entry.
+        let f1 = StuckAt::new(incdx_netlist::GateId::from_index(n.len() / 3), true);
+        let f2 = StuckAt::new(incdx_netlist::GateId::from_index(n.len() - 2), false);
+        let mut device_nl = n.clone();
+        f1.apply(&mut device_nl).unwrap();
+        f2.apply(&mut device_nl).unwrap();
+        let device = Response::capture(
+            &device_nl,
+            &sim.run_for_inputs(&device_nl, n.inputs(), &pi),
+        );
+        let syndrome = dict.device_syndrome(&n, &device, &pi);
+        if syndrome.iter().all(|&w| w == 0) {
+            return;
+        }
+        let exact = dict.diagnose(&syndrome);
+        // With overwhelming probability the double-fault syndrome is out
+        // of dictionary; the closest match is then non-exact.
+        if exact.is_empty() {
+            let (_, d) = dict.diagnose_closest(&syndrome);
+            assert!(d > 0);
+        }
+    }
+
+    #[test]
+    fn passing_device_matches_nothing() {
+        let (n, dict, pi) = setup();
+        let mut sim = Simulator::new();
+        let device = Response::capture(&n, &sim.run(&n, &pi));
+        let syndrome = dict.device_syndrome(&n, &device, &pi);
+        assert!(syndrome.iter().all(|&w| w == 0));
+        assert!(dict.diagnose(&syndrome).is_empty());
+    }
+
+    #[test]
+    fn dictionary_size_bookkeeping() {
+        let (_, dict, _) = setup();
+        assert!(!dict.is_empty());
+        assert!(dict.len() > 100);
+    }
+}

@@ -1,0 +1,38 @@
+//! PODEM-based deterministic test generation for stuck-at faults.
+//!
+//! The paper's experiments drive the diagnosis engine with deterministic
+//! vectors from Hamzaoglu–Patel (reference \[3\]) plus thousands of random
+//! vectors. This crate is the substitute for \[3\]: a classic PODEM ATPG
+//! (objective / backtrace / imply over the 5-valued D-calculus) with
+//! parallel-pattern fault simulation and fault dropping. It also proves
+//! faults *untestable*, which is how `incdx-opt` finds redundant logic for
+//! the "optimize for area" preprocessing of the stuck-at experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use incdx_atpg::{generate_tests, TestGenConfig};
+//! use incdx_gen::generate;
+//!
+//! let n = generate("c17")?;
+//! let ts = generate_tests(&n, &TestGenConfig::default());
+//! assert_eq!(ts.untestable.len(), 0); // c17 is irredundant
+//! assert!(ts.coverage() > 0.99);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod collapse;
+mod compact;
+mod dictionary;
+mod faultsim;
+mod generate;
+mod podem;
+mod scoap;
+
+pub use collapse::FaultClasses;
+pub use compact::compact_tests;
+pub use dictionary::FaultDictionary;
+pub use faultsim::fault_simulate;
+pub use generate::{all_stuck_at_faults, generate_tests, TestGenConfig, TestSet};
+pub use podem::{podem, PodemOutcome};
+pub use scoap::Scoap;

@@ -1,0 +1,365 @@
+//! The PODEM algorithm (Goel 1981): branch-and-bound over primary-input
+//! assignments with objective/backtrace guidance, complete for single
+//! stuck-at faults on combinational circuits.
+
+use incdx_fault::StuckAt;
+use incdx_netlist::{GateId, GateKind, Netlist};
+use incdx_sim::logic5::{eval5, V3, V5};
+
+use crate::scoap::Scoap;
+
+/// Result of a [`podem`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test was found: one bool per primary input (in
+    /// [`Netlist::inputs`] order; don't-cares filled with 0).
+    Test(Vec<bool>),
+    /// The fault is provably untestable (redundant).
+    Untestable,
+    /// The backtrack limit was hit before a verdict.
+    Aborted,
+}
+
+/// Generates a test for `fault` on the combinational netlist, or proves it
+/// untestable. Complete (never wrong) up to `backtrack_limit`, after which
+/// it reports [`PodemOutcome::Aborted`].
+///
+/// # Panics
+///
+/// Panics if the netlist is not combinational.
+///
+/// # Example
+///
+/// ```
+/// use incdx_atpg::{podem, PodemOutcome};
+/// use incdx_fault::StuckAt;
+/// use incdx_netlist::parse_bench;
+///
+/// let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let y = n.find_by_name("y").unwrap();
+/// // y stuck-at-0 is tested by a=b=1.
+/// assert_eq!(podem(&n, StuckAt::new(y, false), 1000), PodemOutcome::Test(vec![true, true]));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn podem(netlist: &Netlist, fault: StuckAt, backtrack_limit: usize) -> PodemOutcome {
+    assert!(netlist.is_combinational(), "PODEM needs a combinational netlist");
+    let mut state = Podem {
+        netlist,
+        fault,
+        values: vec![V5::X; netlist.len()],
+        pi_assign: vec![V3::X; netlist.inputs().len()],
+        scoap: Scoap::compute(netlist),
+    };
+    // Decision stack: (pi index, current value, flipped already?).
+    let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+    let mut backtracks = 0usize;
+    loop {
+        state.imply();
+        if state.test_found() {
+            let vector = state
+                .pi_assign
+                .iter()
+                .map(|v| v.to_bool().unwrap_or(false))
+                .collect();
+            return PodemOutcome::Test(vector);
+        }
+        let objective = state.objective();
+        let next = objective.and_then(|(line, val)| state.backtrace(line, val));
+        match next {
+            Some((pi, val)) => {
+                stack.push((pi, val, false));
+                state.pi_assign[pi] = V3::from_bool(val);
+            }
+            None => {
+                // Dead end: backtrack.
+                loop {
+                    match stack.pop() {
+                        Some((pi, val, false)) => {
+                            backtracks += 1;
+                            if backtracks > backtrack_limit {
+                                return PodemOutcome::Aborted;
+                            }
+                            stack.push((pi, !val, true));
+                            state.pi_assign[pi] = V3::from_bool(!val);
+                            break;
+                        }
+                        Some((pi, _, true)) => {
+                            state.pi_assign[pi] = V3::X;
+                        }
+                        None => return PodemOutcome::Untestable,
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct Podem<'a> {
+    netlist: &'a Netlist,
+    fault: StuckAt,
+    values: Vec<V5>,
+    pi_assign: Vec<V3>,
+    scoap: Scoap,
+}
+
+impl Podem<'_> {
+    /// Full-forward 5-valued implication from the current PI assignment.
+    fn imply(&mut self) {
+        for (i, &pi) in self.netlist.inputs().iter().enumerate() {
+            self.values[pi.index()] = match self.pi_assign[i] {
+                V3::Zero => V5::Zero,
+                V3::One => V5::One,
+                V3::X => V5::X,
+            };
+            if pi == self.fault.line() {
+                self.values[pi.index()] = self.fault_site_value(self.values[pi.index()]);
+            }
+        }
+        for &id in self.netlist.topo_order() {
+            let gate = self.netlist.gate(id);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let fanins: Vec<V5> = gate
+                .fanins()
+                .iter()
+                .map(|f| self.values[f.index()])
+                .collect();
+            let mut v = eval5(gate.kind(), &fanins);
+            if id == self.fault.line() {
+                v = self.fault_site_value(v);
+            }
+            self.values[id.index()] = v;
+        }
+    }
+
+    /// At the fault site the faulty component is pinned to the stuck value.
+    fn fault_site_value(&self, computed: V5) -> V5 {
+        let good = computed.components().0;
+        let faulty = V3::from_bool(self.fault.value());
+        match good {
+            V3::X => V5::X,
+            g => V5::from_components(g, faulty),
+        }
+    }
+
+    fn test_found(&self) -> bool {
+        self.netlist
+            .outputs()
+            .iter()
+            .any(|o| self.values[o.index()].is_fault_effect())
+    }
+
+    /// The next objective `(line, value)` per classic PODEM: activate the
+    /// fault first, then advance the D-frontier. `None` means dead end.
+    fn objective(&self) -> Option<(GateId, bool)> {
+        let fv = self.values[self.fault.line().index()];
+        match fv {
+            V5::X => {
+                // Activate: the good value must be the complement of the
+                // stuck value.
+                Some((self.fault.line(), !self.fault.value()))
+            }
+            V5::D | V5::Dbar => {
+                // Propagate: pick a D-frontier gate and set one of its X
+                // inputs to the non-controlling value.
+                for &id in self.netlist.topo_order() {
+                    let gate = self.netlist.gate(id);
+                    if self.values[id.index()] != V5::X {
+                        continue;
+                    }
+                    let has_effect = gate
+                        .fanins()
+                        .iter()
+                        .any(|f| self.values[f.index()].is_fault_effect());
+                    if !has_effect {
+                        continue;
+                    }
+                    let x_input = gate
+                        .fanins()
+                        .iter()
+                        .find(|f| self.values[f.index()] == V5::X);
+                    if let Some(&xi) = x_input {
+                        let noncontrolling = match gate.kind().controlling_value() {
+                            Some(c) => !c,
+                            // XOR/XNOR and single-input gates: any value
+                            // propagates; aim for 0.
+                            None => false,
+                        };
+                        return Some((xi, noncontrolling));
+                    }
+                }
+                None
+            }
+            // The fault site settled to the stuck value in the good
+            // circuit: this assignment cannot activate it.
+            _ => None,
+        }
+    }
+
+    /// Walks an objective back to an unassigned primary input, returning
+    /// `(pi index, value)`.
+    fn backtrace(&self, mut line: GateId, mut value: bool) -> Option<(usize, bool)> {
+        loop {
+            let gate = self.netlist.gate(line);
+            if gate.kind() == GateKind::Input {
+                let pi = self
+                    .netlist
+                    .inputs()
+                    .iter()
+                    .position(|&p| p == line)
+                    .expect("input gates are registered PIs");
+                if self.pi_assign[pi] != V3::X {
+                    return None; // objective conflicts with an assignment
+                }
+                return Some((pi, value));
+            }
+            let v_core = value ^ gate.kind().is_inverting();
+            let x_inputs: Vec<GateId> = gate
+                .fanins()
+                .iter()
+                .copied()
+                .filter(|f| self.values[f.index()] == V5::X)
+                .collect();
+            let (next, next_value) = match gate.kind() {
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    // AND core: output 1 needs all-1; output 0 achievable by
+                    // one 0 (dually for OR). SCOAP guidance (Goldstein):
+                    // when one controlling input suffices pick the easiest;
+                    // when every input must be non-controlling pick the
+                    // hardest first so conflicts surface early.
+                    let c = gate.kind().controlling_value().expect("and/or family");
+                    if v_core != c {
+                        let pick = x_inputs
+                            .iter()
+                            .copied()
+                            .max_by_key(|&f| self.scoap.cc(f, !c))?;
+                        (pick, !c)
+                    } else {
+                        let pick = x_inputs
+                            .iter()
+                            .copied()
+                            .min_by_key(|&f| self.scoap.cc(f, c))?;
+                        (pick, c)
+                    }
+                }
+                GateKind::Not | GateKind::Buf => (x_inputs.first().copied()?, v_core),
+                GateKind::Xor | GateKind::Xnor => {
+                    // Aim for the parity completion over known inputs.
+                    let known: i32 = gate
+                        .fanins()
+                        .iter()
+                        .filter_map(|f| self.values[f.index()].good())
+                        .map(|b| b as i32)
+                        .sum();
+                    let target = (v_core as i32 + known) % 2 == 1;
+                    (x_inputs.first().copied()?, target)
+                }
+                GateKind::Const0 | GateKind::Const1 | GateKind::Input | GateKind::Dff => {
+                    return None
+                }
+            };
+            line = next;
+            value = next_value;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+    use incdx_sim::{PackedMatrix, Simulator};
+
+    /// Verifies a claimed test vector really detects the fault.
+    fn detects(n: &Netlist, fault: StuckAt, vector: &[bool]) -> bool {
+        let mut pi = PackedMatrix::new(vector.len(), 1);
+        for (i, &v) in vector.iter().enumerate() {
+            pi.set(i, 0, v);
+        }
+        let mut sim = Simulator::new();
+        let good = sim.run(n, &pi);
+        let mut faulty_netlist = n.clone();
+        fault.apply(&mut faulty_netlist).unwrap();
+        let bad = sim.run_for_inputs(&faulty_netlist, n.inputs(), &pi);
+        n.outputs()
+            .iter()
+            .any(|o| good.get(o.index(), 0) != bad.get(o.index(), 0))
+    }
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn finds_tests_for_every_c17_fault() {
+        let n = parse_bench(C17).unwrap();
+        for id in n.ids() {
+            for value in [false, true] {
+                let fault = StuckAt::new(id, value);
+                match podem(&n, fault, 10_000) {
+                    PodemOutcome::Test(v) => {
+                        assert!(detects(&n, fault, &v), "{fault} vector {v:?}");
+                    }
+                    other => panic!("{fault}: expected a test, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn proves_redundant_fault_untestable() {
+        // y = a OR (a AND b) == a, so the AND output stuck-at-0 is
+        // undetectable.
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
+            .unwrap();
+        let x = n.find_by_name("x").unwrap();
+        assert_eq!(podem(&n, StuckAt::new(x, false), 10_000), PodemOutcome::Untestable);
+        // ...but stuck-at-1 is detectable (a=0, b=anything makes y=1≠0).
+        match podem(&n, StuckAt::new(x, true), 10_000) {
+            PodemOutcome::Test(v) => assert!(detects(&n, StuckAt::new(x, true), &v)),
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_xor_propagation() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = XOR(x, c)\n",
+        )
+        .unwrap();
+        let x = n.find_by_name("x").unwrap();
+        for value in [false, true] {
+            let fault = StuckAt::new(x, value);
+            match podem(&n, fault, 10_000) {
+                PodemOutcome::Test(v) => assert!(detects(&n, fault, &v), "{fault}"),
+                other => panic!("{fault}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pi_faults_are_testable_when_observable() {
+        let n = parse_bench(C17).unwrap();
+        for &pi in n.inputs() {
+            for value in [false, true] {
+                let fault = StuckAt::new(pi, value);
+                match podem(&n, fault, 10_000) {
+                    PodemOutcome::Test(v) => assert!(detects(&n, fault, &v), "{fault}"),
+                    other => panic!("{fault}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reports_abort_on_zero_budget() {
+        // With a 0 backtrack limit, hard instances abort rather than lie.
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
+            .unwrap();
+        let x = n.find_by_name("x").unwrap();
+        let out = podem(&n, StuckAt::new(x, false), 0);
+        assert!(matches!(out, PodemOutcome::Aborted | PodemOutcome::Untestable));
+    }
+}

@@ -1,0 +1,255 @@
+//! SCOAP testability measures (Goldstein 1979): combinational
+//! controllability `CC0`/`CC1` (how hard it is to set a line to 0/1) and
+//! observability `CO` (how hard to propagate a line to a primary output).
+//! PODEM's backtrace uses them to pick the cheapest input for an
+//! objective, which cuts backtracking substantially on reconvergent
+//! circuits.
+
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+/// Per-line SCOAP measures. Values saturate at [`Scoap::INFINITY`]
+/// (unreachable/unobservable lines, e.g. behind constants).
+#[derive(Debug, Clone)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Saturation value for untestable measures.
+    pub const INFINITY: u32 = u32::MAX / 4;
+
+    /// Computes all three measures for a combinational netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist contains DFFs (scan-convert first).
+    pub fn compute(netlist: &Netlist) -> Self {
+        assert!(netlist.is_combinational(), "SCOAP needs a combinational netlist");
+        let n = netlist.len();
+        let mut cc0 = vec![Self::INFINITY; n];
+        let mut cc1 = vec![Self::INFINITY; n];
+        // Controllability: forward pass in topological order.
+        for &id in netlist.topo_order() {
+            let gate = netlist.gate(id);
+            let i = id.index();
+            let f0 = |x: GateId| cc0[x.index()];
+            let f1 = |x: GateId| cc1[x.index()];
+            let (c0, c1) = match gate.kind() {
+                GateKind::Input => (1, 1),
+                GateKind::Const0 => (0, Self::INFINITY),
+                GateKind::Const1 => (Self::INFINITY, 0),
+                GateKind::Buf => (f0(gate.fanins()[0]) + 1, f1(gate.fanins()[0]) + 1),
+                GateKind::Not => (f1(gate.fanins()[0]) + 1, f0(gate.fanins()[0]) + 1),
+                GateKind::And | GateKind::Nand => {
+                    // 0 at the AND core: cheapest single 0; 1: all 1s.
+                    let zero = gate.fanins().iter().map(|&x| f0(x)).min().unwrap_or(0);
+                    let one: u32 = gate
+                        .fanins()
+                        .iter()
+                        .map(|&x| f1(x))
+                        .fold(0u32, |a, b| a.saturating_add(b));
+                    if gate.kind() == GateKind::And {
+                        (sat(zero) + 1, sat(one) + 1)
+                    } else {
+                        (sat(one) + 1, sat(zero) + 1)
+                    }
+                }
+                GateKind::Or | GateKind::Nor => {
+                    let one = gate.fanins().iter().map(|&x| f1(x)).min().unwrap_or(0);
+                    let zero: u32 = gate
+                        .fanins()
+                        .iter()
+                        .map(|&x| f0(x))
+                        .fold(0u32, |a, b| a.saturating_add(b));
+                    if gate.kind() == GateKind::Or {
+                        (sat(zero) + 1, sat(one) + 1)
+                    } else {
+                        (sat(one) + 1, sat(zero) + 1)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    // Minimal-cost parity assignments (exact for 2 inputs,
+                    // the usual approximation beyond).
+                    let mut even = 0u32; // cheapest all-even-parity cost
+                    let mut odd = Self::INFINITY; // cheapest odd-parity cost
+                    for &x in gate.fanins() {
+                        let (e, o) = (even, odd);
+                        even = (e.saturating_add(f0(x))).min(o.saturating_add(f1(x)));
+                        odd = (e.saturating_add(f1(x))).min(o.saturating_add(f0(x)));
+                    }
+                    if gate.kind() == GateKind::Xor {
+                        (sat(even) + 1, sat(odd) + 1)
+                    } else {
+                        (sat(odd) + 1, sat(even) + 1)
+                    }
+                }
+                GateKind::Dff => unreachable!("combinational only"),
+            };
+            cc0[i] = sat(c0);
+            cc1[i] = sat(c1);
+        }
+        // Observability: backward pass in reverse topological order.
+        let mut co = vec![Self::INFINITY; n];
+        for &o in netlist.outputs() {
+            co[o.index()] = 0;
+        }
+        for &id in netlist.topo_order().iter().rev() {
+            let gate = netlist.gate(id);
+            let out_co = co[id.index()];
+            if out_co >= Self::INFINITY {
+                continue;
+            }
+            for (port, &f) in gate.fanins().iter().enumerate() {
+                // To observe fanin `f` through this gate: the gate's own
+                // observability plus the cost of making every sibling
+                // non-controlling (AND/OR family) or of fixing siblings
+                // (XOR: any values do — their controllability still
+                // costs).
+                let side_cost: u32 = match gate.kind() {
+                    GateKind::Buf | GateKind::Not => 0,
+                    GateKind::And | GateKind::Nand => gate
+                        .fanins()
+                        .iter()
+                        .enumerate()
+                        .filter(|(p, _)| *p != port)
+                        .map(|(_, &s)| cc1[s.index()])
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Or | GateKind::Nor => gate
+                        .fanins()
+                        .iter()
+                        .enumerate()
+                        .filter(|(p, _)| *p != port)
+                        .map(|(_, &s)| cc0[s.index()])
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    GateKind::Xor | GateKind::Xnor => gate
+                        .fanins()
+                        .iter()
+                        .enumerate()
+                        .filter(|(p, _)| *p != port)
+                        .map(|(_, &s)| cc0[s.index()].min(cc1[s.index()]))
+                        .fold(0u32, |a, b| a.saturating_add(b)),
+                    _ => continue,
+                };
+                let candidate = sat(out_co.saturating_add(side_cost).saturating_add(1));
+                if candidate < co[f.index()] {
+                    co[f.index()] = candidate;
+                }
+            }
+        }
+        Scoap { cc0, cc1, co }
+    }
+
+    /// Cost of setting `line` to 0.
+    pub fn cc0(&self, line: GateId) -> u32 {
+        self.cc0[line.index()]
+    }
+
+    /// Cost of setting `line` to 1.
+    pub fn cc1(&self, line: GateId) -> u32 {
+        self.cc1[line.index()]
+    }
+
+    /// Cost of setting `line` to `value`.
+    pub fn cc(&self, line: GateId, value: bool) -> u32 {
+        if value {
+            self.cc1(line)
+        } else {
+            self.cc0(line)
+        }
+    }
+
+    /// Cost of observing `line` at a primary output.
+    pub fn co(&self, line: GateId) -> u32 {
+        self.co[line.index()]
+    }
+}
+
+fn sat(v: u32) -> u32 {
+    v.min(Scoap::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+
+    #[test]
+    fn textbook_values_on_a_small_circuit() {
+        // y = AND(a, b): CC0(y) = min(1,1)+1 = 2, CC1(y) = 1+1+1 = 3.
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let s = Scoap::compute(&n);
+        let a = n.find_by_name("a").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        assert_eq!(s.cc0(a), 1);
+        assert_eq!(s.cc1(a), 1);
+        assert_eq!(s.cc0(y), 2);
+        assert_eq!(s.cc1(y), 3);
+        // CO(y) = 0 (PO); CO(a) = CO(y) + CC1(b) + 1 = 2.
+        assert_eq!(s.co(y), 0);
+        assert_eq!(s.co(a), 2);
+    }
+
+    #[test]
+    fn inverter_swaps_controllabilities() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let s = Scoap::compute(&n);
+        let y = n.find_by_name("y").unwrap();
+        assert_eq!(s.cc0(y), 2); // needs a=1
+        assert_eq!(s.cc1(y), 2); // needs a=0
+    }
+
+    #[test]
+    fn xor_parity_costs() {
+        // y = XOR(a, b): CC0 = min(0+0, 1+1 costs) + 1 = 3 (both same),
+        // CC1 = 3 (one of each) with unit inputs.
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n").unwrap();
+        let s = Scoap::compute(&n);
+        let y = n.find_by_name("y").unwrap();
+        assert_eq!(s.cc0(y), 3);
+        assert_eq!(s.cc1(y), 3);
+    }
+
+    #[test]
+    fn constants_are_one_sided() {
+        let mut b = incdx_netlist::Netlist::builder();
+        let a = b.add_input("a");
+        let one = b.add_gate(GateKind::Const1, vec![]);
+        let y = b.add_gate(GateKind::And, vec![a, one]);
+        b.add_output(y);
+        let n = b.build().unwrap();
+        let s = Scoap::compute(&n);
+        assert_eq!(s.cc1(one), 0);
+        assert!(s.cc0(one) >= Scoap::INFINITY);
+        // y = a AND 1: CC1(y) = CC1(a) + CC1(one) + 1 = 2.
+        assert_eq!(s.cc1(y), 2);
+    }
+
+    #[test]
+    fn unobservable_dead_logic_saturates() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ndead = NOT(a)\ny = BUF(a)\n").unwrap();
+        let s = Scoap::compute(&n);
+        let dead = n.find_by_name("dead").unwrap();
+        assert!(s.co(dead) >= Scoap::INFINITY);
+        let a = n.find_by_name("a").unwrap();
+        assert_eq!(s.co(a), 1); // through the buffer
+    }
+
+    #[test]
+    fn deeper_lines_cost_more() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+             x1 = AND(a, b)\nx2 = AND(x1, c)\ny = AND(x2, d)\n",
+        )
+        .unwrap();
+        let s = Scoap::compute(&n);
+        let x1 = n.find_by_name("x1").unwrap();
+        let x2 = n.find_by_name("x2").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        assert!(s.cc1(x1) < s.cc1(x2));
+        assert!(s.cc1(x2) < s.cc1(y));
+        assert!(s.co(y) < s.co(x2));
+        assert!(s.co(x2) < s.co(x1));
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the hot kernels: bit-parallel
+//! simulation, fanout-cone resimulation, path-trace, fault simulation and
+//! PODEM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdx_atpg::{fault_simulate, podem};
+use incdx_core::path_trace_counts;
+use incdx_fault::StuckAt;
+use incdx_gen::generate;
+use incdx_netlist::GateId;
+use incdx_sim::{PackedMatrix, Response, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_full");
+    for name in ["c432a", "c880a", "c6288a"] {
+        let n = generate(name).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pi = PackedMatrix::random(n.inputs().len(), 1024, &mut rng);
+        let mut sim = Simulator::new();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sim.run(&n, black_box(&pi))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cone_resim(c: &mut Criterion) {
+    let n = generate("c6288a").unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let pi = PackedMatrix::random(n.inputs().len(), 1024, &mut rng);
+    let mut sim = Simulator::new();
+    let mut vals = sim.run(&n, &pi);
+    // A mid-circuit stem with a deep cone.
+    let stem = GateId::from_index(n.len() / 3);
+    let cone = n.fanout_cone_sorted(stem);
+    c.bench_function("cone_resim_c6288a", |b| {
+        b.iter(|| {
+            sim.run_cone(&n, black_box(&mut vals), black_box(&cone));
+        });
+    });
+}
+
+fn bench_path_trace(c: &mut Criterion) {
+    let golden = generate("c880a").unwrap();
+    let mut corrupted = golden.clone();
+    StuckAt::new(GateId::from_index(golden.len() / 2), true)
+        .apply(&mut corrupted)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let pi = PackedMatrix::random(golden.inputs().len(), 1024, &mut rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(&golden, &sim.run(&golden, &pi));
+    let vals = sim.run_for_inputs(&corrupted, golden.inputs(), &pi);
+    let resp = Response::compare(&corrupted, &vals, &spec);
+    c.bench_function("path_trace_c880a_32vec", |b| {
+        b.iter(|| black_box(path_trace_counts(&corrupted, &vals, &resp, &spec, 32)));
+    });
+}
+
+fn bench_fault_simulation(c: &mut Criterion) {
+    let n = generate("c880a").unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let pi = PackedMatrix::random(n.inputs().len(), 1024, &mut rng);
+    let faults: Vec<StuckAt> = n
+        .ids()
+        .step_by(4)
+        .flat_map(|id| [StuckAt::new(id, false), StuckAt::new(id, true)])
+        .collect();
+    c.bench_function("fault_simulate_c880a", |b| {
+        b.iter(|| black_box(fault_simulate(&n, black_box(&faults), &pi)));
+    });
+}
+
+fn bench_podem(c: &mut Criterion) {
+    let n = generate("c880a").unwrap();
+    let fault = StuckAt::new(GateId::from_index(n.len() / 2), false);
+    c.bench_function("podem_c880a_single_fault", |b| {
+        b.iter(|| black_box(podem(&n, black_box(fault), 10_000)));
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_simulation,
+    bench_cone_resim,
+    bench_path_trace,
+    bench_fault_simulation,
+    bench_podem
+);
+criterion_main!(kernels);

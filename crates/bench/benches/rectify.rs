@@ -1,0 +1,122 @@
+//! Criterion end-to-end benchmarks of the diagnosis engine: single-fault
+//! exhaustive diagnosis and single-error DEDC — the kernels of Tables 1
+//! and 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdx_core::{Rectifier, RectifyConfig};
+use incdx_fault::{
+    inject_design_errors, inject_stuck_at_faults, InjectionConfig,
+};
+use incdx_gen::generate;
+use incdx_sim::{PackedMatrix, Response, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_stuck_at_single(c: &mut Criterion) {
+    let golden = generate("c880a").unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let injection = inject_stuck_at_faults(
+        &golden,
+        &InjectionConfig {
+            count: 1,
+            require_individually_observable: true,
+            check_vectors: 1024,
+            max_attempts: 100,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let mut vec_rng = StdRng::seed_from_u64(11);
+    let pi = PackedMatrix::random(golden.inputs().len(), 1024, &mut vec_rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        &injection.corrupted,
+        &sim.run_for_inputs(&injection.corrupted, golden.inputs(), &pi),
+    );
+    c.bench_function("diagnose_stuck_at_1_c880a", |b| {
+        b.iter(|| {
+            let r = Rectifier::new(
+                golden.clone(),
+                pi.clone(),
+                device.clone(),
+                RectifyConfig::stuck_at_exhaustive(1),
+            )
+            .run();
+            black_box(r.solutions.len())
+        });
+    });
+}
+
+fn bench_dedc_single(c: &mut Criterion) {
+    let golden = generate("c432a").unwrap();
+    let mut rng = StdRng::seed_from_u64(20);
+    let injection = inject_design_errors(
+        &golden,
+        &InjectionConfig {
+            count: 1,
+            require_individually_observable: true,
+            check_vectors: 1024,
+            max_attempts: 200,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let mut vec_rng = StdRng::seed_from_u64(21);
+    let pi = PackedMatrix::random(golden.inputs().len(), 1024, &mut vec_rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(&golden, &sim.run(&golden, &pi));
+    c.bench_function("dedc_1_error_c432a", |b| {
+        b.iter(|| {
+            let r = Rectifier::new(
+                injection.corrupted.clone(),
+                pi.clone(),
+                spec.clone(),
+                RectifyConfig::dedc(1),
+            )
+            .run();
+            black_box(r.solutions.len())
+        });
+    });
+}
+
+fn bench_heuristic1_ranking(c: &mut Criterion) {
+    use incdx_core::{default_ladder, RectifyConfig};
+    let golden = generate("c1908a").unwrap();
+    let mut rng = StdRng::seed_from_u64(30);
+    let injection = inject_design_errors(
+        &golden,
+        &InjectionConfig {
+            count: 2,
+            require_individually_observable: true,
+            check_vectors: 1024,
+            max_attempts: 200,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let mut vec_rng = StdRng::seed_from_u64(31);
+    let pi = PackedMatrix::random(golden.inputs().len(), 1024, &mut vec_rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(&golden, &sim.run(&golden, &pi));
+    let level = default_ladder()[2];
+    c.bench_function("rank_candidates_root_c1908a", |b| {
+        b.iter(|| {
+            let mut rect = Rectifier::new(
+                injection.corrupted.clone(),
+                pi.clone(),
+                spec.clone(),
+                RectifyConfig::dedc(2),
+            );
+            black_box(rect.rank_candidates(&[], &level).len())
+        });
+    });
+}
+
+criterion_group!(
+    rectify,
+    bench_stuck_at_single,
+    bench_dedc_single,
+    bench_heuristic1_ranking
+);
+criterion_main!(rectify);

@@ -1,0 +1,115 @@
+//! Minimal flag parsing shared by the experiment binaries (no external
+//! dependency; flags are `--name value`).
+
+use std::time::Duration;
+
+/// Common experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Master seed; every trial derives its own seed from it.
+    pub seed: u64,
+    /// Trials per (circuit, fault-count) cell.
+    pub trials: usize,
+    /// Test vectors per run.
+    pub vectors: usize,
+    /// Circuits to run (suite names); empty = the binary's default list.
+    pub circuits: Vec<String>,
+    /// Per-run wall-clock limit.
+    pub time_limit: Duration,
+    /// Worker threads (0 = all cores).
+    pub jobs: usize,
+}
+
+impl Default for Args {
+    /// The paper's setup scaled to a few seconds per cell: 10 trials,
+    /// 1024 vectors, 30 s per-run limit.
+    fn default() -> Self {
+        Args {
+            seed: 2002,
+            trials: 10,
+            vectors: 1024,
+            circuits: Vec::new(),
+            time_limit: Duration::from_secs(30),
+            jobs: 0,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `std::env::args`, exiting with usage text on `--help` or a
+    /// malformed flag.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| die(&format!("missing value for {name}")))
+            };
+            match flag.as_str() {
+                "--seed" => args.seed = parse_num(&value("--seed")),
+                "--trials" => args.trials = parse_num(&value("--trials")) as usize,
+                "--vectors" => args.vectors = parse_num(&value("--vectors")) as usize,
+                "--jobs" => args.jobs = parse_num(&value("--jobs")) as usize,
+                "--time-limit" => {
+                    args.time_limit = Duration::from_secs(parse_num(&value("--time-limit")))
+                }
+                "--circuits" => {
+                    args.circuits = value("--circuits")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --seed N --trials N --vectors N --circuits a,b,c \
+                         --time-limit SECONDS --jobs N"
+                    );
+                    std::process::exit(0);
+                }
+                other => die(&format!("unknown flag `{other}` (try --help)")),
+            }
+        }
+        args
+    }
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("`{s}` is not a number")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse_from(
+            ["--seed", "7", "--trials", "3", "--circuits", "c17,c432a", "--time-limit", "5"]
+                .map(String::from),
+        );
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.trials, 3);
+        assert_eq!(a.circuits, vec!["c17", "c432a"]);
+        assert_eq!(a.time_limit, Duration::from_secs(5));
+    }
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let a = Args::default();
+        assert_eq!(a.trials, 10);
+        assert_eq!(a.vectors, 1024);
+    }
+}

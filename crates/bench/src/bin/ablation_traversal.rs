@@ -1,0 +1,130 @@
+//! Ablation B — the §3 claim that the round-based traversal "overcomes
+//! the pitfalls of BFS and DFS". The same multi-error DEDC workload runs
+//! under the three traversal strategies with identical node budgets;
+//! success rate and nodes-to-solution are compared.
+//!
+//! `cargo run -p incdx-bench --release --bin ablation_traversal --
+//! [--trials N] [--circuits a,b] [--seed N]`
+
+use incdx_bench::{run_parallel, scan_core, Args, Table};
+use incdx_core::Traversal;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let circuits: Vec<String> = if args.circuits.is_empty() {
+        vec!["c432a".into(), "c880a".into(), "c1908a".into()]
+    } else {
+        args.circuits.clone()
+    };
+    let errors = 3usize;
+    println!(
+        "Ablation B — traversal strategies on {errors}-error DEDC. seed={} trials={}",
+        args.seed, args.trials
+    );
+    let mut table = Table::new(["ckt", "traversal", "solved", "avg nodes", "avg time_s"]);
+    for circuit in &circuits {
+        let golden = scan_core(circuit);
+        for (label, traversal) in [
+            ("rounds", Traversal::Rounds),
+            ("dfs", Traversal::Dfs),
+            ("bfs", Traversal::Bfs),
+        ] {
+            let outcomes = run_parallel(args.trials, args.jobs, |t| {
+                for attempt in 0..20u64 {
+                    let seed = args.seed
+                        ^ (t as u64) << 8
+                        ^ attempt << 40
+                        ^ circuit.len() as u64;
+                    if let Some(out) = dedc_trial_with(
+                        &golden,
+                        errors,
+                        args.vectors,
+                        seed,
+                        args.time_limit,
+                        traversal,
+                    ) {
+                        return Some(out);
+                    }
+                }
+                None
+            });
+            let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            if done.is_empty() {
+                table.row([circuit.as_str(), label, "-", "-", "-"]);
+                continue;
+            }
+            let n = done.len() as f64;
+            let solved = done.iter().filter(|o| o.solved).count();
+            let nodes = done.iter().map(|o| o.stats.nodes).sum::<usize>() as f64 / n;
+            let time = done.iter().map(|o| o.total.as_secs_f64()).sum::<f64>() / n;
+            table.row([
+                circuit.clone(),
+                label.to_string(),
+                format!("{}/{}", solved, done.len()),
+                format!("{nodes:.0}"),
+                format!("{time:.2}"),
+            ]);
+        }
+    }
+    println!("{table}");
+}
+
+/// `dedc_trial` with an overridden traversal strategy: re-implemented here
+/// because the shared helper pins the engine default.
+fn dedc_trial_with(
+    golden: &incdx_netlist::Netlist,
+    errors: usize,
+    vectors: usize,
+    seed: u64,
+    time_limit: Duration,
+    traversal: Traversal,
+) -> Option<incdx_bench::DedcOutcome> {
+    use incdx_core::{Rectifier, RectifyConfig};
+    use incdx_fault::{inject_design_errors, InjectionConfig};
+    use incdx_sim::{PackedMatrix, Response, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let injection = inject_design_errors(
+        golden,
+        &InjectionConfig {
+            count: errors,
+            require_individually_observable: true,
+            check_vectors: vectors,
+            max_attempts: 300,
+        },
+        &mut rng,
+    )
+    .ok()?;
+    let mut vec_rng = StdRng::seed_from_u64(seed ^ 0x0DED_C000);
+    let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(golden, &sim.run(golden, &pi));
+    let mut config = RectifyConfig::dedc(errors);
+    config.time_limit = Some(time_limit);
+    config.traversal = traversal;
+    let started = Instant::now();
+    let result = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config).run();
+    let total = started.elapsed();
+    let solved = match result.solutions.first() {
+        Some(solution) => {
+            let mut fixed = injection.corrupted.clone();
+            solution.corrections.iter().all(|c| c.apply(&mut fixed).is_ok())
+                && Response::compare(
+                    &fixed,
+                    &sim.run_for_inputs(&fixed, golden.inputs(), &pi),
+                    &spec,
+                )
+                .matches()
+        }
+        None => false,
+    };
+    Some(incdx_bench::DedcOutcome {
+        solved,
+        total,
+        stats: result.stats,
+    })
+}

@@ -1,0 +1,29 @@
+//! Shared experiment harness for the table/figure binaries that
+//! regenerate the paper's evaluation (see DESIGN.md §4 for the
+//! experiment ↔ binary map).
+//!
+//! Binaries:
+//!
+//! * `table1` — multiple stuck-at diagnosis (paper Table 1),
+//! * `table2` — multiple design error DEDC (paper Table 2),
+//! * `fig2_rounds` — the round-based traversal illustration (Fig. 2),
+//! * `ablation_rank` — "valid corrections rank in the top 5%" (§3.3),
+//! * `ablation_traversal` — rounds vs DFS vs BFS (§3),
+//! * `ablation_screening` — candidate-space reduction by h2/h3 (§3.2).
+//!
+//! Every binary takes `--seed`, `--trials`, `--vectors`, `--circuits`
+//! and `--time-limit` flags and prints the seed it used, so results are
+//! reproducible.
+
+mod args;
+mod experiments;
+mod parallel;
+mod table;
+
+pub use args::Args;
+pub use experiments::{
+    dedc_trial, optimize_for_table1, scan_core, stuck_at_trial, DedcOutcome, StuckAtOutcome,
+    DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
+};
+pub use parallel::run_parallel;
+pub use table::Table;

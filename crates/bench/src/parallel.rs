@@ -1,0 +1,70 @@
+//! Tiny parallel map over independent trials (crossbeam scoped threads;
+//! results collected under a `parking_lot` mutex, returned in input
+//! order).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runs `f(i)` for `i in 0..n` across `jobs` worker threads
+/// (0 = available parallelism) and returns the results in index order.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn run_parallel<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        jobs
+    }
+    .min(n.max(1));
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                results.lock()[i] = Some(value);
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|v| v.expect("every index computed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_all_indices_in_order() {
+        let out = run_parallel(100, 4, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert_eq!(run_parallel(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = run_parallel(0, 2, |i| i);
+        assert!(out.is_empty());
+    }
+}

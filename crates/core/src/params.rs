@@ -1,0 +1,112 @@
+//! The `h1/h2/h3` parameter ladder of §3.3.
+//!
+//! * `h1` — fraction of erroneous PO bits a suspect line must be able to
+//!   rectify under the flip-and-propagate measure (heuristic 1),
+//! * `h2` — fraction of `V_err` bit-list entries a candidate correction
+//!   must complement (heuristic 2, the aggressive form of Theorem 1's
+//!   `|V_err|/N` bound),
+//! * `h3` — fraction of previously-correct vectors a candidate correction
+//!   must keep correct (heuristic 3).
+//!
+//! Runs start at `1/1/1` (the single-error case) and relax level by level
+//! whenever a node produces no qualifying correction, `h1` first ("it is
+//! error-count dependent"), down to the paper's floor of `0.1/0.3/0.5`.
+
+/// One rung of the relaxation ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamLevel {
+    /// Heuristic 1 threshold (line qualification).
+    pub h1: f64,
+    /// Heuristic 2 threshold (V_err complement fraction).
+    pub h2: f64,
+    /// Heuristic 3 threshold (V_corr preservation fraction).
+    pub h3: f64,
+    /// Fraction of path-trace-marked lines promoted to the correction
+    /// stage at this level (the paper's "top 5–20%", relaxing to 100% at
+    /// the floor so a weakly-marked true error site is eventually
+    /// considered).
+    pub promote: f64,
+}
+
+impl ParamLevel {
+    /// A level with the given thresholds and the default 20% promotion
+    /// fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any threshold is outside `[0, 1]`.
+    pub fn new(h1: f64, h2: f64, h3: f64) -> Self {
+        for (name, v) in [("h1", h1), ("h2", h2), ("h3", h3)] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0, 1]");
+        }
+        ParamLevel {
+            h1,
+            h2,
+            h3,
+            promote: 0.2,
+        }
+    }
+
+    /// Sets the promotion fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `promote` is outside `(0, 1]`.
+    pub fn with_promote(mut self, promote: f64) -> Self {
+        assert!(
+            promote > 0.0 && promote <= 1.0,
+            "promote = {promote} out of (0, 1]"
+        );
+        self.promote = promote;
+        self
+    }
+}
+
+/// The default ladder: the paper's published waypoints (`1/1/1`,
+/// `0.3/0.7/0.95`, `0.3/0.5/0.85`, floor `0.1/0.3/0.5`) with two
+/// interpolated steps. The last level also covers the paper's NAND-XOR
+/// exception, which needs 15–20% new erroneous vectors admitted
+/// (`h3 = 0.8`).
+pub fn default_ladder() -> Vec<ParamLevel> {
+    vec![
+        ParamLevel::new(1.0, 1.0, 1.0).with_promote(0.05),
+        ParamLevel::new(0.6, 0.85, 0.98).with_promote(0.1),
+        ParamLevel::new(0.3, 0.7, 0.95).with_promote(0.2),
+        ParamLevel::new(0.3, 0.5, 0.85).with_promote(0.4),
+        ParamLevel::new(0.2, 0.4, 0.8).with_promote(0.7),
+        ParamLevel::new(0.1, 0.3, 0.5).with_promote(1.0),
+        // One rung below the published floor: when errors overlap on every
+        // failing vector, no single fix rectifies anything alone and
+        // heuristic 1 scores the true sites 0 (the extreme of the Fig. 1
+        // masking effect). h1 = 0 admits every marked line, ordered by
+        // path-trace count.
+        ParamLevel::new(0.0, 0.3, 0.5).with_promote(1.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotonically_relaxing() {
+        let ladder = default_ladder();
+        assert!(ladder.len() >= 4);
+        for w in ladder.windows(2) {
+            assert!(w[1].h1 <= w[0].h1);
+            assert!(w[1].h2 <= w[0].h2);
+            assert!(w[1].h3 <= w[0].h3);
+            assert!(w[1].promote >= w[0].promote, "promotion must widen");
+        }
+        assert_eq!(ladder[0], ParamLevel::new(1.0, 1.0, 1.0).with_promote(0.05));
+        let floor = *ladder.last().unwrap();
+        assert_eq!(floor, ParamLevel::new(0.0, 0.3, 0.5).with_promote(1.0));
+        assert!((ParamLevel::new(0.5, 0.5, 0.5).promote - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn rejects_out_of_range() {
+        ParamLevel::new(1.5, 0.5, 0.5);
+    }
+}

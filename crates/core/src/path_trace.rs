@@ -1,0 +1,205 @@
+//! Path-trace (Venkataraman and Fuchs, reference \[12\] of the paper): a
+//! linear-time line-marking procedure that, starting from an erroneous
+//! primary output under an erroneous vector, walks backwards marking the
+//! lines that could carry the fault effect. Its key property (reference
+//! \[10\]): *at least one line of every valid correction set is marked*.
+//!
+//! The first diagnosis step of §3.1 runs path-trace over a sample of
+//! failing vectors and keeps the lines with the highest mark counts.
+
+use incdx_netlist::{DenseBitSet, GateId, GateKind, Netlist};
+use incdx_sim::{PackedMatrix, Response};
+
+/// Runs path-trace for up to `vector_cap` failing vectors and returns a
+/// mark count per line (`counts[line] = number of traced failing vectors
+/// that marked the line`).
+///
+/// The marking rule at a gate with a marked output, evaluated under the
+/// traced vector:
+///
+/// * inverter/buffer: trace the fanin;
+/// * AND/NAND (OR/NOR): if some fanin carries the controlling value 0 (1),
+///   trace *all controlling fanins*; otherwise trace all fanins;
+/// * XOR/XNOR: trace all fanins.
+///
+/// # Example
+///
+/// ```
+/// use incdx_core::path_trace_counts;
+/// use incdx_netlist::parse_bench;
+/// use incdx_sim::{PackedMatrix, Response, Simulator};
+///
+/// let good = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let bad = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")?;
+/// let mut pi = PackedMatrix::new(2, 4);
+/// pi.row_mut(0)[0] = 0b0101;
+/// pi.row_mut(1)[0] = 0b0011;
+/// let mut sim = Simulator::new();
+/// let spec = Response::capture(&good, &sim.run(&good, &pi));
+/// let vals = sim.run(&bad, &pi);
+/// let resp = Response::compare(&bad, &vals, &spec);
+/// let counts = path_trace_counts(&bad, &vals, &resp, &spec, 16);
+/// let y = bad.find_by_name("y").unwrap();
+/// assert!(counts[y.index()] > 0, "the erroneous line is always marked");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn path_trace_counts(
+    netlist: &Netlist,
+    vals: &PackedMatrix,
+    response: &Response,
+    spec: &Response,
+    vector_cap: usize,
+) -> Vec<u32> {
+    let mut counts = vec![0u32; netlist.len()];
+    let mut marked = DenseBitSet::new(netlist.len());
+    let mut stack: Vec<GateId> = Vec::new();
+    for v in response.failing_vectors().iter_ones().take(vector_cap) {
+        marked.clear();
+        stack.clear();
+        // Seed with every erroneous PO of this vector.
+        for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+            let got = response.po_values().get(po_idx, v);
+            let want = spec.po_values().get(po_idx, v);
+            if got != want && marked.insert(po.index()) {
+                stack.push(po);
+            }
+        }
+        while let Some(g) = stack.pop() {
+            let gate = netlist.gate(g);
+            let trace = |l: GateId, marked: &mut DenseBitSet, stack: &mut Vec<GateId>| {
+                if marked.insert(l.index()) {
+                    stack.push(l);
+                }
+            };
+            match gate.kind() {
+                GateKind::Not | GateKind::Buf | GateKind::Dff => {
+                    trace(gate.fanins()[0], &mut marked, &mut stack);
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = gate.kind().controlling_value().expect("and/or family");
+                    let any_controlling = gate
+                        .fanins()
+                        .iter()
+                        .any(|f| vals.get(f.index(), v) == c);
+                    for &f in gate.fanins() {
+                        if !any_controlling || vals.get(f.index(), v) == c {
+                            trace(f, &mut marked, &mut stack);
+                        }
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    for &f in gate.fanins() {
+                        trace(f, &mut marked, &mut stack);
+                    }
+                }
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => {}
+            }
+        }
+        for l in marked.iter() {
+            counts[l] += 1;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_fault::{inject_design_errors, inject_stuck_at_faults, InjectionConfig};
+    use incdx_gen::generate;
+    use incdx_sim::Simulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(
+        golden: &Netlist,
+        corrupted: &Netlist,
+        vectors: usize,
+        seed: u64,
+    ) -> (PackedMatrix, Response, Response, PackedMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut rng);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(golden, &sim.run(golden, &pi));
+        let vals = sim.run_for_inputs(corrupted, golden.inputs(), &pi);
+        let resp = Response::compare(corrupted, &vals, &spec);
+        (pi, spec, resp, vals)
+    }
+
+    #[test]
+    fn marks_at_least_one_injected_stuck_at_site_per_vector() {
+        // The published guarantee: every traced failing vector marks at
+        // least one line of every valid correction set — in particular of
+        // the actually-injected fault set.
+        let golden = generate("c880a").unwrap();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = InjectionConfig {
+                count: 2,
+                require_individually_observable: false,
+                check_vectors: 512,
+                max_attempts: 100,
+            };
+            let inj = inject_stuck_at_faults(&golden, &cfg, &mut rng).unwrap();
+            // Diagnosis direction: rectify the *golden* netlist toward the
+            // faulty device, so trace on the golden values against the
+            // device's responses.
+            let mut rng2 = StdRng::seed_from_u64(seed + 1000);
+            let pi = PackedMatrix::random(golden.inputs().len(), 512, &mut rng2);
+            let mut sim = Simulator::new();
+            let device =
+                Response::capture(&inj.corrupted, &sim.run_for_inputs(&inj.corrupted, golden.inputs(), &pi));
+            let vals = sim.run(&golden, &pi);
+            let resp = Response::compare(&golden, &vals, &device);
+            if resp.num_failing() == 0 {
+                continue; // not excited on these vectors
+            }
+            let counts = path_trace_counts(&golden, &vals, &resp, &device, 64);
+            let hit = inj
+                .injected
+                .iter()
+                .any(|f| counts[f.line().index()] > 0);
+            assert!(hit, "seed {seed}: no injected site marked");
+        }
+    }
+
+    #[test]
+    fn marks_at_least_one_injected_error_site() {
+        let golden = generate("c432a").unwrap();
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inj = inject_design_errors(&golden, &InjectionConfig::default(), &mut rng).unwrap();
+            let (_pi, spec, resp, vals) = setup(&golden, &inj.corrupted, 512, seed + 77);
+            assert!(resp.num_failing() > 0, "injector guarantees observability");
+            let counts = path_trace_counts(&inj.corrupted, &vals, &resp, &spec, 64);
+            let hit = inj
+                .injected
+                .iter()
+                .any(|e| counts[e.line().index()] > 0);
+            assert!(hit, "seed {seed}: no injected site marked");
+        }
+    }
+
+    #[test]
+    fn marks_are_bounded_by_traced_vectors() {
+        let golden = generate("c17").unwrap();
+        let mut corrupted = golden.clone();
+        let line = corrupted.find_by_name("16").unwrap();
+        incdx_fault::StuckAt::new(line, true)
+            .apply(&mut corrupted)
+            .unwrap();
+        let (_pi, spec, resp, vals) = setup(&golden, &corrupted, 32, 3);
+        let cap = 4;
+        let counts = path_trace_counts(&corrupted, &vals, &resp, &spec, cap);
+        assert!(counts.iter().all(|&c| c as usize <= cap));
+        assert!(counts.iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn no_failing_vectors_means_no_marks() {
+        let golden = generate("c17").unwrap();
+        let (_pi, spec, resp, vals) = setup(&golden, &golden, 32, 4);
+        let counts = path_trace_counts(&golden, &vals, &resp, &spec, 8);
+        assert!(counts.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,282 @@
+//! Heuristic 2 support: the local, one-gate evaluation of a candidate
+//! correction ("a single simulation step on the gate driving l and the
+//! fan-ins to that gate", §3.2).
+//!
+//! Given the current value matrix, [`correction_output_row`] computes what
+//! the corrected gate would output on *every* vector without touching the
+//! netlist — the cheap test that, per the paper, "disqualifies the
+//! majority of inappropriate corrections".
+
+use incdx_fault::{Correction, CorrectionAction};
+use incdx_netlist::{GateId, GateKind, Netlist};
+use incdx_sim::{PackedBits, PackedMatrix};
+
+fn row_of(vals: &PackedMatrix, id: GateId) -> Vec<u64> {
+    vals.row(id.index()).to_vec()
+}
+
+fn eval_kind(kind: GateKind, rows: &[Vec<u64>], wpr: usize) -> Vec<u64> {
+    let mut out = vec![0u64; wpr];
+    match kind {
+        GateKind::Const0 => {}
+        GateKind::Const1 => out.fill(!0),
+        GateKind::Buf => out.copy_from_slice(&rows[0]),
+        GateKind::Not => {
+            for (o, &w) in out.iter_mut().zip(&rows[0]) {
+                *o = !w;
+            }
+        }
+        GateKind::And | GateKind::Nand => {
+            out.copy_from_slice(&rows[0]);
+            for r in &rows[1..] {
+                for (o, &w) in out.iter_mut().zip(r) {
+                    *o &= w;
+                }
+            }
+            if kind == GateKind::Nand {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            out.copy_from_slice(&rows[0]);
+            for r in &rows[1..] {
+                for (o, &w) in out.iter_mut().zip(r) {
+                    *o |= w;
+                }
+            }
+            if kind == GateKind::Nor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            out.copy_from_slice(&rows[0]);
+            for r in &rows[1..] {
+                for (o, &w) in out.iter_mut().zip(r) {
+                    *o ^= w;
+                }
+            }
+            if kind == GateKind::Xnor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Input | GateKind::Dff => unreachable!("screened corrections are combinational"),
+    }
+    out
+}
+
+/// Computes the packed output values the target line would take if
+/// `correction` were applied, over all vectors of `vals` (the current
+/// node's simulation matrix). Pure function of the fanin rows — the
+/// netlist is not modified.
+///
+/// Returns `None` when the action is structurally inapplicable (bad port,
+/// arity underflow) — such candidates are discarded upstream.
+///
+/// # Example
+///
+/// ```
+/// use incdx_core::correction_output_row;
+/// use incdx_fault::{Correction, CorrectionAction};
+/// use incdx_netlist::{parse_bench, GateKind};
+/// use incdx_sim::{PackedMatrix, Simulator};
+///
+/// let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let mut pi = PackedMatrix::new(2, 4);
+/// pi.row_mut(0)[0] = 0b0101;
+/// pi.row_mut(1)[0] = 0b0011;
+/// let vals = Simulator::new().run(&n, &pi);
+/// let y = n.find_by_name("y").unwrap();
+/// let c = Correction::new(y, CorrectionAction::ChangeKind(GateKind::Or));
+/// let row = correction_output_row(&n, &vals, &c).unwrap();
+/// assert_eq!(row.words()[0] & 0xF, 0b0111); // OR instead of AND
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn correction_output_row(
+    netlist: &Netlist,
+    vals: &PackedMatrix,
+    correction: &Correction,
+) -> Option<PackedBits> {
+    let wpr = vals.words_per_row();
+    let line = correction.line();
+    let gate = netlist.gate(line);
+    let kind = gate.kind();
+    let fanins = gate.fanins();
+    let words = match correction.action() {
+        CorrectionAction::SetConst(v) => {
+            if v {
+                vec![!0u64; wpr]
+            } else {
+                vec![0u64; wpr]
+            }
+        }
+        CorrectionAction::ChangeKind(new_kind) => {
+            let (lo, hi) = new_kind.arity();
+            if fanins.len() < lo || fanins.len() > hi {
+                return None;
+            }
+            let rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
+            eval_kind(new_kind, &rows, wpr)
+        }
+        CorrectionAction::InvertInput { port } => {
+            if port >= fanins.len() || !kind.is_logic() {
+                return None;
+            }
+            let mut rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
+            for w in rows[port].iter_mut() {
+                *w = !*w;
+            }
+            eval_kind(kind, &rows, wpr)
+        }
+        CorrectionAction::RemoveInput { port } => {
+            if port >= fanins.len() || fanins.len() <= kind.arity().0 || !kind.is_logic() {
+                return None;
+            }
+            let rows: Vec<Vec<u64>> = fanins
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != port)
+                .map(|(_, &f)| row_of(vals, f))
+                .collect();
+            eval_kind(kind, &rows, wpr)
+        }
+        CorrectionAction::AddInput { source } => {
+            if !kind.is_logic() || source == line || fanins.contains(&source) {
+                return None;
+            }
+            let mut rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
+            rows.push(row_of(vals, source));
+            eval_kind(kind, &rows, wpr)
+        }
+        CorrectionAction::ReplaceInput { port, source } => {
+            if port >= fanins.len() || !kind.is_logic() || source == line {
+                return None;
+            }
+            let mut rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
+            rows[port] = row_of(vals, source);
+            eval_kind(kind, &rows, wpr)
+        }
+        CorrectionAction::WireThrough { port } => {
+            if port >= fanins.len() {
+                return None;
+            }
+            row_of(vals, fanins[port])
+        }
+        CorrectionAction::InsertGate { kind: new_kind, other } => {
+            if !kind.is_logic() || other == line {
+                return None;
+            }
+            let rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
+            let orig = eval_kind(kind, &rows, wpr);
+            eval_kind(new_kind, &[orig, row_of(vals, other)], wpr)
+        }
+    };
+    let mut bits = PackedBits::new(vals.num_vectors());
+    bits.words_mut().copy_from_slice(&words);
+    bits.mask_tail();
+    Some(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+    use incdx_sim::Simulator;
+
+    /// Ground truth: actually apply the correction and resimulate.
+    fn reference_row(n: &Netlist, pi: &PackedMatrix, c: &Correction) -> Option<PackedBits> {
+        let mut m = n.clone();
+        c.apply(&mut m).ok()?;
+        let mut sim = Simulator::new();
+        let vals = sim.run_for_inputs(&m, n.inputs(), pi);
+        let mut bits = vals.to_bits(c.line().index());
+        bits.mask_tail();
+        Some(bits)
+    }
+
+    #[test]
+    fn local_evaluation_matches_full_resimulation_for_every_action() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n",
+        )
+        .unwrap();
+        let x = n.find_by_name("x").unwrap();
+        let c = n.find_by_name("c").unwrap();
+        let mut pi = PackedMatrix::new(3, 8);
+        for v in 0..8 {
+            for i in 0..3 {
+                pi.set(i, v, v >> i & 1 == 1);
+            }
+        }
+        let vals = Simulator::new().run(&n, &pi);
+        let actions = [
+            CorrectionAction::SetConst(false),
+            CorrectionAction::SetConst(true),
+            CorrectionAction::ChangeKind(GateKind::Nor),
+            CorrectionAction::ChangeKind(GateKind::Xor),
+            CorrectionAction::InvertInput { port: 0 },
+            CorrectionAction::InvertInput { port: 1 },
+            CorrectionAction::RemoveInput { port: 0 },
+            CorrectionAction::AddInput { source: c },
+            CorrectionAction::ReplaceInput { port: 1, source: c },
+            CorrectionAction::WireThrough { port: 1 },
+            CorrectionAction::InsertGate { kind: GateKind::Or, other: c },
+        ];
+        for action in actions {
+            let corr = Correction::new(x, action);
+            let local = correction_output_row(&n, &vals, &corr);
+            let reference = reference_row(&n, &pi, &corr);
+            match (local, reference) {
+                (Some(l), Some(r)) => assert_eq!(l, r, "{corr}"),
+                (None, None) => {}
+                (l, r) => panic!("{corr}: local {l:?} vs reference {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inapplicable_actions_return_none() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        let pi = PackedMatrix::new(1, 4);
+        let vals = Simulator::new().run(&n, &pi);
+        // Removing the only input of a NOT is not possible.
+        assert!(correction_output_row(
+            &n,
+            &vals,
+            &Correction::new(y, CorrectionAction::RemoveInput { port: 0 })
+        )
+        .is_none());
+        // Bad port.
+        assert!(correction_output_row(
+            &n,
+            &vals,
+            &Correction::new(y, CorrectionAction::InvertInput { port: 5 })
+        )
+        .is_none());
+        // Kind with incompatible arity.
+        assert!(correction_output_row(
+            &n,
+            &vals,
+            &Correction::new(y, CorrectionAction::ChangeKind(GateKind::Xor))
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn add_existing_input_is_rejected_like_apply() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        let a = n.find_by_name("a").unwrap();
+        let pi = PackedMatrix::new(2, 4);
+        let vals = Simulator::new().run(&n, &pi);
+        let corr = Correction::new(y, CorrectionAction::AddInput { source: a });
+        assert!(correction_output_row(&n, &vals, &corr).is_none());
+        assert!(corr.apply(&mut n.clone()).is_err());
+    }
+}

@@ -1,0 +1,1154 @@
+//! The rectification session: node evaluation (simulate → diagnose →
+//! screen → rank) and the round-based decision-tree traversal.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel, StuckAt};
+use incdx_netlist::{GateId, GateKind, Netlist};
+use incdx_sim::{PackedBits, PackedMatrix, Response, Simulator};
+
+use crate::params::{default_ladder, ParamLevel};
+use crate::path_trace::path_trace_counts;
+use crate::screen::correction_output_row;
+use crate::tree::{Node, RankedCorrection};
+
+/// How the decision tree is traversed (§3.3 compares these; the paper's
+/// contribution is [`Traversal::Rounds`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Traversal {
+    /// The paper's BFS/DFS trade-off: each round applies the next-best
+    /// candidate of every node present at the round's start.
+    #[default]
+    Rounds,
+    /// Greedy depth-first: always extend the most recently created open
+    /// node (the paper's "a wrong decision at the top may strand the
+    /// search" strawman).
+    Dfs,
+    /// Naive breadth-first: exhaust every candidate of a node before
+    /// moving to the next (the paper's "excessive computation" strawman).
+    Bfs,
+}
+
+/// Configuration for a [`Rectifier`] run.
+#[derive(Debug, Clone)]
+pub struct RectifyConfig {
+    /// Which correction repertoire to search (stuck-at vs design errors).
+    pub model: CorrectionModel,
+    /// Maximum tuple size — the decision tree's depth bound.
+    pub max_corrections: usize,
+    /// Exhaustive traversal (collect every minimal tuple) vs stop at the
+    /// first solution.
+    pub exhaustive: bool,
+    /// Round budget for the traversal (each round at most doubles the
+    /// node count, so `max_rounds = r` explores ≤ 2^r nodes).
+    pub max_rounds: usize,
+    /// Hard cap on tree nodes.
+    pub max_nodes: usize,
+    /// Stop after this many solutions (exhaustive mode).
+    pub max_solutions: usize,
+    /// Failing vectors sampled by path-trace.
+    pub path_trace_vector_cap: usize,
+    /// Minimum fraction of path-trace-marked lines promoted to
+    /// heuristic 1 (the effective fraction per node is the maximum of
+    /// this and the current ladder level's
+    /// [`ParamLevel::promote`]).
+    pub path_trace_fraction: f64,
+    /// Hard cap on lines promoted to the correction stage per node.
+    pub max_candidate_lines: usize,
+    /// Candidate source signals per line for wire corrections
+    /// (0 = every cycle-safe signal; > 0 = stride-sample to that many,
+    /// with the drop count reported in the stats).
+    pub wire_source_limit: usize,
+    /// Ranked candidates kept per node (cap is recorded in the stats, not
+    /// silent).
+    pub max_candidates_per_node: usize,
+    /// The `h1/h2/h3` relaxation ladder.
+    pub ladder: Vec<ParamLevel>,
+    /// Apply Theorem 1's `|V_err|/N` floor to the `h2` threshold (with
+    /// `N` = remaining correction slots), so the guaranteed-to-exist
+    /// high-excitation correction is never screened out.
+    pub theorem_floor: bool,
+    /// Wall-clock budget; exceeded ⇒ stop with `stats.truncated = true`.
+    pub time_limit: Option<Duration>,
+    /// Tree traversal order (rounds by default; DFS/BFS for ablations).
+    pub traversal: Traversal,
+}
+
+impl RectifyConfig {
+    /// The DEDC setting: design-error corrections, first solution wins.
+    pub fn dedc(num_errors: usize) -> Self {
+        RectifyConfig {
+            model: CorrectionModel::DesignErrors,
+            max_corrections: num_errors,
+            exhaustive: false,
+            max_rounds: 48,
+            max_nodes: 1024,
+            max_solutions: 1,
+            path_trace_vector_cap: 32,
+            path_trace_fraction: 0.05,
+            max_candidate_lines: 256,
+            wire_source_limit: 0,
+            max_candidates_per_node: 48,
+            ladder: default_ladder(),
+            theorem_floor: true,
+            time_limit: None,
+            traversal: Traversal::Rounds,
+        }
+    }
+
+    /// The stuck-at diagnosis setting: exhaustive search for every minimal
+    /// equivalent fault tuple of size ≤ `num_faults`. Screening runs on
+    /// Theorem 1 alone (`h2 = |V_err|/N` via the theorem floor; `h1`/`h3`
+    /// disabled) so no valid tuple is pruned by the aggressive heuristics
+    /// — the paper's "exact performance" requirement of §4.1.
+    pub fn stuck_at_exhaustive(num_faults: usize) -> Self {
+        RectifyConfig {
+            model: CorrectionModel::StuckAt,
+            max_corrections: num_faults,
+            exhaustive: true,
+            max_rounds: 100_000,
+            max_nodes: 20_000,
+            max_solutions: 10_000,
+            path_trace_vector_cap: 32,
+            path_trace_fraction: 1.0,
+            max_candidate_lines: usize::MAX,
+            wire_source_limit: 0,
+            max_candidates_per_node: usize::MAX,
+            ladder: vec![ParamLevel::new(0.0, 1.0, 0.0).with_promote(1.0)],
+            theorem_floor: true,
+            time_limit: None,
+            traversal: Traversal::Rounds,
+        }
+    }
+}
+
+/// A valid correction tuple: applying `corrections` to the base netlist
+/// makes it match the reference on every vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// The corrections, in application order.
+    pub corrections: Vec<Correction>,
+}
+
+impl Solution {
+    /// The distinct lines of the tuple.
+    pub fn lines(&self) -> Vec<GateId> {
+        let mut v: Vec<GateId> = self.corrections.iter().map(|c| c.line()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Interprets the tuple as stuck-at faults, if every correction is a
+    /// constant (always true in [`CorrectionModel::StuckAt`] runs).
+    pub fn stuck_at_tuple(&self) -> Option<Vec<StuckAt>> {
+        let mut out = Vec::with_capacity(self.corrections.len());
+        for c in &self.corrections {
+            out.push(StuckAt::new(c.line(), c.as_stuck_at()?));
+        }
+        out.sort();
+        Some(out)
+    }
+}
+
+/// Counters and timings of a run (Table 2's diagnosis/correction columns
+/// come straight from here).
+#[derive(Debug, Clone, Default)]
+pub struct RectifyStats {
+    /// Decision-tree nodes evaluated (the paper's "nodes" column).
+    pub nodes: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Time in the diagnosis stage (path-trace + heuristic 1).
+    pub diagnosis_time: Duration,
+    /// Time in the correction stage (enumeration + screening + ranking).
+    pub correction_time: Duration,
+    /// Time simulating node circuits.
+    pub simulation_time: Duration,
+    /// Corrections evaluated against heuristic 2.
+    pub corrections_screened: usize,
+    /// Corrections surviving both screens (before the per-node cap).
+    pub corrections_qualified: usize,
+    /// Wire-source candidates dropped by the per-line cap, summed.
+    pub wire_sources_truncated: usize,
+    /// Candidates dropped by `max_candidates_per_node`, summed.
+    pub candidates_truncated: usize,
+    /// Suspect lines dropped by `max_candidate_lines`, summed.
+    pub lines_truncated: usize,
+    /// Deepest parameter-ladder level any node had to relax to.
+    pub deepest_ladder_level: usize,
+    /// True when a budget (rounds, nodes, solutions, time) cut the search.
+    pub truncated: bool,
+}
+
+/// The outcome of [`Rectifier::run`].
+#[derive(Debug, Clone)]
+pub struct RectifyResult {
+    /// Valid correction tuples, in discovery order. In exhaustive mode
+    /// these are deduplicated and minimal (no tuple is a superset of
+    /// another). An empty-corrections solution means the netlist already
+    /// matched the reference.
+    pub solutions: Vec<Solution>,
+    /// Search statistics.
+    pub stats: RectifyStats,
+}
+
+impl RectifyResult {
+    /// Distinct lines over all solutions — the paper's "# sites" column.
+    pub fn distinct_sites(&self) -> usize {
+        let mut lines: Vec<GateId> = self
+            .solutions
+            .iter()
+            .flat_map(|s| s.lines())
+            .collect();
+        lines.sort();
+        lines.dedup();
+        lines.len()
+    }
+}
+
+enum NodeEval {
+    Solved,
+    Dead,
+    Open { candidates: Vec<RankedCorrection> },
+}
+
+/// The incremental rectification engine (see the crate docs for the
+/// algorithm and the crate example for usage).
+#[derive(Debug)]
+pub struct Rectifier {
+    base: Netlist,
+    base_inputs: Vec<GateId>,
+    vectors: PackedMatrix,
+    spec: Response,
+    config: RectifyConfig,
+    sim: Simulator,
+    stats: RectifyStats,
+}
+
+impl Rectifier {
+    /// Creates a session rectifying `netlist` toward the reference
+    /// responses `spec` under the test vectors `vectors` (one row per
+    /// primary input of `netlist`).
+    ///
+    /// `spec` must have been captured/compared against the same vector
+    /// set and an identical output ordering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist is sequential (scan-convert first) or the
+    /// shapes disagree.
+    pub fn new(
+        netlist: Netlist,
+        vectors: PackedMatrix,
+        spec: Response,
+        config: RectifyConfig,
+    ) -> Self {
+        assert!(netlist.is_combinational(), "scan-convert sequential circuits first");
+        assert_eq!(
+            vectors.rows(),
+            netlist.inputs().len(),
+            "one vector row per primary input"
+        );
+        assert_eq!(
+            spec.po_values().rows(),
+            netlist.outputs().len(),
+            "reference output count mismatch"
+        );
+        assert_eq!(
+            spec.po_values().num_vectors(),
+            vectors.num_vectors(),
+            "reference vector count mismatch"
+        );
+        let base_inputs = netlist.inputs().to_vec();
+        Rectifier {
+            base: netlist,
+            base_inputs,
+            vectors,
+            spec,
+            config,
+            sim: Simulator::new(),
+            stats: RectifyStats::default(),
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(mut self) -> RectifyResult {
+        let started = Instant::now();
+        // Global parameter relaxation (§3.3): the whole tree search runs at
+        // one `h1/h2/h3` level; only if it "returns with no corrections" —
+        // no solution — does the run restart at the next, looser level.
+        let ladder = self.config.ladder.clone();
+        let mut solutions = Vec::new();
+        for (level_idx, level) in ladder.iter().enumerate() {
+            self.stats.deepest_ladder_level = level_idx;
+            solutions = self.search_level(level, started);
+            let out_of_time = self
+                .config
+                .time_limit
+                .is_some_and(|limit| started.elapsed() > limit);
+            if !solutions.is_empty() || out_of_time {
+                break;
+            }
+        }
+        // Exhaustive mode reports only minimal tuples.
+        if self.config.exhaustive {
+            solutions = minimal_solutions(solutions);
+        }
+        RectifyResult {
+            solutions,
+            stats: self.stats,
+        }
+    }
+
+    /// One full round-based tree traversal at a fixed parameter level.
+    fn search_level(&mut self, level: &ParamLevel, started: Instant) -> Vec<Solution> {
+        let mut solutions: Vec<Solution> = Vec::new();
+        let mut seen_solutions: HashSet<Vec<Correction>> = HashSet::new();
+        let mut visited: HashSet<Vec<Correction>> = HashSet::new();
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut rounds_this_level = 0usize;
+
+        let out_of_time = |s: &Self| {
+            s.config
+                .time_limit
+                .is_some_and(|limit| started.elapsed() > limit)
+        };
+
+        match self.evaluate(&[], level) {
+            NodeEval::Solved => {
+                return vec![Solution { corrections: vec![] }];
+            }
+            NodeEval::Dead => {
+                return vec![];
+            }
+            NodeEval::Open { candidates } => {
+                nodes.push(Node {
+                    corrections: vec![],
+                    candidates,
+                    next: 0,
+                });
+            }
+        }
+        visited.insert(vec![]);
+
+        // Rounds mode: each iteration is one round of Fig. 2. DFS/BFS
+        // ablation modes: each iteration is a single node expansion, so
+        // their budget scales with the node cap instead of the round cap.
+        let iteration_budget = match self.config.traversal {
+            Traversal::Rounds => self.config.max_rounds,
+            Traversal::Dfs | Traversal::Bfs => self
+                .config
+                .max_nodes
+                .saturating_mul(4)
+                .min(self.config.max_rounds.saturating_mul(1 << 12)),
+        };
+        'rounds: while rounds_this_level < iteration_budget {
+            if nodes.iter().all(|n| !n.open()) {
+                break;
+            }
+            rounds_this_level += 1;
+            self.stats.rounds += 1;
+            // Rounds: only nodes present at the start of the round expand
+            // (Fig. 2: the tree at most doubles per round). DFS: the most
+            // recently created open node. BFS: the oldest open node.
+            let plan: Vec<usize> = match self.config.traversal {
+                Traversal::Rounds => (0..nodes.len()).collect(),
+                Traversal::Dfs => nodes.iter().rposition(Node::open).into_iter().collect(),
+                Traversal::Bfs => nodes.iter().position(Node::open).into_iter().collect(),
+            };
+            for idx in plan {
+                if out_of_time(self) {
+                    self.stats.truncated = true;
+                    break 'rounds;
+                }
+                if !nodes[idx].open() {
+                    continue;
+                }
+                let cand = nodes[idx].candidates[nodes[idx].next];
+                nodes[idx].next += 1;
+                let mut corrections = nodes[idx].corrections.clone();
+                corrections.push(cand.correction);
+                let mut canonical = corrections.clone();
+                canonical.sort();
+                if !visited.insert(canonical.clone()) {
+                    continue;
+                }
+                // A superset of a known solution cannot be minimal.
+                if self.config.exhaustive
+                    && seen_solutions
+                        .iter()
+                        .any(|s| s.iter().all(|c| canonical.contains(c)))
+                {
+                    continue;
+                }
+                match self.evaluate(&corrections, level) {
+                    NodeEval::Solved => {
+                        let mut key = corrections.clone();
+                        key.sort();
+                        if seen_solutions.insert(key) {
+                            solutions.push(Solution { corrections });
+                        }
+                        if !self.config.exhaustive {
+                            break 'rounds;
+                        }
+                        if solutions.len() >= self.config.max_solutions {
+                            self.stats.truncated = true;
+                            break 'rounds;
+                        }
+                    }
+                    NodeEval::Dead => {}
+                    NodeEval::Open { candidates } => {
+                        if corrections.len() < self.config.max_corrections
+                            && nodes.len() < self.config.max_nodes
+                        {
+                            nodes.push(Node {
+                                corrections,
+                                candidates,
+                                next: 0,
+                            });
+                        } else if nodes.len() >= self.config.max_nodes {
+                            self.stats.truncated = true;
+                        }
+                    }
+                }
+            }
+        }
+        if (self.config.exhaustive || solutions.is_empty())
+            && rounds_this_level >= iteration_budget
+            && nodes.iter().any(|n| n.open())
+        {
+            self.stats.truncated = true;
+        }
+        solutions
+    }
+
+    /// Evaluates one hypothetical node — the base netlist with
+    /// `corrections` applied — at a parameter level and returns its
+    /// ranked, screened candidate list: the engine's view of "what would
+    /// I try next here". Empty when the node is already consistent, dead,
+    /// or nothing qualifies at this level. Intended for debugging,
+    /// visualisation and the ablation benches.
+    pub fn rank_candidates(
+        &mut self,
+        corrections: &[Correction],
+        level: &ParamLevel,
+    ) -> Vec<RankedCorrection> {
+        match self.evaluate(corrections, level) {
+            NodeEval::Open { candidates } => candidates,
+            _ => Vec::new(),
+        }
+    }
+
+    /// Evaluates one decision-tree node: replay corrections, simulate,
+    /// and — if still failing — produce its ranked candidate list.
+    fn evaluate(&mut self, corrections: &[Correction], level: &ParamLevel) -> NodeEval {
+        self.stats.nodes += 1;
+        let t0 = Instant::now();
+        let mut netlist = self.base.clone();
+        for c in corrections {
+            if c.apply(&mut netlist).is_err() {
+                return NodeEval::Dead;
+            }
+        }
+        let mut vals = self
+            .sim
+            .run_for_inputs(&netlist, &self.base_inputs, &self.vectors);
+        let response = Response::compare(&netlist, &vals, &self.spec);
+        self.stats.simulation_time += t0.elapsed();
+        if response.matches() {
+            return NodeEval::Solved;
+        }
+        if corrections.len() >= self.config.max_corrections {
+            return NodeEval::Dead;
+        }
+
+        // ---- Diagnosis (§3.1) ----
+        let t1 = Instant::now();
+        let counts = path_trace_counts(
+            &netlist,
+            &vals,
+            &response,
+            &self.spec,
+            self.config.path_trace_vector_cap,
+        );
+        let mut marked: Vec<GateId> = netlist
+            .ids()
+            .filter(|id| counts[id.index()] > 0)
+            .collect();
+        marked.sort_by_key(|id| std::cmp::Reverse(counts[id.index()]));
+        let fraction = self.config.path_trace_fraction.max(level.promote);
+        let mut take = ((marked.len() as f64 * fraction).ceil() as usize)
+            .max(8)
+            .min(marked.len());
+        // Never cut inside a tie class: lines with equal path-trace counts
+        // are indistinguishable to this heuristic, and the dropped half
+        // could contain the only marked member of a valid tuple.
+        while take < marked.len()
+            && counts[marked[take].index()] == counts[marked[take - 1].index()]
+        {
+            take += 1;
+        }
+        if take > self.config.max_candidate_lines {
+            self.stats.lines_truncated += take - self.config.max_candidate_lines;
+            take = self.config.max_candidate_lines;
+        }
+        let promoted = &marked[..take];
+        // When the level disables the h1 filter (exhaustive stuck-at
+        // mode), skip the flip-and-propagate pass and order lines by
+        // path-trace count alone.
+        let scored_lines: Vec<(GateId, f64)> = if level.h1 <= 0.0 {
+            let max_count = promoted
+                .first()
+                .map(|l| counts[l.index()] as f64)
+                .unwrap_or(1.0)
+                .max(1.0);
+            promoted
+                .iter()
+                .map(|&l| (l, counts[l.index()] as f64 / max_count))
+                .collect()
+        } else {
+            self.heuristic1(&netlist, &mut vals, &response, promoted)
+        };
+        self.stats.diagnosis_time += t1.elapsed();
+
+        // ---- Correction (§3.2) at the run's current parameter level ----
+        let t2 = Instant::now();
+        let n_err = response.num_failing();
+        let nv = self.vectors.num_vectors();
+        let n_corr = nv - n_err;
+        let remaining = (self.config.max_corrections - corrections.len()).max(1);
+        let h2_threshold = if self.config.theorem_floor {
+            level.h2.min(1.0 / remaining as f64)
+        } else {
+            level.h2
+        };
+        let mut ranked = self.screen_level(
+            &netlist,
+            &mut vals,
+            &response,
+            &scored_lines,
+            level,
+            h2_threshold,
+            n_err,
+            n_corr,
+        );
+        let outcome = if ranked.is_empty() {
+            // "A leaf with failure" (§3.3).
+            NodeEval::Dead
+        } else {
+            ranked.sort_by(|a, b| b.rank.total_cmp(&a.rank));
+            if ranked.len() > self.config.max_candidates_per_node {
+                self.stats.candidates_truncated +=
+                    ranked.len() - self.config.max_candidates_per_node;
+                ranked.truncate(self.config.max_candidates_per_node);
+            }
+            NodeEval::Open { candidates: ranked }
+        };
+        self.stats.correction_time += t2.elapsed();
+        outcome
+    }
+
+    /// Heuristic 1: flip each promoted line on the failing vectors,
+    /// propagate through its fanout cone, and score by the fraction of
+    /// erroneous PO bits rectified.
+    fn heuristic1(
+        &mut self,
+        netlist: &Netlist,
+        vals: &mut PackedMatrix,
+        response: &Response,
+        lines: &[GateId],
+    ) -> Vec<(GateId, f64)> {
+        let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
+        let total_bad = response.mismatch_bits().max(1);
+        let wpr = vals.words_per_row();
+        let nv = vals.num_vectors();
+        let mut scored = Vec::with_capacity(lines.len());
+        let mut saved: Vec<u64> = Vec::new();
+        for &line in lines {
+            let cone = netlist.fanout_cone_sorted(line);
+            saved.clear();
+            for &g in &cone {
+                saved.extend_from_slice(vals.row(g.index()));
+            }
+            {
+                let row = vals.row_mut(line.index());
+                for (w, &m) in row.iter_mut().zip(&err_words) {
+                    *w ^= m;
+                }
+            }
+            self.sim.run_cone(netlist, vals, &cone);
+            // Count rectified erroneous (vector, PO) bits.
+            let mut rectified = 0usize;
+            for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                if !cone.contains(&po) {
+                    continue;
+                }
+                let after = vals.row(po.index());
+                let spec_row = self.spec.po_values().row(po_idx);
+                let before = response.po_values().row(po_idx);
+                for w in 0..wpr {
+                    let was_bad = before[w] ^ spec_row[w];
+                    let now_bad = after[w] ^ spec_row[w];
+                    let mut fixed = was_bad & !now_bad;
+                    if w == wpr - 1 {
+                        fixed &= PackedBits::new(nv).tail_mask();
+                    }
+                    rectified += fixed.count_ones() as usize;
+                }
+            }
+            for (i, &g) in cone.iter().enumerate() {
+                vals.row_mut(g.index())
+                    .copy_from_slice(&saved[i * wpr..(i + 1) * wpr]);
+            }
+            scored.push((line, rectified as f64 / total_bad as f64));
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored
+    }
+
+    /// One ladder level of the correction stage: enumerate, screen with
+    /// heuristics 2 and 3, and rank the survivors.
+    #[allow(clippy::too_many_arguments)]
+    fn screen_level(
+        &mut self,
+        netlist: &Netlist,
+        vals: &mut PackedMatrix,
+        response: &Response,
+        scored_lines: &[(GateId, f64)],
+        level: &ParamLevel,
+        h2_threshold: f64,
+        n_err: usize,
+        n_corr: usize,
+    ) -> Vec<RankedCorrection> {
+        let nv = self.vectors.num_vectors();
+        let wpr = vals.words_per_row();
+        let tail = PackedBits::new(nv).tail_mask();
+        let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
+        let v_ratio = n_err as f64 / nv as f64;
+        // Old per-PO diff rows (for the after-failing-mask of POs outside
+        // a candidate's cone).
+        let old_diff: Vec<Vec<u64>> = netlist
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(po_idx, _)| {
+                let got = response.po_values().row(po_idx);
+                let want = self.spec.po_values().row(po_idx);
+                got.iter().zip(want).map(|(a, b)| a ^ b).collect()
+            })
+            .collect();
+        let mut ranked = Vec::new();
+        let mut saved: Vec<u64> = Vec::new();
+        for &(line, h1_score) in scored_lines {
+            if h1_score + 1e-12 < level.h1 {
+                // scored_lines is sorted descending: nothing below
+                // qualifies either.
+                break;
+            }
+            // ---- Phase A: heuristic 2 on every candidate (cheap, local,
+            // allocation-free for the wire corrections that dominate). ----
+            let mut pass: Vec<(Correction, f64)> = Vec::new();
+            let cur = vals.row(line.index()).to_vec();
+            let h2_count = |new_word: &dyn Fn(usize) -> u64| -> usize {
+                let mut complemented = 0usize;
+                for w in 0..wpr {
+                    // err_words is already tail-masked.
+                    let diff = (new_word(w) ^ cur[w]) & err_words[w];
+                    complemented += diff.count_ones() as usize;
+                }
+                complemented
+            };
+            let qualifies = |complemented: usize| -> bool {
+                complemented as f64 / n_err.max(1) as f64 + 1e-12 >= h2_threshold
+            };
+            // Non-wire candidates through the generic evaluator.
+            for corr in enumerate_corrections(netlist, line, self.config.model, &[]) {
+                self.stats.corrections_screened += 1;
+                let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
+                    continue;
+                };
+                let complemented = h2_count(&|w| new_row.words()[w]);
+                if qualifies(complemented) {
+                    pass.push((corr, complemented as f64 / n_err.max(1) as f64));
+                }
+            }
+            // Wire candidates: exhaustive over every cycle-safe source,
+            // fused evaluation per gate family.
+            if self.config.model == CorrectionModel::DesignErrors
+                && netlist.gate(line).kind().is_logic()
+            {
+                let cone = netlist.fanout_cone(line);
+                let gate = netlist.gate(line);
+                let kind = gate.kind();
+                let fanins = gate.fanins().to_vec();
+                // Folded fanin rows: `core` over all fanins, `base_wo[p]`
+                // over all but port p, under the gate's core operation
+                // (AND / OR / XOR, inversion applied at the end).
+                enum Family {
+                    And,
+                    Or,
+                    Xor,
+                }
+                let (family, identity, invert) = match kind {
+                    GateKind::And => (Family::And, !0u64, false),
+                    GateKind::Nand => (Family::And, !0u64, true),
+                    GateKind::Buf => (Family::And, !0u64, false),
+                    GateKind::Not => (Family::And, !0u64, true),
+                    GateKind::Or => (Family::Or, 0u64, false),
+                    GateKind::Nor => (Family::Or, 0u64, true),
+                    GateKind::Xor => (Family::Xor, 0u64, false),
+                    GateKind::Xnor => (Family::Xor, 0u64, true),
+                    _ => unreachable!("is_logic checked"),
+                };
+                let fold = |skip: Option<usize>| -> Vec<u64> {
+                    let mut acc = vec![identity; wpr];
+                    for (p, &f) in fanins.iter().enumerate() {
+                        if Some(p) == skip {
+                            continue;
+                        }
+                        let row = vals.row(f.index());
+                        for (a, &r) in acc.iter_mut().zip(row) {
+                            match family {
+                                Family::And => *a &= r,
+                                Family::Or => *a |= r,
+                                Family::Xor => *a ^= r,
+                            }
+                        }
+                    }
+                    acc
+                };
+                let core = fold(None);
+                let base_wo: Vec<Vec<u64>> =
+                    (0..fanins.len()).map(|p| fold(Some(p))).collect();
+                let combine = |base: &[u64], src: &[u64], w: usize| -> u64 {
+                    let v = match family {
+                        Family::And => base[w] & src[w],
+                        Family::Or => base[w] | src[w],
+                        Family::Xor => base[w] ^ src[w],
+                    };
+                    if invert {
+                        !v
+                    } else {
+                        v
+                    }
+                };
+                let can_add = matches!(
+                    kind,
+                    GateKind::And
+                        | GateKind::Nand
+                        | GateKind::Or
+                        | GateKind::Nor
+                        | GateKind::Xor
+                        | GateKind::Xnor
+                );
+                // Eligible sources, optionally stride-sampled.
+                let mut eligible: Vec<GateId> = netlist
+                    .ids()
+                    .filter(|&s| {
+                        s != line
+                            && !cone.contains(s.index())
+                            && !matches!(
+                                netlist.gate(s).kind(),
+                                GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+                            )
+                    })
+                    .collect();
+                if self.config.wire_source_limit > 0
+                    && eligible.len() > self.config.wire_source_limit
+                {
+                    self.stats.wire_sources_truncated +=
+                        eligible.len() - self.config.wire_source_limit;
+                    let stride = eligible.len().div_ceil(self.config.wire_source_limit);
+                    eligible = eligible.into_iter().step_by(stride).collect();
+                }
+                for src in eligible {
+                    let srow = vals.row(src.index());
+                    // AddInput.
+                    if can_add && !fanins.contains(&src) {
+                        self.stats.corrections_screened += 1;
+                        let mut complemented = 0usize;
+                        for w in 0..wpr {
+                            let diff = (combine(&core, srow, w) ^ cur[w]) & err_words[w];
+                            complemented += diff.count_ones() as usize;
+                        }
+                        if qualifies(complemented) {
+                            pass.push((
+                                Correction::new(line, CorrectionAction::AddInput { source: src }),
+                                complemented as f64 / n_err.max(1) as f64,
+                            ));
+                        }
+                    }
+                    // ReplaceInput on every port.
+                    for (p, &old) in fanins.iter().enumerate() {
+                        if old == src {
+                            continue;
+                        }
+                        self.stats.corrections_screened += 1;
+                        let mut complemented = 0usize;
+                        for w in 0..wpr {
+                            let diff = (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
+                            complemented += diff.count_ones() as usize;
+                        }
+                        if qualifies(complemented) {
+                            pass.push((
+                                Correction::new(
+                                    line,
+                                    CorrectionAction::ReplaceInput { port: p, source: src },
+                                ),
+                                complemented as f64 / n_err.max(1) as f64,
+                            ));
+                        }
+                    }
+                    // InsertGate over the basic 2-input kinds (restores a
+                    // dropped "simple gate" in one correction). The
+                    // inverting kinds complement almost every V_err bit and
+                    // so pass heuristic 2 for free, flooding the expensive
+                    // heuristic-3 stage; they only join once the ladder has
+                    // relaxed h3 — the point where such repairs become
+                    // admissible at all.
+                    let insert_kinds: &[GateKind] = if level.h3 <= 0.85 {
+                        &[GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor]
+                    } else {
+                        &[GateKind::And, GateKind::Or]
+                    };
+                    for &k2 in insert_kinds {
+                        self.stats.corrections_screened += 1;
+                        let mut complemented = 0usize;
+                        for w in 0..wpr {
+                            let v = match k2 {
+                                GateKind::And => cur[w] & srow[w],
+                                GateKind::Or => cur[w] | srow[w],
+                                GateKind::Nand => !(cur[w] & srow[w]),
+                                _ => !(cur[w] | srow[w]),
+                            };
+                            let diff = (v ^ cur[w]) & err_words[w];
+                            complemented += diff.count_ones() as usize;
+                        }
+                        if qualifies(complemented) {
+                            pass.push((
+                                Correction::new(
+                                    line,
+                                    CorrectionAction::InsertGate { kind: k2, other: src },
+                                ),
+                                complemented as f64 / n_err.max(1) as f64,
+                            ));
+                        }
+                    }
+                }
+            }
+            // ---- Phase B: heuristic 3 (cone propagation) on survivors. ----
+            for (corr, h2_fraction) in pass {
+                let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
+                    continue;
+                };
+                let cone = netlist.fanout_cone_sorted(line);
+                saved.clear();
+                for &g in &cone {
+                    saved.extend_from_slice(vals.row(g.index()));
+                }
+                vals.row_mut(line.index()).copy_from_slice(new_row.words());
+                self.sim.run_cone(netlist, vals, &cone);
+                let mut after_fail = vec![0u64; wpr];
+                for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                    if cone.contains(&po) {
+                        let got = vals.row(po.index());
+                        let want = self.spec.po_values().row(po_idx);
+                        for w in 0..wpr {
+                            after_fail[w] |= got[w] ^ want[w];
+                        }
+                    } else {
+                        for w in 0..wpr {
+                            after_fail[w] |= old_diff[po_idx][w];
+                        }
+                    }
+                }
+                let mut newly_err = 0usize;
+                let mut fixed = 0usize;
+                for w in 0..wpr {
+                    let mut ne = after_fail[w] & !err_words[w];
+                    let mut fx = err_words[w] & !after_fail[w];
+                    if w == wpr - 1 {
+                        ne &= tail;
+                        fx &= tail;
+                    }
+                    newly_err += ne.count_ones() as usize;
+                    fixed += fx.count_ones() as usize;
+                }
+                for (i, &g) in cone.iter().enumerate() {
+                    vals.row_mut(g.index())
+                        .copy_from_slice(&saved[i * wpr..(i + 1) * wpr]);
+                }
+                let h3_score = 1.0 - newly_err as f64 / n_corr.max(1) as f64;
+                if h3_score + 1e-12 < level.h3 {
+                    continue;
+                }
+                self.stats.corrections_qualified += 1;
+                let corr_h1 = fixed as f64 / n_err.max(1) as f64;
+                ranked.push(RankedCorrection {
+                    correction: corr,
+                    rank: (1.0 - v_ratio) * h3_score + v_ratio * corr_h1,
+                    h1_score: corr_h1,
+                    h2_fraction,
+                    h3_score,
+                });
+            }
+        }
+        ranked
+    }
+}
+
+/// Keeps only tuples that are minimal as sets (no other solution's
+/// correction set is a strict subset).
+fn minimal_solutions(mut solutions: Vec<Solution>) -> Vec<Solution> {
+    let sets: Vec<Vec<Correction>> = solutions
+        .iter()
+        .map(|s| {
+            let mut v = s.corrections.clone();
+            v.sort();
+            v
+        })
+        .collect();
+    let mut keep = vec![true; solutions.len()];
+    for i in 0..sets.len() {
+        for j in 0..sets.len() {
+            if i != j
+                && keep[i]
+                && sets[j].len() < sets[i].len()
+                && sets[j].iter().all(|c| sets[i].contains(c))
+            {
+                keep[i] = false;
+            }
+        }
+    }
+    let mut idx = 0;
+    solutions.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    solutions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_fault::CorrectionAction;
+    use incdx_netlist::parse_bench;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec_and_vectors(
+        golden: &Netlist,
+        vectors: usize,
+        seed: u64,
+    ) -> (PackedMatrix, Response) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut rng);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(golden, &sim.run(golden, &pi));
+        (pi, spec)
+    }
+
+    #[test]
+    fn already_correct_returns_empty_tuple() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let (pi, spec) = spec_and_vectors(&n, 64, 1);
+        let r = Rectifier::new(n, pi, spec, RectifyConfig::dedc(1)).run();
+        assert_eq!(r.solutions.len(), 1);
+        assert!(r.solutions[0].corrections.is_empty());
+    }
+
+    #[test]
+    fn fixes_single_gate_replacement() {
+        let good = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n").unwrap();
+        let bad = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n").unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 64, 2);
+        let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), RectifyConfig::dedc(1)).run();
+        assert!(!r.solutions.is_empty(), "must find a fix");
+        // Verify the fix really works.
+        let mut fixed = bad.clone();
+        for c in &r.solutions[0].corrections {
+            c.apply(&mut fixed).unwrap();
+        }
+        let mut sim = Simulator::new();
+        let vals = sim.run_for_inputs(&fixed, bad.inputs(), &pi);
+        assert!(Response::compare(&fixed, &vals, &spec).matches());
+    }
+
+    #[test]
+    fn exhaustive_single_stuck_at_finds_equivalent_class() {
+        // y = AND(a, b): y/0, a/0 and b/0 are all single-fault
+        // explanations of the device "y stuck at 0".
+        let good = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let mut device = good.clone();
+        let y = good.find_by_name("y").unwrap();
+        StuckAt::new(y, false).apply(&mut device).unwrap();
+
+        // Exhaustive vectors so equivalence is exact.
+        let mut pi = PackedMatrix::new(2, 4);
+        for v in 0..4 {
+            pi.set(0, v, v & 1 == 1);
+            pi.set(1, v, v & 2 == 2);
+        }
+        let mut sim = Simulator::new();
+        let device_resp =
+            Response::capture(&device, &sim.run_for_inputs(&device, good.inputs(), &pi));
+        let r = Rectifier::new(
+            good.clone(),
+            pi,
+            device_resp,
+            RectifyConfig::stuck_at_exhaustive(1),
+        )
+        .run();
+        let mut tuples: Vec<Vec<StuckAt>> = r
+            .solutions
+            .iter()
+            .map(|s| s.stuck_at_tuple().expect("stuck-at run"))
+            .collect();
+        tuples.sort();
+        let a = good.find_by_name("a").unwrap();
+        let b = good.find_by_name("b").unwrap();
+        let mut expect = vec![
+            vec![StuckAt::new(a, false)],
+            vec![StuckAt::new(b, false)],
+            vec![StuckAt::new(y, false)],
+        ];
+        expect.sort();
+        assert_eq!(tuples, expect);
+        assert_eq!(r.distinct_sites(), 3);
+    }
+
+    #[test]
+    fn exhaustive_results_are_minimal() {
+        let sols = vec![
+            Solution {
+                corrections: vec![Correction::new(GateId(1), CorrectionAction::SetConst(true))],
+            },
+            Solution {
+                corrections: vec![
+                    Correction::new(GateId(1), CorrectionAction::SetConst(true)),
+                    Correction::new(GateId(2), CorrectionAction::SetConst(false)),
+                ],
+            },
+            Solution {
+                corrections: vec![Correction::new(GateId(3), CorrectionAction::SetConst(false))],
+            },
+        ];
+        let min = minimal_solutions(sols);
+        assert_eq!(min.len(), 2);
+        assert!(min.iter().all(|s| s.corrections.len() == 1));
+    }
+
+    #[test]
+    fn double_error_needs_two_rounds_of_depth() {
+        let good = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+             x1 = AND(a, b)\nx2 = OR(c, d)\ny = XOR(x1, c)\nz = NAND(x2, a)\n",
+        )
+        .unwrap();
+        let bad = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+             x1 = NAND(a, b)\nx2 = AND(c, d)\ny = XOR(x1, c)\nz = NAND(x2, a)\n",
+        )
+        .unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 128, 3);
+        let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), RectifyConfig::dedc(2)).run();
+        assert!(!r.solutions.is_empty(), "two-error case must solve");
+        let sol = &r.solutions[0];
+        assert!(sol.corrections.len() <= 2);
+        let mut fixed = bad.clone();
+        for c in &sol.corrections {
+            c.apply(&mut fixed).unwrap();
+        }
+        let mut sim = Simulator::new();
+        let vals = sim.run_for_inputs(&fixed, bad.inputs(), &pi);
+        assert!(Response::compare(&fixed, &vals, &spec).matches());
+        assert!(r.stats.rounds >= 1 && r.stats.nodes >= 2);
+    }
+
+    #[test]
+    fn respects_node_and_round_budgets() {
+        let good = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let mut device = good.clone();
+        StuckAt::new(good.find_by_name("y").unwrap(), false)
+            .apply(&mut device)
+            .unwrap();
+        let (pi, _) = spec_and_vectors(&good, 16, 4);
+        let mut sim = Simulator::new();
+        let resp = Response::capture(&device, &sim.run_for_inputs(&device, good.inputs(), &pi));
+        let mut cfg = RectifyConfig::stuck_at_exhaustive(1);
+        cfg.max_rounds = 0;
+        let r = Rectifier::new(good, pi, resp, cfg).run();
+        assert!(r.solutions.is_empty());
+        assert!(r.stats.truncated || r.stats.rounds == 0);
+    }
+
+    #[test]
+    fn dead_when_model_cannot_explain() {
+        // Device behaviour needs 2 faults but only 1 correction allowed:
+        // no solution, engine terminates cleanly.
+        let good = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(c, d)\n",
+        )
+        .unwrap();
+        let mut device = good.clone();
+        StuckAt::new(good.find_by_name("y").unwrap(), true)
+            .apply(&mut device)
+            .unwrap();
+        StuckAt::new(good.find_by_name("z").unwrap(), false)
+            .apply(&mut device)
+            .unwrap();
+        // Exhaustive input space: y and z cones are disjoint, so no single
+        // stuck-at explains both.
+        let mut pi = PackedMatrix::new(4, 16);
+        for v in 0..16 {
+            for i in 0..4 {
+                pi.set(i, v, v >> i & 1 == 1);
+            }
+        }
+        let mut sim = Simulator::new();
+        let resp = Response::capture(&device, &sim.run_for_inputs(&device, good.inputs(), &pi));
+        let r = Rectifier::new(good, pi, resp, RectifyConfig::stuck_at_exhaustive(1)).run();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn dfs_and_bfs_traversals_also_solve() {
+        let good = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n",
+        )
+        .unwrap();
+        let bad = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n",
+        )
+        .unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 64, 9);
+        for traversal in [Traversal::Rounds, Traversal::Dfs, Traversal::Bfs] {
+            let mut cfg = RectifyConfig::dedc(1);
+            cfg.traversal = traversal;
+            let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), cfg).run();
+            assert!(!r.solutions.is_empty(), "{traversal:?} must solve");
+            let mut fixed = bad.clone();
+            for c in &r.solutions[0].corrections {
+                c.apply(&mut fixed).unwrap();
+            }
+            let mut sim = Simulator::new();
+            let vals = sim.run_for_inputs(&fixed, bad.inputs(), &pi);
+            assert!(Response::compare(&fixed, &vals, &spec).matches());
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let good = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let bad = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)\n").unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 64, 6);
+        let r = Rectifier::new(bad, pi, spec, RectifyConfig::dedc(1)).run();
+        assert!(!r.solutions.is_empty());
+        assert!(r.stats.corrections_screened > 0);
+        assert!(r.stats.corrections_qualified > 0);
+        assert!(r.stats.rounds >= 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Decision-tree node types for the round-based traversal of §3.3
+//! (Fig. 2): every node holds its ranked correction candidates; each
+//! *round* applies the next-best candidate of every node present at the
+//! start of the round, so the tree grows in both depth and breadth and at
+//! most doubles per round.
+
+use incdx_fault::Correction;
+
+/// A correction candidate that survived screening, with its scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedCorrection {
+    /// The screened correction.
+    pub correction: Correction,
+    /// The ranking value `(1 − V_ratio)·h3 + V_ratio·h1` of §3.3.
+    pub rank: f64,
+    /// Fraction of failing vectors this correction fixes (its `h1`).
+    pub h1_score: f64,
+    /// Fraction of `V_err` bit-list entries it complements (heuristic 2).
+    pub h2_fraction: f64,
+    /// Fraction of previously-correct vectors it keeps correct (its `h3`).
+    pub h3_score: f64,
+}
+
+/// One node of the decision tree.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    /// The corrections applied on the path from the root.
+    pub corrections: Vec<Correction>,
+    /// Screened candidates, best rank first.
+    pub candidates: Vec<RankedCorrection>,
+    /// Index of the next candidate to expand.
+    pub next: usize,
+}
+
+impl Node {
+    /// Is there anything left to expand?
+    pub fn open(&self) -> bool {
+        self.next < self.candidates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_fault::CorrectionAction;
+    use incdx_netlist::GateId;
+
+    #[test]
+    fn node_open_tracks_cursor() {
+        let c = Correction::new(GateId(0), CorrectionAction::SetConst(true));
+        let rc = RankedCorrection {
+            correction: c,
+            rank: 1.0,
+            h1_score: 1.0,
+            h2_fraction: 1.0,
+            h3_score: 1.0,
+        };
+        let mut n = Node {
+            corrections: vec![],
+            candidates: vec![rc],
+            next: 0,
+        };
+        assert!(n.open());
+        n.next = 1;
+        assert!(!n.open());
+    }
+}

@@ -1,0 +1,143 @@
+//! Candidate source signals for wire corrections.
+//!
+//! The correction space for missing/wrong-wire errors is quadratic in
+//! circuit size if every signal is a candidate source. Like practical DEDC
+//! tools, we bound it to *structural neighbours* (fanins of fanins,
+//! siblings through common readers) plus a deterministic level-matched
+//! sample — the signals real wiring errors overwhelmingly involve. The
+//! bound is explicit and the caller can observe truncation (no silent
+//! caps: see [`WireSources::truncated`]).
+
+use incdx_netlist::{DenseBitSet, GateId, GateKind, Netlist};
+
+/// Result of [`wire_sources`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireSources {
+    /// The candidate source lines, deduplicated, cycle-safe
+    /// (never inside `line`'s fanout cone), capped at the requested limit.
+    pub sources: Vec<GateId>,
+    /// How many eligible candidates the cap dropped (0 = the list is
+    /// exhaustive for the neighbourhood policy).
+    pub truncated: usize,
+}
+
+/// Collects up to `limit` candidate wire sources for corrections at
+/// `line`: grandparent signals (fanins of fanins), sibling signals (other
+/// fanins of `line`'s readers), and a deterministic sweep of lines within
+/// two levels of `line`'s own level. The target's fanout cone and the
+/// target itself are excluded (combinational-cycle guard); constants and
+/// DFFs are excluded as sources.
+pub fn wire_sources(netlist: &Netlist, line: GateId, limit: usize) -> WireSources {
+    let cone = netlist.fanout_cone(line);
+    let mut seen = DenseBitSet::new(netlist.len());
+    let mut ordered: Vec<GateId> = Vec::new();
+    let mut eligible_beyond = 0usize;
+    let push = |id: GateId, ordered: &mut Vec<GateId>, seen: &mut DenseBitSet| {
+        let bad_kind = matches!(
+            netlist.gate(id).kind(),
+            GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+        );
+        if id == line || cone.contains(id.index()) || bad_kind {
+            return;
+        }
+        if seen.insert(id.index()) {
+            ordered.push(id);
+        }
+    };
+    // Grandparents: fanins of fanins (and the fanins themselves are
+    // already connected, so corrections skip them where relevant — they
+    // are still useful for AddInput of a duplicate path and are included).
+    for &f in netlist.gate(line).fanins() {
+        push(f, &mut ordered, &mut seen);
+        for &ff in netlist.gate(f).fanins() {
+            push(ff, &mut ordered, &mut seen);
+        }
+    }
+    // Siblings: other fanins of the gates reading `line`.
+    for &reader in netlist.fanouts(line) {
+        for &sib in netlist.gate(reader).fanins() {
+            push(sib, &mut ordered, &mut seen);
+        }
+    }
+    // Level-matched sweep: deterministic stride over lines within ±2
+    // levels.
+    let lvl = netlist.level(line) as i64;
+    let mut leveled: Vec<GateId> = netlist
+        .ids()
+        .filter(|&id| (netlist.level(id) as i64 - lvl).abs() <= 2)
+        .collect();
+    // Stride so the sample spreads across the circuit instead of
+    // clustering at low ids.
+    let stride = (leveled.len() / limit.max(1)).max(1);
+    leveled = leveled.into_iter().step_by(stride).collect();
+    for id in leveled {
+        if ordered.len() >= limit.saturating_mul(2) {
+            // Collect a little beyond the cap so truncation is measurable,
+            // then stop scanning.
+            eligible_beyond += 1;
+            continue;
+        }
+        push(id, &mut ordered, &mut seen);
+    }
+    let truncated = ordered.len().saturating_sub(limit) + eligible_beyond;
+    ordered.truncate(limit);
+    WireSources {
+        sources: ordered,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_gen::generate;
+
+    #[test]
+    fn sources_exclude_self_and_fanout_cone() {
+        let n = generate("c880a").unwrap();
+        for line in n.ids().step_by(37) {
+            let ws = wire_sources(&n, line, 12);
+            let cone = n.fanout_cone(line);
+            assert!(ws.sources.len() <= 12);
+            for &s in &ws.sources {
+                assert_ne!(s, line);
+                assert!(!cone.contains(s.index()), "{s} is in the cone of {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn sources_are_deduplicated() {
+        let n = generate("c432a").unwrap();
+        for line in n.ids().step_by(11) {
+            let ws = wire_sources(&n, line, 16);
+            let mut v = ws.sources.clone();
+            v.sort();
+            v.dedup();
+            assert_eq!(v.len(), ws.sources.len());
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported_not_silent() {
+        let n = generate("c6288a").unwrap();
+        // A mid-circuit line in a big multiplier has far more than 4
+        // neighbours at its level.
+        let line = GateId::from_index(n.len() / 2);
+        let small = wire_sources(&n, line, 4);
+        assert_eq!(small.sources.len(), 4);
+        assert!(small.truncated > 0, "cap must be visible");
+        let large = wire_sources(&n, line, 4000);
+        assert!(large.sources.len() > small.sources.len());
+    }
+
+    #[test]
+    fn includes_structural_neighbours_first() {
+        let n = generate("c17").unwrap();
+        let g16 = n.find_by_name("16").unwrap();
+        let ws = wire_sources(&n, g16, 8);
+        // 16 = NAND(2, 11): its fanins are natural candidates.
+        let two = n.find_by_name("2").unwrap();
+        assert!(ws.sources.contains(&two));
+    }
+}

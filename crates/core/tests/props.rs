@@ -1,0 +1,191 @@
+//! Property tests of the engine's screening primitives and small
+//! end-to-end invariants on random circuits.
+
+use incdx_core::{
+    correction_output_row, default_ladder, path_trace_counts, Rectifier, RectifyConfig,
+};
+use incdx_fault::{enumerate_corrections, CorrectionModel, StuckAt};
+use incdx_gen::{random_dag, RandomDagConfig};
+use incdx_netlist::{GateId, Netlist};
+use incdx_sim::{PackedMatrix, Response, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dag(seed: u64) -> Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs: 6,
+            gates: 40,
+            outputs: 4,
+            max_fanin: 3,
+            xor_fraction: 0.1,
+            window: 16,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The local heuristic-2 evaluator agrees with apply-and-resimulate
+    /// for every enumerable correction on random circuits.
+    #[test]
+    fn screening_evaluator_matches_full_resimulation(seed in 0u64..200, pick in 0usize..1000) {
+        let n = dag(seed);
+        let line = GateId::from_index(pick % n.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(n.inputs().len(), 96, &mut rng);
+        let mut sim = Simulator::new();
+        let vals = sim.run(&n, &pi);
+        let sources: Vec<GateId> = n.ids().step_by(7).collect();
+        for model in [CorrectionModel::StuckAt, CorrectionModel::DesignErrors] {
+            for c in enumerate_corrections(&n, line, model, &sources) {
+                let local = correction_output_row(&n, &vals, &c);
+                let mut m = n.clone();
+                let reference = match c.apply(&mut m) {
+                    Ok(()) => {
+                        let mv = sim.run_for_inputs(&m, n.inputs(), &pi);
+                        let mut bits = mv.to_bits(c.line().index());
+                        bits.mask_tail();
+                        Some(bits)
+                    }
+                    Err(_) => None,
+                };
+                match (&local, &reference) {
+                    (Some(l), Some(r)) => prop_assert_eq!(l, r, "{}", c),
+                    (None, None) => {}
+                    // The local evaluator may be *more* conservative than
+                    // apply (it has no cycle information for wire adds),
+                    // but never the other way around.
+                    (None, Some(_)) => {}
+                    (Some(_), None) => {
+                        // apply failed (cycle) where local evaluation
+                        // succeeded — permitted: the engine only feeds
+                        // cycle-safe sources.
+                    }
+                }
+            }
+        }
+    }
+
+    /// Path-trace marks at least one line of every *single-fault* valid
+    /// correction set — the reference [10] guarantee, checked against the
+    /// injected site.
+    #[test]
+    fn path_trace_guarantee_single_fault(seed in 0u64..200, pick in 0usize..1000, v in prop::bool::ANY) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        let vals = sim.run(&golden, &pi);
+        let resp = Response::compare(&golden, &vals, &device);
+        if resp.num_failing() == 0 {
+            return Ok(());
+        }
+        let counts = path_trace_counts(&golden, &vals, &resp, &device, 32);
+        prop_assert!(counts[line.index()] > 0, "injected site must be marked");
+        // Stronger: it is marked on EVERY traced failing vector for a
+        // single fault.
+        let traced = resp.failing_vectors().count_ones().min(32) as u32;
+        prop_assert_eq!(counts[line.index()], traced);
+    }
+
+    /// Exhaustive single-fault diagnosis returns only verified tuples and
+    /// always includes the injected fault.
+    #[test]
+    fn exhaustive_single_fault_is_sound_and_complete(seed in 0u64..60, pick in 0usize..1000, v in prop::bool::ANY) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        {
+            let vals = sim.run(&golden, &pi);
+            if Response::compare(&golden, &vals, &device).matches() {
+                return Ok(()); // fault not excited
+            }
+        }
+        let result = Rectifier::new(
+            golden.clone(),
+            pi.clone(),
+            device.clone(),
+            RectifyConfig::stuck_at_exhaustive(1),
+        )
+        .run();
+        prop_assert!(!result.solutions.is_empty());
+        let mut saw_injected = false;
+        for s in &result.solutions {
+            let tuple = s.stuck_at_tuple().expect("stuck-at mode");
+            prop_assert_eq!(tuple.len(), 1);
+            if tuple[0] == fault {
+                saw_injected = true;
+            }
+            // Soundness: the tuple explains the device.
+            let mut modeled = golden.clone();
+            tuple[0].apply(&mut modeled).expect("applies");
+            let vals = sim.run_for_inputs(&modeled, golden.inputs(), &pi);
+            prop_assert!(Response::compare(&modeled, &vals, &device).matches());
+        }
+        prop_assert!(saw_injected, "completeness: injected fault among answers");
+    }
+
+    /// The parameter ladder's monotonicity means any candidate admitted at
+    /// level i is admitted at level i+1 (same node, looser screens).
+    #[test]
+    fn relaxing_the_ladder_never_shrinks_the_candidate_set(seed in 0u64..40, pick in 0usize..1000, v in prop::bool::ANY) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        {
+            let vals = sim.run(&golden, &pi);
+            if Response::compare(&golden, &vals, &device).matches() {
+                return Ok(());
+            }
+        }
+        let mut config = RectifyConfig::dedc(1);
+        config.model = CorrectionModel::StuckAt;
+        config.max_candidates_per_node = usize::MAX;
+        config.max_candidate_lines = usize::MAX;
+        config.theorem_floor = false;
+        let ladder = default_ladder();
+        let mut prev: Option<Vec<incdx_fault::Correction>> = None;
+        for level in &ladder {
+            let mut rect = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone());
+            let mut now: Vec<incdx_fault::Correction> = rect
+                .rank_candidates(&[], level)
+                .into_iter()
+                .map(|rc| rc.correction)
+                .collect();
+            now.sort();
+            if let Some(prev) = &prev {
+                for c in prev {
+                    prop_assert!(now.contains(c), "{c} lost when relaxing");
+                }
+            }
+            prev = Some(now);
+        }
+    }
+}

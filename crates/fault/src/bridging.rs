@@ -1,0 +1,277 @@
+//! Bridging (short) faults — the "other types of physical faults" the
+//! paper's conclusion targets: "the algorithm ... can be adapted to other
+//! faults by adopting a suitable fault model in the correction stage."
+//!
+//! A two-line bridge shorts lines `a` and `b`; under the classic wired
+//! models both lines' readers observe `AND(a, b)` (wired-AND) or
+//! `OR(a, b)` (wired-OR); under the dominance models one driver wins.
+//!
+//! On the *correction* side no new machinery is needed: a wired bridge is
+//! exactly two `InsertGate` corrections (one per bridged line), which the
+//! design-error engine already enumerates — see the `bridging_faults`
+//! integration test and the `bridging` experiment binary.
+
+use std::fmt;
+
+use incdx_netlist::{GateId, GateKind, Netlist, NetlistError};
+
+/// The electrical model of a two-line short.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Both readers see `AND(a, b)` (typical for CMOS pull-down fights).
+    WiredAnd,
+    /// Both readers see `OR(a, b)`.
+    WiredOr,
+    /// `a` wins: readers of `b` see `a`, readers of `a` are unaffected.
+    ADominates,
+    /// `b` wins: readers of `a` see `b`.
+    BDominates,
+}
+
+impl BridgeKind {
+    /// All four models.
+    pub const ALL: [BridgeKind; 4] = [
+        BridgeKind::WiredAnd,
+        BridgeKind::WiredOr,
+        BridgeKind::ADominates,
+        BridgeKind::BDominates,
+    ];
+}
+
+/// A bridging fault between two lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BridgingFault {
+    a: GateId,
+    b: GateId,
+    kind: BridgeKind,
+}
+
+impl BridgingFault {
+    /// A bridge of `kind` between lines `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: GateId, b: GateId, kind: BridgeKind) -> Self {
+        assert_ne!(a, b, "a bridge needs two distinct lines");
+        BridgingFault { a, b, kind }
+    }
+
+    /// The first bridged line.
+    pub fn a(&self) -> GateId {
+        self.a
+    }
+
+    /// The second bridged line.
+    pub fn b(&self) -> GateId {
+        self.b
+    }
+
+    /// The electrical model.
+    pub fn kind(&self) -> BridgeKind {
+        self.kind
+    }
+
+    /// Injects the bridge: readers (and primary-output bindings) of the
+    /// affected line(s) are rewired to the bridged function. The netlist
+    /// is modified only on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either line is unknown, or the bridge would
+    /// create a combinational cycle (one line feeds the other's cone in a
+    /// way the rewiring closes).
+    pub fn apply(&self, netlist: &mut Netlist) -> Result<(), NetlistError> {
+        if self.a.index() >= netlist.len() {
+            return Err(NetlistError::UnknownGate { gate: self.a });
+        }
+        if self.b.index() >= netlist.len() {
+            return Err(NetlistError::UnknownGate { gate: self.b });
+        }
+        // Work on a scratch copy; commit only if every rewiring succeeds.
+        let mut scratch = netlist.clone();
+        let (new_a, new_b): (Option<GateId>, Option<GateId>) = match self.kind {
+            BridgeKind::WiredAnd | BridgeKind::WiredOr => {
+                let k = if self.kind == BridgeKind::WiredAnd {
+                    GateKind::And
+                } else {
+                    GateKind::Or
+                };
+                let w = scratch.append_gate(k, vec![self.a, self.b])?;
+                (Some(w), Some(w))
+            }
+            BridgeKind::ADominates => (None, Some(self.a)),
+            BridgeKind::BDominates => (Some(self.b), None),
+        };
+        // For the wired models the appended bridge gate must keep reading
+        // the raw lines.
+        let bridge_gate = match self.kind {
+            BridgeKind::WiredAnd | BridgeKind::WiredOr => new_a,
+            _ => None,
+        };
+        for (line, replacement) in [(self.a, new_a), (self.b, new_b)] {
+            let Some(replacement) = replacement else {
+                continue;
+            };
+            let readers: Vec<GateId> = scratch
+                .fanouts(line)
+                .iter()
+                .copied()
+                .filter(|&r| Some(r) != bridge_gate)
+                .collect();
+            for reader in readers {
+                // A reader inside the other line's fanin cone closes a
+                // combinational loop; replace_gate's cycle check rejects
+                // it and the whole injection fails cleanly.
+                let kind = scratch.gate(reader).kind();
+                let fanins: Vec<GateId> = scratch
+                    .gate(reader)
+                    .fanins()
+                    .iter()
+                    .map(|&f| if f == line { replacement } else { f })
+                    .collect();
+                scratch.replace_gate(reader, kind, fanins)?;
+            }
+            // Primary outputs bound to the line observe the bridge too.
+            let outputs: Vec<GateId> = scratch
+                .outputs()
+                .iter()
+                .map(|&o| if o == line { replacement } else { o })
+                .collect();
+            scratch.set_outputs(outputs)?;
+        }
+        *netlist = scratch;
+        Ok(())
+    }
+}
+
+impl fmt::Display for BridgingFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            BridgeKind::WiredAnd => "wired-AND",
+            BridgeKind::WiredOr => "wired-OR",
+            BridgeKind::ADominates => "a-dominates",
+            BridgeKind::BDominates => "b-dominates",
+        };
+        write!(f, "{kind} bridge {}~{}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+
+    fn base() -> Netlist {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+             x1 = AND(a, b)\nx2 = OR(b, c)\ny = NOT(x1)\nz = BUF(x2)\n",
+        )
+        .unwrap()
+    }
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut vals = vec![false; n.len()];
+        for (i, &pi) in n.inputs().iter().enumerate() {
+            vals[pi.index()] = inputs[i];
+        }
+        for &id in n.topo_order() {
+            let g = n.gate(id);
+            if g.kind() == GateKind::Input {
+                continue;
+            }
+            let f: Vec<bool> = g.fanins().iter().map(|&x| vals[x.index()]).collect();
+            vals[id.index()] = g.kind().eval(&f);
+        }
+        n.outputs().iter().map(|&o| vals[o.index()]).collect()
+    }
+
+    #[test]
+    fn wired_and_bridge_semantics() {
+        let n = base();
+        let x1 = n.find_by_name("x1").unwrap();
+        let x2 = n.find_by_name("x2").unwrap();
+        let mut bridged = n.clone();
+        BridgingFault::new(x1, x2, BridgeKind::WiredAnd)
+            .apply(&mut bridged)
+            .unwrap();
+        for bits in 0..8u32 {
+            let iv: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let x1v = iv[0] && iv[1];
+            let x2v = iv[1] || iv[2];
+            let w = x1v && x2v;
+            assert_eq!(eval(&bridged, &iv), vec![!w, w], "inputs {iv:?}");
+        }
+    }
+
+    #[test]
+    fn wired_or_bridge_semantics() {
+        let n = base();
+        let x1 = n.find_by_name("x1").unwrap();
+        let x2 = n.find_by_name("x2").unwrap();
+        let mut bridged = n.clone();
+        BridgingFault::new(x1, x2, BridgeKind::WiredOr)
+            .apply(&mut bridged)
+            .unwrap();
+        for bits in 0..8u32 {
+            let iv: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let x1v = iv[0] && iv[1];
+            let x2v = iv[1] || iv[2];
+            let w = x1v || x2v;
+            assert_eq!(eval(&bridged, &iv), vec![!w, w], "inputs {iv:?}");
+        }
+    }
+
+    #[test]
+    fn dominance_bridges() {
+        let n = base();
+        let x1 = n.find_by_name("x1").unwrap();
+        let x2 = n.find_by_name("x2").unwrap();
+        let mut a_dom = n.clone();
+        BridgingFault::new(x1, x2, BridgeKind::ADominates)
+            .apply(&mut a_dom)
+            .unwrap();
+        let mut b_dom = n.clone();
+        BridgingFault::new(x1, x2, BridgeKind::BDominates)
+            .apply(&mut b_dom)
+            .unwrap();
+        for bits in 0..8u32 {
+            let iv: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let x1v = iv[0] && iv[1];
+            let x2v = iv[1] || iv[2];
+            // a-dominates: z (reader of x2) sees x1.
+            assert_eq!(eval(&a_dom, &iv), vec![!x1v, x1v], "{iv:?}");
+            // b-dominates: y (reader of x1) sees x2.
+            assert_eq!(eval(&b_dom, &iv), vec![!x2v, x2v], "{iv:?}");
+        }
+    }
+
+    #[test]
+    fn bridge_between_dependent_lines_is_rejected_cleanly() {
+        // x1 feeds y; bridging x1 with y would make y read itself.
+        let n = base();
+        let x1 = n.find_by_name("x1").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        let mut m = n.clone();
+        let r = BridgingFault::new(x1, y, BridgeKind::WiredAnd).apply(&mut m);
+        assert!(r.is_err());
+        // Netlist unchanged on failure.
+        assert_eq!(m.len(), n.len());
+        for bits in 0..8u32 {
+            let iv: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(eval(&m, &iv), eval(&n, &iv));
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = BridgingFault::new(GateId(1), GateId(2), BridgeKind::WiredOr);
+        assert_eq!(f.to_string(), "wired-OR bridge n1~n2");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct lines")]
+    fn same_line_panics() {
+        BridgingFault::new(GateId(1), GateId(1), BridgeKind::WiredAnd);
+    }
+}

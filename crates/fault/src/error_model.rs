@@ -1,0 +1,322 @@
+//! The Abadir–Ferguson–Kirkland design error model (reference \[1\] of the
+//! paper): the ten frequently-occurring gate-level error types, here
+//! expressed as netlist corruption operators for fault injection.
+
+use std::fmt;
+
+use incdx_netlist::{GateId, GateKind, Netlist, NetlistError};
+
+/// The kind of a [`DesignError`]. The classic ten types collapse to eight
+/// operators here: the "simple"/"complex" gate variants of the original
+/// model differ only in the inserted/removed gate's fanin count, which is a
+/// parameter of ours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignErrorKind {
+    /// The gate computes the wrong function (AND↔OR, NAND↔NOR, ...).
+    GateReplacement {
+        /// The wrong kind present in the erroneous design.
+        wrong: GateKind,
+    },
+    /// An unwanted inverter sits on the gate's output (realized by
+    /// complementing the gate's function).
+    ExtraOutputInverter,
+    /// An unwanted inverter sits on one input wire.
+    ExtraInputInverter {
+        /// The affected fanin port.
+        port: usize,
+    },
+    /// One input wire the specification has is missing from the gate.
+    MissingInputWire {
+        /// The dropped fanin port (pre-corruption index).
+        port: usize,
+    },
+    /// The gate reads one input wire too many.
+    ExtraInputWire {
+        /// The spurious signal.
+        source: GateId,
+    },
+    /// One input is connected to the wrong signal.
+    WrongInputWire {
+        /// The affected fanin port.
+        port: usize,
+        /// The wrong signal present in the erroneous design.
+        source: GateId,
+    },
+    /// An unwanted gate sits between this gate and one of its fanins.
+    ExtraGate {
+        /// The affected fanin port.
+        port: usize,
+        /// The second input of the spurious gate.
+        other: GateId,
+        /// The spurious gate's kind.
+        kind: GateKind,
+    },
+    /// A whole gate of the specification is missing: the erroneous design
+    /// wires one of its fanins straight through.
+    MissingGate {
+        /// The fanin that survives as a wire.
+        port: usize,
+    },
+}
+
+impl DesignErrorKind {
+    /// Short classifier used in reports ("wrong-wire", "gate-repl", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DesignErrorKind::GateReplacement { .. } => "gate-repl",
+            DesignErrorKind::ExtraOutputInverter => "extra-inv",
+            DesignErrorKind::ExtraInputInverter { .. } => "extra-in-inv",
+            DesignErrorKind::MissingInputWire { .. } => "missing-wire",
+            DesignErrorKind::ExtraInputWire { .. } => "extra-wire",
+            DesignErrorKind::WrongInputWire { .. } => "wrong-wire",
+            DesignErrorKind::ExtraGate { .. } => "extra-gate",
+            DesignErrorKind::MissingGate { .. } => "missing-gate",
+        }
+    }
+}
+
+/// One injected design error: a corruption applied to a specific line of a
+/// correct netlist, producing the "erroneous design" the DEDC experiments
+/// rectify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignError {
+    line: GateId,
+    kind: DesignErrorKind,
+}
+
+impl DesignError {
+    /// An error of `kind` at `line`.
+    pub fn new(line: GateId, kind: DesignErrorKind) -> Self {
+        DesignError { line, kind }
+    }
+
+    /// The corrupted line (the gate the corruption rewrites).
+    pub fn line(&self) -> GateId {
+        self.line
+    }
+
+    /// The corruption kind.
+    pub fn kind(&self) -> DesignErrorKind {
+        self.kind
+    }
+
+    /// Corrupts `netlist` with this error. Existing gate ids stay stable;
+    /// inverters/extra gates are appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the corruption is structurally inapplicable at
+    /// this line (bad port, arity violation, or a combinational cycle) —
+    /// the injector treats that as "re-draw".
+    pub fn apply(&self, netlist: &mut Netlist) -> Result<(), NetlistError> {
+        let gate = netlist.gate(self.line);
+        let kind = gate.kind();
+        let fanins = gate.fanins().to_vec();
+        let bad_port = |port: usize| NetlistError::UnknownGate {
+            gate: GateId::from_index(port),
+        };
+        match self.kind {
+            DesignErrorKind::GateReplacement { wrong } => {
+                netlist.replace_gate(self.line, wrong, fanins)
+            }
+            DesignErrorKind::ExtraOutputInverter => {
+                let complement = kind.complement().ok_or(NetlistError::BadArity {
+                    gate: self.line,
+                    kind,
+                    found: fanins.len(),
+                })?;
+                netlist.replace_gate(self.line, complement, fanins)
+            }
+            DesignErrorKind::ExtraInputInverter { port } => {
+                let &src = fanins.get(port).ok_or_else(|| bad_port(port))?;
+                let inv = netlist.append_gate(GateKind::Not, vec![src])?;
+                let mut f = fanins;
+                f[port] = inv;
+                netlist.replace_gate(self.line, kind, f)
+            }
+            DesignErrorKind::MissingInputWire { port } => {
+                if port >= fanins.len() {
+                    return Err(bad_port(port));
+                }
+                let mut f = fanins;
+                f.remove(port);
+                netlist.replace_gate(self.line, kind, f)
+            }
+            DesignErrorKind::ExtraInputWire { source } => {
+                let mut f = fanins;
+                if f.contains(&source) {
+                    return Err(NetlistError::DanglingFanin {
+                        gate: self.line,
+                        fanin: source,
+                    });
+                }
+                f.push(source);
+                netlist.replace_gate(self.line, kind, f)
+            }
+            DesignErrorKind::WrongInputWire { port, source } => {
+                if port >= fanins.len() {
+                    return Err(bad_port(port));
+                }
+                let mut f = fanins;
+                if f[port] == source {
+                    return Err(NetlistError::DanglingFanin {
+                        gate: self.line,
+                        fanin: source,
+                    });
+                }
+                f[port] = source;
+                netlist.replace_gate(self.line, kind, f)
+            }
+            DesignErrorKind::ExtraGate { port, other, kind: extra_kind } => {
+                let &src = fanins.get(port).ok_or_else(|| bad_port(port))?;
+                let spurious = netlist.append_gate(extra_kind, vec![src, other])?;
+                let mut f = fanins;
+                f[port] = spurious;
+                netlist.replace_gate(self.line, kind, f)
+            }
+            DesignErrorKind::MissingGate { port } => {
+                let &src = fanins.get(port).ok_or_else(|| bad_port(port))?;
+                netlist.replace_gate(self.line, GateKind::Buf, vec![src])
+            }
+        }
+    }
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind.label(), self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+
+    fn base() -> Netlist {
+        parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gate_replacement() {
+        let mut n = base();
+        let x = n.find_by_name("x").unwrap();
+        DesignError::new(x, DesignErrorKind::GateReplacement { wrong: GateKind::Nor })
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.gate(x).kind(), GateKind::Nor);
+    }
+
+    #[test]
+    fn extra_output_inverter_complements_kind() {
+        let mut n = base();
+        let x = n.find_by_name("x").unwrap();
+        DesignError::new(x, DesignErrorKind::ExtraOutputInverter)
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.gate(x).kind(), GateKind::Nand);
+        assert_eq!(n.len(), 5); // no gate added
+    }
+
+    #[test]
+    fn extra_input_inverter_appends_not() {
+        let mut n = base();
+        let x = n.find_by_name("x").unwrap();
+        DesignError::new(x, DesignErrorKind::ExtraInputInverter { port: 1 })
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.len(), 6);
+        let inv = n.gate(x).fanins()[1];
+        assert_eq!(n.gate(inv).kind(), GateKind::Not);
+        assert_eq!(n.gate(inv).fanins()[0], n.find_by_name("b").unwrap());
+    }
+
+    #[test]
+    fn missing_input_wire_drops_port() {
+        let mut n = base();
+        let y = n.find_by_name("y").unwrap();
+        DesignError::new(y, DesignErrorKind::MissingInputWire { port: 0 })
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.gate(y).fanins(), &[n.find_by_name("c").unwrap()]);
+    }
+
+    #[test]
+    fn extra_and_wrong_input_wire() {
+        let mut n = base();
+        let x = n.find_by_name("x").unwrap();
+        let c = n.find_by_name("c").unwrap();
+        DesignError::new(x, DesignErrorKind::ExtraInputWire { source: c })
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.gate(x).fanins().len(), 3);
+
+        let mut n = base();
+        let a = n.find_by_name("a").unwrap();
+        DesignError::new(x, DesignErrorKind::WrongInputWire { port: 1, source: a })
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.gate(x).fanins(), &[a, a]);
+    }
+
+    #[test]
+    fn extra_gate_inserts_between() {
+        let mut n = base();
+        let y = n.find_by_name("y").unwrap();
+        let b = n.find_by_name("b").unwrap();
+        DesignError::new(
+            y,
+            DesignErrorKind::ExtraGate { port: 0, other: b, kind: GateKind::Nand },
+        )
+        .apply(&mut n)
+        .unwrap();
+        let spurious = n.gate(y).fanins()[0];
+        assert_eq!(n.gate(spurious).kind(), GateKind::Nand);
+        assert_eq!(n.gate(spurious).fanins()[0], n.find_by_name("x").unwrap());
+    }
+
+    #[test]
+    fn missing_gate_wires_through() {
+        let mut n = base();
+        let x = n.find_by_name("x").unwrap();
+        DesignError::new(x, DesignErrorKind::MissingGate { port: 1 })
+            .apply(&mut n)
+            .unwrap();
+        assert_eq!(n.gate(x).kind(), GateKind::Buf);
+        assert_eq!(n.gate(x).fanins(), &[n.find_by_name("b").unwrap()]);
+    }
+
+    #[test]
+    fn inapplicable_corruptions_error_cleanly() {
+        let mut n = base();
+        let x = n.find_by_name("x").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        // Bad port.
+        assert!(DesignError::new(x, DesignErrorKind::MissingInputWire { port: 9 })
+            .apply(&mut n)
+            .is_err());
+        // Cycle: wiring y into its own fanin cone's sink.
+        assert!(DesignError::new(x, DesignErrorKind::ExtraInputWire { source: y })
+            .apply(&mut n)
+            .is_err());
+        // Duplicate wire rejected.
+        let a = n.find_by_name("a").unwrap();
+        assert!(DesignError::new(x, DesignErrorKind::ExtraInputWire { source: a })
+            .apply(&mut n)
+            .is_err());
+        // Netlist unchanged by failed injections.
+        assert_eq!(n.gate(x).kind(), GateKind::And);
+        assert_eq!(n.len(), 5);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            DesignError::new(GateId(1), DesignErrorKind::ExtraOutputInverter).to_string(),
+            "extra-inv at n1"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Fault models, design-error models, injection and correction enumeration
+//! for the `incdx` workspace.
+//!
+//! The DATE 2002 paper treats two mirror problems with one engine:
+//!
+//! * **stuck-at fault diagnosis** — fault-model the *correct* netlist with
+//!   [`StuckAt`] faults until it matches the faulty device, and
+//! * **design error diagnosis and correction (DEDC)** — correct the
+//!   *erroneous* netlist (corrupted with the design error types of Abadir,
+//!   Ferguson and Kirkland, reference \[1\] of the paper) until it matches
+//!   the specification.
+//!
+//! This crate supplies both sides: the fault/error types, random
+//! multi-fault/multi-error **injection** with the Campenhout et al. error
+//! distribution (reference \[2\]), and the exhaustive per-line **correction
+//! enumeration** the engine's screening stage consumes (§3.2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use incdx_fault::StuckAt;
+//! use incdx_netlist::{parse_bench, GateId};
+//!
+//! let mut n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! let fault = StuckAt::new(n.find_by_name("y").unwrap(), false);
+//! fault.apply(&mut n)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bridging;
+mod correction;
+mod error_model;
+mod inject;
+mod stuck_at;
+
+pub use bridging::{BridgeKind, BridgingFault};
+pub use correction::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel};
+pub use error_model::{DesignError, DesignErrorKind};
+pub use inject::{
+    inject_design_errors, inject_stuck_at_faults, InjectError, Injection, InjectionConfig,
+};
+pub use stuck_at::StuckAt;

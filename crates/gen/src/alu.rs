@@ -1,0 +1,232 @@
+//! A small gate-level ALU generator — the structural analog of the ISCAS
+//! ALU-family circuits (c880, c3540, c5315).
+
+use incdx_netlist::{GateId, GateKind, Netlist, NetlistBuilder};
+
+use crate::arith::full_adder;
+
+/// The operations a generated ALU supports, selected by the opcode inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Addition with carry-in.
+    Add,
+    /// Bitwise NOT of the first operand.
+    NotA,
+    /// Pass the second operand.
+    PassB,
+}
+
+impl AluOp {
+    /// The canonical 8-op repertoire used by the default generator.
+    pub const DEFAULT_OPS: [AluOp; 6] = [
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Add,
+        AluOp::NotA,
+        AluOp::PassB,
+    ];
+
+    /// Reference semantics (bit `width` of the result is the add carry).
+    pub fn apply(self, a: u64, b: u64, cin: bool, width: usize) -> u64 {
+        let mask = if width == 64 { !0 } else { (1u64 << width) - 1 };
+        match self {
+            AluOp::And => a & b & mask,
+            AluOp::Or => (a | b) & mask,
+            AluOp::Xor => (a ^ b) & mask,
+            AluOp::Add => (a + b + cin as u64) & (mask << 1 | 1),
+            AluOp::NotA => !a & mask,
+            AluOp::PassB => b & mask,
+        }
+    }
+}
+
+/// 2-to-1 mux as gates: `sel ? hi : lo`.
+fn mux2(b: &mut NetlistBuilder, sel: GateId, hi: GateId, lo: GateId) -> GateId {
+    let ns = b.add_gate(GateKind::Not, vec![sel]);
+    let t = b.add_gate(GateKind::And, vec![sel, hi]);
+    let e = b.add_gate(GateKind::And, vec![ns, lo]);
+    b.add_gate(GateKind::Or, vec![t, e])
+}
+
+/// Generates a `width`-bit ALU over `ops` (index in the list = opcode),
+/// with inputs `a*`, `b*`, `cin`, `op0..op{k-1}` (binary opcode, LSB first)
+/// and outputs `r0..r{width-1}`, `cout`, `zero`, `flag`.
+///
+/// Opcodes beyond `ops.len()-1` select the last operation (the decoder
+/// saturates), so every input assignment is defined.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `ops` is empty.
+///
+/// # Example
+///
+/// ```
+/// use incdx_gen::{alu, AluOp};
+///
+/// let n = alu(8, &AluOp::DEFAULT_OPS);
+/// assert_eq!(n.outputs().len(), 11); // 8 result bits + cout + zero + flag
+/// ```
+pub fn alu(width: usize, ops: &[AluOp]) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    assert!(!ops.is_empty(), "ops must be non-empty");
+    let opbits = (ops.len().max(2) as f64).log2().ceil() as usize;
+    let mut b = Netlist::builder();
+    let a: Vec<GateId> = (0..width).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.add_input(format!("b{i}"))).collect();
+    let cin = b.add_input("cin");
+    let op: Vec<GateId> = (0..opbits).map(|i| b.add_input(format!("op{i}"))).collect();
+
+    // One-hot decode: sel[k] = opcode == k (saturating on the last op).
+    let mut sel = Vec::with_capacity(ops.len());
+    for k in 0..ops.len() {
+        let mut terms = Vec::with_capacity(opbits);
+        for (bit, &o) in op.iter().enumerate() {
+            if k >> bit & 1 == 1 {
+                terms.push(o);
+            } else {
+                terms.push(b.add_gate(GateKind::Not, vec![o]));
+            }
+        }
+        sel.push(b.add_gate(GateKind::And, terms));
+    }
+    // Saturate: the last selector also fires for any undecoded opcode.
+    let any_decoded = b.add_gate(GateKind::Or, sel.clone());
+    let none = b.add_gate(GateKind::Not, vec![any_decoded]);
+    let last = sel.len() - 1;
+    sel[last] = b.add_gate(GateKind::Or, vec![sel[last], none]);
+
+    // Datapaths.
+    let mut results: Vec<Vec<GateId>> = Vec::with_capacity(ops.len());
+    let mut adder_cout = None;
+    for &opk in ops {
+        let bits: Vec<GateId> = match opk {
+            AluOp::And => (0..width)
+                .map(|i| b.add_gate(GateKind::And, vec![a[i], x[i]]))
+                .collect(),
+            AluOp::Or => (0..width)
+                .map(|i| b.add_gate(GateKind::Or, vec![a[i], x[i]]))
+                .collect(),
+            AluOp::Xor => (0..width)
+                .map(|i| b.add_gate(GateKind::Xor, vec![a[i], x[i]]))
+                .collect(),
+            AluOp::Add => {
+                let mut carry = cin;
+                let mut sums = Vec::with_capacity(width);
+                for i in 0..width {
+                    let (s, c) = full_adder(&mut b, a[i], x[i], carry);
+                    sums.push(s);
+                    carry = c;
+                }
+                adder_cout = Some(carry);
+                sums
+            }
+            AluOp::NotA => (0..width)
+                .map(|i| b.add_gate(GateKind::Not, vec![a[i]]))
+                .collect(),
+            AluOp::PassB => (0..width)
+                .map(|i| b.add_gate(GateKind::Buf, vec![x[i]]))
+                .collect(),
+        };
+        results.push(bits);
+    }
+
+    // Output mux: r_i = OR over k of (sel[k] AND result[k][i]).
+    let mut outs = Vec::with_capacity(width);
+    for i in 0..width {
+        let terms: Vec<GateId> = results
+            .iter()
+            .zip(&sel)
+            .map(|(bits, &s)| b.add_gate(GateKind::And, vec![s, bits[i]]))
+            .collect();
+        outs.push(b.add_gate(GateKind::Or, terms));
+    }
+    // cout is the adder carry gated by the Add selector (0 otherwise).
+    let cout = match (adder_cout, ops.iter().position(|&o| o == AluOp::Add)) {
+        (Some(c), Some(k)) => b.add_gate(GateKind::And, vec![sel[k], c]),
+        _ => b.add_gate(GateKind::Const0, vec![]),
+    };
+    // zero flag over the result bits.
+    let zero = b.add_gate(GateKind::Nor, outs.clone());
+    for o in &outs {
+        b.add_output(*o);
+    }
+    b.add_output(cout);
+    b.add_output(zero);
+    // A muxed flag output adds realistic reconvergence between the flags.
+    let flag = mux2(&mut b, sel[0], zero, cout);
+    b.add_output(flag);
+    b.build().expect("alu structure is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_sim::{PackedMatrix, Simulator};
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut pi = PackedMatrix::new(inputs.len(), 1);
+        for (i, &v) in inputs.iter().enumerate() {
+            pi.set(i, 0, v);
+        }
+        let vals = Simulator::new().run(n, &pi);
+        n.outputs().iter().map(|o| vals.get(o.index(), 0)).collect()
+    }
+
+    fn run_alu(n: &Netlist, width: usize, a: u64, b: u64, cin: bool, opcode: usize) -> (u64, bool, bool) {
+        let opbits = n.inputs().len() - 2 * width - 1;
+        let mut iv: Vec<bool> = (0..width).map(|i| a >> i & 1 == 1).collect();
+        iv.extend((0..width).map(|i| b >> i & 1 == 1));
+        iv.push(cin);
+        iv.extend((0..opbits).map(|i| opcode >> i & 1 == 1));
+        let out = eval(n, &iv);
+        let r = out[..width]
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &bit)| acc | (bit as u64) << i);
+        (r, out[width], out[width + 1])
+    }
+
+    #[test]
+    fn alu_matches_reference_semantics() {
+        let width = 4;
+        let n = alu(width, &AluOp::DEFAULT_OPS);
+        for (k, op) in AluOp::DEFAULT_OPS.iter().enumerate() {
+            for (a, b, cin) in [(0u64, 0u64, false), (15, 15, true), (9, 6, false), (5, 12, true)] {
+                let (r, cout, zero) = run_alu(&n, width, a, b, cin, k);
+                let expect = op.apply(a, b, cin, width);
+                assert_eq!(r, expect & 0xF, "{op:?} a={a} b={b} cin={cin}");
+                if *op == AluOp::Add {
+                    assert_eq!(cout, expect >> width & 1 == 1, "{op:?} cout");
+                } else {
+                    assert!(!cout, "{op:?} cout must be 0");
+                }
+                assert_eq!(zero, r == 0, "{op:?} zero flag");
+            }
+        }
+    }
+
+    #[test]
+    fn undecoded_opcode_saturates_to_last_op() {
+        let width = 4;
+        let n = alu(width, &AluOp::DEFAULT_OPS);
+        // Opcodes 6 and 7 are undecoded with 6 ops; both select PassB.
+        for opcode in [6usize, 7] {
+            let (r, _, _) = run_alu(&n, width, 0b1010, 0b0110, false, opcode);
+            assert_eq!(r, 0b0110, "opcode {opcode}");
+        }
+    }
+
+    #[test]
+    fn alu_scales_to_c880_size() {
+        let n = alu(8, &AluOp::DEFAULT_OPS);
+        assert!(n.len() > 150, "got {}", n.len());
+    }
+}

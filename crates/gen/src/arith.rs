@@ -1,0 +1,276 @@
+//! Arithmetic building blocks: ripple-carry adders, array multipliers and
+//! magnitude comparators.
+
+use incdx_netlist::{GateId, GateKind, Netlist, NetlistBuilder};
+
+/// Builds one full adder: returns `(sum, carry_out)`.
+pub(crate) fn full_adder(
+    b: &mut NetlistBuilder,
+    a: GateId,
+    x: GateId,
+    cin: GateId,
+) -> (GateId, GateId) {
+    let axb = b.add_gate(GateKind::Xor, vec![a, x]);
+    let sum = b.add_gate(GateKind::Xor, vec![axb, cin]);
+    let t1 = b.add_gate(GateKind::And, vec![a, x]);
+    let t2 = b.add_gate(GateKind::And, vec![axb, cin]);
+    let cout = b.add_gate(GateKind::Or, vec![t1, t2]);
+    (sum, cout)
+}
+
+/// Builds one half adder: returns `(sum, carry_out)`.
+pub(crate) fn half_adder(b: &mut NetlistBuilder, a: GateId, x: GateId) -> (GateId, GateId) {
+    let sum = b.add_gate(GateKind::Xor, vec![a, x]);
+    let cout = b.add_gate(GateKind::And, vec![a, x]);
+    (sum, cout)
+}
+
+/// Generates a `width`-bit ripple-carry adder with carry-in.
+///
+/// Inputs (in order): `a0..a{w-1}`, `b0..b{w-1}`, `cin`; outputs:
+/// `s0..s{w-1}`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::ripple_adder(8);
+/// assert_eq!(n.inputs().len(), 17);
+/// assert_eq!(n.outputs().len(), 9);
+/// ```
+pub fn ripple_adder(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = Netlist::builder();
+    let a: Vec<GateId> = (0..width).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.add_input(format!("b{i}"))).collect();
+    let mut carry = b.add_input("cin");
+    for i in 0..width {
+        let (s, c) = full_adder(&mut b, a[i], x[i], carry);
+        b.add_output(s);
+        carry = c;
+    }
+    b.add_output(carry);
+    b.build().expect("adder structure is valid")
+}
+
+/// Generates a `width × width` array multiplier — the structural analog of
+/// c6288 (which is a 16×16 array multiplier).
+///
+/// Inputs: `a0..a{w-1}`, `b0..b{w-1}`; outputs: `p0..p{2w-1}`.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::array_multiplier(4);
+/// assert_eq!(n.inputs().len(), 8);
+/// assert_eq!(n.outputs().len(), 8);
+/// ```
+pub fn array_multiplier(width: usize) -> Netlist {
+    assert!(width >= 2, "width must be at least 2");
+    let mut b = Netlist::builder();
+    let a: Vec<GateId> = (0..width).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.add_input(format!("b{i}"))).collect();
+    // Partial product AND(a_i, b_j) contributes to the column of weight
+    // i + j; columns are then compressed with full/half adders, carries
+    // rippling one column up — the classic adder-array reduction of c6288.
+    let mut cols: Vec<Vec<GateId>> = vec![Vec::new(); 2 * width];
+    for i in 0..width {
+        for j in 0..width {
+            let pp = b.add_gate(GateKind::And, vec![a[i], x[j]]);
+            cols[i + j].push(pp);
+        }
+    }
+    let top = cols.len() - 1;
+    let mut outputs: Vec<GateId> = Vec::with_capacity(2 * width);
+    for k in 0..cols.len() {
+        if k == top {
+            // The top column's carry out is provably 0 (the product fits in
+            // 2w bits), so at most one of its bits is ever set and XOR is
+            // the exact sum.
+            let bits = std::mem::take(&mut cols[k]);
+            let o = match bits.len() {
+                0 => b.add_gate(GateKind::Const0, vec![]),
+                1 => bits[0],
+                _ => b.add_gate(GateKind::Xor, bits),
+            };
+            outputs.push(o);
+            continue;
+        }
+        while cols[k].len() > 1 {
+            if cols[k].len() >= 3 {
+                let c2 = cols[k].pop().expect("len >= 3");
+                let c1 = cols[k].pop().expect("len >= 2");
+                let c0 = cols[k].pop().expect("len >= 1");
+                let (s, c) = full_adder(&mut b, c0, c1, c2);
+                cols[k].push(s);
+                cols[k + 1].push(c);
+            } else {
+                let c1 = cols[k].pop().expect("len == 2");
+                let c0 = cols[k].pop().expect("len == 1");
+                let (s, c) = half_adder(&mut b, c0, c1);
+                cols[k].push(s);
+                cols[k + 1].push(c);
+            }
+        }
+        let o = match cols[k].pop() {
+            Some(bit) => bit,
+            None => b.add_gate(GateKind::Const0, vec![]),
+        };
+        outputs.push(o);
+    }
+    for o in outputs {
+        let out = b.add_gate(GateKind::Buf, vec![o]);
+        b.add_output(out);
+    }
+    b.build().expect("multiplier structure is valid")
+}
+
+/// Generates a `width`-bit magnitude comparator with outputs
+/// `lt`, `eq`, `gt` for unsigned operands.
+///
+/// Inputs: `a0..a{w-1}`, `b0..b{w-1}` (bit 0 = LSB).
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::comparator(4);
+/// assert_eq!(n.outputs().len(), 3);
+/// ```
+pub fn comparator(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = Netlist::builder();
+    let a: Vec<GateId> = (0..width).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<GateId> = (0..width).map(|i| b.add_input(format!("b{i}"))).collect();
+    // Per-bit equality.
+    let eqs: Vec<GateId> = (0..width)
+        .map(|i| b.add_gate(GateKind::Xnor, vec![a[i], x[i]]))
+        .collect();
+    // gt = OR over i of (a_i AND !b_i AND all higher bits equal).
+    let mut gt_terms = Vec::new();
+    let mut lt_terms = Vec::new();
+    for i in (0..width).rev() {
+        let nb = b.add_gate(GateKind::Not, vec![x[i]]);
+        let na = b.add_gate(GateKind::Not, vec![a[i]]);
+        let mut gt_f = vec![a[i], nb];
+        let mut lt_f = vec![na, x[i]];
+        for &e in &eqs[i + 1..] {
+            gt_f.push(e);
+            lt_f.push(e);
+        }
+        gt_terms.push(b.add_gate(GateKind::And, gt_f));
+        lt_terms.push(b.add_gate(GateKind::And, lt_f));
+    }
+    let gt = b.add_gate(GateKind::Or, gt_terms);
+    let lt = b.add_gate(GateKind::Or, lt_terms);
+    let eq = b.add_gate(GateKind::And, eqs);
+    b.add_output(lt);
+    b.add_output(eq);
+    b.add_output(gt);
+    b.build().expect("comparator structure is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_sim::{PackedMatrix, Simulator};
+
+    /// Applies scalar inputs (one vector) and reads scalar outputs.
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        assert_eq!(inputs.len(), n.inputs().len());
+        let mut pi = PackedMatrix::new(inputs.len(), 1);
+        for (i, &v) in inputs.iter().enumerate() {
+            pi.set(i, 0, v);
+        }
+        let vals = Simulator::new().run(n, &pi);
+        n.outputs().iter().map(|o| vals.get(o.index(), 0)).collect()
+    }
+
+    fn to_bits(x: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| x >> i & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (b as u64) << i)
+    }
+
+    #[test]
+    fn adder_adds_exhaustively_4bit() {
+        let n = ripple_adder(4);
+        for a in 0..16u64 {
+            for x in 0..16u64 {
+                for cin in 0..2u64 {
+                    let mut iv = to_bits(a, 4);
+                    iv.extend(to_bits(x, 4));
+                    iv.push(cin == 1);
+                    let out = eval(&n, &iv);
+                    assert_eq!(from_bits(&out), a + x + cin, "{a}+{x}+{cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies_exhaustively_4bit() {
+        let n = array_multiplier(4);
+        for a in 0..16u64 {
+            for x in 0..16u64 {
+                let mut iv = to_bits(a, 4);
+                iv.extend(to_bits(x, 4));
+                let out = eval(&n, &iv);
+                assert_eq!(from_bits(&out), a * x, "{a}*{x}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies_sampled_8bit() {
+        let n = array_multiplier(8);
+        for (a, x) in [(0u64, 0u64), (255, 255), (170, 85), (1, 255), (200, 3), (13, 17)] {
+            let mut iv = to_bits(a, 8);
+            iv.extend(to_bits(x, 8));
+            let out = eval(&n, &iv);
+            assert_eq!(from_bits(&out), a * x, "{a}*{x}");
+        }
+    }
+
+    #[test]
+    fn multiplier_16bit_has_c6288_scale() {
+        let n = array_multiplier(16);
+        assert!(n.len() > 1400, "got {} gates", n.len());
+        assert_eq!(n.outputs().len(), 32);
+        // Spot-check a product.
+        let (a, x) = (54321u64, 12345u64);
+        let mut iv = to_bits(a, 16);
+        iv.extend(to_bits(x, 16));
+        let out = eval(&n, &iv);
+        assert_eq!(from_bits(&out), a * x);
+    }
+
+    #[test]
+    fn comparator_is_correct_exhaustively_3bit() {
+        let n = comparator(3);
+        for a in 0..8u64 {
+            for x in 0..8u64 {
+                let mut iv = to_bits(a, 3);
+                iv.extend(to_bits(x, 3));
+                let out = eval(&n, &iv);
+                assert_eq!(out[0], a < x, "lt {a} {x}");
+                assert_eq!(out[1], a == x, "eq {a} {x}");
+                assert_eq!(out[2], a > x, "gt {a} {x}");
+            }
+        }
+    }
+}

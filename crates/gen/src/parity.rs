@@ -1,0 +1,247 @@
+//! Parity trees and single-error-correcting (SEC) circuits — the
+//! structural analogs of c499/c1355 (32-bit SEC) and c1908 (16-bit SEC/DED).
+
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+/// Generates a balanced XOR parity tree over `width` inputs with a single
+/// output `p`.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::parity_tree(9);
+/// assert_eq!(n.inputs().len(), 9);
+/// assert_eq!(n.outputs().len(), 1);
+/// ```
+pub fn parity_tree(width: usize) -> Netlist {
+    assert!(width >= 2, "width must be at least 2");
+    let mut b = Netlist::builder();
+    let mut layer: Vec<GateId> = (0..width).map(|i| b.add_input(format!("d{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.add_gate(GateKind::Xor, vec![pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    b.add_output(layer[0]);
+    b.build().expect("parity structure is valid")
+}
+
+/// Generates a Hamming-style single-error-correcting circuit over
+/// `data_bits` data inputs: syndrome computation (XOR trees over the
+/// received data and check bits) followed by a decode-and-correct stage
+/// (AND decode, XOR correct) — the structure of c499/c1908.
+///
+/// Inputs: `d0..d{n-1}` (received data), `c0..c{r-1}` (received check
+/// bits, where `r` is the number of Hamming positions needed). Outputs:
+/// the corrected data word `o0..o{n-1}`.
+///
+/// The circuit corrects any single flipped *data* bit: if exactly one data
+/// bit of a valid codeword is inverted, the output equals the original
+/// word (see the tests).
+///
+/// # Panics
+///
+/// Panics if `data_bits < 2`.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::sec_circuit(32);
+/// assert_eq!(n.outputs().len(), 32);
+/// assert!(n.inputs().len() > 32); // data + check bits
+/// ```
+pub fn sec_circuit(data_bits: usize) -> Netlist {
+    assert!(data_bits >= 2, "data_bits must be at least 2");
+    let r = check_bits(data_bits);
+    let mut b = Netlist::builder();
+    let d: Vec<GateId> = (0..data_bits)
+        .map(|i| b.add_input(format!("d{i}")))
+        .collect();
+    let c: Vec<GateId> = (0..r).map(|i| b.add_input(format!("c{i}"))).collect();
+    // Data bit i sits at Hamming position `position(i)`; syndrome bit j is
+    // the parity of every received bit whose position has bit j set,
+    // including check bit j itself (at position 2^j).
+    let mut syndrome = Vec::with_capacity(r);
+    for (j, &cj) in c.iter().enumerate() {
+        let mut taps = vec![cj];
+        for (i, &di) in d.iter().enumerate() {
+            if position(i) >> j & 1 == 1 {
+                taps.push(di);
+            }
+        }
+        // Balanced XOR tree (matches c499's tree shape better than a flat
+        // wide XOR).
+        syndrome.push(xor_tree(&mut b, &taps));
+    }
+    // Correct: output i = d_i XOR (syndrome == position(i)).
+    for (i, &di) in d.iter().enumerate() {
+        let pos = position(i);
+        let mut terms = Vec::with_capacity(r);
+        for (j, &s) in syndrome.iter().enumerate() {
+            if pos >> j & 1 == 1 {
+                terms.push(s);
+            } else {
+                terms.push(b.add_gate(GateKind::Not, vec![s]));
+            }
+        }
+        let hit = b.add_gate(GateKind::And, terms);
+        let o = b.add_gate(GateKind::Xor, vec![di, hit]);
+        b.add_output(o);
+    }
+    b.build().expect("sec structure is valid")
+}
+
+/// Balanced XOR tree over `taps` inside an existing builder.
+fn xor_tree(b: &mut incdx_netlist::NetlistBuilder, taps: &[GateId]) -> GateId {
+    assert!(!taps.is_empty());
+    let mut layer = taps.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.add_gate(GateKind::Xor, vec![pair[0], pair[1]]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    layer[0]
+}
+
+/// Number of Hamming check bits needed for `data_bits` data bits.
+fn check_bits(data_bits: usize) -> usize {
+    let mut r = 2;
+    while (1usize << r) < data_bits + r + 1 {
+        r += 1;
+    }
+    r
+}
+
+/// Hamming position (1-based, skipping powers of two) of data bit `i`.
+fn position(i: usize) -> usize {
+    let mut pos: usize = 1;
+    let mut seen = 0;
+    loop {
+        if !pos.is_power_of_two() {
+            if seen == i {
+                return pos;
+            }
+            seen += 1;
+        }
+        pos += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_sim::{PackedMatrix, Simulator};
+
+    fn eval(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+        let mut pi = PackedMatrix::new(inputs.len(), 1);
+        for (i, &v) in inputs.iter().enumerate() {
+            pi.set(i, 0, v);
+        }
+        let vals = Simulator::new().run(n, &pi);
+        n.outputs().iter().map(|o| vals.get(o.index(), 0)).collect()
+    }
+
+    /// Reference encoder: check bit j = parity of data bits whose Hamming
+    /// position has bit j set.
+    fn encode(data: &[bool]) -> Vec<bool> {
+        let r = check_bits(data.len());
+        (0..r)
+            .map(|j| {
+                data.iter()
+                    .enumerate()
+                    .filter(|(i, _)| position(*i) >> j & 1 == 1)
+                    .fold(false, |acc, (_, &b)| acc ^ b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parity_tree_computes_parity() {
+        for width in [2usize, 3, 5, 8, 9] {
+            let n = parity_tree(width);
+            for pattern in 0..(1u64 << width) {
+                let iv: Vec<bool> = (0..width).map(|i| pattern >> i & 1 == 1).collect();
+                let expect = iv.iter().fold(false, |a, &b| a ^ b);
+                assert_eq!(eval(&n, &iv), vec![expect], "w={width} p={pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_codeword_passes_through() {
+        let n = sec_circuit(8);
+        for pattern in [0u64, 0xFF, 0xA5, 0x3C, 0x01] {
+            let data: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+            let mut iv = data.clone();
+            iv.extend(encode(&data));
+            assert_eq!(eval(&n, &iv), data, "pattern {pattern:02x}");
+        }
+    }
+
+    #[test]
+    fn single_data_bit_error_is_corrected() {
+        let n = sec_circuit(8);
+        for pattern in [0x00u64, 0x5A, 0xFF] {
+            let data: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+            let checks = encode(&data);
+            for flip in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[flip] = !corrupted[flip];
+                let mut iv = corrupted;
+                iv.extend(checks.clone());
+                assert_eq!(eval(&n, &iv), data, "pattern {pattern:02x} flip {flip}");
+            }
+        }
+    }
+
+    #[test]
+    fn check_bit_error_does_not_corrupt_data() {
+        let n = sec_circuit(8);
+        let data: Vec<bool> = (0..8).map(|i| 0x96u64 >> i & 1 == 1).collect();
+        let checks = encode(&data);
+        for flip in 0..checks.len() {
+            let mut bad_checks = checks.clone();
+            bad_checks[flip] = !bad_checks[flip];
+            let mut iv = data.clone();
+            iv.extend(bad_checks);
+            // Syndrome points at a check position (a power of two), which
+            // is no data bit, so the data passes through unchanged.
+            assert_eq!(eval(&n, &iv), data, "flip c{flip}");
+        }
+    }
+
+    #[test]
+    fn sec32_matches_c499_scale() {
+        let n = sec_circuit(32);
+        assert_eq!(n.inputs().len(), 32 + check_bits(32));
+        assert!(n.len() > 150, "got {}", n.len());
+    }
+
+    #[test]
+    fn hamming_positions_skip_powers_of_two() {
+        assert_eq!(position(0), 3);
+        assert_eq!(position(1), 5);
+        assert_eq!(position(2), 6);
+        assert_eq!(position(3), 7);
+        assert_eq!(position(4), 9);
+        assert_eq!(check_bits(4), 3);
+        assert_eq!(check_bits(11), 4);
+        assert_eq!(check_bits(32), 6);
+    }
+}

@@ -1,0 +1,248 @@
+//! Sequential benchmark generators (counters, LFSRs, random Moore
+//! machines) — structural analogs of the full-scan ISCAS'89 workloads.
+//! The diagnosis engine consumes these through
+//! [`incdx_netlist::scan_convert`].
+
+use incdx_netlist::{GateId, GateKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates an `n`-bit synchronous binary up-counter with enable, plus a
+/// terminal-count output and per-bit decoded outputs.
+///
+/// Inputs: `en`. Outputs: `q0..q{n-1}`, `tc` (all bits set).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::counter(4);
+/// assert_eq!(n.dffs().len(), 4);
+/// ```
+pub fn counter(bits: usize) -> Netlist {
+    assert!(bits > 0, "bits must be positive");
+    let mut b = Netlist::builder();
+    let en = b.add_input("en");
+    // Declare DFFs first with placeholder fanins referencing gates built
+    // later — the builder allows forward references.
+    // Layout: en=0, q_i = 1..bits, rest after.
+    let q: Vec<GateId> = (0..bits)
+        .map(|i| b.add_named_gate(GateKind::Dff, vec![GateId(0)], format!("q{i}")))
+        .collect();
+    // toggle_i = en AND q_0 AND ... AND q_{i-1}; d_i = q_i XOR toggle_i.
+    let mut carry = en;
+    let mut d = Vec::with_capacity(bits);
+    for (i, &qi) in q.iter().enumerate() {
+        let di = b.add_gate(GateKind::Xor, vec![qi, carry]);
+        d.push(di);
+        if i + 1 < bits {
+            carry = b.add_gate(GateKind::And, vec![carry, qi]);
+        }
+    }
+    let tc = b.add_gate(GateKind::And, q.clone());
+    for &qi in &q {
+        b.add_output(qi);
+    }
+    b.add_output(tc);
+    build_with_dff_fixup(b, &q, &d)
+}
+
+/// Generates a Fibonacci LFSR of `bits` bits with feedback `taps`
+/// (bit indices XORed into the shift-in) and a parity output over the
+/// state — a compact analog of the LFSR-ish mid-size s-circuits.
+///
+/// Inputs: `scan_in` (XORed into the feedback, making the state
+/// controllable). Outputs: `q{bits-1}` (serial out), `par` (state parity).
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or any tap index is out of range.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::lfsr(8, &[0, 3, 5]);
+/// assert_eq!(n.dffs().len(), 8);
+/// ```
+pub fn lfsr(bits: usize, taps: &[usize]) -> Netlist {
+    assert!(bits >= 2, "bits must be at least 2");
+    assert!(taps.iter().all(|&t| t < bits), "tap out of range");
+    let mut b = Netlist::builder();
+    let scan_in = b.add_input("scan_in");
+    let q: Vec<GateId> = (0..bits)
+        .map(|i| b.add_named_gate(GateKind::Dff, vec![GateId(0)], format!("q{i}")))
+        .collect();
+    // Feedback = XOR of taps and scan_in.
+    let mut fb_taps: Vec<GateId> = taps.iter().map(|&t| q[t]).collect();
+    fb_taps.push(scan_in);
+    let feedback = if fb_taps.len() == 1 {
+        b.add_gate(GateKind::Buf, vec![fb_taps[0]])
+    } else {
+        b.add_gate(GateKind::Xor, fb_taps)
+    };
+    // Shift register: d_0 = feedback, d_i = q_{i-1}.
+    let mut d = vec![feedback];
+    for i in 1..bits {
+        d.push(b.add_gate(GateKind::Buf, vec![q[i - 1]]));
+    }
+    let par = b.add_gate(GateKind::Xor, q.clone());
+    b.add_output(q[bits - 1]);
+    b.add_output(par);
+    build_with_dff_fixup(b, &q, &d)
+}
+
+/// Generates a random Moore machine with `2^state_bits` states: random
+/// next-state logic (two-level AND-OR over state and input bits) and
+/// random output logic, all derived from `seed`. This is the scalable
+/// workload standing in for the larger s-circuits (s1238, s9234, ...).
+///
+/// Inputs: `x0..x{inputs-1}`. Outputs: `z0..z{outputs-1}`.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero.
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::moore_machine(5, 4, 6, 99);
+/// assert_eq!(n.dffs().len(), 5);
+/// assert_eq!(n.outputs().len(), 6);
+/// ```
+pub fn moore_machine(state_bits: usize, inputs: usize, outputs: usize, seed: u64) -> Netlist {
+    assert!(state_bits > 0 && inputs > 0 && outputs > 0, "dimensions must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = Netlist::builder();
+    let x: Vec<GateId> = (0..inputs).map(|i| b.add_input(format!("x{i}"))).collect();
+    let q: Vec<GateId> = (0..state_bits)
+        .map(|i| b.add_named_gate(GateKind::Dff, vec![GateId(0)], format!("s{i}")))
+        .collect();
+    let mut literals: Vec<GateId> = Vec::with_capacity(2 * (inputs + state_bits));
+    for &s in x.iter().chain(&q) {
+        literals.push(s);
+        literals.push(b.add_gate(GateKind::Not, vec![s]));
+    }
+    let random_sop = |b: &mut incdx_netlist::NetlistBuilder, rng: &mut StdRng| -> GateId {
+        let num_terms = rng.random_range(2..=4);
+        let terms: Vec<GateId> = (0..num_terms)
+            .map(|_| {
+                let width = rng.random_range(2..=3.min(literals.len()));
+                let lits: Vec<GateId> = (0..width)
+                    .map(|_| literals[rng.random_range(0..literals.len())])
+                    .collect();
+                b.add_gate(GateKind::And, lits)
+            })
+            .collect();
+        b.add_gate(GateKind::Or, terms)
+    };
+    let d: Vec<GateId> = (0..state_bits).map(|_| random_sop(&mut b, &mut rng)).collect();
+    for _ in 0..outputs {
+        let z = random_sop(&mut b, &mut rng);
+        b.add_output(z);
+    }
+    build_with_dff_fixup(b, &q, &d)
+}
+
+/// Finalizes a builder whose DFFs were created with placeholder fanins,
+/// rewiring DFF `q[i]` to data input `d[i]`.
+fn build_with_dff_fixup(
+    b: incdx_netlist::NetlistBuilder,
+    q: &[GateId],
+    d: &[GateId],
+) -> Netlist {
+    let mut n = b.build().expect("sequential structure is valid");
+    for (&qi, &di) in q.iter().zip(d) {
+        n.replace_gate(qi, GateKind::Dff, vec![di])
+            .expect("dff rewiring is valid");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::scan_convert;
+    use incdx_sim::{PackedMatrix, SequentialSimulator};
+
+    #[test]
+    fn counter_counts_with_enable() {
+        let n = counter(3);
+        let mut sim = SequentialSimulator::new(&n, 1);
+        let q: Vec<usize> = (0..3)
+            .map(|i| n.find_by_name(&format!("q{i}")).unwrap().index())
+            .collect();
+        let read = |f: &PackedMatrix| -> u64 {
+            q.iter()
+                .enumerate()
+                .fold(0, |acc, (i, &qi)| acc | (f.get(qi, 0) as u64) << i)
+        };
+        let mut en = PackedMatrix::new(1, 1);
+        en.set(0, 0, true);
+        let mut states = Vec::new();
+        for _ in 0..10 {
+            let f = sim.step(&n, &en);
+            states.push(read(&f));
+        }
+        assert_eq!(states, vec![0, 1, 2, 3, 4, 5, 6, 7, 0, 1]);
+        // Disable: state holds.
+        let hold = PackedMatrix::new(1, 1);
+        let f = sim.step(&n, &hold);
+        let v = read(&f);
+        let f = sim.step(&n, &hold);
+        assert_eq!(read(&f), v);
+    }
+
+    #[test]
+    fn counter_tc_fires_at_max() {
+        let n = counter(2);
+        let mut sim = SequentialSimulator::new(&n, 1);
+        let tc_line = n.outputs()[2];
+        let mut en = PackedMatrix::new(1, 1);
+        en.set(0, 0, true);
+        let mut tcs = Vec::new();
+        for _ in 0..4 {
+            let f = sim.step(&n, &en);
+            tcs.push(f.get(tc_line.index(), 0));
+        }
+        assert_eq!(tcs, vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn lfsr_cycles_through_nonzero_states() {
+        // x^3 + x + 1 LFSR shape: taps chosen so the state evolves.
+        let n = lfsr(3, &[0, 2]);
+        let mut sim = SequentialSimulator::new(&n, 1);
+        // Seed via scan_in pulses.
+        let mut one = PackedMatrix::new(1, 1);
+        one.set(0, 0, true);
+        sim.step(&n, &one);
+        let zero = PackedMatrix::new(1, 1);
+        let q: Vec<usize> = (0..3)
+            .map(|i| n.find_by_name(&format!("q{i}")).unwrap().index())
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..7 {
+            let f = sim.step(&n, &zero);
+            let s: u64 = q
+                .iter()
+                .enumerate()
+                .fold(0, |acc, (i, &qi)| acc | (f.get(qi, 0) as u64) << i);
+            seen.insert(s);
+        }
+        assert!(seen.len() > 1, "lfsr must move through states, saw {seen:?}");
+    }
+
+    #[test]
+    fn moore_machine_is_deterministic_and_scan_convertible() {
+        let a = moore_machine(6, 5, 8, 17);
+        let b = moore_machine(6, 5, 8, 17);
+        assert_eq!(a.len(), b.len());
+        let (core, info) = scan_convert(&a).unwrap();
+        assert!(core.is_combinational());
+        assert_eq!(info.pseudo_inputs.len(), 6);
+        assert_eq!(core.outputs().len(), 8 + 6);
+    }
+}

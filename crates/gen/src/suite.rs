@@ -1,0 +1,248 @@
+//! The named benchmark suite: structural analogs of the ISCAS'85/'89
+//! circuits the paper evaluates on, plus the real c17.
+//!
+//! Analog naming: `c6288a` is *our analog of* c6288 (a 16×16 array
+//! multiplier), etc. The analogs match the family and structure of their
+//! namesakes; absolute line counts differ (documented in EXPERIMENTS.md).
+//! Real ISCAS `.bench` files can be used instead via
+//! [`incdx_netlist::parse_bench`].
+
+use std::error::Error;
+use std::fmt;
+
+use incdx_netlist::{expand_xor_to_nand, parse_bench, GateKind, Netlist};
+
+use crate::alu::{alu, AluOp};
+use crate::arith::{array_multiplier, comparator, ripple_adder};
+use crate::encoder::priority_encoder;
+use crate::parity::{parity_tree, sec_circuit};
+use crate::sequential::{counter, lfsr, moore_machine};
+
+/// The real c17 netlist (the smallest ISCAS'85 circuit, 6 NAND gates).
+const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+/// One entry of [`SUITE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitSpec {
+    /// Suite name, e.g. `"c6288a"`.
+    pub name: &'static str,
+    /// Human description of the structural family.
+    pub family: &'static str,
+    /// Does the circuit contain DFFs (an s-circuit analog)?
+    pub sequential: bool,
+}
+
+/// Every circuit [`generate`] knows, in the order the paper's tables list
+/// them (combinational c-circuits first, then full-scan s-circuits).
+pub const SUITE: &[CircuitSpec] = &[
+    CircuitSpec { name: "c17", family: "real ISCAS'85 c17", sequential: false },
+    CircuitSpec { name: "c432a", family: "27-channel interrupt controller", sequential: false },
+    CircuitSpec { name: "c499a", family: "32-bit SEC (XOR form)", sequential: false },
+    CircuitSpec { name: "c880a", family: "8-bit ALU", sequential: false },
+    CircuitSpec { name: "c1355a", family: "32-bit SEC (NAND-expanded XORs)", sequential: false },
+    CircuitSpec { name: "c1908a", family: "16-bit SEC (NAND-expanded XORs)", sequential: false },
+    CircuitSpec { name: "c2670a", family: "ALU + comparator + parity mix", sequential: false },
+    CircuitSpec { name: "c3540a", family: "16-bit ALU", sequential: false },
+    CircuitSpec { name: "c5315a", family: "dual-arm ALU", sequential: false },
+    CircuitSpec { name: "c6288a", family: "16x16 array multiplier (NAND-expanded)", sequential: false },
+    CircuitSpec { name: "c7552a", family: "adder + comparator + parity + ALU", sequential: false },
+    CircuitSpec { name: "s298a", family: "14-bit counter with decode", sequential: true },
+    CircuitSpec { name: "s344a", family: "16-bit LFSR + counter", sequential: true },
+    CircuitSpec { name: "s641a", family: "random Moore machine (19 state bits)", sequential: true },
+    CircuitSpec { name: "s1238a", family: "Moore machine + LFSR", sequential: true },
+    CircuitSpec { name: "s9234a", family: "large Moore machine + counter + LFSR", sequential: true },
+];
+
+/// Error returned by [`generate`] for unknown circuit names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerateError {
+    name: String,
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown benchmark circuit `{}` (see incdx_gen::SUITE)",
+            self.name
+        )
+    }
+}
+
+impl Error for GenerateError {}
+
+/// Generates a suite circuit by name.
+///
+/// Sequential entries (`s*a`) are returned with their DFFs in place; run
+/// them through [`incdx_netlist::scan_convert`] to obtain the full-scan
+/// combinational core the diagnosis engine expects.
+///
+/// # Errors
+///
+/// Returns [`GenerateError`] if the name is not in [`SUITE`].
+///
+/// # Example
+///
+/// ```
+/// let n = incdx_gen::generate("c880a")?;
+/// assert!(n.is_combinational());
+/// # Ok::<(), incdx_gen::GenerateError>(())
+/// ```
+pub fn generate(name: &str) -> Result<Netlist, GenerateError> {
+    let n = match name {
+        "c17" => parse_bench(C17).expect("embedded c17 is valid"),
+        "c432a" => priority_encoder(27),
+        "c499a" => sec_circuit(32),
+        "c880a" => alu(8, &AluOp::DEFAULT_OPS),
+        "c1355a" => {
+            expand_xor_to_nand(&sec_circuit(32)).expect("expansion of a valid netlist succeeds")
+        }
+        "c1908a" => {
+            expand_xor_to_nand(&sec_circuit(16)).expect("expansion of a valid netlist succeeds")
+        }
+        "c2670a" => merge(&[
+            &alu(12, &AluOp::DEFAULT_OPS),
+            &comparator(24),
+            &sec_circuit(16),
+        ]),
+        "c3540a" => alu(16, &AluOp::DEFAULT_OPS),
+        "c5315a" => merge(&[&alu(16, &AluOp::DEFAULT_OPS), &alu(9, &AluOp::DEFAULT_OPS)]),
+        "c6288a" => expand_xor_to_nand(&array_multiplier(16))
+            .expect("expansion of a valid netlist succeeds"),
+        "c7552a" => merge(&[
+            &ripple_adder(32),
+            &comparator(32),
+            &parity_tree(32),
+            &alu(8, &AluOp::DEFAULT_OPS),
+        ]),
+        "s298a" => counter(14),
+        "s344a" => merge(&[&lfsr(16, &[0, 2, 3, 5]), &counter(8)]),
+        "s641a" => moore_machine(19, 20, 20, 641),
+        "s1238a" => merge(&[&moore_machine(18, 14, 14, 1238), &lfsr(16, &[0, 1, 3, 12])]),
+        "s9234a" => merge(&[
+            &moore_machine(40, 20, 22, 9234),
+            &counter(32),
+            &lfsr(32, &[0, 1, 21, 31]),
+        ]),
+        other => {
+            return Err(GenerateError {
+                name: other.to_string(),
+            })
+        }
+    };
+    Ok(n)
+}
+
+/// Places several netlists side by side in one netlist: inputs and outputs
+/// concatenate in order; names are prefixed `u{k}_` to stay unique.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty.
+pub fn merge(parts: &[&Netlist]) -> Netlist {
+    assert!(!parts.is_empty(), "merge needs at least one part");
+    let mut b = Netlist::builder();
+    let mut all_outputs = Vec::new();
+    for (k, part) in parts.iter().enumerate() {
+        let offset = b.len();
+        for (id, gate) in part.iter() {
+            let fanins = gate
+                .fanins()
+                .iter()
+                .map(|f| incdx_netlist::GateId::from_index(f.index() + offset))
+                .collect();
+            let name = part
+                .name(id)
+                .map(|n| format!("u{k}_{n}"))
+                .unwrap_or_else(|| format!("u{k}_n{}", id.index()));
+            if gate.kind() == GateKind::Input {
+                b.add_input(name);
+            } else {
+                b.add_named_gate(gate.kind(), fanins, name);
+            }
+        }
+        for &o in part.outputs() {
+            all_outputs.push(incdx_netlist::GateId::from_index(o.index() + offset));
+        }
+    }
+    for o in all_outputs {
+        b.add_output(o);
+    }
+    b.build().expect("merging valid netlists is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_entry_generates() {
+        for spec in SUITE {
+            let n = generate(spec.name).expect(spec.name);
+            assert!(!n.is_empty(), "{} is empty", spec.name);
+            assert_eq!(
+                n.is_combinational(),
+                !spec.sequential,
+                "{} sequential flag",
+                spec.name
+            );
+            assert!(!n.outputs().is_empty(), "{} has outputs", spec.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = generate("c9999").unwrap_err();
+        assert!(err.to_string().contains("c9999"));
+    }
+
+    #[test]
+    fn c1355a_is_nand_expanded_c499a() {
+        let c499a = generate("c499a").unwrap();
+        let c1355a = generate("c1355a").unwrap();
+        assert!(c1355a.len() > c499a.len());
+        assert!(c1355a
+            .iter()
+            .all(|(_, g)| !matches!(g.kind(), GateKind::Xor | GateKind::Xnor)));
+        assert!(c499a.iter().any(|(_, g)| g.kind() == GateKind::Xor));
+    }
+
+    #[test]
+    fn c6288a_is_the_largest_combinational_entry() {
+        let sizes: Vec<(String, usize)> = SUITE
+            .iter()
+            .filter(|s| !s.sequential)
+            .map(|s| (s.name.to_string(), generate(s.name).unwrap().len()))
+            .collect();
+        let c6288 = sizes.iter().find(|(n, _)| n == "c6288a").unwrap().1;
+        assert!(c6288 > 2000);
+        for (name, size) in &sizes {
+            assert!(*size <= c6288, "{name} ({size}) bigger than c6288a");
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_io() {
+        let a = generate("c17").unwrap();
+        let m = merge(&[&a, &a]);
+        assert_eq!(m.len(), 2 * a.len());
+        assert_eq!(m.inputs().len(), 2 * a.inputs().len());
+        assert_eq!(m.outputs().len(), 2 * a.outputs().len());
+        assert_eq!(m.max_level(), a.max_level());
+    }
+
+    #[test]
+    fn merged_names_are_unique() {
+        let a = generate("c17").unwrap();
+        let m = merge(&[&a, &a]);
+        let mut names: Vec<&str> = m.ids().filter_map(|id| m.name(id)).collect();
+        let before = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, m.len());
+    }
+}

@@ -1,0 +1,243 @@
+/// A dense, fixed-capacity bit set over `usize` indices.
+///
+/// Used throughout the workspace for gate-id sets (fanout cones, path-trace
+/// marks, visited sets) where a `HashSet` would be needlessly slow.
+///
+/// # Example
+///
+/// ```
+/// use incdx_netlist::DenseBitSet;
+///
+/// let mut s = DenseBitSet::new(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseBitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl DenseBitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        DenseBitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// The capacity (exclusive upper bound on storable indices).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `index`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "bit index {index} out of range");
+        let (w, b) = (index / 64, index % 64);
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `index`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "bit index {index} out of range");
+        let (w, b) = (index / 64, index % 64);
+        let had = self.words[w] >> b & 1 == 1;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test. Out-of-range indices are simply absent.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        index < self.capacity && self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the contained indices in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &DenseBitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn intersect_with(&mut self, other: &DenseBitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+}
+
+impl FromIterator<usize> for DenseBitSet {
+    /// Collects indices into a set sized to the maximum element + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |&m| m + 1);
+        let mut s = DenseBitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for DenseBitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over the indices of a [`DenseBitSet`], produced by
+/// [`DenseBitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a DenseBitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DenseBitSet::new(130);
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_order_and_word_boundaries() {
+        let mut s = DenseBitSet::new(200);
+        for i in [199, 0, 63, 64, 65, 128] {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 128, 199]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = DenseBitSet::new(70);
+        let mut b = DenseBitSet::new(70);
+        a.extend([1, 2, 3]);
+        b.extend([3, 4, 69]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4, 69]);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: DenseBitSet = [5usize, 9].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert!(s.contains(9));
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = DenseBitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(5);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = DenseBitSet::new(8);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        DenseBitSet::new(8).insert(8);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let s = DenseBitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

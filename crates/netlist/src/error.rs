@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::{GateId, GateKind};
+
+/// Errors produced while building, mutating or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate references a fanin id that does not exist.
+    DanglingFanin {
+        /// The referencing gate.
+        gate: GateId,
+        /// The missing fanin id.
+        fanin: GateId,
+    },
+    /// A gate's fanin count violates its kind's arity.
+    BadArity {
+        /// The offending gate.
+        gate: GateId,
+        /// Its kind.
+        kind: GateKind,
+        /// The fanin count found.
+        found: usize,
+    },
+    /// The combinational part of the netlist contains a cycle through the
+    /// given gate.
+    CombinationalCycle {
+        /// A gate on the cycle.
+        gate: GateId,
+    },
+    /// An output refers to a gate id that does not exist.
+    DanglingOutput {
+        /// The missing id.
+        gate: GateId,
+    },
+    /// The netlist has no primary outputs.
+    NoOutputs,
+    /// A `.bench` file could not be parsed.
+    ParseBench {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An operation targeted a gate id outside the netlist.
+    UnknownGate {
+        /// The missing id.
+        gate: GateId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DanglingFanin { gate, fanin } => {
+                write!(f, "gate {gate} references nonexistent fanin {fanin}")
+            }
+            NetlistError::BadArity { gate, kind, found } => {
+                write!(f, "gate {gate} of kind {kind} has invalid fanin count {found}")
+            }
+            NetlistError::CombinationalCycle { gate } => {
+                write!(f, "combinational cycle through gate {gate}")
+            }
+            NetlistError::DanglingOutput { gate } => {
+                write!(f, "primary output references nonexistent gate {gate}")
+            }
+            NetlistError::NoOutputs => write!(f, "netlist has no primary outputs"),
+            NetlistError::ParseBench { line, reason } => {
+                write!(f, "bench parse error at line {line}: {reason}")
+            }
+            NetlistError::UnknownGate { gate } => {
+                write!(f, "unknown gate {gate}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = NetlistError::BadArity {
+            gate: GateId(3),
+            kind: GateKind::Not,
+            found: 2,
+        };
+        assert_eq!(e.to_string(), "gate n3 of kind NOT has invalid fanin count 2");
+        let e = NetlistError::ParseBench {
+            line: 7,
+            reason: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! Gate-level netlist kernel for the `incdx` workspace.
+//!
+//! This crate provides the circuit representation every other `incdx` crate
+//! builds on: a flat, id-indexed gate-level netlist with the gate alphabet of
+//! the DATE 2002 paper (NOT, BUFFER, AND, NAND, OR, NOR, plus XOR/XNOR,
+//! constants, and DFFs for full-scan sequential circuits), structural queries
+//! (topological order, levelization, fanin/fanout cones), an ISCAS'89
+//! `.bench` parser/writer, full-scan conversion, and the NAND-based XOR
+//! expansion used to turn c499-style circuits into c1355-style ones.
+//!
+//! # Example
+//!
+//! ```
+//! use incdx_netlist::{GateKind, Netlist};
+//!
+//! # fn main() -> Result<(), incdx_netlist::NetlistError> {
+//! let mut b = Netlist::builder();
+//! let a = b.add_input("a");
+//! let c = b.add_input("c");
+//! let g = b.add_gate(GateKind::Nand, vec![a, c]);
+//! b.add_output(g);
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.len(), 3);
+//! assert_eq!(netlist.outputs(), &[g]);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bench_format;
+mod bitset;
+mod error;
+mod gate;
+mod netlist;
+mod scan;
+mod transform;
+mod unroll;
+
+pub use bench_format::{parse_bench, write_bench};
+pub use bitset::DenseBitSet;
+pub use error::NetlistError;
+pub use gate::{Gate, GateId, GateKind};
+pub use netlist::{Netlist, NetlistBuilder, NetlistStats};
+pub use scan::{scan_convert, ScanInfo};
+pub use transform::{expand_xor_to_nand, substitute_fanin};
+pub use unroll::{unroll, UnrollInfo};

@@ -1,0 +1,751 @@
+use std::collections::HashMap;
+
+use crate::bitset::DenseBitSet;
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateId, GateKind};
+
+/// A flat, id-indexed gate-level netlist.
+///
+/// Gates are stored densely; [`GateId`] `i` names both the gate and the line
+/// it drives. Structural caches (fanouts, topological order, levels) are
+/// maintained automatically across mutations, so queries are always
+/// consistent with the current structure.
+///
+/// Construct via [`Netlist::builder`]; mutate via [`Netlist::replace_gate`]
+/// and [`Netlist::append_gate`], which preserve the ids of existing gates
+/// (the property the incremental rectification engine relies on).
+///
+/// # Example
+///
+/// ```
+/// use incdx_netlist::{GateKind, Netlist};
+///
+/// # fn main() -> Result<(), incdx_netlist::NetlistError> {
+/// let mut b = Netlist::builder();
+/// let a = b.add_input("a");
+/// let bb = b.add_input("b");
+/// let g = b.add_gate(GateKind::And, vec![a, bb]);
+/// let h = b.add_gate(GateKind::Not, vec![g]);
+/// b.add_output(h);
+/// let mut n = b.build()?;
+/// assert_eq!(n.level(h), 2);
+/// // Rewriting `g` to OR keeps every id stable.
+/// n.replace_gate(g, GateKind::Or, vec![a, bb])?;
+/// assert_eq!(n.gate(g).kind(), GateKind::Or);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    names: Vec<Option<String>>,
+    inputs: Vec<GateId>,
+    outputs: Vec<GateId>,
+    // Caches, rebuilt by `rebuild`.
+    fanouts: Vec<Vec<GateId>>,
+    topo: Vec<GateId>,
+    topo_pos: Vec<u32>,
+    levels: Vec<u32>,
+}
+
+impl Netlist {
+    /// Starts building a new netlist.
+    pub fn builder() -> NetlistBuilder {
+        NetlistBuilder::new()
+    }
+
+    /// Number of gates (primary inputs included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Is the netlist empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Iterates over `(id, gate)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId::from_index(i), g))
+    }
+
+    /// All gate ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = GateId> + use<> {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// Primary inputs, in declaration order.
+    #[inline]
+    pub fn inputs(&self) -> &[GateId] {
+        &self.inputs
+    }
+
+    /// Primary outputs, in declaration order. The same line may be listed
+    /// more than once (some benchmarks do this).
+    #[inline]
+    pub fn outputs(&self) -> &[GateId] {
+        &self.outputs
+    }
+
+    /// The gates reading line `id` directly.
+    #[inline]
+    pub fn fanouts(&self, id: GateId) -> &[GateId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// A topological order of the gates over combinational edges. DFF
+    /// outputs order like primary inputs (their fanin edge is sequential).
+    #[inline]
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// The position of `id` in [`Self::topo_order`].
+    #[inline]
+    pub fn topo_position(&self, id: GateId) -> usize {
+        self.topo_pos[id.index()] as usize
+    }
+
+    /// Combinational level of a line: 0 for PIs/constants/DFF outputs,
+    /// `1 + max(fanin levels)` otherwise.
+    #[inline]
+    pub fn level(&self, id: GateId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// The largest level in the netlist (0 for an all-input netlist).
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The declared name of a line, if any.
+    pub fn name(&self, id: GateId) -> Option<&str> {
+        self.names[id.index()].as_deref()
+    }
+
+    /// Finds a line by declared name (linear scan; intended for tests and
+    /// tools, not hot paths).
+    pub fn find_by_name(&self, name: &str) -> Option<GateId> {
+        self.names
+            .iter()
+            .position(|n| n.as_deref() == Some(name))
+            .map(GateId::from_index)
+    }
+
+    /// Ids of all DFF gates.
+    pub fn dffs(&self) -> Vec<GateId> {
+        self.iter()
+            .filter(|(_, g)| g.kind() == GateKind::Dff)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Does the netlist contain no DFFs?
+    pub fn is_combinational(&self) -> bool {
+        self.gates.iter().all(|g| g.kind() != GateKind::Dff)
+    }
+
+    /// The transitive fanout cone of `id` (including `id`), as a bit set.
+    /// The cone does not propagate through DFFs: a DFF output does not
+    /// change combinationally when its data input does.
+    pub fn fanout_cone(&self, id: GateId) -> DenseBitSet {
+        let mut cone = DenseBitSet::new(self.len());
+        let mut stack = vec![id];
+        cone.insert(id.index());
+        while let Some(g) = stack.pop() {
+            for &f in self.fanouts(g) {
+                if self.gate(f).kind() != GateKind::Dff && cone.insert(f.index()) {
+                    stack.push(f);
+                }
+            }
+        }
+        cone
+    }
+
+    /// The gates of the fanout cone of `id` (including `id`), sorted in
+    /// topological order — the order event-driven resimulation must use.
+    pub fn fanout_cone_sorted(&self, id: GateId) -> Vec<GateId> {
+        let cone = self.fanout_cone(id);
+        let mut v: Vec<GateId> = cone.iter().map(GateId::from_index).collect();
+        v.sort_by_key(|&g| self.topo_pos[g.index()]);
+        v
+    }
+
+    /// The transitive fanin cone of `id` (including `id`), not crossing DFF
+    /// boundaries.
+    pub fn fanin_cone(&self, id: GateId) -> DenseBitSet {
+        let mut cone = DenseBitSet::new(self.len());
+        let mut stack = vec![id];
+        cone.insert(id.index());
+        while let Some(g) = stack.pop() {
+            if self.gate(g).kind() == GateKind::Dff {
+                continue;
+            }
+            for &f in self.gate(g).fanins() {
+                if cone.insert(f.index()) {
+                    stack.push(f);
+                }
+            }
+        }
+        cone
+    }
+
+    /// Rewrites gate `id` in place to `(kind, fanins)`, keeping every id
+    /// stable. This is how corrections and fault models are applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error — and leaves the netlist unchanged — if a fanin id
+    /// is out of range, the arity is invalid, or a fanin lies in the fanout
+    /// cone of `id` (which would create a combinational cycle).
+    pub fn replace_gate(
+        &mut self,
+        id: GateId,
+        kind: GateKind,
+        fanins: Vec<GateId>,
+    ) -> Result<(), NetlistError> {
+        if id.index() >= self.len() {
+            return Err(NetlistError::UnknownGate { gate: id });
+        }
+        let (lo, hi) = kind.arity();
+        if fanins.len() < lo || fanins.len() > hi {
+            return Err(NetlistError::BadArity {
+                gate: id,
+                kind,
+                found: fanins.len(),
+            });
+        }
+        for &f in &fanins {
+            if f.index() >= self.len() {
+                return Err(NetlistError::DanglingFanin { gate: id, fanin: f });
+            }
+        }
+        if kind != GateKind::Dff {
+            let cone = self.fanout_cone(id);
+            for &f in &fanins {
+                if cone.contains(f.index()) {
+                    return Err(NetlistError::CombinationalCycle { gate: id });
+                }
+            }
+        }
+        let g = &mut self.gates[id.index()];
+        g.set_kind(kind);
+        *g.fanins_mut() = fanins;
+        self.rebuild();
+        Ok(())
+    }
+
+    /// Appends a new gate, returning its id. Existing ids are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a fanin is out of range or the arity is invalid.
+    pub fn append_gate(&mut self, kind: GateKind, fanins: Vec<GateId>) -> Result<GateId, NetlistError> {
+        let id = GateId::from_index(self.len());
+        let (lo, hi) = kind.arity();
+        if fanins.len() < lo || fanins.len() > hi {
+            return Err(NetlistError::BadArity {
+                gate: id,
+                kind,
+                found: fanins.len(),
+            });
+        }
+        for &f in &fanins {
+            if f.index() >= self.len() {
+                return Err(NetlistError::DanglingFanin { gate: id, fanin: f });
+            }
+        }
+        self.gates.push(Gate::new(kind, fanins));
+        self.names.push(None);
+        if kind == GateKind::Input {
+            self.inputs.push(id);
+        }
+        self.rebuild();
+        Ok(id)
+    }
+
+    /// Replaces the primary output list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the list is empty or references unknown gates.
+    pub fn set_outputs(&mut self, outputs: Vec<GateId>) -> Result<(), NetlistError> {
+        if outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        if let Some(&bad) = outputs.iter().find(|o| o.index() >= self.len()) {
+            return Err(NetlistError::DanglingOutput { gate: bad });
+        }
+        self.outputs = outputs;
+        Ok(())
+    }
+
+    /// Summary statistics (gate counts per kind, line counts, depth).
+    pub fn stats(&self) -> NetlistStats {
+        let mut by_kind = HashMap::new();
+        for g in &self.gates {
+            *by_kind.entry(g.kind()).or_insert(0usize) += 1;
+        }
+        // The classic "circuit lines" count: one line per driven stem plus
+        // one per additional fanout branch (a stem with k>1 readers has k
+        // branch lines).
+        let branch_lines: usize = self
+            .fanouts
+            .iter()
+            .map(|f| if f.len() > 1 { f.len() } else { 0 })
+            .sum();
+        NetlistStats {
+            gates: self.gates.len(),
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            dffs: by_kind.get(&GateKind::Dff).copied().unwrap_or(0),
+            lines: self.gates.len() + branch_lines,
+            depth: self.max_level(),
+            by_kind,
+        }
+    }
+
+    /// Sets or clears the declared name of a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn set_name(&mut self, id: GateId, name: Option<String>) {
+        self.names[id.index()] = name;
+    }
+
+    /// Rebuilds fanouts, topological order and levels.
+    ///
+    /// Invariant: callers have already ensured the combinational part is
+    /// acyclic (builder validation / `replace_gate` cone check), so the Kahn
+    /// pass must consume every gate.
+    fn rebuild(&mut self) {
+        let n = self.gates.len();
+        self.inputs = self
+            .gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind() == GateKind::Input)
+            .map(|(i, _)| GateId::from_index(i))
+            .collect();
+        self.fanouts = vec![Vec::new(); n];
+        for (i, g) in self.gates.iter().enumerate() {
+            for &f in g.fanins() {
+                self.fanouts[f.index()].push(GateId::from_index(i));
+            }
+        }
+        // Kahn over combinational edges: a DFF ignores its fanin edge.
+        let mut indeg: Vec<u32> = self
+            .gates
+            .iter()
+            .map(|g| {
+                if g.kind() == GateKind::Dff {
+                    0
+                } else {
+                    g.fanins().len() as u32
+                }
+            })
+            .collect();
+        let mut queue: Vec<GateId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(GateId::from_index)
+            .collect();
+        self.topo = Vec::with_capacity(n);
+        self.levels = vec![0; n];
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head];
+            head += 1;
+            self.topo.push(g);
+            for &f in &self.fanouts[g.index()] {
+                if self.gates[f.index()].kind() == GateKind::Dff {
+                    continue;
+                }
+                let lvl = self.levels[g.index()] + 1;
+                if lvl > self.levels[f.index()] {
+                    self.levels[f.index()] = lvl;
+                }
+                indeg[f.index()] -= 1;
+                if indeg[f.index()] == 0 {
+                    queue.push(f);
+                }
+            }
+        }
+        assert_eq!(
+            self.topo.len(),
+            n,
+            "combinational cycle slipped past validation"
+        );
+        self.topo_pos = vec![0; n];
+        for (pos, &g) in self.topo.iter().enumerate() {
+            self.topo_pos[g.index()] = pos as u32;
+        }
+    }
+
+    pub(crate) fn from_parts(
+        gates: Vec<Gate>,
+        names: Vec<Option<String>>,
+        outputs: Vec<GateId>,
+    ) -> Result<Self, NetlistError> {
+        let n = gates.len();
+        for (i, g) in gates.iter().enumerate() {
+            let id = GateId::from_index(i);
+            let (lo, hi) = g.kind().arity();
+            if g.fanins().len() < lo || g.fanins().len() > hi {
+                return Err(NetlistError::BadArity {
+                    gate: id,
+                    kind: g.kind(),
+                    found: g.fanins().len(),
+                });
+            }
+            for &f in g.fanins() {
+                if f.index() >= n {
+                    return Err(NetlistError::DanglingFanin { gate: id, fanin: f });
+                }
+            }
+        }
+        if outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        if let Some(&bad) = outputs.iter().find(|o| o.index() >= n) {
+            return Err(NetlistError::DanglingOutput { gate: bad });
+        }
+        let inputs = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind() == GateKind::Input)
+            .map(|(i, _)| GateId::from_index(i))
+            .collect();
+        let mut nl = Netlist {
+            gates,
+            names,
+            inputs,
+            outputs,
+            fanouts: Vec::new(),
+            topo: Vec::new(),
+            topo_pos: Vec::new(),
+            levels: Vec::new(),
+        };
+        // Cycle check before `rebuild` asserts: run Kahn manually.
+        nl.check_acyclic()?;
+        nl.rebuild();
+        Ok(nl)
+    }
+
+    fn check_acyclic(&self) -> Result<(), NetlistError> {
+        let n = self.gates.len();
+        let mut indeg: Vec<u32> = self
+            .gates
+            .iter()
+            .map(|g| {
+                if g.kind() == GateKind::Dff {
+                    0
+                } else {
+                    g.fanins().len() as u32
+                }
+            })
+            .collect();
+        let mut fanouts: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind() == GateKind::Dff {
+                continue;
+            }
+            for &f in g.fanins() {
+                fanouts[f.index()].push(i as u32);
+            }
+        }
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut seen = 0usize;
+        let mut head = 0;
+        while head < queue.len() {
+            let g = queue[head] as usize;
+            head += 1;
+            seen += 1;
+            for &f in &fanouts[g] {
+                indeg[f as usize] -= 1;
+                if indeg[f as usize] == 0 {
+                    queue.push(f);
+                }
+            }
+        }
+        if seen != n {
+            let cyclic = (0..n).find(|&i| indeg[i] > 0).unwrap_or(0);
+            return Err(NetlistError::CombinationalCycle {
+                gate: GateId::from_index(cyclic),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics of a [`Netlist`], from [`Netlist::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total gate count, primary inputs included.
+    pub gates: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// DFF count (0 for combinational circuits).
+    pub dffs: usize,
+    /// Classic "circuit lines" count: stems plus fanout branches.
+    pub lines: usize,
+    /// Maximum combinational level.
+    pub depth: u32,
+    /// Gate count per kind.
+    pub by_kind: HashMap<GateKind, usize>,
+}
+
+/// Incremental builder for [`Netlist`], created by [`Netlist::builder`].
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    gates: Vec<Gate>,
+    names: Vec<Option<String>>,
+    outputs: Vec<GateId>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named primary input, returning its line id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> GateId {
+        let id = GateId::from_index(self.gates.len());
+        self.gates.push(Gate::new(GateKind::Input, Vec::new()));
+        self.names.push(Some(name.into()));
+        id
+    }
+
+    /// Adds an anonymous gate, returning its line id.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: Vec<GateId>) -> GateId {
+        let id = GateId::from_index(self.gates.len());
+        self.gates.push(Gate::new(kind, fanins));
+        self.names.push(None);
+        id
+    }
+
+    /// Adds a named gate, returning its line id.
+    pub fn add_named_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<GateId>,
+        name: impl Into<String>,
+    ) -> GateId {
+        let id = self.add_gate(kind, fanins);
+        self.names[id.index()] = Some(name.into());
+        id
+    }
+
+    /// Declares `id` a primary output.
+    pub fn add_output(&mut self, id: GateId) -> &mut Self {
+        self.outputs.push(id);
+        self
+    }
+
+    /// Number of gates added so far.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Has nothing been added yet?
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Validates and finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dangling fanins, invalid arities, combinational
+    /// cycles, or a missing output list.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        Netlist::from_parts(self.gates, self.names, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        // c17-like: two-level NAND structure.
+        let mut b = Netlist::builder();
+        let i1 = b.add_input("i1");
+        let i2 = b.add_input("i2");
+        let i3 = b.add_input("i3");
+        let g1 = b.add_gate(GateKind::Nand, vec![i1, i2]);
+        let g2 = b.add_gate(GateKind::Nand, vec![i2, i3]);
+        let g3 = b.add_gate(GateKind::Nand, vec![g1, g2]);
+        b.add_output(g3);
+        b.build().expect("valid netlist")
+    }
+
+    #[test]
+    fn build_and_query() {
+        let n = tiny();
+        assert_eq!(n.len(), 6);
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.level(GateId(5)), 2);
+        assert_eq!(n.level(GateId(0)), 0);
+        assert_eq!(n.max_level(), 2);
+        assert!(n.is_combinational());
+        assert_eq!(n.find_by_name("i2"), Some(GateId(1)));
+        assert_eq!(n.name(GateId(3)), None);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let n = tiny();
+        let topo = n.topo_order();
+        assert_eq!(topo.len(), n.len());
+        for (id, g) in n.iter() {
+            for &f in g.fanins() {
+                assert!(
+                    n.topo_position(f) < n.topo_position(id),
+                    "fanin {f} must precede {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_are_consistent_with_fanins() {
+        let n = tiny();
+        // i2 feeds g1 (id 3) and g2 (id 4).
+        assert_eq!(n.fanouts(GateId(1)), &[GateId(3), GateId(4)]);
+        assert!(n.fanouts(GateId(5)).is_empty());
+    }
+
+    #[test]
+    fn fanout_cone_and_fanin_cone() {
+        let n = tiny();
+        let cone = n.fanout_cone(GateId(1));
+        assert_eq!(cone.iter().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
+        let sorted = n.fanout_cone_sorted(GateId(1));
+        assert_eq!(*sorted.last().unwrap(), GateId(5));
+        let fic = n.fanin_cone(GateId(3));
+        assert_eq!(fic.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn replace_gate_keeps_ids_and_rebuilds() {
+        let mut n = tiny();
+        n.replace_gate(GateId(3), GateKind::Or, vec![GateId(0), GateId(1)])
+            .unwrap();
+        assert_eq!(n.gate(GateId(3)).kind(), GateKind::Or);
+        assert_eq!(n.len(), 6);
+        // Level structure unchanged here.
+        assert_eq!(n.level(GateId(5)), 2);
+    }
+
+    #[test]
+    fn replace_gate_rejects_cycle() {
+        let mut n = tiny();
+        // Feeding g3 (the PO, in g1's fanout cone) back into g1 is a cycle.
+        let err = n
+            .replace_gate(GateId(3), GateKind::And, vec![GateId(0), GateId(5)])
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+        // Netlist is unchanged.
+        assert_eq!(n.gate(GateId(3)).kind(), GateKind::Nand);
+    }
+
+    #[test]
+    fn replace_gate_rejects_bad_arity() {
+        let mut n = tiny();
+        let err = n
+            .replace_gate(GateId(3), GateKind::Not, vec![GateId(0), GateId(1)])
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::BadArity { .. }));
+    }
+
+    #[test]
+    fn append_gate_extends_without_disturbing() {
+        let mut n = tiny();
+        let inv = n.append_gate(GateKind::Not, vec![GateId(5)]).unwrap();
+        assert_eq!(inv, GateId(6));
+        assert_eq!(n.level(inv), 3);
+        n.set_outputs(vec![inv]).unwrap();
+        assert_eq!(n.outputs(), &[inv]);
+    }
+
+    #[test]
+    fn builder_rejects_cycle() {
+        let mut b = Netlist::builder();
+        let a = b.add_input("a");
+        // Forward reference forming a 2-cycle.
+        let g1 = b.add_gate(GateKind::And, vec![a, GateId(2)]);
+        let g2 = b.add_gate(GateKind::Or, vec![g1, a]);
+        b.add_output(g2);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_dangling_fanin() {
+        let mut b = Netlist::builder();
+        let a = b.add_input("a");
+        let g = b.add_gate(GateKind::Not, vec![GateId(99)]);
+        b.add_output(g);
+        let _ = a;
+        assert!(matches!(
+            b.build().unwrap_err(),
+            NetlistError::DanglingFanin { .. }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_missing_outputs() {
+        let mut b = Netlist::builder();
+        b.add_input("a");
+        assert!(matches!(b.build().unwrap_err(), NetlistError::NoOutputs));
+    }
+
+    #[test]
+    fn dff_breaks_cycles_and_levels() {
+        // A DFF feedback loop (counter bit): valid sequential structure.
+        let mut b = Netlist::builder();
+        let q = b.add_gate(GateKind::Dff, vec![GateId(1)]);
+        let d = b.add_gate(GateKind::Not, vec![q]);
+        b.add_output(d);
+        let n = b.build().expect("dff cycle is legal");
+        assert_eq!(n.level(q), 0);
+        assert_eq!(n.level(d), 1);
+        assert!(!n.is_combinational());
+        assert_eq!(n.dffs(), vec![q]);
+        // Fanout cone stops at the DFF.
+        assert_eq!(n.fanout_cone(d).len(), 1);
+    }
+
+    #[test]
+    fn stats_count_lines_with_branches() {
+        let n = tiny();
+        let s = n.stats();
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.inputs, 3);
+        // i2 has two fanout branches; every other line is stem-only:
+        // 6 stems + 2 branches.
+        assert_eq!(s.lines, 8);
+        assert_eq!(s.by_kind[&GateKind::Nand], 3);
+        assert_eq!(s.depth, 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Full-scan conversion.
+//!
+//! The paper handles "full-scan sequential digital circuits" by treating
+//! every flip-flop output as a pseudo primary input and every flip-flop data
+//! input as a pseudo primary output — exactly what a full scan chain gives a
+//! tester. [`scan_convert`] performs that transformation, yielding the
+//! combinational core the diagnosis engine operates on.
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Bookkeeping from [`scan_convert`]: which lines of the converted
+/// combinational circuit came from flip-flops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanInfo {
+    /// Former DFF outputs, now pseudo primary inputs (id-stable).
+    pub pseudo_inputs: Vec<GateId>,
+    /// Former DFF data inputs, now pseudo primary outputs (appended to the
+    /// output list in DFF id order).
+    pub pseudo_outputs: Vec<GateId>,
+}
+
+/// Converts a sequential netlist into its full-scan combinational core.
+///
+/// Every `DFF` gate becomes an `Input` gate (same id, so downstream readers
+/// are untouched), and its former data input is appended to the primary
+/// output list. Combinational circuits pass through unchanged with empty
+/// [`ScanInfo`].
+///
+/// # Errors
+///
+/// Propagates structural errors from the underlying rewrites (none are
+/// expected for a valid input netlist).
+///
+/// # Example
+///
+/// ```
+/// use incdx_netlist::{parse_bench, scan_convert};
+///
+/// let n = parse_bench("INPUT(x)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(x, q)\n")?;
+/// let (core, info) = scan_convert(&n)?;
+/// assert!(core.is_combinational());
+/// assert_eq!(info.pseudo_inputs.len(), 1);
+/// assert_eq!(core.outputs().len(), 2); // q (now a PI fed out) + pseudo PO d
+/// # Ok::<(), incdx_netlist::NetlistError>(())
+/// ```
+pub fn scan_convert(netlist: &Netlist) -> Result<(Netlist, ScanInfo), NetlistError> {
+    let mut core = netlist.clone();
+    let dffs = core.dffs();
+    let mut info = ScanInfo {
+        pseudo_inputs: Vec::with_capacity(dffs.len()),
+        pseudo_outputs: Vec::with_capacity(dffs.len()),
+    };
+    let mut outputs = core.outputs().to_vec();
+    for &d in &dffs {
+        let data_in = core.gate(d).fanins()[0];
+        core.replace_gate(d, GateKind::Input, Vec::new())?;
+        info.pseudo_inputs.push(d);
+        info.pseudo_outputs.push(data_in);
+        outputs.push(data_in);
+    }
+    if !outputs.is_empty() {
+        core.set_outputs(outputs)?;
+    }
+    Ok((core, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+
+    #[test]
+    fn combinational_passthrough() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let (core, info) = scan_convert(&n).unwrap();
+        assert_eq!(core.len(), n.len());
+        assert!(info.pseudo_inputs.is_empty());
+        assert!(info.pseudo_outputs.is_empty());
+    }
+
+    #[test]
+    fn converts_counter_loop() {
+        // 1-bit toggle counter: q = DFF(not q).
+        let n = parse_bench("OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n").unwrap();
+        let (core, info) = scan_convert(&n).unwrap();
+        assert!(core.is_combinational());
+        assert_eq!(info.pseudo_inputs.len(), 1);
+        let q = core.find_by_name("q").unwrap();
+        let d = core.find_by_name("d").unwrap();
+        assert_eq!(core.gate(q).kind(), GateKind::Input);
+        assert_eq!(info.pseudo_outputs, vec![d]);
+        assert!(core.outputs().contains(&d));
+        // Ids stable: q keeps its id.
+        assert_eq!(q, n.find_by_name("q").unwrap());
+    }
+
+    #[test]
+    fn multiple_dffs_in_id_order() {
+        let src = "INPUT(x)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NAND(x, q1)\nd1 = NOR(q0, x)\n";
+        let n = parse_bench(src).unwrap();
+        let (core, info) = scan_convert(&n).unwrap();
+        assert!(core.is_combinational());
+        assert_eq!(info.pseudo_inputs.len(), 2);
+        assert_eq!(info.pseudo_outputs.len(), 2);
+        assert_eq!(core.inputs().len(), 3); // x + two pseudo PIs
+        assert_eq!(core.outputs().len(), 3); // q1 + two pseudo POs
+    }
+}

@@ -1,0 +1,251 @@
+//! Time-frame expansion: unrolling a sequential netlist into a
+//! combinational one spanning `k` clock cycles.
+//!
+//! The paper's conclusion names two sequential extensions: "the algorithm
+//! can be adapted to the diagnosis and correction of sequential circuits
+//! through time-frame expansion" and "experiment with partial-scan
+//! devices". [`unroll`] provides both: DFFs in `scanned` stay
+//! pseudo-PI/PO (the full-scan treatment per frame), while the remaining
+//! (unscanned) DFFs are stitched frame-to-frame, so a partial-scan device
+//! is diagnosed on the unrolled combinational model.
+
+use std::collections::HashSet;
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Bookkeeping from [`unroll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnrollInfo {
+    /// `frame_of[f][original_id] = id in the unrolled netlist` for frame
+    /// `f` (a DFF's entry is the line carrying its *output* value in that
+    /// frame).
+    pub frame_map: Vec<Vec<GateId>>,
+    /// Initial-state pseudo inputs for the unscanned DFFs of frame 0, in
+    /// DFF id order.
+    pub initial_state_inputs: Vec<GateId>,
+    /// Per frame, the scan pseudo inputs (scanned DFF outputs), in
+    /// scanned-DFF id order.
+    pub scan_inputs: Vec<Vec<GateId>>,
+    /// Final-frame next-state lines of the unscanned DFFs (appended as
+    /// primary outputs), in DFF id order.
+    pub final_state_outputs: Vec<GateId>,
+}
+
+/// Unrolls `netlist` over `frames` clock cycles.
+///
+/// Per frame every combinational gate is replicated; primary inputs and
+/// outputs are replicated per frame (inputs ordered frame-major, outputs
+/// frame-major). A DFF in `scanned` becomes a fresh pseudo-PI every frame
+/// and its data input a pseudo-PO every frame (full-scan treatment); an
+/// unscanned DFF reads its previous frame's data input — frame 0 reads a
+/// fresh "initial state" pseudo-PI.
+///
+/// # Errors
+///
+/// Returns an error if `scanned` names a non-DFF gate. A `frames` of 0 is
+/// rejected as [`NetlistError::NoOutputs`].
+///
+/// # Example
+///
+/// ```
+/// use incdx_netlist::{parse_bench, unroll};
+///
+/// // q = DFF(d), d = NOT(q): a toggle bit, no scan.
+/// let n = parse_bench("OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n")?;
+/// let (comb, info) = unroll(&n, 3, &[])?;
+/// assert!(comb.is_combinational());
+/// assert_eq!(info.initial_state_inputs.len(), 1);
+/// assert_eq!(comb.outputs().len(), 3 + 1); // q per frame + final state
+/// # Ok::<(), incdx_netlist::NetlistError>(())
+/// ```
+pub fn unroll(
+    netlist: &Netlist,
+    frames: usize,
+    scanned: &[GateId],
+) -> Result<(Netlist, UnrollInfo), NetlistError> {
+    if frames == 0 {
+        return Err(NetlistError::NoOutputs);
+    }
+    let scanned_set: HashSet<GateId> = scanned.iter().copied().collect();
+    for &s in scanned {
+        if s.index() >= netlist.len() {
+            return Err(NetlistError::UnknownGate { gate: s });
+        }
+        if netlist.gate(s).kind() != GateKind::Dff {
+            return Err(NetlistError::BadArity {
+                gate: s,
+                kind: netlist.gate(s).kind(),
+                found: netlist.gate(s).fanins().len(),
+            });
+        }
+    }
+    let dffs = netlist.dffs();
+    let unscanned: Vec<GateId> = dffs
+        .iter()
+        .copied()
+        .filter(|d| !scanned_set.contains(d))
+        .collect();
+
+    let mut b = Netlist::builder();
+    let mut info = UnrollInfo {
+        frame_map: Vec::with_capacity(frames),
+        initial_state_inputs: Vec::new(),
+        scan_inputs: Vec::with_capacity(frames),
+        final_state_outputs: Vec::new(),
+    };
+    let mut outputs: Vec<GateId> = Vec::new();
+    // Previous frame's mapping (for stitching unscanned DFFs).
+    let mut prev_map: Vec<GateId> = Vec::new();
+    for f in 0..frames {
+        let mut map = vec![GateId(u32::MAX); netlist.len()];
+        let mut scan_ins = Vec::new();
+        // Topological order guarantees fanins are mapped before readers;
+        // DFFs order like sources and are handled specially.
+        for &id in netlist.topo_order() {
+            let gate = netlist.gate(id);
+            let new_id = match gate.kind() {
+                GateKind::Input => {
+                    let name = netlist
+                        .name(id)
+                        .map(|n| format!("f{f}_{n}"))
+                        .unwrap_or_else(|| format!("f{f}_n{}", id.index()));
+                    b.add_input(name)
+                }
+                GateKind::Dff => {
+                    if scanned_set.contains(&id) {
+                        // Full-scan treatment: fresh pseudo-PI per frame.
+                        let name = netlist
+                            .name(id)
+                            .map(|n| format!("f{f}_scan_{n}"))
+                            .unwrap_or_else(|| format!("f{f}_scan_n{}", id.index()));
+                        let pi = b.add_input(name);
+                        scan_ins.push(pi);
+                        pi
+                    } else if f == 0 {
+                        let name = netlist
+                            .name(id)
+                            .map(|n| format!("init_{n}"))
+                            .unwrap_or_else(|| format!("init_n{}", id.index()));
+                        let pi = b.add_input(name);
+                        info.initial_state_inputs.push(pi);
+                        pi
+                    } else {
+                        // Previous frame's data input value.
+                        let data_in = gate.fanins()[0];
+                        let src = prev_map[data_in.index()];
+                        b.add_gate(GateKind::Buf, vec![src])
+                    }
+                }
+                kind => {
+                    let fanins = gate
+                        .fanins()
+                        .iter()
+                        .map(|x| map[x.index()])
+                        .collect::<Vec<_>>();
+                    debug_assert!(fanins.iter().all(|x| x.index() != u32::MAX as usize));
+                    b.add_gate(kind, fanins)
+                }
+            };
+            map[id.index()] = new_id;
+        }
+        for &o in netlist.outputs() {
+            outputs.push(map[o.index()]);
+        }
+        // Scanned DFF data inputs are observable every frame.
+        for &s in scanned {
+            outputs.push(map[netlist.gate(s).fanins()[0].index()]);
+        }
+        info.scan_inputs.push(scan_ins);
+        info.frame_map.push(map.clone());
+        prev_map = map;
+    }
+    // The machine's final next-state is observable (it would be scanned
+    // out or probed after the test).
+    for &d in &unscanned {
+        let data_in = netlist.gate(d).fanins()[0];
+        let line = prev_map[data_in.index()];
+        info.final_state_outputs.push(line);
+        outputs.push(line);
+    }
+    for o in outputs {
+        b.add_output(o);
+    }
+    let out = b.build()?;
+    Ok((out, info))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+
+    #[test]
+    fn unrolled_counter_matches_sequential_semantics() {
+        // 2-bit counter: q0 toggles, q1 toggles when q0 set.
+        let n = parse_bench(
+            "OUTPUT(q0)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NOT(q0)\nd1 = XOR(q1, q0)\n",
+        )
+        .unwrap();
+        let (comb, info) = unroll(&n, 4, &[]).unwrap();
+        assert!(comb.is_combinational());
+        assert_eq!(info.initial_state_inputs.len(), 2);
+        assert_eq!(comb.inputs().len(), 2); // only the initial state
+        // Frame outputs: 2 POs per frame × 4 frames + 2 final-state POs.
+        assert_eq!(comb.outputs().len(), 10);
+        // Evaluate scalar from state 00: frames show 00,01,10,11.
+        let mut vals = vec![false; comb.len()];
+        // initial state zero (inputs default false)
+        for &id in comb.topo_order() {
+            let g = comb.gate(id);
+            if g.kind() == GateKind::Input {
+                continue;
+            }
+            let f: Vec<bool> = g.fanins().iter().map(|x| vals[x.index()]).collect();
+            vals[id.index()] = g.kind().eval(&f);
+        }
+        let po: Vec<bool> = comb.outputs().iter().map(|o| vals[o.index()]).collect();
+        let states: Vec<u8> = (0..4).map(|f| (po[2 * f] as u8) | (po[2 * f + 1] as u8) << 1).collect();
+        assert_eq!(states, vec![0, 1, 2, 3]);
+        // Final next-state = 00 (wraps).
+        assert!(!po[8] && !po[9]);
+    }
+
+    #[test]
+    fn partial_scan_exposes_scanned_dff_per_frame() {
+        let n = parse_bench(
+            "INPUT(x)\nOUTPUT(z)\nq0 = DFF(d0)\nq1 = DFF(d1)\n\
+             d0 = XOR(q0, x)\nd1 = AND(q0, q1)\nz = OR(q1, x)\n",
+        )
+        .unwrap();
+        let q0 = n.find_by_name("q0").unwrap();
+        let (comb, info) = unroll(&n, 3, &[q0]).unwrap();
+        assert!(comb.is_combinational());
+        // Inputs: x per frame (3) + scanned q0 per frame (3) + init q1 (1).
+        assert_eq!(comb.inputs().len(), 7);
+        assert_eq!(info.scan_inputs.iter().map(Vec::len).sum::<usize>(), 3);
+        assert_eq!(info.initial_state_inputs.len(), 1);
+        // Outputs: z per frame (3) + scanned d0 per frame (3) + final q1
+        // next-state (1).
+        assert_eq!(comb.outputs().len(), 7);
+    }
+
+    #[test]
+    fn rejects_zero_frames_and_non_dff_scan() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(a)\n").unwrap();
+        assert!(unroll(&n, 0, &[]).is_err());
+        let a = n.find_by_name("a").unwrap();
+        assert!(unroll(&n, 2, &[a]).is_err());
+    }
+
+    #[test]
+    fn combinational_circuit_unrolls_to_replicas() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let (comb, info) = unroll(&n, 3, &[]).unwrap();
+        assert_eq!(comb.len(), 3 * n.len());
+        assert_eq!(comb.outputs().len(), 3);
+        assert!(info.initial_state_inputs.is_empty());
+        assert_eq!(comb.find_by_name("f2_a").map(|_| ()), Some(()));
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests of the netlist kernel's structural invariants, driven
+//! by a self-contained random circuit strategy.
+
+use incdx_netlist::{
+    expand_xor_to_nand, parse_bench, write_bench, DenseBitSet, GateId, GateKind, Netlist,
+};
+use proptest::prelude::*;
+
+/// Strategy: a valid random combinational netlist description
+/// (kind + fanin indices strictly below the gate's own index).
+fn arb_netlist() -> impl Strategy<Value = Netlist> {
+    (2usize..6, 5usize..60).prop_flat_map(|(inputs, gates)| {
+        let kinds = prop::sample::select(vec![
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ]);
+        let gate = (kinds, prop::collection::vec(0usize..1000, 1..4));
+        prop::collection::vec(gate, gates).prop_map(move |descs| {
+            let mut b = Netlist::builder();
+            let mut signals: Vec<GateId> = (0..inputs).map(|i| b.add_input(format!("i{i}"))).collect();
+            for (kind, picks) in descs {
+                let nf = match kind {
+                    GateKind::Not | GateKind::Buf => 1,
+                    GateKind::Xor | GateKind::Xnor => 2.max(picks.len().min(3)),
+                    _ => picks.len().clamp(1, 3),
+                };
+                let fanins: Vec<GateId> = (0..nf)
+                    .map(|k| signals[picks[k % picks.len()] % signals.len()])
+                    .collect();
+                signals.push(b.add_gate(kind, fanins));
+            }
+            let last = *signals.last().expect("at least one signal");
+            b.add_output(last);
+            // A second output midway adds realistic multi-output shape.
+            b.add_output(signals[signals.len() / 2]);
+            b.build().expect("constructed netlists are valid")
+        })
+    })
+}
+
+fn eval_scalar(n: &Netlist, inputs: &[bool]) -> Vec<bool> {
+    let mut vals = vec![false; n.len()];
+    for (i, &pi) in n.inputs().iter().enumerate() {
+        vals[pi.index()] = inputs[i];
+    }
+    for &id in n.topo_order() {
+        let g = n.gate(id);
+        if g.kind() == GateKind::Input {
+            continue;
+        }
+        let f: Vec<bool> = g.fanins().iter().map(|&x| vals[x.index()]).collect();
+        vals[id.index()] = g.kind().eval(&f);
+    }
+    n.outputs().iter().map(|&o| vals[o.index()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn topo_order_is_a_valid_schedule(n in arb_netlist()) {
+        let topo = n.topo_order();
+        prop_assert_eq!(topo.len(), n.len());
+        for (id, g) in n.iter() {
+            for &f in g.fanins() {
+                prop_assert!(n.topo_position(f) < n.topo_position(id));
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_mirror_fanins(n in arb_netlist()) {
+        for (id, g) in n.iter() {
+            for &f in g.fanins() {
+                prop_assert!(n.fanouts(f).contains(&id));
+            }
+        }
+        for id in n.ids() {
+            for &reader in n.fanouts(id) {
+                prop_assert!(n.gate(reader).fanins().contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn cones_are_reachability_closures(n in arb_netlist()) {
+        for id in n.ids().step_by(7) {
+            let cone = n.fanout_cone(id);
+            // Every member (except the stem) has a fanin inside the cone.
+            for m in cone.iter() {
+                let mid = GateId::from_index(m);
+                if mid == id {
+                    continue;
+                }
+                prop_assert!(
+                    n.gate(mid).fanins().iter().any(|f| cone.contains(f.index())),
+                    "cone member {mid} unreachable from {id}"
+                );
+            }
+            // Nothing outside the cone reads only-cone paths: spot-check
+            // closure — every fanout of a cone member is in the cone.
+            for m in cone.iter() {
+                for &r in n.fanouts(GateId::from_index(m)) {
+                    prop_assert!(cone.contains(r.index()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_bound_fanins(n in arb_netlist()) {
+        for (id, g) in n.iter() {
+            for &f in g.fanins() {
+                prop_assert!(n.level(f) < n.level(id));
+            }
+        }
+        prop_assert!(n.max_level() as usize <= n.len());
+    }
+
+    #[test]
+    fn bench_roundtrip_preserves_structure(n in arb_netlist()) {
+        let text = write_bench(&n);
+        let m = parse_bench(&text).expect("own output parses");
+        prop_assert_eq!(m.len(), n.len());
+        prop_assert_eq!(m.inputs().len(), n.inputs().len());
+        prop_assert_eq!(m.outputs().len(), n.outputs().len());
+        prop_assert_eq!(m.max_level(), n.max_level());
+        // Function preserved on a few vectors.
+        for pattern in [0u64, !0, 0xAAAA_AAAA_5555_5555] {
+            let iv: Vec<bool> = (0..n.inputs().len()).map(|i| pattern >> (i % 64) & 1 == 1).collect();
+            prop_assert_eq!(eval_scalar(&n, &iv), eval_scalar(&m, &iv));
+        }
+    }
+
+    #[test]
+    fn xor_expansion_is_functionally_equivalent(n in arb_netlist()) {
+        let m = expand_xor_to_nand(&n).expect("expansion succeeds");
+        prop_assert!(m.iter().all(|(_, g)| !matches!(g.kind(), GateKind::Xor | GateKind::Xnor)));
+        for pattern in [0u64, !0, 0x1234_5678_9ABC_DEF0, 0xF0F0_F0F0_0F0F_0F0F] {
+            let iv: Vec<bool> = (0..n.inputs().len()).map(|i| pattern >> (i % 64) & 1 == 1).collect();
+            prop_assert_eq!(eval_scalar(&n, &iv), eval_scalar(&m, &iv));
+        }
+    }
+
+    #[test]
+    fn replace_gate_never_corrupts_on_error(n in arb_netlist(), target in 0usize..60, source in 0usize..60) {
+        let mut m = n.clone();
+        let t = GateId::from_index(target % n.len());
+        let s = GateId::from_index(source % n.len());
+        let kind = m.gate(t).kind();
+        let mut fanins = m.gate(t).fanins().to_vec();
+        fanins.push(s);
+        // May succeed or fail (cycle/arity); on failure nothing changes.
+        if m.replace_gate(t, kind, fanins).is_err() {
+            prop_assert_eq!(m.len(), n.len());
+            for id in n.ids() {
+                prop_assert_eq!(m.gate(id).kind(), n.gate(id).kind());
+                prop_assert_eq!(m.gate(id).fanins(), n.gate(id).fanins());
+            }
+        } else {
+            // Success keeps the schedule valid.
+            prop_assert_eq!(m.topo_order().len(), m.len());
+        }
+    }
+
+    #[test]
+    fn dense_bitset_behaves_like_hashset(ops in prop::collection::vec((0usize..200, prop::bool::ANY), 0..100)) {
+        let mut set = DenseBitSet::new(200);
+        let mut model = std::collections::HashSet::new();
+        for (idx, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(idx), model.insert(idx));
+            } else {
+                prop_assert_eq!(set.remove(idx), model.remove(&idx));
+            }
+        }
+        prop_assert_eq!(set.len(), model.len());
+        let mut got: Vec<usize> = set.iter().collect();
+        let mut want: Vec<usize> = model.into_iter().collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

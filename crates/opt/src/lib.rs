@@ -1,0 +1,32 @@
+//! Area optimization passes — the "optimize for area" preprocessing the
+//! paper applies to the benchmark circuits before its stuck-at fault
+//! diagnosis experiments (§4.1).
+//!
+//! The pipeline is the classic lightweight stack: constant propagation,
+//! buffer/double-inverter collapsing, structural hashing (common
+//! subexpression sharing), ATPG-based redundancy removal (an untestable
+//! stuck-at-v fault means the line can be replaced by the constant `v`
+//! without changing the function), and dead-logic sweeping.
+//!
+//! Every pass is function-preserving; the test suite checks equivalence by
+//! exhaustive/randomized simulation against the original.
+//!
+//! # Example
+//!
+//! ```
+//! use incdx_gen::generate;
+//! use incdx_opt::{optimize_for_area, OptConfig};
+//!
+//! let n = generate("c432a")?;
+//! let r = optimize_for_area(&n, &OptConfig::default());
+//! assert!(r.netlist.len() <= n.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod passes;
+mod rewrite;
+
+pub use passes::{
+    collapse_chains, dedupe_structural, optimize_for_area, propagate_constants,
+    remove_redundancies, sweep_dead, OptConfig, OptimizeResult,
+};

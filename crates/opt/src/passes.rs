@@ -1,0 +1,454 @@
+//! The optimization passes. All are function-preserving over the primary
+//! inputs/outputs; `sweep_dead` is the only pass that renumbers gates.
+
+use incdx_atpg::{all_stuck_at_faults, fault_simulate, podem, PodemOutcome};
+use incdx_netlist::{DenseBitSet, GateId, GateKind, Netlist};
+use incdx_sim::PackedMatrix;
+
+use crate::rewrite::Rewrite;
+
+/// Parameters for [`optimize_for_area`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Maximum redundancy-removal rounds (0 disables the ATPG pass).
+    pub redundancy_rounds: usize,
+    /// PODEM backtrack budget per fault when proving redundancy.
+    pub backtrack_limit: usize,
+    /// Random vectors used to pre-drop detectable faults before PODEM.
+    pub prefilter_vectors: usize,
+}
+
+impl Default for OptConfig {
+    /// Four redundancy rounds, 2 000 backtracks, 512 prefilter vectors.
+    fn default() -> Self {
+        OptConfig {
+            redundancy_rounds: 4,
+            backtrack_limit: 2_000,
+            prefilter_vectors: 512,
+        }
+    }
+}
+
+/// Outcome of [`optimize_for_area`].
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// The optimized netlist (gate ids renumbered by the final sweep).
+    pub netlist: Netlist,
+    /// Gates removed relative to the input.
+    pub removed_gates: usize,
+    /// Redundant (untestable) faults eliminated by constant insertion.
+    pub redundancies_removed: usize,
+}
+
+/// Folds constants through the circuit (one topological pass reaches a
+/// fixpoint because fanins simplify before their readers).
+pub fn propagate_constants(netlist: &Netlist) -> Netlist {
+    let mut rw = Rewrite::of(netlist);
+    for &id in netlist.topo_order() {
+        let i = id.index();
+        let kind = rw.kinds[i];
+        if !kind.is_logic() {
+            continue;
+        }
+        let const_of = |rw: &Rewrite, g: GateId| -> Option<bool> {
+            match rw.kinds[g.index()] {
+                GateKind::Const0 => Some(false),
+                GateKind::Const1 => Some(true),
+                _ => None,
+            }
+        };
+        match kind {
+            GateKind::Buf | GateKind::Not => {
+                if let Some(v) = const_of(&rw, rw.fanins[i][0]) {
+                    let out = v ^ (kind == GateKind::Not);
+                    rw.kinds[i] = if out { GateKind::Const1 } else { GateKind::Const0 };
+                    rw.fanins[i].clear();
+                }
+            }
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                let controlling = kind.controlling_value().expect("and/or family");
+                let inverting = kind.is_inverting();
+                let mut hit_controlling = false;
+                let mut kept = Vec::with_capacity(rw.fanins[i].len());
+                for &f in &rw.fanins[i] {
+                    match const_of(&rw, f) {
+                        Some(v) if v == controlling => {
+                            hit_controlling = true;
+                            break;
+                        }
+                        Some(_) => {} // identity element: drop
+                        None => kept.push(f),
+                    }
+                }
+                if hit_controlling {
+                    // AND-family: controlled output is the controlling
+                    // value (0), possibly inverted; OR-family dually (1).
+                    let out = controlling ^ inverting;
+                    rw.kinds[i] = if out { GateKind::Const1 } else { GateKind::Const0 };
+                    rw.fanins[i].clear();
+                } else if kept.is_empty() {
+                    // All identity: AND() = 1, OR() = 0 (then inversion).
+                    let out = !controlling ^ inverting;
+                    rw.kinds[i] = if out { GateKind::Const1 } else { GateKind::Const0 };
+                    rw.fanins[i].clear();
+                } else if kept.len() == 1 {
+                    rw.kinds[i] = if inverting { GateKind::Not } else { GateKind::Buf };
+                    rw.fanins[i] = kept;
+                } else {
+                    rw.fanins[i] = kept;
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut invert = kind == GateKind::Xnor;
+                let mut kept = Vec::with_capacity(rw.fanins[i].len());
+                for &f in &rw.fanins[i] {
+                    match const_of(&rw, f) {
+                        Some(true) => invert = !invert,
+                        Some(false) => {}
+                        None => kept.push(f),
+                    }
+                }
+                match kept.len() {
+                    0 => {
+                        rw.kinds[i] = if invert { GateKind::Const1 } else { GateKind::Const0 };
+                        rw.fanins[i].clear();
+                    }
+                    1 => {
+                        rw.kinds[i] = if invert { GateKind::Not } else { GateKind::Buf };
+                        rw.fanins[i] = kept;
+                    }
+                    _ => {
+                        rw.kinds[i] = if invert { GateKind::Xnor } else { GateKind::Xor };
+                        rw.fanins[i] = kept;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rw.finish()
+}
+
+/// Bypasses buffers and cancels double inverters.
+pub fn collapse_chains(netlist: &Netlist) -> Netlist {
+    let mut rw = Rewrite::of(netlist);
+    let mut subst: Vec<GateId> = netlist.ids().collect();
+    for &id in netlist.topo_order() {
+        let i = id.index();
+        match rw.kinds[i] {
+            GateKind::Buf => {
+                subst[i] = subst[rw.fanins[i][0].index()];
+            }
+            GateKind::Not => {
+                let src = subst[rw.fanins[i][0].index()];
+                if rw.kinds[src.index()] == GateKind::Not {
+                    subst[i] = subst[rw.fanins[src.index()][0].index()];
+                } else {
+                    rw.fanins[i][0] = src;
+                    subst[i] = id;
+                }
+            }
+            _ => {}
+        }
+    }
+    rw.substitute(&subst);
+    rw.finish()
+}
+
+/// Structural hashing: gates computing the same symmetric function over
+/// the same (already-substituted) fanins collapse to one representative.
+pub fn dedupe_structural(netlist: &Netlist) -> Netlist {
+    use std::collections::HashMap;
+    let mut rw = Rewrite::of(netlist);
+    let mut subst: Vec<GateId> = netlist.ids().collect();
+    let mut seen: HashMap<(GateKind, Vec<GateId>), GateId> = HashMap::new();
+    for &id in netlist.topo_order() {
+        let i = id.index();
+        let kind = rw.kinds[i];
+        if !kind.is_logic() && !matches!(kind, GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        let mut key_fanins: Vec<GateId> = rw.fanins[i].iter().map(|f| subst[f.index()]).collect();
+        key_fanins.sort();
+        rw.fanins[i] = rw.fanins[i].iter().map(|f| subst[f.index()]).collect();
+        match seen.entry((kind, key_fanins)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                subst[i] = *e.get();
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+        }
+    }
+    rw.substitute(&subst);
+    rw.finish()
+}
+
+/// Removes gates unreachable from any primary output. Primary inputs are
+/// always kept (vector alignment); everything else is renumbered.
+/// Returns the swept netlist and the number of gates removed.
+pub fn sweep_dead(netlist: &Netlist) -> (Netlist, usize) {
+    let mut live = DenseBitSet::new(netlist.len());
+    let mut stack: Vec<GateId> = netlist.outputs().to_vec();
+    for &o in netlist.outputs() {
+        live.insert(o.index());
+    }
+    while let Some(g) = stack.pop() {
+        for &f in netlist.gate(g).fanins() {
+            if live.insert(f.index()) {
+                stack.push(f);
+            }
+        }
+    }
+    for &pi in netlist.inputs() {
+        live.insert(pi.index());
+    }
+    let mut remap: Vec<Option<GateId>> = vec![None; netlist.len()];
+    let mut b = Netlist::builder();
+    for id in netlist.ids() {
+        if !live.contains(id.index()) {
+            continue;
+        }
+        let gate = netlist.gate(id);
+        let fanins: Vec<GateId> = gate
+            .fanins()
+            .iter()
+            .map(|f| remap[f.index()].expect("fanins precede readers in id order"))
+            .collect();
+        let new_id = match (gate.kind(), netlist.name(id)) {
+            (GateKind::Input, Some(name)) => b.add_input(name),
+            (GateKind::Input, None) => b.add_input(format!("n{}", id.index())),
+            (kind, Some(name)) => b.add_named_gate(kind, fanins, name),
+            (kind, None) => b.add_gate(kind, fanins),
+        };
+        remap[id.index()] = Some(new_id);
+    }
+    for &o in netlist.outputs() {
+        b.add_output(remap[o.index()].expect("outputs are live"));
+    }
+    let removed = netlist.len() - b.len();
+    (b.build().expect("sweep preserves validity"), removed)
+}
+
+/// Fanins in our netlists always have smaller topological rank than their
+/// readers, but not necessarily smaller *ids* (generators use forward
+/// references). `sweep_dead` therefore needs id-order = topo-order input;
+/// [`normalize`] provides it by renumbering in topological order.
+fn normalize(netlist: &Netlist) -> Netlist {
+    let mut remap: Vec<Option<GateId>> = vec![None; netlist.len()];
+    let mut b = Netlist::builder();
+    for &id in netlist.topo_order() {
+        let gate = netlist.gate(id);
+        let fanins: Vec<GateId> = gate
+            .fanins()
+            .iter()
+            .map(|f| remap[f.index()].expect("topo order"))
+            .collect();
+        let new_id = match (gate.kind(), netlist.name(id)) {
+            (GateKind::Input, Some(name)) => b.add_input(name),
+            (GateKind::Input, None) => b.add_input(format!("n{}", id.index())),
+            (kind, Some(name)) => b.add_named_gate(kind, fanins, name),
+            (kind, None) => b.add_gate(kind, fanins),
+        };
+        remap[id.index()] = Some(new_id);
+    }
+    for &o in netlist.outputs() {
+        b.add_output(remap[o.index()].expect("outputs exist"));
+    }
+    let out = b.build().expect("normalization preserves validity");
+    // Normalization permutes input declaration order if PIs interleave
+    // with logic in topo order; PIs all have level 0 and topo order lists
+    // them in id order first, so the PI order is preserved.
+    debug_assert_eq!(out.inputs().len(), netlist.inputs().len());
+    out
+}
+
+/// One round of ATPG-based redundancy removal: prove stem faults
+/// untestable and replace each such line with the stuck constant (sound
+/// one-at-a-time; the caller loops). Returns the number of redundancies
+/// removed in this round.
+pub fn remove_redundancies(netlist: &mut Netlist, config: &OptConfig) -> usize {
+    // Pre-drop detectable faults with random patterns.
+    let faults = all_stuck_at_faults(netlist);
+    if faults.is_empty() {
+        return 0;
+    }
+    let mut rng = deterministic_rng(netlist.len() as u64);
+    let pi = PackedMatrix::random(netlist.inputs().len(), config.prefilter_vectors, &mut rng);
+    let detected = fault_simulate(netlist, &faults, &pi);
+    let survivors: Vec<_> = faults
+        .iter()
+        .zip(&detected)
+        .filter(|(_, &d)| !d)
+        .map(|(f, _)| *f)
+        .collect();
+    // PODEM the survivors; apply the first proven redundancy only (each
+    // removal can change the testability of the rest).
+    for fault in survivors {
+        if netlist.gate(fault.line()).kind() == GateKind::Input {
+            // An undetectable PI fault means the input is unobservable;
+            // leave PIs in place for vector alignment.
+            continue;
+        }
+        if podem(netlist, fault, config.backtrack_limit) == PodemOutcome::Untestable {
+            fault.apply(netlist).expect("line exists");
+            return 1;
+        }
+    }
+    0
+}
+
+fn deterministic_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(0x1dc0_5eed ^ seed)
+}
+
+/// The full area-optimization pipeline of §4.1: constants → chains →
+/// sharing → sweep, then up to `config.redundancy_rounds` rounds of
+/// redundancy removal with re-simplification after each.
+///
+/// # Panics
+///
+/// Panics if the netlist is not combinational (scan-convert first).
+pub fn optimize_for_area(netlist: &Netlist, config: &OptConfig) -> OptimizeResult {
+    assert!(netlist.is_combinational(), "optimize the full-scan core");
+    let original = netlist.len();
+    let simplify = |n: &Netlist| -> Netlist {
+        let n = propagate_constants(n);
+        let n = collapse_chains(&n);
+        let n = dedupe_structural(&n);
+        sweep_dead(&normalize(&n)).0
+    };
+    let mut current = simplify(netlist);
+    let mut redundancies = 0usize;
+    for _ in 0..config.redundancy_rounds {
+        let removed = remove_redundancies(&mut current, config);
+        if removed == 0 {
+            break;
+        }
+        redundancies += removed;
+        current = simplify(&current);
+    }
+    OptimizeResult {
+        removed_gates: original.saturating_sub(current.len()),
+        redundancies_removed: redundancies,
+        netlist: current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_gen::generate;
+    use incdx_netlist::parse_bench;
+    use incdx_sim::{Response, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Randomized equivalence check over the primary I/O.
+    fn assert_equiv(a: &Netlist, b: &Netlist, vectors: usize, seed: u64) {
+        assert_eq!(a.inputs().len(), b.inputs().len(), "PI count must survive");
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(a.inputs().len(), vectors, &mut rng);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(a, &sim.run(a, &pi));
+        let vals = sim.run(b, &pi);
+        let r = Response::compare(b, &vals, &spec);
+        assert!(r.matches(), "{} mismatching bits", r.mismatch_bits());
+    }
+
+    #[test]
+    fn constant_propagation_folds() {
+        let mut b = Netlist::builder();
+        let a = b.add_input("a");
+        let one = b.add_gate(GateKind::Const1, vec![]);
+        let zero = b.add_gate(GateKind::Const0, vec![]);
+        let x = b.add_gate(GateKind::And, vec![a, one]); // = a
+        let y = b.add_gate(GateKind::Or, vec![x, zero]); // = a
+        let z = b.add_gate(GateKind::Nand, vec![y, zero]); // = 1
+        let w = b.add_gate(GateKind::Xor, vec![a, one]); // = !a
+        b.add_output(z);
+        b.add_output(w);
+        let n = b.build().unwrap();
+        let m = propagate_constants(&n);
+        assert_eq!(m.gate(z).kind(), GateKind::Const1);
+        assert_eq!(m.gate(w).kind(), GateKind::Not);
+        assert_eq!(m.gate(x).kind(), GateKind::Buf);
+        assert_equiv(&n, &m, 64, 1);
+    }
+
+    #[test]
+    fn chain_collapse_cancels_double_inverters() {
+        let n = parse_bench(
+            "INPUT(a)\nOUTPUT(y)\nb1 = BUF(a)\nn1 = NOT(b1)\nn2 = NOT(n1)\ny = BUF(n2)\n",
+        )
+        .unwrap();
+        let m = collapse_chains(&n);
+        // y's driver resolves to a.
+        assert_eq!(m.outputs()[0], m.find_by_name("a").unwrap());
+        assert_equiv(&n, &m, 4, 2);
+    }
+
+    #[test]
+    fn dedupe_shares_common_subexpressions() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx1 = AND(a, b)\nx2 = AND(b, a)\ny = OR(x1, x2)\n",
+        )
+        .unwrap();
+        let m = dedupe_structural(&n);
+        let y = m.find_by_name("y").unwrap();
+        assert_eq!(m.gate(y).fanins()[0], m.gate(y).fanins()[1]);
+        assert_equiv(&n, &m, 16, 3);
+    }
+
+    #[test]
+    fn sweep_removes_dead_logic_keeps_pis() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ndead = NOT(a)\ny = BUF(a)\n",
+        )
+        .unwrap();
+        let (m, removed) = sweep_dead(&n);
+        assert_eq!(removed, 1);
+        assert_eq!(m.inputs().len(), 2, "unused PI survives");
+        assert!(m.find_by_name("dead").is_none());
+        assert_equiv(&n, &m, 8, 4);
+    }
+
+    #[test]
+    fn redundancy_removal_simplifies_or_absorption() {
+        // y = a OR (a AND b) == a: the AND is redundant.
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
+            .unwrap();
+        let r = optimize_for_area(&n, &OptConfig::default());
+        assert!(r.redundancies_removed >= 1);
+        assert!(r.netlist.len() < n.len());
+        assert_equiv(&n, &r.netlist, 16, 5);
+    }
+
+    #[test]
+    fn pipeline_preserves_function_on_suite_circuits() {
+        for name in ["c17", "c432a", "c880a", "c499a"] {
+            let n = generate(name).unwrap();
+            let r = optimize_for_area(
+                &n,
+                &OptConfig {
+                    redundancy_rounds: 1,
+                    backtrack_limit: 500,
+                    prefilter_vectors: 256,
+                },
+            );
+            assert!(r.netlist.len() <= n.len(), "{name}");
+            assert_equiv(&n, &r.netlist, 512, 6);
+        }
+    }
+
+    #[test]
+    fn idempotent_on_already_optimized() {
+        let n = generate("c17").unwrap();
+        let r1 = optimize_for_area(&n, &OptConfig::default());
+        let r2 = optimize_for_area(&r1.netlist, &OptConfig::default());
+        assert_eq!(r1.netlist.len(), r2.netlist.len());
+        assert_eq!(r2.removed_gates, 0);
+    }
+}

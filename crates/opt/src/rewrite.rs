@@ -1,0 +1,108 @@
+//! A mutable scratch representation for whole-netlist rewrites: passes
+//! edit gates freely and rebuild a validated [`Netlist`] once at the end.
+
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+/// Editable copy of a netlist (kinds, fanins, names, outputs).
+#[derive(Debug, Clone)]
+pub(crate) struct Rewrite {
+    pub kinds: Vec<GateKind>,
+    pub fanins: Vec<Vec<GateId>>,
+    pub names: Vec<Option<String>>,
+    pub outputs: Vec<GateId>,
+}
+
+impl Rewrite {
+    pub fn of(netlist: &Netlist) -> Self {
+        Rewrite {
+            kinds: netlist.iter().map(|(_, g)| g.kind()).collect(),
+            fanins: netlist.iter().map(|(_, g)| g.fanins().to_vec()).collect(),
+            names: netlist
+                .ids()
+                .map(|id| netlist.name(id).map(str::to_string))
+                .collect(),
+            outputs: netlist.outputs().to_vec(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Applies a per-line substitution to every fanin and output.
+    pub fn substitute(&mut self, subst: &[GateId]) {
+        for fs in &mut self.fanins {
+            for f in fs.iter_mut() {
+                *f = subst[f.index()];
+            }
+        }
+        for o in &mut self.outputs {
+            *o = subst[o.index()];
+        }
+    }
+
+    /// Rebuilds a validated netlist, preserving ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pass produced an invalid structure (that is a pass bug,
+    /// not a user error).
+    pub fn finish(self) -> Netlist {
+        let mut b = Netlist::builder();
+        for i in 0..self.len() {
+            match (self.kinds[i], &self.names[i]) {
+                (GateKind::Input, Some(name)) => {
+                    b.add_input(name.clone());
+                }
+                (GateKind::Input, None) => {
+                    b.add_input(format!("n{i}"));
+                }
+                (kind, Some(name)) => {
+                    b.add_named_gate(kind, self.fanins[i].clone(), name.clone());
+                }
+                (kind, None) => {
+                    b.add_gate(kind, self.fanins[i].clone());
+                }
+            }
+        }
+        for o in self.outputs {
+            b.add_output(o);
+        }
+        b.build().expect("optimizer pass produced an invalid netlist")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = NOT(x)\n")
+            .unwrap();
+        let m = Rewrite::of(&n).finish();
+        assert_eq!(m.len(), n.len());
+        for (id, g) in n.iter() {
+            assert_eq!(m.gate(id).kind(), g.kind());
+            assert_eq!(m.gate(id).fanins(), g.fanins());
+            assert_eq!(m.name(id), n.name(id));
+        }
+        assert_eq!(m.outputs(), n.outputs());
+    }
+
+    #[test]
+    fn substitute_rewires_fanins_and_outputs() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = BUF(a)\ny = AND(x, b)\n")
+            .unwrap();
+        let a = n.find_by_name("a").unwrap();
+        let x = n.find_by_name("x").unwrap();
+        let mut rw = Rewrite::of(&n);
+        let mut subst: Vec<GateId> = n.ids().collect();
+        subst[x.index()] = a; // bypass the buffer
+        rw.substitute(&subst);
+        let m = rw.finish();
+        let y = m.find_by_name("y").unwrap();
+        assert_eq!(m.gate(y).fanins()[0], a);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests of the optimizer passes: function preservation pass by
+//! pass, and idempotence of the simplification pipeline.
+
+use incdx_gen::{random_dag, RandomDagConfig};
+use incdx_netlist::Netlist;
+use incdx_opt::{
+    collapse_chains, dedupe_structural, optimize_for_area, propagate_constants, sweep_dead,
+    OptConfig,
+};
+use incdx_sim::{PackedMatrix, Response, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dag(seed: u64) -> Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs: 6,
+            gates: 50,
+            outputs: 5,
+            max_fanin: 3,
+            xor_fraction: 0.1,
+            window: 16,
+        },
+        seed,
+    )
+}
+
+fn equivalent(a: &Netlist, b: &Netlist, seed: u64) -> bool {
+    if a.inputs().len() != b.inputs().len() || a.outputs().len() != b.outputs().len() {
+        return false;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pi = PackedMatrix::random(a.inputs().len(), 256, &mut rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(a, &sim.run(a, &pi));
+    let vals = sim.run(b, &pi);
+    Response::compare(b, &vals, &spec).matches()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn each_pass_preserves_function(seed in 0u64..300) {
+        let n = dag(seed);
+        prop_assert!(equivalent(&n, &propagate_constants(&n), seed), "constants");
+        prop_assert!(equivalent(&n, &collapse_chains(&n), seed), "chains");
+        prop_assert!(equivalent(&n, &dedupe_structural(&n), seed), "dedupe");
+    }
+
+    #[test]
+    fn sweep_preserves_function_and_never_grows(seed in 0u64..300) {
+        let n = dag(seed);
+        // sweep_dead needs id-order = topo-order; random_dag guarantees it
+        // (fanins always reference earlier signals).
+        let (m, removed) = sweep_dead(&n);
+        prop_assert!(m.len() + removed == n.len());
+        prop_assert!(equivalent(&n, &m, seed));
+    }
+
+    #[test]
+    fn pipeline_shrinks_monotonically_and_preserves_function(seed in 0u64..80) {
+        let n = dag(seed);
+        let cfg = OptConfig {
+            redundancy_rounds: 1,
+            backtrack_limit: 200,
+            prefilter_vectors: 128,
+        };
+        // Repeated optimization never grows the circuit and never changes
+        // its function. (Exact idempotence is not guaranteed: the bounded
+        // PODEM budget may prove a redundancy on a later run it aborted on
+        // earlier.)
+        let once = optimize_for_area(&n, &cfg);
+        let twice = optimize_for_area(&once.netlist, &cfg);
+        let thrice = optimize_for_area(&twice.netlist, &cfg);
+        prop_assert!(once.netlist.len() <= n.len());
+        prop_assert!(twice.netlist.len() <= once.netlist.len());
+        prop_assert!(thrice.netlist.len() <= twice.netlist.len());
+        prop_assert!(equivalent(&n, &thrice.netlist, seed));
+    }
+}

@@ -1,0 +1,42 @@
+//! Bit-parallel logic simulation for the `incdx` workspace.
+//!
+//! The DATE 2002 engine is simulation-based: everything it knows about a
+//! circuit comes from simulating test vectors and comparing primary-output
+//! responses against a specification. This crate provides:
+//!
+//! * [`PackedBits`]/[`PackedMatrix`] — 64-way bit-parallel value storage
+//!   (one bit per test vector per line),
+//! * [`Simulator`] — full-circuit and fanout-cone event-driven simulation,
+//! * [`SequentialSimulator`] — multi-timeframe simulation for circuits with
+//!   DFFs (used by examples; the diagnosis engine itself runs on full-scan
+//!   combinational cores),
+//! * [`Response`] — PO capture, failing-vector masks and mismatch counts
+//!   (the machinery behind the paper's `V_err`/`V_corr` bit-lists),
+//! * [`logic5`] — the 5-valued D-calculus used by the PODEM ATPG substrate.
+//!
+//! # Example
+//!
+//! ```
+//! use incdx_netlist::parse_bench;
+//! use incdx_sim::{PackedMatrix, Simulator};
+//!
+//! let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! // Four vectors: a = 0101, b = 0011 (bit i = vector i).
+//! let mut pi = PackedMatrix::new(2, 4);
+//! pi.row_mut(0)[0] = 0b0101;
+//! pi.row_mut(1)[0] = 0b0011;
+//! let vals = Simulator::new().run(&n, &pi);
+//! assert_eq!(vals.row(2)[0] & 0xF, 0b0001); // y = a AND b
+//! # Ok::<(), incdx_netlist::NetlistError>(())
+//! ```
+
+pub mod logic5;
+mod packed;
+mod response;
+mod sequential;
+mod simulator;
+
+pub use packed::{PackedBits, PackedMatrix};
+pub use response::Response;
+pub use sequential::SequentialSimulator;
+pub use simulator::Simulator;

@@ -1,0 +1,256 @@
+//! Five-valued D-calculus (0, 1, X, D, D̄) for test generation.
+//!
+//! `D` means "1 in the good circuit, 0 in the faulty circuit"; `D̄` the
+//! opposite. A value is represented by its (good, faulty) pair of
+//! three-valued components, which makes gate evaluation a lift of ordinary
+//! three-valued logic — the standard construction PODEM builds on.
+
+use incdx_netlist::GateKind;
+
+/// A three-valued logic value: 0, 1 or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V3 {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unassigned / unknown.
+    X,
+}
+
+impl V3 {
+    /// Lifts a bool.
+    pub fn from_bool(b: bool) -> V3 {
+        if b {
+            V3::One
+        } else {
+            V3::Zero
+        }
+    }
+
+    /// The known boolean value, if any.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            V3::Zero => Some(false),
+            V3::One => Some(true),
+            V3::X => None,
+        }
+    }
+
+    /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)] // domain name; V3 is not a bit type
+    pub fn not(self) -> V3 {
+        match self {
+            V3::Zero => V3::One,
+            V3::One => V3::Zero,
+            V3::X => V3::X,
+        }
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::Zero, _) | (_, V3::Zero) => V3::Zero,
+            (V3::One, V3::One) => V3::One,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::One, _) | (_, V3::One) => V3::One,
+            (V3::Zero, V3::Zero) => V3::Zero,
+            _ => V3::X,
+        }
+    }
+
+    /// Three-valued XOR.
+    pub fn xor(self, other: V3) -> V3 {
+        match (self, other) {
+            (V3::X, _) | (_, V3::X) => V3::X,
+            (a, b) => V3::from_bool((a == V3::One) != (b == V3::One)),
+        }
+    }
+}
+
+/// A five-valued D-calculus value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V5 {
+    /// 0 in both good and faulty circuit.
+    Zero,
+    /// 1 in both good and faulty circuit.
+    One,
+    /// Unknown.
+    X,
+    /// 1 good / 0 faulty.
+    D,
+    /// 0 good / 1 faulty.
+    Dbar,
+}
+
+impl V5 {
+    /// Lifts a bool (same value in good and faulty circuit).
+    pub fn from_bool(b: bool) -> V5 {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+
+    /// Decomposes into (good, faulty) three-valued components.
+    pub fn components(self) -> (V3, V3) {
+        match self {
+            V5::Zero => (V3::Zero, V3::Zero),
+            V5::One => (V3::One, V3::One),
+            V5::X => (V3::X, V3::X),
+            V5::D => (V3::One, V3::Zero),
+            V5::Dbar => (V3::Zero, V3::One),
+        }
+    }
+
+    /// Recomposes from (good, faulty) components; `X` in either component
+    /// yields `X` (the conservative PODEM convention).
+    pub fn from_components(good: V3, faulty: V3) -> V5 {
+        match (good, faulty) {
+            (V3::X, _) | (_, V3::X) => V5::X,
+            (V3::Zero, V3::Zero) => V5::Zero,
+            (V3::One, V3::One) => V5::One,
+            (V3::One, V3::Zero) => V5::D,
+            (V3::Zero, V3::One) => V5::Dbar,
+        }
+    }
+
+    /// Is the value a fault effect (`D` or `D̄`)?
+    pub fn is_fault_effect(self) -> bool {
+        matches!(self, V5::D | V5::Dbar)
+    }
+
+    /// The good-circuit boolean, if known.
+    pub fn good(self) -> Option<bool> {
+        self.components().0.to_bool()
+    }
+
+    /// The faulty-circuit boolean, if known.
+    pub fn faulty(self) -> Option<bool> {
+        self.components().1.to_bool()
+    }
+
+    /// Five-valued complement.
+    #[allow(clippy::should_implement_trait)] // domain name; V5 is not a bit type
+    pub fn not(self) -> V5 {
+        let (g, f) = self.components();
+        V5::from_components(g.not(), f.not())
+    }
+}
+
+/// Evaluates `kind` over five-valued fanins.
+///
+/// # Panics
+///
+/// Panics if `kind` has no combinational function (`Input`, `Dff`) or the
+/// fanin list is empty for a kind that needs fanins.
+pub fn eval5(kind: GateKind, fanins: &[V5]) -> V5 {
+    let fold3 = |f: fn(V3, V3) -> V3, init: V3, comp: fn(V5) -> V3| -> V3 {
+        fanins.iter().fold(init, |acc, &v| f(acc, comp(v)))
+    };
+    let good = |v: V5| v.components().0;
+    let faulty = |v: V5| v.components().1;
+    match kind {
+        GateKind::Const0 => V5::Zero,
+        GateKind::Const1 => V5::One,
+        GateKind::Buf => fanins[0],
+        GateKind::Not => fanins[0].not(),
+        GateKind::And => V5::from_components(
+            fold3(V3::and, V3::One, good),
+            fold3(V3::and, V3::One, faulty),
+        ),
+        GateKind::Nand => V5::from_components(
+            fold3(V3::and, V3::One, good).not(),
+            fold3(V3::and, V3::One, faulty).not(),
+        ),
+        GateKind::Or => V5::from_components(
+            fold3(V3::or, V3::Zero, good),
+            fold3(V3::or, V3::Zero, faulty),
+        ),
+        GateKind::Nor => V5::from_components(
+            fold3(V3::or, V3::Zero, good).not(),
+            fold3(V3::or, V3::Zero, faulty).not(),
+        ),
+        GateKind::Xor => V5::from_components(
+            fold3(V3::xor, V3::Zero, good),
+            fold3(V3::xor, V3::Zero, faulty),
+        ),
+        GateKind::Xnor => V5::from_components(
+            fold3(V3::xor, V3::Zero, good).not(),
+            fold3(V3::xor, V3::Zero, faulty).not(),
+        ),
+        GateKind::Input | GateKind::Dff => panic!("{kind:?} has no combinational function"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v3_truth_tables() {
+        assert_eq!(V3::Zero.and(V3::X), V3::Zero);
+        assert_eq!(V3::One.and(V3::X), V3::X);
+        assert_eq!(V3::One.or(V3::X), V3::One);
+        assert_eq!(V3::Zero.or(V3::X), V3::X);
+        assert_eq!(V3::X.not(), V3::X);
+        assert_eq!(V3::One.xor(V3::One), V3::Zero);
+        assert_eq!(V3::One.xor(V3::Zero), V3::One);
+        assert_eq!(V3::Zero.xor(V3::Zero), V3::Zero);
+        assert_eq!(V3::One.xor(V3::X), V3::X);
+    }
+
+    #[test]
+    fn d_propagates_through_and_with_noncontrolling_side() {
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::One]), V5::D);
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::Zero]), V5::Zero);
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::X]), V5::X);
+        assert_eq!(eval5(GateKind::Nand, &[V5::D, V5::One]), V5::Dbar);
+    }
+
+    #[test]
+    fn d_meets_dbar() {
+        // D AND D̄: good = 1&0 = 0, faulty = 0&1 = 0 → Zero.
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::Dbar]), V5::Zero);
+        // D XOR D̄: good = 1^0 = 1, faulty = 0^1 = 1 → One.
+        assert_eq!(eval5(GateKind::Xor, &[V5::D, V5::Dbar]), V5::One);
+        // D XOR D: effects cancel.
+        assert_eq!(eval5(GateKind::Xor, &[V5::D, V5::D]), V5::Zero);
+    }
+
+    #[test]
+    fn not_and_components_roundtrip() {
+        for v in [V5::Zero, V5::One, V5::X, V5::D, V5::Dbar] {
+            let (g, f) = v.components();
+            assert_eq!(V5::from_components(g, f), v);
+            assert_eq!(v.not().not(), v);
+        }
+        assert_eq!(V5::D.not(), V5::Dbar);
+        assert!(V5::D.is_fault_effect());
+        assert!(!V5::X.is_fault_effect());
+        assert_eq!(V5::D.good(), Some(true));
+        assert_eq!(V5::D.faulty(), Some(false));
+        assert_eq!(V5::X.good(), None);
+    }
+
+    #[test]
+    fn eval5_consistent_with_boolean_eval_on_known_values() {
+        use GateKind::*;
+        for kind in [And, Nand, Or, Nor, Xor, Xnor] {
+            for bits in 0..4u8 {
+                let a = bits & 1 == 1;
+                let b = bits & 2 == 2;
+                let v = eval5(kind, &[V5::from_bool(a), V5::from_bool(b)]);
+                assert_eq!(v.good(), Some(kind.eval(&[a, b])), "{kind:?} {a}{b}");
+                assert_eq!(v.faulty(), Some(kind.eval(&[a, b])));
+            }
+        }
+    }
+}

@@ -1,0 +1,449 @@
+use rand::{Rng, RngExt};
+
+/// A row of bit-packed logic values: bit `v` is the value of one line under
+/// test vector `v`. Bits beyond [`Self::num_vectors`] are "tail" bits; the
+/// counting operations mask them out, raw word access does not.
+///
+/// # Example
+///
+/// ```
+/// use incdx_sim::PackedBits;
+///
+/// let mut b = PackedBits::new(70);
+/// b.set(0, true);
+/// b.set(69, true);
+/// assert_eq!(b.count_ones(), 2);
+/// assert!(b.get(69));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedBits {
+    words: Vec<u64>,
+    num_vectors: usize,
+}
+
+impl PackedBits {
+    /// An all-zero row covering `num_vectors` vectors.
+    pub fn new(num_vectors: usize) -> Self {
+        PackedBits {
+            words: vec![0; num_vectors.div_ceil(64)],
+            num_vectors,
+        }
+    }
+
+    /// An all-one row (tail bits included, as raw words).
+    pub fn ones(num_vectors: usize) -> Self {
+        PackedBits {
+            words: vec![!0u64; num_vectors.div_ceil(64)],
+            num_vectors,
+        }
+    }
+
+    /// Number of vectors covered.
+    #[inline]
+    pub fn num_vectors(&self) -> usize {
+        self.num_vectors
+    }
+
+    /// Number of 64-bit words backing the row.
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Raw word access.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Raw mutable word access.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// The value of vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vectors`.
+    #[inline]
+    pub fn get(&self, v: usize) -> bool {
+        assert!(v < self.num_vectors, "vector index {v} out of range");
+        self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Sets the value of vector `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vectors`.
+    #[inline]
+    pub fn set(&mut self, v: usize, value: bool) {
+        assert!(v < self.num_vectors, "vector index {v} out of range");
+        let (w, b) = (v / 64, v % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// The mask clearing tail bits of the last word (`!0` if the row ends on
+    /// a word boundary or is empty).
+    #[inline]
+    pub fn tail_mask(&self) -> u64 {
+        tail_mask(self.num_vectors)
+    }
+
+    /// Population count over real (non-tail) bits.
+    pub fn count_ones(&self) -> usize {
+        count_ones_masked(&self.words, self.num_vectors)
+    }
+
+    /// Are all real bits zero?
+    pub fn is_zero(&self) -> bool {
+        self.count_ones() == 0
+    }
+
+    /// Iterates over the vector indices whose bit is set.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        let nv = self.num_vectors;
+        self.words.iter().enumerate().flat_map(move |(wi, &w)| {
+            let mut w = if wi == nv.div_ceil(64).saturating_sub(1) {
+                w & tail_mask(nv)
+            } else {
+                w
+            };
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Fills the row with random values (tail bits zeroed).
+    pub fn fill_random<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for w in &mut self.words {
+            *w = rng.random();
+        }
+        self.mask_tail();
+    }
+
+    /// Zeroes the tail bits of the last word.
+    pub fn mask_tail(&mut self) {
+        if let Some(last) = self.words.last_mut() {
+            *last &= tail_mask(self.num_vectors);
+        }
+    }
+
+    /// In-place bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different vector counts.
+    pub fn and_with(&mut self, other: &PackedBits) {
+        assert_eq!(self.num_vectors, other.num_vectors, "vector count mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different vector counts.
+    pub fn or_with(&mut self, other: &PackedBits) {
+        assert_eq!(self.num_vectors, other.num_vectors, "vector count mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different vector counts.
+    pub fn xor_with(&mut self, other: &PackedBits) {
+        assert_eq!(self.num_vectors, other.num_vectors, "vector count mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// In-place bitwise NOT over real bits (tail bits zeroed).
+    pub fn not(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+}
+
+/// Mask selecting the real bits of the final word of a row covering
+/// `num_vectors` vectors.
+#[inline]
+pub(crate) fn tail_mask(num_vectors: usize) -> u64 {
+    match num_vectors % 64 {
+        0 => !0u64,
+        r => (1u64 << r) - 1,
+    }
+}
+
+/// Popcount of `words` over the first `num_vectors` bits.
+#[inline]
+pub(crate) fn count_ones_masked(words: &[u64], num_vectors: usize) -> usize {
+    let full = num_vectors / 64;
+    let mut n: usize = words[..full].iter().map(|w| w.count_ones() as usize).sum();
+    if !num_vectors.is_multiple_of(64) {
+        n += (words[full] & tail_mask(num_vectors)).count_ones() as usize;
+    }
+    n
+}
+
+/// A dense `lines × vectors` matrix of packed logic values: one
+/// [`PackedBits`]-shaped row per line, stored contiguously.
+///
+/// Row `i` of a simulation matrix holds the values of line `i` (the line
+/// driven by gate `i`) under every test vector — the paper's combined
+/// `V_corr`/`V_err` bit-lists, split by a failing-vector mask rather than
+/// physically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedMatrix {
+    data: Vec<u64>,
+    rows: usize,
+    words_per_row: usize,
+    num_vectors: usize,
+}
+
+impl PackedMatrix {
+    /// An all-zero matrix of `rows` lines over `num_vectors` vectors.
+    pub fn new(rows: usize, num_vectors: usize) -> Self {
+        let words_per_row = num_vectors.div_ceil(64);
+        PackedMatrix {
+            data: vec![0; rows * words_per_row],
+            rows,
+            words_per_row,
+            num_vectors,
+        }
+    }
+
+    /// A `rows × num_vectors` matrix of uniform random bits (tails zeroed).
+    /// This is the workspace's random test-vector source (the paper's
+    /// "6,000–10,000 random vectors").
+    pub fn random<R: Rng + ?Sized>(rows: usize, num_vectors: usize, rng: &mut R) -> Self {
+        let mut m = PackedMatrix::new(rows, num_vectors);
+        let tail = tail_mask(num_vectors);
+        let wpr = m.words_per_row;
+        for r in 0..rows {
+            let row = m.row_mut(r);
+            for (i, w) in row.iter_mut().enumerate() {
+                *w = rng.random();
+                if i == wpr - 1 {
+                    *w &= tail;
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows (lines).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of vectors covered.
+    #[inline]
+    pub fn num_vectors(&self) -> usize {
+        self.num_vectors
+    }
+
+    /// Number of 64-bit words per row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Read access to row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        let s = r * self.words_per_row;
+        &self.data[s..s + self.words_per_row]
+    }
+
+    /// Write access to row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        let s = r * self.words_per_row;
+        &mut self.data[s..s + self.words_per_row]
+    }
+
+    /// The bit of line `r` under vector `v`.
+    #[inline]
+    pub fn get(&self, r: usize, v: usize) -> bool {
+        assert!(v < self.num_vectors, "vector index {v} out of range");
+        self.row(r)[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Sets the bit of line `r` under vector `v`.
+    #[inline]
+    pub fn set(&mut self, r: usize, v: usize, value: bool) {
+        assert!(v < self.num_vectors, "vector index {v} out of range");
+        let (w, b) = (v / 64, v % 64);
+        if value {
+            self.row_mut(r)[w] |= 1 << b;
+        } else {
+            self.row_mut(r)[w] &= !(1 << b);
+        }
+    }
+
+    /// Copies row `r` out as a [`PackedBits`].
+    pub fn to_bits(&self, r: usize) -> PackedBits {
+        PackedBits {
+            words: self.row(r).to_vec(),
+            num_vectors: self.num_vectors,
+        }
+    }
+
+    /// Overwrites row `r` from a [`PackedBits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if vector counts differ.
+    pub fn set_row(&mut self, r: usize, bits: &PackedBits) {
+        assert_eq!(bits.num_vectors, self.num_vectors, "vector count mismatch");
+        self.row_mut(r).copy_from_slice(&bits.words);
+    }
+
+    /// Extracts the scalar input assignment of vector `v` over the first
+    /// `rows` rows (used to print counter-examples).
+    pub fn column(&self, v: usize) -> Vec<bool> {
+        (0..self.rows).map(|r| self.get(r, v)).collect()
+    }
+}
+
+impl From<Vec<u64>> for PackedBits {
+    /// Wraps raw words; the vector count is `64 * words.len()`.
+    fn from(words: Vec<u64>) -> Self {
+        let num_vectors = words.len() * 64;
+        PackedBits { words, num_vectors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bits_set_get_count() {
+        let mut b = PackedBits::new(130);
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn tail_bits_do_not_count() {
+        let mut b = PackedBits::new(3);
+        b.words_mut()[0] = !0; // junk beyond bit 2
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        b.not();
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.is_zero());
+    }
+
+    #[test]
+    fn tail_mask_values() {
+        assert_eq!(tail_mask(64), !0);
+        assert_eq!(tail_mask(0), !0);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(63), (1u64 << 63) - 1);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut a = PackedBits::new(8);
+        let mut b = PackedBits::new(8);
+        a.words_mut()[0] = 0b1100;
+        b.words_mut()[0] = 0b1010;
+        let mut x = a.clone();
+        x.xor_with(&b);
+        assert_eq!(x.words()[0], 0b0110);
+        a.and_with(&b);
+        assert_eq!(a.words()[0], 0b1000);
+        let mut o = PackedBits::new(8);
+        o.or_with(&b);
+        assert_eq!(o.words()[0], 0b1010);
+    }
+
+    #[test]
+    fn matrix_rows_are_independent() {
+        let mut m = PackedMatrix::new(3, 100);
+        m.set(0, 99, true);
+        m.set(2, 0, true);
+        assert!(m.get(0, 99));
+        assert!(!m.get(1, 99));
+        assert!(m.get(2, 0));
+        assert_eq!(m.to_bits(0).count_ones(), 1);
+        assert_eq!(m.column(0), vec![false, false, true]);
+    }
+
+    #[test]
+    fn matrix_random_is_seeded_and_tail_masked() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m1 = PackedMatrix::random(4, 70, &mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m2 = PackedMatrix::random(4, 70, &mut rng);
+        assert_eq!(m1, m2);
+        for r in 0..4 {
+            assert_eq!(m1.row(r)[1] & !tail_mask(70), 0, "tail must be zero");
+        }
+    }
+
+    #[test]
+    fn set_row_roundtrip() {
+        let mut m = PackedMatrix::new(2, 65);
+        let mut b = PackedBits::new(65);
+        b.set(64, true);
+        m.set_row(1, &b);
+        assert!(m.get(1, 64));
+        assert_eq!(m.to_bits(1), b);
+    }
+
+    #[test]
+    fn ones_row() {
+        let b = PackedBits::ones(5);
+        assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        PackedBits::new(4).get(4);
+    }
+}

@@ -1,0 +1,182 @@
+use incdx_netlist::Netlist;
+
+use crate::packed::{count_ones_masked, PackedBits, PackedMatrix};
+
+/// Comparison of a circuit's primary-output responses against a
+/// specification's — the source of the paper's partition of the vector set
+/// `V` into `V_err` (vectors with at least one erroneous PO) and `V_corr`.
+///
+/// # Example
+///
+/// ```
+/// use incdx_netlist::parse_bench;
+/// use incdx_sim::{PackedMatrix, Response, Simulator};
+///
+/// let good = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let bad = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")?;
+/// let mut pi = PackedMatrix::new(2, 4);
+/// pi.row_mut(0)[0] = 0b0101;
+/// pi.row_mut(1)[0] = 0b0011;
+/// let mut sim = Simulator::new();
+/// let spec = Response::capture(&good, &sim.run(&good, &pi));
+/// let vals = sim.run(&bad, &pi);
+/// let r = Response::compare(&bad, &vals, &spec);
+/// // AND and OR differ exactly when a != b: vectors 1 and 2.
+/// assert_eq!(r.failing_vectors().iter_ones().collect::<Vec<_>>(), vec![1, 2]);
+/// # Ok::<(), incdx_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    po_values: PackedMatrix,
+    failing: PackedBits,
+    mismatch_bits: usize,
+}
+
+impl Response {
+    /// Captures the primary-output rows of a full simulation matrix as a
+    /// golden reference (no failing vectors).
+    pub fn capture(netlist: &Netlist, vals: &PackedMatrix) -> Self {
+        let nv = vals.num_vectors();
+        let mut po_values = PackedMatrix::new(netlist.outputs().len(), nv);
+        for (i, &o) in netlist.outputs().iter().enumerate() {
+            po_values.row_mut(i).copy_from_slice(vals.row(o.index()));
+        }
+        Response {
+            po_values,
+            failing: PackedBits::new(nv),
+            mismatch_bits: 0,
+        }
+    }
+
+    /// Compares the PO rows of `vals` against the reference `spec`,
+    /// computing the failing-vector mask (`V_err` membership) and the total
+    /// erroneous `(vector, PO)` bit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output counts or vector counts disagree.
+    pub fn compare(netlist: &Netlist, vals: &PackedMatrix, spec: &Response) -> Self {
+        let nv = vals.num_vectors();
+        assert_eq!(nv, spec.po_values.num_vectors(), "vector count mismatch");
+        assert_eq!(
+            netlist.outputs().len(),
+            spec.po_values.rows(),
+            "output count mismatch"
+        );
+        let mut po_values = PackedMatrix::new(netlist.outputs().len(), nv);
+        let mut failing = PackedBits::new(nv);
+        let mut mismatch_bits = 0usize;
+        for (i, &o) in netlist.outputs().iter().enumerate() {
+            po_values.row_mut(i).copy_from_slice(vals.row(o.index()));
+            let mut diff_words = vec![0u64; po_values.words_per_row()];
+            for ((d, &a), &b) in diff_words
+                .iter_mut()
+                .zip(po_values.row(i))
+                .zip(spec.po_values.row(i))
+            {
+                *d = a ^ b;
+            }
+            mismatch_bits += count_ones_masked(&diff_words, nv);
+            for (f, &d) in failing.words_mut().iter_mut().zip(&diff_words) {
+                *f |= d;
+            }
+        }
+        failing.mask_tail();
+        Response {
+            po_values,
+            failing,
+            mismatch_bits,
+        }
+    }
+
+    /// The captured per-PO value matrix (row order = [`Netlist::outputs`]).
+    pub fn po_values(&self) -> &PackedMatrix {
+        &self.po_values
+    }
+
+    /// Mask of vectors with at least one erroneous PO (the paper's `V_err`
+    /// membership mask).
+    pub fn failing_vectors(&self) -> &PackedBits {
+        &self.failing
+    }
+
+    /// Number of failing vectors, `|V_err|`.
+    pub fn num_failing(&self) -> usize {
+        self.failing.count_ones()
+    }
+
+    /// Total number of erroneous `(vector, PO)` bits.
+    pub fn mismatch_bits(&self) -> usize {
+        self.mismatch_bits
+    }
+
+    /// Does the circuit match the specification on every vector?
+    pub fn matches(&self) -> bool {
+        self.mismatch_bits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use incdx_netlist::parse_bench;
+
+    fn exhaustive_pi(n_inputs: usize) -> PackedMatrix {
+        let nv = 1usize << n_inputs;
+        let mut pi = PackedMatrix::new(n_inputs, nv);
+        for v in 0..nv {
+            for i in 0..n_inputs {
+                pi.set(i, v, v >> i & 1 == 1);
+            }
+        }
+        pi
+    }
+
+    #[test]
+    fn identical_circuits_match() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").unwrap();
+        let pi = exhaustive_pi(2);
+        let mut sim = Simulator::new();
+        let vals = sim.run(&n, &pi);
+        let spec = Response::capture(&n, &vals);
+        let r = Response::compare(&n, &vals, &spec);
+        assert!(r.matches());
+        assert_eq!(r.num_failing(), 0);
+        assert_eq!(r.mismatch_bits(), 0);
+    }
+
+    #[test]
+    fn mismatch_counts_per_po_bit() {
+        // Two POs; the second differs on exactly one vector.
+        let good =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, b)\n")
+                .unwrap();
+        let bad = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = AND(a, b)\ny = XOR(a, b)\n",
+        )
+        .unwrap();
+        let pi = exhaustive_pi(2);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(&good, &sim.run(&good, &pi));
+        let r = Response::compare(&bad, &sim.run(&bad, &pi), &spec);
+        // OR vs XOR differ only at a=b=1 (vector 3).
+        assert_eq!(r.num_failing(), 1);
+        assert_eq!(r.mismatch_bits(), 1);
+        assert!(r.failing_vectors().get(3));
+        assert!(!r.matches());
+    }
+
+    #[test]
+    fn failing_vector_counted_once_even_with_multiple_bad_pos() {
+        let good =
+            parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = BUF(a)\ny = BUF(a)\n").unwrap();
+        let bad = parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = NOT(a)\n").unwrap();
+        let pi = exhaustive_pi(1);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(&good, &sim.run(&good, &pi));
+        let r = Response::compare(&bad, &sim.run(&bad, &pi), &spec);
+        assert_eq!(r.num_failing(), 2); // both vectors fail...
+        assert_eq!(r.mismatch_bits(), 4); // ...on both POs each
+    }
+}

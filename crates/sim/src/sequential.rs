@@ -1,0 +1,179 @@
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+use crate::packed::{PackedBits, PackedMatrix};
+use crate::simulator::Simulator;
+
+/// Multi-timeframe simulator for sequential (DFF-bearing) netlists.
+///
+/// Bit position `v` of every row is an *independent parallel sequence*: the
+/// simulator advances all of them one clock cycle per [`Self::step`]. DFF
+/// rows carry the current state; after the combinational evaluation of a
+/// frame, each DFF captures its data input for the next frame.
+///
+/// The diagnosis engine itself runs on full-scan combinational cores (see
+/// `incdx_netlist::scan_convert`); this simulator exists so examples and
+/// tests can validate those cores against true sequential behaviour.
+///
+/// # Example
+///
+/// ```
+/// use incdx_netlist::parse_bench;
+/// use incdx_sim::{PackedMatrix, SequentialSimulator};
+///
+/// // 1-bit toggle counter: q flips every cycle.
+/// let n = parse_bench("OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n")?;
+/// let mut sim = SequentialSimulator::new(&n, 1);
+/// let empty = PackedMatrix::new(0, 1);
+/// let f1 = sim.step(&n, &empty);
+/// let f2 = sim.step(&n, &empty);
+/// let q = n.find_by_name("q").unwrap().index();
+/// assert!(!f1.get(q, 0)); // reset state 0
+/// assert!(f2.get(q, 0)); // toggled
+/// # Ok::<(), incdx_netlist::NetlistError>(())
+/// ```
+#[derive(Debug)]
+pub struct SequentialSimulator {
+    state: Vec<(GateId, PackedBits)>,
+    num_vectors: usize,
+    sim: Simulator,
+}
+
+impl SequentialSimulator {
+    /// Creates a simulator with all DFFs reset to 0, advancing
+    /// `num_vectors` parallel sequences.
+    pub fn new(netlist: &Netlist, num_vectors: usize) -> Self {
+        let state = netlist
+            .dffs()
+            .into_iter()
+            .map(|d| (d, PackedBits::new(num_vectors)))
+            .collect();
+        SequentialSimulator {
+            state,
+            num_vectors,
+            sim: Simulator::new(),
+        }
+    }
+
+    /// Overrides the current state of one DFF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a DFF of the netlist this simulator was
+    /// created for, or the vector counts disagree.
+    pub fn set_state(&mut self, dff: GateId, value: &PackedBits) {
+        assert_eq!(value.num_vectors(), self.num_vectors, "vector count mismatch");
+        let slot = self
+            .state
+            .iter_mut()
+            .find(|(d, _)| *d == dff)
+            .expect("unknown DFF");
+        slot.1 = value.clone();
+    }
+
+    /// Current state of one DFF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is unknown.
+    pub fn state(&self, dff: GateId) -> &PackedBits {
+        &self
+            .state
+            .iter()
+            .find(|(d, _)| *d == dff)
+            .expect("unknown DFF")
+            .1
+    }
+
+    /// Advances one clock cycle: evaluates the combinational logic of the
+    /// frame under `pi_values` (row `i` = i-th primary input), returns the
+    /// full value matrix of the frame, and latches every DFF's data input
+    /// as the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values` has the wrong shape.
+    pub fn step(&mut self, netlist: &Netlist, pi_values: &PackedMatrix) -> PackedMatrix {
+        assert_eq!(
+            pi_values.rows(),
+            netlist.inputs().len(),
+            "one row per primary input required"
+        );
+        assert_eq!(pi_values.num_vectors(), self.num_vectors, "vector count mismatch");
+        let mut vals = PackedMatrix::new(netlist.len(), self.num_vectors);
+        for (i, &pi) in netlist.inputs().iter().enumerate() {
+            vals.row_mut(pi.index()).copy_from_slice(pi_values.row(i));
+        }
+        for (d, bits) in &self.state {
+            vals.set_row(d.index(), bits);
+        }
+        for &id in netlist.topo_order() {
+            let kind = netlist.gate(id).kind();
+            if kind == GateKind::Input || kind == GateKind::Dff {
+                continue;
+            }
+            self.sim.eval_gate(netlist, id, &mut vals);
+        }
+        for (d, bits) in &mut self.state {
+            let data_in = netlist.gate(*d).fanins()[0];
+            *bits = vals.to_bits(data_in.index());
+            bits.mask_tail();
+        }
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+
+    #[test]
+    fn two_bit_counter_counts() {
+        // q1 q0 counts 00,01,10,11,00,... : d0 = !q0; d1 = q1 ^ q0.
+        let src = "OUTPUT(q0)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NOT(q0)\nd1 = XOR(q1, q0)\n";
+        let n = parse_bench(src).unwrap();
+        let mut sim = SequentialSimulator::new(&n, 1);
+        let empty = PackedMatrix::new(0, 1);
+        let q0 = n.find_by_name("q0").unwrap().index();
+        let q1 = n.find_by_name("q1").unwrap().index();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            let f = sim.step(&n, &empty);
+            seen.push((f.get(q1, 0) as u8) << 1 | f.get(q0, 0) as u8);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn parallel_sequences_are_independent() {
+        // q = DFF(d), d = XOR(q, x): q accumulates parity of input stream x.
+        let n = parse_bench("INPUT(x)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(q, x)\n").unwrap();
+        let mut sim = SequentialSimulator::new(&n, 2);
+        let q = n.find_by_name("q").unwrap().index();
+        // Sequence 0 feeds 1,1 (parity 0 after 2 cycles); sequence 1 feeds 1,0.
+        let mut pi = PackedMatrix::new(1, 2);
+        pi.set(0, 0, true);
+        pi.set(0, 1, true);
+        sim.step(&n, &pi);
+        let mut pi2 = PackedMatrix::new(1, 2);
+        pi2.set(0, 0, true);
+        pi2.set(0, 1, false);
+        sim.step(&n, &pi2);
+        let f = sim.step(&n, &PackedMatrix::new(1, 2));
+        assert!(!f.get(q, 0)); // 1 ^ 1 = 0
+        assert!(f.get(q, 1)); // 1 ^ 0 = 1
+    }
+
+    #[test]
+    fn set_state_overrides_reset() {
+        let n = parse_bench("OUTPUT(q)\nq = DFF(d)\nd = BUF(q)\n").unwrap();
+        let q = n.find_by_name("q").unwrap();
+        let mut sim = SequentialSimulator::new(&n, 1);
+        let mut one = PackedBits::new(1);
+        one.set(0, true);
+        sim.set_state(q, &one);
+        let f = sim.step(&n, &PackedMatrix::new(0, 1));
+        assert!(f.get(q.index(), 0));
+        assert!(sim.state(q).get(0)); // holds its value
+    }
+}

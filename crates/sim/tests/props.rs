@@ -1,0 +1,154 @@
+//! Property tests of the simulation layer: packed ops against a
+//! `Vec<bool>` model, packed simulation against scalar evaluation, and
+//! the response bookkeeping against naive counting.
+
+use incdx_gen::{random_dag, RandomDagConfig};
+use incdx_netlist::GateKind;
+use incdx_sim::{PackedBits, PackedMatrix, Response, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn model_of(bits: &PackedBits) -> Vec<bool> {
+    (0..bits.num_vectors()).map(|v| bits.get(v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_bits_ops_match_bool_model(
+        a in prop::collection::vec(prop::bool::ANY, 1..150),
+        b_seed in 0u64..1000,
+    ) {
+        let nv = a.len();
+        let mut pa = PackedBits::new(nv);
+        for (v, &bit) in a.iter().enumerate() {
+            pa.set(v, bit);
+        }
+        let mut rng = StdRng::seed_from_u64(b_seed);
+        let mut pb = PackedBits::new(nv);
+        pb.fill_random(&mut rng);
+        let b = model_of(&pb);
+
+        let mut x = pa.clone();
+        x.xor_with(&pb);
+        prop_assert_eq!(model_of(&x), a.iter().zip(&b).map(|(&p, &q)| p ^ q).collect::<Vec<_>>());
+        let mut y = pa.clone();
+        y.and_with(&pb);
+        prop_assert_eq!(model_of(&y), a.iter().zip(&b).map(|(&p, &q)| p & q).collect::<Vec<_>>());
+        let mut z = pa.clone();
+        z.or_with(&pb);
+        prop_assert_eq!(model_of(&z), a.iter().zip(&b).map(|(&p, &q)| p | q).collect::<Vec<_>>());
+        let mut n = pa.clone();
+        n.not();
+        prop_assert_eq!(model_of(&n), a.iter().map(|&p| !p).collect::<Vec<_>>());
+        prop_assert_eq!(pa.count_ones(), a.iter().filter(|&&p| p).count());
+        prop_assert_eq!(
+            pa.iter_ones().collect::<Vec<_>>(),
+            a.iter().enumerate().filter(|(_, &p)| p).map(|(i, _)| i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn packed_simulation_matches_scalar(seed in 0u64..300, nv in 1usize..130) {
+        let n = random_dag(&RandomDagConfig {
+            inputs: 6,
+            gates: 40,
+            outputs: 5,
+            max_fanin: 3,
+            xor_fraction: 0.15,
+            window: 16,
+        }, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFFFF);
+        let pi = PackedMatrix::random(n.inputs().len(), nv, &mut rng);
+        let mut sim = Simulator::new();
+        let vals = sim.run(&n, &pi);
+        // Check boundary vectors and a middle one.
+        for v in [0, nv / 2, nv - 1] {
+            let scalar: Vec<bool> = (0..n.inputs().len()).map(|i| pi.get(i, v)).collect();
+            let mut model = vec![false; n.len()];
+            for (i, &p) in n.inputs().iter().enumerate() {
+                model[p.index()] = scalar[i];
+            }
+            for &id in n.topo_order() {
+                let g = n.gate(id);
+                if g.kind() == GateKind::Input {
+                    continue;
+                }
+                let f: Vec<bool> = g.fanins().iter().map(|&x| model[x.index()]).collect();
+                model[id.index()] = g.kind().eval(&f);
+            }
+            for id in n.ids() {
+                prop_assert_eq!(vals.get(id.index(), v), model[id.index()], "line {} vec {}", id, v);
+            }
+        }
+    }
+
+    #[test]
+    fn response_counts_match_naive(seed in 0u64..300) {
+        let golden = random_dag(&RandomDagConfig::default(), seed);
+        let faulty = random_dag(&RandomDagConfig::default(), seed ^ 1);
+        // Same shape: default config is fixed so I/O counts match.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nv = 100;
+        let pi = PackedMatrix::random(golden.inputs().len(), nv, &mut rng);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(&golden, &sim.run(&golden, &pi));
+        if faulty.outputs().len() != golden.outputs().len() {
+            return Ok(());
+        }
+        let vals = sim.run(&faulty, &pi);
+        let resp = Response::compare(&faulty, &vals, &spec);
+        // Naive recount.
+        let mut failing = 0usize;
+        let mut bits = 0usize;
+        for v in 0..nv {
+            let mut any = false;
+            for (po_idx, &po) in faulty.outputs().iter().enumerate() {
+                let got = vals.get(po.index(), v);
+                let want = spec.po_values().get(po_idx, v);
+                if got != want {
+                    any = true;
+                    bits += 1;
+                }
+            }
+            if any {
+                failing += 1;
+            }
+        }
+        prop_assert_eq!(resp.num_failing(), failing);
+        prop_assert_eq!(resp.mismatch_bits(), bits);
+        prop_assert_eq!(resp.matches(), bits == 0);
+    }
+
+    #[test]
+    fn cone_resimulation_is_localized(seed in 0u64..200, stem_pick in 0usize..1000) {
+        let n = random_dag(&RandomDagConfig {
+            inputs: 6,
+            gates: 50,
+            outputs: 5,
+            max_fanin: 3,
+            xor_fraction: 0.1,
+            window: 16,
+        }, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(n.inputs().len(), 64, &mut rng);
+        let mut sim = Simulator::new();
+        let base = sim.run(&n, &pi);
+        let stem = incdx_netlist::GateId::from_index(stem_pick % n.len());
+        let cone = n.fanout_cone_sorted(stem);
+        let mut vals = base.clone();
+        for w in vals.row_mut(stem.index()) {
+            *w = !*w;
+        }
+        sim.run_cone(&n, &mut vals, &cone);
+        // Lines outside the cone are untouched.
+        let cone_set = n.fanout_cone(stem);
+        for id in n.ids() {
+            if !cone_set.contains(id.index()) {
+                prop_assert_eq!(vals.row(id.index()), base.row(id.index()), "line {}", id);
+            }
+        }
+    }
+}

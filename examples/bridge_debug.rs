@@ -1,0 +1,62 @@
+//! Diagnosing a bridging (short) fault — the paper's "other physical
+//! faults" extension: a wired-AND bridge between two lines is modeled on
+//! the correction side as two gate insertions, so the unmodified engine
+//! localizes it.
+//!
+//! Run with `cargo run --release --example bridge_debug`.
+
+use incdx::fault::{BridgeKind, BridgingFault};
+use incdx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let golden = generate("c880a")?;
+
+    // Short two internal lines (an ALU datapath bit against a decoder
+    // select term).
+    let a = GateId::from_index(golden.len() / 3);
+    let b = GateId::from_index(2 * golden.len() / 3);
+    let bridge = BridgingFault::new(a, b, BridgeKind::WiredAnd);
+    let mut device_netlist = golden.clone();
+    bridge.apply(&mut device_netlist)?;
+    println!("injected (hidden from the tool): {bridge}");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let vectors = PackedMatrix::random(golden.inputs().len(), 1024, &mut rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        &device_netlist,
+        &sim.run_for_inputs(&device_netlist, golden.inputs(), &vectors),
+    );
+    let baseline = Response::compare(&golden, &sim.run(&golden, &vectors), &device);
+    println!(
+        "device disagrees with the good circuit on {} of {} vectors",
+        baseline.num_failing(),
+        vectors.num_vectors()
+    );
+
+    // Rectify the good netlist toward the device with design-error
+    // corrections (two suffice for a wired bridge).
+    let result = Rectifier::new(golden.clone(), vectors.clone(), device.clone(), RectifyConfig::dedc(2)).run();
+    let solution = result.solutions.first().expect("bridge is modelable");
+    println!("bridge model found ({} nodes):", result.stats.nodes);
+    for c in &solution.corrections {
+        println!("  {c}");
+    }
+
+    // Verify the model reproduces the device exactly.
+    let mut modeled = golden.clone();
+    for c in &solution.corrections {
+        c.apply(&mut modeled)?;
+    }
+    let check = Response::compare(
+        &modeled,
+        &sim.run_for_inputs(&modeled, golden.inputs(), &vectors),
+        &device,
+    );
+    assert!(check.matches());
+    println!("verified: the corrections reproduce the bridged device bit-exactly");
+    println!(
+        "(the shorted lines {a} and {b} appear as the insertion targets/operands)"
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Reconstruction of Figure 1 of the paper: two design errors whose
+//! sensitized paths reconverge at a gate can *mask* each other on a
+//! vector, so applying a perfectly valid correction to the first error
+//! makes that vector newly erroneous — it stays wrong until the second
+//! error is also fixed.
+//!
+//! This is why heuristic 3 must *allow* a bounded number of new erroneous
+//! vectors instead of demanding none: the strictest setting (`h3 = 1`)
+//! would discard the valid correction.
+//!
+//! Run with `cargo run --release --example fig1_masking`.
+
+use incdx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Specification: g = AND(x1n, x2) with x1n = NOT(a), x2 = AND(b, c).
+    let spec_netlist = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(g)\n\
+         l1 = NOT(a)\nl2 = AND(b, c)\ng = AND(l1, l2)\n",
+    )?;
+    // Erroneous design: BOTH fanin cones of the reconvergent gate G carry
+    // an error — l1 lost its inverter, l2's AND became OR.
+    let design = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(g)\n\
+         l1 = BUF(a)\nl2 = OR(b, c)\ng = AND(l1, l2)\n",
+    )?;
+
+    // Exhaustive vectors: all 8 input combinations.
+    let mut vectors = PackedMatrix::new(3, 8);
+    for v in 0..8 {
+        for i in 0..3 {
+            vectors.set(i, v, v >> i & 1 == 1);
+        }
+    }
+    let mut sim = Simulator::new();
+    let spec = Response::capture(&spec_netlist, &sim.run(&spec_netlist, &vectors));
+
+    let before = Response::compare(&design, &sim.run(&design, &vectors), &spec);
+    println!(
+        "two-error design fails {} of 8 vectors",
+        before.num_failing()
+    );
+
+    // The *valid* first correction: restore the inverter on l1.
+    let l1 = design.find_by_name("l1").unwrap();
+    let fix1 = Correction::new(l1, CorrectionAction::ChangeKind(GateKind::Not));
+    let mut partially_fixed = design.clone();
+    fix1.apply(&mut partially_fixed)?;
+    let mid = Response::compare(
+        &partially_fixed,
+        &sim.run(&partially_fixed, &vectors),
+        &spec,
+    );
+    // Masking in action: a vector that passed with both errors present
+    // (the fault effects cancelled at gate g) now fails.
+    let newly_failing = mid
+        .failing_vectors()
+        .iter_ones()
+        .filter(|&v| !before.failing_vectors().get(v))
+        .count();
+    println!(
+        "after the (correct!) first fix: {} failing vectors, {newly_failing} newly erroneous",
+        mid.num_failing()
+    );
+    assert!(newly_failing > 0, "Fig. 1 masking must manifest");
+
+    // The second correction completes the rectification.
+    let l2 = design.find_by_name("l2").unwrap();
+    let fix2 = Correction::new(l2, CorrectionAction::ChangeKind(GateKind::And));
+    fix2.apply(&mut partially_fixed)?;
+    let after = Response::compare(
+        &partially_fixed,
+        &sim.run(&partially_fixed, &vectors),
+        &spec,
+    );
+    println!("after the second fix: {} failing vectors", after.num_failing());
+    assert!(after.matches());
+
+    // The engine handles this automatically — its h3 screen admits the
+    // intermediate correction because the relaxation ladder permits a
+    // bounded number of new erroneous vectors.
+    let result = Rectifier::new(design, vectors, spec, RectifyConfig::dedc(2)).run();
+    let solution = result.solutions.first().expect("engine solves Fig. 1");
+    println!("\nengine's tuple ({} nodes explored):", result.stats.nodes);
+    for correction in &solution.corrections {
+        println!("  {correction}");
+    }
+    Ok(())
+}

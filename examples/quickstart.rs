@@ -1,0 +1,59 @@
+//! Quickstart: find and verify a single design error in a small netlist.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use incdx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The specification (golden model) and an erroneous implementation:
+    // the designer typed OR where the spec says AND.
+    let spec_netlist = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+         t = AND(a, b)\ny = XOR(t, c)\n",
+    )?;
+    let design = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n\
+         t = OR(a, b)\ny = XOR(t, c)\n",
+    )?;
+
+    // Reference responses come from simulating the specification on a
+    // shared vector set (any simulatable model works — a netlist, an
+    // emulator, recorded silicon responses).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2002);
+    let vectors = PackedMatrix::random(spec_netlist.inputs().len(), 256, &mut rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(&spec_netlist, &sim.run(&spec_netlist, &vectors));
+
+    // How wrong is the design?
+    let before = Response::compare(&design, &sim.run(&design, &vectors), &spec);
+    println!(
+        "design fails {} of {} vectors before correction",
+        before.num_failing(),
+        vectors.num_vectors()
+    );
+
+    // Diagnose and correct (single-error DEDC configuration).
+    let result = Rectifier::new(design.clone(), vectors.clone(), spec.clone(), RectifyConfig::dedc(1)).run();
+    let solution = result
+        .solutions
+        .first()
+        .expect("a single gate-type error is always correctable");
+    for correction in &solution.corrections {
+        let name = design.name(correction.line()).unwrap_or("?");
+        println!("proposed correction at `{name}`: {correction}");
+    }
+
+    // Verify: apply the corrections and re-compare.
+    let mut fixed = design.clone();
+    for correction in &solution.corrections {
+        correction.apply(&mut fixed)?;
+    }
+    let after = Response::compare(&fixed, &sim.run_for_inputs(&fixed, design.inputs(), &vectors), &spec);
+    println!(
+        "after correction: {} failing vectors ({} tree nodes explored)",
+        after.num_failing(),
+        result.stats.nodes
+    );
+    assert!(after.matches());
+    Ok(())
+}

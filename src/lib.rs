@@ -1,0 +1,84 @@
+//! # incdx — Incremental Diagnosis and Correction of Multiple Faults and Errors
+//!
+//! A from-scratch Rust implementation of Veneris, Liu, Amiri and Abadir,
+//! *"Incremental Diagnosis and Correction of Multiple Faults and Errors"*
+//! (DATE 2002), together with every substrate the paper's experiments rest
+//! on: a gate-level netlist kernel, a 64-way bit-parallel logic simulator,
+//! the Abadir design-error model with Campenhout-distributed injection, a
+//! PODEM ATPG, an area optimizer, and structural analogs of the ISCAS'85
+//! and (full-scan) ISCAS'89 benchmark suites.
+//!
+//! The engine rectifies a netlist toward reference responses by
+//! interleaving *diagnosis* (path-trace marking plus a flip-and-propagate
+//! correcting-potential measure) and *correction* (fault-model/design-error
+//! candidates screened by the `V_err`/`V_corr` bit-list heuristics and
+//! ranked by `(1 − V_ratio)·h3 + V_ratio·h1`), traversing a decision tree
+//! in rounds.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use incdx::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The specification and the erroneous design.
+//! let spec_nl = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! let design = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")?;
+//!
+//! // Simulate the specification to obtain reference responses.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let vectors = PackedMatrix::random(spec_nl.inputs().len(), 64, &mut rng);
+//! let mut sim = Simulator::new();
+//! let spec = Response::capture(&spec_nl, &sim.run(&spec_nl, &vectors));
+//!
+//! // Diagnose and correct.
+//! let result = Rectifier::new(design, vectors, spec, RectifyConfig::dedc(1)).run();
+//! assert!(!result.solutions.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`netlist`] | gates, netlists, `.bench` I/O, scan conversion, XOR expansion |
+//! | [`sim`] | packed values, combinational/sequential simulation, responses |
+//! | [`fault`] | stuck-at faults, design errors, injection, corrections |
+//! | [`atpg`] | PODEM, fault simulation, deterministic test sets |
+//! | [`opt`] | area optimization (the paper's §4.1 preprocessing) |
+//! | [`gen`] | ISCAS-analog benchmark generators |
+//! | [`core`] | the diagnosis/correction engine itself |
+
+pub use incdx_atpg as atpg;
+pub use incdx_core as core;
+pub use incdx_fault as fault;
+pub use incdx_gen as gen;
+pub use incdx_netlist as netlist;
+pub use incdx_opt as opt;
+pub use incdx_sim as sim;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use incdx_core::{Rectifier, RectifyConfig, RectifyResult, Solution};
+    pub use incdx_fault::{
+        inject_design_errors, inject_stuck_at_faults, Correction, CorrectionAction,
+        CorrectionModel, DesignError, DesignErrorKind, InjectionConfig, StuckAt,
+    };
+    pub use incdx_gen::generate;
+    pub use incdx_netlist::{parse_bench, scan_convert, write_bench, GateId, GateKind, Netlist};
+    pub use incdx_sim::{PackedBits, PackedMatrix, Response, SequentialSimulator, Simulator};
+    pub use rand::SeedableRng;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = RectifyConfig::dedc(1);
+        let _ = InjectionConfig::default();
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        assert_eq!(n.len(), 2);
+    }
+}

@@ -1,0 +1,382 @@
+//! `incdx` — command-line front end for the diagnosis/correction engine.
+//!
+//! ```text
+//! incdx stats    <file.bench>
+//! incdx generate <suite-name> [-o out.bench]
+//! incdx optimize <file.bench> [-o out.bench]
+//! incdx atpg     <file.bench> [--backtracks N]
+//! incdx inject   <golden.bench> (--faults N | --errors N) [-o out.bench] [--seed N]
+//! incdx diagnose <golden.bench> <device.bench> [--faults N] [--vectors N] [--seed N]
+//! incdx dedc     <spec.bench> <design.bench> [--errors N] [--vectors N] [--seed N]
+//! ```
+//!
+//! Sequential (DFF-bearing) inputs are scan-converted automatically for
+//! `diagnose`/`dedc`/`atpg`/`optimize`.
+
+use std::process::ExitCode;
+
+use incdx::atpg::{generate_tests, FaultClasses, TestGenConfig};
+use incdx::opt::{optimize_for_area, OptConfig};
+use incdx::prelude::*;
+use rand::rngs::StdRng;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("usage: incdx <stats|generate|optimize|atpg|inject|diagnose|dedc> ... (see --help)");
+        return ExitCode::from(2);
+    };
+    let rest = &argv[1..];
+    let result = match command.as_str() {
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "optimize" => cmd_optimize(rest),
+        "atpg" => cmd_atpg(rest),
+        "inject" => cmd_inject(rest),
+        "diagnose" => cmd_diagnose(rest),
+        "dedc" => cmd_dedc(rest),
+        "--help" | "-h" | "help" => {
+            println!(
+                "incdx — incremental diagnosis and correction of multiple faults and errors\n\
+                 \n\
+                 subcommands:\n\
+                 \x20 stats    <file.bench>                       circuit statistics\n\
+                 \x20 generate <suite-name> [-o out.bench]        emit a benchmark-suite circuit\n\
+                 \x20 optimize <file.bench> [-o out.bench]        area optimization (§4.1 preprocessing)\n\
+                 \x20 atpg     <file.bench> [--backtracks N]      deterministic test generation\n\
+                 \x20 inject   <golden> --faults N|--errors N     corrupt a circuit [-o out.bench] [--seed N]\n\
+                 \x20 diagnose <golden> <device> [--faults N]     exhaustive stuck-at diagnosis\n\
+                 \x20 dedc     <spec> <design> [--errors N]       design error diagnosis & correction\n\
+                 \n\
+                 common flags: --vectors N (default 1024), --seed N (default 2002)"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// ---------------------------------------------------------------- helpers
+
+struct Flags {
+    positional: Vec<String>,
+    out: Option<String>,
+    faults: Option<usize>,
+    errors: Option<usize>,
+    vectors: usize,
+    seed: u64,
+    backtracks: usize,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        out: None,
+        faults: None,
+        errors: None,
+        vectors: 1024,
+        seed: 2002,
+        backtracks: 10_000,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a.as_str() {
+            "-o" | "--out" => flags.out = Some(value("-o")?),
+            "--faults" => flags.faults = Some(num(&value("--faults")?)?),
+            "--errors" => flags.errors = Some(num(&value("--errors")?)?),
+            "--vectors" => flags.vectors = num(&value("--vectors")?)?,
+            "--seed" => flags.seed = num(&value("--seed")?)? as u64,
+            "--backtracks" => flags.backtracks = num(&value("--backtracks")?)?,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            positional => flags.positional.push(positional.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn load(path: &str) -> Result<Netlist, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_bench(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn load_comb(path: &str) -> Result<Netlist, String> {
+    let n = load(path)?;
+    if n.is_combinational() {
+        Ok(n)
+    } else {
+        eprintln!("note: `{path}` is sequential; using its full-scan combinational core");
+        scan_convert(&n).map(|(core, _)| core).map_err(|e| e.to_string())
+    }
+}
+
+fn save(netlist: &Netlist, out: Option<&str>) -> Result<(), String> {
+    let text = write_bench(netlist);
+    match out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            println!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn named(netlist: &Netlist, id: GateId) -> String {
+    netlist
+        .name(id)
+        .map(|n| format!("{id} ({n})"))
+        .unwrap_or_else(|| id.to_string())
+}
+
+// ------------------------------------------------------------ subcommands
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = &flags.positional[..] else {
+        return Err("usage: incdx stats <file.bench>".into());
+    };
+    let n = load(path)?;
+    let s = n.stats();
+    println!("circuit   {path}");
+    println!("gates     {}", s.gates);
+    println!("inputs    {}", s.inputs);
+    println!("outputs   {}", s.outputs);
+    println!("dffs      {}", s.dffs);
+    println!("lines     {} (stems + fanout branches)", s.lines);
+    println!("depth     {}", s.depth);
+    let mut kinds: Vec<_> = s.by_kind.iter().collect();
+    kinds.sort_by_key(|(k, _)| format!("{k}"));
+    for (kind, count) in kinds {
+        println!("  {kind:<6} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [name] = &flags.positional[..] else {
+        let names: Vec<&str> = incdx::gen::SUITE.iter().map(|s| s.name).collect();
+        return Err(format!(
+            "usage: incdx generate <name> [-o out.bench]; names: {}",
+            names.join(", ")
+        ));
+    };
+    let n = generate(name).map_err(|e| e.to_string())?;
+    save(&n, flags.out.as_deref())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = &flags.positional[..] else {
+        return Err("usage: incdx optimize <file.bench> [-o out.bench]".into());
+    };
+    let n = load_comb(path)?;
+    let r = optimize_for_area(&n, &OptConfig::default());
+    eprintln!(
+        "optimized: {} -> {} gates ({} removed, {} redundancies eliminated)",
+        n.len(),
+        r.netlist.len(),
+        r.removed_gates,
+        r.redundancies_removed
+    );
+    save(&r.netlist, flags.out.as_deref())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = &flags.positional[..] else {
+        return Err("usage: incdx atpg <file.bench> [--backtracks N]".into());
+    };
+    let n = load_comb(path)?;
+    let classes = FaultClasses::build(&n);
+    println!(
+        "fault classes: {} over {} faults (collapse ratio {:.2})",
+        classes.classes().len(),
+        classes.total_faults(),
+        classes.ratio()
+    );
+    let ts = generate_tests(
+        &n,
+        &TestGenConfig {
+            backtrack_limit: flags.backtracks,
+            batch: 64,
+            collapse: true,
+            compact: true,
+        },
+    );
+    println!(
+        "faults {}  detected {}  untestable {}  aborted {}  coverage {:.2}%  vectors {}",
+        ts.total_faults,
+        ts.detected,
+        ts.untestable.len(),
+        ts.aborted.len(),
+        ts.coverage() * 100.0,
+        ts.vectors.len()
+    );
+    for f in &ts.untestable {
+        println!("redundant: {}", named(&n, f.line()));
+    }
+    Ok(())
+}
+
+fn cmd_inject(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [path] = &flags.positional[..] else {
+        return Err("usage: incdx inject <golden.bench> (--faults N | --errors N) [-o out]".into());
+    };
+    let n = load_comb(path)?;
+    let mut rng = StdRng::seed_from_u64(flags.seed);
+    let config = InjectionConfig {
+        count: flags.faults.or(flags.errors).unwrap_or(1),
+        require_individually_observable: flags.errors.is_some(),
+        check_vectors: flags.vectors,
+        max_attempts: 300,
+    };
+    let corrupted = match (flags.faults, flags.errors) {
+        (Some(_), None) => {
+            let inj = inject_stuck_at_faults(&n, &config, &mut rng).map_err(|e| e.to_string())?;
+            for f in &inj.injected {
+                eprintln!("injected: {} at {}", f, named(&n, f.line()));
+            }
+            inj.corrupted
+        }
+        (None, Some(_)) => {
+            let inj = inject_design_errors(&n, &config, &mut rng).map_err(|e| e.to_string())?;
+            for e in &inj.injected {
+                eprintln!("injected: {} ({})", e, named(&n, e.line()));
+            }
+            inj.corrupted
+        }
+        _ => return Err("pass exactly one of --faults N / --errors N".into()),
+    };
+    save(&corrupted, flags.out.as_deref())
+}
+
+fn cmd_diagnose(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [golden_path, device_path] = &flags.positional[..] else {
+        return Err("usage: incdx diagnose <golden.bench> <device.bench> [--faults N]".into());
+    };
+    let golden = load_comb(golden_path)?;
+    let device_netlist = load_comb(device_path)?;
+    if device_netlist.outputs().len() != golden.outputs().len() {
+        return Err("golden and device must have the same output count".into());
+    }
+    let mut rng = StdRng::seed_from_u64(flags.seed);
+    let pi = PackedMatrix::random(golden.inputs().len(), flags.vectors, &mut rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        &device_netlist,
+        &sim.run_for_inputs(&device_netlist, golden.inputs(), &pi),
+    );
+    let k = flags.faults.unwrap_or(2);
+    let result = Rectifier::new(
+        golden.clone(),
+        pi,
+        device,
+        RectifyConfig::stuck_at_exhaustive(k),
+    )
+    .run();
+    if result.solutions.len() == 1 && result.solutions[0].corrections.is_empty() {
+        println!("device matches the golden circuit on all {} vectors", flags.vectors);
+        return Ok(());
+    }
+    println!(
+        "{} minimal equivalent tuple(s) of size <= {k} over {} site(s) \
+         ({} nodes explored{}):",
+        result.solutions.len(),
+        result.distinct_sites(),
+        result.stats.nodes,
+        if result.stats.truncated { ", budget hit" } else { "" },
+    );
+    for solution in &result.solutions {
+        let tuple = solution.stuck_at_tuple().expect("stuck-at mode");
+        let rendered: Vec<String> = tuple
+            .iter()
+            .map(|f| format!("{} stuck-at-{}", named(&golden, f.line()), f.value() as u8))
+            .collect();
+        println!("  {{{}}}", rendered.join(", "));
+    }
+    if result.solutions.is_empty() {
+        println!("no tuple of size <= {k} explains the device; try a larger --faults");
+    }
+    Ok(())
+}
+
+fn cmd_dedc(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let [spec_path, design_path] = &flags.positional[..] else {
+        return Err("usage: incdx dedc <spec.bench> <design.bench> [--errors N]".into());
+    };
+    let spec_netlist = load_comb(spec_path)?;
+    let design = load_comb(design_path)?;
+    if spec_netlist.outputs().len() != design.outputs().len() {
+        return Err("spec and design must have the same output count".into());
+    }
+    if spec_netlist.inputs().len() != design.inputs().len() {
+        return Err("spec and design must have the same input count".into());
+    }
+    let mut rng = StdRng::seed_from_u64(flags.seed);
+    let pi = PackedMatrix::random(design.inputs().len(), flags.vectors, &mut rng);
+    let mut sim = Simulator::new();
+    let spec = Response::capture(&spec_netlist, &sim.run(&spec_netlist, &pi));
+    let k = flags.errors.unwrap_or(3);
+    let result = Rectifier::new(design.clone(), pi.clone(), spec.clone(), RectifyConfig::dedc(k)).run();
+    let Some(solution) = result.solutions.first() else {
+        println!(
+            "no correction tuple of size <= {k} found ({} nodes explored); \
+             try a larger --errors or more --vectors",
+            result.stats.nodes
+        );
+        return Ok(());
+    };
+    if solution.corrections.is_empty() {
+        println!("design already matches the spec on all {} vectors", flags.vectors);
+        return Ok(());
+    }
+    println!(
+        "correction tuple ({} nodes, ladder level {}):",
+        result.stats.nodes, result.stats.deepest_ladder_level
+    );
+    for c in &solution.corrections {
+        println!("  {} [{}]", c, named(&design, c.line()));
+    }
+    // Verify before claiming success.
+    let mut fixed = design.clone();
+    for c in &solution.corrections {
+        c.apply(&mut fixed).map_err(|e| e.to_string())?;
+    }
+    let check = Response::compare(
+        &fixed,
+        &sim.run_for_inputs(&fixed, design.inputs(), &pi),
+        &spec,
+    );
+    if check.matches() {
+        println!("verified: rectified design matches the spec on all vectors");
+        Ok(())
+    } else {
+        Err("internal error: claimed solution failed verification".into())
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end multiple stuck-at diagnosis across the whole stack:
+//! generate → optimize → inject → diagnose exhaustively → verify every
+//! returned tuple against the device.
+
+use incdx::opt::{optimize_for_area, OptConfig};
+use incdx::prelude::*;
+use rand::rngs::StdRng;
+
+fn device_response(
+    golden: &Netlist,
+    corrupted: &Netlist,
+    vectors: &PackedMatrix,
+) -> (Response, Response) {
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        corrupted,
+        &sim.run_for_inputs(corrupted, golden.inputs(), vectors),
+    );
+    let golden_resp = Response::capture(golden, &sim.run(golden, vectors));
+    (device, golden_resp)
+}
+
+/// Every returned tuple, applied to the golden netlist, must reproduce the
+/// device behaviour exactly on the diagnosis vectors.
+fn verify_tuples(
+    golden: &Netlist,
+    device: &Response,
+    vectors: &PackedMatrix,
+    result: &incdx::core::RectifyResult,
+) {
+    let mut sim = Simulator::new();
+    for solution in &result.solutions {
+        let mut modeled = golden.clone();
+        for c in &solution.corrections {
+            c.apply(&mut modeled).expect("tuple applies");
+        }
+        let resp = Response::compare(
+            &modeled,
+            &sim.run_for_inputs(&modeled, golden.inputs(), vectors),
+            device,
+        );
+        assert!(
+            resp.matches(),
+            "returned tuple {:?} does not explain the device",
+            solution.corrections
+        );
+    }
+}
+
+fn run_case(circuit: &str, faults: usize, seed: u64, vectors: usize) {
+    let golden = generate(circuit).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let injection = inject_stuck_at_faults(
+        &golden,
+        &InjectionConfig {
+            count: faults,
+            require_individually_observable: false,
+            check_vectors: vectors,
+            max_attempts: 200,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let mut vec_rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
+    let (device, _) = device_response(&golden, &injection.corrupted, &pi);
+    if device.matches() {
+        return; // faults not excited on these vectors; nothing to diagnose
+    }
+    let result = Rectifier::new(
+        golden.clone(),
+        pi.clone(),
+        device.clone(),
+        RectifyConfig::stuck_at_exhaustive(faults),
+    )
+    .run();
+    assert!(!result.solutions.is_empty(), "{circuit}/{faults}: no tuples");
+    verify_tuples(&golden, &device, &pi, &result);
+    // The actual injected tuple (or a strict subset, under masking) must
+    // be among the answers.
+    let mut injected = injection.injected.clone();
+    injected.sort();
+    let recovered = result.solutions.iter().any(|s| {
+        let t = s.stuck_at_tuple().expect("stuck-at mode");
+        t == injected || t.iter().all(|f| injected.contains(f))
+    });
+    assert!(
+        recovered,
+        "{circuit}/{faults} seed {seed}: injected tuple not among {} answers",
+        result.solutions.len()
+    );
+}
+
+#[test]
+fn single_fault_on_c17() {
+    for seed in 0..4 {
+        run_case("c17", 1, seed, 32);
+    }
+}
+
+#[test]
+fn single_fault_on_c432a() {
+    run_case("c432a", 1, 1, 512);
+}
+
+#[test]
+fn double_fault_on_c432a() {
+    run_case("c432a", 2, 2, 512);
+}
+
+#[test]
+fn single_fault_on_optimized_alu() {
+    let golden = optimize_for_area(
+        &generate("c880a").unwrap(),
+        &OptConfig {
+            redundancy_rounds: 0,
+            ..OptConfig::default()
+        },
+    )
+    .netlist;
+    let mut rng = StdRng::seed_from_u64(3);
+    let injection = inject_stuck_at_faults(
+        &golden,
+        &InjectionConfig {
+            count: 1,
+            require_individually_observable: true,
+            check_vectors: 512,
+            max_attempts: 200,
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let mut vec_rng = StdRng::seed_from_u64(77);
+    let pi = PackedMatrix::random(golden.inputs().len(), 512, &mut vec_rng);
+    let (device, _) = device_response(&golden, &injection.corrupted, &pi);
+    let result = Rectifier::new(
+        golden.clone(),
+        pi.clone(),
+        device.clone(),
+        RectifyConfig::stuck_at_exhaustive(1),
+    )
+    .run();
+    verify_tuples(&golden, &device, &pi, &result);
+    let mut injected = injection.injected.clone();
+    injected.sort();
+    assert!(result
+        .solutions
+        .iter()
+        .any(|s| s.stuck_at_tuple().as_deref() == Some(&injected[..])));
+}
+
+#[test]
+fn consistent_device_yields_empty_tuple() {
+    let golden = generate("c17").unwrap();
+    let mut rng = StdRng::seed_from_u64(0);
+    let pi = PackedMatrix::random(golden.inputs().len(), 64, &mut rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(&golden, &sim.run(&golden, &pi));
+    let result = Rectifier::new(golden, pi, device, RectifyConfig::stuck_at_exhaustive(2)).run();
+    assert_eq!(result.solutions.len(), 1);
+    assert!(result.solutions[0].corrections.is_empty());
+}
