@@ -18,6 +18,9 @@ pub struct Args {
     pub time_limit: Duration,
     /// Worker threads (0 = all cores).
     pub jobs: usize,
+    /// Emit a one-line `RectifyReport` JSON record per engine run
+    /// (`--no-json` disables; see EXPERIMENTS.md for the schema).
+    pub json: bool,
 }
 
 impl Default for Args {
@@ -31,6 +34,7 @@ impl Default for Args {
             circuits: Vec::new(),
             time_limit: Duration::from_secs(30),
             jobs: 0,
+            json: true,
         }
     }
 }
@@ -56,6 +60,8 @@ impl Args {
                 "--trials" => args.trials = parse_num(&value("--trials")) as usize,
                 "--vectors" => args.vectors = parse_num(&value("--vectors")) as usize,
                 "--jobs" => args.jobs = parse_num(&value("--jobs")) as usize,
+                "--json" => args.json = true,
+                "--no-json" => args.json = false,
                 "--time-limit" => {
                     args.time_limit = Duration::from_secs(parse_num(&value("--time-limit")))
                 }
@@ -69,7 +75,7 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
-                         --time-limit SECONDS --jobs N"
+                         --time-limit SECONDS --jobs N --json|--no-json"
                     );
                     std::process::exit(0);
                 }
@@ -78,6 +84,49 @@ impl Args {
         }
         args
     }
+}
+
+impl Args {
+    /// Derives the RNG seed of one experiment trial. Every binary routes
+    /// through here (instead of hand-rolled XOR formulas) so trial
+    /// streams are decorrelated across experiments, circuits, fault
+    /// counts, trials and re-injection attempts, while staying fully
+    /// reproducible from `--seed`.
+    pub fn trial_seed(
+        &self,
+        experiment: &str,
+        circuit: &str,
+        k: usize,
+        trial: usize,
+        attempt: u64,
+    ) -> u64 {
+        let mut h = mix(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        for part in [
+            hash_label(experiment),
+            hash_label(circuit),
+            k as u64,
+            trial as u64,
+            attempt,
+        ] {
+            h = mix(h ^ part);
+        }
+        h
+    }
+}
+
+/// FNV-1a over a label, for folding strings into [`Args::trial_seed`].
+pub fn hash_label(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// SplitMix64 finalizer: diffuses every input bit over the whole word, so
+/// small field values (trial 0/1/2…) produce unrelated seeds.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 fn parse_num(s: &str) -> u64 {
@@ -111,5 +160,28 @@ mod tests {
         let a = Args::default();
         assert_eq!(a.trials, 10);
         assert_eq!(a.vectors, 1024);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn json_flag_round_trips() {
+        assert!(!Args::parse_from(["--no-json".to_string()]).json);
+        assert!(Args::parse_from(["--json".to_string()]).json);
+    }
+
+    #[test]
+    fn trial_seeds_are_deterministic_and_distinct() {
+        let a = Args::default();
+        let s = a.trial_seed("table1", "c432a", 2, 5, 0);
+        assert_eq!(s, a.trial_seed("table1", "c432a", 2, 5, 0));
+        // Any single field change moves the seed.
+        assert_ne!(s, a.trial_seed("table2", "c432a", 2, 5, 0));
+        assert_ne!(s, a.trial_seed("table1", "c880a", 2, 5, 0));
+        assert_ne!(s, a.trial_seed("table1", "c432a", 3, 5, 0));
+        assert_ne!(s, a.trial_seed("table1", "c432a", 2, 6, 0));
+        assert_ne!(s, a.trial_seed("table1", "c432a", 2, 5, 1));
+        let mut b = a.clone();
+        b.seed = 1;
+        assert_ne!(s, b.trial_seed("table1", "c432a", 2, 5, 0));
     }
 }

@@ -81,7 +81,7 @@ fn main() {
         let golden = scan_core(circuit);
         let results = run_parallel(args.trials, args.jobs, |t| {
             for attempt in 0..20u64 {
-                let seed = args.seed ^ (t as u64) << 8 ^ attempt << 40 ^ circuit.len() as u64;
+                let seed = args.trial_seed("ablation_rank", circuit, 1, t, attempt);
                 if let Some(r) = trial(&golden, args.vectors, seed) {
                     return Some(r);
                 }

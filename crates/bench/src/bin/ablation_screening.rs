@@ -91,7 +91,7 @@ fn main() {
             let level = ParamLevel::new(0.0, h2, h3).with_promote(1.0);
             let results = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
-                    let seed = args.seed ^ (t as u64) << 8 ^ attempt << 40;
+                    let seed = args.trial_seed("ablation_screening", circuit, 1, t, attempt);
                     if let Some(s) = sweep_point(&golden, args.vectors, seed, level) {
                         return Some(s);
                     }

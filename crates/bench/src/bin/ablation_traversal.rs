@@ -32,10 +32,7 @@ fn main() {
         ] {
             let outcomes = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
-                    let seed = args.seed
-                        ^ (t as u64) << 8
-                        ^ attempt << 40
-                        ^ circuit.len() as u64;
+                    let seed = args.trial_seed("ablation_traversal", circuit, errors, t, attempt);
                     if let Some(out) = dedc_trial_with(
                         &golden,
                         errors,
@@ -124,6 +121,8 @@ fn dedc_trial_with(
     };
     Some(incdx_bench::DedcOutcome {
         solved,
+        solutions: result.solutions.len(),
+        sites: result.distinct_sites(),
         total,
         stats: result.stats,
     })

@@ -97,7 +97,7 @@ fn main() {
         for faults in [1usize, 2, 3] {
             let outcomes = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
-                    let seed = args.seed ^ (t as u64) << 8 ^ (faults as u64) << 32 ^ attempt << 48;
+                    let seed = args.trial_seed("baseline_dictionary", circuit, faults, t, attempt);
                     if let Some(r) = trial(&golden, &dict, &pi, faults, seed, args.time_limit) {
                         return Some(r);
                     }

@@ -113,7 +113,7 @@ fn main() {
         let golden = scan_core(circuit);
         let outcomes = run_parallel(args.trials, args.jobs, |t| {
             for attempt in 0..20u64 {
-                let seed = args.seed ^ (t as u64) << 8 ^ attempt << 40;
+                let seed = args.trial_seed("bridging", circuit, 1, t, attempt);
                 if let Some(r) = trial(&golden, args.vectors, seed, args.time_limit) {
                     return Some(r);
                 }

@@ -8,7 +8,7 @@
 //! [--vectors N] [--circuits NAME]`
 
 use incdx_bench::{scan_core, Args, Table};
-use incdx_core::{Rectifier, RectifyConfig};
+use incdx_core::{Rectifier, RectifyConfig, RectifyReport};
 use incdx_fault::{inject_design_errors, InjectionConfig};
 use incdx_sim::{PackedMatrix, Response, Simulator};
 use rand::rngs::StdRng;
@@ -51,6 +51,9 @@ fn main() {
         let mut config = RectifyConfig::dedc(3);
         config.max_rounds = budget;
         config.time_limit = Some(args.time_limit);
+        // A single engine run at a time — parallelism goes inside the
+        // screening stage rather than across trials.
+        config.jobs = args.jobs;
         let result = Rectifier::new(
             injection.corrupted.clone(),
             pi.clone(),
@@ -58,6 +61,10 @@ fn main() {
             config,
         )
         .run();
+        if args.json {
+            let label = format!("fig2/{circuit}/budget{budget}");
+            println!("{}", RectifyReport::new(&label, args.jobs, &result).to_json());
+        }
         table.row([
             budget.to_string(),
             result.stats.nodes.to_string(),

@@ -13,6 +13,7 @@ use incdx_bench::{
     optimize_for_table1, run_parallel, scan_core, stuck_at_trial, Args, Table,
     DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
 };
+use incdx_core::RectifyReport;
 
 fn main() {
     let args = Args::parse();
@@ -51,11 +52,7 @@ fn main() {
                 // Each trial gets a derived seed; re-draw on un-injectable
                 // seeds so every cell reports `trials` real runs.
                 for attempt in 0..20u64 {
-                    let seed = args.seed
-                        ^ (trial as u64).wrapping_mul(0x9E37_79B9)
-                        ^ (k as u64) << 32
-                        ^ attempt << 48
-                        ^ hash(circuit);
+                    let seed = args.trial_seed("table1", circuit, k, trial, attempt);
                     if let Some(out) =
                         stuck_at_trial(&golden, k, args.vectors, seed, args.time_limit)
                     {
@@ -65,6 +62,16 @@ fn main() {
                 None
             });
             let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            if args.json {
+                // Trials parallelize above, so the engine itself runs with
+                // jobs = 1 (`RectifyConfig` default) — reported as such.
+                for (trial, out) in done.iter().enumerate() {
+                    let label = format!("table1/{circuit}/k{k}/t{trial}");
+                    let report =
+                        RectifyReport::from_parts(&label, 1, out.tuples, out.sites, out.stats.clone());
+                    println!("{}", report.to_json());
+                }
+            }
             if done.is_empty() {
                 row.extend(["-".into(), "-".into(), "-".into()]);
                 continue;
@@ -97,10 +104,4 @@ fn main() {
     }
     println!("\n{table}");
     println!("legend: '!' = an injected tuple was missed; '*' = a budget truncated ≥1 trial");
-}
-
-fn hash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
 }

@@ -11,6 +11,7 @@ use incdx_bench::{
     dedc_trial, run_parallel, scan_core, Args, Table, DEFAULT_COMB_CIRCUITS,
     DEFAULT_SEQ_CIRCUITS,
 };
+use incdx_core::RectifyReport;
 
 fn main() {
     let args = Args::parse();
@@ -46,11 +47,7 @@ fn main() {
         for k in error_counts {
             let outcomes = run_parallel(args.trials, args.jobs, |trial| {
                 for attempt in 0..20u64 {
-                    let seed = args.seed
-                        ^ (trial as u64).wrapping_mul(0x51_7CC1)
-                        ^ (k as u64) << 32
-                        ^ attempt << 48
-                        ^ hash(circuit);
+                    let seed = args.trial_seed("table2", circuit, k, trial, attempt);
                     if let Some(out) = dedc_trial(&golden, k, args.vectors, seed, args.time_limit)
                     {
                         return Some(out);
@@ -59,6 +56,21 @@ fn main() {
                 None
             });
             let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            if args.json {
+                // Trials parallelize above, so the engine itself runs with
+                // jobs = 1 (`RectifyConfig` default) — reported as such.
+                for (trial, out) in done.iter().enumerate() {
+                    let label = format!("table2/{circuit}/k{k}/t{trial}");
+                    let report = RectifyReport::from_parts(
+                        &label,
+                        1,
+                        out.solutions,
+                        out.sites,
+                        out.stats.clone(),
+                    );
+                    println!("{}", report.to_json());
+                }
+            }
             if done.is_empty() {
                 row.extend(["-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
                 continue;
@@ -90,10 +102,4 @@ fn main() {
         println!("{}", table.render().lines().last().unwrap_or(""));
     }
     println!("\n{table}");
-}
-
-fn hash(s: &str) -> u64 {
-    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-    })
 }

@@ -130,6 +130,10 @@ pub fn stuck_at_trial(
 pub struct DedcOutcome {
     /// Did the engine find a verified correction tuple?
     pub solved: bool,
+    /// Correction tuples reported by the engine (0 or 1 in DEDC mode).
+    pub solutions: usize,
+    /// Distinct corrected lines over all solutions.
+    pub sites: usize,
     /// Wall-clock for the whole rectification.
     pub total: Duration,
     /// Engine statistics.
@@ -186,6 +190,8 @@ pub fn dedc_trial(
     };
     Some(DedcOutcome {
         solved,
+        solutions: result.solutions.len(),
+        sites: result.distinct_sites(),
         total,
         stats: result.stats,
     })

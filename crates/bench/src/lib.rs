@@ -17,7 +17,6 @@
 
 mod args;
 mod experiments;
-mod parallel;
 mod table;
 
 pub use args::Args;
@@ -25,5 +24,5 @@ pub use experiments::{
     dedc_trial, optimize_for_table1, scan_core, stuck_at_trial, DedcOutcome, StuckAtOutcome,
     DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
 };
-pub use parallel::run_parallel;
+pub use incdx_core::run_parallel;
 pub use table::Table;

@@ -51,15 +51,23 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
+mod parallel;
 mod params;
 mod path_trace;
+mod report;
 mod screen;
 mod session;
 mod tree;
 mod wire;
 
+pub use parallel::{
+    effective_jobs, run_parallel, run_parallel_with, ParallelOutcome, ParallelTelemetry,
+};
 pub use params::{default_ladder, ParamLevel};
 pub use path_trace::path_trace_counts;
+pub use report::RectifyReport;
 pub use screen::correction_output_row;
 pub use session::{Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution, Traversal};
 pub use tree::RankedCorrection;

@@ -1,0 +1,228 @@
+//! Deterministic parallel map over independent work items.
+//!
+//! This is the engine's only threading primitive: results are always
+//! collected **in input-index order**, so callers that merge them
+//! sequentially observe exactly the serial order regardless of worker
+//! count or scheduling — the property the serial-vs-parallel
+//! determinism guarantee of [`crate::Rectifier`] rests on.
+//!
+//! Built on `std::thread::scope` (no external dependencies). Work is
+//! distributed by an atomic cursor, so uneven item costs self-balance.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Resolves a user-facing job count: `0` means all available cores,
+/// and the result never exceeds `items` (no idle workers).
+pub fn effective_jobs(jobs: usize, items: usize) -> usize {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        jobs
+    };
+    jobs.min(items.max(1))
+}
+
+/// Runs `f(i)` for `i in 0..n` across up to `jobs` worker threads
+/// (`0` = available parallelism) and returns the results in index
+/// order.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+///
+/// # Example
+///
+/// ```
+/// let squares = incdx_core::run_parallel(100, 4, |i| i * i);
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn run_parallel<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_parallel_with(n, jobs, || (), move |(), i| f(i)).results
+}
+
+/// Utilization telemetry of one parallel section, reported by
+/// [`run_parallel_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelTelemetry {
+    /// Workers that actually ran (after clamping to the item count).
+    pub workers: usize,
+    /// Summed in-task time across all workers.
+    pub busy: Duration,
+    /// Wall-clock of the whole section.
+    pub wall: Duration,
+}
+
+impl ParallelTelemetry {
+    /// Mean fraction of the section's wall-clock each worker spent in
+    /// tasks (1.0 = perfectly utilized). Zero when nothing ran.
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.workers as f64;
+        if denom > 0.0 {
+            (self.busy.as_secs_f64() / denom).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Accumulates another section's telemetry (workers becomes the
+    /// max — sections run one at a time).
+    pub fn merge(&mut self, other: &ParallelTelemetry) {
+        self.workers = self.workers.max(other.workers);
+        self.busy += other.busy;
+        self.wall += other.wall;
+    }
+}
+
+/// Results plus telemetry of a [`run_parallel_with`] section.
+#[derive(Debug)]
+pub struct ParallelOutcome<T> {
+    /// Per-item results, in input-index order.
+    pub results: Vec<T>,
+    /// Worker-utilization telemetry.
+    pub telemetry: ParallelTelemetry,
+}
+
+/// Like [`run_parallel`], but each worker thread first builds private
+/// scratch state with `init` and every task gets `&mut` access to its
+/// worker's state — the shape needed when tasks share expensive
+/// read-only inputs but each needs its own mutable workspace (e.g. a
+/// simulator plus a value-matrix copy).
+///
+/// With `jobs <= 1` everything runs inline on the calling thread with a
+/// single `init()` — no thread is spawned, so the serial path stays
+/// allocation- and synchronization-free.
+///
+/// Determinism: `f` runs against worker-private state and the results
+/// are returned in index order, so the output is independent of worker
+/// count provided `f` is a pure function of `(state-after-init, i)`.
+///
+/// # Panics
+///
+/// Propagates the first worker panic.
+pub fn run_parallel_with<S, T, I, F>(n: usize, jobs: usize, init: I, f: F) -> ParallelOutcome<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let jobs = effective_jobs(jobs, n);
+    let started = Instant::now();
+    if jobs <= 1 {
+        let mut state = init();
+        let t0 = Instant::now();
+        let results: Vec<T> = (0..n).map(|i| f(&mut state, i)).collect();
+        let busy = t0.elapsed();
+        return ParallelOutcome {
+            results,
+            telemetry: ParallelTelemetry {
+                workers: 1,
+                busy,
+                wall: started.elapsed(),
+            },
+        };
+    }
+    let next = AtomicUsize::new(0);
+    let busy_nanos = AtomicU64::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut state = init();
+                let t0 = Instant::now();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(&mut state, i);
+                    *slots[i].lock().expect("slot lock") = Some(value);
+                }
+                busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every index computed")
+        })
+        .collect();
+    ParallelOutcome {
+        results,
+        telemetry: ParallelTelemetry {
+            workers: jobs,
+            busy: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed)),
+            wall: started.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_all_indices_in_order() {
+        let out = run_parallel(100, 4, |i| i * i);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_auto() {
+        assert_eq!(run_parallel(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<usize> = run_parallel(0, 2, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_state_is_private_and_reused() {
+        // Each worker counts its own tasks; the sum covers every index
+        // exactly once.
+        let outcome = run_parallel_with(
+            64,
+            4,
+            || 0usize,
+            |count, i| {
+                *count += 1;
+                (i, *count)
+            },
+        );
+        assert_eq!(outcome.results.len(), 64);
+        let mut indices: Vec<usize> = outcome.results.iter().map(|&(i, _)| i).collect();
+        indices.dedup();
+        assert_eq!(indices, (0..64).collect::<Vec<_>>());
+        assert!(outcome.telemetry.workers <= 4);
+        assert!(outcome.telemetry.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn serial_path_spawns_nothing_and_matches() {
+        let serial = run_parallel_with(10, 1, || (), |(), i| i * 3);
+        let parallel = run_parallel_with(10, 4, || (), |(), i| i * 3);
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.telemetry.workers, 1);
+    }
+
+    #[test]
+    fn effective_jobs_clamps() {
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(2, 100), 2);
+        assert!(effective_jobs(0, 100) >= 1);
+        assert_eq!(effective_jobs(4, 0), 1);
+    }
+}

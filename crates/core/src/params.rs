@@ -15,11 +15,40 @@
 /// One rung of the relaxation ladder.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParamLevel {
-    /// Heuristic 1 threshold (line qualification).
+    /// Heuristic 1 threshold — line qualification. A suspect line `l`
+    /// survives when its flip-and-propagate correcting potential clears
+    /// the bar:
+    ///
+    /// ```text
+    /// |{erroneous PO bits rectified by complementing l}|
+    /// -------------------------------------------------- ≥ h1
+    ///              |erroneous PO bits|
+    /// ```
     pub h1: f64,
-    /// Heuristic 2 threshold (V_err complement fraction).
+    /// Heuristic 2 threshold — `V_err` complementation. A candidate
+    /// correction `c` on a qualified line survives when its new output
+    /// row complements enough of the line's erroneous bit-list:
+    ///
+    /// ```text
+    /// |{bits of V_err(l) complemented by c}|
+    /// -------------------------------------- ≥ max(h2, |V_err| / N)
+    ///              |V_err(l)|
+    /// ```
+    ///
+    /// The `|V_err|/N` term is Theorem 1's guarantee (with `N` the
+    /// remaining correction slots): some correction of every valid
+    /// `N`-tuple complements at least that fraction, so the floor never
+    /// screens out all of a true tuple
+    /// ([`RectifyConfig::theorem_floor`](crate::RectifyConfig::theorem_floor)).
     pub h2: f64,
-    /// Heuristic 3 threshold (V_corr preservation fraction).
+    /// Heuristic 3 threshold — `V_corr` preservation. A correction
+    /// survives when it keeps enough previously-correct vectors correct:
+    ///
+    /// ```text
+    /// |{bits of V_corr(l) left unchanged by c}|
+    /// ----------------------------------------- ≥ h3
+    ///              |V_corr(l)|
+    /// ```
     pub h3: f64,
     /// Fraction of path-trace-marked lines promoted to the correction
     /// stage at this level (the paper's "top 5–20%", relaxing to 100% at

@@ -1,0 +1,189 @@
+//! Structured observability report for a rectification run.
+//!
+//! [`RectifyReport`] flattens a [`RectifyResult`] plus run context into
+//! a machine-readable record, printable as one line of JSON with
+//! [`RectifyReport::to_json`]. The bench binaries emit one record per
+//! run on stdout (prefixed lines starting with `{"report":"rectify"`),
+//! so tables and reports can be post-processed with standard JSON
+//! tooling. The schema is documented in `EXPERIMENTS.md`.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::session::{RectifyResult, RectifyStats};
+
+/// A flattened, serializable view of one [`crate::Rectifier::run`].
+///
+/// # Example
+///
+/// ```
+/// use incdx_core::{Rectifier, RectifyConfig, RectifyReport};
+/// use incdx_netlist::parse_bench;
+/// use incdx_sim::{PackedMatrix, Response, Simulator};
+///
+/// let spec_nl = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+/// let design = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n")?;
+/// let mut pi = PackedMatrix::new(2, 4);
+/// pi.row_mut(0)[0] = 0b0101;
+/// pi.row_mut(1)[0] = 0b0011;
+/// let spec = Response::capture(&spec_nl, &Simulator::new().run(&spec_nl, &pi));
+/// let config = RectifyConfig::dedc(1);
+/// let jobs = config.jobs;
+/// let result = Rectifier::new(design, pi, spec, config).run();
+///
+/// let report = RectifyReport::new("and-vs-or", jobs, &result);
+/// let json = report.to_json();
+/// assert!(json.starts_with(r#"{"report":"rectify","label":"and-vs-or""#));
+/// assert!(!json.contains('\n'));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RectifyReport {
+    /// Caller-chosen run label (circuit name, trial id, …).
+    pub label: String,
+    /// The [`crate::RectifyConfig::jobs`] setting the run used.
+    pub jobs: usize,
+    /// Number of valid correction tuples found.
+    pub solutions: usize,
+    /// Distinct lines over all solutions ([`RectifyResult::distinct_sites`]).
+    pub distinct_sites: usize,
+    /// The run's full counter/timer set.
+    pub stats: RectifyStats,
+}
+
+impl RectifyReport {
+    /// Builds a report from a finished run.
+    pub fn new(label: &str, jobs: usize, result: &RectifyResult) -> Self {
+        Self::from_parts(
+            label,
+            jobs,
+            result.solutions.len(),
+            result.distinct_sites(),
+            result.stats.clone(),
+        )
+    }
+
+    /// Builds a report from already-extracted pieces, for harnesses that
+    /// summarize a [`RectifyResult`] and drop it before reporting.
+    pub fn from_parts(
+        label: &str,
+        jobs: usize,
+        solutions: usize,
+        distinct_sites: usize,
+        stats: RectifyStats,
+    ) -> Self {
+        RectifyReport {
+            label: label.to_string(),
+            jobs,
+            solutions,
+            distinct_sites,
+            stats,
+        }
+    }
+
+    /// Renders the report as a single line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let mut out = String::with_capacity(640);
+        out.push_str("{\"report\":\"rectify\"");
+        out.push_str(&format!(",\"label\":\"{}\"", escape_json(&self.label)));
+        out.push_str(&format!(",\"jobs\":{}", self.jobs));
+        out.push_str(&format!(",\"solutions\":{}", self.solutions));
+        out.push_str(&format!(",\"distinct_sites\":{}", self.distinct_sites));
+        out.push_str(&format!(",\"nodes\":{}", s.nodes));
+        out.push_str(&format!(",\"rounds\":{}", s.rounds));
+        out.push_str(&format!(
+            ",\"deepest_ladder_level\":{}",
+            s.deepest_ladder_level
+        ));
+        out.push_str(&format!(",\"truncated\":{}", s.truncated));
+        out.push_str(&format!(
+            ",\"time\":{{\"evaluate\":{},\"simulation\":{},\"path_trace\":{},\"rank\":{},\"screen\":{},\"diagnosis\":{},\"correction\":{}}}",
+            secs(s.evaluate_time),
+            secs(s.simulation_time),
+            secs(s.path_trace_time),
+            secs(s.rank_time),
+            secs(s.screen_time),
+            secs(s.diagnosis_time),
+            secs(s.correction_time),
+        ));
+        out.push_str(&format!(
+            ",\"candidates\":{{\"screened\":{},\"qualified\":{},\"rejected_h2\":{},\"rejected_h3\":{},\"lines_rejected_h1\":{},\"lines_truncated\":{},\"wire_sources_truncated\":{},\"candidates_truncated\":{}}}",
+            s.corrections_screened,
+            s.corrections_qualified,
+            s.corrections_rejected_h2,
+            s.corrections_rejected_h3,
+            s.lines_rejected_h1,
+            s.lines_truncated,
+            s.wire_sources_truncated,
+            s.candidates_truncated,
+        ));
+        out.push_str(&format!(
+            ",\"simulation\":{{\"words\":{}}}",
+            s.words_simulated
+        ));
+        out.push_str(&format!(
+            ",\"workers\":{{\"count\":{},\"busy\":{},\"wall\":{},\"utilization\":{:.4}}}",
+            s.parallel.workers,
+            secs(s.parallel.busy),
+            secs(s.parallel.wall),
+            s.parallel.utilization(),
+        ));
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for RectifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn secs(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_label_characters() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_is_one_line_and_balanced() {
+        let result = RectifyResult {
+            solutions: vec![],
+            stats: RectifyStats::default(),
+        };
+        let json = RectifyReport::new("c17 \"quoted\"", 4, &result).to_json();
+        assert!(!json.contains('\n'));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces: {json}"
+        );
+        assert!(json.contains("\"jobs\":4"));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+}

@@ -8,6 +8,7 @@ use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, Correctio
 use incdx_netlist::{GateId, GateKind, Netlist};
 use incdx_sim::{PackedBits, PackedMatrix, Response, Simulator};
 
+use crate::parallel::{run_parallel_with, ParallelTelemetry};
 use crate::params::{default_ladder, ParamLevel};
 use crate::path_trace::path_trace_counts;
 use crate::screen::correction_output_row;
@@ -73,6 +74,11 @@ pub struct RectifyConfig {
     pub time_limit: Option<Duration>,
     /// Tree traversal order (rounds by default; DFS/BFS for ablations).
     pub traversal: Traversal,
+    /// Worker threads for candidate screening (`0` = all available
+    /// cores, `1` = serial). Results are bit-identical for every value:
+    /// per-candidate evaluations run against worker-private simulator
+    /// state and merge in candidate-rank order.
+    pub jobs: usize,
 }
 
 impl RectifyConfig {
@@ -94,6 +100,7 @@ impl RectifyConfig {
             theorem_floor: true,
             time_limit: None,
             traversal: Traversal::Rounds,
+            jobs: 1,
         }
     }
 
@@ -119,6 +126,7 @@ impl RectifyConfig {
             theorem_floor: true,
             time_limit: None,
             traversal: Traversal::Rounds,
+            jobs: 1,
         }
     }
 }
@@ -166,10 +174,41 @@ pub struct RectifyStats {
     pub correction_time: Duration,
     /// Time simulating node circuits.
     pub simulation_time: Duration,
+    /// Time in path-trace marking (a component of `diagnosis_time`).
+    pub path_trace_time: Duration,
+    /// Time ranking suspect lines with heuristic 1 (the flip-and-propagate
+    /// pass; the other component of `diagnosis_time`).
+    pub rank_time: Duration,
+    /// Time in [`Rectifier`]'s screening stage proper — heuristic-2
+    /// enumeration plus heuristic-3 cone propagation (`correction_time`
+    /// minus final sorting/truncation).
+    pub screen_time: Duration,
+    /// Total time evaluating decision-tree nodes (simulate + diagnose +
+    /// screen; the sum over all nodes).
+    pub evaluate_time: Duration,
     /// Corrections evaluated against heuristic 2.
     pub corrections_screened: usize,
     /// Corrections surviving both screens (before the per-node cap).
     pub corrections_qualified: usize,
+    /// Suspect lines rejected because their heuristic-1 correcting
+    /// potential fell below the ladder level's `h1` threshold.
+    pub lines_rejected_h1: usize,
+    /// Corrections rejected by heuristic 2 (the `V_err` bit-complement
+    /// test of Theorem 1), including candidates with no evaluable output
+    /// row.
+    pub corrections_rejected_h2: usize,
+    /// Corrections rejected by heuristic 3 (the `V_corr` preservation
+    /// test). Invariant: `corrections_screened ==
+    /// corrections_rejected_h2 + corrections_rejected_h3 +
+    /// corrections_qualified`.
+    pub corrections_rejected_h3: usize,
+    /// Packed 64-vector words evaluated across every simulator, worker
+    /// simulators included — the machine-independent measure of
+    /// simulation work (see `incdx_sim::Simulator::words_simulated`).
+    pub words_simulated: u64,
+    /// Worker-utilization telemetry aggregated over every parallel
+    /// screening section of the run.
+    pub parallel: ParallelTelemetry,
     /// Wire-source candidates dropped by the per-line cap, summed.
     pub wire_sources_truncated: usize,
     /// Candidates dropped by `max_candidates_per_node`, summed.
@@ -444,6 +483,13 @@ impl Rectifier {
     /// Evaluates one decision-tree node: replay corrections, simulate,
     /// and — if still failing — produce its ranked candidate list.
     fn evaluate(&mut self, corrections: &[Correction], level: &ParamLevel) -> NodeEval {
+        let t_eval = Instant::now();
+        let outcome = self.evaluate_node(corrections, level);
+        self.stats.evaluate_time += t_eval.elapsed();
+        outcome
+    }
+
+    fn evaluate_node(&mut self, corrections: &[Correction], level: &ParamLevel) -> NodeEval {
         self.stats.nodes += 1;
         let t0 = Instant::now();
         let mut netlist = self.base.clone();
@@ -452,9 +498,11 @@ impl Rectifier {
                 return NodeEval::Dead;
             }
         }
-        let mut vals = self
+        let words_before = self.sim.words_simulated();
+        let vals = self
             .sim
             .run_for_inputs(&netlist, &self.base_inputs, &self.vectors);
+        self.stats.words_simulated += self.sim.words_simulated() - words_before;
         let response = Response::compare(&netlist, &vals, &self.spec);
         self.stats.simulation_time += t0.elapsed();
         if response.matches() {
@@ -495,9 +543,11 @@ impl Rectifier {
             take = self.config.max_candidate_lines;
         }
         let promoted = &marked[..take];
+        self.stats.path_trace_time += t1.elapsed();
         // When the level disables the h1 filter (exhaustive stuck-at
         // mode), skip the flip-and-propagate pass and order lines by
         // path-trace count alone.
+        let t_rank = Instant::now();
         let scored_lines: Vec<(GateId, f64)> = if level.h1 <= 0.0 {
             let max_count = promoted
                 .first()
@@ -509,8 +559,9 @@ impl Rectifier {
                 .map(|&l| (l, counts[l.index()] as f64 / max_count))
                 .collect()
         } else {
-            self.heuristic1(&netlist, &mut vals, &response, promoted)
+            self.heuristic1(&netlist, &vals, &response, promoted)
         };
+        self.stats.rank_time += t_rank.elapsed();
         self.stats.diagnosis_time += t1.elapsed();
 
         // ---- Correction (§3.2) at the run's current parameter level ----
@@ -526,7 +577,7 @@ impl Rectifier {
         };
         let mut ranked = self.screen_level(
             &netlist,
-            &mut vals,
+            &vals,
             &response,
             &scored_lines,
             level,
@@ -553,10 +604,17 @@ impl Rectifier {
     /// Heuristic 1: flip each promoted line on the failing vectors,
     /// propagate through its fanout cone, and score by the fraction of
     /// erroneous PO bits rectified.
+    ///
+    /// Lines are scored in parallel ([`RectifyConfig::jobs`]); each
+    /// worker owns a simulator and a private copy of the value matrix
+    /// (every task restores the cone rows it perturbs, so the copy stays
+    /// equal to `vals` between tasks). Scores merge in input order and
+    /// the final sort is stable, so the ranking is bit-identical to the
+    /// serial one.
     fn heuristic1(
         &mut self,
         netlist: &Netlist,
-        vals: &mut PackedMatrix,
+        vals: &PackedMatrix,
         response: &Response,
         lines: &[GateId],
     ) -> Vec<(GateId, f64)> {
@@ -564,57 +622,76 @@ impl Rectifier {
         let total_bad = response.mismatch_bits().max(1);
         let wpr = vals.words_per_row();
         let nv = vals.num_vectors();
-        let mut scored = Vec::with_capacity(lines.len());
-        let mut saved: Vec<u64> = Vec::new();
-        for &line in lines {
-            let cone = netlist.fanout_cone_sorted(line);
-            saved.clear();
-            for &g in &cone {
-                saved.extend_from_slice(vals.row(g.index()));
-            }
-            {
-                let row = vals.row_mut(line.index());
-                for (w, &m) in row.iter_mut().zip(&err_words) {
-                    *w ^= m;
+        let spec = &self.spec;
+        let outcome = run_parallel_with(
+            lines.len(),
+            self.config.jobs,
+            || (Simulator::new(), vals.clone(), Vec::<u64>::new()),
+            |(sim, vals, saved), i| {
+                let line = lines[i];
+                let words_before = sim.words_simulated();
+                let cone = netlist.fanout_cone_sorted(line);
+                saved.clear();
+                for &g in &cone {
+                    saved.extend_from_slice(vals.row(g.index()));
                 }
-            }
-            self.sim.run_cone(netlist, vals, &cone);
-            // Count rectified erroneous (vector, PO) bits.
-            let mut rectified = 0usize;
-            for (po_idx, &po) in netlist.outputs().iter().enumerate() {
-                if !cone.contains(&po) {
-                    continue;
-                }
-                let after = vals.row(po.index());
-                let spec_row = self.spec.po_values().row(po_idx);
-                let before = response.po_values().row(po_idx);
-                for w in 0..wpr {
-                    let was_bad = before[w] ^ spec_row[w];
-                    let now_bad = after[w] ^ spec_row[w];
-                    let mut fixed = was_bad & !now_bad;
-                    if w == wpr - 1 {
-                        fixed &= PackedBits::new(nv).tail_mask();
+                {
+                    let row = vals.row_mut(line.index());
+                    for (w, &m) in row.iter_mut().zip(&err_words) {
+                        *w ^= m;
                     }
-                    rectified += fixed.count_ones() as usize;
                 }
-            }
-            for (i, &g) in cone.iter().enumerate() {
-                vals.row_mut(g.index())
-                    .copy_from_slice(&saved[i * wpr..(i + 1) * wpr]);
-            }
-            scored.push((line, rectified as f64 / total_bad as f64));
+                sim.run_cone(netlist, vals, &cone);
+                // Count rectified erroneous (vector, PO) bits.
+                let mut rectified = 0usize;
+                for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                    if !cone.contains(&po) {
+                        continue;
+                    }
+                    let after = vals.row(po.index());
+                    let spec_row = spec.po_values().row(po_idx);
+                    let before = response.po_values().row(po_idx);
+                    for w in 0..wpr {
+                        let was_bad = before[w] ^ spec_row[w];
+                        let now_bad = after[w] ^ spec_row[w];
+                        let mut fixed = was_bad & !now_bad;
+                        if w == wpr - 1 {
+                            fixed &= PackedBits::new(nv).tail_mask();
+                        }
+                        rectified += fixed.count_ones() as usize;
+                    }
+                }
+                for (k, &g) in cone.iter().enumerate() {
+                    vals.row_mut(g.index())
+                        .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                }
+                (rectified, sim.words_simulated() - words_before)
+            },
+        );
+        let mut scored = Vec::with_capacity(lines.len());
+        for (i, (rectified, words)) in outcome.results.into_iter().enumerate() {
+            self.stats.words_simulated += words;
+            scored.push((lines[i], rectified as f64 / total_bad as f64));
         }
+        self.stats.parallel.merge(&outcome.telemetry);
         scored.sort_by(|a, b| b.1.total_cmp(&a.1));
         scored
     }
 
     /// One ladder level of the correction stage: enumerate, screen with
     /// heuristics 2 and 3, and rank the survivors.
+    ///
+    /// Suspect lines fan out across [`RectifyConfig::jobs`] workers, one
+    /// task per line covering both screening phases. Workers carry a
+    /// private simulator plus a private copy of the value matrix (phase B
+    /// restores every cone row it perturbs, so the copy stays equal to
+    /// `vals` between tasks); survivors merge in line order, preserving
+    /// the serial candidate sequence bit for bit.
     #[allow(clippy::too_many_arguments)]
     fn screen_level(
         &mut self,
         netlist: &Netlist,
-        vals: &mut PackedMatrix,
+        vals: &PackedMatrix,
         response: &Response,
         scored_lines: &[(GateId, f64)],
         level: &ParamLevel,
@@ -622,6 +699,7 @@ impl Rectifier {
         n_err: usize,
         n_corr: usize,
     ) -> Vec<RankedCorrection> {
+        let t_screen = Instant::now();
         let nv = self.vectors.num_vectors();
         let wpr = vals.words_per_row();
         let tail = PackedBits::new(nv).tail_mask();
@@ -639,264 +717,311 @@ impl Rectifier {
                 got.iter().zip(want).map(|(a, b)| a ^ b).collect()
             })
             .collect();
-        let mut ranked = Vec::new();
-        let mut saved: Vec<u64> = Vec::new();
-        for &(line, h1_score) in scored_lines {
-            if h1_score + 1e-12 < level.h1 {
-                // scored_lines is sorted descending: nothing below
-                // qualifies either.
-                break;
-            }
-            // ---- Phase A: heuristic 2 on every candidate (cheap, local,
-            // allocation-free for the wire corrections that dominate). ----
-            let mut pass: Vec<(Correction, f64)> = Vec::new();
-            let cur = vals.row(line.index()).to_vec();
-            let h2_count = |new_word: &dyn Fn(usize) -> u64| -> usize {
-                let mut complemented = 0usize;
-                for w in 0..wpr {
-                    // err_words is already tail-masked.
-                    let diff = (new_word(w) ^ cur[w]) & err_words[w];
-                    complemented += diff.count_ones() as usize;
-                }
-                complemented
-            };
-            let qualifies = |complemented: usize| -> bool {
-                complemented as f64 / n_err.max(1) as f64 + 1e-12 >= h2_threshold
-            };
-            // Non-wire candidates through the generic evaluator.
-            for corr in enumerate_corrections(netlist, line, self.config.model, &[]) {
-                self.stats.corrections_screened += 1;
-                let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
-                    continue;
+        // scored_lines is sorted descending, so the h1 threshold keeps a
+        // prefix; everything after it is rejected wholesale.
+        let keep = scored_lines
+            .iter()
+            .take_while(|&&(_, s)| s + 1e-12 >= level.h1)
+            .count();
+        self.stats.lines_rejected_h1 += scored_lines.len() - keep;
+        let active = &scored_lines[..keep];
+        let spec = &self.spec;
+        let config = &self.config;
+        let outcome = run_parallel_with(
+            active.len(),
+            config.jobs,
+            || (Simulator::new(), vals.clone(), Vec::<u64>::new()),
+            |(sim, vals, saved), li| {
+                let (line, _) = active[li];
+                let mut delta = ScreenDelta::default();
+                let words_before = sim.words_simulated();
+                // ---- Phase A: heuristic 2 on every candidate (cheap,
+                // local, allocation-free for the wire corrections that
+                // dominate). ----
+                let mut pass: Vec<(Correction, f64)> = Vec::new();
+                let cur = vals.row(line.index()).to_vec();
+                let h2_count = |new_word: &dyn Fn(usize) -> u64| -> usize {
+                    let mut complemented = 0usize;
+                    for w in 0..wpr {
+                        // err_words is already tail-masked.
+                        let diff = (new_word(w) ^ cur[w]) & err_words[w];
+                        complemented += diff.count_ones() as usize;
+                    }
+                    complemented
                 };
-                let complemented = h2_count(&|w| new_row.words()[w]);
-                if qualifies(complemented) {
-                    pass.push((corr, complemented as f64 / n_err.max(1) as f64));
-                }
-            }
-            // Wire candidates: exhaustive over every cycle-safe source,
-            // fused evaluation per gate family.
-            if self.config.model == CorrectionModel::DesignErrors
-                && netlist.gate(line).kind().is_logic()
-            {
-                let cone = netlist.fanout_cone(line);
-                let gate = netlist.gate(line);
-                let kind = gate.kind();
-                let fanins = gate.fanins().to_vec();
-                // Folded fanin rows: `core` over all fanins, `base_wo[p]`
-                // over all but port p, under the gate's core operation
-                // (AND / OR / XOR, inversion applied at the end).
-                enum Family {
-                    And,
-                    Or,
-                    Xor,
-                }
-                let (family, identity, invert) = match kind {
-                    GateKind::And => (Family::And, !0u64, false),
-                    GateKind::Nand => (Family::And, !0u64, true),
-                    GateKind::Buf => (Family::And, !0u64, false),
-                    GateKind::Not => (Family::And, !0u64, true),
-                    GateKind::Or => (Family::Or, 0u64, false),
-                    GateKind::Nor => (Family::Or, 0u64, true),
-                    GateKind::Xor => (Family::Xor, 0u64, false),
-                    GateKind::Xnor => (Family::Xor, 0u64, true),
-                    _ => unreachable!("is_logic checked"),
+                let qualifies = |complemented: usize| -> bool {
+                    complemented as f64 / n_err.max(1) as f64 + 1e-12 >= h2_threshold
                 };
-                let fold = |skip: Option<usize>| -> Vec<u64> {
-                    let mut acc = vec![identity; wpr];
-                    for (p, &f) in fanins.iter().enumerate() {
-                        if Some(p) == skip {
-                            continue;
+                // Non-wire candidates through the generic evaluator.
+                for corr in enumerate_corrections(netlist, line, config.model, &[]) {
+                    delta.screened += 1;
+                    let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
+                        continue;
+                    };
+                    let complemented = h2_count(&|w| new_row.words()[w]);
+                    if qualifies(complemented) {
+                        pass.push((corr, complemented as f64 / n_err.max(1) as f64));
+                    }
+                }
+                // Wire candidates: exhaustive over every cycle-safe source,
+                // fused evaluation per gate family.
+                if config.model == CorrectionModel::DesignErrors
+                    && netlist.gate(line).kind().is_logic()
+                {
+                    let cone = netlist.fanout_cone(line);
+                    let gate = netlist.gate(line);
+                    let kind = gate.kind();
+                    let fanins = gate.fanins().to_vec();
+                    // Folded fanin rows: `core` over all fanins, `base_wo[p]`
+                    // over all but port p, under the gate's core operation
+                    // (AND / OR / XOR, inversion applied at the end).
+                    enum Family {
+                        And,
+                        Or,
+                        Xor,
+                    }
+                    let (family, identity, invert) = match kind {
+                        GateKind::And => (Family::And, !0u64, false),
+                        GateKind::Nand => (Family::And, !0u64, true),
+                        GateKind::Buf => (Family::And, !0u64, false),
+                        GateKind::Not => (Family::And, !0u64, true),
+                        GateKind::Or => (Family::Or, 0u64, false),
+                        GateKind::Nor => (Family::Or, 0u64, true),
+                        GateKind::Xor => (Family::Xor, 0u64, false),
+                        GateKind::Xnor => (Family::Xor, 0u64, true),
+                        _ => unreachable!("is_logic checked"),
+                    };
+                    let fold = |skip: Option<usize>| -> Vec<u64> {
+                        let mut acc = vec![identity; wpr];
+                        for (p, &f) in fanins.iter().enumerate() {
+                            if Some(p) == skip {
+                                continue;
+                            }
+                            let row = vals.row(f.index());
+                            for (a, &r) in acc.iter_mut().zip(row) {
+                                match family {
+                                    Family::And => *a &= r,
+                                    Family::Or => *a |= r,
+                                    Family::Xor => *a ^= r,
+                                }
+                            }
                         }
-                        let row = vals.row(f.index());
-                        for (a, &r) in acc.iter_mut().zip(row) {
-                            match family {
-                                Family::And => *a &= r,
-                                Family::Or => *a |= r,
-                                Family::Xor => *a ^= r,
+                        acc
+                    };
+                    let core = fold(None);
+                    let base_wo: Vec<Vec<u64>> =
+                        (0..fanins.len()).map(|p| fold(Some(p))).collect();
+                    let combine = |base: &[u64], src: &[u64], w: usize| -> u64 {
+                        let v = match family {
+                            Family::And => base[w] & src[w],
+                            Family::Or => base[w] | src[w],
+                            Family::Xor => base[w] ^ src[w],
+                        };
+                        if invert {
+                            !v
+                        } else {
+                            v
+                        }
+                    };
+                    let can_add = matches!(
+                        kind,
+                        GateKind::And
+                            | GateKind::Nand
+                            | GateKind::Or
+                            | GateKind::Nor
+                            | GateKind::Xor
+                            | GateKind::Xnor
+                    );
+                    // Eligible sources, optionally stride-sampled.
+                    let mut eligible: Vec<GateId> = netlist
+                        .ids()
+                        .filter(|&s| {
+                            s != line
+                                && !cone.contains(s.index())
+                                && !matches!(
+                                    netlist.gate(s).kind(),
+                                    GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+                                )
+                        })
+                        .collect();
+                    if config.wire_source_limit > 0
+                        && eligible.len() > config.wire_source_limit
+                    {
+                        delta.wire_sources_truncated +=
+                            eligible.len() - config.wire_source_limit;
+                        let stride = eligible.len().div_ceil(config.wire_source_limit);
+                        eligible = eligible.into_iter().step_by(stride).collect();
+                    }
+                    for src in eligible {
+                        let srow = vals.row(src.index());
+                        // AddInput.
+                        if can_add && !fanins.contains(&src) {
+                            delta.screened += 1;
+                            let mut complemented = 0usize;
+                            for w in 0..wpr {
+                                let diff = (combine(&core, srow, w) ^ cur[w]) & err_words[w];
+                                complemented += diff.count_ones() as usize;
+                            }
+                            if qualifies(complemented) {
+                                pass.push((
+                                    Correction::new(
+                                        line,
+                                        CorrectionAction::AddInput { source: src },
+                                    ),
+                                    complemented as f64 / n_err.max(1) as f64,
+                                ));
+                            }
+                        }
+                        // ReplaceInput on every port.
+                        for (p, &old) in fanins.iter().enumerate() {
+                            if old == src {
+                                continue;
+                            }
+                            delta.screened += 1;
+                            let mut complemented = 0usize;
+                            for w in 0..wpr {
+                                let diff =
+                                    (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
+                                complemented += diff.count_ones() as usize;
+                            }
+                            if qualifies(complemented) {
+                                pass.push((
+                                    Correction::new(
+                                        line,
+                                        CorrectionAction::ReplaceInput { port: p, source: src },
+                                    ),
+                                    complemented as f64 / n_err.max(1) as f64,
+                                ));
+                            }
+                        }
+                        // InsertGate over the basic 2-input kinds (restores a
+                        // dropped "simple gate" in one correction). The
+                        // inverting kinds complement almost every V_err bit and
+                        // so pass heuristic 2 for free, flooding the expensive
+                        // heuristic-3 stage; they only join once the ladder has
+                        // relaxed h3 — the point where such repairs become
+                        // admissible at all.
+                        let insert_kinds: &[GateKind] = if level.h3 <= 0.85 {
+                            &[GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor]
+                        } else {
+                            &[GateKind::And, GateKind::Or]
+                        };
+                        for &k2 in insert_kinds {
+                            delta.screened += 1;
+                            let mut complemented = 0usize;
+                            for w in 0..wpr {
+                                let v = match k2 {
+                                    GateKind::And => cur[w] & srow[w],
+                                    GateKind::Or => cur[w] | srow[w],
+                                    GateKind::Nand => !(cur[w] & srow[w]),
+                                    _ => !(cur[w] | srow[w]),
+                                };
+                                let diff = (v ^ cur[w]) & err_words[w];
+                                complemented += diff.count_ones() as usize;
+                            }
+                            if qualifies(complemented) {
+                                pass.push((
+                                    Correction::new(
+                                        line,
+                                        CorrectionAction::InsertGate { kind: k2, other: src },
+                                    ),
+                                    complemented as f64 / n_err.max(1) as f64,
+                                ));
                             }
                         }
                     }
-                    acc
-                };
-                let core = fold(None);
-                let base_wo: Vec<Vec<u64>> =
-                    (0..fanins.len()).map(|p| fold(Some(p))).collect();
-                let combine = |base: &[u64], src: &[u64], w: usize| -> u64 {
-                    let v = match family {
-                        Family::And => base[w] & src[w],
-                        Family::Or => base[w] | src[w],
-                        Family::Xor => base[w] ^ src[w],
+                }
+                delta.rejected_h2 = delta.screened - pass.len();
+                // ---- Phase B: heuristic 3 (cone propagation) on
+                // survivors. ----
+                let mut line_ranked: Vec<RankedCorrection> = Vec::new();
+                for (corr, h2_fraction) in pass {
+                    let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
+                        delta.rejected_h3 += 1;
+                        continue;
                     };
-                    if invert {
-                        !v
-                    } else {
-                        v
+                    let cone = netlist.fanout_cone_sorted(line);
+                    saved.clear();
+                    for &g in &cone {
+                        saved.extend_from_slice(vals.row(g.index()));
                     }
-                };
-                let can_add = matches!(
-                    kind,
-                    GateKind::And
-                        | GateKind::Nand
-                        | GateKind::Or
-                        | GateKind::Nor
-                        | GateKind::Xor
-                        | GateKind::Xnor
-                );
-                // Eligible sources, optionally stride-sampled.
-                let mut eligible: Vec<GateId> = netlist
-                    .ids()
-                    .filter(|&s| {
-                        s != line
-                            && !cone.contains(s.index())
-                            && !matches!(
-                                netlist.gate(s).kind(),
-                                GateKind::Const0 | GateKind::Const1 | GateKind::Dff
-                            )
-                    })
-                    .collect();
-                if self.config.wire_source_limit > 0
-                    && eligible.len() > self.config.wire_source_limit
-                {
-                    self.stats.wire_sources_truncated +=
-                        eligible.len() - self.config.wire_source_limit;
-                    let stride = eligible.len().div_ceil(self.config.wire_source_limit);
-                    eligible = eligible.into_iter().step_by(stride).collect();
-                }
-                for src in eligible {
-                    let srow = vals.row(src.index());
-                    // AddInput.
-                    if can_add && !fanins.contains(&src) {
-                        self.stats.corrections_screened += 1;
-                        let mut complemented = 0usize;
-                        for w in 0..wpr {
-                            let diff = (combine(&core, srow, w) ^ cur[w]) & err_words[w];
-                            complemented += diff.count_ones() as usize;
-                        }
-                        if qualifies(complemented) {
-                            pass.push((
-                                Correction::new(line, CorrectionAction::AddInput { source: src }),
-                                complemented as f64 / n_err.max(1) as f64,
-                            ));
+                    vals.row_mut(line.index()).copy_from_slice(new_row.words());
+                    sim.run_cone(netlist, vals, &cone);
+                    let mut after_fail = vec![0u64; wpr];
+                    for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                        if cone.contains(&po) {
+                            let got = vals.row(po.index());
+                            let want = spec.po_values().row(po_idx);
+                            for w in 0..wpr {
+                                after_fail[w] |= got[w] ^ want[w];
+                            }
+                        } else {
+                            for w in 0..wpr {
+                                after_fail[w] |= old_diff[po_idx][w];
+                            }
                         }
                     }
-                    // ReplaceInput on every port.
-                    for (p, &old) in fanins.iter().enumerate() {
-                        if old == src {
-                            continue;
+                    let mut newly_err = 0usize;
+                    let mut fixed = 0usize;
+                    for w in 0..wpr {
+                        let mut ne = after_fail[w] & !err_words[w];
+                        let mut fx = err_words[w] & !after_fail[w];
+                        if w == wpr - 1 {
+                            ne &= tail;
+                            fx &= tail;
                         }
-                        self.stats.corrections_screened += 1;
-                        let mut complemented = 0usize;
-                        for w in 0..wpr {
-                            let diff = (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
-                            complemented += diff.count_ones() as usize;
-                        }
-                        if qualifies(complemented) {
-                            pass.push((
-                                Correction::new(
-                                    line,
-                                    CorrectionAction::ReplaceInput { port: p, source: src },
-                                ),
-                                complemented as f64 / n_err.max(1) as f64,
-                            ));
-                        }
+                        newly_err += ne.count_ones() as usize;
+                        fixed += fx.count_ones() as usize;
                     }
-                    // InsertGate over the basic 2-input kinds (restores a
-                    // dropped "simple gate" in one correction). The
-                    // inverting kinds complement almost every V_err bit and
-                    // so pass heuristic 2 for free, flooding the expensive
-                    // heuristic-3 stage; they only join once the ladder has
-                    // relaxed h3 — the point where such repairs become
-                    // admissible at all.
-                    let insert_kinds: &[GateKind] = if level.h3 <= 0.85 {
-                        &[GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor]
-                    } else {
-                        &[GateKind::And, GateKind::Or]
-                    };
-                    for &k2 in insert_kinds {
-                        self.stats.corrections_screened += 1;
-                        let mut complemented = 0usize;
-                        for w in 0..wpr {
-                            let v = match k2 {
-                                GateKind::And => cur[w] & srow[w],
-                                GateKind::Or => cur[w] | srow[w],
-                                GateKind::Nand => !(cur[w] & srow[w]),
-                                _ => !(cur[w] | srow[w]),
-                            };
-                            let diff = (v ^ cur[w]) & err_words[w];
-                            complemented += diff.count_ones() as usize;
-                        }
-                        if qualifies(complemented) {
-                            pass.push((
-                                Correction::new(
-                                    line,
-                                    CorrectionAction::InsertGate { kind: k2, other: src },
-                                ),
-                                complemented as f64 / n_err.max(1) as f64,
-                            ));
-                        }
+                    for (k, &g) in cone.iter().enumerate() {
+                        vals.row_mut(g.index())
+                            .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
                     }
-                }
-            }
-            // ---- Phase B: heuristic 3 (cone propagation) on survivors. ----
-            for (corr, h2_fraction) in pass {
-                let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
-                    continue;
-                };
-                let cone = netlist.fanout_cone_sorted(line);
-                saved.clear();
-                for &g in &cone {
-                    saved.extend_from_slice(vals.row(g.index()));
-                }
-                vals.row_mut(line.index()).copy_from_slice(new_row.words());
-                self.sim.run_cone(netlist, vals, &cone);
-                let mut after_fail = vec![0u64; wpr];
-                for (po_idx, &po) in netlist.outputs().iter().enumerate() {
-                    if cone.contains(&po) {
-                        let got = vals.row(po.index());
-                        let want = self.spec.po_values().row(po_idx);
-                        for w in 0..wpr {
-                            after_fail[w] |= got[w] ^ want[w];
-                        }
-                    } else {
-                        for w in 0..wpr {
-                            after_fail[w] |= old_diff[po_idx][w];
-                        }
+                    let h3_score = 1.0 - newly_err as f64 / n_corr.max(1) as f64;
+                    if h3_score + 1e-12 < level.h3 {
+                        delta.rejected_h3 += 1;
+                        continue;
                     }
+                    delta.qualified += 1;
+                    let corr_h1 = fixed as f64 / n_err.max(1) as f64;
+                    line_ranked.push(RankedCorrection {
+                        correction: corr,
+                        rank: (1.0 - v_ratio) * h3_score + v_ratio * corr_h1,
+                        h1_score: corr_h1,
+                        h2_fraction,
+                        h3_score,
+                    });
                 }
-                let mut newly_err = 0usize;
-                let mut fixed = 0usize;
-                for w in 0..wpr {
-                    let mut ne = after_fail[w] & !err_words[w];
-                    let mut fx = err_words[w] & !after_fail[w];
-                    if w == wpr - 1 {
-                        ne &= tail;
-                        fx &= tail;
-                    }
-                    newly_err += ne.count_ones() as usize;
-                    fixed += fx.count_ones() as usize;
-                }
-                for (i, &g) in cone.iter().enumerate() {
-                    vals.row_mut(g.index())
-                        .copy_from_slice(&saved[i * wpr..(i + 1) * wpr]);
-                }
-                let h3_score = 1.0 - newly_err as f64 / n_corr.max(1) as f64;
-                if h3_score + 1e-12 < level.h3 {
-                    continue;
-                }
-                self.stats.corrections_qualified += 1;
-                let corr_h1 = fixed as f64 / n_err.max(1) as f64;
-                ranked.push(RankedCorrection {
-                    correction: corr,
-                    rank: (1.0 - v_ratio) * h3_score + v_ratio * corr_h1,
-                    h1_score: corr_h1,
-                    h2_fraction,
-                    h3_score,
-                });
-            }
+                delta.words = sim.words_simulated() - words_before;
+                (line_ranked, delta)
+            },
+        );
+        let mut ranked = Vec::new();
+        for (line_ranked, delta) in outcome.results {
+            ranked.extend(line_ranked);
+            self.stats.corrections_screened += delta.screened;
+            self.stats.corrections_qualified += delta.qualified;
+            self.stats.corrections_rejected_h2 += delta.rejected_h2;
+            self.stats.corrections_rejected_h3 += delta.rejected_h3;
+            self.stats.wire_sources_truncated += delta.wire_sources_truncated;
+            self.stats.words_simulated += delta.words;
         }
+        self.stats.parallel.merge(&outcome.telemetry);
+        self.stats.screen_time += t_screen.elapsed();
         ranked
     }
+}
+
+/// Per-line stat deltas produced inside a screening task and merged, in
+/// line order, into the session's [`RectifyStats`].
+#[derive(Default)]
+struct ScreenDelta {
+    screened: usize,
+    qualified: usize,
+    rejected_h2: usize,
+    rejected_h3: usize,
+    wire_sources_truncated: usize,
+    words: u64,
 }
 
 /// Keeps only tuples that are minimal as sets (no other solution's

@@ -144,6 +144,51 @@ proptest! {
         prop_assert!(saw_injected, "completeness: injected fault among answers");
     }
 
+    /// Parallel screening is bit-identical to serial: the same problem
+    /// solved with `jobs = 1` and `jobs = 4` yields the same solutions
+    /// and the same deterministic counters. (Wall-clock timers and
+    /// worker telemetry are excluded — they are the only permitted
+    /// divergence.)
+    #[test]
+    fn parallel_screening_matches_serial(seed in 0u64..40, pick in 0usize..1000, v in prop::bool::ANY) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9A11);
+        let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        {
+            let vals = sim.run(&golden, &pi);
+            if Response::compare(&golden, &vals, &device).matches() {
+                return Ok(()); // fault not excited
+            }
+        }
+        let run = |jobs: usize| {
+            let mut config = RectifyConfig::dedc(2);
+            config.jobs = jobs;
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config).run()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        prop_assert_eq!(&serial.solutions, &parallel.solutions);
+        let (s, p) = (&serial.stats, &parallel.stats);
+        prop_assert_eq!(s.nodes, p.nodes);
+        prop_assert_eq!(s.rounds, p.rounds);
+        prop_assert_eq!(s.corrections_screened, p.corrections_screened);
+        prop_assert_eq!(s.corrections_qualified, p.corrections_qualified);
+        prop_assert_eq!(s.corrections_rejected_h2, p.corrections_rejected_h2);
+        prop_assert_eq!(s.corrections_rejected_h3, p.corrections_rejected_h3);
+        prop_assert_eq!(s.lines_rejected_h1, p.lines_rejected_h1);
+        prop_assert_eq!(s.words_simulated, p.words_simulated);
+        prop_assert_eq!(s.deepest_ladder_level, p.deepest_ladder_level);
+        prop_assert_eq!(s.truncated, p.truncated);
+    }
+
     /// The parameter ladder's monotonicity means any candidate admitted at
     /// level i is admitted at level i+1 (same node, looser screens).
     #[test]
@@ -188,4 +233,55 @@ proptest! {
             prev = Some(now);
         }
     }
+}
+
+/// Stats counters accumulate across rounds and respect the screening
+/// invariant `screened == rejected_h2 + rejected_h3 + qualified` — a
+/// multi-error run so the decision tree goes through several rounds
+/// (each adding its own per-node deltas to the shared counters).
+#[test]
+fn stats_counters_accumulate_across_rounds() {
+    let golden = dag(7);
+    // Two stuck-at faults so the tree must expand past the root.
+    let a = GateId::from_index(11 % golden.len());
+    let b = GateId::from_index(29 % golden.len());
+    let mut device_nl = golden.clone();
+    StuckAt::new(a, false).apply(&mut device_nl).expect("apply a");
+    StuckAt::new(b, true).apply(&mut device_nl).expect("apply b");
+    let mut rng = StdRng::seed_from_u64(7);
+    let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        &device_nl,
+        &sim.run_for_inputs(&device_nl, golden.inputs(), &pi),
+    );
+    {
+        let vals = sim.run(&golden, &pi);
+        assert!(
+            !Response::compare(&golden, &vals, &device).matches(),
+            "faults must be excited for the test to exercise rounds"
+        );
+    }
+    let result = Rectifier::new(
+        golden.clone(),
+        pi,
+        device,
+        RectifyConfig::dedc(2),
+    )
+    .run();
+    let s = &result.stats;
+    assert!(s.rounds >= 1, "at least one round ran");
+    assert!(s.nodes >= s.rounds, "every round evaluates ≥ 1 node");
+    assert!(s.corrections_screened > 0);
+    assert_eq!(
+        s.corrections_screened,
+        s.corrections_rejected_h2 + s.corrections_rejected_h3 + s.corrections_qualified,
+        "every screened correction is rejected by h2, rejected by h3, or qualified"
+    );
+    assert!(s.words_simulated > 0, "simulation work is metered");
+    assert!(s.evaluate_time >= s.screen_time, "screening is part of evaluation");
+    assert!(
+        s.diagnosis_time >= s.path_trace_time,
+        "path-trace is a component of diagnosis"
+    );
 }

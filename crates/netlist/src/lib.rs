@@ -26,6 +26,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod bench_format;
 mod bitset;
 mod error;

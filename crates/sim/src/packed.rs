@@ -215,6 +215,21 @@ pub(crate) fn count_ones_masked(words: &[u64], num_vectors: usize) -> usize {
 /// driven by gate `i`) under every test vector — the paper's combined
 /// `V_corr`/`V_err` bit-lists, split by a failing-vector mask rather than
 /// physically.
+///
+/// # Example
+///
+/// ```
+/// use incdx_sim::PackedMatrix;
+///
+/// // Two lines over 70 vectors (two 64-bit words per row).
+/// let mut m = PackedMatrix::new(2, 70);
+/// assert_eq!(m.words_per_row(), 2);
+/// m.set(0, 3, true);
+/// m.row_mut(1)[1] = 0b10; // vector 65 of line 1
+/// assert!(m.get(1, 65));
+/// assert_eq!(m.to_bits(0).count_ones(), 1);
+/// assert_eq!(m.column(3), vec![true, false]);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PackedMatrix {
     data: Vec<u64>,

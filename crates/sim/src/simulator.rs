@@ -23,12 +23,37 @@ use crate::packed::PackedMatrix;
 #[derive(Debug, Default)]
 pub struct Simulator {
     scratch: Vec<u64>,
+    words_simulated: u64,
 }
 
 impl Simulator {
     /// Creates a simulator.
     pub fn new() -> Self {
         Simulator::default()
+    }
+
+    /// Packed 64-vector words evaluated since construction (or the last
+    /// [`Self::reset_words_simulated`]) — one unit per gate evaluation
+    /// per word, the engine's machine-independent measure of simulation
+    /// work.
+    ///
+    /// ```
+    /// use incdx_netlist::parse_bench;
+    /// use incdx_sim::{PackedMatrix, Simulator};
+    ///
+    /// let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+    /// let mut sim = Simulator::new();
+    /// sim.run(&n, &PackedMatrix::new(1, 128)); // 128 vectors = 2 words
+    /// assert_eq!(sim.words_simulated(), 2); // one NOT gate × 2 words
+    /// # Ok::<(), incdx_netlist::NetlistError>(())
+    /// ```
+    pub fn words_simulated(&self) -> u64 {
+        self.words_simulated
+    }
+
+    /// Resets the [`Self::words_simulated`] counter to zero.
+    pub fn reset_words_simulated(&mut self) {
+        self.words_simulated = 0;
     }
 
     /// Simulates the whole circuit on the given primary-input values
@@ -131,6 +156,7 @@ impl Simulator {
         let gate = netlist.gate(id);
         eval_packed_into(gate.kind(), gate.fanins(), vals, &mut self.scratch);
         vals.row_mut(id.index()).copy_from_slice(&self.scratch);
+        self.words_simulated += wpr as u64;
     }
 }
 

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests (unit + integration + property +
+# doctests), lints, and docs, all with warnings denied. CI and local
+# pre-push both run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release, all targets)"
+cargo build --workspace --release --all-targets
+
+echo "==> tests (workspace)"
+cargo test --workspace --release -q
+
+echo "==> clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> rustdoc (no deps, -D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --release
+
+echo "==> smoke: JSON report emission"
+out="$(cargo run -p incdx-bench --release --bin table2 -- \
+    --circuits c432a --trials 1 --vectors 256 --time-limit 5 2>/dev/null)"
+echo "$out" | grep -q '"report":"rectify"' \
+    || { echo "table2 emitted no RectifyReport JSON" >&2; exit 1; }
+
+echo "verify: OK"

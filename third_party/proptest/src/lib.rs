@@ -1,0 +1,521 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API used by this
+//! workspace's property tests.
+//!
+//! Provides source-compatible replacements for:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`Strategy`] with `prop_map` / `prop_flat_map`,
+//! * integer-range, `prop::bool::ANY`, `prop::collection::vec`,
+//!   `prop::sample::select` and tuple strategies,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] and the
+//!   `Result<(), TestCaseError>` test-body protocol.
+//!
+//! Semantics are simplified relative to the real crate: inputs are drawn
+//! from a deterministic per-case RNG (so failures reproduce without a
+//! persistence file) and there is **no shrinking** — a failing case
+//! reports the case number instead of a minimized input. That trade-off
+//! keeps the vendored crate tiny while preserving what the tests
+//! actually rely on: randomized coverage and assertion plumbing.
+
+// The `proptest!` doctest necessarily shows `#[test]` inside the macro
+// invocation — that is the real crate's calling convention, not a unit
+// test we expect the doctest harness to run.
+#![allow(clippy::test_attr_in_doctest)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// The source of test inputs handed to [`Strategy::sample`].
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A deterministic generator for one test case. `salt` mixes in the
+    /// test name so different tests see different streams.
+    pub fn deterministic(case: u64, salt: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(
+            case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt,
+        ))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A failed property assertion, carrying its message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The result type of a property-test body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random test inputs.
+///
+/// Unlike the real crate there is no value tree: a strategy simply
+/// samples a concrete value per case.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a second strategy from each generated value and samples it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                rng.0.random_range(self.start..self.end)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit: f64 = rng.0.random();
+        // Clamp below end: `unit` < 1.0 but rounding could still land on
+        // `end` for tiny spans.
+        (self.start + unit * (self.end - self.start)).min(f64_prev(self.end))
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let unit: f64 = rng.0.random();
+        self.start() + unit * (self.end() - self.start())
+    }
+}
+
+/// The largest float strictly below `x` (used to keep half-open float
+/// ranges half-open after rounding).
+fn f64_prev(x: f64) -> f64 {
+    if x.is_finite() && x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else {
+        x
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Length specification for [`vec()`](fn@vec) — built from a `usize` range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(core::ops::Range<usize>);
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    /// Strategy returned by [`vec()`](fn@vec).
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A vector of `size`-many elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into().0,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = (self.size.clone()).sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over explicit value sets.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    /// Uniform selection from a non-empty vector of options.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "cannot select from an empty vector");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.items[(0..self.items.len()).sample(rng)].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+
+    /// The `prop::` module path used by strategy expressions
+    /// (`prop::bool::ANY`, `prop::collection::vec`, ...).
+    pub use crate as prop;
+}
+
+/// Defines property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// Each test body runs `cases` times with inputs drawn from its
+/// strategies; `return Ok(())` skips a case, and `prop_assert!`-family
+/// failures abort the run with the case number.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_one! {
+                ($cfg)
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_one! {
+                ($crate::ProptestConfig::default())
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            }
+        )*
+    };
+}
+
+/// Expands one test of a [`proptest!`] block (implementation detail).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+) $body:block
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            // Different tests get different input streams.
+            let salt = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+                });
+            for case in 0..config.cases as u64 {
+                let mut prop_rng = $crate::TestRng::deterministic(case, salt);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut prop_rng);)+
+                let outcome: $crate::TestCaseResult =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {case}/{}: {e}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current test case with a formatted message unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r,
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l == r,
+                    "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), format!($($fmt)*), l, r,
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    l != r,
+                    "assertion failed: {} != {}\n  both: {:?}",
+                    stringify!($left), stringify!($right), l,
+                );
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_are_in_bounds(a in 3usize..17, b in 0u64..5) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5, "b = {}", b);
+        }
+
+        #[test]
+        fn tuples_vectors_and_maps_compose(
+            v in prop::collection::vec((0usize..10, prop::bool::ANY), 2..6),
+            s in prop::sample::select(vec!["x", "y"]),
+            n in (1usize..4).prop_map(|k| k * 2),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&(a, _)| a < 10));
+            prop_assert!(s == "x" || s == "y");
+            prop_assert!(n % 2 == 0 && n <= 6);
+        }
+
+        #[test]
+        fn flat_map_reuses_the_outer_sample(
+            pair in (2usize..6).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)))
+        ) {
+            prop_assert!(pair.1 < pair.0);
+        }
+
+        #[test]
+        fn early_return_skips_a_case(x in 0u32..10) {
+            if x > 3 {
+                return Ok(());
+            }
+            prop_assert!(x <= 3);
+        }
+    }
+
+    #[test]
+    fn failures_report_the_case() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                fn always_fails(_x in 0u64..2) {
+                    prop_assert!(false, "boom");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails") && msg.contains("boom"), "{msg}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Offline stand-in for the subset of the [`rand`](https://crates.io/crates/rand)
+//! crate API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate provides source-compatible replacements for exactly what the
+//! workspace imports:
+//!
+//! * [`rngs::StdRng`] — a seedable deterministic generator
+//!   (xoshiro256++ seeded through SplitMix64);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`Rng`] (the core `next_u64` trait) and [`RngExt`]
+//!   (`random`, `random_range`, `random_bool`);
+//! * [`seq::IndexedRandom::choose`] for slices.
+//!
+//! The statistical quality target is "good enough for randomized
+//! circuit generation and property tests": xoshiro256++ passes BigCrush
+//! and the integer range sampling is rejection-based (no modulo bias).
+//! The streams differ from the real `rand` crate's, which is fine —
+//! nothing in the workspace depends on a specific published stream,
+//! only on seeded determinism.
+
+/// A source of random 64-bit words. Mirror of `rand::RngCore`, reduced
+/// to the one method the workspace needs.
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types constructible from a `u64` seed. Mirror of `rand::SeedableRng`,
+/// reduced to `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to the full
+    /// internal state deterministically.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Values samplable uniformly from an `Rng` ("the standard
+/// distribution" of the real crate).
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types with uniform range sampling.
+pub trait UniformInt: Copy {
+    /// Draws uniformly from `[lo, hi)`. `lo < hi` is the caller's
+    /// responsibility.
+    fn sample_below<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_below<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                debug_assert!(span > 0);
+                // Rejection sampling: values below `zone` are unbiased.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return lo.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Range arguments accepted by [`RngExt::random_range`]. Mirror of
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_below(self.start, self.end, rng)
+    }
+}
+
+impl<T> SampleRange<T> for core::ops::RangeInclusive<T>
+where
+    T: UniformInt + PartialOrd + One,
+{
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        // `hi + 1` may overflow only for the full domain, which the
+        // workspace never samples.
+        T::sample_below(lo, hi.add_one(), rng)
+    }
+}
+
+/// Helper for inclusive-range sampling.
+pub trait One {
+    /// `self + 1`.
+    fn add_one(self) -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(
+        impl One for $t {
+            fn add_one(self) -> Self { self + 1 }
+        }
+    )*};
+}
+
+impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods. Mirror of the `rand` 0.9+ `Rng`
+/// extension surface (`random`, `random_range`, `random_bool`),
+/// blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws a value of an inferred type from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// (Blackman & Vigna), state-expanded from the seed with SplitMix64.
+    ///
+    /// Not the real `rand::rngs::StdRng` (ChaCha12) — streams differ,
+    /// determinism per seed is what matters here.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers.
+
+    use super::{Rng, RngExt};
+
+    /// Uniform element selection from slices. Mirror of
+    /// `rand::seq::IndexedRandom`, reduced to `choose`.
+    pub trait IndexedRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly drawn element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.random_range(5..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn range_sampling_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = [1, 2, 3];
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*items.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
