@@ -21,6 +21,10 @@ pub struct Args {
     /// Emit a one-line `RectifyReport` JSON record per engine run
     /// (`--no-json` disables; see EXPERIMENTS.md for the schema).
     pub json: bool,
+    /// Use the event-driven incremental resimulation engine
+    /// (`--no-incremental` reverts to full cone resimulation and disables
+    /// the node-matrix cache; results are bit-identical either way).
+    pub incremental: bool,
 }
 
 impl Default for Args {
@@ -35,6 +39,7 @@ impl Default for Args {
             time_limit: Duration::from_secs(30),
             jobs: 0,
             json: true,
+            incremental: true,
         }
     }
 }
@@ -62,6 +67,8 @@ impl Args {
                 "--jobs" => args.jobs = parse_num(&value("--jobs")) as usize,
                 "--json" => args.json = true,
                 "--no-json" => args.json = false,
+                "--incremental" => args.incremental = true,
+                "--no-incremental" => args.incremental = false,
                 "--time-limit" => {
                     args.time_limit = Duration::from_secs(parse_num(&value("--time-limit")))
                 }
@@ -75,7 +82,8 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
-                         --time-limit SECONDS --jobs N --json|--no-json"
+                         --time-limit SECONDS --jobs N --json|--no-json \
+                         --incremental|--no-incremental"
                     );
                     std::process::exit(0);
                 }
@@ -167,6 +175,13 @@ mod tests {
     fn json_flag_round_trips() {
         assert!(!Args::parse_from(["--no-json".to_string()]).json);
         assert!(Args::parse_from(["--json".to_string()]).json);
+    }
+
+    #[test]
+    fn incremental_flag_round_trips() {
+        assert!(Args::default().incremental, "incremental is the default");
+        assert!(!Args::parse_from(["--no-incremental".to_string()]).incremental);
+        assert!(Args::parse_from(["--incremental".to_string()]).incremental);
     }
 
     #[test]

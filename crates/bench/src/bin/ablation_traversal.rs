@@ -40,6 +40,7 @@ fn main() {
                         seed,
                         args.time_limit,
                         traversal,
+                        args.incremental,
                     ) {
                         return Some(out);
                     }
@@ -76,6 +77,7 @@ fn dedc_trial_with(
     seed: u64,
     time_limit: Duration,
     traversal: Traversal,
+    incremental: bool,
 ) -> Option<incdx_bench::DedcOutcome> {
     use incdx_core::{Rectifier, RectifyConfig};
     use incdx_fault::{inject_design_errors, InjectionConfig};
@@ -103,6 +105,7 @@ fn dedc_trial_with(
     let mut config = RectifyConfig::dedc(errors);
     config.time_limit = Some(time_limit);
     config.traversal = traversal;
+    config.incremental = incremental;
     let started = Instant::now();
     let result = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config).run();
     let total = started.elapsed();

@@ -51,6 +51,7 @@ fn main() {
         let mut config = RectifyConfig::dedc(3);
         config.max_rounds = budget;
         config.time_limit = Some(args.time_limit);
+        config.incremental = args.incremental;
         // A single engine run at a time — parallelism goes inside the
         // screening stage rather than across trials.
         config.jobs = args.jobs;

@@ -53,9 +53,14 @@ fn main() {
                 // seeds so every cell reports `trials` real runs.
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("table1", circuit, k, trial, attempt);
-                    if let Some(out) =
-                        stuck_at_trial(&golden, k, args.vectors, seed, args.time_limit)
-                    {
+                    if let Some(out) = stuck_at_trial(
+                        &golden,
+                        k,
+                        args.vectors,
+                        seed,
+                        args.time_limit,
+                        args.incremental,
+                    ) {
                         return Some(out);
                     }
                 }

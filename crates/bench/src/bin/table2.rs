@@ -48,8 +48,14 @@ fn main() {
             let outcomes = run_parallel(args.trials, args.jobs, |trial| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("table2", circuit, k, trial, attempt);
-                    if let Some(out) = dedc_trial(&golden, k, args.vectors, seed, args.time_limit)
-                    {
+                    if let Some(out) = dedc_trial(
+                        &golden,
+                        k,
+                        args.vectors,
+                        seed,
+                        args.time_limit,
+                        args.incremental,
+                    ) {
                         return Some(out);
                     }
                 }

@@ -62,12 +62,17 @@ pub struct StuckAtOutcome {
 ///
 /// Returns `None` when injection cannot produce an observable corruption
 /// (tiny circuits) — the caller draws a new seed.
+///
+/// `incremental` selects the event-driven incremental engine; `false`
+/// reverts to full cone resimulation (bit-identical results, more
+/// simulated words).
 pub fn stuck_at_trial(
     golden: &Netlist,
     faults: usize,
     vectors: usize,
     seed: u64,
     time_limit: Duration,
+    incremental: bool,
 ) -> Option<StuckAtOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_stuck_at_faults(
@@ -101,6 +106,7 @@ pub fn stuck_at_trial(
     }
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(time_limit);
+    config.incremental = incremental;
     let started = Instant::now();
     let result = Rectifier::new(golden.clone(), pi, device, config).run();
     let total = started.elapsed();
@@ -142,13 +148,14 @@ pub struct DedcOutcome {
 
 /// Runs one DEDC trial on `golden` (used as the specification): inject
 /// `errors` observable design errors, rectify the corrupted design, and
-/// verify any claimed solution.
+/// verify any claimed solution. See [`stuck_at_trial`] for `incremental`.
 pub fn dedc_trial(
     golden: &Netlist,
     errors: usize,
     vectors: usize,
     seed: u64,
     time_limit: Duration,
+    incremental: bool,
 ) -> Option<DedcOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_design_errors(
@@ -168,6 +175,7 @@ pub fn dedc_trial(
     let spec = Response::capture(golden, &sim.run(golden, &pi));
     let mut config = RectifyConfig::dedc(errors);
     config.time_limit = Some(time_limit);
+    config.incremental = incremental;
     let started = Instant::now();
     let result = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config).run();
     let total = started.elapsed();
@@ -218,7 +226,7 @@ mod tests {
     #[test]
     fn stuck_at_trial_on_small_circuit() {
         let golden = scan_core("c432a");
-        let out = stuck_at_trial(&golden, 1, 256, 3, Duration::from_secs(20))
+        let out = stuck_at_trial(&golden, 1, 256, 3, Duration::from_secs(20), true)
             .expect("injectable");
         assert!(out.tuples >= 1);
         assert!(out.recovered);
@@ -229,7 +237,8 @@ mod tests {
     #[test]
     fn dedc_trial_on_small_circuit() {
         let golden = scan_core("c432a");
-        let out = dedc_trial(&golden, 1, 256, 5, Duration::from_secs(20)).expect("injectable");
+        let out =
+            dedc_trial(&golden, 1, 256, 5, Duration::from_secs(20), true).expect("injectable");
         assert!(out.solved);
     }
 

@@ -1,0 +1,177 @@
+//! Bounded LRU cache of decision-tree node value matrices.
+//!
+//! Each open node of the rectification tree is `base circuit + a prefix of
+//! corrections`; its children differ by exactly one more correction. The
+//! [`NodeMatrixCache`] keeps the (netlist, value-matrix) pair of open nodes
+//! keyed by their correction prefix, so evaluating a child can start from
+//! the parent's matrix and resimulate only the corrected line's fanout cone
+//! instead of rebuilding and resimulating the whole circuit from scratch.
+//!
+//! Correctness never depends on a hit: a miss falls back to from-scratch
+//! simulation, and the incremental rebuild is bit-identical to it (see the
+//! cache-invariants section of `ARCHITECTURE.md`). Entries are evicted
+//! least-recently-used once the byte budget is exceeded, and removed
+//! eagerly when their node closes (no further children possible).
+
+use std::collections::HashMap;
+
+use incdx_fault::Correction;
+use incdx_netlist::Netlist;
+use incdx_sim::PackedMatrix;
+
+#[derive(Debug)]
+struct Entry {
+    netlist: Netlist,
+    vals: PackedMatrix,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// LRU map from correction prefix (in application order) to the node's
+/// netlist and fully simulated value matrix.
+#[derive(Debug)]
+pub(crate) struct NodeMatrixCache {
+    entries: HashMap<Vec<Correction>, Entry>,
+    budget_bytes: usize,
+    bytes: usize,
+    tick: u64,
+}
+
+impl NodeMatrixCache {
+    /// A cache that holds at most `budget_bytes` of matrix + netlist data.
+    /// A zero budget disables caching entirely (every lookup misses).
+    pub fn new(budget_bytes: usize) -> Self {
+        NodeMatrixCache {
+            entries: HashMap::new(),
+            budget_bytes,
+            bytes: 0,
+            tick: 0,
+        }
+    }
+
+    /// Clones out the entry for `key`, refreshing its recency.
+    pub fn get_clone(&mut self, key: &[Correction]) -> Option<(Netlist, PackedMatrix)> {
+        self.tick += 1;
+        let e = self.entries.get_mut(key)?;
+        e.last_used = self.tick;
+        Some((e.netlist.clone(), e.vals.clone()))
+    }
+
+    /// Stores an entry, evicting least-recently-used entries until the
+    /// budget is respected again. Returns the number of evictions.
+    pub fn insert(&mut self, key: Vec<Correction>, netlist: Netlist, vals: PackedMatrix) -> u64 {
+        if self.budget_bytes == 0 {
+            return 0;
+        }
+        let bytes = entry_bytes(&netlist, &vals);
+        self.tick += 1;
+        let entry = Entry {
+            netlist,
+            vals,
+            bytes,
+            last_used: self.tick,
+        };
+        if let Some(old) = self.entries.insert(key, entry) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        let mut evictions = 0;
+        while self.bytes > self.budget_bytes && !self.entries.is_empty() {
+            // Ticks are unique, so the LRU choice is deterministic even
+            // though HashMap iteration order is not.
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            let e = self.entries.remove(&lru).expect("present");
+            self.bytes -= e.bytes;
+            evictions += 1;
+        }
+        evictions
+    }
+
+    /// Drops the entry for `key`, if present (the node closed; its matrix
+    /// can never be reused again).
+    pub fn remove(&mut self, key: &[Correction]) {
+        if let Some(e) = self.entries.remove(key) {
+            self.bytes -= e.bytes;
+        }
+    }
+
+    /// Bytes currently held.
+    #[cfg(test)]
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of entries currently held.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Approximate heap footprint of an entry: the matrix words dominate; the
+/// netlist is charged a flat per-gate estimate.
+fn entry_bytes(netlist: &Netlist, vals: &PackedMatrix) -> usize {
+    vals.rows() * vals.words_per_row() * 8 + netlist.len() * 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_fault::CorrectionAction;
+    use incdx_netlist::{parse_bench, GateId};
+
+    fn key(n: u32) -> Vec<Correction> {
+        (0..n)
+            .map(|i| {
+                Correction::new(
+                    GateId::from_index(i as usize),
+                    CorrectionAction::SetConst(false),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let m = PackedMatrix::new(n.len(), 128);
+        let per_entry = super::entry_bytes(&n, &m);
+        // Budget for exactly two entries.
+        let mut cache = NodeMatrixCache::new(2 * per_entry);
+        assert_eq!(cache.insert(key(1), n.clone(), m.clone()), 0);
+        assert_eq!(cache.insert(key(2), n.clone(), m.clone()), 0);
+        // Touch key(1) so key(2) becomes the LRU.
+        assert!(cache.get_clone(&key(1)).is_some());
+        assert_eq!(cache.insert(key(3), n.clone(), m.clone()), 1);
+        assert!(cache.get_clone(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get_clone(&key(1)).is_some());
+        assert!(cache.get_clone(&key(3)).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn remove_releases_budget() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let m = PackedMatrix::new(n.len(), 64);
+        let mut cache = NodeMatrixCache::new(usize::MAX);
+        cache.insert(key(1), n.clone(), m.clone());
+        assert!(cache.bytes() > 0);
+        cache.remove(&key(1));
+        assert_eq!(cache.bytes(), 0);
+        assert!(cache.get_clone(&key(1)).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap();
+        let m = PackedMatrix::new(n.len(), 64);
+        let mut cache = NodeMatrixCache::new(0);
+        assert_eq!(cache.insert(key(1), n, m), 0);
+        assert!(cache.get_clone(&key(1)).is_none());
+    }
+}

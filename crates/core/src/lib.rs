@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod cache;
 mod parallel;
 mod params;
 mod path_trace;
@@ -68,7 +69,7 @@ pub use parallel::{
 pub use params::{default_ladder, ParamLevel};
 pub use path_trace::path_trace_counts;
 pub use report::RectifyReport;
-pub use screen::correction_output_row;
+pub use screen::{correction_output_row, correction_output_row_into, CorrectionScratch};
 pub use session::{Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution, Traversal};
 pub use tree::RankedCorrection;
 pub use wire::wire_sources;

@@ -91,6 +91,10 @@ impl RectifyReport {
         out.push_str(&format!(",\"solutions\":{}", self.solutions));
         out.push_str(&format!(",\"distinct_sites\":{}", self.distinct_sites));
         out.push_str(&format!(",\"nodes\":{}", s.nodes));
+        out.push_str(&format!(
+            ",\"expansions_skipped\":{}",
+            s.expansions_skipped
+        ));
         out.push_str(&format!(",\"rounds\":{}", s.rounds));
         out.push_str(&format!(
             ",\"deepest_ladder_level\":{}",
@@ -119,8 +123,12 @@ impl RectifyReport {
             s.candidates_truncated,
         ));
         out.push_str(&format!(
-            ",\"simulation\":{{\"words\":{}}}",
-            s.words_simulated
+            ",\"simulation\":{{\"words\":{},\"events_propagated\":{},\"words_skipped\":{}}}",
+            s.words_simulated, s.events_propagated, s.words_skipped,
+        ));
+        out.push_str(&format!(
+            ",\"cache\":{{\"cone_hits\":{},\"matrix_hits\":{},\"matrix_evictions\":{}}}",
+            s.cone_cache_hits, s.matrix_cache_hits, s.matrix_cache_evictions,
         ));
         out.push_str(&format!(
             ",\"workers\":{{\"count\":{},\"busy\":{},\"wall\":{},\"utilization\":{:.4}}}",
@@ -185,5 +193,7 @@ mod tests {
         );
         assert!(json.contains("\"jobs\":4"));
         assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"events_propagated\":0"));
+        assert!(json.contains("\"cache\":{\"cone_hits\":0"));
     }
 }

@@ -2,33 +2,46 @@
 //! correction ("a single simulation step on the gate driving l and the
 //! fan-ins to that gate", §3.2).
 //!
-//! Given the current value matrix, [`correction_output_row`] computes what
-//! the corrected gate would output on *every* vector without touching the
-//! netlist — the cheap test that, per the paper, "disqualifies the
-//! majority of inappropriate corrections".
+//! Given the current value matrix, [`correction_output_row_into`] computes
+//! what the corrected gate would output on *every* vector without touching
+//! the netlist — the cheap test that, per the paper, "disqualifies the
+//! majority of inappropriate corrections". It evaluates over borrowed row
+//! slices into a caller-owned [`CorrectionScratch`], so the screening hot
+//! loop allocates nothing per candidate; [`correction_output_row`] is the
+//! allocating convenience wrapper.
 
 use incdx_fault::{Correction, CorrectionAction};
 use incdx_netlist::{GateId, GateKind, Netlist};
 use incdx_sim::{PackedBits, PackedMatrix};
 
-fn row_of(vals: &PackedMatrix, id: GateId) -> Vec<u64> {
-    vals.row(id.index()).to_vec()
+/// Caller-owned scratch arena for [`correction_output_row_into`]: the
+/// output row plus one temporary (inverted-input / inserted-gate
+/// intermediate). Reused across candidates; sized lazily to the matrix's
+/// word count.
+#[derive(Debug, Default, Clone)]
+pub struct CorrectionScratch {
+    out: Vec<u64>,
+    tmp: Vec<u64>,
 }
 
-fn eval_kind(kind: GateKind, rows: &[Vec<u64>], wpr: usize) -> Vec<u64> {
-    let mut out = vec![0u64; wpr];
+/// Evaluates `kind` over an iterator of borrowed fanin rows into `out`
+/// (whole words; tail bits are garbage-in/garbage-out).
+fn eval_rows_into<'a, I>(kind: GateKind, mut rows: I, out: &mut [u64])
+where
+    I: Iterator<Item = &'a [u64]>,
+{
     match kind {
-        GateKind::Const0 => {}
+        GateKind::Const0 => out.fill(0),
         GateKind::Const1 => out.fill(!0),
-        GateKind::Buf => out.copy_from_slice(&rows[0]),
+        GateKind::Buf => out.copy_from_slice(rows.next().expect("buf fanin")),
         GateKind::Not => {
-            for (o, &w) in out.iter_mut().zip(&rows[0]) {
+            for (o, &w) in out.iter_mut().zip(rows.next().expect("not fanin")) {
                 *o = !w;
             }
         }
         GateKind::And | GateKind::Nand => {
-            out.copy_from_slice(&rows[0]);
-            for r in &rows[1..] {
+            out.copy_from_slice(rows.next().expect("gate fanin"));
+            for r in rows {
                 for (o, &w) in out.iter_mut().zip(r) {
                     *o &= w;
                 }
@@ -40,8 +53,8 @@ fn eval_kind(kind: GateKind, rows: &[Vec<u64>], wpr: usize) -> Vec<u64> {
             }
         }
         GateKind::Or | GateKind::Nor => {
-            out.copy_from_slice(&rows[0]);
-            for r in &rows[1..] {
+            out.copy_from_slice(rows.next().expect("gate fanin"));
+            for r in rows {
                 for (o, &w) in out.iter_mut().zip(r) {
                     *o |= w;
                 }
@@ -53,8 +66,8 @@ fn eval_kind(kind: GateKind, rows: &[Vec<u64>], wpr: usize) -> Vec<u64> {
             }
         }
         GateKind::Xor | GateKind::Xnor => {
-            out.copy_from_slice(&rows[0]);
-            for r in &rows[1..] {
+            out.copy_from_slice(rows.next().expect("gate fanin"));
+            for r in rows {
                 for (o, &w) in out.iter_mut().zip(r) {
                     *o ^= w;
                 }
@@ -67,13 +80,131 @@ fn eval_kind(kind: GateKind, rows: &[Vec<u64>], wpr: usize) -> Vec<u64> {
         }
         GateKind::Input | GateKind::Dff => unreachable!("screened corrections are combinational"),
     }
-    out
+}
+
+/// Allocation-free core of [`correction_output_row`]: computes the packed
+/// output values the target line would take if `correction` were applied,
+/// over all vectors of `vals`, into `scratch`. Pure function of the fanin
+/// rows — the netlist is not modified.
+///
+/// Returns the raw output words, borrowed from `scratch`. Tail bits are
+/// **not** masked — the row is word-for-word what a full resimulation of
+/// the corrected circuit would store for the line, so it can be planted
+/// directly into a value matrix; mask only when counting.
+///
+/// Returns `None` when the action is structurally inapplicable (bad port,
+/// arity underflow) — such candidates are discarded upstream.
+pub fn correction_output_row_into<'s>(
+    netlist: &Netlist,
+    vals: &PackedMatrix,
+    correction: &Correction,
+    scratch: &'s mut CorrectionScratch,
+) -> Option<&'s [u64]> {
+    let wpr = vals.words_per_row();
+    let CorrectionScratch { out, tmp } = scratch;
+    out.clear();
+    out.resize(wpr, 0);
+    let line = correction.line();
+    let gate = netlist.gate(line);
+    let kind = gate.kind();
+    let fanins = gate.fanins();
+    let row = |f: GateId| vals.row(f.index());
+    match correction.action() {
+        CorrectionAction::SetConst(v) => {
+            if v {
+                out.fill(!0);
+            }
+        }
+        CorrectionAction::ChangeKind(new_kind) => {
+            let (lo, hi) = new_kind.arity();
+            if fanins.len() < lo || fanins.len() > hi {
+                return None;
+            }
+            eval_rows_into(new_kind, fanins.iter().map(|&f| row(f)), out);
+        }
+        CorrectionAction::InvertInput { port } => {
+            if port >= fanins.len() || !kind.is_logic() {
+                return None;
+            }
+            tmp.clear();
+            tmp.extend(row(fanins[port]).iter().map(|&w| !w));
+            let tmp = &*tmp;
+            eval_rows_into(
+                kind,
+                fanins
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| if i == port { tmp } else { row(f) }),
+                out,
+            );
+        }
+        CorrectionAction::RemoveInput { port } => {
+            if port >= fanins.len() || fanins.len() <= kind.arity().0 || !kind.is_logic() {
+                return None;
+            }
+            eval_rows_into(
+                kind,
+                fanins
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != port)
+                    .map(|(_, &f)| row(f)),
+                out,
+            );
+        }
+        CorrectionAction::AddInput { source } => {
+            if !kind.is_logic() || source == line || fanins.contains(&source) {
+                return None;
+            }
+            eval_rows_into(
+                kind,
+                fanins
+                    .iter()
+                    .map(|&f| row(f))
+                    .chain(std::iter::once(row(source))),
+                out,
+            );
+        }
+        CorrectionAction::ReplaceInput { port, source } => {
+            if port >= fanins.len() || !kind.is_logic() || source == line {
+                return None;
+            }
+            eval_rows_into(
+                kind,
+                fanins
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| if i == port { row(source) } else { row(f) }),
+                out,
+            );
+        }
+        CorrectionAction::WireThrough { port } => {
+            if port >= fanins.len() {
+                return None;
+            }
+            out.copy_from_slice(row(fanins[port]));
+        }
+        CorrectionAction::InsertGate {
+            kind: new_kind,
+            other,
+        } => {
+            if !kind.is_logic() || other == line {
+                return None;
+            }
+            tmp.clear();
+            tmp.resize(wpr, 0);
+            eval_rows_into(kind, fanins.iter().map(|&f| row(f)), tmp);
+            let tmp = &*tmp;
+            eval_rows_into(new_kind, [tmp, row(other)].into_iter(), out);
+        }
+    }
+    Some(out)
 }
 
 /// Computes the packed output values the target line would take if
 /// `correction` were applied, over all vectors of `vals` (the current
-/// node's simulation matrix). Pure function of the fanin rows — the
-/// netlist is not modified.
+/// node's simulation matrix), as a tail-masked [`PackedBits`]. Allocating
+/// wrapper around [`correction_output_row_into`].
 ///
 /// Returns `None` when the action is structurally inapplicable (bad port,
 /// arity underflow) — such candidates are discarded upstream.
@@ -102,82 +233,10 @@ pub fn correction_output_row(
     vals: &PackedMatrix,
     correction: &Correction,
 ) -> Option<PackedBits> {
-    let wpr = vals.words_per_row();
-    let line = correction.line();
-    let gate = netlist.gate(line);
-    let kind = gate.kind();
-    let fanins = gate.fanins();
-    let words = match correction.action() {
-        CorrectionAction::SetConst(v) => {
-            if v {
-                vec![!0u64; wpr]
-            } else {
-                vec![0u64; wpr]
-            }
-        }
-        CorrectionAction::ChangeKind(new_kind) => {
-            let (lo, hi) = new_kind.arity();
-            if fanins.len() < lo || fanins.len() > hi {
-                return None;
-            }
-            let rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
-            eval_kind(new_kind, &rows, wpr)
-        }
-        CorrectionAction::InvertInput { port } => {
-            if port >= fanins.len() || !kind.is_logic() {
-                return None;
-            }
-            let mut rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
-            for w in rows[port].iter_mut() {
-                *w = !*w;
-            }
-            eval_kind(kind, &rows, wpr)
-        }
-        CorrectionAction::RemoveInput { port } => {
-            if port >= fanins.len() || fanins.len() <= kind.arity().0 || !kind.is_logic() {
-                return None;
-            }
-            let rows: Vec<Vec<u64>> = fanins
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| *i != port)
-                .map(|(_, &f)| row_of(vals, f))
-                .collect();
-            eval_kind(kind, &rows, wpr)
-        }
-        CorrectionAction::AddInput { source } => {
-            if !kind.is_logic() || source == line || fanins.contains(&source) {
-                return None;
-            }
-            let mut rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
-            rows.push(row_of(vals, source));
-            eval_kind(kind, &rows, wpr)
-        }
-        CorrectionAction::ReplaceInput { port, source } => {
-            if port >= fanins.len() || !kind.is_logic() || source == line {
-                return None;
-            }
-            let mut rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
-            rows[port] = row_of(vals, source);
-            eval_kind(kind, &rows, wpr)
-        }
-        CorrectionAction::WireThrough { port } => {
-            if port >= fanins.len() {
-                return None;
-            }
-            row_of(vals, fanins[port])
-        }
-        CorrectionAction::InsertGate { kind: new_kind, other } => {
-            if !kind.is_logic() || other == line {
-                return None;
-            }
-            let rows: Vec<Vec<u64>> = fanins.iter().map(|&f| row_of(vals, f)).collect();
-            let orig = eval_kind(kind, &rows, wpr);
-            eval_kind(new_kind, &[orig, row_of(vals, other)], wpr)
-        }
-    };
+    let mut scratch = CorrectionScratch::default();
+    let words = correction_output_row_into(netlist, vals, correction, &mut scratch)?;
     let mut bits = PackedBits::new(vals.num_vectors());
-    bits.words_mut().copy_from_slice(&words);
+    bits.words_mut().copy_from_slice(words);
     bits.mask_tail();
     Some(bits)
 }
@@ -227,14 +286,29 @@ mod tests {
             CorrectionAction::WireThrough { port: 1 },
             CorrectionAction::InsertGate { kind: GateKind::Or, other: c },
         ];
+        // One scratch reused across all candidates, as in the hot loop.
+        let mut scratch = CorrectionScratch::default();
         for action in actions {
             let corr = Correction::new(x, action);
             let local = correction_output_row(&n, &vals, &corr);
             let reference = reference_row(&n, &pi, &corr);
-            match (local, reference) {
+            match (&local, &reference) {
                 (Some(l), Some(r)) => assert_eq!(l, r, "{corr}"),
                 (None, None) => {}
                 (l, r) => panic!("{corr}: local {l:?} vs reference {r:?}"),
+            }
+            // The borrowed-slice path agrees with the wrapper modulo tail
+            // masking.
+            let raw = correction_output_row_into(&n, &vals, &corr, &mut scratch);
+            match (raw, local) {
+                (Some(raw), Some(l)) => {
+                    let mut bits = PackedBits::new(vals.num_vectors());
+                    bits.words_mut().copy_from_slice(raw);
+                    bits.mask_tail();
+                    assert_eq!(bits, l, "{corr} (scratch path)");
+                }
+                (None, None) => {}
+                (raw, l) => panic!("{corr}: scratch {raw:?} vs wrapper {l:?}"),
             }
         }
     }

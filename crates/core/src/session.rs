@@ -2,16 +2,18 @@
 //! screen → rank) and the round-based decision-tree traversal.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel, StuckAt};
-use incdx_netlist::{GateId, GateKind, Netlist};
-use incdx_sim::{PackedBits, PackedMatrix, Response, Simulator};
+use incdx_netlist::{ConeCache, ConeSet, GateId, GateKind, Netlist};
+use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Response, Simulator};
 
+use crate::cache::NodeMatrixCache;
 use crate::parallel::{run_parallel_with, ParallelTelemetry};
 use crate::params::{default_ladder, ParamLevel};
 use crate::path_trace::path_trace_counts;
-use crate::screen::correction_output_row;
+use crate::screen::{correction_output_row_into, CorrectionScratch};
 use crate::tree::{Node, RankedCorrection};
 
 /// How the decision tree is traversed (§3.3 compares these; the paper's
@@ -79,6 +81,17 @@ pub struct RectifyConfig {
     /// per-candidate evaluations run against worker-private simulator
     /// state and merge in candidate-rank order.
     pub jobs: usize,
+    /// Event-driven incremental node evaluation: reuse the parent node's
+    /// cached value matrix and resimulate only the corrected line's fanout
+    /// cone (change-bounded), instead of cloning and fully resimulating the
+    /// base circuit per node. Bit-identical to the from-scratch path for
+    /// every `jobs` value — only `words_simulated` (and the event/skip
+    /// counters) differ.
+    pub incremental: bool,
+    /// Byte budget for the node value-matrix cache used by the incremental
+    /// path (LRU beyond this; `0` disables the cache but keeps the
+    /// change-bounded cone propagation).
+    pub matrix_cache_bytes: usize,
 }
 
 impl RectifyConfig {
@@ -101,6 +114,8 @@ impl RectifyConfig {
             time_limit: None,
             traversal: Traversal::Rounds,
             jobs: 1,
+            incremental: true,
+            matrix_cache_bytes: 256 << 20,
         }
     }
 
@@ -127,6 +142,8 @@ impl RectifyConfig {
             time_limit: None,
             traversal: Traversal::Rounds,
             jobs: 1,
+            incremental: true,
+            matrix_cache_bytes: 256 << 20,
         }
     }
 }
@@ -166,6 +183,10 @@ impl Solution {
 pub struct RectifyStats {
     /// Decision-tree nodes evaluated (the paper's "nodes" column).
     pub nodes: usize,
+    /// Node evaluations that skipped diagnosis + screening because the
+    /// child could never join the tree (depth or node cap reached) — the
+    /// node was still prepared and solution-checked.
+    pub expansions_skipped: usize,
     /// Rounds executed.
     pub rounds: usize,
     /// Time in the diagnosis stage (path-trace + heuristic 1).
@@ -206,6 +227,21 @@ pub struct RectifyStats {
     /// simulators included — the machine-independent measure of
     /// simulation work (see `incdx_sim::Simulator::words_simulated`).
     pub words_simulated: u64,
+    /// Gate evaluations triggered by change-bounded cone propagation
+    /// (`Simulator::run_cone_events`), across every simulator.
+    pub events_propagated: u64,
+    /// Packed words *not* evaluated because the change-bounded walk saw no
+    /// changed fanin — simulation work avoided relative to plain cone
+    /// resimulation.
+    pub words_skipped: u64,
+    /// Memoized fanout-cone lookups served from a [`ConeCache`] instead of
+    /// recomputed.
+    pub cone_cache_hits: u64,
+    /// Node evaluations that started from a cached parent value matrix
+    /// instead of a from-scratch resimulation.
+    pub matrix_cache_hits: u64,
+    /// Entries evicted from the node value-matrix cache by the byte budget.
+    pub matrix_cache_evictions: u64,
     /// Worker-utilization telemetry aggregated over every parallel
     /// screening section of the run.
     pub parallel: ParallelTelemetry,
@@ -264,6 +300,18 @@ pub struct Rectifier {
     config: RectifyConfig,
     sim: Simulator,
     stats: RectifyStats,
+    /// Memoized fanout cones of the *base* netlist, reused across every
+    /// root evaluation and ladder level (swapped into the node-local cone
+    /// cache while the root node is being evaluated).
+    base_cones: ConeCache,
+    /// The base netlist's fully simulated value matrix, memoized on the
+    /// first root evaluation (incremental mode only): ladder restarts
+    /// re-evaluate the root, and every matrix-cache miss replays its
+    /// corrections incrementally from this matrix instead of
+    /// resimulating the whole circuit.
+    base_vals: Option<PackedMatrix>,
+    /// Value matrices of open tree nodes, keyed by correction prefix.
+    matrix_cache: NodeMatrixCache,
 }
 
 impl Rectifier {
@@ -301,6 +349,12 @@ impl Rectifier {
             "reference vector count mismatch"
         );
         let base_inputs = netlist.inputs().to_vec();
+        let base_cones = ConeCache::new(&netlist);
+        let matrix_cache = NodeMatrixCache::new(if config.incremental {
+            config.matrix_cache_bytes
+        } else {
+            0
+        });
         Rectifier {
             base: netlist,
             base_inputs,
@@ -309,6 +363,9 @@ impl Rectifier {
             config,
             sim: Simulator::new(),
             stats: RectifyStats::default(),
+            base_cones,
+            base_vals: None,
+            matrix_cache,
         }
     }
 
@@ -355,7 +412,7 @@ impl Rectifier {
                 .is_some_and(|limit| started.elapsed() > limit)
         };
 
-        match self.evaluate(&[], level) {
+        match self.evaluate(&[], level, true) {
             NodeEval::Solved => {
                 return vec![Solution { corrections: vec![] }];
             }
@@ -403,6 +460,9 @@ impl Rectifier {
                     break 'rounds;
                 }
                 if !nodes[idx].open() {
+                    // Closed nodes can never spawn children again; their
+                    // cached matrix is dead weight.
+                    self.matrix_cache.remove(&nodes[idx].corrections);
                     continue;
                 }
                 let cand = nodes[idx].candidates[nodes[idx].next];
@@ -422,7 +482,12 @@ impl Rectifier {
                 {
                     continue;
                 }
-                match self.evaluate(&corrections, level) {
+                // A child at the depth or node cap can never join the
+                // tree; evaluate it lazily — solution check only, no
+                // diagnosis/screening for a candidate list nobody reads.
+                let expandable = corrections.len() < self.config.max_corrections
+                    && nodes.len() < self.config.max_nodes;
+                match self.evaluate(&corrections, level, expandable) {
                     NodeEval::Solved => {
                         let mut key = corrections.clone();
                         key.sort();
@@ -448,9 +513,14 @@ impl Rectifier {
                                 next: 0,
                             });
                         } else if nodes.len() >= self.config.max_nodes {
+                            // (The unexpanded child cached no matrix, so
+                            // there is nothing to evict here.)
                             self.stats.truncated = true;
                         }
                     }
+                }
+                if !nodes[idx].open() {
+                    self.matrix_cache.remove(&nodes[idx].corrections);
                 }
             }
         }
@@ -474,7 +544,7 @@ impl Rectifier {
         corrections: &[Correction],
         level: &ParamLevel,
     ) -> Vec<RankedCorrection> {
-        match self.evaluate(corrections, level) {
+        match self.evaluate(corrections, level, true) {
             NodeEval::Open { candidates } => candidates,
             _ => Vec::new(),
         }
@@ -482,42 +552,199 @@ impl Rectifier {
 
     /// Evaluates one decision-tree node: replay corrections, simulate,
     /// and — if still failing — produce its ranked candidate list.
-    fn evaluate(&mut self, corrections: &[Correction], level: &ParamLevel) -> NodeEval {
+    ///
+    /// `expand = false` is the lazy path for children that can never join
+    /// the tree (depth or node cap reached): the node is still prepared
+    /// and checked for being a solution, but diagnosis and screening —
+    /// whose only product is the discarded candidate list — are skipped
+    /// and an empty `Open` is returned for any still-failing node.
+    fn evaluate(
+        &mut self,
+        corrections: &[Correction],
+        level: &ParamLevel,
+        expand: bool,
+    ) -> NodeEval {
         let t_eval = Instant::now();
-        let outcome = self.evaluate_node(corrections, level);
+        let outcome = self.evaluate_node(corrections, level, expand);
         self.stats.evaluate_time += t_eval.elapsed();
         outcome
     }
 
-    fn evaluate_node(&mut self, corrections: &[Correction], level: &ParamLevel) -> NodeEval {
+    fn evaluate_node(
+        &mut self,
+        corrections: &[Correction],
+        level: &ParamLevel,
+        expand: bool,
+    ) -> NodeEval {
         self.stats.nodes += 1;
         let t0 = Instant::now();
+        let words_before = self.sim.words_simulated();
+        let events_before = self.sim.events_propagated();
+        let skipped_before = self.sim.words_skipped();
+        let prepared = self.prepare_node(corrections);
+        self.stats.words_simulated += self.sim.words_simulated() - words_before;
+        self.stats.events_propagated += self.sim.events_propagated() - events_before;
+        self.stats.words_skipped += self.sim.words_skipped() - skipped_before;
+        let Some((netlist, vals, mut cones)) = prepared else {
+            self.stats.simulation_time += t0.elapsed();
+            return NodeEval::Dead;
+        };
+        let response = Response::compare(&netlist, &vals, &self.spec);
+        self.stats.simulation_time += t0.elapsed();
+        let outcome = if response.matches() {
+            NodeEval::Solved
+        } else if corrections.len() >= self.config.max_corrections {
+            NodeEval::Dead
+        } else if !expand {
+            self.stats.expansions_skipped += 1;
+            NodeEval::Open {
+                candidates: Vec::new(),
+            }
+        } else {
+            self.expand_node(&netlist, &vals, &response, corrections, level, &mut cones)
+        };
+        self.stats.cone_cache_hits += cones.take_hits();
+        if corrections.is_empty() {
+            // Hand the base netlist's cones back for the next root
+            // evaluation (ladder restarts re-evaluate the root).
+            self.base_cones = cones;
+        }
+        // Only open nodes can become parents, so only their matrices are
+        // worth caching for child reuse — and an unexpanded child can
+        // never join the tree, so its matrix would be dead weight too.
+        if self.config.incremental
+            && expand
+            && corrections.len() < self.config.max_corrections
+            && matches!(outcome, NodeEval::Open { .. })
+        {
+            self.stats.matrix_cache_evictions +=
+                self.matrix_cache.insert(corrections.to_vec(), netlist, vals);
+        }
+        outcome
+    }
+
+    /// Builds the node's netlist, fully simulated value matrix, and cone
+    /// cache. Incremental path: clone the parent's cached matrix, apply
+    /// only the last correction, evaluate any appended gates plus the
+    /// corrected line, and propagate change-bounded through the line's
+    /// fanout cone — bit-identical to the from-scratch fallback because a
+    /// correction rewrites exactly one existing gate (appended gates feed
+    /// only the corrected line) and gate evaluation is a pure function of
+    /// whole fanin words.
+    ///
+    /// Returns `None` when a correction fails to apply (a dead node).
+    fn prepare_node(
+        &mut self,
+        corrections: &[Correction],
+    ) -> Option<(Netlist, PackedMatrix, ConeCache)> {
+        if corrections.is_empty() {
+            let netlist = self.base.clone();
+            let vals = self.base_values();
+            let cones = std::mem::take(&mut self.base_cones);
+            return Some((netlist, vals, cones));
+        }
+        if self.config.incremental {
+            let (prefix, last) = corrections.split_at(corrections.len() - 1);
+            if let Some((mut netlist, mut vals)) = self.matrix_cache.get_clone(prefix) {
+                self.stats.matrix_cache_hits += 1;
+                if !self.apply_and_propagate(&mut netlist, &mut vals, &last[0]) {
+                    return None;
+                }
+                let cones = ConeCache::new(&netlist);
+                return Some((netlist, vals, cones));
+            }
+            // Miss: replay every correction incrementally from the base
+            // matrix — k cone resimulations instead of a whole-circuit
+            // pass.
+            let mut netlist = self.base.clone();
+            let mut vals = self.base_values();
+            for c in corrections {
+                if !self.apply_and_propagate(&mut netlist, &mut vals, c) {
+                    return None;
+                }
+            }
+            let cones = ConeCache::new(&netlist);
+            return Some((netlist, vals, cones));
+        }
+        // From scratch: clone the base, replay every correction, simulate
+        // everything.
         let mut netlist = self.base.clone();
         for c in corrections {
             if c.apply(&mut netlist).is_err() {
-                return NodeEval::Dead;
+                return None;
             }
         }
-        let words_before = self.sim.words_simulated();
         let vals = self
             .sim
             .run_for_inputs(&netlist, &self.base_inputs, &self.vectors);
-        self.stats.words_simulated += self.sim.words_simulated() - words_before;
-        let response = Response::compare(&netlist, &vals, &self.spec);
-        self.stats.simulation_time += t0.elapsed();
-        if response.matches() {
-            return NodeEval::Solved;
-        }
-        if corrections.len() >= self.config.max_corrections {
-            return NodeEval::Dead;
-        }
+        let cones = ConeCache::new(&netlist);
+        Some((netlist, vals, cones))
+    }
 
+    /// The base netlist's fully simulated value matrix. Memoized in
+    /// incremental mode (the matrix is a pure function of the base
+    /// netlist and the vector set); recomputed per call otherwise so
+    /// `incremental = false` keeps the original engine's work profile.
+    fn base_values(&mut self) -> PackedMatrix {
+        if !self.config.incremental {
+            return self
+                .sim
+                .run_for_inputs(&self.base, &self.base_inputs, &self.vectors);
+        }
+        if self.base_vals.is_none() {
+            self.base_vals =
+                Some(self.sim.run_for_inputs(&self.base, &self.base_inputs, &self.vectors));
+        }
+        self.base_vals.clone().expect("just filled")
+    }
+
+    /// Applies one correction to a consistent (netlist, matrix) pair and
+    /// restores consistency incrementally: evaluate any appended gates,
+    /// then the corrected line, then propagate change-bounded through its
+    /// fanout cone. Returns `false` when the correction does not apply.
+    fn apply_and_propagate(
+        &mut self,
+        netlist: &mut Netlist,
+        vals: &mut PackedMatrix,
+        c: &Correction,
+    ) -> bool {
+        let rows_before = netlist.len();
+        if c.apply(netlist).is_err() {
+            return false;
+        }
+        if netlist.len() > rows_before {
+            // Appended gates (an InvertInput NOT, an InsertGate aux gate)
+            // read only pre-existing lines and feed only the corrected
+            // line: evaluate them once, in id order.
+            vals.grow_rows(netlist.len());
+            for idx in rows_before..netlist.len() {
+                self.sim.eval_gate(netlist, GateId::from_index(idx), vals);
+            }
+        }
+        self.sim.eval_gate(netlist, c.line(), vals);
+        let cone = netlist.fanout_cone_sorted(c.line());
+        self.sim.run_cone_events(netlist, vals, &cone);
+        true
+    }
+
+    /// Diagnosis + correction for a node that is still failing: path-trace,
+    /// heuristic-1 line ranking, and the screened, ranked candidate list.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_node(
+        &mut self,
+        netlist: &Netlist,
+        vals: &PackedMatrix,
+        response: &Response,
+        corrections: &[Correction],
+        level: &ParamLevel,
+        cones: &mut ConeCache,
+    ) -> NodeEval {
         // ---- Diagnosis (§3.1) ----
         let t1 = Instant::now();
         let counts = path_trace_counts(
-            &netlist,
-            &vals,
-            &response,
+            netlist,
+            vals,
+            response,
             &self.spec,
             self.config.path_trace_vector_cap,
         );
@@ -559,7 +786,7 @@ impl Rectifier {
                 .map(|&l| (l, counts[l.index()] as f64 / max_count))
                 .collect()
         } else {
-            self.heuristic1(&netlist, &vals, &response, promoted)
+            self.heuristic1(netlist, vals, response, promoted, cones)
         };
         self.stats.rank_time += t_rank.elapsed();
         self.stats.diagnosis_time += t1.elapsed();
@@ -576,14 +803,15 @@ impl Rectifier {
             level.h2
         };
         let mut ranked = self.screen_level(
-            &netlist,
-            &vals,
-            &response,
+            netlist,
+            vals,
+            response,
             &scored_lines,
             level,
             h2_threshold,
             n_err,
             n_corr,
+            cones,
         );
         let outcome = if ranked.is_empty() {
             // "A leaf with failure" (§3.3).
@@ -617,12 +845,27 @@ impl Rectifier {
         vals: &PackedMatrix,
         response: &Response,
         lines: &[GateId],
+        cones: &mut ConeCache,
     ) -> Vec<(GateId, f64)> {
         let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
+        // Planting XORs the error mask into the stem row, so only word
+        // columns with a failing vector can ever change anywhere in the
+        // cone — propagation, save, and restore all restrict to them.
+        let err_cols: Vec<u32> = err_words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m != 0)
+            .map(|(w, _)| w as u32)
+            .collect();
         let total_bad = response.mismatch_bits().max(1);
         let wpr = vals.words_per_row();
         let nv = vals.num_vectors();
         let spec = &self.spec;
+        let incremental = self.config.incremental;
+        // Memoize every line's cone up front (serially), then share the
+        // `Arc`s read-only across workers.
+        let cone_refs: Vec<Arc<ConeSet>> =
+            lines.iter().map(|&l| cones.get(netlist, l)).collect();
         let outcome = run_parallel_with(
             lines.len(),
             self.config.jobs,
@@ -630,10 +873,21 @@ impl Rectifier {
             |(sim, vals, saved), i| {
                 let line = lines[i];
                 let words_before = sim.words_simulated();
-                let cone = netlist.fanout_cone_sorted(line);
+                let events_before = sim.events_propagated();
+                let skipped_before = sim.words_skipped();
+                let cone = &cone_refs[i];
                 saved.clear();
-                for &g in &cone {
-                    saved.extend_from_slice(vals.row(g.index()));
+                if incremental {
+                    for &g in cone.sorted() {
+                        let row = vals.row(g.index());
+                        for &w in &err_cols {
+                            saved.push(row[w as usize]);
+                        }
+                    }
+                } else {
+                    for &g in cone.sorted() {
+                        saved.extend_from_slice(vals.row(g.index()));
+                    }
                 }
                 {
                     let row = vals.row_mut(line.index());
@@ -641,11 +895,15 @@ impl Rectifier {
                         *w ^= m;
                     }
                 }
-                sim.run_cone(netlist, vals, &cone);
+                if incremental {
+                    sim.run_cone_events_cols(netlist, vals, cone.sorted(), &err_cols);
+                } else {
+                    sim.run_cone(netlist, vals, cone.sorted());
+                }
                 // Count rectified erroneous (vector, PO) bits.
                 let mut rectified = 0usize;
                 for (po_idx, &po) in netlist.outputs().iter().enumerate() {
-                    if !cone.contains(&po) {
+                    if !cone.contains(po) {
                         continue;
                     }
                     let after = vals.row(po.index());
@@ -661,16 +919,33 @@ impl Rectifier {
                         rectified += fixed.count_ones() as usize;
                     }
                 }
-                for (k, &g) in cone.iter().enumerate() {
-                    vals.row_mut(g.index())
-                        .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                if incremental {
+                    let nc = err_cols.len();
+                    for (k, &g) in cone.sorted().iter().enumerate() {
+                        let row = vals.row_mut(g.index());
+                        for (j, &w) in err_cols.iter().enumerate() {
+                            row[w as usize] = saved[k * nc + j];
+                        }
+                    }
+                } else {
+                    for (k, &g) in cone.sorted().iter().enumerate() {
+                        vals.row_mut(g.index())
+                            .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                    }
                 }
-                (rectified, sim.words_simulated() - words_before)
+                (
+                    rectified,
+                    sim.words_simulated() - words_before,
+                    sim.events_propagated() - events_before,
+                    sim.words_skipped() - skipped_before,
+                )
             },
         );
         let mut scored = Vec::with_capacity(lines.len());
-        for (i, (rectified, words)) in outcome.results.into_iter().enumerate() {
+        for (i, (rectified, words, events, skipped)) in outcome.results.into_iter().enumerate() {
             self.stats.words_simulated += words;
+            self.stats.events_propagated += events;
+            self.stats.words_skipped += skipped;
             scored.push((lines[i], rectified as f64 / total_bad as f64));
         }
         self.stats.parallel.merge(&outcome.telemetry);
@@ -698,6 +973,7 @@ impl Rectifier {
         h2_threshold: f64,
         n_err: usize,
         n_corr: usize,
+        cones: &mut ConeCache,
     ) -> Vec<RankedCorrection> {
         let t_screen = Instant::now();
         let nv = self.vectors.num_vectors();
@@ -727,38 +1003,52 @@ impl Rectifier {
         let active = &scored_lines[..keep];
         let spec = &self.spec;
         let config = &self.config;
+        let incremental = config.incremental;
+        // Memoize the active lines' cones up front (serially) and share the
+        // `Arc`s read-only across workers — both screening phases and the
+        // wire-source eligibility test walk the same cones.
+        let cone_refs: Vec<Arc<ConeSet>> = active
+            .iter()
+            .map(|&(l, _)| cones.get(netlist, l))
+            .collect();
         let outcome = run_parallel_with(
             active.len(),
             config.jobs,
-            || (Simulator::new(), vals.clone(), Vec::<u64>::new()),
-            |(sim, vals, saved), li| {
+            || {
+                (
+                    Simulator::new(),
+                    vals.clone(),
+                    Vec::<u64>::new(),
+                    CorrectionScratch::default(),
+                    Vec::<u32>::new(),
+                )
+            },
+            |(sim, vals, saved, scratch, cols), li| {
                 let (line, _) = active[li];
+                let cone = &cone_refs[li];
                 let mut delta = ScreenDelta::default();
                 let words_before = sim.words_simulated();
+                let events_before = sim.events_propagated();
+                let skipped_before = sim.words_skipped();
                 // ---- Phase A: heuristic 2 on every candidate (cheap,
                 // local, allocation-free for the wire corrections that
                 // dominate). ----
                 let mut pass: Vec<(Correction, f64)> = Vec::new();
                 let cur = vals.row(line.index()).to_vec();
-                let h2_count = |new_word: &dyn Fn(usize) -> u64| -> usize {
-                    let mut complemented = 0usize;
-                    for w in 0..wpr {
-                        // err_words is already tail-masked.
-                        let diff = (new_word(w) ^ cur[w]) & err_words[w];
-                        complemented += diff.count_ones() as usize;
-                    }
-                    complemented
-                };
                 let qualifies = |complemented: usize| -> bool {
                     complemented as f64 / n_err.max(1) as f64 + 1e-12 >= h2_threshold
                 };
-                // Non-wire candidates through the generic evaluator.
+                // Non-wire candidates through the generic evaluator
+                // (borrowed rows into the worker's scratch; the fused
+                // masked popcount avoids a diff temporary — err_words is
+                // already tail-masked).
                 for corr in enumerate_corrections(netlist, line, config.model, &[]) {
                     delta.screened += 1;
-                    let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
+                    let Some(new_row) = correction_output_row_into(netlist, vals, &corr, scratch)
+                    else {
                         continue;
                     };
-                    let complemented = h2_count(&|w| new_row.words()[w]);
+                    let complemented = xor_masked_count_ones(new_row, &cur, &err_words);
                     if qualifies(complemented) {
                         pass.push((corr, complemented as f64 / n_err.max(1) as f64));
                     }
@@ -768,7 +1058,6 @@ impl Rectifier {
                 if config.model == CorrectionModel::DesignErrors
                     && netlist.gate(line).kind().is_logic()
                 {
-                    let cone = netlist.fanout_cone(line);
                     let gate = netlist.gate(line);
                     let kind = gate.kind();
                     let fanins = gate.fanins().to_vec();
@@ -837,7 +1126,7 @@ impl Rectifier {
                         .ids()
                         .filter(|&s| {
                             s != line
-                                && !cone.contains(s.index())
+                                && !cone.contains(s)
                                 && !matches!(
                                     netlist.gate(s).kind(),
                                     GateKind::Const0 | GateKind::Const1 | GateKind::Dff
@@ -936,20 +1225,46 @@ impl Rectifier {
                 // survivors. ----
                 let mut line_ranked: Vec<RankedCorrection> = Vec::new();
                 for (corr, h2_fraction) in pass {
-                    let Some(new_row) = correction_output_row(netlist, vals, &corr) else {
+                    // The raw (unmasked-tail) output row is exactly what a
+                    // full resimulation of the corrected circuit would
+                    // store for the line, so it can be planted verbatim.
+                    let Some(new_row) = correction_output_row_into(netlist, vals, &corr, scratch)
+                    else {
                         delta.rejected_h3 += 1;
                         continue;
                     };
-                    let cone = netlist.fanout_cone_sorted(line);
                     saved.clear();
-                    for &g in &cone {
-                        saved.extend_from_slice(vals.row(g.index()));
+                    if incremental {
+                        // Planting replaces the stem row wholesale, but
+                        // only the word columns where it actually differs
+                        // from the current row can change anywhere in the
+                        // cone — propagate, save, and restore just those.
+                        cols.clear();
+                        for (w, (&n, &c)) in new_row.iter().zip(&cur).enumerate() {
+                            if n != c {
+                                cols.push(w as u32);
+                            }
+                        }
+                        for &g in cone.sorted() {
+                            let row = vals.row(g.index());
+                            for &w in cols.iter() {
+                                saved.push(row[w as usize]);
+                            }
+                        }
+                    } else {
+                        for &g in cone.sorted() {
+                            saved.extend_from_slice(vals.row(g.index()));
+                        }
                     }
-                    vals.row_mut(line.index()).copy_from_slice(new_row.words());
-                    sim.run_cone(netlist, vals, &cone);
+                    vals.row_mut(line.index()).copy_from_slice(new_row);
+                    if incremental {
+                        sim.run_cone_events_cols(netlist, vals, cone.sorted(), cols);
+                    } else {
+                        sim.run_cone(netlist, vals, cone.sorted());
+                    }
                     let mut after_fail = vec![0u64; wpr];
                     for (po_idx, &po) in netlist.outputs().iter().enumerate() {
-                        if cone.contains(&po) {
+                        if cone.contains(po) {
                             let got = vals.row(po.index());
                             let want = spec.po_values().row(po_idx);
                             for w in 0..wpr {
@@ -973,9 +1288,19 @@ impl Rectifier {
                         newly_err += ne.count_ones() as usize;
                         fixed += fx.count_ones() as usize;
                     }
-                    for (k, &g) in cone.iter().enumerate() {
-                        vals.row_mut(g.index())
-                            .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                    if incremental {
+                        let nc = cols.len();
+                        for (k, &g) in cone.sorted().iter().enumerate() {
+                            let row = vals.row_mut(g.index());
+                            for (j, &w) in cols.iter().enumerate() {
+                                row[w as usize] = saved[k * nc + j];
+                            }
+                        }
+                    } else {
+                        for (k, &g) in cone.sorted().iter().enumerate() {
+                            vals.row_mut(g.index())
+                                .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                        }
                     }
                     let h3_score = 1.0 - newly_err as f64 / n_corr.max(1) as f64;
                     if h3_score + 1e-12 < level.h3 {
@@ -993,6 +1318,8 @@ impl Rectifier {
                     });
                 }
                 delta.words = sim.words_simulated() - words_before;
+                delta.events = sim.events_propagated() - events_before;
+                delta.skipped = sim.words_skipped() - skipped_before;
                 (line_ranked, delta)
             },
         );
@@ -1005,6 +1332,8 @@ impl Rectifier {
             self.stats.corrections_rejected_h3 += delta.rejected_h3;
             self.stats.wire_sources_truncated += delta.wire_sources_truncated;
             self.stats.words_simulated += delta.words;
+            self.stats.events_propagated += delta.events;
+            self.stats.words_skipped += delta.skipped;
         }
         self.stats.parallel.merge(&outcome.telemetry);
         self.stats.screen_time += t_screen.elapsed();
@@ -1022,6 +1351,8 @@ struct ScreenDelta {
     rejected_h3: usize,
     wire_sources_truncated: usize,
     words: u64,
+    events: u64,
+    skipped: u64,
 }
 
 /// Keeps only tuples that are minimal as sets (no other solution's

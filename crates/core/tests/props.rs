@@ -189,6 +189,105 @@ proptest! {
         prop_assert_eq!(s.truncated, p.truncated);
     }
 
+    /// The event-driven incremental engine (matrix reuse + change-bounded
+    /// cone propagation) is bit-identical to from-scratch resimulation:
+    /// same solutions and same screening counters, whether screening runs
+    /// serially or across all cores — only the simulation-effort counters
+    /// (`words_simulated`, `events_propagated`, `words_skipped`) may
+    /// differ between the two engines, and the incremental engine never
+    /// simulates more words than the full one.
+    #[test]
+    fn incremental_engine_matches_from_scratch(seed in 0u64..40, pick in 0usize..1000, v in prop::bool::ANY) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1AC5);
+        let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        {
+            let vals = sim.run(&golden, &pi);
+            if Response::compare(&golden, &vals, &device).matches() {
+                return Ok(()); // fault not excited
+            }
+        }
+        let run = |incremental: bool, jobs: usize| {
+            let mut config = RectifyConfig::dedc(2);
+            config.incremental = incremental;
+            config.jobs = jobs;
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config).run()
+        };
+        let full = run(false, 1);
+        let inc = run(true, 1);
+        let inc_par = run(true, 0);
+        prop_assert_eq!(&full.solutions, &inc.solutions);
+        prop_assert_eq!(&full.solutions, &inc_par.solutions);
+        for other in [&inc.stats, &inc_par.stats] {
+            let f = &full.stats;
+            prop_assert_eq!(f.nodes, other.nodes);
+            prop_assert_eq!(f.rounds, other.rounds);
+            prop_assert_eq!(f.corrections_screened, other.corrections_screened);
+            prop_assert_eq!(f.corrections_qualified, other.corrections_qualified);
+            prop_assert_eq!(f.corrections_rejected_h2, other.corrections_rejected_h2);
+            prop_assert_eq!(f.corrections_rejected_h3, other.corrections_rejected_h3);
+            prop_assert_eq!(f.lines_rejected_h1, other.lines_rejected_h1);
+            prop_assert_eq!(f.expansions_skipped, other.expansions_skipped);
+            prop_assert_eq!(f.deepest_ladder_level, other.deepest_ladder_level);
+            prop_assert_eq!(f.truncated, other.truncated);
+        }
+        // The two incremental runs meter identical simulation effort
+        // regardless of worker count…
+        prop_assert_eq!(inc.stats.words_simulated, inc_par.stats.words_simulated);
+        prop_assert_eq!(inc.stats.events_propagated, inc_par.stats.events_propagated);
+        prop_assert_eq!(inc.stats.words_skipped, inc_par.stats.words_skipped);
+        // …and never exceed the from-scratch engine's word count.
+        prop_assert!(
+            inc.stats.words_simulated <= full.stats.words_simulated,
+            "incremental {} > full {}",
+            inc.stats.words_simulated,
+            full.stats.words_simulated
+        );
+        // The full engine propagates no events and skips no words.
+        prop_assert_eq!(full.stats.events_propagated, 0);
+        prop_assert_eq!(full.stats.words_skipped, 0);
+    }
+
+    /// `run_cone_events` leaves the value matrix bit-identical to a plain
+    /// `run_cone` after an arbitrary single-line disturbance on a random
+    /// circuit.
+    #[test]
+    fn event_driven_cone_resim_matches_plain(seed in 0u64..200, pick in 0usize..1000, flip in 0u64..u64::MAX) {
+        let n = dag(seed);
+        let stem = GateId::from_index(pick % n.len());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0DE);
+        let pi = PackedMatrix::random(n.inputs().len(), 96, &mut rng);
+        let mut sim = Simulator::new();
+        let base = sim.run(&n, &pi);
+        let cone = n.fanout_cone_sorted(stem);
+
+        let mut plain = base.clone();
+        plain.row_mut(stem.index())[0] ^= flip;
+        sim.run_cone(&n, &mut plain, &cone);
+
+        let mut events = base.clone();
+        events.row_mut(stem.index())[0] ^= flip;
+        let mut esim = Simulator::new();
+        esim.run_cone_events(&n, &mut events, &cone);
+
+        for id in n.ids() {
+            prop_assert_eq!(
+                plain.row(id.index()),
+                events.row(id.index()),
+                "row {} diverged",
+                id.index()
+            );
+        }
+    }
+
     /// The parameter ladder's monotonicity means any candidate admitted at
     /// level i is admitted at level i+1 (same node, looser screens).
     #[test]

@@ -1,0 +1,166 @@
+//! Memoized fanout cones.
+//!
+//! The diagnosis engine asks for the same fanout cones over and over: every
+//! screening pass walks the cone of every suspect line, and heuristic 1
+//! re-propagates through it once per evaluation. [`ConeCache`] memoizes
+//! [`Netlist::fanout_cone_sorted`]-style results per line so each cone is
+//! computed once per netlist and then shared — including read-only across
+//! worker threads, via [`Arc`].
+
+use std::sync::Arc;
+
+use crate::bitset::DenseBitSet;
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// A fanout cone in both of the forms the engine needs: topologically
+/// sorted (for resimulation) and as a dense membership set (for O(1)
+/// "is this PO inside the cone?" tests).
+///
+/// The stem is the first element of [`Self::sorted`] and a member of the
+/// set, matching [`Netlist::fanout_cone_sorted`] / [`Netlist::fanout_cone`].
+#[derive(Debug, Clone)]
+pub struct ConeSet {
+    sorted: Vec<GateId>,
+    members: DenseBitSet,
+}
+
+impl ConeSet {
+    /// Computes the fanout cone of `stem` on `netlist`.
+    pub fn compute(netlist: &Netlist, stem: GateId) -> Self {
+        let members = netlist.fanout_cone(stem);
+        let mut sorted: Vec<GateId> = members.iter().map(GateId::from_index).collect();
+        sorted.sort_by_key(|&g| netlist.topo_position(g));
+        ConeSet { sorted, members }
+    }
+
+    /// The cone in topological order, stem first — the exact shape
+    /// consumed by cone resimulation.
+    #[inline]
+    pub fn sorted(&self) -> &[GateId] {
+        &self.sorted
+    }
+
+    /// Is `id` inside the cone (stem included)?
+    #[inline]
+    pub fn contains(&self, id: GateId) -> bool {
+        self.members.contains(id.index())
+    }
+
+    /// Number of gates in the cone (stem included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Is the cone empty? (Never true for a valid stem.)
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+/// Per-netlist memo of fanout cones, one optional slot per gate id.
+///
+/// A cache is bound to the netlist whose `len()` it was created with and
+/// must not be used after structural edits (`replace_gate`/`append_gate`
+/// rebuild fanouts, invalidating every cone) — build a fresh cache for the
+/// edited netlist instead. Entries are handed out as [`Arc<ConeSet>`] so
+/// screening workers can hold them without cloning the underlying vectors.
+#[derive(Debug, Default)]
+pub struct ConeCache {
+    slots: Vec<Option<Arc<ConeSet>>>,
+    hits: u64,
+}
+
+impl ConeCache {
+    /// An empty cache sized for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        ConeCache {
+            slots: vec![None; netlist.len()],
+            hits: 0,
+        }
+    }
+
+    /// The memoized cone of `stem`, computing and storing it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache was built for a netlist of a different size
+    /// (the telltale of using a stale cache after a structural edit).
+    pub fn get(&mut self, netlist: &Netlist, stem: GateId) -> Arc<ConeSet> {
+        assert_eq!(
+            self.slots.len(),
+            netlist.len(),
+            "cone cache bound to a different netlist"
+        );
+        let slot = &mut self.slots[stem.index()];
+        if let Some(cone) = slot {
+            self.hits += 1;
+            return Arc::clone(cone);
+        }
+        let cone = Arc::new(ConeSet::compute(netlist, stem));
+        *slot = Some(Arc::clone(&cone));
+        cone
+    }
+
+    /// Cache hits since construction (or the last [`Self::take_hits`]).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Drains the hit counter, returning its value and resetting it to zero
+    /// (used to fold per-evaluation hits into run statistics).
+    pub fn take_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn cone_set_matches_netlist_queries() {
+        let n = parse_bench(C17).unwrap();
+        for id in n.ids() {
+            let cone = ConeSet::compute(&n, id);
+            assert_eq!(cone.sorted(), n.fanout_cone_sorted(id).as_slice());
+            assert_eq!(cone.sorted()[0], id, "stem comes first");
+            assert!(!cone.is_empty());
+            let members = n.fanout_cone(id);
+            for other in n.ids() {
+                assert_eq!(cone.contains(other), members.contains(other.index()));
+            }
+            assert_eq!(cone.len(), members.len());
+        }
+    }
+
+    #[test]
+    fn cache_memoizes_and_counts_hits() {
+        let n = parse_bench(C17).unwrap();
+        let stem = n.find_by_name("11").unwrap();
+        let mut cache = ConeCache::new(&n);
+        let a = cache.get(&n, stem);
+        assert_eq!(cache.hits(), 0);
+        let b = cache.get(&n, stem);
+        assert_eq!(cache.hits(), 1);
+        assert!(Arc::ptr_eq(&a, &b), "second get returns the same cone");
+        assert_eq!(cache.take_hits(), 1);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different netlist")]
+    fn cache_rejects_wrong_netlist_size() {
+        let n = parse_bench(C17).unwrap();
+        let mut cache = ConeCache::default(); // zero slots
+        cache.get(&n, GateId::from_index(0));
+    }
+}

@@ -30,6 +30,7 @@
 
 mod bench_format;
 mod bitset;
+mod cone;
 mod error;
 mod gate;
 mod netlist;
@@ -39,6 +40,7 @@ mod unroll;
 
 pub use bench_format::{parse_bench, write_bench};
 pub use bitset::DenseBitSet;
+pub use cone::{ConeCache, ConeSet};
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
 pub use netlist::{Netlist, NetlistBuilder, NetlistStats};

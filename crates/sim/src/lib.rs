@@ -38,7 +38,7 @@ mod response;
 mod sequential;
 mod simulator;
 
-pub use packed::{PackedBits, PackedMatrix};
+pub use packed::{xor_masked_count_ones, PackedBits, PackedMatrix};
 pub use response::Response;
 pub use sequential::SequentialSimulator;
 pub use simulator::Simulator;

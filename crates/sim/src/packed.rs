@@ -108,13 +108,12 @@ impl PackedBits {
 
     /// Iterates over the vector indices whose bit is set.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        let nv = self.num_vectors;
+        // Hoisted out of the per-word closure: the last-word index and the
+        // tail mask are loop invariants.
+        let last = self.num_vectors.div_ceil(64).saturating_sub(1);
+        let tail = tail_mask(self.num_vectors);
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {
-            let mut w = if wi == nv.div_ceil(64).saturating_sub(1) {
-                w & tail_mask(nv)
-            } else {
-                w
-            };
+            let mut w = if wi == last { w & tail } else { w };
             std::iter::from_fn(move || {
                 if w == 0 {
                     None
@@ -185,6 +184,59 @@ impl PackedBits {
         }
         self.mask_tail();
     }
+
+    /// Fused masked popcount of `self ^ other` — the number of real bits on
+    /// which the two rows disagree, without materialising the XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different vector counts.
+    pub fn xor_count_ones(&self, other: &PackedBits) -> usize {
+        assert_eq!(self.num_vectors, other.num_vectors, "vector count mismatch");
+        fused_count(&self.words, &other.words, self.num_vectors, |a, b| a ^ b)
+    }
+
+    /// Fused masked popcount of `self & other` — the number of real bits set
+    /// in both rows, without materialising the AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows cover different vector counts.
+    pub fn and_count_ones(&self, other: &PackedBits) -> usize {
+        assert_eq!(self.num_vectors, other.num_vectors, "vector count mismatch");
+        fused_count(&self.words, &other.words, self.num_vectors, |a, b| a & b)
+    }
+}
+
+#[inline]
+fn fused_count(a: &[u64], b: &[u64], num_vectors: usize, op: impl Fn(u64, u64) -> u64) -> usize {
+    let last = num_vectors.div_ceil(64).saturating_sub(1);
+    let tail = tail_mask(num_vectors);
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .map(|(i, (&x, &y))| {
+            let w = if i == last { op(x, y) & tail } else { op(x, y) };
+            w.count_ones() as usize
+        })
+        .sum()
+}
+
+/// Fused popcount of `(a ^ b) & mask` over raw word slices, one loop with no
+/// temporaries. `mask` is expected to already have its tail bits cleared
+/// (e.g. a failing-vector mask), so no vector count is needed.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_masked_count_ones(a: &[u64], b: &[u64], mask: &[u64]) -> usize {
+    assert_eq!(a.len(), b.len(), "word count mismatch");
+    assert_eq!(a.len(), mask.len(), "mask word count mismatch");
+    a.iter()
+        .zip(b)
+        .zip(mask)
+        .map(|((&x, &y), &m)| ((x ^ y) & m).count_ones() as usize)
+        .sum()
 }
 
 /// Mask selecting the real bits of the final word of a row covering
@@ -351,6 +403,19 @@ impl PackedMatrix {
     pub fn column(&self, v: usize) -> Vec<bool> {
         (0..self.rows).map(|r| self.get(r, v)).collect()
     }
+
+    /// Grows the matrix to `new_rows` rows, appending zero-filled rows.
+    /// Existing rows keep their index and contents (used when a correction
+    /// appends gates to a netlist whose matrix is being reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_rows < rows()`.
+    pub fn grow_rows(&mut self, new_rows: usize) {
+        assert!(new_rows >= self.rows, "grow_rows cannot shrink");
+        self.data.resize(new_rows * self.words_per_row, 0);
+        self.rows = new_rows;
+    }
 }
 
 impl From<Vec<u64>> for PackedBits {
@@ -454,6 +519,60 @@ mod tests {
     fn ones_row() {
         let b = PackedBits::ones(5);
         assert_eq!(b.count_ones(), 5);
+    }
+
+    #[test]
+    fn iter_ones_on_empty_row() {
+        // Regression: the last-word index `nv.div_ceil(64).saturating_sub(1)`
+        // used to be recomputed inside the per-word closure; for
+        // `num_vectors == 0` it must still yield an empty iteration.
+        let b = PackedBits::new(0);
+        assert_eq!(b.num_words(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn fused_counts_match_materialised_ops() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for nv in [1, 63, 64, 65, 130] {
+            let mut a = PackedBits::new(nv);
+            let mut b = PackedBits::new(nv);
+            a.fill_random(&mut rng);
+            b.fill_random(&mut rng);
+            // Poison the tails: fused counts must still mask them out.
+            if let Some(w) = a.words_mut().last_mut() {
+                *w |= !tail_mask(nv);
+            }
+            let mut x = a.clone();
+            x.xor_with(&b);
+            assert_eq!(a.xor_count_ones(&b), x.count_ones(), "xor nv={nv}");
+            let mut n = a.clone();
+            n.and_with(&b);
+            assert_eq!(a.and_count_ones(&b), n.count_ones(), "and nv={nv}");
+        }
+    }
+
+    #[test]
+    fn slice_level_fused_count() {
+        let a = [0b1111u64, 0b0011];
+        let b = [0b1010u64, 0b0000];
+        let m = [0b1100u64, 0b0001];
+        // (a^b)&m = [0b0100, 0b0001] -> 2 ones.
+        assert_eq!(xor_masked_count_ones(&a, &b, &m), 2);
+    }
+
+    #[test]
+    fn grow_rows_preserves_existing_rows() {
+        let mut m = PackedMatrix::new(2, 70);
+        m.set(0, 69, true);
+        m.set(1, 3, true);
+        m.grow_rows(4);
+        assert_eq!(m.rows(), 4);
+        assert!(m.get(0, 69));
+        assert!(m.get(1, 3));
+        assert_eq!(m.to_bits(2).count_ones(), 0);
+        assert_eq!(m.to_bits(3).count_ones(), 0);
     }
 
     #[test]

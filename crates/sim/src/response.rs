@@ -1,6 +1,6 @@
 use incdx_netlist::Netlist;
 
-use crate::packed::{count_ones_masked, PackedBits, PackedMatrix};
+use crate::packed::{tail_mask, PackedBits, PackedMatrix};
 
 /// Comparison of a circuit's primary-output responses against a
 /// specification's — the source of the paper's partition of the vector set
@@ -66,19 +66,25 @@ impl Response {
         let mut po_values = PackedMatrix::new(netlist.outputs().len(), nv);
         let mut failing = PackedBits::new(nv);
         let mut mismatch_bits = 0usize;
+        let last = nv.div_ceil(64).saturating_sub(1);
+        let tail = tail_mask(nv);
         for (i, &o) in netlist.outputs().iter().enumerate() {
             po_values.row_mut(i).copy_from_slice(vals.row(o.index()));
-            let mut diff_words = vec![0u64; po_values.words_per_row()];
-            for ((d, &a), &b) in diff_words
+            // Fused: accumulate the failing mask and count mismatches in
+            // one pass, without a per-PO diff buffer.
+            for (((w, f), &a), &b) in failing
+                .words_mut()
                 .iter_mut()
+                .enumerate()
                 .zip(po_values.row(i))
                 .zip(spec.po_values.row(i))
             {
-                *d = a ^ b;
-            }
-            mismatch_bits += count_ones_masked(&diff_words, nv);
-            for (f, &d) in failing.words_mut().iter_mut().zip(&diff_words) {
+                let mut d = a ^ b;
                 *f |= d;
+                if w == last {
+                    d &= tail;
+                }
+                mismatch_bits += d.count_ones() as usize;
             }
         }
         failing.mask_tail();

@@ -24,6 +24,14 @@ use crate::packed::PackedMatrix;
 pub struct Simulator {
     scratch: Vec<u64>,
     words_simulated: u64,
+    events_propagated: u64,
+    words_skipped: u64,
+    // Generation-stamped changed set for `run_cone_events`: line `i` is
+    // "changed this call" iff `changed_stamp[i] == stamp_gen`. Bumping the
+    // generation clears the whole set in O(1), so the buffer is reused
+    // across calls without per-call allocation.
+    changed_stamp: Vec<u64>,
+    stamp_gen: u64,
 }
 
 impl Simulator {
@@ -54,6 +62,20 @@ impl Simulator {
     /// Resets the [`Self::words_simulated`] counter to zero.
     pub fn reset_words_simulated(&mut self) {
         self.words_simulated = 0;
+    }
+
+    /// Gate evaluations triggered by [`Self::run_cone_events`] since
+    /// construction — each one is an "event" whose fanin rows actually
+    /// changed (the stem always counts as changed).
+    pub fn events_propagated(&self) -> u64 {
+        self.events_propagated
+    }
+
+    /// Packed words *not* evaluated by [`Self::run_cone_events`] because no
+    /// fanin of the cone gate had changed — the work the change-bounded walk
+    /// avoided relative to a plain [`Self::run_cone`] over the same cone.
+    pub fn words_skipped(&self) -> u64 {
+        self.words_skipped
     }
 
     /// Simulates the whole circuit on the given primary-input values
@@ -149,6 +171,155 @@ impl Simulator {
         }
     }
 
+    /// Change-bounded variant of [`Self::run_cone`]: walks the same
+    /// topologically-sorted cone, but recomputes a gate only when at least
+    /// one of its fanin rows actually changed during this call, and marks
+    /// the gate as changed only when its freshly evaluated row differs from
+    /// the stored one. The stem (`cone[0]`) is treated as changed
+    /// unconditionally — the caller plants its new values, exactly as with
+    /// [`Self::run_cone`].
+    ///
+    /// Given a value matrix that is *consistent* (every non-stem row equals
+    /// the evaluation of its fanin rows, tail bits included), this produces
+    /// a matrix bit-identical to [`Self::run_cone`]: a skipped gate's fanins
+    /// all hold their pre-call values, so re-evaluating it would reproduce
+    /// the row it already stores. Once the difference wave dies out (rows
+    /// converge back to their prior values), everything downstream is
+    /// skipped — that is where the work saving comes from.
+    ///
+    /// Returns the number of non-stem cone gates whose row changed.
+    /// Evaluated words are metered in [`Self::words_simulated`] /
+    /// [`Self::events_propagated`]; avoided words in
+    /// [`Self::words_skipped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone gate is a DFF.
+    pub fn run_cone_events(
+        &mut self,
+        netlist: &Netlist,
+        vals: &mut PackedMatrix,
+        cone: &[GateId],
+    ) -> usize {
+        let Some((&stem, rest)) = cone.split_first() else {
+            return 0;
+        };
+        if self.changed_stamp.len() < netlist.len() {
+            self.changed_stamp.resize(netlist.len(), 0);
+        }
+        self.stamp_gen += 1;
+        let gen = self.stamp_gen;
+        self.changed_stamp[stem.index()] = gen;
+        let wpr = vals.words_per_row();
+        self.scratch.resize(wpr, 0);
+        let mut changed_gates = 0;
+        for &id in rest {
+            let gate = netlist.gate(id);
+            let kind = gate.kind();
+            assert!(kind != GateKind::Dff, "combinational simulation only");
+            if kind == GateKind::Input {
+                continue;
+            }
+            if !gate
+                .fanins()
+                .iter()
+                .any(|f| self.changed_stamp[f.index()] == gen)
+            {
+                self.words_skipped += wpr as u64;
+                continue;
+            }
+            eval_packed_into(kind, gate.fanins(), vals, &mut self.scratch);
+            self.words_simulated += wpr as u64;
+            self.events_propagated += 1;
+            let row = vals.row_mut(id.index());
+            if row != self.scratch.as_slice() {
+                row.copy_from_slice(&self.scratch);
+                self.changed_stamp[id.index()] = gen;
+                changed_gates += 1;
+            }
+        }
+        changed_gates
+    }
+
+    /// Column-restricted variant of [`Self::run_cone_events`]: propagates
+    /// the stem's difference through the cone touching only the word
+    /// columns listed in `cols` (sorted, deduplicated indices into a row,
+    /// each `< words_per_row`).
+    ///
+    /// In bit-parallel simulation every word column evolves independently:
+    /// column `w` of any row is a function of column `w` of its fanin rows
+    /// alone. So when the caller's stem planting changed *only* the
+    /// columns in `cols`, every other column of every cone row is already
+    /// consistent and stays untouched — recomputing just the listed
+    /// columns produces a matrix bit-identical to a full-width
+    /// [`Self::run_cone`]. This is what makes screening cheap late in the
+    /// search, when the failing vectors (and hence the planted
+    /// differences) concentrate in a few words of the row.
+    ///
+    /// Returns the number of non-stem cone gates whose row changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cone gate is a DFF (debug builds also check `cols`
+    /// bounds via the indexed row accesses).
+    pub fn run_cone_events_cols(
+        &mut self,
+        netlist: &Netlist,
+        vals: &mut PackedMatrix,
+        cone: &[GateId],
+        cols: &[u32],
+    ) -> usize {
+        let wpr = vals.words_per_row();
+        if cols.len() >= wpr {
+            // Full-width: the unrestricted walk avoids the indexed gather.
+            return self.run_cone_events(netlist, vals, cone);
+        }
+        let Some((&stem, rest)) = cone.split_first() else {
+            return 0;
+        };
+        if self.changed_stamp.len() < netlist.len() {
+            self.changed_stamp.resize(netlist.len(), 0);
+        }
+        self.stamp_gen += 1;
+        let gen = self.stamp_gen;
+        self.changed_stamp[stem.index()] = gen;
+        let nw = cols.len();
+        self.scratch.resize(nw, 0);
+        let mut changed_gates = 0;
+        for &id in rest {
+            let gate = netlist.gate(id);
+            let kind = gate.kind();
+            assert!(kind != GateKind::Dff, "combinational simulation only");
+            if kind == GateKind::Input {
+                continue;
+            }
+            if !gate
+                .fanins()
+                .iter()
+                .any(|f| self.changed_stamp[f.index()] == gen)
+            {
+                self.words_skipped += nw as u64;
+                continue;
+            }
+            eval_packed_cols_into(kind, gate.fanins(), vals, cols, &mut self.scratch);
+            self.words_simulated += nw as u64;
+            self.events_propagated += 1;
+            let row = vals.row_mut(id.index());
+            let mut changed = false;
+            for (i, &w) in cols.iter().enumerate() {
+                if row[w as usize] != self.scratch[i] {
+                    row[w as usize] = self.scratch[i];
+                    changed = true;
+                }
+            }
+            if changed {
+                self.changed_stamp[id.index()] = gen;
+                changed_gates += 1;
+            }
+        }
+        changed_gates
+    }
+
     /// Evaluates a single gate into its row of `vals`.
     pub fn eval_gate(&mut self, netlist: &Netlist, id: GateId, vals: &mut PackedMatrix) {
         let wpr = vals.words_per_row();
@@ -208,6 +379,89 @@ pub(crate) fn eval_packed_into(
             for &f in &fanins[1..] {
                 for (o, &w) in out.iter_mut().zip(vals.row(f.index())) {
                     *o ^= w;
+                }
+            }
+            if kind == GateKind::Xnor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Input | GateKind::Dff => {
+            unreachable!("{kind:?} is not combinationally evaluable")
+        }
+    }
+}
+
+/// Column-restricted variant of [`eval_packed_into`]: evaluates `kind`
+/// over the fanin rows of `vals`, but only at the word columns listed in
+/// `cols`. `out[i]` receives the result for column `cols[i]`; `out` must
+/// have the same length as `cols`.
+pub(crate) fn eval_packed_cols_into(
+    kind: GateKind,
+    fanins: &[GateId],
+    vals: &PackedMatrix,
+    cols: &[u32],
+    out: &mut [u64],
+) {
+    match kind {
+        GateKind::Const0 => out.fill(0),
+        GateKind::Const1 => out.fill(!0),
+        GateKind::Buf => {
+            let row = vals.row(fanins[0].index());
+            for (o, &w) in out.iter_mut().zip(cols) {
+                *o = row[w as usize];
+            }
+        }
+        GateKind::Not => {
+            let row = vals.row(fanins[0].index());
+            for (o, &w) in out.iter_mut().zip(cols) {
+                *o = !row[w as usize];
+            }
+        }
+        GateKind::And | GateKind::Nand => {
+            let row = vals.row(fanins[0].index());
+            for (o, &w) in out.iter_mut().zip(cols) {
+                *o = row[w as usize];
+            }
+            for &f in &fanins[1..] {
+                let row = vals.row(f.index());
+                for (o, &w) in out.iter_mut().zip(cols) {
+                    *o &= row[w as usize];
+                }
+            }
+            if kind == GateKind::Nand {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let row = vals.row(fanins[0].index());
+            for (o, &w) in out.iter_mut().zip(cols) {
+                *o = row[w as usize];
+            }
+            for &f in &fanins[1..] {
+                let row = vals.row(f.index());
+                for (o, &w) in out.iter_mut().zip(cols) {
+                    *o |= row[w as usize];
+                }
+            }
+            if kind == GateKind::Nor {
+                for o in out.iter_mut() {
+                    *o = !*o;
+                }
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let row = vals.row(fanins[0].index());
+            for (o, &w) in out.iter_mut().zip(cols) {
+                *o = row[w as usize];
+            }
+            for &f in &fanins[1..] {
+                let row = vals.row(f.index());
+                for (o, &w) in out.iter_mut().zip(cols) {
+                    *o ^= row[w as usize];
                 }
             }
             if kind == GateKind::Xnor {
@@ -331,6 +585,105 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
             sim.eval_gate(&n, id, &mut full);
         }
         assert_eq!(coned, full);
+    }
+
+    #[test]
+    fn event_driven_cone_matches_plain_cone() {
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let pi = PackedMatrix::random(5, 192, &mut rng);
+        let mut sim = Simulator::new();
+        let base = sim.run(&n, &pi);
+
+        for stem_name in ["10", "11", "16", "19"] {
+            let stem = n.find_by_name(stem_name).unwrap();
+            let cone = n.fanout_cone_sorted(stem);
+
+            // Flip only a few vectors of the stem so the difference can
+            // converge (a NAND with the difference masked off propagates
+            // nothing).
+            let mut a = base.clone();
+            a.row_mut(stem.index())[0] ^= 0b1011;
+            let mut b = a.clone();
+
+            sim.run_cone(&n, &mut a, &cone);
+            let skipped_before = sim.words_skipped();
+            let changed = sim.run_cone_events(&n, &mut b, &cone);
+            assert_eq!(a, b, "stem {stem_name}");
+            assert!(changed < cone.len());
+            assert!(sim.words_skipped() >= skipped_before);
+        }
+    }
+
+    #[test]
+    fn column_restricted_cone_matches_plain_cone() {
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        // 192 vectors = 3 words per row; plant differences in columns 0
+        // and 2 only, so column 1 must stay untouched.
+        let pi = PackedMatrix::random(5, 192, &mut rng);
+        let mut sim = Simulator::new();
+        let base = sim.run(&n, &pi);
+
+        for stem_name in ["10", "11", "16", "19"] {
+            let stem = n.find_by_name(stem_name).unwrap();
+            let cone = n.fanout_cone_sorted(stem);
+
+            let mut a = base.clone();
+            a.row_mut(stem.index())[0] ^= 0b1011;
+            a.row_mut(stem.index())[2] ^= 0b0110;
+            let mut b = a.clone();
+
+            sim.run_cone(&n, &mut a, &cone);
+            let words_before = sim.words_simulated();
+            let changed = sim.run_cone_events_cols(&n, &mut b, &cone, &[0, 2]);
+            assert_eq!(a, b, "stem {stem_name}");
+            assert!(changed < cone.len());
+            // Each evaluated gate is metered at 2 words, not 3.
+            assert_eq!((sim.words_simulated() - words_before) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn column_restricted_cone_full_width_delegates() {
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(37);
+        let pi = PackedMatrix::random(5, 128, &mut rng);
+        let mut sim = Simulator::new();
+        let base = sim.run(&n, &pi);
+        let stem = n.find_by_name("16").unwrap();
+        let cone = n.fanout_cone_sorted(stem);
+
+        let mut a = base.clone();
+        for w in a.row_mut(stem.index()) {
+            *w = !*w;
+        }
+        let mut b = a.clone();
+        sim.run_cone(&n, &mut a, &cone);
+        sim.run_cone_events_cols(&n, &mut b, &cone, &[0, 1]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn event_driven_cone_skips_everything_when_stem_unchanged() {
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(29);
+        let pi = PackedMatrix::random(5, 128, &mut rng);
+        let mut sim = Simulator::new();
+        let mut vals = sim.run(&n, &pi);
+        let stem = n.find_by_name("11").unwrap();
+        let cone = n.fanout_cone_sorted(stem);
+
+        // Replant the stem with its existing values: the stem is still
+        // *marked* changed (the caller claims it planted something), so its
+        // direct fanouts are evaluated, but their rows come out identical
+        // and the wave dies immediately after.
+        let words = sim.words_simulated();
+        let changed = sim.run_cone_events(&n, &mut vals, &cone);
+        assert_eq!(changed, 0);
+        // Direct fanouts of the stem were evaluated; nothing deeper.
+        let direct = n.fanouts(stem).len() as u64;
+        assert_eq!(sim.words_simulated() - words, direct * 2); // 128 v = 2 words
     }
 
     #[test]

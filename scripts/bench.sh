@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Before/after benchmark of the event-driven incremental resimulation
+# engine. Runs the table1 (stuck-at) and fig2_rounds (DEDC) workloads
+# twice — once with --no-incremental (full cone resimulation, no matrix
+# cache) and once with the incremental engine — and aggregates the
+# per-run RectifyReport JSON records into BENCH_incremental.json at the
+# repo root: wall time and simulated words per circuit, plus the
+# full/incremental words ratio. Results are bit-identical between the
+# two modes; only the amount of simulation work differs.
+#
+# The defaults deliberately use one trial and a generous time limit: every
+# run then ends at a *deterministic* budget (node/round caps), so the two
+# modes traverse identical trees and the words ratio compares equal work —
+# a clock-truncated run would only compare throughput.
+#
+# Environment overrides (defaults reproduce the committed benchmark):
+#   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a)
+#   BENCH_EXPERIMENTS  space-separated subset to run    (default "table1 fig2_rounds")
+#   BENCH_TRIALS       trials per table1 cell           (default 1)
+#   BENCH_VECTORS      test vectors per run             (default 1024)
+#   BENCH_SEED         master seed                      (default 2002)
+#   BENCH_TIME_LIMIT   per-run limit, seconds           (default 600)
+#   BENCH_OUT          output path                      (default BENCH_incremental.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CIRCUITS="${BENCH_CIRCUITS:-c432a,c880a}"
+EXPERIMENTS="${BENCH_EXPERIMENTS:-table1 fig2_rounds}"
+TRIALS="${BENCH_TRIALS:-1}"
+VECTORS="${BENCH_VECTORS:-1024}"
+SEED="${BENCH_SEED:-2002}"
+TIME_LIMIT="${BENCH_TIME_LIMIT:-600}"
+OUT="${BENCH_OUT:-BENCH_incremental.json}"
+
+echo "==> build (release)"
+cargo build --release -p incdx-bench
+
+bin=target/release
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Runs one experiment binary in one mode, capturing its JSON records and
+# wall time. $1=experiment $2=mode(full|incremental) $3=extra flag
+run_mode() {
+    local exp="$1" mode="$2" flag="$3" t0 t1
+    local log="$tmp/$exp.$mode.jsonl"
+    echo "==> $exp ($mode)"
+    t0=$(date +%s.%N)
+    case "$exp" in
+        table1)
+            "$bin/table1" --circuits "$CIRCUITS" --trials "$TRIALS" \
+                --vectors "$VECTORS" --seed "$SEED" --time-limit "$TIME_LIMIT" \
+                --json $flag | grep '"report":"rectify"' > "$log" ;;
+        fig2_rounds)
+            # fig2_rounds benches one circuit per invocation.
+            : > "$log"
+            local ckt
+            for ckt in ${CIRCUITS//,/ }; do
+                "$bin/fig2_rounds" --circuits "$ckt" --vectors "$VECTORS" \
+                    --seed "$SEED" --time-limit "$TIME_LIMIT" \
+                    --json $flag | grep '"report":"rectify"' >> "$log"
+            done ;;
+        *) echo "unknown experiment $exp" >&2; exit 2 ;;
+    esac
+    t1=$(date +%s.%N)
+    echo "$t0 $t1" > "$tmp/$exp.$mode.time"
+}
+
+for exp in $EXPERIMENTS; do
+    run_mode "$exp" full "--no-incremental"
+    run_mode "$exp" incremental "--incremental"
+done
+
+# Aggregate the one-line JSON records: per (experiment, circuit, mode),
+# sum simulated words; per (experiment, mode), wall seconds.
+awk_extract() { # $1=jsonl file → lines "circuit words"
+    awk '{
+        label = ""; words = 0
+        if (match($0, /"label":"[^"]*"/)) {
+            label = substr($0, RSTART + 9, RLENGTH - 10)
+            split(label, parts, "/")
+        }
+        if (match($0, /"simulation":\{"words":[0-9]+/)) {
+            s = substr($0, RSTART, RLENGTH)
+            sub(/.*:/, "", s); words = s + 0
+        }
+        if (label != "") print parts[2], words
+    }' "$1"
+}
+
+{
+    printf '{"bench":"incremental_resimulation","seed":%s,"trials":%s,"vectors":%s' \
+        "$SEED" "$TRIALS" "$VECTORS"
+    printf ',"experiments":['
+    first_exp=1
+    for exp in $EXPERIMENTS; do
+        [ "$first_exp" -eq 1 ] || printf ','
+        first_exp=0
+        read -r f0 f1 < "$tmp/$exp.full.time"
+        read -r i0 i1 < "$tmp/$exp.incremental.time"
+        full_wall=$(awk -v a="$f0" -v b="$f1" 'BEGIN{printf "%.3f", b-a}')
+        inc_wall=$(awk -v a="$i0" -v b="$i1" 'BEGIN{printf "%.3f", b-a}')
+        printf '{"experiment":"%s","wall_s":{"full":%s,"incremental":%s},"circuits":[' \
+            "$exp" "$full_wall" "$inc_wall"
+        first_ckt=1
+        for ckt in ${CIRCUITS//,/ }; do
+            fw=$(awk_extract "$tmp/$exp.full.jsonl" | awk -v c="$ckt" '$1==c{s+=$2}END{print s+0}')
+            iw=$(awk_extract "$tmp/$exp.incremental.jsonl" | awk -v c="$ckt" '$1==c{s+=$2}END{print s+0}')
+            ratio=$(awk -v f="$fw" -v i="$iw" 'BEGIN{if (i > 0) printf "%.2f", f/i; else printf "null"}')
+            [ "$first_ckt" -eq 1 ] || printf ','
+            first_ckt=0
+            printf '{"circuit":"%s","words_simulated":{"full":%s,"incremental":%s},"ratio":%s}' \
+                "$ckt" "$fw" "$iw" "$ratio"
+            echo "    $exp/$ckt: words full=$fw incremental=$iw (ratio $ratio)" >&2
+        done
+        printf ']}'
+        echo "    $exp wall: full=${full_wall}s incremental=${inc_wall}s" >&2
+    done
+    printf ']}\n'
+} > "$OUT"
+
+echo "wrote $OUT"

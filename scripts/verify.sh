@@ -23,4 +23,13 @@ out="$(cargo run -p incdx-bench --release --bin table2 -- \
 echo "$out" | grep -q '"report":"rectify"' \
     || { echo "table2 emitted no RectifyReport JSON" >&2; exit 1; }
 
+echo "==> smoke: incremental resimulation bench"
+bench_out="$(mktemp)"
+BENCH_CIRCUITS=c432a BENCH_EXPERIMENTS=fig2_rounds BENCH_VECTORS=256 \
+    BENCH_TIME_LIMIT=10 BENCH_OUT="$bench_out" bash scripts/bench.sh \
+    >/dev/null 2>&1 || { echo "bench.sh smoke failed" >&2; exit 1; }
+grep -q '"words_simulated"' "$bench_out" \
+    || { echo "bench.sh wrote no per-circuit word counts" >&2; exit 1; }
+rm -f "$bench_out"
+
 echo "verify: OK"
