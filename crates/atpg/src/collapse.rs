@@ -154,9 +154,9 @@ mod tests {
         b.apply(&mut fb).unwrap();
         let va = sim.run_for_inputs(&fa, n.inputs(), &pi);
         let vb = sim.run_for_inputs(&fb, n.inputs(), &pi);
-        n.outputs().iter().all(|o| {
-            (0..nv).all(|v| va.get(o.index(), v) == vb.get(o.index(), v))
-        })
+        n.outputs()
+            .iter()
+            .all(|o| (0..nv).all(|v| va.get(o.index(), v) == vb.get(o.index(), v)))
     }
 
     #[test]
@@ -168,22 +168,22 @@ mod tests {
         )
         .unwrap();
         let fc = FaultClasses::build(&n);
-        assert!(fc.classes().len() < fc.total_faults(), "something collapses");
+        assert!(
+            fc.classes().len() < fc.total_faults(),
+            "something collapses"
+        );
         for class in fc.classes() {
             let rep = class[0];
             for &other in &class[1..] {
-                assert!(
-                    functionally_equivalent(&n, rep, other),
-                    "{rep} !~ {other}"
-                );
+                assert!(functionally_equivalent(&n, rep, other), "{rep} !~ {other}");
             }
         }
     }
 
     #[test]
     fn inverter_chain_collapses_fully() {
-        let n = parse_bench("INPUT(a)\nOUTPUT(y)\nb1 = NOT(a)\nb2 = NOT(b1)\ny = BUF(b2)\n")
-            .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nOUTPUT(y)\nb1 = NOT(a)\nb2 = NOT(b1)\ny = BUF(b2)\n").unwrap();
         let fc = FaultClasses::build(&n);
         // 4 lines × 2 polarities = 8 faults collapsing into 2 classes
         // (the two polarities of the single signal path).
@@ -195,10 +195,9 @@ mod tests {
     #[test]
     fn fanout_stems_do_not_collapse() {
         // `a` fans out to two gates: its faults stay distinct from both.
-        let n = parse_bench(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n",
-        )
-        .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\ny = AND(a, b)\nz = OR(a, b)\n")
+                .unwrap();
         let fc = FaultClasses::build(&n);
         let a = n.find_by_name("a").unwrap();
         for class in fc.classes() {
@@ -214,7 +213,11 @@ mod tests {
         let fc = FaultClasses::build(&n);
         let reps = fc.representatives();
         assert_eq!(reps.len(), fc.classes().len());
-        assert!(fc.ratio() < 0.95, "an ALU collapses substantially: {}", fc.ratio());
+        assert!(
+            fc.ratio() < 0.95,
+            "an ALU collapses substantially: {}",
+            fc.ratio()
+        );
         // Representatives are distinct.
         let mut sorted = reps.clone();
         sorted.sort();

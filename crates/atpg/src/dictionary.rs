@@ -183,10 +183,8 @@ mod tests {
             let fault = StuckAt::new(incdx_netlist::GateId::from_index(idx), true);
             let mut device_nl = n.clone();
             fault.apply(&mut device_nl).unwrap();
-            let device = Response::capture(
-                &device_nl,
-                &sim.run_for_inputs(&device_nl, n.inputs(), &pi),
-            );
+            let device =
+                Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, n.inputs(), &pi));
             let syndrome = dict.device_syndrome(&n, &device, &pi);
             if syndrome.iter().all(|&w| w == 0) {
                 continue; // fault not excited on these vectors
@@ -211,10 +209,8 @@ mod tests {
         let mut device_nl = n.clone();
         f1.apply(&mut device_nl).unwrap();
         f2.apply(&mut device_nl).unwrap();
-        let device = Response::capture(
-            &device_nl,
-            &sim.run_for_inputs(&device_nl, n.inputs(), &pi),
-        );
+        let device =
+            Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, n.inputs(), &pi));
         let syndrome = dict.device_syndrome(&n, &device, &pi);
         if syndrome.iter().all(|&w| w == 0) {
             return;

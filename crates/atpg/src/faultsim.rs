@@ -97,9 +97,9 @@ mod tests {
         fault.apply(&mut fn_).unwrap();
         let bad = sim.run_for_inputs(&fn_, n.inputs(), pi);
         let nv = pi.num_vectors();
-        n.outputs().iter().any(|o| {
-            (0..nv).any(|v| good.get(o.index(), v) != bad.get(o.index(), v))
-        })
+        n.outputs()
+            .iter()
+            .any(|o| (0..nv).any(|v| good.get(o.index(), v) != bad.get(o.index(), v)))
     }
 
     #[test]

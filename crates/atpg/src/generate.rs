@@ -82,7 +82,12 @@ impl TestSet {
 pub fn all_stuck_at_faults(netlist: &Netlist) -> Vec<StuckAt> {
     netlist
         .iter()
-        .filter(|(_, g)| !matches!(g.kind(), GateKind::Const0 | GateKind::Const1 | GateKind::Dff))
+        .filter(|(_, g)| {
+            !matches!(
+                g.kind(),
+                GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+            )
+        })
         .flat_map(|(id, _)| [StuckAt::new(id, false), StuckAt::new(id, true)])
         .collect()
 }
@@ -107,7 +112,10 @@ pub fn all_stuck_at_faults(netlist: &Netlist) -> Vec<StuckAt> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn generate_tests(netlist: &Netlist, config: &TestGenConfig) -> TestSet {
-    assert!(netlist.is_combinational(), "test generation needs a combinational netlist");
+    assert!(
+        netlist.is_combinational(),
+        "test generation needs a combinational netlist"
+    );
     let universe = all_stuck_at_faults(netlist);
     let total_faults = universe.len();
     let mut alive: Vec<StuckAt> = if config.collapse {
@@ -228,14 +236,18 @@ mod tests {
         let ts = generate_tests(&n, &TestGenConfig::default());
         assert!(ts.untestable.is_empty());
         assert!(ts.aborted.is_empty());
-        assert!((ts.coverage() - 1.0).abs() < 1e-9, "coverage {}", ts.coverage());
+        assert!(
+            (ts.coverage() - 1.0).abs() < 1e-9,
+            "coverage {}",
+            ts.coverage()
+        );
         assert!(!ts.vectors.is_empty());
     }
 
     #[test]
     fn finds_redundancy() {
-        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
-            .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n").unwrap();
         let ts = generate_tests(&n, &TestGenConfig::default());
         let x = n.find_by_name("x").unwrap();
         assert!(ts.untestable.contains(&StuckAt::new(x, false)));

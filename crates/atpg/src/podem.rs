@@ -42,7 +42,10 @@ pub enum PodemOutcome {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn podem(netlist: &Netlist, fault: StuckAt, backtrack_limit: usize) -> PodemOutcome {
-    assert!(netlist.is_combinational(), "PODEM needs a combinational netlist");
+    assert!(
+        netlist.is_combinational(),
+        "PODEM needs a combinational netlist"
+    );
     let mut state = Podem {
         netlist,
         fault,
@@ -312,10 +315,13 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     fn proves_redundant_fault_untestable() {
         // y = a OR (a AND b) == a, so the AND output stuck-at-0 is
         // undetectable.
-        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
-            .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n").unwrap();
         let x = n.find_by_name("x").unwrap();
-        assert_eq!(podem(&n, StuckAt::new(x, false), 10_000), PodemOutcome::Untestable);
+        assert_eq!(
+            podem(&n, StuckAt::new(x, false), 10_000),
+            PodemOutcome::Untestable
+        );
         // ...but stuck-at-1 is detectable (a=0, b=anything makes y=1≠0).
         match podem(&n, StuckAt::new(x, true), 10_000) {
             PodemOutcome::Test(v) => assert!(detects(&n, StuckAt::new(x, true), &v)),
@@ -325,10 +331,9 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
 
     #[test]
     fn handles_xor_propagation() {
-        let n = parse_bench(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = XOR(x, c)\n",
-        )
-        .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = XOR(x, c)\n")
+                .unwrap();
         let x = n.find_by_name("x").unwrap();
         for value in [false, true] {
             let fault = StuckAt::new(x, value);
@@ -356,10 +361,13 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
     #[test]
     fn reports_abort_on_zero_budget() {
         // With a 0 backtrack limit, hard instances abort rather than lie.
-        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
-            .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n").unwrap();
         let x = n.find_by_name("x").unwrap();
         let out = podem(&n, StuckAt::new(x, false), 0);
-        assert!(matches!(out, PodemOutcome::Aborted | PodemOutcome::Untestable));
+        assert!(matches!(
+            out,
+            PodemOutcome::Aborted | PodemOutcome::Untestable
+        ));
     }
 }

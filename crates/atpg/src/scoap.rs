@@ -26,7 +26,10 @@ impl Scoap {
     ///
     /// Panics if the netlist contains DFFs (scan-convert first).
     pub fn compute(netlist: &Netlist) -> Self {
-        assert!(netlist.is_combinational(), "SCOAP needs a combinational netlist");
+        assert!(
+            netlist.is_combinational(),
+            "SCOAP needs a combinational netlist"
+        );
         let n = netlist.len();
         let mut cc0 = vec![Self::INFINITY; n];
         let mut cc1 = vec![Self::INFINITY; n];

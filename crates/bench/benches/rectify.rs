@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use incdx_core::{Rectifier, RectifyConfig};
-use incdx_fault::{
-    inject_design_errors, inject_stuck_at_faults, InjectionConfig,
-};
+use incdx_fault::{inject_design_errors, inject_stuck_at_faults, InjectionConfig};
 use incdx_gen::generate;
 use incdx_sim::{PackedMatrix, Response, Simulator};
 use rand::rngs::StdRng;
@@ -42,6 +40,7 @@ fn bench_stuck_at_single(c: &mut Criterion) {
                 device.clone(),
                 RectifyConfig::stuck_at_exhaustive(1),
             )
+            .unwrap()
             .run();
             black_box(r.solutions.len())
         });
@@ -74,6 +73,7 @@ fn bench_dedc_single(c: &mut Criterion) {
                 spec.clone(),
                 RectifyConfig::dedc(1),
             )
+            .unwrap()
             .run();
             black_box(r.solutions.len())
         });
@@ -107,7 +107,8 @@ fn bench_heuristic1_ranking(c: &mut Criterion) {
                 pi.clone(),
                 spec.clone(),
                 RectifyConfig::dedc(2),
-            );
+            )
+            .unwrap();
             black_box(rect.rank_candidates(&[], &level).len())
         });
     });

@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+use incdx_core::TraversalKind;
+
 /// Common experiment parameters.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -25,6 +27,10 @@ pub struct Args {
     /// (`--no-incremental` reverts to full cone resimulation and disables
     /// the node-matrix cache; results are bit-identical either way).
     pub incremental: bool,
+    /// Decision-tree traversal strategy (`--traversal
+    /// bfs|dfs|naive-bfs|best-first`; `bfs` is the paper's round-robin
+    /// default).
+    pub traversal: TraversalKind,
 }
 
 impl Default for Args {
@@ -40,6 +46,7 @@ impl Default for Args {
             jobs: 0,
             json: true,
             incremental: true,
+            traversal: TraversalKind::default(),
         }
     }
 }
@@ -69,6 +76,10 @@ impl Args {
                 "--no-json" => args.json = false,
                 "--incremental" => args.incremental = true,
                 "--no-incremental" => args.incremental = false,
+                "--traversal" => {
+                    let v = value("--traversal");
+                    args.traversal = v.parse().unwrap_or_else(|e| die(&format!("{e}")));
+                }
                 "--time-limit" => {
                     args.time_limit = Duration::from_secs(parse_num(&value("--time-limit")))
                 }
@@ -83,7 +94,8 @@ impl Args {
                     eprintln!(
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
                          --time-limit SECONDS --jobs N --json|--no-json \
-                         --incremental|--no-incremental"
+                         --incremental|--no-incremental \
+                         --traversal bfs|dfs|naive-bfs|best-first"
                     );
                     std::process::exit(0);
                 }
@@ -154,8 +166,17 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = Args::parse_from(
-            ["--seed", "7", "--trials", "3", "--circuits", "c17,c432a", "--time-limit", "5"]
-                .map(String::from),
+            [
+                "--seed",
+                "7",
+                "--trials",
+                "3",
+                "--circuits",
+                "c17,c432a",
+                "--time-limit",
+                "5",
+            ]
+            .map(String::from),
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.trials, 3);
@@ -182,6 +203,17 @@ mod tests {
         assert!(Args::default().incremental, "incremental is the default");
         assert!(!Args::parse_from(["--no-incremental".to_string()]).incremental);
         assert!(Args::parse_from(["--incremental".to_string()]).incremental);
+    }
+
+    #[test]
+    fn traversal_flag_parses_every_strategy() {
+        assert_eq!(Args::default().traversal, TraversalKind::RoundRobinBfs);
+        for kind in TraversalKind::ALL {
+            let a = Args::parse_from(["--traversal".to_string(), kind.as_str().to_string()]);
+            assert_eq!(a.traversal, kind);
+        }
+        let a = Args::parse_from(["--traversal".to_string(), "rounds".to_string()]);
+        assert_eq!(a.traversal, TraversalKind::RoundRobinBfs);
     }
 
     #[test]

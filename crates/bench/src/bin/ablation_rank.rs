@@ -34,7 +34,13 @@ fn trial(golden: &Netlist, vectors: usize, seed: u64) -> Option<(usize, usize)> 
     let spec = Response::capture(golden, &sim.run(golden, &pi));
     let mut config = RectifyConfig::dedc(1);
     config.max_candidates_per_node = usize::MAX;
-    let mut rect = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config);
+    let mut rect = Rectifier::new(
+        injection.corrupted.clone(),
+        pi.clone(),
+        spec.clone(),
+        config,
+    )
+    .ok()?;
     // First ladder level with any candidates (the level the engine's run
     // would operate at).
     for level in default_ladder() {
@@ -65,7 +71,12 @@ fn trial(golden: &Netlist, vectors: usize, seed: u64) -> Option<(usize, usize)> 
 fn main() {
     let args = Args::parse();
     let circuits: Vec<String> = if args.circuits.is_empty() {
-        vec!["c432a".into(), "c880a".into(), "c1355a".into(), "c499a".into()]
+        vec![
+            "c432a".into(),
+            "c880a".into(),
+            "c1355a".into(),
+            "c499a".into(),
+        ]
     } else {
         args.circuits.clone()
     };
@@ -75,7 +86,12 @@ fn main() {
         args.seed, args.trials
     );
     let mut table = Table::new([
-        "ckt", "trials", "median rank", "worst rank", "median list", "top-5% rate",
+        "ckt",
+        "trials",
+        "median rank",
+        "worst rank",
+        "median list",
+        "top-5% rate",
     ]);
     for circuit in &circuits {
         let golden = scan_core(circuit);

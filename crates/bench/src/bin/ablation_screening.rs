@@ -22,12 +22,7 @@ struct Sweep {
     fix_survives: bool,
 }
 
-fn sweep_point(
-    golden: &Netlist,
-    vectors: usize,
-    seed: u64,
-    level: ParamLevel,
-) -> Option<Sweep> {
+fn sweep_point(golden: &Netlist, vectors: usize, seed: u64, level: ParamLevel) -> Option<Sweep> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_design_errors(
         golden,
@@ -47,7 +42,13 @@ fn sweep_point(
     let mut config = RectifyConfig::dedc(1);
     config.max_candidates_per_node = usize::MAX;
     config.theorem_floor = false; // sweep the raw threshold
-    let mut rect = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config);
+    let mut rect = Rectifier::new(
+        injection.corrupted.clone(),
+        pi.clone(),
+        spec.clone(),
+        config,
+    )
+    .ok()?;
     let candidates = rect.rank_candidates(&[], &level);
     let fix_survives = candidates.iter().any(|rc| {
         let mut fixed = injection.corrupted.clone();
@@ -88,7 +89,9 @@ fn main() {
     for circuit in &circuits {
         let golden = scan_core(circuit);
         for &(h2, h3) in &points {
-            let level = ParamLevel::new(0.0, h2, h3).with_promote(1.0);
+            let level = ParamLevel::new(0.0, h2, h3)
+                .and_then(|l| l.with_promote(1.0))
+                .expect("sweep points are in range");
             let results = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("ablation_screening", circuit, 1, t, attempt);

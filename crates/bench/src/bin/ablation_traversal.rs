@@ -1,14 +1,18 @@
 //! Ablation B — the §3 claim that the round-based traversal "overcomes
 //! the pitfalls of BFS and DFS". The same multi-error DEDC workload runs
-//! under the three traversal strategies with identical node budgets;
+//! under the built-in traversal strategies with identical node budgets;
 //! success rate and nodes-to-solution are compared.
 //!
 //! `cargo run -p incdx-bench --release --bin ablation_traversal --
-//! [--trials N] [--circuits a,b] [--seed N]`
+//! [--trials N] [--circuits a,b] [--seed N] [--traversal bfs|dfs|naive-bfs|best-first]`
+//!
+//! Without `--traversal` every strategy runs (the ablation); with it only
+//! the requested one does (a single-strategy measurement run). `--json`
+//! additionally emits one `RectifyReport` record per engine run, tagged
+//! `ablation_traversal/<circuit>/<strategy>/t<trial>`.
 
-use incdx_bench::{run_parallel, scan_core, Args, Table};
-use incdx_core::Traversal;
-use std::time::Duration;
+use incdx_bench::{dedc_trial, run_parallel, scan_core, Args, Table};
+use incdx_core::{RectifyReport, TraversalKind};
 
 fn main() {
     let args = Args::parse();
@@ -16,6 +20,13 @@ fn main() {
         vec!["c432a".into(), "c880a".into(), "c1908a".into()]
     } else {
         args.circuits.clone()
+    };
+    // `--traversal` narrows the ablation to a single strategy; the flag's
+    // default value means "compare all of them".
+    let strategies: Vec<TraversalKind> = if std::env::args().any(|a| a == "--traversal") {
+        vec![args.traversal]
+    } else {
+        TraversalKind::ALL.to_vec()
     };
     let errors = 3usize;
     println!(
@@ -25,22 +36,19 @@ fn main() {
     let mut table = Table::new(["ckt", "traversal", "solved", "avg nodes", "avg time_s"]);
     for circuit in &circuits {
         let golden = scan_core(circuit);
-        for (label, traversal) in [
-            ("rounds", Traversal::Rounds),
-            ("dfs", Traversal::Dfs),
-            ("bfs", Traversal::Bfs),
-        ] {
+        for &traversal in &strategies {
+            let label = traversal.as_str();
             let outcomes = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("ablation_traversal", circuit, errors, t, attempt);
-                    if let Some(out) = dedc_trial_with(
+                    if let Some(out) = dedc_trial(
                         &golden,
                         errors,
                         args.vectors,
                         seed,
                         args.time_limit,
-                        traversal,
                         args.incremental,
+                        traversal,
                     ) {
                         return Some(out);
                     }
@@ -48,6 +56,19 @@ fn main() {
                 None
             });
             let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            if args.json {
+                for (trial, out) in done.iter().enumerate() {
+                    let tag = format!("ablation_traversal/{circuit}/{label}/t{trial}");
+                    let report = RectifyReport::from_parts(
+                        &tag,
+                        1,
+                        out.solutions,
+                        out.sites,
+                        out.stats.clone(),
+                    );
+                    println!("{}", report.to_json());
+                }
+            }
             if done.is_empty() {
                 table.row([circuit.as_str(), label, "-", "-", "-"]);
                 continue;
@@ -66,67 +87,4 @@ fn main() {
         }
     }
     println!("{table}");
-}
-
-/// `dedc_trial` with an overridden traversal strategy: re-implemented here
-/// because the shared helper pins the engine default.
-fn dedc_trial_with(
-    golden: &incdx_netlist::Netlist,
-    errors: usize,
-    vectors: usize,
-    seed: u64,
-    time_limit: Duration,
-    traversal: Traversal,
-    incremental: bool,
-) -> Option<incdx_bench::DedcOutcome> {
-    use incdx_core::{Rectifier, RectifyConfig};
-    use incdx_fault::{inject_design_errors, InjectionConfig};
-    use incdx_sim::{PackedMatrix, Response, Simulator};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use std::time::Instant;
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let injection = inject_design_errors(
-        golden,
-        &InjectionConfig {
-            count: errors,
-            require_individually_observable: true,
-            check_vectors: vectors,
-            max_attempts: 300,
-        },
-        &mut rng,
-    )
-    .ok()?;
-    let mut vec_rng = StdRng::seed_from_u64(seed ^ 0x0DED_C000);
-    let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
-    let mut sim = Simulator::new();
-    let spec = Response::capture(golden, &sim.run(golden, &pi));
-    let mut config = RectifyConfig::dedc(errors);
-    config.time_limit = Some(time_limit);
-    config.traversal = traversal;
-    config.incremental = incremental;
-    let started = Instant::now();
-    let result = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config).run();
-    let total = started.elapsed();
-    let solved = match result.solutions.first() {
-        Some(solution) => {
-            let mut fixed = injection.corrupted.clone();
-            solution.corrections.iter().all(|c| c.apply(&mut fixed).is_ok())
-                && Response::compare(
-                    &fixed,
-                    &sim.run_for_inputs(&fixed, golden.inputs(), &pi),
-                    &spec,
-                )
-                .matches()
-        }
-        None => false,
-    };
-    Some(incdx_bench::DedcOutcome {
-        solved,
-        solutions: result.solutions.len(),
-        sites: result.distinct_sites(),
-        total,
-        stats: result.stats,
-    })
 }

@@ -55,15 +55,15 @@ fn trial(
     injected.sort();
 
     let exact = dict.diagnose(&syndrome);
-    let dictionary_exact = !exact.is_empty()
-        && faults == 1
-        && exact.contains(&injected[0]);
+    let dictionary_exact = !exact.is_empty() && faults == 1 && exact.contains(&injected[0]);
     let (closest, _) = dict.diagnose_closest(&syndrome);
     let dictionary_closest_hits = closest.iter().any(|f| injected.contains(f));
 
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(time_limit);
-    let result = Rectifier::new(golden.clone(), pi.clone(), device, config).run();
+    let result = Rectifier::new(golden.clone(), pi.clone(), device, config)
+        .ok()?
+        .run();
     let incremental_recovers = result.solutions.iter().any(|s| {
         let t = s.stuck_at_tuple().expect("stuck-at mode");
         t == injected || (!t.is_empty() && t.iter().all(|f| injected.contains(f)))
@@ -87,7 +87,11 @@ fn main() {
         args.seed, args.trials
     );
     let mut table = Table::new([
-        "ckt", "faults", "dict exact", "dict closest hits a site", "incremental recovers",
+        "ckt",
+        "faults",
+        "dict exact",
+        "dict closest hits a site",
+        "incremental recovers",
     ]);
     for circuit in &circuits {
         let golden = scan_core(circuit);

@@ -60,7 +60,10 @@ fn trial(
     let mut vec_rng = StdRng::seed_from_u64(seed ^ 0xB41D);
     let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
     let mut sim = Simulator::new();
-    let device = Response::capture(&bridged, &sim.run_for_inputs(&bridged, golden.inputs(), &pi));
+    let device = Response::capture(
+        &bridged,
+        &sim.run_for_inputs(&bridged, golden.inputs(), &pi),
+    );
     // The bridge must be excited on these vectors.
     {
         let vals = sim.run(golden, &pi);
@@ -72,7 +75,9 @@ fn trial(
     // design-error correction model (two InsertGate fixes max).
     let mut config = RectifyConfig::dedc(2);
     config.time_limit = Some(time_limit);
-    let result = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config).run();
+    let result = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+        .ok()?
+        .run();
     let solved = match result.solutions.first() {
         Some(solution) => {
             let mut modeled = golden.clone();

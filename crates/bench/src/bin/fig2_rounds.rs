@@ -16,11 +16,7 @@ use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
-    let circuit = args
-        .circuits
-        .first()
-        .map(String::as_str)
-        .unwrap_or("c432a");
+    let circuit = args.circuits.first().map(String::as_str).unwrap_or("c432a");
     let golden = scan_core(circuit);
     println!(
         "Fig. 2 — decision-tree rounds on {circuit} with 3 design errors (seed={})",
@@ -52,6 +48,7 @@ fn main() {
         config.max_rounds = budget;
         config.time_limit = Some(args.time_limit);
         config.incremental = args.incremental;
+        config.traversal = args.traversal;
         // A single engine run at a time — parallelism goes inside the
         // screening stage rather than across trials.
         config.jobs = args.jobs;
@@ -61,10 +58,14 @@ fn main() {
             spec.clone(),
             config,
         )
+        .expect("well-formed workload")
         .run();
         if args.json {
             let label = format!("fig2/{circuit}/budget{budget}");
-            println!("{}", RectifyReport::new(&label, args.jobs, &result).to_json());
+            println!(
+                "{}",
+                RectifyReport::new(&label, args.jobs, &result).to_json()
+            );
         }
         table.row([
             budget.to_string(),

@@ -60,6 +60,7 @@ fn main() {
                         seed,
                         args.time_limit,
                         args.incremental,
+                        args.traversal,
                     ) {
                         return Some(out);
                     }
@@ -72,8 +73,13 @@ fn main() {
                 // jobs = 1 (`RectifyConfig` default) — reported as such.
                 for (trial, out) in done.iter().enumerate() {
                     let label = format!("table1/{circuit}/k{k}/t{trial}");
-                    let report =
-                        RectifyReport::from_parts(&label, 1, out.tuples, out.sites, out.stats.clone());
+                    let report = RectifyReport::from_parts(
+                        &label,
+                        1,
+                        out.tuples,
+                        out.sites,
+                        out.stats.clone(),
+                    );
                     println!("{}", report.to_json());
                 }
             }

@@ -8,8 +8,7 @@
 //! [--vectors N] [--circuits a,b,c] [--seed N] [--time-limit SECS]`
 
 use incdx_bench::{
-    dedc_trial, run_parallel, scan_core, Args, Table, DEFAULT_COMB_CIRCUITS,
-    DEFAULT_SEQ_CIRCUITS,
+    dedc_trial, run_parallel, scan_core, Args, Table, DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
 };
 use incdx_core::RectifyReport;
 
@@ -55,6 +54,7 @@ fn main() {
                         seed,
                         args.time_limit,
                         args.incremental,
+                        args.traversal,
                     ) {
                         return Some(out);
                     }

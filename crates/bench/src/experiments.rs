@@ -3,10 +3,8 @@
 
 use std::time::{Duration, Instant};
 
-use incdx_core::{Rectifier, RectifyConfig, RectifyStats};
-use incdx_fault::{
-    inject_design_errors, inject_stuck_at_faults, InjectionConfig, StuckAt,
-};
+use incdx_core::{Rectifier, RectifyConfig, RectifyStats, TraversalKind};
+use incdx_fault::{inject_design_errors, inject_stuck_at_faults, InjectionConfig, StuckAt};
 use incdx_netlist::{scan_convert, Netlist};
 use incdx_opt::{optimize_for_area, OptConfig};
 use incdx_sim::{PackedMatrix, Response, Simulator};
@@ -15,8 +13,7 @@ use rand::SeedableRng;
 
 /// The combinational circuits of Table 1/2, in the paper's order.
 pub const DEFAULT_COMB_CIRCUITS: &[&str] = &[
-    "c432a", "c499a", "c880a", "c1355a", "c1908a", "c2670a", "c3540a", "c5315a", "c6288a",
-    "c7552a",
+    "c432a", "c499a", "c880a", "c1355a", "c1908a", "c2670a", "c3540a", "c5315a", "c6288a", "c7552a",
 ];
 
 /// The full-scan sequential circuits of Table 1/2.
@@ -65,7 +62,9 @@ pub struct StuckAtOutcome {
 ///
 /// `incremental` selects the event-driven incremental engine; `false`
 /// reverts to full cone resimulation (bit-identical results, more
-/// simulated words).
+/// simulated words). `traversal` picks the decision-tree scheduling
+/// policy ([`TraversalKind::default`] is the paper's round-robin BFS).
+#[allow(clippy::too_many_arguments)]
 pub fn stuck_at_trial(
     golden: &Netlist,
     faults: usize,
@@ -73,6 +72,7 @@ pub fn stuck_at_trial(
     seed: u64,
     time_limit: Duration,
     incremental: bool,
+    traversal: TraversalKind,
 ) -> Option<StuckAtOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_stuck_at_faults(
@@ -107,8 +107,10 @@ pub fn stuck_at_trial(
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(time_limit);
     config.incremental = incremental;
+    config.traversal = traversal;
     let started = Instant::now();
-    let result = Rectifier::new(golden.clone(), pi, device, config).run();
+    let mut engine = Rectifier::new(golden.clone(), pi, device, config).ok()?;
+    let result = engine.run();
     let total = started.elapsed();
     let mut injected: Vec<StuckAt> = injection.injected.clone();
     injected.sort();
@@ -148,7 +150,9 @@ pub struct DedcOutcome {
 
 /// Runs one DEDC trial on `golden` (used as the specification): inject
 /// `errors` observable design errors, rectify the corrupted design, and
-/// verify any claimed solution. See [`stuck_at_trial`] for `incremental`.
+/// verify any claimed solution. See [`stuck_at_trial`] for
+/// `incremental` and `traversal`.
+#[allow(clippy::too_many_arguments)]
 pub fn dedc_trial(
     golden: &Netlist,
     errors: usize,
@@ -156,6 +160,7 @@ pub fn dedc_trial(
     seed: u64,
     time_limit: Duration,
     incremental: bool,
+    traversal: TraversalKind,
 ) -> Option<DedcOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_design_errors(
@@ -176,8 +181,16 @@ pub fn dedc_trial(
     let mut config = RectifyConfig::dedc(errors);
     config.time_limit = Some(time_limit);
     config.incremental = incremental;
+    config.traversal = traversal;
     let started = Instant::now();
-    let result = Rectifier::new(injection.corrupted.clone(), pi.clone(), spec.clone(), config).run();
+    let mut engine = Rectifier::new(
+        injection.corrupted.clone(),
+        pi.clone(),
+        spec.clone(),
+        config,
+    )
+    .ok()?;
+    let result = engine.run();
     let total = started.elapsed();
     let solved = match result.solutions.first() {
         Some(solution) => {
@@ -226,8 +239,16 @@ mod tests {
     #[test]
     fn stuck_at_trial_on_small_circuit() {
         let golden = scan_core("c432a");
-        let out = stuck_at_trial(&golden, 1, 256, 3, Duration::from_secs(20), true)
-            .expect("injectable");
+        let out = stuck_at_trial(
+            &golden,
+            1,
+            256,
+            3,
+            Duration::from_secs(20),
+            true,
+            TraversalKind::default(),
+        )
+        .expect("injectable");
         assert!(out.tuples >= 1);
         assert!(out.recovered);
         assert!(!out.masked);
@@ -237,8 +258,16 @@ mod tests {
     #[test]
     fn dedc_trial_on_small_circuit() {
         let golden = scan_core("c432a");
-        let out =
-            dedc_trial(&golden, 1, 256, 5, Duration::from_secs(20), true).expect("injectable");
+        let out = dedc_trial(
+            &golden,
+            1,
+            256,
+            5,
+            Duration::from_secs(20),
+            true,
+            TraversalKind::default(),
+        )
+        .expect("injectable");
         assert!(out.solved);
     }
 

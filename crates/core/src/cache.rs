@@ -76,16 +76,20 @@ impl NodeMatrixCache {
         }
         self.bytes += bytes;
         let mut evictions = 0;
-        while self.bytes > self.budget_bytes && !self.entries.is_empty() {
+        while self.bytes > self.budget_bytes {
             // Ticks are unique, so the LRU choice is deterministic even
             // though HashMap iteration order is not.
-            let lru = self
+            let Some(lru) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty");
-            let e = self.entries.remove(&lru).expect("present");
+            else {
+                break;
+            };
+            let Some(e) = self.entries.remove(&lru) else {
+                break;
+            };
             self.bytes -= e.bytes;
             evictions += 1;
         }

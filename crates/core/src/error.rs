@@ -1,0 +1,139 @@
+//! The engine's unified error type.
+//!
+//! Every fallible public entry point of `incdx-core` returns
+//! [`IncdxError`] instead of panicking, so malformed inputs (sequential
+//! netlists, shape mismatches between vectors/responses/netlists,
+//! out-of-range thresholds) surface as values a caller can match on.
+//! Hand-rolled in the `thiserror` style — the workspace builds offline
+//! with no derive-macro dependencies.
+
+use std::error::Error;
+use std::fmt;
+
+use incdx_netlist::NetlistError;
+
+/// Everything that can go wrong constructing or driving a
+/// [`Rectifier`](crate::Rectifier).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IncdxError {
+    /// The netlist contains state elements; the engine diagnoses
+    /// combinational logic (scan-convert first, as `incdx scan` does).
+    SequentialNetlist {
+        /// Number of offending state elements.
+        dffs: usize,
+    },
+    /// Two inputs that must agree on a dimension don't.
+    ShapeMismatch {
+        /// What was being matched (e.g. `"vector rows"`).
+        what: &'static str,
+        /// The dimension implied by the netlist/config.
+        expected: usize,
+        /// The dimension actually supplied.
+        got: usize,
+    },
+    /// A value matrix has fewer rows than the netlist it is evaluated
+    /// against — some gate has no row to read or write.
+    WidthMismatch {
+        /// Rows required (the netlist's gate count).
+        expected: usize,
+        /// Rows present in the matrix.
+        got: usize,
+    },
+    /// A tuning parameter is outside its legal range.
+    InvalidParam {
+        /// Parameter name (e.g. `"h2"`, `"promote"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A traversal-strategy name that no
+    /// [`TraversalKind`](crate::TraversalKind) matches.
+    UnknownTraversal(String),
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for IncdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IncdxError::SequentialNetlist { dffs } => write!(
+                f,
+                "netlist is sequential ({dffs} state element(s)); scan-convert first"
+            ),
+            IncdxError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected}, got {got}"),
+            IncdxError::WidthMismatch { expected, got } => write!(
+                f,
+                "value matrix too narrow: netlist has {expected} gates, matrix has {got} rows"
+            ),
+            IncdxError::InvalidParam { name, value } => {
+                write!(f, "parameter {name} = {value} out of range")
+            }
+            IncdxError::UnknownTraversal(s) => write!(
+                f,
+                "unknown traversal {s:?} (expected bfs, dfs, naive-bfs or best-first)"
+            ),
+            IncdxError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for IncdxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IncdxError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for IncdxError {
+    fn from(e: NetlistError) -> Self {
+        IncdxError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IncdxError::ShapeMismatch {
+            what: "vector rows",
+            expected: 4,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "vector rows: expected 4, got 3");
+        assert!(IncdxError::SequentialNetlist { dffs: 2 }
+            .to_string()
+            .contains("scan-convert"));
+        assert!(IncdxError::WidthMismatch {
+            expected: 10,
+            got: 7
+        }
+        .to_string()
+        .contains("10"));
+        assert!(IncdxError::InvalidParam {
+            name: "h2",
+            value: 1.5
+        }
+        .to_string()
+        .contains("h2"));
+        assert!(IncdxError::UnknownTraversal("zigzag".into())
+            .to_string()
+            .contains("zigzag"));
+    }
+
+    #[test]
+    fn wraps_netlist_errors_with_source() {
+        let src = incdx_netlist::parse_bench("y = AND(a)\n").unwrap_err();
+        let e = IncdxError::from(src.clone());
+        assert_eq!(e, IncdxError::Netlist(src));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -27,6 +27,21 @@
 //!   return *every* minimal equivalent fault tuple that explains the
 //!   observed behaviour.
 //!
+//! # Architecture
+//!
+//! The engine is layered (see `ARCHITECTURE.md`):
+//!
+//! * [`Traversal`] strategies ([`RoundRobinBfs`], [`DepthFirst`],
+//!   [`NaiveBfs`], [`BestFirst`]) schedule which open node of the
+//!   decision [`Tree`] expands next;
+//! * [`Evaluator`] backends ([`FromScratch`], [`Incremental`],
+//!   [`Parallel`]) prepare node circuits and value matrices;
+//! * the [`CandidatePipeline`] (path-trace → rank → screen → accept) is
+//!   shared by every strategy and backend;
+//! * [`Rectifier`] is the facade wiring the three from a
+//!   [`RectifyConfig`], and [`IncdxError`] is the unified error type of
+//!   every fallible public entry point.
+//!
 //! # Example
 //!
 //! ```
@@ -45,7 +60,7 @@
 //! let spec = Response::capture(&spec_nl, &sim.run(&spec_nl, &pi));
 //!
 //! let config = RectifyConfig::dedc(1);
-//! let result = Rectifier::new(design.clone(), pi, spec, config).run();
+//! let result = Rectifier::new(design.clone(), pi, spec, config)?.run();
 //! let fix = &result.solutions[0].corrections[0];
 //! assert_eq!(fix.line(), design.find_by_name("y").unwrap());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -54,22 +69,32 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod error;
+mod evaluator;
 mod parallel;
 mod params;
 mod path_trace;
+mod pipeline;
 mod report;
 mod screen;
 mod session;
+mod traversal;
 mod tree;
 mod wire;
 
+pub use error::IncdxError;
+pub use evaluator::{
+    EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode, SimCounters,
+};
 pub use parallel::{
     effective_jobs, run_parallel, run_parallel_with, ParallelOutcome, ParallelTelemetry,
 };
 pub use params::{default_ladder, ParamLevel};
 pub use path_trace::path_trace_counts;
+pub use pipeline::CandidatePipeline;
 pub use report::RectifyReport;
 pub use screen::{correction_output_row, correction_output_row_into, CorrectionScratch};
-pub use session::{Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution, Traversal};
-pub use tree::RankedCorrection;
+pub use session::{Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution};
+pub use traversal::{BestFirst, DepthFirst, NaiveBfs, RoundRobinBfs, Traversal, TraversalKind};
+pub use tree::{Node, PushOutcome, RankedCorrection, Tree};
 pub use wire::wire_sources;

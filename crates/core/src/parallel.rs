@@ -10,7 +10,6 @@
 //! distributed by an atomic cursor, so uneven item costs self-balance.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Resolves a user-facing job count: `0` means all available cores,
@@ -129,32 +128,41 @@ where
     }
     let next = AtomicUsize::new(0);
     let busy_nanos = AtomicU64::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| {
-                let mut state = init();
-                let t0 = Instant::now();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+    // Each worker collects (index, value) pairs privately; the scope join
+    // then scatters them back into index order. No locks, and a worker
+    // panic surfaces via resume_unwind instead of poisoning shared state.
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    let t0 = Instant::now();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        produced.push((i, f(&mut state, i)));
                     }
-                    let value = f(&mut state, i);
-                    *slots[i].lock().expect("slot lock") = Some(value);
-                }
-                busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            });
-        }
+                    busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(produced) => produced,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
     });
-    let results = slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every index computed")
-        })
-        .collect();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in per_worker.into_iter().flatten() {
+        slots[i] = Some(value);
+    }
+    let results = slots.into_iter().flatten().collect();
     ParallelOutcome {
         results,
         telemetry: ParallelTelemetry {

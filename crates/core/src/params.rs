@@ -12,6 +12,8 @@
 //! whenever a node produces no qualifying correction, `h1` first ("it is
 //! error-count dependent"), down to the paper's floor of `0.1/0.3/0.5`.
 
+use crate::error::IncdxError;
+
 /// One rung of the relaxation ladder.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParamLevel {
@@ -58,36 +60,57 @@ pub struct ParamLevel {
 }
 
 impl ParamLevel {
-    /// A level with the given thresholds and the default 20% promotion
-    /// fraction.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any threshold is outside `[0, 1]`.
-    pub fn new(h1: f64, h2: f64, h3: f64) -> Self {
-        for (name, v) in [("h1", h1), ("h2", h2), ("h3", h3)] {
-            assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0, 1]");
-        }
+    /// Known-good literal levels (the ladder below) skip validation.
+    const fn literal(h1: f64, h2: f64, h3: f64, promote: f64) -> Self {
         ParamLevel {
             h1,
             h2,
             h3,
-            promote: 0.2,
+            promote,
         }
+    }
+
+    /// A level with the given thresholds and the default 20% promotion
+    /// fraction.
+    ///
+    /// # Errors
+    ///
+    /// [`IncdxError::InvalidParam`] if any threshold is outside `[0, 1]`.
+    pub fn new(h1: f64, h2: f64, h3: f64) -> Result<Self, IncdxError> {
+        for (name, value) in [("h1", h1), ("h2", h2), ("h3", h3)] {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(IncdxError::InvalidParam { name, value });
+            }
+        }
+        Ok(ParamLevel {
+            h1,
+            h2,
+            h3,
+            promote: 0.2,
+        })
     }
 
     /// Sets the promotion fraction.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `promote` is outside `(0, 1]`.
-    pub fn with_promote(mut self, promote: f64) -> Self {
-        assert!(
-            promote > 0.0 && promote <= 1.0,
-            "promote = {promote} out of (0, 1]"
-        );
+    /// [`IncdxError::InvalidParam`] if `promote` is outside `(0, 1]`.
+    pub fn with_promote(mut self, promote: f64) -> Result<Self, IncdxError> {
+        if !(promote > 0.0 && promote <= 1.0) {
+            return Err(IncdxError::InvalidParam {
+                name: "promote",
+                value: promote,
+            });
+        }
         self.promote = promote;
-        self
+        Ok(self)
+    }
+
+    /// The exhaustive stuck-at level: `h1`/`h3` disabled, `h2 = 1` (cut
+    /// to Theorem 1's `|V_err|/N` by the theorem floor), every marked
+    /// line promoted — screening prunes nothing a valid tuple needs.
+    pub const fn exhaustive() -> Self {
+        ParamLevel::literal(0.0, 1.0, 0.0, 1.0)
     }
 }
 
@@ -98,24 +121,30 @@ impl ParamLevel {
 /// (`h3 = 0.8`).
 pub fn default_ladder() -> Vec<ParamLevel> {
     vec![
-        ParamLevel::new(1.0, 1.0, 1.0).with_promote(0.05),
-        ParamLevel::new(0.6, 0.85, 0.98).with_promote(0.1),
-        ParamLevel::new(0.3, 0.7, 0.95).with_promote(0.2),
-        ParamLevel::new(0.3, 0.5, 0.85).with_promote(0.4),
-        ParamLevel::new(0.2, 0.4, 0.8).with_promote(0.7),
-        ParamLevel::new(0.1, 0.3, 0.5).with_promote(1.0),
+        ParamLevel::literal(1.0, 1.0, 1.0, 0.05),
+        ParamLevel::literal(0.6, 0.85, 0.98, 0.1),
+        ParamLevel::literal(0.3, 0.7, 0.95, 0.2),
+        ParamLevel::literal(0.3, 0.5, 0.85, 0.4),
+        ParamLevel::literal(0.2, 0.4, 0.8, 0.7),
+        ParamLevel::literal(0.1, 0.3, 0.5, 1.0),
         // One rung below the published floor: when errors overlap on every
         // failing vector, no single fix rectifies anything alone and
         // heuristic 1 scores the true sites 0 (the extreme of the Fig. 1
         // masking effect). h1 = 0 admits every marked line, ordered by
         // path-trace count.
-        ParamLevel::new(0.0, 0.3, 0.5).with_promote(1.0),
+        ParamLevel::literal(0.0, 0.3, 0.5, 1.0),
     ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn level(h1: f64, h2: f64, h3: f64, promote: f64) -> ParamLevel {
+        ParamLevel::new(h1, h2, h3)
+            .and_then(|l| l.with_promote(promote))
+            .unwrap()
+    }
 
     #[test]
     fn ladder_is_monotonically_relaxing() {
@@ -127,15 +156,37 @@ mod tests {
             assert!(w[1].h3 <= w[0].h3);
             assert!(w[1].promote >= w[0].promote, "promotion must widen");
         }
-        assert_eq!(ladder[0], ParamLevel::new(1.0, 1.0, 1.0).with_promote(0.05));
+        assert_eq!(ladder[0], level(1.0, 1.0, 1.0, 0.05));
         let floor = *ladder.last().unwrap();
-        assert_eq!(floor, ParamLevel::new(0.0, 0.3, 0.5).with_promote(1.0));
-        assert!((ParamLevel::new(0.5, 0.5, 0.5).promote - 0.2).abs() < 1e-12);
+        assert_eq!(floor, level(0.0, 0.3, 0.5, 1.0));
+        assert!((ParamLevel::new(0.5, 0.5, 0.5).unwrap().promote - 0.2).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "out of [0, 1]")]
-    fn rejects_out_of_range() {
-        ParamLevel::new(1.5, 0.5, 0.5);
+    fn rejects_out_of_range_as_errors() {
+        assert!(matches!(
+            ParamLevel::new(1.5, 0.5, 0.5),
+            Err(IncdxError::InvalidParam { name: "h1", .. })
+        ));
+        assert!(matches!(
+            ParamLevel::new(0.5, -0.1, 0.5),
+            Err(IncdxError::InvalidParam { name: "h2", .. })
+        ));
+        assert!(matches!(
+            ParamLevel::new(0.5, 0.5, 0.5).unwrap().with_promote(0.0),
+            Err(IncdxError::InvalidParam {
+                name: "promote",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn exhaustive_level_disables_h1_and_h3() {
+        let l = ParamLevel::exhaustive();
+        assert_eq!(l.h1, 0.0);
+        assert_eq!(l.h2, 1.0);
+        assert_eq!(l.h3, 0.0);
+        assert_eq!(l.promote, 1.0);
     }
 }

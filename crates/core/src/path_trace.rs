@@ -76,11 +76,16 @@ pub fn path_trace_counts(
                     trace(gate.fanins()[0], &mut marked, &mut stack);
                 }
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                    let c = gate.kind().controlling_value().expect("and/or family");
-                    let any_controlling = gate
-                        .fanins()
-                        .iter()
-                        .any(|f| vals.get(f.index(), v) == c);
+                    let Some(c) = gate.kind().controlling_value() else {
+                        // Unreachable for the and/or family; tracing every
+                        // fanin is the conservative fallback (never loses a
+                        // mark the paper's guarantee needs).
+                        for &f in gate.fanins() {
+                            trace(f, &mut marked, &mut stack);
+                        }
+                        continue;
+                    };
+                    let any_controlling = gate.fanins().iter().any(|f| vals.get(f.index(), v) == c);
                     for &f in gate.fanins() {
                         if !any_controlling || vals.get(f.index(), v) == c {
                             trace(f, &mut marked, &mut stack);
@@ -147,18 +152,17 @@ mod tests {
             let mut rng2 = StdRng::seed_from_u64(seed + 1000);
             let pi = PackedMatrix::random(golden.inputs().len(), 512, &mut rng2);
             let mut sim = Simulator::new();
-            let device =
-                Response::capture(&inj.corrupted, &sim.run_for_inputs(&inj.corrupted, golden.inputs(), &pi));
+            let device = Response::capture(
+                &inj.corrupted,
+                &sim.run_for_inputs(&inj.corrupted, golden.inputs(), &pi),
+            );
             let vals = sim.run(&golden, &pi);
             let resp = Response::compare(&golden, &vals, &device);
             if resp.num_failing() == 0 {
                 continue; // not excited on these vectors
             }
             let counts = path_trace_counts(&golden, &vals, &resp, &device, 64);
-            let hit = inj
-                .injected
-                .iter()
-                .any(|f| counts[f.line().index()] > 0);
+            let hit = inj.injected.iter().any(|f| counts[f.line().index()] > 0);
             assert!(hit, "seed {seed}: no injected site marked");
         }
     }
@@ -172,10 +176,7 @@ mod tests {
             let (_pi, spec, resp, vals) = setup(&golden, &inj.corrupted, 512, seed + 77);
             assert!(resp.num_failing() > 0, "injector guarantees observability");
             let counts = path_trace_counts(&inj.corrupted, &vals, &resp, &spec, 64);
-            let hit = inj
-                .injected
-                .iter()
-                .any(|e| counts[e.line().index()] > 0);
+            let hit = inj.injected.iter().any(|e| counts[e.line().index()] > 0);
             assert!(hit, "seed {seed}: no injected site marked");
         }
     }

@@ -1,0 +1,688 @@
+//! The candidate pipeline: path-trace → rank (heuristic 1) → screen
+//! (heuristics 2 + 3) → accept (sort + per-node cap).
+//!
+//! One [`CandidatePipeline`] runs per still-failing decision-tree node
+//! and is shared by *every* traversal strategy and evaluation backend —
+//! the stage logic that used to be duplicated across the serial,
+//! parallel and incremental branches of the old monolithic session now
+//! lives here exactly once. The pipeline is policy-free: it neither
+//! schedules nodes nor prepares matrices; it turns one prepared node
+//! into its ranked, screened candidate list (empty = a dead leaf,
+//! §3.3's "leaf with failure").
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel};
+use incdx_netlist::{ConeCache, ConeSet, GateId, GateKind, Netlist};
+use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Response, Simulator};
+
+use crate::parallel::run_parallel_with;
+use crate::params::ParamLevel;
+use crate::path_trace::path_trace_counts;
+use crate::screen::{correction_output_row_into, CorrectionScratch};
+use crate::session::{RectifyConfig, RectifyStats};
+use crate::tree::RankedCorrection;
+
+/// The per-node diagnosis + correction stages, configured once per run.
+#[derive(Debug)]
+pub struct CandidatePipeline<'a> {
+    config: &'a RectifyConfig,
+    spec: &'a Response,
+    jobs: usize,
+    incremental: bool,
+}
+
+impl<'a> CandidatePipeline<'a> {
+    /// A pipeline over this run's configuration and reference response.
+    /// `jobs` and `incremental` come from the evaluation backend (they
+    /// select the parallel fan-out and the column-restricted
+    /// save/restore strategy, not the results).
+    pub fn new(
+        config: &'a RectifyConfig,
+        spec: &'a Response,
+        jobs: usize,
+        incremental: bool,
+    ) -> Self {
+        CandidatePipeline {
+            config,
+            spec,
+            jobs,
+            incremental,
+        }
+    }
+
+    /// Runs all four stages on one prepared, still-failing node and
+    /// returns its ranked candidate list (best rank first, capped at
+    /// [`RectifyConfig::max_candidates_per_node`]). Empty means the
+    /// node is a dead leaf at this parameter level.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run(
+        &self,
+        netlist: &Netlist,
+        vals: &PackedMatrix,
+        response: &Response,
+        corrections: &[Correction],
+        level: &ParamLevel,
+        cones: &mut ConeCache,
+        stats: &mut RectifyStats,
+    ) -> Vec<RankedCorrection> {
+        // ---- Diagnosis (§3.1) ----
+        let t1 = Instant::now();
+        let counts = path_trace_counts(
+            netlist,
+            vals,
+            response,
+            self.spec,
+            self.config.path_trace_vector_cap,
+        );
+        let mut marked: Vec<GateId> = netlist.ids().filter(|id| counts[id.index()] > 0).collect();
+        marked.sort_by_key(|id| std::cmp::Reverse(counts[id.index()]));
+        let fraction = self.config.path_trace_fraction.max(level.promote);
+        let mut take = ((marked.len() as f64 * fraction).ceil() as usize)
+            .max(8)
+            .min(marked.len());
+        // Never cut inside a tie class: lines with equal path-trace counts
+        // are indistinguishable to this heuristic, and the dropped half
+        // could contain the only marked member of a valid tuple.
+        while take < marked.len()
+            && counts[marked[take].index()] == counts[marked[take - 1].index()]
+        {
+            take += 1;
+        }
+        if take > self.config.max_candidate_lines {
+            stats.lines_truncated += take - self.config.max_candidate_lines;
+            take = self.config.max_candidate_lines;
+        }
+        let promoted = &marked[..take];
+        stats.path_trace_time += t1.elapsed();
+        // When the level disables the h1 filter (exhaustive stuck-at
+        // mode), skip the flip-and-propagate pass and order lines by
+        // path-trace count alone.
+        let t_rank = Instant::now();
+        let scored_lines: Vec<(GateId, f64)> = if level.h1 <= 0.0 {
+            let max_count = promoted
+                .first()
+                .map(|l| counts[l.index()] as f64)
+                .unwrap_or(1.0)
+                .max(1.0);
+            promoted
+                .iter()
+                .map(|&l| (l, counts[l.index()] as f64 / max_count))
+                .collect()
+        } else {
+            self.rank_lines(netlist, vals, response, promoted, cones, stats)
+        };
+        stats.rank_time += t_rank.elapsed();
+        stats.diagnosis_time += t1.elapsed();
+
+        // ---- Correction (§3.2) at the run's current parameter level ----
+        let t2 = Instant::now();
+        let n_err = response.num_failing();
+        let nv = vals.num_vectors();
+        let n_corr = nv - n_err;
+        let remaining = (self.config.max_corrections - corrections.len()).max(1);
+        let h2_threshold = if self.config.theorem_floor {
+            level.h2.min(1.0 / remaining as f64)
+        } else {
+            level.h2
+        };
+        let mut ranked = self.screen(
+            netlist,
+            vals,
+            response,
+            &scored_lines,
+            level,
+            h2_threshold,
+            n_err,
+            n_corr,
+            cones,
+            stats,
+        );
+        if !ranked.is_empty() {
+            ranked.sort_by(|a, b| b.rank.total_cmp(&a.rank));
+            if ranked.len() > self.config.max_candidates_per_node {
+                stats.candidates_truncated += ranked.len() - self.config.max_candidates_per_node;
+                ranked.truncate(self.config.max_candidates_per_node);
+            }
+        }
+        stats.correction_time += t2.elapsed();
+        ranked
+    }
+
+    /// Heuristic 1: flip each promoted line on the failing vectors,
+    /// propagate through its fanout cone, and score by the fraction of
+    /// erroneous PO bits rectified.
+    ///
+    /// Lines are scored in parallel; each worker owns a simulator and a
+    /// private copy of the value matrix (every task restores the cone
+    /// rows it perturbs, so the copy stays equal to `vals` between
+    /// tasks). Scores merge in input order and the final sort is
+    /// stable, so the ranking is bit-identical to the serial one.
+    fn rank_lines(
+        &self,
+        netlist: &Netlist,
+        vals: &PackedMatrix,
+        response: &Response,
+        lines: &[GateId],
+        cones: &mut ConeCache,
+        stats: &mut RectifyStats,
+    ) -> Vec<(GateId, f64)> {
+        let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
+        // Planting XORs the error mask into the stem row, so only word
+        // columns with a failing vector can ever change anywhere in the
+        // cone — propagation, save, and restore all restrict to them.
+        let err_cols: Vec<u32> = err_words
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m != 0)
+            .map(|(w, _)| w as u32)
+            .collect();
+        let total_bad = response.mismatch_bits().max(1);
+        let wpr = vals.words_per_row();
+        let nv = vals.num_vectors();
+        let spec = self.spec;
+        let incremental = self.incremental;
+        // Memoize every line's cone up front (serially), then share the
+        // `Arc`s read-only across workers.
+        let cone_refs: Vec<Arc<ConeSet>> = lines.iter().map(|&l| cones.get(netlist, l)).collect();
+        let outcome = run_parallel_with(
+            lines.len(),
+            self.jobs,
+            || (Simulator::new(), vals.clone(), Vec::<u64>::new()),
+            |(sim, vals, saved), i| {
+                let line = lines[i];
+                let words_before = sim.words_simulated();
+                let events_before = sim.events_propagated();
+                let skipped_before = sim.words_skipped();
+                let cone = &cone_refs[i];
+                saved.clear();
+                if incremental {
+                    for &g in cone.sorted() {
+                        let row = vals.row(g.index());
+                        for &w in &err_cols {
+                            saved.push(row[w as usize]);
+                        }
+                    }
+                } else {
+                    for &g in cone.sorted() {
+                        saved.extend_from_slice(vals.row(g.index()));
+                    }
+                }
+                {
+                    let row = vals.row_mut(line.index());
+                    for (w, &m) in row.iter_mut().zip(&err_words) {
+                        *w ^= m;
+                    }
+                }
+                if incremental {
+                    sim.run_cone_events_cols(netlist, vals, cone.sorted(), &err_cols);
+                } else {
+                    sim.run_cone(netlist, vals, cone.sorted());
+                }
+                // Count rectified erroneous (vector, PO) bits.
+                let mut rectified = 0usize;
+                for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                    if !cone.contains(po) {
+                        continue;
+                    }
+                    let after = vals.row(po.index());
+                    let spec_row = spec.po_values().row(po_idx);
+                    let before = response.po_values().row(po_idx);
+                    for w in 0..wpr {
+                        let was_bad = before[w] ^ spec_row[w];
+                        let now_bad = after[w] ^ spec_row[w];
+                        let mut fixed = was_bad & !now_bad;
+                        if w == wpr - 1 {
+                            fixed &= PackedBits::new(nv).tail_mask();
+                        }
+                        rectified += fixed.count_ones() as usize;
+                    }
+                }
+                if incremental {
+                    let nc = err_cols.len();
+                    for (k, &g) in cone.sorted().iter().enumerate() {
+                        let row = vals.row_mut(g.index());
+                        for (j, &w) in err_cols.iter().enumerate() {
+                            row[w as usize] = saved[k * nc + j];
+                        }
+                    }
+                } else {
+                    for (k, &g) in cone.sorted().iter().enumerate() {
+                        vals.row_mut(g.index())
+                            .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                    }
+                }
+                (
+                    rectified,
+                    sim.words_simulated() - words_before,
+                    sim.events_propagated() - events_before,
+                    sim.words_skipped() - skipped_before,
+                )
+            },
+        );
+        let mut scored = Vec::with_capacity(lines.len());
+        for (i, (rectified, words, events, skipped)) in outcome.results.into_iter().enumerate() {
+            stats.words_simulated += words;
+            stats.events_propagated += events;
+            stats.words_skipped += skipped;
+            scored.push((lines[i], rectified as f64 / total_bad as f64));
+        }
+        stats.parallel.merge(&outcome.telemetry);
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+        scored
+    }
+
+    /// The screening stage: enumerate corrections per qualified line,
+    /// filter with heuristics 2 and 3, and rank the survivors.
+    ///
+    /// Suspect lines fan out across workers, one task per line covering
+    /// both screening phases. Workers carry a private simulator plus a
+    /// private copy of the value matrix (phase B restores every cone
+    /// row it perturbs, so the copy stays equal to `vals` between
+    /// tasks); survivors merge in line order, preserving the serial
+    /// candidate sequence bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    fn screen(
+        &self,
+        netlist: &Netlist,
+        vals: &PackedMatrix,
+        response: &Response,
+        scored_lines: &[(GateId, f64)],
+        level: &ParamLevel,
+        h2_threshold: f64,
+        n_err: usize,
+        n_corr: usize,
+        cones: &mut ConeCache,
+        stats: &mut RectifyStats,
+    ) -> Vec<RankedCorrection> {
+        let t_screen = Instant::now();
+        let nv = vals.num_vectors();
+        let wpr = vals.words_per_row();
+        let tail = PackedBits::new(nv).tail_mask();
+        let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
+        let v_ratio = n_err as f64 / nv as f64;
+        // Old per-PO diff rows (for the after-failing-mask of POs outside
+        // a candidate's cone).
+        let old_diff: Vec<Vec<u64>> = netlist
+            .outputs()
+            .iter()
+            .enumerate()
+            .map(|(po_idx, _)| {
+                let got = response.po_values().row(po_idx);
+                let want = self.spec.po_values().row(po_idx);
+                got.iter().zip(want).map(|(a, b)| a ^ b).collect()
+            })
+            .collect();
+        // scored_lines is sorted descending, so the h1 threshold keeps a
+        // prefix; everything after it is rejected wholesale.
+        let keep = scored_lines
+            .iter()
+            .take_while(|&&(_, s)| s + 1e-12 >= level.h1)
+            .count();
+        stats.lines_rejected_h1 += scored_lines.len() - keep;
+        let active = &scored_lines[..keep];
+        let spec = self.spec;
+        let config = self.config;
+        let incremental = self.incremental;
+        // Memoize the active lines' cones up front (serially) and share the
+        // `Arc`s read-only across workers — both screening phases and the
+        // wire-source eligibility test walk the same cones.
+        let cone_refs: Vec<Arc<ConeSet>> =
+            active.iter().map(|&(l, _)| cones.get(netlist, l)).collect();
+        let outcome = run_parallel_with(
+            active.len(),
+            self.jobs,
+            || {
+                (
+                    Simulator::new(),
+                    vals.clone(),
+                    Vec::<u64>::new(),
+                    CorrectionScratch::default(),
+                    Vec::<u32>::new(),
+                )
+            },
+            |(sim, vals, saved, scratch, cols), li| {
+                let (line, _) = active[li];
+                let cone = &cone_refs[li];
+                let mut delta = ScreenDelta::default();
+                let words_before = sim.words_simulated();
+                let events_before = sim.events_propagated();
+                let skipped_before = sim.words_skipped();
+                // ---- Phase A: heuristic 2 on every candidate (cheap,
+                // local, allocation-free for the wire corrections that
+                // dominate). ----
+                let mut pass: Vec<(Correction, f64)> = Vec::new();
+                let cur = vals.row(line.index()).to_vec();
+                let qualifies = |complemented: usize| -> bool {
+                    complemented as f64 / n_err.max(1) as f64 + 1e-12 >= h2_threshold
+                };
+                // Non-wire candidates through the generic evaluator
+                // (borrowed rows into the worker's scratch; the fused
+                // masked popcount avoids a diff temporary — err_words is
+                // already tail-masked).
+                for corr in enumerate_corrections(netlist, line, config.model, &[]) {
+                    delta.screened += 1;
+                    let Ok(Some(new_row)) =
+                        correction_output_row_into(netlist, vals, &corr, scratch)
+                    else {
+                        continue;
+                    };
+                    let complemented = xor_masked_count_ones(new_row, &cur, &err_words);
+                    if qualifies(complemented) {
+                        pass.push((corr, complemented as f64 / n_err.max(1) as f64));
+                    }
+                }
+                // Wire candidates: exhaustive over every cycle-safe source,
+                // fused evaluation per gate family.
+                if config.model == CorrectionModel::DesignErrors {
+                    if let Some((family, identity, invert)) = wire_family(netlist.gate(line).kind())
+                    {
+                        let gate = netlist.gate(line);
+                        let kind = gate.kind();
+                        let fanins = gate.fanins().to_vec();
+                        let fold = |skip: Option<usize>| -> Vec<u64> {
+                            let mut acc = vec![identity; wpr];
+                            for (p, &f) in fanins.iter().enumerate() {
+                                if Some(p) == skip {
+                                    continue;
+                                }
+                                let row = vals.row(f.index());
+                                for (a, &r) in acc.iter_mut().zip(row) {
+                                    match family {
+                                        Family::And => *a &= r,
+                                        Family::Or => *a |= r,
+                                        Family::Xor => *a ^= r,
+                                    }
+                                }
+                            }
+                            acc
+                        };
+                        let core = fold(None);
+                        let base_wo: Vec<Vec<u64>> =
+                            (0..fanins.len()).map(|p| fold(Some(p))).collect();
+                        let combine = |base: &[u64], src: &[u64], w: usize| -> u64 {
+                            let v = match family {
+                                Family::And => base[w] & src[w],
+                                Family::Or => base[w] | src[w],
+                                Family::Xor => base[w] ^ src[w],
+                            };
+                            if invert {
+                                !v
+                            } else {
+                                v
+                            }
+                        };
+                        let can_add = matches!(
+                            kind,
+                            GateKind::And
+                                | GateKind::Nand
+                                | GateKind::Or
+                                | GateKind::Nor
+                                | GateKind::Xor
+                                | GateKind::Xnor
+                        );
+                        // Eligible sources, optionally stride-sampled.
+                        let mut eligible: Vec<GateId> = netlist
+                            .ids()
+                            .filter(|&s| {
+                                s != line
+                                    && !cone.contains(s)
+                                    && !matches!(
+                                        netlist.gate(s).kind(),
+                                        GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+                                    )
+                            })
+                            .collect();
+                        if config.wire_source_limit > 0 && eligible.len() > config.wire_source_limit
+                        {
+                            delta.wire_sources_truncated +=
+                                eligible.len() - config.wire_source_limit;
+                            let stride = eligible.len().div_ceil(config.wire_source_limit);
+                            eligible = eligible.into_iter().step_by(stride).collect();
+                        }
+                        for src in eligible {
+                            let srow = vals.row(src.index());
+                            // AddInput.
+                            if can_add && !fanins.contains(&src) {
+                                delta.screened += 1;
+                                let mut complemented = 0usize;
+                                for w in 0..wpr {
+                                    let diff = (combine(&core, srow, w) ^ cur[w]) & err_words[w];
+                                    complemented += diff.count_ones() as usize;
+                                }
+                                if qualifies(complemented) {
+                                    pass.push((
+                                        Correction::new(
+                                            line,
+                                            CorrectionAction::AddInput { source: src },
+                                        ),
+                                        complemented as f64 / n_err.max(1) as f64,
+                                    ));
+                                }
+                            }
+                            // ReplaceInput on every port.
+                            for (p, &old) in fanins.iter().enumerate() {
+                                if old == src {
+                                    continue;
+                                }
+                                delta.screened += 1;
+                                let mut complemented = 0usize;
+                                for w in 0..wpr {
+                                    let diff =
+                                        (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
+                                    complemented += diff.count_ones() as usize;
+                                }
+                                if qualifies(complemented) {
+                                    pass.push((
+                                        Correction::new(
+                                            line,
+                                            CorrectionAction::ReplaceInput {
+                                                port: p,
+                                                source: src,
+                                            },
+                                        ),
+                                        complemented as f64 / n_err.max(1) as f64,
+                                    ));
+                                }
+                            }
+                            // InsertGate over the basic 2-input kinds (restores a
+                            // dropped "simple gate" in one correction). The
+                            // inverting kinds complement almost every V_err bit and
+                            // so pass heuristic 2 for free, flooding the expensive
+                            // heuristic-3 stage; they only join once the ladder has
+                            // relaxed h3 — the point where such repairs become
+                            // admissible at all.
+                            let insert_kinds: &[GateKind] = if level.h3 <= 0.85 {
+                                &[GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor]
+                            } else {
+                                &[GateKind::And, GateKind::Or]
+                            };
+                            for &k2 in insert_kinds {
+                                delta.screened += 1;
+                                let mut complemented = 0usize;
+                                for w in 0..wpr {
+                                    let v = match k2 {
+                                        GateKind::And => cur[w] & srow[w],
+                                        GateKind::Or => cur[w] | srow[w],
+                                        GateKind::Nand => !(cur[w] & srow[w]),
+                                        _ => !(cur[w] | srow[w]),
+                                    };
+                                    let diff = (v ^ cur[w]) & err_words[w];
+                                    complemented += diff.count_ones() as usize;
+                                }
+                                if qualifies(complemented) {
+                                    pass.push((
+                                        Correction::new(
+                                            line,
+                                            CorrectionAction::InsertGate {
+                                                kind: k2,
+                                                other: src,
+                                            },
+                                        ),
+                                        complemented as f64 / n_err.max(1) as f64,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                delta.rejected_h2 = delta.screened - pass.len();
+                // ---- Phase B: heuristic 3 (cone propagation) on
+                // survivors. ----
+                let mut line_ranked: Vec<RankedCorrection> = Vec::new();
+                for (corr, h2_fraction) in pass {
+                    // The raw (unmasked-tail) output row is exactly what a
+                    // full resimulation of the corrected circuit would
+                    // store for the line, so it can be planted verbatim.
+                    let Ok(Some(new_row)) =
+                        correction_output_row_into(netlist, vals, &corr, scratch)
+                    else {
+                        delta.rejected_h3 += 1;
+                        continue;
+                    };
+                    saved.clear();
+                    if incremental {
+                        // Planting replaces the stem row wholesale, but
+                        // only the word columns where it actually differs
+                        // from the current row can change anywhere in the
+                        // cone — propagate, save, and restore just those.
+                        cols.clear();
+                        for (w, (&n, &c)) in new_row.iter().zip(&cur).enumerate() {
+                            if n != c {
+                                cols.push(w as u32);
+                            }
+                        }
+                        for &g in cone.sorted() {
+                            let row = vals.row(g.index());
+                            for &w in cols.iter() {
+                                saved.push(row[w as usize]);
+                            }
+                        }
+                    } else {
+                        for &g in cone.sorted() {
+                            saved.extend_from_slice(vals.row(g.index()));
+                        }
+                    }
+                    vals.row_mut(line.index()).copy_from_slice(new_row);
+                    if incremental {
+                        sim.run_cone_events_cols(netlist, vals, cone.sorted(), cols);
+                    } else {
+                        sim.run_cone(netlist, vals, cone.sorted());
+                    }
+                    let mut after_fail = vec![0u64; wpr];
+                    for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+                        if cone.contains(po) {
+                            let got = vals.row(po.index());
+                            let want = spec.po_values().row(po_idx);
+                            for w in 0..wpr {
+                                after_fail[w] |= got[w] ^ want[w];
+                            }
+                        } else {
+                            for w in 0..wpr {
+                                after_fail[w] |= old_diff[po_idx][w];
+                            }
+                        }
+                    }
+                    let mut newly_err = 0usize;
+                    let mut fixed = 0usize;
+                    for w in 0..wpr {
+                        let mut ne = after_fail[w] & !err_words[w];
+                        let mut fx = err_words[w] & !after_fail[w];
+                        if w == wpr - 1 {
+                            ne &= tail;
+                            fx &= tail;
+                        }
+                        newly_err += ne.count_ones() as usize;
+                        fixed += fx.count_ones() as usize;
+                    }
+                    if incremental {
+                        let nc = cols.len();
+                        for (k, &g) in cone.sorted().iter().enumerate() {
+                            let row = vals.row_mut(g.index());
+                            for (j, &w) in cols.iter().enumerate() {
+                                row[w as usize] = saved[k * nc + j];
+                            }
+                        }
+                    } else {
+                        for (k, &g) in cone.sorted().iter().enumerate() {
+                            vals.row_mut(g.index())
+                                .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
+                        }
+                    }
+                    let h3_score = 1.0 - newly_err as f64 / n_corr.max(1) as f64;
+                    if h3_score + 1e-12 < level.h3 {
+                        delta.rejected_h3 += 1;
+                        continue;
+                    }
+                    delta.qualified += 1;
+                    let corr_h1 = fixed as f64 / n_err.max(1) as f64;
+                    line_ranked.push(RankedCorrection {
+                        correction: corr,
+                        rank: (1.0 - v_ratio) * h3_score + v_ratio * corr_h1,
+                        h1_score: corr_h1,
+                        h2_fraction,
+                        h3_score,
+                    });
+                }
+                delta.words = sim.words_simulated() - words_before;
+                delta.events = sim.events_propagated() - events_before;
+                delta.skipped = sim.words_skipped() - skipped_before;
+                (line_ranked, delta)
+            },
+        );
+        let mut ranked = Vec::new();
+        for (line_ranked, delta) in outcome.results {
+            ranked.extend(line_ranked);
+            stats.corrections_screened += delta.screened;
+            stats.corrections_qualified += delta.qualified;
+            stats.corrections_rejected_h2 += delta.rejected_h2;
+            stats.corrections_rejected_h3 += delta.rejected_h3;
+            stats.wire_sources_truncated += delta.wire_sources_truncated;
+            stats.words_simulated += delta.words;
+            stats.events_propagated += delta.events;
+            stats.words_skipped += delta.skipped;
+        }
+        stats.parallel.merge(&outcome.telemetry);
+        stats.screen_time += t_screen.elapsed();
+        ranked
+    }
+}
+
+/// Folded-evaluation family of a logic gate: its core word operation,
+/// the fold identity, and whether the result is complemented.
+enum Family {
+    And,
+    Or,
+    Xor,
+}
+
+/// `None` for non-logic kinds (inputs, constants, state) — those lines
+/// take no wire corrections.
+fn wire_family(kind: GateKind) -> Option<(Family, u64, bool)> {
+    match kind {
+        GateKind::And => Some((Family::And, !0u64, false)),
+        GateKind::Nand => Some((Family::And, !0u64, true)),
+        GateKind::Buf => Some((Family::And, !0u64, false)),
+        GateKind::Not => Some((Family::And, !0u64, true)),
+        GateKind::Or => Some((Family::Or, 0u64, false)),
+        GateKind::Nor => Some((Family::Or, 0u64, true)),
+        GateKind::Xor => Some((Family::Xor, 0u64, false)),
+        GateKind::Xnor => Some((Family::Xor, 0u64, true)),
+        _ => None,
+    }
+}
+
+/// Per-line stat deltas produced inside a screening task and merged, in
+/// line order, into the run's [`RectifyStats`].
+#[derive(Default)]
+struct ScreenDelta {
+    screened: usize,
+    qualified: usize,
+    rejected_h2: usize,
+    rejected_h3: usize,
+    wire_sources_truncated: usize,
+    words: u64,
+    events: u64,
+    skipped: u64,
+}

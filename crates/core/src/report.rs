@@ -29,7 +29,7 @@ use crate::session::{RectifyResult, RectifyStats};
 /// let spec = Response::capture(&spec_nl, &Simulator::new().run(&spec_nl, &pi));
 /// let config = RectifyConfig::dedc(1);
 /// let jobs = config.jobs;
-/// let result = Rectifier::new(design, pi, spec, config).run();
+/// let result = Rectifier::new(design, pi, spec, config)?.run();
 ///
 /// let report = RectifyReport::new("and-vs-or", jobs, &result);
 /// let json = report.to_json();
@@ -87,14 +87,13 @@ impl RectifyReport {
         let mut out = String::with_capacity(640);
         out.push_str("{\"report\":\"rectify\"");
         out.push_str(&format!(",\"label\":\"{}\"", escape_json(&self.label)));
+        out.push_str(&format!(",\"traversal\":\"{}\"", escape_json(s.traversal)));
+        out.push_str(&format!(",\"evaluator\":\"{}\"", escape_json(s.evaluator)));
         out.push_str(&format!(",\"jobs\":{}", self.jobs));
         out.push_str(&format!(",\"solutions\":{}", self.solutions));
         out.push_str(&format!(",\"distinct_sites\":{}", self.distinct_sites));
         out.push_str(&format!(",\"nodes\":{}", s.nodes));
-        out.push_str(&format!(
-            ",\"expansions_skipped\":{}",
-            s.expansions_skipped
-        ));
+        out.push_str(&format!(",\"expansions_skipped\":{}", s.expansions_skipped));
         out.push_str(&format!(",\"rounds\":{}", s.rounds));
         out.push_str(&format!(
             ",\"deepest_ladder_level\":{}",
@@ -192,6 +191,8 @@ mod tests {
             "balanced braces: {json}"
         );
         assert!(json.contains("\"jobs\":4"));
+        assert!(json.contains("\"traversal\":\""));
+        assert!(json.contains("\"evaluator\":\""));
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"events_propagated\":0"));
         assert!(json.contains("\"cache\":{\"cone_hits\":0"));

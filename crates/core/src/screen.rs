@@ -14,6 +14,8 @@ use incdx_fault::{Correction, CorrectionAction};
 use incdx_netlist::{GateId, GateKind, Netlist};
 use incdx_sim::{PackedBits, PackedMatrix};
 
+use crate::error::IncdxError;
+
 /// Caller-owned scratch arena for [`correction_output_row_into`]: the
 /// output row plus one temporary (inverted-input / inserted-gate
 /// intermediate). Reused across candidates; sized lazily to the matrix's
@@ -25,22 +27,35 @@ pub struct CorrectionScratch {
 }
 
 /// Evaluates `kind` over an iterator of borrowed fanin rows into `out`
-/// (whole words; tail bits are garbage-in/garbage-out).
-fn eval_rows_into<'a, I>(kind: GateKind, mut rows: I, out: &mut [u64])
+/// (whole words; tail bits are garbage-in/garbage-out). Returns `false`
+/// when the kind needs a fanin and none was supplied, or the kind has no
+/// evaluable function (primary input, state element) — callers treat
+/// such candidates as inapplicable.
+#[must_use]
+fn eval_rows_into<'a, I>(kind: GateKind, mut rows: I, out: &mut [u64]) -> bool
 where
     I: Iterator<Item = &'a [u64]>,
 {
     match kind {
         GateKind::Const0 => out.fill(0),
         GateKind::Const1 => out.fill(!0),
-        GateKind::Buf => out.copy_from_slice(rows.next().expect("buf fanin")),
-        GateKind::Not => {
-            for (o, &w) in out.iter_mut().zip(rows.next().expect("not fanin")) {
-                *o = !w;
+        GateKind::Buf | GateKind::Not => {
+            let Some(first) = rows.next() else {
+                return false;
+            };
+            if kind == GateKind::Buf {
+                out.copy_from_slice(first);
+            } else {
+                for (o, &w) in out.iter_mut().zip(first) {
+                    *o = !w;
+                }
             }
         }
         GateKind::And | GateKind::Nand => {
-            out.copy_from_slice(rows.next().expect("gate fanin"));
+            let Some(first) = rows.next() else {
+                return false;
+            };
+            out.copy_from_slice(first);
             for r in rows {
                 for (o, &w) in out.iter_mut().zip(r) {
                     *o &= w;
@@ -53,7 +68,10 @@ where
             }
         }
         GateKind::Or | GateKind::Nor => {
-            out.copy_from_slice(rows.next().expect("gate fanin"));
+            let Some(first) = rows.next() else {
+                return false;
+            };
+            out.copy_from_slice(first);
             for r in rows {
                 for (o, &w) in out.iter_mut().zip(r) {
                     *o |= w;
@@ -66,7 +84,10 @@ where
             }
         }
         GateKind::Xor | GateKind::Xnor => {
-            out.copy_from_slice(rows.next().expect("gate fanin"));
+            let Some(first) = rows.next() else {
+                return false;
+            };
+            out.copy_from_slice(first);
             for r in rows {
                 for (o, &w) in out.iter_mut().zip(r) {
                     *o ^= w;
@@ -78,8 +99,12 @@ where
                 }
             }
         }
-        GateKind::Input | GateKind::Dff => unreachable!("screened corrections are combinational"),
+        // Screened corrections target combinational logic only; a
+        // candidate that somehow reaches here is inapplicable, not a
+        // crash.
+        GateKind::Input | GateKind::Dff => return false,
     }
+    true
 }
 
 /// Allocation-free core of [`correction_output_row`]: computes the packed
@@ -92,14 +117,25 @@ where
 /// the corrected circuit would store for the line, so it can be planted
 /// directly into a value matrix; mask only when counting.
 ///
-/// Returns `None` when the action is structurally inapplicable (bad port,
-/// arity underflow) — such candidates are discarded upstream.
+/// Returns `Ok(None)` when the action is structurally inapplicable (bad
+/// port, arity underflow) — such candidates are discarded upstream.
+///
+/// # Errors
+///
+/// [`IncdxError::WidthMismatch`] when `vals` has fewer rows than the
+/// netlist has gates — some fanin would have no row to read.
 pub fn correction_output_row_into<'s>(
     netlist: &Netlist,
     vals: &PackedMatrix,
     correction: &Correction,
     scratch: &'s mut CorrectionScratch,
-) -> Option<&'s [u64]> {
+) -> Result<Option<&'s [u64]>, IncdxError> {
+    if vals.rows() < netlist.len() {
+        return Err(IncdxError::WidthMismatch {
+            expected: netlist.len(),
+            got: vals.rows(),
+        });
+    }
     let wpr = vals.words_per_row();
     let CorrectionScratch { out, tmp } = scratch;
     out.clear();
@@ -118,31 +154,35 @@ pub fn correction_output_row_into<'s>(
         CorrectionAction::ChangeKind(new_kind) => {
             let (lo, hi) = new_kind.arity();
             if fanins.len() < lo || fanins.len() > hi {
-                return None;
+                return Ok(None);
             }
-            eval_rows_into(new_kind, fanins.iter().map(|&f| row(f)), out);
+            if !eval_rows_into(new_kind, fanins.iter().map(|&f| row(f)), out) {
+                return Ok(None);
+            }
         }
         CorrectionAction::InvertInput { port } => {
             if port >= fanins.len() || !kind.is_logic() {
-                return None;
+                return Ok(None);
             }
             tmp.clear();
             tmp.extend(row(fanins[port]).iter().map(|&w| !w));
             let tmp = &*tmp;
-            eval_rows_into(
+            if !eval_rows_into(
                 kind,
                 fanins
                     .iter()
                     .enumerate()
                     .map(|(i, &f)| if i == port { tmp } else { row(f) }),
                 out,
-            );
+            ) {
+                return Ok(None);
+            }
         }
         CorrectionAction::RemoveInput { port } => {
             if port >= fanins.len() || fanins.len() <= kind.arity().0 || !kind.is_logic() {
-                return None;
+                return Ok(None);
             }
-            eval_rows_into(
+            if !eval_rows_into(
                 kind,
                 fanins
                     .iter()
@@ -150,37 +190,43 @@ pub fn correction_output_row_into<'s>(
                     .filter(|(i, _)| *i != port)
                     .map(|(_, &f)| row(f)),
                 out,
-            );
+            ) {
+                return Ok(None);
+            }
         }
         CorrectionAction::AddInput { source } => {
             if !kind.is_logic() || source == line || fanins.contains(&source) {
-                return None;
+                return Ok(None);
             }
-            eval_rows_into(
+            if !eval_rows_into(
                 kind,
                 fanins
                     .iter()
                     .map(|&f| row(f))
                     .chain(std::iter::once(row(source))),
                 out,
-            );
+            ) {
+                return Ok(None);
+            }
         }
         CorrectionAction::ReplaceInput { port, source } => {
             if port >= fanins.len() || !kind.is_logic() || source == line {
-                return None;
+                return Ok(None);
             }
-            eval_rows_into(
+            if !eval_rows_into(
                 kind,
                 fanins
                     .iter()
                     .enumerate()
                     .map(|(i, &f)| if i == port { row(source) } else { row(f) }),
                 out,
-            );
+            ) {
+                return Ok(None);
+            }
         }
         CorrectionAction::WireThrough { port } => {
             if port >= fanins.len() {
-                return None;
+                return Ok(None);
             }
             out.copy_from_slice(row(fanins[port]));
         }
@@ -189,16 +235,20 @@ pub fn correction_output_row_into<'s>(
             other,
         } => {
             if !kind.is_logic() || other == line {
-                return None;
+                return Ok(None);
             }
             tmp.clear();
             tmp.resize(wpr, 0);
-            eval_rows_into(kind, fanins.iter().map(|&f| row(f)), tmp);
+            if !eval_rows_into(kind, fanins.iter().map(|&f| row(f)), tmp) {
+                return Ok(None);
+            }
             let tmp = &*tmp;
-            eval_rows_into(new_kind, [tmp, row(other)].into_iter(), out);
+            if !eval_rows_into(new_kind, [tmp, row(other)].into_iter(), out) {
+                return Ok(None);
+            }
         }
     }
-    Some(out)
+    Ok(Some(out))
 }
 
 /// Computes the packed output values the target line would take if
@@ -206,8 +256,10 @@ pub fn correction_output_row_into<'s>(
 /// node's simulation matrix), as a tail-masked [`PackedBits`]. Allocating
 /// wrapper around [`correction_output_row_into`].
 ///
-/// Returns `None` when the action is structurally inapplicable (bad port,
-/// arity underflow) — such candidates are discarded upstream.
+/// Returns `Ok(None)` when the action is structurally inapplicable (bad
+/// port, arity underflow) — such candidates are discarded upstream — and
+/// [`IncdxError::WidthMismatch`] when `vals` is too narrow for the
+/// netlist.
 ///
 /// # Example
 ///
@@ -224,7 +276,7 @@ pub fn correction_output_row_into<'s>(
 /// let vals = Simulator::new().run(&n, &pi);
 /// let y = n.find_by_name("y").unwrap();
 /// let c = Correction::new(y, CorrectionAction::ChangeKind(GateKind::Or));
-/// let row = correction_output_row(&n, &vals, &c).unwrap();
+/// let row = correction_output_row(&n, &vals, &c)?.unwrap();
 /// assert_eq!(row.words()[0] & 0xF, 0b0111); // OR instead of AND
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -232,13 +284,15 @@ pub fn correction_output_row(
     netlist: &Netlist,
     vals: &PackedMatrix,
     correction: &Correction,
-) -> Option<PackedBits> {
+) -> Result<Option<PackedBits>, IncdxError> {
     let mut scratch = CorrectionScratch::default();
-    let words = correction_output_row_into(netlist, vals, correction, &mut scratch)?;
+    let Some(words) = correction_output_row_into(netlist, vals, correction, &mut scratch)? else {
+        return Ok(None);
+    };
     let mut bits = PackedBits::new(vals.num_vectors());
     bits.words_mut().copy_from_slice(words);
     bits.mask_tail();
-    Some(bits)
+    Ok(Some(bits))
 }
 
 #[cfg(test)]
@@ -260,10 +314,9 @@ mod tests {
 
     #[test]
     fn local_evaluation_matches_full_resimulation_for_every_action() {
-        let n = parse_bench(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n",
-        )
-        .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n")
+                .unwrap();
         let x = n.find_by_name("x").unwrap();
         let c = n.find_by_name("c").unwrap();
         let mut pi = PackedMatrix::new(3, 8);
@@ -284,13 +337,16 @@ mod tests {
             CorrectionAction::AddInput { source: c },
             CorrectionAction::ReplaceInput { port: 1, source: c },
             CorrectionAction::WireThrough { port: 1 },
-            CorrectionAction::InsertGate { kind: GateKind::Or, other: c },
+            CorrectionAction::InsertGate {
+                kind: GateKind::Or,
+                other: c,
+            },
         ];
         // One scratch reused across all candidates, as in the hot loop.
         let mut scratch = CorrectionScratch::default();
         for action in actions {
             let corr = Correction::new(x, action);
-            let local = correction_output_row(&n, &vals, &corr);
+            let local = correction_output_row(&n, &vals, &corr).unwrap();
             let reference = reference_row(&n, &pi, &corr);
             match (&local, &reference) {
                 (Some(l), Some(r)) => assert_eq!(l, r, "{corr}"),
@@ -299,7 +355,7 @@ mod tests {
             }
             // The borrowed-slice path agrees with the wrapper modulo tail
             // masking.
-            let raw = correction_output_row_into(&n, &vals, &corr, &mut scratch);
+            let raw = correction_output_row_into(&n, &vals, &corr, &mut scratch).unwrap();
             match (raw, local) {
                 (Some(raw), Some(l)) => {
                     let mut bits = PackedBits::new(vals.num_vectors());
@@ -325,6 +381,7 @@ mod tests {
             &vals,
             &Correction::new(y, CorrectionAction::RemoveInput { port: 0 })
         )
+        .unwrap()
         .is_none());
         // Bad port.
         assert!(correction_output_row(
@@ -332,6 +389,7 @@ mod tests {
             &vals,
             &Correction::new(y, CorrectionAction::InvertInput { port: 5 })
         )
+        .unwrap()
         .is_none());
         // Kind with incompatible arity.
         assert!(correction_output_row(
@@ -339,7 +397,30 @@ mod tests {
             &vals,
             &Correction::new(y, CorrectionAction::ChangeKind(GateKind::Xor))
         )
+        .unwrap()
         .is_none());
+    }
+
+    #[test]
+    fn narrow_matrix_is_a_width_mismatch_error() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let y = n.find_by_name("y").unwrap();
+        // One row fewer than the netlist has gates: y's fanins would have
+        // no rows to read.
+        let narrow = PackedMatrix::new(n.len() - 1, 8);
+        let corr = Correction::new(y, CorrectionAction::SetConst(true));
+        let mut scratch = CorrectionScratch::default();
+        match correction_output_row_into(&n, &narrow, &corr, &mut scratch) {
+            Err(IncdxError::WidthMismatch { expected, got }) => {
+                assert_eq!(expected, n.len());
+                assert_eq!(got, n.len() - 1);
+            }
+            other => panic!("expected WidthMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            correction_output_row(&n, &narrow, &corr),
+            Err(IncdxError::WidthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -350,7 +431,7 @@ mod tests {
         let pi = PackedMatrix::new(2, 4);
         let vals = Simulator::new().run(&n, &pi);
         let corr = Correction::new(y, CorrectionAction::AddInput { source: a });
-        assert!(correction_output_row(&n, &vals, &corr).is_none());
+        assert!(correction_output_row(&n, &vals, &corr).unwrap().is_none());
         assert!(corr.apply(&mut n.clone()).is_err());
     }
 }

@@ -1,37 +1,22 @@
-//! The rectification session: node evaluation (simulate → diagnose →
-//! screen → rank) and the round-based decision-tree traversal.
+//! The rectification session facade: run configuration, statistics, and
+//! the engine loop that drives a [`Traversal`] strategy, an
+//! [`Evaluator`] backend and the shared [`CandidatePipeline`] over the
+//! decision [`Tree`](crate::tree::Tree).
 
 use std::collections::HashSet;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel, StuckAt};
-use incdx_netlist::{ConeCache, ConeSet, GateId, GateKind, Netlist};
-use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Response, Simulator};
+use incdx_fault::{Correction, CorrectionModel, StuckAt};
+use incdx_netlist::{ConeCache, GateId, Netlist, NetlistError};
+use incdx_sim::{PackedMatrix, Response};
 
-use crate::cache::NodeMatrixCache;
-use crate::parallel::{run_parallel_with, ParallelTelemetry};
+use crate::error::IncdxError;
+use crate::evaluator::{EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode};
+use crate::parallel::ParallelTelemetry;
 use crate::params::{default_ladder, ParamLevel};
-use crate::path_trace::path_trace_counts;
-use crate::screen::{correction_output_row_into, CorrectionScratch};
-use crate::tree::{Node, RankedCorrection};
-
-/// How the decision tree is traversed (§3.3 compares these; the paper's
-/// contribution is [`Traversal::Rounds`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Traversal {
-    /// The paper's BFS/DFS trade-off: each round applies the next-best
-    /// candidate of every node present at the round's start.
-    #[default]
-    Rounds,
-    /// Greedy depth-first: always extend the most recently created open
-    /// node (the paper's "a wrong decision at the top may strand the
-    /// search" strawman).
-    Dfs,
-    /// Naive breadth-first: exhaust every candidate of a node before
-    /// moving to the next (the paper's "excessive computation" strawman).
-    Bfs,
-}
+use crate::pipeline::CandidatePipeline;
+use crate::traversal::{Traversal, TraversalKind};
+use crate::tree::{Node, PushOutcome, RankedCorrection, Tree};
 
 /// Configuration for a [`Rectifier`] run.
 #[derive(Debug, Clone)]
@@ -74,19 +59,22 @@ pub struct RectifyConfig {
     pub theorem_floor: bool,
     /// Wall-clock budget; exceeded ⇒ stop with `stats.truncated = true`.
     pub time_limit: Option<Duration>,
-    /// Tree traversal order (rounds by default; DFS/BFS for ablations).
-    pub traversal: Traversal,
+    /// Tree traversal strategy (the paper's rounds by default; see
+    /// [`TraversalKind`]).
+    pub traversal: TraversalKind,
     /// Worker threads for candidate screening (`0` = all available
     /// cores, `1` = serial). Results are bit-identical for every value:
     /// per-candidate evaluations run against worker-private simulator
-    /// state and merge in candidate-rank order.
+    /// state and merge in candidate-rank order. Selects the
+    /// [`Parallel`] evaluator decorator.
     pub jobs: usize,
-    /// Event-driven incremental node evaluation: reuse the parent node's
-    /// cached value matrix and resimulate only the corrected line's fanout
-    /// cone (change-bounded), instead of cloning and fully resimulating the
-    /// base circuit per node. Bit-identical to the from-scratch path for
-    /// every `jobs` value — only `words_simulated` (and the event/skip
-    /// counters) differ.
+    /// Event-driven incremental node evaluation (the [`Incremental`]
+    /// backend): reuse the parent node's cached value matrix and
+    /// resimulate only the corrected line's fanout cone
+    /// (change-bounded), instead of cloning and fully resimulating the
+    /// base circuit per node ([`FromScratch`]). Bit-identical to the
+    /// from-scratch path for every `jobs` value — only `words_simulated`
+    /// (and the event/skip counters) differ.
     pub incremental: bool,
     /// Byte budget for the node value-matrix cache used by the incremental
     /// path (LRU beyond this; `0` disables the cache but keeps the
@@ -112,7 +100,7 @@ impl RectifyConfig {
             ladder: default_ladder(),
             theorem_floor: true,
             time_limit: None,
-            traversal: Traversal::Rounds,
+            traversal: TraversalKind::RoundRobinBfs,
             jobs: 1,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
@@ -137,10 +125,10 @@ impl RectifyConfig {
             max_candidate_lines: usize::MAX,
             wire_source_limit: 0,
             max_candidates_per_node: usize::MAX,
-            ladder: vec![ParamLevel::new(0.0, 1.0, 0.0).with_promote(1.0)],
+            ladder: vec![ParamLevel::exhaustive()],
             theorem_floor: true,
             time_limit: None,
-            traversal: Traversal::Rounds,
+            traversal: TraversalKind::RoundRobinBfs,
             jobs: 1,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
@@ -181,6 +169,12 @@ impl Solution {
 /// come straight from here).
 #[derive(Debug, Clone, Default)]
 pub struct RectifyStats {
+    /// Name of the traversal strategy that drove the run (empty before
+    /// the first run).
+    pub traversal: &'static str,
+    /// Name of the evaluation backend that prepared the run's nodes
+    /// (empty before the first run).
+    pub evaluator: &'static str,
     /// Decision-tree nodes evaluated (the paper's "nodes" column).
     pub nodes: usize,
     /// Node evaluations that skipped diagnosis + screening because the
@@ -200,9 +194,9 @@ pub struct RectifyStats {
     /// Time ranking suspect lines with heuristic 1 (the flip-and-propagate
     /// pass; the other component of `diagnosis_time`).
     pub rank_time: Duration,
-    /// Time in [`Rectifier`]'s screening stage proper — heuristic-2
-    /// enumeration plus heuristic-3 cone propagation (`correction_time`
-    /// minus final sorting/truncation).
+    /// Time in the screening stage proper — heuristic-2 enumeration plus
+    /// heuristic-3 cone propagation (`correction_time` minus final
+    /// sorting/truncation).
     pub screen_time: Duration,
     /// Total time evaluating decision-tree nodes (simulate + diagnose +
     /// screen; the sum over all nodes).
@@ -272,11 +266,7 @@ pub struct RectifyResult {
 impl RectifyResult {
     /// Distinct lines over all solutions — the paper's "# sites" column.
     pub fn distinct_sites(&self) -> usize {
-        let mut lines: Vec<GateId> = self
-            .solutions
-            .iter()
-            .flat_map(|s| s.lines())
-            .collect();
+        let mut lines: Vec<GateId> = self.solutions.iter().flat_map(|s| s.lines()).collect();
         lines.sort();
         lines.dedup();
         lines.len()
@@ -286,11 +276,22 @@ impl RectifyResult {
 enum NodeEval {
     Solved,
     Dead,
-    Open { candidates: Vec<RankedCorrection> },
+    Open {
+        candidates: Vec<RankedCorrection>,
+        failing: usize,
+    },
 }
 
 /// The incremental rectification engine (see the crate docs for the
 /// algorithm and the crate example for usage).
+///
+/// The engine is a thin loop over three pluggable layers: a
+/// [`Traversal`] strategy schedules which open decision-tree node
+/// expands next, an [`Evaluator`] backend prepares node circuits and
+/// value matrices, and the [`CandidatePipeline`] turns a still-failing
+/// node into its ranked candidate list. [`Rectifier::new`] wires the
+/// layers from the [`RectifyConfig`]; [`Rectifier::with_traversal`] and
+/// [`Rectifier::with_evaluator`] swap in custom ones.
 #[derive(Debug)]
 pub struct Rectifier {
     base: Netlist,
@@ -298,20 +299,13 @@ pub struct Rectifier {
     vectors: PackedMatrix,
     spec: Response,
     config: RectifyConfig,
-    sim: Simulator,
     stats: RectifyStats,
     /// Memoized fanout cones of the *base* netlist, reused across every
     /// root evaluation and ladder level (swapped into the node-local cone
     /// cache while the root node is being evaluated).
     base_cones: ConeCache,
-    /// The base netlist's fully simulated value matrix, memoized on the
-    /// first root evaluation (incremental mode only): ladder restarts
-    /// re-evaluate the root, and every matrix-cache miss replays its
-    /// corrections incrementally from this matrix instead of
-    /// resimulating the whole circuit.
-    base_vals: Option<PackedMatrix>,
-    /// Value matrices of open tree nodes, keyed by correction prefix.
-    matrix_cache: NodeMatrixCache,
+    traversal: Box<dyn Traversal>,
+    evaluator: Box<dyn Evaluator>,
 }
 
 impl Rectifier {
@@ -322,56 +316,83 @@ impl Rectifier {
     /// `spec` must have been captured/compared against the same vector
     /// set and an identical output ordering.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the netlist is sequential (scan-convert first) or the
-    /// shapes disagree.
+    /// [`IncdxError::SequentialNetlist`] if the netlist holds state
+    /// elements (scan-convert first), [`IncdxError::ShapeMismatch`] if
+    /// the vector or reference shapes disagree with the netlist.
     pub fn new(
         netlist: Netlist,
         vectors: PackedMatrix,
         spec: Response,
         config: RectifyConfig,
-    ) -> Self {
-        assert!(netlist.is_combinational(), "scan-convert sequential circuits first");
-        assert_eq!(
-            vectors.rows(),
-            netlist.inputs().len(),
-            "one vector row per primary input"
-        );
-        assert_eq!(
-            spec.po_values().rows(),
-            netlist.outputs().len(),
-            "reference output count mismatch"
-        );
-        assert_eq!(
-            spec.po_values().num_vectors(),
-            vectors.num_vectors(),
-            "reference vector count mismatch"
-        );
+    ) -> Result<Self, IncdxError> {
+        if let Err(NetlistError::Sequential { dffs }) = netlist.ensure_combinational() {
+            return Err(IncdxError::SequentialNetlist { dffs });
+        }
+        if vectors.rows() != netlist.inputs().len() {
+            return Err(IncdxError::ShapeMismatch {
+                what: "vector rows (one per primary input)",
+                expected: netlist.inputs().len(),
+                got: vectors.rows(),
+            });
+        }
+        if spec.po_values().rows() != netlist.outputs().len() {
+            return Err(IncdxError::ShapeMismatch {
+                what: "reference output rows",
+                expected: netlist.outputs().len(),
+                got: spec.po_values().rows(),
+            });
+        }
+        if spec.po_values().num_vectors() != vectors.num_vectors() {
+            return Err(IncdxError::ShapeMismatch {
+                what: "reference vector count",
+                expected: vectors.num_vectors(),
+                got: spec.po_values().num_vectors(),
+            });
+        }
         let base_inputs = netlist.inputs().to_vec();
         let base_cones = ConeCache::new(&netlist);
-        let matrix_cache = NodeMatrixCache::new(if config.incremental {
-            config.matrix_cache_bytes
-        } else {
-            0
-        });
-        Rectifier {
+        let traversal = config.traversal.build();
+        let evaluator = build_evaluator(&config);
+        Ok(Rectifier {
             base: netlist,
             base_inputs,
             vectors,
             spec,
             config,
-            sim: Simulator::new(),
             stats: RectifyStats::default(),
             base_cones,
-            base_vals: None,
-            matrix_cache,
-        }
+            traversal,
+            evaluator,
+        })
     }
 
-    /// Runs the search.
-    pub fn run(mut self) -> RectifyResult {
+    /// Replaces the traversal strategy (defaults to the one selected by
+    /// [`RectifyConfig::traversal`]).
+    pub fn with_traversal(mut self, traversal: Box<dyn Traversal>) -> Self {
+        self.traversal = traversal;
+        self
+    }
+
+    /// Replaces the evaluation backend (defaults to the one selected by
+    /// [`RectifyConfig::incremental`] / [`RectifyConfig::jobs`]).
+    pub fn with_evaluator(mut self, evaluator: Box<dyn Evaluator>) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
+    /// Runs the search. The engine is reusable: statistics restart at
+    /// zero on every call, and memoized backend state (base matrix, node
+    /// matrix cache) carries over — results are unaffected because every
+    /// cached matrix is a pure function of the base circuit and the
+    /// corrections applied; call [`Rectifier::reset`] first for a
+    /// cold-state run with pristine work counters.
+    pub fn run(&mut self) -> RectifyResult {
         let started = Instant::now();
+        self.stats = RectifyStats::default();
+        self.stats.traversal = self.traversal.name();
+        self.stats.evaluator = self.evaluator.name();
         // Global parameter relaxation (§3.3): the whole tree search runs at
         // one `h1/h2/h3` level; only if it "returns with no corrections" —
         // no solution — does the run restart at the next, looser level.
@@ -394,17 +415,33 @@ impl Rectifier {
         }
         RectifyResult {
             solutions,
-            stats: self.stats,
+            stats: self.stats.clone(),
         }
     }
 
-    /// One full round-based tree traversal at a fixed parameter level.
+    /// Consuming wrapper over [`Rectifier::run`] for the pre-engine API.
+    #[deprecated(note = "call `run(&mut self)`; the engine is reusable via `reset()`")]
+    pub fn run_once(mut self) -> RectifyResult {
+        self.run()
+    }
+
+    /// Returns the engine to its just-constructed state: statistics
+    /// zeroed, backend caches and memoized matrices dropped, cone cache
+    /// rebuilt. After `reset`, [`Rectifier::run`] reproduces a fresh
+    /// engine's result *and* work counters exactly.
+    pub fn reset(&mut self) {
+        self.stats = RectifyStats::default();
+        self.evaluator.reset();
+        self.base_cones = ConeCache::new(&self.base);
+    }
+
+    /// One full tree traversal at a fixed parameter level.
     fn search_level(&mut self, level: &ParamLevel, started: Instant) -> Vec<Solution> {
         let mut solutions: Vec<Solution> = Vec::new();
         let mut seen_solutions: HashSet<Vec<Correction>> = HashSet::new();
         let mut visited: HashSet<Vec<Correction>> = HashSet::new();
-        let mut nodes: Vec<Node> = Vec::new();
-        let mut rounds_this_level = 0usize;
+        let mut tree = Tree::new(self.config.max_corrections, self.config.max_nodes);
+        let mut iterations = 0usize;
 
         let out_of_time = |s: &Self| {
             s.config
@@ -414,61 +451,71 @@ impl Rectifier {
 
         match self.evaluate(&[], level, true) {
             NodeEval::Solved => {
-                return vec![Solution { corrections: vec![] }];
+                return vec![Solution {
+                    corrections: vec![],
+                }];
             }
             NodeEval::Dead => {
                 return vec![];
             }
-            NodeEval::Open { candidates } => {
-                nodes.push(Node {
-                    corrections: vec![],
-                    candidates,
-                    next: 0,
-                });
+            NodeEval::Open {
+                candidates,
+                failing,
+            } => {
+                tree.push_root(Node::new(vec![], candidates, failing));
             }
         }
         visited.insert(vec![]);
 
-        // Rounds mode: each iteration is one round of Fig. 2. DFS/BFS
-        // ablation modes: each iteration is a single node expansion, so
-        // their budget scales with the node cap instead of the round cap.
-        let iteration_budget = match self.config.traversal {
-            Traversal::Rounds => self.config.max_rounds,
-            Traversal::Dfs | Traversal::Bfs => self
-                .config
-                .max_nodes
-                .saturating_mul(4)
-                .min(self.config.max_rounds.saturating_mul(1 << 12)),
-        };
-        'rounds: while rounds_this_level < iteration_budget {
-            if nodes.iter().all(|n| !n.open()) {
+        // Rounds mode: each iteration is one round of Fig. 2, so the
+        // budget is the round cap. Single-step strategies (DFS, naive
+        // BFS, best-first): each iteration is one node expansion, so
+        // their budget scales with the node cap instead.
+        let iteration_budget = self
+            .traversal
+            .iteration_budget(self.config.max_rounds, self.config.max_nodes);
+        let mut plan: Vec<usize> = Vec::new();
+        'rounds: while iterations < iteration_budget {
+            if !tree.has_open() {
                 break;
             }
-            rounds_this_level += 1;
+            iterations += 1;
             self.stats.rounds += 1;
-            // Rounds: only nodes present at the start of the round expand
-            // (Fig. 2: the tree at most doubles per round). DFS: the most
-            // recently created open node. BFS: the oldest open node.
-            let plan: Vec<usize> = match self.config.traversal {
-                Traversal::Rounds => (0..nodes.len()).collect(),
-                Traversal::Dfs => nodes.iter().rposition(Node::open).into_iter().collect(),
-                Traversal::Bfs => nodes.iter().position(Node::open).into_iter().collect(),
-            };
-            for idx in plan {
+            plan.clear();
+            self.traversal.schedule(&tree, &mut plan);
+            if plan.is_empty() {
+                break;
+            }
+            for &idx in &plan {
                 if out_of_time(self) {
                     self.stats.truncated = true;
                     break 'rounds;
                 }
-                if !nodes[idx].open() {
-                    // Closed nodes can never spawn children again; their
-                    // cached matrix is dead weight.
-                    self.matrix_cache.remove(&nodes[idx].corrections);
-                    continue;
+                {
+                    let Some(node) = tree.get(idx) else {
+                        continue;
+                    };
+                    if !node.open() {
+                        // Closed nodes can never spawn children again; any
+                        // state the backend retained for them is dead
+                        // weight. (Round-robin deliberately schedules
+                        // closed nodes for exactly this sweep.)
+                        self.evaluator.release(&node.corrections);
+                        continue;
+                    }
                 }
-                let cand = nodes[idx].candidates[nodes[idx].next];
-                nodes[idx].next += 1;
-                let mut corrections = nodes[idx].corrections.clone();
-                corrections.push(cand.correction);
+                let Some((cand, corrections)) = ({
+                    tree.get_mut(idx).and_then(|node| {
+                        let cand = *node.peek()?;
+                        node.next += 1;
+                        let mut corrections = node.corrections.clone();
+                        corrections.push(cand.correction);
+                        Some((cand, corrections))
+                    })
+                }) else {
+                    continue;
+                };
+                let _ = cand;
                 let mut canonical = corrections.clone();
                 canonical.sort();
                 if !visited.insert(canonical.clone()) {
@@ -485,8 +532,7 @@ impl Rectifier {
                 // A child at the depth or node cap can never join the
                 // tree; evaluate it lazily — solution check only, no
                 // diagnosis/screening for a candidate list nobody reads.
-                let expandable = corrections.len() < self.config.max_corrections
-                    && nodes.len() < self.config.max_nodes;
+                let expandable = tree.expandable(corrections.len());
                 match self.evaluate(&corrections, level, expandable) {
                     NodeEval::Solved => {
                         let mut key = corrections.clone();
@@ -503,30 +549,31 @@ impl Rectifier {
                         }
                     }
                     NodeEval::Dead => {}
-                    NodeEval::Open { candidates } => {
-                        if corrections.len() < self.config.max_corrections
-                            && nodes.len() < self.config.max_nodes
-                        {
-                            nodes.push(Node {
-                                corrections,
-                                candidates,
-                                next: 0,
-                            });
-                        } else if nodes.len() >= self.config.max_nodes {
-                            // (The unexpanded child cached no matrix, so
-                            // there is nothing to evict here.)
-                            self.stats.truncated = true;
+                    NodeEval::Open {
+                        candidates,
+                        failing,
+                    } => {
+                        match tree.push(Node::new(corrections, candidates, failing)) {
+                            PushOutcome::Added(_) => {}
+                            PushOutcome::NodeCapped => {
+                                // (The unexpanded child cached no matrix,
+                                // so there is nothing to evict here.)
+                                self.stats.truncated = true;
+                            }
+                            PushOutcome::DepthCapped => {}
                         }
                     }
                 }
-                if !nodes[idx].open() {
-                    self.matrix_cache.remove(&nodes[idx].corrections);
+                if let Some(node) = tree.get(idx) {
+                    if !node.open() {
+                        self.evaluator.release(&node.corrections);
+                    }
                 }
             }
         }
         if (self.config.exhaustive || solutions.is_empty())
-            && rounds_this_level >= iteration_budget
-            && nodes.iter().any(|n| n.open())
+            && iterations >= iteration_budget
+            && tree.has_open()
         {
             self.stats.truncated = true;
         }
@@ -545,7 +592,7 @@ impl Rectifier {
         level: &ParamLevel,
     ) -> Vec<RankedCorrection> {
         match self.evaluate(corrections, level, true) {
-            NodeEval::Open { candidates } => candidates,
+            NodeEval::Open { candidates, .. } => candidates,
             _ => Vec::new(),
         }
     }
@@ -578,19 +625,33 @@ impl Rectifier {
     ) -> NodeEval {
         self.stats.nodes += 1;
         let t0 = Instant::now();
-        let words_before = self.sim.words_simulated();
-        let events_before = self.sim.events_propagated();
-        let skipped_before = self.sim.words_skipped();
-        let prepared = self.prepare_node(corrections);
-        self.stats.words_simulated += self.sim.words_simulated() - words_before;
-        self.stats.events_propagated += self.sim.events_propagated() - events_before;
-        self.stats.words_skipped += self.sim.words_skipped() - skipped_before;
-        let Some((netlist, vals, mut cones)) = prepared else {
+        let before = self.evaluator.counters();
+        let prepared = {
+            let mut ctx = EvalContext {
+                base: &self.base,
+                base_inputs: &self.base_inputs,
+                vectors: &self.vectors,
+                base_cones: &mut self.base_cones,
+            };
+            self.evaluator.prepare(&mut ctx, corrections)
+        };
+        let after = self.evaluator.counters();
+        self.stats.words_simulated += after.words - before.words;
+        self.stats.events_propagated += after.events - before.events;
+        self.stats.words_skipped += after.skipped - before.skipped;
+        self.stats.matrix_cache_hits += after.matrix_hits - before.matrix_hits;
+        let Some(PreparedNode {
+            netlist,
+            vals,
+            mut cones,
+        }) = prepared
+        else {
             self.stats.simulation_time += t0.elapsed();
             return NodeEval::Dead;
         };
         let response = Response::compare(&netlist, &vals, &self.spec);
         self.stats.simulation_time += t0.elapsed();
+        let failing = response.num_failing();
         let outcome = if response.matches() {
             NodeEval::Solved
         } else if corrections.len() >= self.config.max_corrections {
@@ -599,9 +660,33 @@ impl Rectifier {
             self.stats.expansions_skipped += 1;
             NodeEval::Open {
                 candidates: Vec::new(),
+                failing,
             }
         } else {
-            self.expand_node(&netlist, &vals, &response, corrections, level, &mut cones)
+            let pipeline = CandidatePipeline::new(
+                &self.config,
+                &self.spec,
+                self.evaluator.jobs(),
+                self.evaluator.incremental(),
+            );
+            let candidates = pipeline.run(
+                &netlist,
+                &vals,
+                &response,
+                corrections,
+                level,
+                &mut cones,
+                &mut self.stats,
+            );
+            if candidates.is_empty() {
+                // "A leaf with failure" (§3.3).
+                NodeEval::Dead
+            } else {
+                NodeEval::Open {
+                    candidates,
+                    failing,
+                }
+            }
         };
         self.stats.cone_cache_hits += cones.take_hits();
         if corrections.is_empty() {
@@ -610,749 +695,31 @@ impl Rectifier {
             self.base_cones = cones;
         }
         // Only open nodes can become parents, so only their matrices are
-        // worth caching for child reuse — and an unexpanded child can
+        // worth retaining for child reuse — and an unexpanded child can
         // never join the tree, so its matrix would be dead weight too.
-        if self.config.incremental
-            && expand
+        if expand
             && corrections.len() < self.config.max_corrections
             && matches!(outcome, NodeEval::Open { .. })
         {
-            self.stats.matrix_cache_evictions +=
-                self.matrix_cache.insert(corrections.to_vec(), netlist, vals);
+            self.stats.matrix_cache_evictions += self.evaluator.retain(corrections, netlist, vals);
         }
         outcome
-    }
-
-    /// Builds the node's netlist, fully simulated value matrix, and cone
-    /// cache. Incremental path: clone the parent's cached matrix, apply
-    /// only the last correction, evaluate any appended gates plus the
-    /// corrected line, and propagate change-bounded through the line's
-    /// fanout cone — bit-identical to the from-scratch fallback because a
-    /// correction rewrites exactly one existing gate (appended gates feed
-    /// only the corrected line) and gate evaluation is a pure function of
-    /// whole fanin words.
-    ///
-    /// Returns `None` when a correction fails to apply (a dead node).
-    fn prepare_node(
-        &mut self,
-        corrections: &[Correction],
-    ) -> Option<(Netlist, PackedMatrix, ConeCache)> {
-        if corrections.is_empty() {
-            let netlist = self.base.clone();
-            let vals = self.base_values();
-            let cones = std::mem::take(&mut self.base_cones);
-            return Some((netlist, vals, cones));
-        }
-        if self.config.incremental {
-            let (prefix, last) = corrections.split_at(corrections.len() - 1);
-            if let Some((mut netlist, mut vals)) = self.matrix_cache.get_clone(prefix) {
-                self.stats.matrix_cache_hits += 1;
-                if !self.apply_and_propagate(&mut netlist, &mut vals, &last[0]) {
-                    return None;
-                }
-                let cones = ConeCache::new(&netlist);
-                return Some((netlist, vals, cones));
-            }
-            // Miss: replay every correction incrementally from the base
-            // matrix — k cone resimulations instead of a whole-circuit
-            // pass.
-            let mut netlist = self.base.clone();
-            let mut vals = self.base_values();
-            for c in corrections {
-                if !self.apply_and_propagate(&mut netlist, &mut vals, c) {
-                    return None;
-                }
-            }
-            let cones = ConeCache::new(&netlist);
-            return Some((netlist, vals, cones));
-        }
-        // From scratch: clone the base, replay every correction, simulate
-        // everything.
-        let mut netlist = self.base.clone();
-        for c in corrections {
-            if c.apply(&mut netlist).is_err() {
-                return None;
-            }
-        }
-        let vals = self
-            .sim
-            .run_for_inputs(&netlist, &self.base_inputs, &self.vectors);
-        let cones = ConeCache::new(&netlist);
-        Some((netlist, vals, cones))
-    }
-
-    /// The base netlist's fully simulated value matrix. Memoized in
-    /// incremental mode (the matrix is a pure function of the base
-    /// netlist and the vector set); recomputed per call otherwise so
-    /// `incremental = false` keeps the original engine's work profile.
-    fn base_values(&mut self) -> PackedMatrix {
-        if !self.config.incremental {
-            return self
-                .sim
-                .run_for_inputs(&self.base, &self.base_inputs, &self.vectors);
-        }
-        if self.base_vals.is_none() {
-            self.base_vals =
-                Some(self.sim.run_for_inputs(&self.base, &self.base_inputs, &self.vectors));
-        }
-        self.base_vals.clone().expect("just filled")
-    }
-
-    /// Applies one correction to a consistent (netlist, matrix) pair and
-    /// restores consistency incrementally: evaluate any appended gates,
-    /// then the corrected line, then propagate change-bounded through its
-    /// fanout cone. Returns `false` when the correction does not apply.
-    fn apply_and_propagate(
-        &mut self,
-        netlist: &mut Netlist,
-        vals: &mut PackedMatrix,
-        c: &Correction,
-    ) -> bool {
-        let rows_before = netlist.len();
-        if c.apply(netlist).is_err() {
-            return false;
-        }
-        if netlist.len() > rows_before {
-            // Appended gates (an InvertInput NOT, an InsertGate aux gate)
-            // read only pre-existing lines and feed only the corrected
-            // line: evaluate them once, in id order.
-            vals.grow_rows(netlist.len());
-            for idx in rows_before..netlist.len() {
-                self.sim.eval_gate(netlist, GateId::from_index(idx), vals);
-            }
-        }
-        self.sim.eval_gate(netlist, c.line(), vals);
-        let cone = netlist.fanout_cone_sorted(c.line());
-        self.sim.run_cone_events(netlist, vals, &cone);
-        true
-    }
-
-    /// Diagnosis + correction for a node that is still failing: path-trace,
-    /// heuristic-1 line ranking, and the screened, ranked candidate list.
-    #[allow(clippy::too_many_arguments)]
-    fn expand_node(
-        &mut self,
-        netlist: &Netlist,
-        vals: &PackedMatrix,
-        response: &Response,
-        corrections: &[Correction],
-        level: &ParamLevel,
-        cones: &mut ConeCache,
-    ) -> NodeEval {
-        // ---- Diagnosis (§3.1) ----
-        let t1 = Instant::now();
-        let counts = path_trace_counts(
-            netlist,
-            vals,
-            response,
-            &self.spec,
-            self.config.path_trace_vector_cap,
-        );
-        let mut marked: Vec<GateId> = netlist
-            .ids()
-            .filter(|id| counts[id.index()] > 0)
-            .collect();
-        marked.sort_by_key(|id| std::cmp::Reverse(counts[id.index()]));
-        let fraction = self.config.path_trace_fraction.max(level.promote);
-        let mut take = ((marked.len() as f64 * fraction).ceil() as usize)
-            .max(8)
-            .min(marked.len());
-        // Never cut inside a tie class: lines with equal path-trace counts
-        // are indistinguishable to this heuristic, and the dropped half
-        // could contain the only marked member of a valid tuple.
-        while take < marked.len()
-            && counts[marked[take].index()] == counts[marked[take - 1].index()]
-        {
-            take += 1;
-        }
-        if take > self.config.max_candidate_lines {
-            self.stats.lines_truncated += take - self.config.max_candidate_lines;
-            take = self.config.max_candidate_lines;
-        }
-        let promoted = &marked[..take];
-        self.stats.path_trace_time += t1.elapsed();
-        // When the level disables the h1 filter (exhaustive stuck-at
-        // mode), skip the flip-and-propagate pass and order lines by
-        // path-trace count alone.
-        let t_rank = Instant::now();
-        let scored_lines: Vec<(GateId, f64)> = if level.h1 <= 0.0 {
-            let max_count = promoted
-                .first()
-                .map(|l| counts[l.index()] as f64)
-                .unwrap_or(1.0)
-                .max(1.0);
-            promoted
-                .iter()
-                .map(|&l| (l, counts[l.index()] as f64 / max_count))
-                .collect()
-        } else {
-            self.heuristic1(netlist, vals, response, promoted, cones)
-        };
-        self.stats.rank_time += t_rank.elapsed();
-        self.stats.diagnosis_time += t1.elapsed();
-
-        // ---- Correction (§3.2) at the run's current parameter level ----
-        let t2 = Instant::now();
-        let n_err = response.num_failing();
-        let nv = self.vectors.num_vectors();
-        let n_corr = nv - n_err;
-        let remaining = (self.config.max_corrections - corrections.len()).max(1);
-        let h2_threshold = if self.config.theorem_floor {
-            level.h2.min(1.0 / remaining as f64)
-        } else {
-            level.h2
-        };
-        let mut ranked = self.screen_level(
-            netlist,
-            vals,
-            response,
-            &scored_lines,
-            level,
-            h2_threshold,
-            n_err,
-            n_corr,
-            cones,
-        );
-        let outcome = if ranked.is_empty() {
-            // "A leaf with failure" (§3.3).
-            NodeEval::Dead
-        } else {
-            ranked.sort_by(|a, b| b.rank.total_cmp(&a.rank));
-            if ranked.len() > self.config.max_candidates_per_node {
-                self.stats.candidates_truncated +=
-                    ranked.len() - self.config.max_candidates_per_node;
-                ranked.truncate(self.config.max_candidates_per_node);
-            }
-            NodeEval::Open { candidates: ranked }
-        };
-        self.stats.correction_time += t2.elapsed();
-        outcome
-    }
-
-    /// Heuristic 1: flip each promoted line on the failing vectors,
-    /// propagate through its fanout cone, and score by the fraction of
-    /// erroneous PO bits rectified.
-    ///
-    /// Lines are scored in parallel ([`RectifyConfig::jobs`]); each
-    /// worker owns a simulator and a private copy of the value matrix
-    /// (every task restores the cone rows it perturbs, so the copy stays
-    /// equal to `vals` between tasks). Scores merge in input order and
-    /// the final sort is stable, so the ranking is bit-identical to the
-    /// serial one.
-    fn heuristic1(
-        &mut self,
-        netlist: &Netlist,
-        vals: &PackedMatrix,
-        response: &Response,
-        lines: &[GateId],
-        cones: &mut ConeCache,
-    ) -> Vec<(GateId, f64)> {
-        let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
-        // Planting XORs the error mask into the stem row, so only word
-        // columns with a failing vector can ever change anywhere in the
-        // cone — propagation, save, and restore all restrict to them.
-        let err_cols: Vec<u32> = err_words
-            .iter()
-            .enumerate()
-            .filter(|&(_, &m)| m != 0)
-            .map(|(w, _)| w as u32)
-            .collect();
-        let total_bad = response.mismatch_bits().max(1);
-        let wpr = vals.words_per_row();
-        let nv = vals.num_vectors();
-        let spec = &self.spec;
-        let incremental = self.config.incremental;
-        // Memoize every line's cone up front (serially), then share the
-        // `Arc`s read-only across workers.
-        let cone_refs: Vec<Arc<ConeSet>> =
-            lines.iter().map(|&l| cones.get(netlist, l)).collect();
-        let outcome = run_parallel_with(
-            lines.len(),
-            self.config.jobs,
-            || (Simulator::new(), vals.clone(), Vec::<u64>::new()),
-            |(sim, vals, saved), i| {
-                let line = lines[i];
-                let words_before = sim.words_simulated();
-                let events_before = sim.events_propagated();
-                let skipped_before = sim.words_skipped();
-                let cone = &cone_refs[i];
-                saved.clear();
-                if incremental {
-                    for &g in cone.sorted() {
-                        let row = vals.row(g.index());
-                        for &w in &err_cols {
-                            saved.push(row[w as usize]);
-                        }
-                    }
-                } else {
-                    for &g in cone.sorted() {
-                        saved.extend_from_slice(vals.row(g.index()));
-                    }
-                }
-                {
-                    let row = vals.row_mut(line.index());
-                    for (w, &m) in row.iter_mut().zip(&err_words) {
-                        *w ^= m;
-                    }
-                }
-                if incremental {
-                    sim.run_cone_events_cols(netlist, vals, cone.sorted(), &err_cols);
-                } else {
-                    sim.run_cone(netlist, vals, cone.sorted());
-                }
-                // Count rectified erroneous (vector, PO) bits.
-                let mut rectified = 0usize;
-                for (po_idx, &po) in netlist.outputs().iter().enumerate() {
-                    if !cone.contains(po) {
-                        continue;
-                    }
-                    let after = vals.row(po.index());
-                    let spec_row = spec.po_values().row(po_idx);
-                    let before = response.po_values().row(po_idx);
-                    for w in 0..wpr {
-                        let was_bad = before[w] ^ spec_row[w];
-                        let now_bad = after[w] ^ spec_row[w];
-                        let mut fixed = was_bad & !now_bad;
-                        if w == wpr - 1 {
-                            fixed &= PackedBits::new(nv).tail_mask();
-                        }
-                        rectified += fixed.count_ones() as usize;
-                    }
-                }
-                if incremental {
-                    let nc = err_cols.len();
-                    for (k, &g) in cone.sorted().iter().enumerate() {
-                        let row = vals.row_mut(g.index());
-                        for (j, &w) in err_cols.iter().enumerate() {
-                            row[w as usize] = saved[k * nc + j];
-                        }
-                    }
-                } else {
-                    for (k, &g) in cone.sorted().iter().enumerate() {
-                        vals.row_mut(g.index())
-                            .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
-                    }
-                }
-                (
-                    rectified,
-                    sim.words_simulated() - words_before,
-                    sim.events_propagated() - events_before,
-                    sim.words_skipped() - skipped_before,
-                )
-            },
-        );
-        let mut scored = Vec::with_capacity(lines.len());
-        for (i, (rectified, words, events, skipped)) in outcome.results.into_iter().enumerate() {
-            self.stats.words_simulated += words;
-            self.stats.events_propagated += events;
-            self.stats.words_skipped += skipped;
-            scored.push((lines[i], rectified as f64 / total_bad as f64));
-        }
-        self.stats.parallel.merge(&outcome.telemetry);
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1));
-        scored
-    }
-
-    /// One ladder level of the correction stage: enumerate, screen with
-    /// heuristics 2 and 3, and rank the survivors.
-    ///
-    /// Suspect lines fan out across [`RectifyConfig::jobs`] workers, one
-    /// task per line covering both screening phases. Workers carry a
-    /// private simulator plus a private copy of the value matrix (phase B
-    /// restores every cone row it perturbs, so the copy stays equal to
-    /// `vals` between tasks); survivors merge in line order, preserving
-    /// the serial candidate sequence bit for bit.
-    #[allow(clippy::too_many_arguments)]
-    fn screen_level(
-        &mut self,
-        netlist: &Netlist,
-        vals: &PackedMatrix,
-        response: &Response,
-        scored_lines: &[(GateId, f64)],
-        level: &ParamLevel,
-        h2_threshold: f64,
-        n_err: usize,
-        n_corr: usize,
-        cones: &mut ConeCache,
-    ) -> Vec<RankedCorrection> {
-        let t_screen = Instant::now();
-        let nv = self.vectors.num_vectors();
-        let wpr = vals.words_per_row();
-        let tail = PackedBits::new(nv).tail_mask();
-        let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
-        let v_ratio = n_err as f64 / nv as f64;
-        // Old per-PO diff rows (for the after-failing-mask of POs outside
-        // a candidate's cone).
-        let old_diff: Vec<Vec<u64>> = netlist
-            .outputs()
-            .iter()
-            .enumerate()
-            .map(|(po_idx, _)| {
-                let got = response.po_values().row(po_idx);
-                let want = self.spec.po_values().row(po_idx);
-                got.iter().zip(want).map(|(a, b)| a ^ b).collect()
-            })
-            .collect();
-        // scored_lines is sorted descending, so the h1 threshold keeps a
-        // prefix; everything after it is rejected wholesale.
-        let keep = scored_lines
-            .iter()
-            .take_while(|&&(_, s)| s + 1e-12 >= level.h1)
-            .count();
-        self.stats.lines_rejected_h1 += scored_lines.len() - keep;
-        let active = &scored_lines[..keep];
-        let spec = &self.spec;
-        let config = &self.config;
-        let incremental = config.incremental;
-        // Memoize the active lines' cones up front (serially) and share the
-        // `Arc`s read-only across workers — both screening phases and the
-        // wire-source eligibility test walk the same cones.
-        let cone_refs: Vec<Arc<ConeSet>> = active
-            .iter()
-            .map(|&(l, _)| cones.get(netlist, l))
-            .collect();
-        let outcome = run_parallel_with(
-            active.len(),
-            config.jobs,
-            || {
-                (
-                    Simulator::new(),
-                    vals.clone(),
-                    Vec::<u64>::new(),
-                    CorrectionScratch::default(),
-                    Vec::<u32>::new(),
-                )
-            },
-            |(sim, vals, saved, scratch, cols), li| {
-                let (line, _) = active[li];
-                let cone = &cone_refs[li];
-                let mut delta = ScreenDelta::default();
-                let words_before = sim.words_simulated();
-                let events_before = sim.events_propagated();
-                let skipped_before = sim.words_skipped();
-                // ---- Phase A: heuristic 2 on every candidate (cheap,
-                // local, allocation-free for the wire corrections that
-                // dominate). ----
-                let mut pass: Vec<(Correction, f64)> = Vec::new();
-                let cur = vals.row(line.index()).to_vec();
-                let qualifies = |complemented: usize| -> bool {
-                    complemented as f64 / n_err.max(1) as f64 + 1e-12 >= h2_threshold
-                };
-                // Non-wire candidates through the generic evaluator
-                // (borrowed rows into the worker's scratch; the fused
-                // masked popcount avoids a diff temporary — err_words is
-                // already tail-masked).
-                for corr in enumerate_corrections(netlist, line, config.model, &[]) {
-                    delta.screened += 1;
-                    let Some(new_row) = correction_output_row_into(netlist, vals, &corr, scratch)
-                    else {
-                        continue;
-                    };
-                    let complemented = xor_masked_count_ones(new_row, &cur, &err_words);
-                    if qualifies(complemented) {
-                        pass.push((corr, complemented as f64 / n_err.max(1) as f64));
-                    }
-                }
-                // Wire candidates: exhaustive over every cycle-safe source,
-                // fused evaluation per gate family.
-                if config.model == CorrectionModel::DesignErrors
-                    && netlist.gate(line).kind().is_logic()
-                {
-                    let gate = netlist.gate(line);
-                    let kind = gate.kind();
-                    let fanins = gate.fanins().to_vec();
-                    // Folded fanin rows: `core` over all fanins, `base_wo[p]`
-                    // over all but port p, under the gate's core operation
-                    // (AND / OR / XOR, inversion applied at the end).
-                    enum Family {
-                        And,
-                        Or,
-                        Xor,
-                    }
-                    let (family, identity, invert) = match kind {
-                        GateKind::And => (Family::And, !0u64, false),
-                        GateKind::Nand => (Family::And, !0u64, true),
-                        GateKind::Buf => (Family::And, !0u64, false),
-                        GateKind::Not => (Family::And, !0u64, true),
-                        GateKind::Or => (Family::Or, 0u64, false),
-                        GateKind::Nor => (Family::Or, 0u64, true),
-                        GateKind::Xor => (Family::Xor, 0u64, false),
-                        GateKind::Xnor => (Family::Xor, 0u64, true),
-                        _ => unreachable!("is_logic checked"),
-                    };
-                    let fold = |skip: Option<usize>| -> Vec<u64> {
-                        let mut acc = vec![identity; wpr];
-                        for (p, &f) in fanins.iter().enumerate() {
-                            if Some(p) == skip {
-                                continue;
-                            }
-                            let row = vals.row(f.index());
-                            for (a, &r) in acc.iter_mut().zip(row) {
-                                match family {
-                                    Family::And => *a &= r,
-                                    Family::Or => *a |= r,
-                                    Family::Xor => *a ^= r,
-                                }
-                            }
-                        }
-                        acc
-                    };
-                    let core = fold(None);
-                    let base_wo: Vec<Vec<u64>> =
-                        (0..fanins.len()).map(|p| fold(Some(p))).collect();
-                    let combine = |base: &[u64], src: &[u64], w: usize| -> u64 {
-                        let v = match family {
-                            Family::And => base[w] & src[w],
-                            Family::Or => base[w] | src[w],
-                            Family::Xor => base[w] ^ src[w],
-                        };
-                        if invert {
-                            !v
-                        } else {
-                            v
-                        }
-                    };
-                    let can_add = matches!(
-                        kind,
-                        GateKind::And
-                            | GateKind::Nand
-                            | GateKind::Or
-                            | GateKind::Nor
-                            | GateKind::Xor
-                            | GateKind::Xnor
-                    );
-                    // Eligible sources, optionally stride-sampled.
-                    let mut eligible: Vec<GateId> = netlist
-                        .ids()
-                        .filter(|&s| {
-                            s != line
-                                && !cone.contains(s)
-                                && !matches!(
-                                    netlist.gate(s).kind(),
-                                    GateKind::Const0 | GateKind::Const1 | GateKind::Dff
-                                )
-                        })
-                        .collect();
-                    if config.wire_source_limit > 0
-                        && eligible.len() > config.wire_source_limit
-                    {
-                        delta.wire_sources_truncated +=
-                            eligible.len() - config.wire_source_limit;
-                        let stride = eligible.len().div_ceil(config.wire_source_limit);
-                        eligible = eligible.into_iter().step_by(stride).collect();
-                    }
-                    for src in eligible {
-                        let srow = vals.row(src.index());
-                        // AddInput.
-                        if can_add && !fanins.contains(&src) {
-                            delta.screened += 1;
-                            let mut complemented = 0usize;
-                            for w in 0..wpr {
-                                let diff = (combine(&core, srow, w) ^ cur[w]) & err_words[w];
-                                complemented += diff.count_ones() as usize;
-                            }
-                            if qualifies(complemented) {
-                                pass.push((
-                                    Correction::new(
-                                        line,
-                                        CorrectionAction::AddInput { source: src },
-                                    ),
-                                    complemented as f64 / n_err.max(1) as f64,
-                                ));
-                            }
-                        }
-                        // ReplaceInput on every port.
-                        for (p, &old) in fanins.iter().enumerate() {
-                            if old == src {
-                                continue;
-                            }
-                            delta.screened += 1;
-                            let mut complemented = 0usize;
-                            for w in 0..wpr {
-                                let diff =
-                                    (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
-                                complemented += diff.count_ones() as usize;
-                            }
-                            if qualifies(complemented) {
-                                pass.push((
-                                    Correction::new(
-                                        line,
-                                        CorrectionAction::ReplaceInput { port: p, source: src },
-                                    ),
-                                    complemented as f64 / n_err.max(1) as f64,
-                                ));
-                            }
-                        }
-                        // InsertGate over the basic 2-input kinds (restores a
-                        // dropped "simple gate" in one correction). The
-                        // inverting kinds complement almost every V_err bit and
-                        // so pass heuristic 2 for free, flooding the expensive
-                        // heuristic-3 stage; they only join once the ladder has
-                        // relaxed h3 — the point where such repairs become
-                        // admissible at all.
-                        let insert_kinds: &[GateKind] = if level.h3 <= 0.85 {
-                            &[GateKind::And, GateKind::Or, GateKind::Nand, GateKind::Nor]
-                        } else {
-                            &[GateKind::And, GateKind::Or]
-                        };
-                        for &k2 in insert_kinds {
-                            delta.screened += 1;
-                            let mut complemented = 0usize;
-                            for w in 0..wpr {
-                                let v = match k2 {
-                                    GateKind::And => cur[w] & srow[w],
-                                    GateKind::Or => cur[w] | srow[w],
-                                    GateKind::Nand => !(cur[w] & srow[w]),
-                                    _ => !(cur[w] | srow[w]),
-                                };
-                                let diff = (v ^ cur[w]) & err_words[w];
-                                complemented += diff.count_ones() as usize;
-                            }
-                            if qualifies(complemented) {
-                                pass.push((
-                                    Correction::new(
-                                        line,
-                                        CorrectionAction::InsertGate { kind: k2, other: src },
-                                    ),
-                                    complemented as f64 / n_err.max(1) as f64,
-                                ));
-                            }
-                        }
-                    }
-                }
-                delta.rejected_h2 = delta.screened - pass.len();
-                // ---- Phase B: heuristic 3 (cone propagation) on
-                // survivors. ----
-                let mut line_ranked: Vec<RankedCorrection> = Vec::new();
-                for (corr, h2_fraction) in pass {
-                    // The raw (unmasked-tail) output row is exactly what a
-                    // full resimulation of the corrected circuit would
-                    // store for the line, so it can be planted verbatim.
-                    let Some(new_row) = correction_output_row_into(netlist, vals, &corr, scratch)
-                    else {
-                        delta.rejected_h3 += 1;
-                        continue;
-                    };
-                    saved.clear();
-                    if incremental {
-                        // Planting replaces the stem row wholesale, but
-                        // only the word columns where it actually differs
-                        // from the current row can change anywhere in the
-                        // cone — propagate, save, and restore just those.
-                        cols.clear();
-                        for (w, (&n, &c)) in new_row.iter().zip(&cur).enumerate() {
-                            if n != c {
-                                cols.push(w as u32);
-                            }
-                        }
-                        for &g in cone.sorted() {
-                            let row = vals.row(g.index());
-                            for &w in cols.iter() {
-                                saved.push(row[w as usize]);
-                            }
-                        }
-                    } else {
-                        for &g in cone.sorted() {
-                            saved.extend_from_slice(vals.row(g.index()));
-                        }
-                    }
-                    vals.row_mut(line.index()).copy_from_slice(new_row);
-                    if incremental {
-                        sim.run_cone_events_cols(netlist, vals, cone.sorted(), cols);
-                    } else {
-                        sim.run_cone(netlist, vals, cone.sorted());
-                    }
-                    let mut after_fail = vec![0u64; wpr];
-                    for (po_idx, &po) in netlist.outputs().iter().enumerate() {
-                        if cone.contains(po) {
-                            let got = vals.row(po.index());
-                            let want = spec.po_values().row(po_idx);
-                            for w in 0..wpr {
-                                after_fail[w] |= got[w] ^ want[w];
-                            }
-                        } else {
-                            for w in 0..wpr {
-                                after_fail[w] |= old_diff[po_idx][w];
-                            }
-                        }
-                    }
-                    let mut newly_err = 0usize;
-                    let mut fixed = 0usize;
-                    for w in 0..wpr {
-                        let mut ne = after_fail[w] & !err_words[w];
-                        let mut fx = err_words[w] & !after_fail[w];
-                        if w == wpr - 1 {
-                            ne &= tail;
-                            fx &= tail;
-                        }
-                        newly_err += ne.count_ones() as usize;
-                        fixed += fx.count_ones() as usize;
-                    }
-                    if incremental {
-                        let nc = cols.len();
-                        for (k, &g) in cone.sorted().iter().enumerate() {
-                            let row = vals.row_mut(g.index());
-                            for (j, &w) in cols.iter().enumerate() {
-                                row[w as usize] = saved[k * nc + j];
-                            }
-                        }
-                    } else {
-                        for (k, &g) in cone.sorted().iter().enumerate() {
-                            vals.row_mut(g.index())
-                                .copy_from_slice(&saved[k * wpr..(k + 1) * wpr]);
-                        }
-                    }
-                    let h3_score = 1.0 - newly_err as f64 / n_corr.max(1) as f64;
-                    if h3_score + 1e-12 < level.h3 {
-                        delta.rejected_h3 += 1;
-                        continue;
-                    }
-                    delta.qualified += 1;
-                    let corr_h1 = fixed as f64 / n_err.max(1) as f64;
-                    line_ranked.push(RankedCorrection {
-                        correction: corr,
-                        rank: (1.0 - v_ratio) * h3_score + v_ratio * corr_h1,
-                        h1_score: corr_h1,
-                        h2_fraction,
-                        h3_score,
-                    });
-                }
-                delta.words = sim.words_simulated() - words_before;
-                delta.events = sim.events_propagated() - events_before;
-                delta.skipped = sim.words_skipped() - skipped_before;
-                (line_ranked, delta)
-            },
-        );
-        let mut ranked = Vec::new();
-        for (line_ranked, delta) in outcome.results {
-            ranked.extend(line_ranked);
-            self.stats.corrections_screened += delta.screened;
-            self.stats.corrections_qualified += delta.qualified;
-            self.stats.corrections_rejected_h2 += delta.rejected_h2;
-            self.stats.corrections_rejected_h3 += delta.rejected_h3;
-            self.stats.wire_sources_truncated += delta.wire_sources_truncated;
-            self.stats.words_simulated += delta.words;
-            self.stats.events_propagated += delta.events;
-            self.stats.words_skipped += delta.skipped;
-        }
-        self.stats.parallel.merge(&outcome.telemetry);
-        self.stats.screen_time += t_screen.elapsed();
-        ranked
     }
 }
 
-/// Per-line stat deltas produced inside a screening task and merged, in
-/// line order, into the session's [`RectifyStats`].
-#[derive(Default)]
-struct ScreenDelta {
-    screened: usize,
-    qualified: usize,
-    rejected_h2: usize,
-    rejected_h3: usize,
-    wire_sources_truncated: usize,
-    words: u64,
-    events: u64,
-    skipped: u64,
+/// The backend the configuration selects: [`Incremental`] or
+/// [`FromScratch`], wrapped in [`Parallel`] when screening fans out.
+fn build_evaluator(config: &RectifyConfig) -> Box<dyn Evaluator> {
+    let inner: Box<dyn Evaluator> = if config.incremental {
+        Box::new(Incremental::new(config.matrix_cache_bytes))
+    } else {
+        Box::new(FromScratch::new())
+    };
+    if config.jobs == 1 {
+        inner
+    } else {
+        Box::new(Parallel::new(inner, config.jobs))
+    }
 }
 
 /// Keeps only tuples that are minimal as sets (no other solution's
@@ -1392,14 +759,11 @@ mod tests {
     use super::*;
     use incdx_fault::CorrectionAction;
     use incdx_netlist::parse_bench;
+    use incdx_sim::Simulator;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn spec_and_vectors(
-        golden: &Netlist,
-        vectors: usize,
-        seed: u64,
-    ) -> (PackedMatrix, Response) {
+    fn spec_and_vectors(golden: &Netlist, vectors: usize, seed: u64) -> (PackedMatrix, Response) {
         let mut rng = StdRng::seed_from_u64(seed);
         let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut rng);
         let mut sim = Simulator::new();
@@ -1411,17 +775,32 @@ mod tests {
     fn already_correct_returns_empty_tuple() {
         let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
         let (pi, spec) = spec_and_vectors(&n, 64, 1);
-        let r = Rectifier::new(n, pi, spec, RectifyConfig::dedc(1)).run();
+        let r = Rectifier::new(n, pi, spec, RectifyConfig::dedc(1))
+            .unwrap()
+            .run();
         assert_eq!(r.solutions.len(), 1);
         assert!(r.solutions[0].corrections.is_empty());
+        assert_eq!(r.stats.traversal, "round-robin-bfs");
+        assert_eq!(r.stats.evaluator, "incremental");
     }
 
     #[test]
     fn fixes_single_gate_replacement() {
-        let good = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n").unwrap();
-        let bad = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n").unwrap();
+        let good =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n")
+                .unwrap();
+        let bad =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n")
+                .unwrap();
         let (pi, spec) = spec_and_vectors(&good, 64, 2);
-        let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), RectifyConfig::dedc(1)).run();
+        let r = Rectifier::new(
+            bad.clone(),
+            pi.clone(),
+            spec.clone(),
+            RectifyConfig::dedc(1),
+        )
+        .unwrap()
+        .run();
         assert!(!r.solutions.is_empty(), "must find a fix");
         // Verify the fix really works.
         let mut fixed = bad.clone();
@@ -1457,6 +836,7 @@ mod tests {
             device_resp,
             RectifyConfig::stuck_at_exhaustive(1),
         )
+        .unwrap()
         .run();
         let mut tuples: Vec<Vec<StuckAt>> = r
             .solutions
@@ -1489,7 +869,10 @@ mod tests {
                 ],
             },
             Solution {
-                corrections: vec![Correction::new(GateId(3), CorrectionAction::SetConst(false))],
+                corrections: vec![Correction::new(
+                    GateId(3),
+                    CorrectionAction::SetConst(false),
+                )],
             },
         ];
         let min = minimal_solutions(sols);
@@ -1510,7 +893,14 @@ mod tests {
         )
         .unwrap();
         let (pi, spec) = spec_and_vectors(&good, 128, 3);
-        let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), RectifyConfig::dedc(2)).run();
+        let r = Rectifier::new(
+            bad.clone(),
+            pi.clone(),
+            spec.clone(),
+            RectifyConfig::dedc(2),
+        )
+        .unwrap()
+        .run();
         assert!(!r.solutions.is_empty(), "two-error case must solve");
         let sol = &r.solutions[0];
         assert!(sol.corrections.len() <= 2);
@@ -1536,7 +926,7 @@ mod tests {
         let resp = Response::capture(&device, &sim.run_for_inputs(&device, good.inputs(), &pi));
         let mut cfg = RectifyConfig::stuck_at_exhaustive(1);
         cfg.max_rounds = 0;
-        let r = Rectifier::new(good, pi, resp, cfg).run();
+        let r = Rectifier::new(good, pi, resp, cfg).unwrap().run();
         assert!(r.solutions.is_empty());
         assert!(r.stats.truncated || r.stats.rounds == 0);
     }
@@ -1566,25 +956,26 @@ mod tests {
         }
         let mut sim = Simulator::new();
         let resp = Response::capture(&device, &sim.run_for_inputs(&device, good.inputs(), &pi));
-        let r = Rectifier::new(good, pi, resp, RectifyConfig::stuck_at_exhaustive(1)).run();
+        let r = Rectifier::new(good, pi, resp, RectifyConfig::stuck_at_exhaustive(1))
+            .unwrap()
+            .run();
         assert!(r.solutions.is_empty());
     }
 
     #[test]
-    fn dfs_and_bfs_traversals_also_solve() {
-        let good = parse_bench(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n",
-        )
-        .unwrap();
-        let bad = parse_bench(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n",
-        )
-        .unwrap();
+    fn every_traversal_strategy_solves() {
+        let good =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n")
+                .unwrap();
+        let bad =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n")
+                .unwrap();
         let (pi, spec) = spec_and_vectors(&good, 64, 9);
-        for traversal in [Traversal::Rounds, Traversal::Dfs, Traversal::Bfs] {
+        for traversal in TraversalKind::ALL {
             let mut cfg = RectifyConfig::dedc(1);
             cfg.traversal = traversal;
-            let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), cfg).run();
+            let mut engine = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), cfg).unwrap();
+            let r = engine.run();
             assert!(!r.solutions.is_empty(), "{traversal:?} must solve");
             let mut fixed = bad.clone();
             for c in &r.solutions[0].corrections {
@@ -1601,10 +992,76 @@ mod tests {
         let good = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
         let bad = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOR(a, b)\n").unwrap();
         let (pi, spec) = spec_and_vectors(&good, 64, 6);
-        let r = Rectifier::new(bad, pi, spec, RectifyConfig::dedc(1)).run();
+        let r = Rectifier::new(bad, pi, spec, RectifyConfig::dedc(1))
+            .unwrap()
+            .run();
         assert!(!r.solutions.is_empty());
         assert!(r.stats.corrections_screened > 0);
         assert!(r.stats.corrections_qualified > 0);
         assert!(r.stats.rounds >= 1);
+    }
+
+    #[test]
+    fn sequential_netlist_is_rejected_not_panicked() {
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\ns = DFF(a)\ny = AND(a, s)\n").unwrap();
+        let pi = PackedMatrix::new(1, 8);
+        let spec = {
+            let comb = parse_bench("INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n").unwrap();
+            let mut sim = Simulator::new();
+            Response::capture(&comb, &sim.run(&comb, &pi))
+        };
+        match Rectifier::new(n, pi, spec, RectifyConfig::dedc(1)) {
+            Err(IncdxError::SequentialNetlist { dffs }) => assert_eq!(dffs, 1),
+            other => panic!("expected SequentialNetlist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected_not_panicked() {
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let (pi, spec) = spec_and_vectors(&n, 64, 7);
+        // Wrong number of vector rows.
+        let bad_pi = PackedMatrix::new(3, 64);
+        assert!(matches!(
+            Rectifier::new(n.clone(), bad_pi, spec.clone(), RectifyConfig::dedc(1)),
+            Err(IncdxError::ShapeMismatch {
+                expected: 2,
+                got: 3,
+                ..
+            })
+        ));
+        // Wrong vector count in the reference.
+        let (short_pi, short_spec) = spec_and_vectors(&n, 32, 7);
+        let _ = short_pi;
+        assert!(matches!(
+            Rectifier::new(n, pi, short_spec, RectifyConfig::dedc(1)),
+            Err(IncdxError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_run_exactly() {
+        let good =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n")
+                .unwrap();
+        let bad =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = NOR(a, b)\ny = OR(x, c)\n")
+                .unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 64, 8);
+        let mut engine = Rectifier::new(bad, pi, spec, RectifyConfig::dedc(1)).unwrap();
+        let first = engine.run();
+        engine.reset();
+        let second = engine.run();
+        assert_eq!(first.solutions, second.solutions);
+        assert_eq!(first.stats.nodes, second.stats.nodes);
+        assert_eq!(first.stats.words_simulated, second.stats.words_simulated);
+        assert_eq!(
+            first.stats.matrix_cache_hits,
+            second.stats.matrix_cache_hits
+        );
+        // Without reset the engine still finds the same solutions (cached
+        // matrices are pure functions of base + corrections).
+        let third = engine.run();
+        assert_eq!(first.solutions, third.solutions);
     }
 }

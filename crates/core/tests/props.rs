@@ -42,7 +42,7 @@ proptest! {
         let sources: Vec<GateId> = n.ids().step_by(7).collect();
         for model in [CorrectionModel::StuckAt, CorrectionModel::DesignErrors] {
             for c in enumerate_corrections(&n, line, model, &sources) {
-                let local = correction_output_row(&n, &vals, &c);
+                let local = correction_output_row(&n, &vals, &c).expect("full-width matrix");
                 let mut m = n.clone();
                 let reference = match c.apply(&mut m) {
                     Ok(()) => {
@@ -126,6 +126,7 @@ proptest! {
             device.clone(),
             RectifyConfig::stuck_at_exhaustive(1),
         )
+        .expect("well-formed inputs")
         .run();
         prop_assert!(!result.solutions.is_empty());
         let mut saw_injected = false;
@@ -171,7 +172,9 @@ proptest! {
         let run = |jobs: usize| {
             let mut config = RectifyConfig::dedc(2);
             config.jobs = jobs;
-            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config).run()
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .run()
         };
         let serial = run(1);
         let parallel = run(4);
@@ -219,7 +222,9 @@ proptest! {
             let mut config = RectifyConfig::dedc(2);
             config.incremental = incremental;
             config.jobs = jobs;
-            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config).run()
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .run()
         };
         let full = run(false, 1);
         let inc = run(true, 1);
@@ -317,7 +322,8 @@ proptest! {
         let ladder = default_ladder();
         let mut prev: Option<Vec<incdx_fault::Correction>> = None;
         for level in &ladder {
-            let mut rect = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone());
+            let mut rect = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+                .expect("well-formed inputs");
             let mut now: Vec<incdx_fault::Correction> = rect
                 .rank_candidates(&[], level)
                 .into_iter()
@@ -345,8 +351,12 @@ fn stats_counters_accumulate_across_rounds() {
     let a = GateId::from_index(11 % golden.len());
     let b = GateId::from_index(29 % golden.len());
     let mut device_nl = golden.clone();
-    StuckAt::new(a, false).apply(&mut device_nl).expect("apply a");
-    StuckAt::new(b, true).apply(&mut device_nl).expect("apply b");
+    StuckAt::new(a, false)
+        .apply(&mut device_nl)
+        .expect("apply a");
+    StuckAt::new(b, true)
+        .apply(&mut device_nl)
+        .expect("apply b");
     let mut rng = StdRng::seed_from_u64(7);
     let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
     let mut sim = Simulator::new();
@@ -361,13 +371,9 @@ fn stats_counters_accumulate_across_rounds() {
             "faults must be excited for the test to exercise rounds"
         );
     }
-    let result = Rectifier::new(
-        golden.clone(),
-        pi,
-        device,
-        RectifyConfig::dedc(2),
-    )
-    .run();
+    let result = Rectifier::new(golden.clone(), pi, device, RectifyConfig::dedc(2))
+        .expect("well-formed inputs")
+        .run();
     let s = &result.stats;
     assert!(s.rounds >= 1, "at least one round ran");
     assert!(s.nodes >= s.rounds, "every round evaluates ≥ 1 node");
@@ -378,7 +384,10 @@ fn stats_counters_accumulate_across_rounds() {
         "every screened correction is rejected by h2, rejected by h3, or qualified"
     );
     assert!(s.words_simulated > 0, "simulation work is metered");
-    assert!(s.evaluate_time >= s.screen_time, "screening is part of evaluation");
+    assert!(
+        s.evaluate_time >= s.screen_time,
+        "screening is part of evaluation"
+    );
     assert!(
         s.diagnosis_time >= s.path_trace_time,
         "path-trace is a component of diagnosis"

@@ -126,7 +126,11 @@ impl Correction {
         };
         match self.action {
             CorrectionAction::SetConst(v) => {
-                let k = if v { GateKind::Const1 } else { GateKind::Const0 };
+                let k = if v {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                };
                 netlist.replace_gate(self.line, k, Vec::new())
             }
             CorrectionAction::ChangeKind(new_kind) => {
@@ -181,7 +185,10 @@ impl Correction {
                 let &src = fanins.get(port).ok_or_else(|| bad_port(port))?;
                 netlist.replace_gate(self.line, GateKind::Buf, vec![src])
             }
-            CorrectionAction::InsertGate { kind: new_kind, other } => {
+            CorrectionAction::InsertGate {
+                kind: new_kind,
+                other,
+            } => {
                 if other == self.line {
                     return Err(NetlistError::CombinationalCycle { gate: self.line });
                 }
@@ -275,13 +282,22 @@ pub fn enumerate_corrections(
             }
             // Input-wire inverters.
             for port in 0..nf {
-                out.push(Correction::new(line, CorrectionAction::InvertInput { port }));
+                out.push(Correction::new(
+                    line,
+                    CorrectionAction::InvertInput { port },
+                ));
             }
             // Extra wire in the design: remove it.
             if nf >= 2 {
                 for port in 0..nf {
-                    out.push(Correction::new(line, CorrectionAction::RemoveInput { port }));
-                    out.push(Correction::new(line, CorrectionAction::WireThrough { port }));
+                    out.push(Correction::new(
+                        line,
+                        CorrectionAction::RemoveInput { port },
+                    ));
+                    out.push(Correction::new(
+                        line,
+                        CorrectionAction::WireThrough { port },
+                    ));
                 }
             }
             // Missing / wrong wires and missing gates need candidate
@@ -291,7 +307,10 @@ pub fn enumerate_corrections(
                     continue;
                 }
                 if !gate.fanins().contains(&src) {
-                    out.push(Correction::new(line, CorrectionAction::AddInput { source: src }));
+                    out.push(Correction::new(
+                        line,
+                        CorrectionAction::AddInput { source: src },
+                    ));
                 }
                 for port in 0..nf {
                     if gate.fanins()[port] != src {
@@ -304,7 +323,10 @@ pub fn enumerate_corrections(
                 for k in [GateKind::And, GateKind::Or] {
                     out.push(Correction::new(
                         line,
-                        CorrectionAction::InsertGate { kind: k, other: src },
+                        CorrectionAction::InsertGate {
+                            kind: k,
+                            other: src,
+                        },
                     ));
                 }
             }
@@ -405,9 +427,15 @@ mod tests {
         let mut n = base();
         let x = n.find_by_name("x").unwrap();
         let c = n.find_by_name("c").unwrap();
-        Correction::new(x, CorrectionAction::InsertGate { kind: GateKind::Or, other: c })
-            .apply(&mut n)
-            .unwrap();
+        Correction::new(
+            x,
+            CorrectionAction::InsertGate {
+                kind: GateKind::Or,
+                other: c,
+            },
+        )
+        .apply(&mut n)
+        .unwrap();
         assert_eq!(n.gate(x).kind(), GateKind::Or);
         let aux = n.gate(x).fanins()[0];
         assert_eq!(n.gate(aux).kind(), GateKind::And);

@@ -167,7 +167,11 @@ impl DesignError {
                 f[port] = source;
                 netlist.replace_gate(self.line, kind, f)
             }
-            DesignErrorKind::ExtraGate { port, other, kind: extra_kind } => {
+            DesignErrorKind::ExtraGate {
+                port,
+                other,
+                kind: extra_kind,
+            } => {
                 let &src = fanins.get(port).ok_or_else(|| bad_port(port))?;
                 let spurious = netlist.append_gate(extra_kind, vec![src, other])?;
                 let mut f = fanins;
@@ -194,19 +198,22 @@ mod tests {
     use incdx_netlist::parse_bench;
 
     fn base() -> Netlist {
-        parse_bench(
-            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n",
-        )
-        .unwrap()
+        parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, c)\n")
+            .unwrap()
     }
 
     #[test]
     fn gate_replacement() {
         let mut n = base();
         let x = n.find_by_name("x").unwrap();
-        DesignError::new(x, DesignErrorKind::GateReplacement { wrong: GateKind::Nor })
-            .apply(&mut n)
-            .unwrap();
+        DesignError::new(
+            x,
+            DesignErrorKind::GateReplacement {
+                wrong: GateKind::Nor,
+            },
+        )
+        .apply(&mut n)
+        .unwrap();
         assert_eq!(n.gate(x).kind(), GateKind::Nor);
     }
 
@@ -269,7 +276,11 @@ mod tests {
         let b = n.find_by_name("b").unwrap();
         DesignError::new(
             y,
-            DesignErrorKind::ExtraGate { port: 0, other: b, kind: GateKind::Nand },
+            DesignErrorKind::ExtraGate {
+                port: 0,
+                other: b,
+                kind: GateKind::Nand,
+            },
         )
         .apply(&mut n)
         .unwrap();
@@ -295,18 +306,24 @@ mod tests {
         let x = n.find_by_name("x").unwrap();
         let y = n.find_by_name("y").unwrap();
         // Bad port.
-        assert!(DesignError::new(x, DesignErrorKind::MissingInputWire { port: 9 })
-            .apply(&mut n)
-            .is_err());
+        assert!(
+            DesignError::new(x, DesignErrorKind::MissingInputWire { port: 9 })
+                .apply(&mut n)
+                .is_err()
+        );
         // Cycle: wiring y into its own fanin cone's sink.
-        assert!(DesignError::new(x, DesignErrorKind::ExtraInputWire { source: y })
-            .apply(&mut n)
-            .is_err());
+        assert!(
+            DesignError::new(x, DesignErrorKind::ExtraInputWire { source: y })
+                .apply(&mut n)
+                .is_err()
+        );
         // Duplicate wire rejected.
         let a = n.find_by_name("a").unwrap();
-        assert!(DesignError::new(x, DesignErrorKind::ExtraInputWire { source: a })
-            .apply(&mut n)
-            .is_err());
+        assert!(
+            DesignError::new(x, DesignErrorKind::ExtraInputWire { source: a })
+                .apply(&mut n)
+                .is_err()
+        );
         // Netlist unchanged by failed injections.
         assert_eq!(n.gate(x).kind(), GateKind::And);
         assert_eq!(n.len(), 5);

@@ -101,7 +101,12 @@ fn logic_lines(netlist: &Netlist) -> Vec<GateId> {
 fn stuck_at_lines(netlist: &Netlist) -> Vec<GateId> {
     netlist
         .iter()
-        .filter(|(_, g)| !matches!(g.kind(), GateKind::Const0 | GateKind::Const1 | GateKind::Dff))
+        .filter(|(_, g)| {
+            !matches!(
+                g.kind(),
+                GateKind::Const0 | GateKind::Const1 | GateKind::Dff
+            )
+        })
         .map(|(id, _)| id)
         .collect()
 }
@@ -136,7 +141,10 @@ pub fn inject_stuck_at_faults(
     config: &InjectionConfig,
     rng: &mut StdRng,
 ) -> Result<Injection<StuckAt>, InjectError> {
-    assert!(golden.is_combinational(), "scan-convert sequential circuits first");
+    assert!(
+        golden.is_combinational(),
+        "scan-convert sequential circuits first"
+    );
     let sites = stuck_at_lines(golden);
     assert!(
         sites.len() >= config.count,
@@ -273,7 +281,10 @@ pub fn inject_design_errors(
     config: &InjectionConfig,
     rng: &mut StdRng,
 ) -> Result<Injection<DesignError>, InjectError> {
-    assert!(golden.is_combinational(), "scan-convert sequential circuits first");
+    assert!(
+        golden.is_combinational(),
+        "scan-convert sequential circuits first"
+    );
     let sites = logic_lines(golden);
     assert!(
         sites.len() >= config.count,

@@ -29,9 +29,9 @@ fn dag(seed: u64) -> Netlist {
 
 fn structurally_equal(a: &Netlist, b: &Netlist) -> bool {
     a.len() == b.len()
-        && a.iter().zip(b.iter()).all(|((_, x), (_, y))| {
-            x.kind() == y.kind() && x.fanins() == y.fanins()
-        })
+        && a.iter()
+            .zip(b.iter())
+            .all(|((_, x), (_, y))| x.kind() == y.kind() && x.fanins() == y.fanins())
         && a.outputs() == b.outputs()
 }
 

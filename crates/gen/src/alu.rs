@@ -180,7 +180,14 @@ mod tests {
         n.outputs().iter().map(|o| vals.get(o.index(), 0)).collect()
     }
 
-    fn run_alu(n: &Netlist, width: usize, a: u64, b: u64, cin: bool, opcode: usize) -> (u64, bool, bool) {
+    fn run_alu(
+        n: &Netlist,
+        width: usize,
+        a: u64,
+        b: u64,
+        cin: bool,
+        opcode: usize,
+    ) -> (u64, bool, bool) {
         let opbits = n.inputs().len() - 2 * width - 1;
         let mut iv: Vec<bool> = (0..width).map(|i| a >> i & 1 == 1).collect();
         iv.extend((0..width).map(|i| b >> i & 1 == 1));
@@ -199,7 +206,12 @@ mod tests {
         let width = 4;
         let n = alu(width, &AluOp::DEFAULT_OPS);
         for (k, op) in AluOp::DEFAULT_OPS.iter().enumerate() {
-            for (a, b, cin) in [(0u64, 0u64, false), (15, 15, true), (9, 6, false), (5, 12, true)] {
+            for (a, b, cin) in [
+                (0u64, 0u64, false),
+                (15, 15, true),
+                (9, 6, false),
+                (5, 12, true),
+            ] {
                 let (r, cout, zero) = run_alu(&n, width, a, b, cin, k);
                 let expect = op.apply(a, b, cin, width);
                 assert_eq!(r, expect & 0xF, "{op:?} a={a} b={b} cin={cin}");

@@ -238,7 +238,14 @@ mod tests {
     #[test]
     fn multiplier_multiplies_sampled_8bit() {
         let n = array_multiplier(8);
-        for (a, x) in [(0u64, 0u64), (255, 255), (170, 85), (1, 255), (200, 3), (13, 17)] {
+        for (a, x) in [
+            (0u64, 0u64),
+            (255, 255),
+            (170, 85),
+            (1, 255),
+            (200, 3),
+            (13, 17),
+        ] {
             let mut iv = to_bits(a, 8);
             iv.extend(to_bits(x, 8));
             let out = eval(&n, &iv);

@@ -27,8 +27,12 @@ pub fn priority_encoder(channels: usize) -> Netlist {
     assert!(channels >= 2, "need at least 2 channels");
     let idx_bits = usize::BITS as usize - (channels - 1).leading_zeros() as usize;
     let mut b = Netlist::builder();
-    let req: Vec<GateId> = (0..channels).map(|i| b.add_input(format!("r{i}"))).collect();
-    let ena: Vec<GateId> = (0..channels).map(|i| b.add_input(format!("e{i}"))).collect();
+    let req: Vec<GateId> = (0..channels)
+        .map(|i| b.add_input(format!("r{i}")))
+        .collect();
+    let ena: Vec<GateId> = (0..channels)
+        .map(|i| b.add_input(format!("e{i}")))
+        .collect();
     // Active request per channel.
     let act: Vec<GateId> = (0..channels)
         .map(|i| b.add_gate(GateKind::And, vec![req[i], ena[i]]))

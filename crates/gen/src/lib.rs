@@ -36,7 +36,7 @@ mod sequential;
 pub mod suite;
 
 pub use alu::{alu, AluOp};
-pub use arith::{comparator, ripple_adder, array_multiplier};
+pub use arith::{array_multiplier, comparator, ripple_adder};
 pub use encoder::priority_encoder;
 pub use parity::{parity_tree, sec_circuit};
 pub use random_dag::{random_dag, RandomDagConfig};

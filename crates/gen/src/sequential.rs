@@ -113,7 +113,10 @@ pub fn lfsr(bits: usize, taps: &[usize]) -> Netlist {
 /// assert_eq!(n.outputs().len(), 6);
 /// ```
 pub fn moore_machine(state_bits: usize, inputs: usize, outputs: usize, seed: u64) -> Netlist {
-    assert!(state_bits > 0 && inputs > 0 && outputs > 0, "dimensions must be positive");
+    assert!(
+        state_bits > 0 && inputs > 0 && outputs > 0,
+        "dimensions must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = Netlist::builder();
     let x: Vec<GateId> = (0..inputs).map(|i| b.add_input(format!("x{i}"))).collect();
@@ -138,7 +141,9 @@ pub fn moore_machine(state_bits: usize, inputs: usize, outputs: usize, seed: u64
             .collect();
         b.add_gate(GateKind::Or, terms)
     };
-    let d: Vec<GateId> = (0..state_bits).map(|_| random_sop(&mut b, &mut rng)).collect();
+    let d: Vec<GateId> = (0..state_bits)
+        .map(|_| random_sop(&mut b, &mut rng))
+        .collect();
     for _ in 0..outputs {
         let z = random_sop(&mut b, &mut rng);
         b.add_output(z);
@@ -148,11 +153,7 @@ pub fn moore_machine(state_bits: usize, inputs: usize, outputs: usize, seed: u64
 
 /// Finalizes a builder whose DFFs were created with placeholder fanins,
 /// rewiring DFF `q[i]` to data input `d[i]`.
-fn build_with_dff_fixup(
-    b: incdx_netlist::NetlistBuilder,
-    q: &[GateId],
-    d: &[GateId],
-) -> Netlist {
+fn build_with_dff_fixup(b: incdx_netlist::NetlistBuilder, q: &[GateId], d: &[GateId]) -> Netlist {
     let mut n = b.build().expect("sequential structure is valid");
     for (&qi, &di) in q.iter().zip(d) {
         n.replace_gate(qi, GateKind::Dff, vec![di])
@@ -232,7 +233,10 @@ mod tests {
                 .fold(0, |acc, (i, &qi)| acc | (f.get(qi, 0) as u64) << i);
             seen.insert(s);
         }
-        assert!(seen.len() > 1, "lfsr must move through states, saw {seen:?}");
+        assert!(
+            seen.len() > 1,
+            "lfsr must move through states, saw {seen:?}"
+        );
     }
 
     #[test]

@@ -38,22 +38,86 @@ pub struct CircuitSpec {
 /// Every circuit [`generate`] knows, in the order the paper's tables list
 /// them (combinational c-circuits first, then full-scan s-circuits).
 pub const SUITE: &[CircuitSpec] = &[
-    CircuitSpec { name: "c17", family: "real ISCAS'85 c17", sequential: false },
-    CircuitSpec { name: "c432a", family: "27-channel interrupt controller", sequential: false },
-    CircuitSpec { name: "c499a", family: "32-bit SEC (XOR form)", sequential: false },
-    CircuitSpec { name: "c880a", family: "8-bit ALU", sequential: false },
-    CircuitSpec { name: "c1355a", family: "32-bit SEC (NAND-expanded XORs)", sequential: false },
-    CircuitSpec { name: "c1908a", family: "16-bit SEC (NAND-expanded XORs)", sequential: false },
-    CircuitSpec { name: "c2670a", family: "ALU + comparator + parity mix", sequential: false },
-    CircuitSpec { name: "c3540a", family: "16-bit ALU", sequential: false },
-    CircuitSpec { name: "c5315a", family: "dual-arm ALU", sequential: false },
-    CircuitSpec { name: "c6288a", family: "16x16 array multiplier (NAND-expanded)", sequential: false },
-    CircuitSpec { name: "c7552a", family: "adder + comparator + parity + ALU", sequential: false },
-    CircuitSpec { name: "s298a", family: "14-bit counter with decode", sequential: true },
-    CircuitSpec { name: "s344a", family: "16-bit LFSR + counter", sequential: true },
-    CircuitSpec { name: "s641a", family: "random Moore machine (19 state bits)", sequential: true },
-    CircuitSpec { name: "s1238a", family: "Moore machine + LFSR", sequential: true },
-    CircuitSpec { name: "s9234a", family: "large Moore machine + counter + LFSR", sequential: true },
+    CircuitSpec {
+        name: "c17",
+        family: "real ISCAS'85 c17",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c432a",
+        family: "27-channel interrupt controller",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c499a",
+        family: "32-bit SEC (XOR form)",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c880a",
+        family: "8-bit ALU",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c1355a",
+        family: "32-bit SEC (NAND-expanded XORs)",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c1908a",
+        family: "16-bit SEC (NAND-expanded XORs)",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c2670a",
+        family: "ALU + comparator + parity mix",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c3540a",
+        family: "16-bit ALU",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c5315a",
+        family: "dual-arm ALU",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c6288a",
+        family: "16x16 array multiplier (NAND-expanded)",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "c7552a",
+        family: "adder + comparator + parity + ALU",
+        sequential: false,
+    },
+    CircuitSpec {
+        name: "s298a",
+        family: "14-bit counter with decode",
+        sequential: true,
+    },
+    CircuitSpec {
+        name: "s344a",
+        family: "16-bit LFSR + counter",
+        sequential: true,
+    },
+    CircuitSpec {
+        name: "s641a",
+        family: "random Moore machine (19 state bits)",
+        sequential: true,
+    },
+    CircuitSpec {
+        name: "s1238a",
+        family: "Moore machine + LFSR",
+        sequential: true,
+    },
+    CircuitSpec {
+        name: "s9234a",
+        family: "large Moore machine + counter + LFSR",
+        sequential: true,
+    },
 ];
 
 /// Error returned by [`generate`] for unknown circuit names.

@@ -48,6 +48,12 @@ pub enum NetlistError {
         /// The missing id.
         gate: GateId,
     },
+    /// An operation that requires a purely combinational netlist was given
+    /// one containing DFFs (see [`crate::Netlist::ensure_combinational`]).
+    Sequential {
+        /// Number of DFF gates found.
+        dffs: usize,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -57,7 +63,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "gate {gate} references nonexistent fanin {fanin}")
             }
             NetlistError::BadArity { gate, kind, found } => {
-                write!(f, "gate {gate} of kind {kind} has invalid fanin count {found}")
+                write!(
+                    f,
+                    "gate {gate} of kind {kind} has invalid fanin count {found}"
+                )
             }
             NetlistError::CombinationalCycle { gate } => {
                 write!(f, "combinational cycle through gate {gate}")
@@ -71,6 +80,12 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::UnknownGate { gate } => {
                 write!(f, "unknown gate {gate}")
+            }
+            NetlistError::Sequential { dffs } => {
+                write!(
+                    f,
+                    "netlist is sequential ({dffs} DFFs); unroll or scan-extract it first"
+                )
             }
         }
     }
@@ -89,7 +104,10 @@ mod tests {
             kind: GateKind::Not,
             found: 2,
         };
-        assert_eq!(e.to_string(), "gate n3 of kind NOT has invalid fanin count 2");
+        assert_eq!(
+            e.to_string(),
+            "gate n3 of kind NOT has invalid fanin count 2"
+        );
         let e = NetlistError::ParseBench {
             line: 7,
             reason: "bad token".into(),

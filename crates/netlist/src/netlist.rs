@@ -160,6 +160,22 @@ impl Netlist {
         self.gates.iter().all(|g| g.kind() != GateKind::Dff)
     }
 
+    /// Errors with [`NetlistError::Sequential`] unless the netlist is
+    /// purely combinational — the precondition checked by consumers (such
+    /// as the rectification engine) that have no time-frame model.
+    pub fn ensure_combinational(&self) -> Result<(), NetlistError> {
+        let dffs = self
+            .gates
+            .iter()
+            .filter(|g| g.kind() == GateKind::Dff)
+            .count();
+        if dffs == 0 {
+            Ok(())
+        } else {
+            Err(NetlistError::Sequential { dffs })
+        }
+    }
+
     /// The transitive fanout cone of `id` (including `id`), as a bit set.
     /// The cone does not propagate through DFFs: a DFF output does not
     /// change combinationally when its data input does.
@@ -255,7 +271,11 @@ impl Netlist {
     /// # Errors
     ///
     /// Returns an error if a fanin is out of range or the arity is invalid.
-    pub fn append_gate(&mut self, kind: GateKind, fanins: Vec<GateId>) -> Result<GateId, NetlistError> {
+    pub fn append_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: Vec<GateId>,
+    ) -> Result<GateId, NetlistError> {
         let id = GateId::from_index(self.len());
         let (lo, hi) = kind.arity();
         if fanins.len() < lo || fanins.len() > hi {
@@ -734,6 +754,21 @@ mod tests {
         assert_eq!(n.dffs(), vec![q]);
         // Fanout cone stops at the DFF.
         assert_eq!(n.fanout_cone(d).len(), 1);
+    }
+
+    #[test]
+    fn ensure_combinational_reports_dff_count() {
+        assert_eq!(tiny().ensure_combinational(), Ok(()));
+        let mut b = Netlist::builder();
+        let a = b.add_input("a");
+        let q1 = b.add_gate(GateKind::Dff, vec![a]);
+        let q2 = b.add_gate(GateKind::Dff, vec![q1]);
+        b.add_output(q2);
+        let n = b.build().expect("valid sequential netlist");
+        assert_eq!(
+            n.ensure_combinational(),
+            Err(NetlistError::Sequential { dffs: 2 })
+        );
     }
 
     #[test]

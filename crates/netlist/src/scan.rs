@@ -98,7 +98,8 @@ mod tests {
 
     #[test]
     fn multiple_dffs_in_id_order() {
-        let src = "INPUT(x)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NAND(x, q1)\nd1 = NOR(q0, x)\n";
+        let src =
+            "INPUT(x)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NAND(x, q1)\nd1 = NOR(q0, x)\n";
         let n = parse_bench(src).unwrap();
         let (core, info) = scan_convert(&n).unwrap();
         assert!(core.is_combinational());

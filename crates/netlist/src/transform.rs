@@ -146,10 +146,9 @@ mod tests {
         let n =
             parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XNOR(a, b, c)\n").unwrap();
         let m = expand_xor_to_nand(&n).unwrap();
-        assert!(m.iter().all(|(_, g)| !matches!(
-            g.kind(),
-            GateKind::Xor | GateKind::Xnor
-        )));
+        assert!(m
+            .iter()
+            .all(|(_, g)| !matches!(g.kind(), GateKind::Xor | GateKind::Xnor)));
         for bits in 0..8u32 {
             let iv = vec![bits & 1 == 1, bits & 2 == 2, bits & 4 == 4];
             assert_eq!(eval_naive(&n, &iv), eval_naive(&m, &iv), "inputs {iv:?}");

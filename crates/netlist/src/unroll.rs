@@ -192,7 +192,7 @@ mod tests {
         assert!(comb.is_combinational());
         assert_eq!(info.initial_state_inputs.len(), 2);
         assert_eq!(comb.inputs().len(), 2); // only the initial state
-        // Frame outputs: 2 POs per frame × 4 frames + 2 final-state POs.
+                                            // Frame outputs: 2 POs per frame × 4 frames + 2 final-state POs.
         assert_eq!(comb.outputs().len(), 10);
         // Evaluate scalar from state 00: frames show 00,01,10,11.
         let mut vals = vec![false; comb.len()];
@@ -206,7 +206,9 @@ mod tests {
             vals[id.index()] = g.kind().eval(&f);
         }
         let po: Vec<bool> = comb.outputs().iter().map(|o| vals[o.index()]).collect();
-        let states: Vec<u8> = (0..4).map(|f| (po[2 * f] as u8) | (po[2 * f + 1] as u8) << 1).collect();
+        let states: Vec<u8> = (0..4)
+            .map(|f| (po[2 * f] as u8) | (po[2 * f + 1] as u8) << 1)
+            .collect();
         assert_eq!(states, vec![0, 1, 2, 3]);
         // Final next-state = 00 (wraps).
         assert!(!po[8] && !po[9]);

@@ -23,7 +23,8 @@ fn arb_netlist() -> impl Strategy<Value = Netlist> {
         let gate = (kinds, prop::collection::vec(0usize..1000, 1..4));
         prop::collection::vec(gate, gates).prop_map(move |descs| {
             let mut b = Netlist::builder();
-            let mut signals: Vec<GateId> = (0..inputs).map(|i| b.add_input(format!("i{i}"))).collect();
+            let mut signals: Vec<GateId> =
+                (0..inputs).map(|i| b.add_input(format!("i{i}"))).collect();
             for (kind, picks) in descs {
                 let nf = match kind {
                     GateKind::Not | GateKind::Buf => 1,

@@ -61,7 +61,11 @@ pub fn propagate_constants(netlist: &Netlist) -> Netlist {
             GateKind::Buf | GateKind::Not => {
                 if let Some(v) = const_of(&rw, rw.fanins[i][0]) {
                     let out = v ^ (kind == GateKind::Not);
-                    rw.kinds[i] = if out { GateKind::Const1 } else { GateKind::Const0 };
+                    rw.kinds[i] = if out {
+                        GateKind::Const1
+                    } else {
+                        GateKind::Const0
+                    };
                     rw.fanins[i].clear();
                 }
             }
@@ -84,15 +88,27 @@ pub fn propagate_constants(netlist: &Netlist) -> Netlist {
                     // AND-family: controlled output is the controlling
                     // value (0), possibly inverted; OR-family dually (1).
                     let out = controlling ^ inverting;
-                    rw.kinds[i] = if out { GateKind::Const1 } else { GateKind::Const0 };
+                    rw.kinds[i] = if out {
+                        GateKind::Const1
+                    } else {
+                        GateKind::Const0
+                    };
                     rw.fanins[i].clear();
                 } else if kept.is_empty() {
                     // All identity: AND() = 1, OR() = 0 (then inversion).
                     let out = !controlling ^ inverting;
-                    rw.kinds[i] = if out { GateKind::Const1 } else { GateKind::Const0 };
+                    rw.kinds[i] = if out {
+                        GateKind::Const1
+                    } else {
+                        GateKind::Const0
+                    };
                     rw.fanins[i].clear();
                 } else if kept.len() == 1 {
-                    rw.kinds[i] = if inverting { GateKind::Not } else { GateKind::Buf };
+                    rw.kinds[i] = if inverting {
+                        GateKind::Not
+                    } else {
+                        GateKind::Buf
+                    };
                     rw.fanins[i] = kept;
                 } else {
                     rw.fanins[i] = kept;
@@ -110,7 +126,11 @@ pub fn propagate_constants(netlist: &Netlist) -> Netlist {
                 }
                 match kept.len() {
                     0 => {
-                        rw.kinds[i] = if invert { GateKind::Const1 } else { GateKind::Const0 };
+                        rw.kinds[i] = if invert {
+                            GateKind::Const1
+                        } else {
+                            GateKind::Const0
+                        };
                         rw.fanins[i].clear();
                     }
                     1 => {
@@ -118,7 +138,11 @@ pub fn propagate_constants(netlist: &Netlist) -> Netlist {
                         rw.fanins[i] = kept;
                     }
                     _ => {
-                        rw.kinds[i] = if invert { GateKind::Xnor } else { GateKind::Xor };
+                        rw.kinds[i] = if invert {
+                            GateKind::Xnor
+                        } else {
+                            GateKind::Xor
+                        };
                         rw.fanins[i] = kept;
                     }
                 }
@@ -404,10 +428,8 @@ mod tests {
 
     #[test]
     fn sweep_removes_dead_logic_keeps_pis() {
-        let n = parse_bench(
-            "INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ndead = NOT(a)\ny = BUF(a)\n",
-        )
-        .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(unused)\nOUTPUT(y)\ndead = NOT(a)\ny = BUF(a)\n").unwrap();
         let (m, removed) = sweep_dead(&n);
         assert_eq!(removed, 1);
         assert_eq!(m.inputs().len(), 2, "unused PI survives");
@@ -418,8 +440,8 @@ mod tests {
     #[test]
     fn redundancy_removal_simplifies_or_absorption() {
         // y = a OR (a AND b) == a: the AND is redundant.
-        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n")
-            .unwrap();
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, x)\n").unwrap();
         let r = optimize_for_area(&n, &OptConfig::default());
         assert!(r.redundancies_removed >= 1);
         assert!(r.netlist.len() < n.len());

@@ -68,7 +68,8 @@ impl Rewrite {
         for o in self.outputs {
             b.add_output(o);
         }
-        b.build().expect("optimizer pass produced an invalid netlist")
+        b.build()
+            .expect("optimizer pass produced an invalid netlist")
     }
 }
 
@@ -79,8 +80,7 @@ mod tests {
 
     #[test]
     fn roundtrip_is_identity() {
-        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = NOT(x)\n")
-            .unwrap();
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = NOT(x)\n").unwrap();
         let m = Rewrite::of(&n).finish();
         assert_eq!(m.len(), n.len());
         for (id, g) in n.iter() {
@@ -93,8 +93,7 @@ mod tests {
 
     #[test]
     fn substitute_rewires_fanins_and_outputs() {
-        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = BUF(a)\ny = AND(x, b)\n")
-            .unwrap();
+        let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = BUF(a)\ny = AND(x, b)\n").unwrap();
         let a = n.find_by_name("a").unwrap();
         let x = n.find_by_name("x").unwrap();
         let mut rw = Rewrite::of(&n);

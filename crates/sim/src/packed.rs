@@ -350,6 +350,15 @@ impl PackedMatrix {
         &self.data[s..s + self.words_per_row]
     }
 
+    /// Read access to row `r`, or `None` when `r` is out of range — the
+    /// non-panicking form of [`PackedMatrix::row`] for callers validating
+    /// matrices of unknown shape.
+    #[inline]
+    pub fn row_checked(&self, r: usize) -> Option<&[u64]> {
+        let s = r.checked_mul(self.words_per_row)?;
+        self.data.get(s..s + self.words_per_row)
+    }
+
     /// Write access to row `r`.
     ///
     /// # Panics
@@ -444,6 +453,16 @@ mod tests {
         b.set(64, false);
         assert_eq!(b.count_ones(), 2);
         assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn row_checked_is_row_in_bounds_and_none_past_the_end() {
+        let mut m = PackedMatrix::new(3, 70);
+        m.row_mut(2)[1] = 0b10;
+        assert_eq!(m.row_checked(2), Some(m.row(2)));
+        assert_eq!(m.row_checked(0), Some(m.row(0)));
+        assert!(m.row_checked(3).is_none());
+        assert!(m.row_checked(usize::MAX).is_none());
     }
 
     #[test]

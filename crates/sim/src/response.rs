@@ -158,10 +158,9 @@ mod tests {
         let good =
             parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(a, b)\n")
                 .unwrap();
-        let bad = parse_bench(
-            "INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = AND(a, b)\ny = XOR(a, b)\n",
-        )
-        .unwrap();
+        let bad =
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(x)\nOUTPUT(y)\nx = AND(a, b)\ny = XOR(a, b)\n")
+                .unwrap();
         let pi = exhaustive_pi(2);
         let mut sim = Simulator::new();
         let spec = Response::capture(&good, &sim.run(&good, &pi));
@@ -175,8 +174,7 @@ mod tests {
 
     #[test]
     fn failing_vector_counted_once_even_with_multiple_bad_pos() {
-        let good =
-            parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = BUF(a)\ny = BUF(a)\n").unwrap();
+        let good = parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = BUF(a)\ny = BUF(a)\n").unwrap();
         let bad = parse_bench("INPUT(a)\nOUTPUT(x)\nOUTPUT(y)\nx = NOT(a)\ny = NOT(a)\n").unwrap();
         let pi = exhaustive_pi(1);
         let mut sim = Simulator::new();

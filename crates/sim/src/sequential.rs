@@ -61,7 +61,11 @@ impl SequentialSimulator {
     /// Panics if `dff` is not a DFF of the netlist this simulator was
     /// created for, or the vector counts disagree.
     pub fn set_state(&mut self, dff: GateId, value: &PackedBits) {
-        assert_eq!(value.num_vectors(), self.num_vectors, "vector count mismatch");
+        assert_eq!(
+            value.num_vectors(),
+            self.num_vectors,
+            "vector count mismatch"
+        );
         let slot = self
             .state
             .iter_mut()
@@ -98,7 +102,11 @@ impl SequentialSimulator {
             netlist.inputs().len(),
             "one row per primary input required"
         );
-        assert_eq!(pi_values.num_vectors(), self.num_vectors, "vector count mismatch");
+        assert_eq!(
+            pi_values.num_vectors(),
+            self.num_vectors,
+            "vector count mismatch"
+        );
         let mut vals = PackedMatrix::new(netlist.len(), self.num_vectors);
         for (i, &pi) in netlist.inputs().iter().enumerate() {
             vals.row_mut(pi.index()).copy_from_slice(pi_values.row(i));
@@ -130,7 +138,8 @@ mod tests {
     #[test]
     fn two_bit_counter_counts() {
         // q1 q0 counts 00,01,10,11,00,... : d0 = !q0; d1 = q1 ^ q0.
-        let src = "OUTPUT(q0)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NOT(q0)\nd1 = XOR(q1, q0)\n";
+        let src =
+            "OUTPUT(q0)\nOUTPUT(q1)\nq0 = DFF(d0)\nq1 = DFF(d1)\nd0 = NOT(q0)\nd1 = XOR(q1, q0)\n";
         let n = parse_bench(src).unwrap();
         let mut sim = SequentialSimulator::new(&n, 1);
         let empty = PackedMatrix::new(0, 1);

@@ -36,7 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Rectify the good netlist toward the device with design-error
     // corrections (two suffice for a wired bridge).
-    let result = Rectifier::new(golden.clone(), vectors.clone(), device.clone(), RectifyConfig::dedc(2)).run();
+    let result = Rectifier::new(
+        golden.clone(),
+        vectors.clone(),
+        device.clone(),
+        RectifyConfig::dedc(2),
+    )?
+    .run();
     let solution = result.solutions.first().expect("bridge is modelable");
     println!("bridge model found ({} nodes):", result.stats.nodes);
     for c in &solution.corrections {
@@ -55,8 +61,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(check.matches());
     println!("verified: the corrections reproduce the bridged device bit-exactly");
-    println!(
-        "(the shorted lines {a} and {b} appear as the insertion targets/operands)"
-    );
+    println!("(the shorted lines {a} and {b} appear as the insertion targets/operands)");
     Ok(())
 }

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vectors.clone(),
         spec.clone(),
         RectifyConfig::dedc(3),
-    )
+    )?
     .run();
     let elapsed = started.elapsed();
 

@@ -73,13 +73,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &sim.run(&partially_fixed, &vectors),
         &spec,
     );
-    println!("after the second fix: {} failing vectors", after.num_failing());
+    println!(
+        "after the second fix: {} failing vectors",
+        after.num_failing()
+    );
     assert!(after.matches());
 
     // The engine handles this automatically — its h3 screen admits the
     // intermediate correction because the relaxation ladder permits a
     // bounded number of new erroneous vectors.
-    let result = Rectifier::new(design, vectors, spec, RectifyConfig::dedc(2)).run();
+    let result = Rectifier::new(design, vectors, spec, RectifyConfig::dedc(2))?.run();
     let solution = result.solutions.first().expect("engine solves Fig. 1");
     println!("\nengine's tuple ({} nodes explored):", result.stats.nodes);
     for correction in &solution.corrections {

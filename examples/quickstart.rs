@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Diagnose and correct (single-error DEDC configuration).
-    let result = Rectifier::new(design.clone(), vectors.clone(), spec.clone(), RectifyConfig::dedc(1)).run();
+    let result = Rectifier::new(
+        design.clone(),
+        vectors.clone(),
+        spec.clone(),
+        RectifyConfig::dedc(1),
+    )?
+    .run();
     let solution = result
         .solutions
         .first()
@@ -48,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for correction in &solution.corrections {
         correction.apply(&mut fixed)?;
     }
-    let after = Response::compare(&fixed, &sim.run_for_inputs(&fixed, design.inputs(), &vectors), &spec);
+    let after = Response::compare(
+        &fixed,
+        &sim.run_for_inputs(&fixed, design.inputs(), &vectors),
+        &spec,
+    );
     println!(
         "after correction: {} failing vectors ({} tree nodes explored)",
         after.num_failing(),

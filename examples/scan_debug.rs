@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vectors,
         device,
         RectifyConfig::stuck_at_exhaustive(1),
-    )
+    )?
     .run();
     println!(
         "{} equivalent single-fault explanation(s) across {} site(s):",

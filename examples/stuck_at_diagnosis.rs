@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vectors,
         device,
         RectifyConfig::stuck_at_exhaustive(2),
-    )
+    )?
     .run();
 
     println!(
@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     injected.sort();
     for solution in &result.solutions {
         let tuple = solution.stuck_at_tuple().expect("stuck-at run");
-        let marker = if tuple == injected { "  <-- the injected tuple" } else { "" };
+        let marker = if tuple == injected {
+            "  <-- the injected tuple"
+        } else {
+            ""
+        };
         let rendered: Vec<String> = tuple.iter().map(ToString::to_string).collect();
         println!("  {{{}}}{marker}", rendered.join(", "));
     }

@@ -13,24 +13,36 @@
 # modes traverse identical trees and the words ratio compares equal work —
 # a clock-truncated run would only compare throughput.
 #
-# Environment overrides (defaults reproduce the committed benchmark):
+# A second mode, `BENCH_MODE=traversal`, benchmarks the decision-tree
+# traversal strategies instead: it runs the ablation_traversal workload
+# (3-error DEDC) once per strategy (bfs, dfs, naive-bfs, best-first) and
+# aggregates nodes expanded and engine wall time per (circuit, strategy)
+# into BENCH_traversal.json.
+#
+# Environment overrides (defaults reproduce the committed benchmarks):
+#   BENCH_MODE         incremental | traversal          (default incremental)
 #   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a)
 #   BENCH_EXPERIMENTS  space-separated subset to run    (default "table1 fig2_rounds")
-#   BENCH_TRIALS       trials per table1 cell           (default 1)
+#   BENCH_TRIALS       trials per cell                  (default 1)
 #   BENCH_VECTORS      test vectors per run             (default 1024)
 #   BENCH_SEED         master seed                      (default 2002)
 #   BENCH_TIME_LIMIT   per-run limit, seconds           (default 600)
-#   BENCH_OUT          output path                      (default BENCH_incremental.json)
+#   BENCH_OUT          output path (default BENCH_<mode>.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+MODE="${BENCH_MODE:-incremental}"
 CIRCUITS="${BENCH_CIRCUITS:-c432a,c880a}"
 EXPERIMENTS="${BENCH_EXPERIMENTS:-table1 fig2_rounds}"
 TRIALS="${BENCH_TRIALS:-1}"
 VECTORS="${BENCH_VECTORS:-1024}"
 SEED="${BENCH_SEED:-2002}"
 TIME_LIMIT="${BENCH_TIME_LIMIT:-600}"
-OUT="${BENCH_OUT:-BENCH_incremental.json}"
+case "$MODE" in
+    incremental) OUT="${BENCH_OUT:-BENCH_incremental.json}" ;;
+    traversal)   OUT="${BENCH_OUT:-BENCH_traversal.json}" ;;
+    *) echo "unknown BENCH_MODE $MODE (incremental|traversal)" >&2; exit 2 ;;
+esac
 
 echo "==> build (release)"
 cargo build --release -p incdx-bench
@@ -38,6 +50,68 @@ cargo build --release -p incdx-bench
 bin=target/release
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+
+if [ "$MODE" = traversal ]; then
+    # One ablation_traversal invocation runs every strategy on every
+    # circuit; the per-run JSON records carry the strategy in their label
+    # (ablation_traversal/<circuit>/<strategy>/t<trial>).
+    log="$tmp/traversal.jsonl"
+    echo "==> ablation_traversal (all strategies)"
+    "$bin/ablation_traversal" --circuits "$CIRCUITS" --trials "$TRIALS" \
+        --vectors "$VECTORS" --seed "$SEED" --time-limit "$TIME_LIMIT" \
+        --json | grep '"report":"rectify"' > "$log"
+
+    # Per (circuit, strategy): summed nodes expanded and engine seconds
+    # (diagnosis + correction phases — the search itself, not setup).
+    awk '{
+        if (match($0, /"label":"[^"]*"/)) {
+            label = substr($0, RSTART + 9, RLENGTH - 10)
+            split(label, p, "/")
+        }
+        nodes = dt = ct = 0
+        if (match($0, /"nodes":[0-9]+/)) {
+            s = substr($0, RSTART, RLENGTH); sub(/.*:/, "", s); nodes = s + 0
+        }
+        if (match($0, /"diagnosis":[0-9.]+/)) {
+            s = substr($0, RSTART, RLENGTH); sub(/.*:/, "", s); dt = s + 0
+        }
+        if (match($0, /"correction":[0-9.]+/)) {
+            s = substr($0, RSTART, RLENGTH); sub(/.*:/, "", s); ct = s + 0
+        }
+        key = p[2] "/" p[3]
+        n[key] += nodes; t[key] += dt + ct; solved[key] += ($0 ~ /"solutions":0/) ? 0 : 1
+        runs[key]++
+    } END {
+        for (k in n) printf "%s %d %.6f %d %d\n", k, n[k], t[k], solved[k], runs[k]
+    }' "$log" | sort > "$tmp/traversal.agg"
+
+    {
+        printf '{"bench":"traversal_strategies","seed":%s,"trials":%s,"vectors":%s' \
+            "$SEED" "$TRIALS" "$VECTORS"
+        printf ',"circuits":['
+        first_ckt=1
+        for ckt in ${CIRCUITS//,/ }; do
+            [ "$first_ckt" -eq 1 ] || printf ','
+            first_ckt=0
+            printf '{"circuit":"%s","strategies":[' "$ckt"
+            first_strat=1
+            for strat in bfs dfs naive-bfs best-first; do
+                line="$(awk -v k="$ckt/$strat" '$1==k' "$tmp/traversal.agg")"
+                [ -n "$line" ] || continue
+                read -r _ nodes secs solved runs <<< "$line"
+                [ "$first_strat" -eq 1 ] || printf ','
+                first_strat=0
+                printf '{"traversal":"%s","nodes":%s,"engine_s":%s,"solved":%s,"runs":%s}' \
+                    "$strat" "$nodes" "$secs" "$solved" "$runs"
+                echo "    $ckt/$strat: nodes=$nodes engine_s=$secs solved=$solved/$runs" >&2
+            done
+            printf ']}'
+        done
+        printf ']}\n'
+    } > "$OUT"
+    echo "wrote $OUT"
+    exit 0
+fi
 
 # Runs one experiment binary in one mode, capturing its JSON records and
 # wall time. $1=experiment $2=mode(full|incremental) $3=extra flag

@@ -5,6 +5,34 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# First-party packages (the third_party/ vendored crates are workspace
+# members too, so formatting must be scoped per package).
+FMT_PACKAGES=(incdx incdx-atpg incdx-bench incdx-core incdx-fault
+    incdx-gen incdx-netlist incdx-opt incdx-sim)
+
+fmt_args=()
+for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
+
+echo "==> rustfmt (first-party packages, --check)"
+cargo fmt --check "${fmt_args[@]}"
+
+echo "==> panic-free core: no unwrap/expect/panic in incdx-core non-test code"
+panic_hits="$(
+    for f in crates/core/src/*.rs; do
+        # Strip the in-file test module (first `#[cfg(test)]` to EOF) and
+        # comment lines, then look for panicking constructs.
+        awk '/^#\[cfg\(test\)\]/ { exit } { print FILENAME ":" FNR ": " $0 }' "$f"
+    done \
+    | grep -vE '^[^:]+:[0-9]+: *(//|//!|///)' \
+    | grep -E '\.unwrap\(|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\(' \
+    || true
+)"
+if [ -n "$panic_hits" ]; then
+    echo "panicking construct reachable from incdx-core public API:" >&2
+    echo "$panic_hits" >&2
+    exit 1
+fi
+
 echo "==> build (release, all targets)"
 cargo build --workspace --release --all-targets
 
@@ -22,6 +50,13 @@ out="$(cargo run -p incdx-bench --release --bin table2 -- \
     --circuits c432a --trials 1 --vectors 256 --time-limit 5 2>/dev/null)"
 echo "$out" | grep -q '"report":"rectify"' \
     || { echo "table2 emitted no RectifyReport JSON" >&2; exit 1; }
+
+echo "==> smoke: best-first traversal"
+bf_out="$(cargo run -p incdx-bench --release --bin ablation_traversal -- \
+    --traversal best-first --circuits c432a --trials 1 --vectors 256 \
+    --time-limit 10 --json 2>/dev/null)"
+echo "$bf_out" | grep -q '"traversal":"best-first"' \
+    || { echo "ablation_traversal --traversal best-first emitted no report" >&2; exit 1; }
 
 echo "==> smoke: incremental resimulation bench"
 bench_out="$(mktemp)"

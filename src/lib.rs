@@ -32,7 +32,7 @@
 //! let spec = Response::capture(&spec_nl, &sim.run(&spec_nl, &vectors));
 //!
 //! // Diagnose and correct.
-//! let result = Rectifier::new(design, vectors, spec, RectifyConfig::dedc(1)).run();
+//! let result = Rectifier::new(design, vectors, spec, RectifyConfig::dedc(1))?.run();
 //! assert!(!result.solutions.is_empty());
 //! # Ok(())
 //! # }

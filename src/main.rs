@@ -23,7 +23,9 @@ use rand::rngs::StdRng;
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
-        eprintln!("usage: incdx <stats|generate|optimize|atpg|inject|diagnose|dedc> ... (see --help)");
+        eprintln!(
+            "usage: incdx <stats|generate|optimize|atpg|inject|diagnose|dedc> ... (see --help)"
+        );
         return ExitCode::from(2);
     };
     let rest = &argv[1..];
@@ -113,8 +115,7 @@ fn num(s: &str) -> Result<usize, String> {
 }
 
 fn load(path: &str) -> Result<Netlist, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     parse_bench(&text).map_err(|e| format!("`{path}`: {e}"))
 }
 
@@ -124,7 +125,9 @@ fn load_comb(path: &str) -> Result<Netlist, String> {
         Ok(n)
     } else {
         eprintln!("note: `{path}` is sequential; using its full-scan combinational core");
-        scan_convert(&n).map(|(core, _)| core).map_err(|e| e.to_string())
+        scan_convert(&n)
+            .map(|(core, _)| core)
+            .map_err(|e| e.to_string())
     }
 }
 
@@ -298,9 +301,13 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         device,
         RectifyConfig::stuck_at_exhaustive(k),
     )
+    .map_err(|e| e.to_string())?
     .run();
     if result.solutions.len() == 1 && result.solutions[0].corrections.is_empty() {
-        println!("device matches the golden circuit on all {} vectors", flags.vectors);
+        println!(
+            "device matches the golden circuit on all {} vectors",
+            flags.vectors
+        );
         return Ok(());
     }
     println!(
@@ -309,7 +316,11 @@ fn cmd_diagnose(args: &[String]) -> Result<(), String> {
         result.solutions.len(),
         result.distinct_sites(),
         result.stats.nodes,
-        if result.stats.truncated { ", budget hit" } else { "" },
+        if result.stats.truncated {
+            ", budget hit"
+        } else {
+            ""
+        },
     );
     for solution in &result.solutions {
         let tuple = solution.stuck_at_tuple().expect("stuck-at mode");
@@ -343,7 +354,14 @@ fn cmd_dedc(args: &[String]) -> Result<(), String> {
     let mut sim = Simulator::new();
     let spec = Response::capture(&spec_netlist, &sim.run(&spec_netlist, &pi));
     let k = flags.errors.unwrap_or(3);
-    let result = Rectifier::new(design.clone(), pi.clone(), spec.clone(), RectifyConfig::dedc(k)).run();
+    let result = Rectifier::new(
+        design.clone(),
+        pi.clone(),
+        spec.clone(),
+        RectifyConfig::dedc(k),
+    )
+    .map_err(|e| e.to_string())?
+    .run();
     let Some(solution) = result.solutions.first() else {
         println!(
             "no correction tuple of size <= {k} found ({} nodes explored); \
@@ -353,7 +371,10 @@ fn cmd_dedc(args: &[String]) -> Result<(), String> {
         return Ok(());
     };
     if solution.corrections.is_empty() {
-        println!("design already matches the spec on all {} vectors", flags.vectors);
+        println!(
+            "design already matches the spec on all {} vectors",
+            flags.vectors
+        );
         return Ok(());
     }
     println!(

@@ -29,6 +29,7 @@ fn run_dedc(circuit: &str, errors: usize, seed: u64, vectors: usize) -> bool {
         spec.clone(),
         RectifyConfig::dedc(errors),
     )
+    .unwrap()
     .run();
     let Some(solution) = result.solutions.first() else {
         return false;
@@ -95,7 +96,9 @@ fn returned_corrections_stay_inside_the_error_model() {
     let pi = PackedMatrix::random(golden.inputs().len(), 32, &mut vec_rng);
     let mut sim = Simulator::new();
     let spec = Response::capture(&golden, &sim.run(&golden, &pi));
-    let result = Rectifier::new(injection.corrupted, pi, spec, RectifyConfig::dedc(1)).run();
+    let result = Rectifier::new(injection.corrupted, pi, spec, RectifyConfig::dedc(1))
+        .unwrap()
+        .run();
     for sol in &result.solutions {
         for c in &sol.corrections {
             assert!(

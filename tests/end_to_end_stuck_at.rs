@@ -73,8 +73,12 @@ fn run_case(circuit: &str, faults: usize, seed: u64, vectors: usize) {
         device.clone(),
         RectifyConfig::stuck_at_exhaustive(faults),
     )
+    .unwrap()
     .run();
-    assert!(!result.solutions.is_empty(), "{circuit}/{faults}: no tuples");
+    assert!(
+        !result.solutions.is_empty(),
+        "{circuit}/{faults}: no tuples"
+    );
     verify_tuples(&golden, &device, &pi, &result);
     // The actual injected tuple (or a strict subset, under masking) must
     // be among the answers.
@@ -139,6 +143,7 @@ fn single_fault_on_optimized_alu() {
         device.clone(),
         RectifyConfig::stuck_at_exhaustive(1),
     )
+    .unwrap()
     .run();
     verify_tuples(&golden, &device, &pi, &result);
     let mut injected = injection.injected.clone();
@@ -156,7 +161,9 @@ fn consistent_device_yields_empty_tuple() {
     let pi = PackedMatrix::random(golden.inputs().len(), 64, &mut rng);
     let mut sim = Simulator::new();
     let device = Response::capture(&golden, &sim.run(&golden, &pi));
-    let result = Rectifier::new(golden, pi, device, RectifyConfig::stuck_at_exhaustive(2)).run();
+    let result = Rectifier::new(golden, pi, device, RectifyConfig::stuck_at_exhaustive(2))
+        .unwrap()
+        .run();
     assert_eq!(result.solutions.len(), 1);
     assert!(result.solutions[0].corrections.is_empty());
 }

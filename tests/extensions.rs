@@ -47,9 +47,14 @@ fn wired_bridge_is_modeled_by_two_insert_gate_corrections() {
                 continue; // bridge not excited
             }
         }
-        let result =
-            Rectifier::new(golden.clone(), pi.clone(), device.clone(), RectifyConfig::dedc(2))
-                .run();
+        let result = Rectifier::new(
+            golden.clone(),
+            pi.clone(),
+            device.clone(),
+            RectifyConfig::dedc(2),
+        )
+        .unwrap()
+        .run();
         let Some(solution) = result.solutions.first() else {
             continue;
         };
@@ -65,7 +70,10 @@ fn wired_bridge_is_modeled_by_two_insert_gate_corrections() {
         assert!(check.matches(), "seed {seed}: claimed model must verify");
         found += 1;
     }
-    assert!(found >= 3, "bridge modelling must succeed on most seeds, got {found}");
+    assert!(
+        found >= 3,
+        "bridge modelling must succeed on most seeds, got {found}"
+    );
 }
 
 /// Partial scan: unroll a machine with one unscanned DFF over a few
@@ -116,8 +124,12 @@ fn partial_scan_diagnosis_through_time_frame_expansion() {
         device.clone(),
         RectifyConfig::stuck_at_exhaustive(3),
     )
+    .unwrap()
     .run();
-    assert!(!result.solutions.is_empty(), "unrolled diagnosis must resolve");
+    assert!(
+        !result.solutions.is_empty(),
+        "unrolled diagnosis must resolve"
+    );
     // Every returned tuple must itself explain the device behaviour (they
     // may sit on equivalent lines rather than the replicas).
     for solution in &result.solutions {

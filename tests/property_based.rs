@@ -167,6 +167,7 @@ proptest! {
             spec.clone(),
             RectifyConfig::dedc(1),
         )
+        .unwrap()
         .run();
         prop_assert!(!result.solutions.is_empty(), "error {:?}", injection.injected);
         let mut fixed = injection.corrupted.clone();

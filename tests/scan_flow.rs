@@ -45,7 +45,11 @@ fn scan_core_agrees_with_sequential_step() {
     // Every real PO and every next-state bit must agree with the frame.
     for &o in machine.outputs() {
         for v in 0..nv {
-            assert_eq!(vals.get(o.index(), v), frame.get(o.index(), v), "PO {o} v{v}");
+            assert_eq!(
+                vals.get(o.index(), v),
+                frame.get(o.index(), v),
+                "PO {o} v{v}"
+            );
         }
     }
     for (&dff, &d) in scan.pseudo_inputs.iter().zip(&scan.pseudo_outputs) {
@@ -82,7 +86,9 @@ fn diagnosis_on_scan_core_recovers_injected_fault() {
         &injection.corrupted,
         &sim.run_for_inputs(&injection.corrupted, core.inputs(), &pi),
     );
-    let result = Rectifier::new(core, pi, device, RectifyConfig::stuck_at_exhaustive(1)).run();
+    let result = Rectifier::new(core, pi, device, RectifyConfig::stuck_at_exhaustive(1))
+        .unwrap()
+        .run();
     let mut injected = injection.injected.clone();
     injected.sort();
     assert!(result
@@ -97,7 +103,12 @@ fn every_sequential_suite_entry_scan_converts_and_simulates() {
         let machine = generate(spec.name).unwrap();
         let (core, scan) = scan_convert(&machine).unwrap();
         assert!(core.is_combinational(), "{}", spec.name);
-        assert_eq!(scan.pseudo_inputs.len(), machine.dffs().len(), "{}", spec.name);
+        assert_eq!(
+            scan.pseudo_inputs.len(),
+            machine.dffs().len(),
+            "{}",
+            spec.name
+        );
         let mut rng = StdRng::seed_from_u64(99);
         let pi = PackedMatrix::random(core.inputs().len(), 64, &mut rng);
         let mut sim = Simulator::new();
