@@ -31,6 +31,10 @@ pub struct Args {
     /// bfs|dfs|naive-bfs|best-first`; `bfs` is the paper's round-robin
     /// default).
     pub traversal: TraversalKind,
+    /// Run the engine invariant audit (`--audit`): sampled from-scratch
+    /// replays of incremental node preparations plus end-of-run solution
+    /// verification, reported as the `audit` object of the JSON records.
+    pub audit: bool,
 }
 
 impl Default for Args {
@@ -47,6 +51,7 @@ impl Default for Args {
             json: true,
             incremental: true,
             traversal: TraversalKind::default(),
+            audit: false,
         }
     }
 }
@@ -76,6 +81,7 @@ impl Args {
                 "--no-json" => args.json = false,
                 "--incremental" => args.incremental = true,
                 "--no-incremental" => args.incremental = false,
+                "--audit" => args.audit = true,
                 "--traversal" => {
                     let v = value("--traversal");
                     args.traversal = v.parse().unwrap_or_else(|e| die(&format!("{e}")));
@@ -94,7 +100,7 @@ impl Args {
                     eprintln!(
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
                          --time-limit SECONDS --jobs N --json|--no-json \
-                         --incremental|--no-incremental \
+                         --incremental|--no-incremental --audit \
                          --traversal bfs|dfs|naive-bfs|best-first"
                     );
                     std::process::exit(0);
@@ -203,6 +209,12 @@ mod tests {
         assert!(Args::default().incremental, "incremental is the default");
         assert!(!Args::parse_from(["--no-incremental".to_string()]).incremental);
         assert!(Args::parse_from(["--incremental".to_string()]).incremental);
+    }
+
+    #[test]
+    fn audit_flag_is_opt_in() {
+        assert!(!Args::default().audit, "audit is off by default");
+        assert!(Args::parse_from(["--audit".to_string()]).audit);
     }
 
     #[test]

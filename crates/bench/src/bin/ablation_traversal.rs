@@ -49,6 +49,7 @@ fn main() {
                         args.time_limit,
                         args.incremental,
                         traversal,
+                        args.audit,
                     ) {
                         return Some(out);
                     }

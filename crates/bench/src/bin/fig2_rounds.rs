@@ -49,6 +49,7 @@ fn main() {
         config.time_limit = Some(args.time_limit);
         config.incremental = args.incremental;
         config.traversal = args.traversal;
+        config.audit = args.audit;
         // A single engine run at a time — parallelism goes inside the
         // screening stage rather than across trials.
         config.jobs = args.jobs;

@@ -61,6 +61,7 @@ fn main() {
                         args.time_limit,
                         args.incremental,
                         args.traversal,
+                        args.audit,
                     ) {
                         return Some(out);
                     }

@@ -55,6 +55,7 @@ fn main() {
                         args.time_limit,
                         args.incremental,
                         args.traversal,
+                        args.audit,
                     ) {
                         return Some(out);
                     }

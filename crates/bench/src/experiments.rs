@@ -64,6 +64,9 @@ pub struct StuckAtOutcome {
 /// reverts to full cone resimulation (bit-identical results, more
 /// simulated words). `traversal` picks the decision-tree scheduling
 /// policy ([`TraversalKind::default`] is the paper's round-robin BFS).
+/// `audit` turns on the engine invariant audit
+/// ([`RectifyConfig::audit`]): results are unchanged, and the run's
+/// check/violation counts land in [`RectifyStats`].
 #[allow(clippy::too_many_arguments)]
 pub fn stuck_at_trial(
     golden: &Netlist,
@@ -73,6 +76,7 @@ pub fn stuck_at_trial(
     time_limit: Duration,
     incremental: bool,
     traversal: TraversalKind,
+    audit: bool,
 ) -> Option<StuckAtOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_stuck_at_faults(
@@ -108,6 +112,7 @@ pub fn stuck_at_trial(
     config.time_limit = Some(time_limit);
     config.incremental = incremental;
     config.traversal = traversal;
+    config.audit = audit;
     let started = Instant::now();
     let mut engine = Rectifier::new(golden.clone(), pi, device, config).ok()?;
     let result = engine.run();
@@ -161,6 +166,7 @@ pub fn dedc_trial(
     time_limit: Duration,
     incremental: bool,
     traversal: TraversalKind,
+    audit: bool,
 ) -> Option<DedcOutcome> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_design_errors(
@@ -182,6 +188,7 @@ pub fn dedc_trial(
     config.time_limit = Some(time_limit);
     config.incremental = incremental;
     config.traversal = traversal;
+    config.audit = audit;
     let started = Instant::now();
     let mut engine = Rectifier::new(
         injection.corrupted.clone(),
@@ -247,6 +254,7 @@ mod tests {
             Duration::from_secs(20),
             true,
             TraversalKind::default(),
+            false,
         )
         .expect("injectable");
         assert!(out.tuples >= 1);
@@ -266,9 +274,12 @@ mod tests {
             Duration::from_secs(20),
             true,
             TraversalKind::default(),
+            true,
         )
         .expect("injectable");
         assert!(out.solved);
+        assert!(out.stats.audit_checks > 0, "audit layer ran");
+        assert_eq!(out.stats.audit_violations, 0, "c432a audits clean");
     }
 
     #[test]

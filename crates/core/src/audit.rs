@@ -1,0 +1,284 @@
+//! The opt-in engine invariant audit ([`RectifyConfig::audit`]).
+//!
+//! [`Auditing`] decorates any [`Evaluator`] and cross-checks what the
+//! backend produces against first principles:
+//!
+//! * **width consistency** — every prepared node's value matrix must
+//!   have one row per gate and cover exactly the run's vector set;
+//! * **structural sanity** — a corrected node circuit must stay acyclic
+//!   (corrections are cycle-screened upstream; a cycle here is an
+//!   engine bug);
+//! * **sampled replay** — every [`SAMPLE_STRIDE`]-th preparation is
+//!   rebuilt from the base circuit and fully resimulated on a private
+//!   simulator, and the matrices compared bit-for-bit. This is the
+//!   cache-coherence oracle for the incremental backend: a stale
+//!   [`NodeMatrixCache`](crate::cache::NodeMatrixCache) entry or a
+//!   mis-bounded cone propagation shows up as a matrix divergence.
+//!
+//! Checks are counted in [`SimCounters::audit_checks`] and failures in
+//! [`SimCounters::audit_violations`]; the session folds both into
+//! [`RectifyStats`](crate::RectifyStats) and the JSON reports. Audit
+//! simulation runs on a private [`Simulator`] excluded from the work
+//! counters, so an audited run reports the same `words_simulated`
+//! profile as a plain one. In debug builds a violation additionally
+//! fails fast via `debug_assert!`.
+//!
+//! [`RectifyConfig::audit`]: crate::RectifyConfig::audit
+
+use incdx_fault::Correction;
+use incdx_netlist::Netlist;
+use incdx_sim::{PackedMatrix, Simulator};
+
+use crate::evaluator::{EvalContext, Evaluator, PreparedNode, SimCounters};
+
+/// Every `SAMPLE_STRIDE`-th preparation is replayed from scratch. Small
+/// enough to exercise deep tuples, large enough that an audited run
+/// stays within a small multiple of the plain run's wall clock.
+const SAMPLE_STRIDE: u64 = 7;
+
+/// Evaluator decorator running the invariant checks described in the
+/// module docs. Wraps the configured backend (outermost, so it sees
+/// exactly what the engine sees) when [`RectifyConfig::audit`] is set.
+///
+/// [`RectifyConfig::audit`]: crate::RectifyConfig::audit
+#[derive(Debug)]
+pub struct Auditing {
+    inner: Box<dyn Evaluator>,
+    /// Private simulator for replays; its words are deliberately *not*
+    /// part of [`Evaluator::counters`] (see the module docs).
+    sim: Simulator,
+    prepares: u64,
+    checks: u64,
+    violations: u64,
+}
+
+impl Auditing {
+    /// Wraps `inner` in the audit layer.
+    pub fn new(inner: Box<dyn Evaluator>) -> Self {
+        Auditing {
+            inner,
+            sim: Simulator::new(),
+            prepares: 0,
+            checks: 0,
+            violations: 0,
+        }
+    }
+
+    fn violation(&mut self, what: &str) {
+        self.violations += 1;
+        debug_assert!(false, "audit: {what}");
+    }
+
+    fn check_prepared(
+        &mut self,
+        ctx: &EvalContext<'_>,
+        corrections: &[Correction],
+        node: &PreparedNode,
+    ) {
+        // Width consistency: a row per gate, a column set matching the
+        // vectors. The screening stages index the matrix by gate id and
+        // by vector word, so either mismatch corrupts the search.
+        self.checks += 1;
+        if node.vals.rows() < node.netlist.len()
+            || node.vals.num_vectors() != ctx.vectors.num_vectors()
+        {
+            self.violation("prepared matrix shape diverges from (gates × vectors)");
+        }
+        // Structural sanity of the corrected circuit.
+        self.checks += 1;
+        if !node.netlist.is_acyclic() {
+            self.violation("corrected node circuit is cyclic");
+        }
+        // Sampled replay against a from-scratch rebuild.
+        if self.prepares.is_multiple_of(SAMPLE_STRIDE) {
+            self.checks += 1;
+            if let Some(reference) = self.replay(ctx, corrections) {
+                let agree = reference.rows() == node.vals.rows()
+                    && (0..reference.rows()).all(|r| reference.row(r) == node.vals.row(r));
+                if !agree {
+                    self.violation("prepared matrix diverges from from-scratch replay");
+                }
+            } else {
+                self.violation("corrections replayable by the backend failed to re-apply");
+            }
+        }
+    }
+
+    /// The from-scratch oracle: base circuit, corrections re-applied,
+    /// full resimulation.
+    fn replay(
+        &mut self,
+        ctx: &EvalContext<'_>,
+        corrections: &[Correction],
+    ) -> Option<PackedMatrix> {
+        let mut netlist = ctx.base.clone();
+        for c in corrections {
+            c.apply(&mut netlist).ok()?;
+        }
+        Some(
+            self.sim
+                .run_for_inputs(&netlist, ctx.base_inputs, ctx.vectors),
+        )
+    }
+}
+
+impl Evaluator for Auditing {
+    fn name(&self) -> &'static str {
+        match self.inner.name() {
+            "incremental" => "audit+incremental",
+            "from-scratch" => "audit+from-scratch",
+            "parallel+incremental" => "audit+parallel+incremental",
+            "parallel+from-scratch" => "audit+parallel+from-scratch",
+            _ => "audit",
+        }
+    }
+
+    fn jobs(&self) -> usize {
+        self.inner.jobs()
+    }
+
+    fn incremental(&self) -> bool {
+        self.inner.incremental()
+    }
+
+    fn counters(&self) -> SimCounters {
+        SimCounters {
+            audit_checks: self.checks,
+            audit_violations: self.violations,
+            ..self.inner.counters()
+        }
+    }
+
+    fn prepare(
+        &mut self,
+        ctx: &mut EvalContext<'_>,
+        corrections: &[Correction],
+    ) -> Option<PreparedNode> {
+        let node = self.inner.prepare(ctx, corrections)?;
+        // Counted after sampling, so the very first preparation (the
+        // root) is always replayed.
+        self.check_prepared(ctx, corrections, &node);
+        self.prepares += 1;
+        Some(node)
+    }
+
+    fn retain(&mut self, corrections: &[Correction], netlist: Netlist, vals: PackedMatrix) -> u64 {
+        self.inner.retain(corrections, netlist, vals)
+    }
+
+    fn release(&mut self, corrections: &[Correction]) {
+        self.inner.release(corrections)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.sim = Simulator::new();
+        self.prepares = 0;
+        self.checks = 0;
+        self.violations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{FromScratch, Incremental, Parallel};
+    use incdx_netlist::{ConeCache, GateId};
+    use incdx_sim::PackedMatrix;
+
+    fn setup() -> (Netlist, PackedMatrix) {
+        let n = incdx_netlist::parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = OR(x, a)\n",
+        )
+        .unwrap();
+        let mut pi = PackedMatrix::new(2, 8);
+        for v in 0..8 {
+            pi.set(0, v, v & 1 == 1);
+            pi.set(1, v, v & 2 == 2);
+        }
+        (n, pi)
+    }
+
+    fn prepare(aud: &mut Auditing, n: &Netlist, pi: &PackedMatrix, c: &[Correction]) {
+        let inputs: Vec<GateId> = n.inputs().to_vec();
+        let mut cones = ConeCache::new(n);
+        let mut ctx = EvalContext {
+            base: n,
+            base_inputs: &inputs,
+            vectors: pi,
+            base_cones: &mut cones,
+        };
+        aud.prepare(&mut ctx, c);
+    }
+
+    #[test]
+    fn names_compose_with_the_wrapped_backend() {
+        let a = Auditing::new(Box::new(Incremental::new(0)));
+        assert_eq!(a.name(), "audit+incremental");
+        assert!(a.incremental());
+        let a = Auditing::new(Box::new(FromScratch::new()));
+        assert_eq!(a.name(), "audit+from-scratch");
+        let a = Auditing::new(Box::new(Parallel::new(Box::new(FromScratch::new()), 4)));
+        assert_eq!(a.name(), "audit+parallel+from-scratch");
+        assert_eq!(a.jobs(), 4);
+    }
+
+    #[test]
+    fn healthy_backend_passes_with_checks_counted() {
+        let (n, pi) = setup();
+        let mut aud = Auditing::new(Box::new(Incremental::new(64 << 20)));
+        // First prepare lands on the replay sample (prepares % 7 == 0).
+        prepare(&mut aud, &n, &pi, &[]);
+        let c = aud.counters();
+        assert!(c.audit_checks >= 3, "width + acyclicity + replay");
+        assert_eq!(c.audit_violations, 0);
+        assert!(c.words > 0, "inner counters still reported");
+    }
+
+    #[test]
+    fn reset_clears_audit_state() {
+        let (n, pi) = setup();
+        let mut aud = Auditing::new(Box::new(FromScratch::new()));
+        prepare(&mut aud, &n, &pi, &[]);
+        assert!(aud.counters().audit_checks > 0);
+        aud.reset();
+        assert_eq!(aud.counters(), SimCounters::default());
+    }
+
+    /// A backend that lies about the prepared matrix (truncated rows)
+    /// must be caught by the width check — and in release builds (no
+    /// `debug_assert`) by the replay too.
+    #[derive(Debug)]
+    struct Truncating(FromScratch);
+
+    impl Evaluator for Truncating {
+        fn name(&self) -> &'static str {
+            "truncating"
+        }
+        fn counters(&self) -> SimCounters {
+            self.0.counters()
+        }
+        fn prepare(
+            &mut self,
+            ctx: &mut EvalContext<'_>,
+            corrections: &[Correction],
+        ) -> Option<PreparedNode> {
+            let mut node = self.0.prepare(ctx, corrections)?;
+            node.vals = PackedMatrix::new(1, ctx.vectors.num_vectors());
+            Some(node)
+        }
+        fn reset(&mut self) {
+            self.0.reset()
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "audit:"))]
+    fn corrupted_preparation_is_flagged() {
+        let (n, pi) = setup();
+        let mut aud = Auditing::new(Box::new(Truncating(FromScratch::new())));
+        prepare(&mut aud, &n, &pi, &[]);
+        // Release builds record instead of panicking.
+        assert!(aud.counters().audit_violations > 0);
+    }
+}

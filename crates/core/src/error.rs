@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
+use incdx_lint::Diagnostic;
 use incdx_netlist::NetlistError;
 
 /// Everything that can go wrong constructing or driving a
@@ -52,6 +53,12 @@ pub enum IncdxError {
     UnknownTraversal(String),
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// The pre-flight lint pass found error-severity hazards (cycles,
+    /// undriven wires, arity violations, …) — diagnosing such a netlist
+    /// would produce undefined simulation results, so the engine refuses
+    /// up front. Carries every error-severity finding; warnings and
+    /// advisories never block construction.
+    Lint(Vec<Diagnostic>),
 }
 
 impl fmt::Display for IncdxError {
@@ -78,6 +85,17 @@ impl fmt::Display for IncdxError {
                 "unknown traversal {s:?} (expected bfs, dfs, naive-bfs or best-first)"
             ),
             IncdxError::Netlist(e) => write!(f, "netlist error: {e}"),
+            IncdxError::Lint(diags) => {
+                write!(
+                    f,
+                    "netlist failed pre-flight lint ({} error(s)):",
+                    diags.len()
+                )?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -127,6 +145,21 @@ mod tests {
         assert!(IncdxError::UnknownTraversal("zigzag".into())
             .to_string()
             .contains("zigzag"));
+    }
+
+    #[test]
+    fn lint_variant_lists_findings() {
+        use incdx_lint::{LintCode, Severity};
+        let d = Diagnostic::global(
+            LintCode::FloatingOutput,
+            Severity::Error,
+            "netlist declares no primary outputs",
+            "declare at least one OUTPUT",
+        );
+        let e = IncdxError::Lint(vec![d]);
+        let s = e.to_string();
+        assert!(s.contains("pre-flight lint"), "{s}");
+        assert!(s.contains("NL005"), "{s}");
     }
 
     #[test]

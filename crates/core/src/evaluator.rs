@@ -36,6 +36,11 @@ pub struct SimCounters {
     pub skipped: u64,
     /// Node preparations served from a cached parent matrix.
     pub matrix_hits: u64,
+    /// Invariant checks performed by an [`Auditing`](crate::Auditing)
+    /// decorator (0 for plain backends).
+    pub audit_checks: u64,
+    /// Invariant checks that failed (always 0 on a healthy engine).
+    pub audit_violations: u64,
 }
 
 /// Read-only run context handed to [`Evaluator::prepare`]: the base
@@ -140,7 +145,7 @@ impl Evaluator for FromScratch {
             words: self.sim.words_simulated(),
             events: self.sim.events_propagated(),
             skipped: self.sim.words_skipped(),
-            matrix_hits: 0,
+            ..SimCounters::default()
         }
     }
 
@@ -277,6 +282,7 @@ impl Evaluator for Incremental {
             events: self.sim.events_propagated(),
             skipped: self.sim.words_skipped(),
             matrix_hits: self.hits,
+            ..SimCounters::default()
         }
     }
 

@@ -35,7 +35,8 @@
 //!   [`NaiveBfs`], [`BestFirst`]) schedule which open node of the
 //!   decision [`Tree`] expands next;
 //! * [`Evaluator`] backends ([`FromScratch`], [`Incremental`],
-//!   [`Parallel`]) prepare node circuits and value matrices;
+//!   [`Parallel`], and the self-checking [`Auditing`] decorator)
+//!   prepare node circuits and value matrices;
 //! * the [`CandidatePipeline`] (path-trace → rank → screen → accept) is
 //!   shared by every strategy and backend;
 //! * [`Rectifier`] is the facade wiring the three from a
@@ -66,8 +67,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-
+mod audit;
 mod cache;
 mod error;
 mod evaluator;
@@ -82,6 +82,7 @@ mod traversal;
 mod tree;
 mod wire;
 
+pub use audit::Auditing;
 pub use error::IncdxError;
 pub use evaluator::{
     EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode, SimCounters,

@@ -136,6 +136,10 @@ impl RectifyReport {
             secs(s.parallel.wall),
             s.parallel.utilization(),
         ));
+        out.push_str(&format!(
+            ",\"audit\":{{\"checks\":{},\"violations\":{}}}",
+            s.audit_checks, s.audit_violations,
+        ));
         out.push('}');
         out
     }
@@ -196,5 +200,6 @@ mod tests {
         assert!(json.contains("\\\"quoted\\\""));
         assert!(json.contains("\"events_propagated\":0"));
         assert!(json.contains("\"cache\":{\"cone_hits\":0"));
+        assert!(json.contains("\"audit\":{\"checks\":0,\"violations\":0}"));
     }
 }

@@ -80,6 +80,14 @@ pub struct RectifyConfig {
     /// path (LRU beyond this; `0` disables the cache but keeps the
     /// change-bounded cone propagation).
     pub matrix_cache_bytes: usize,
+    /// Opt-in engine invariant audit: wrap the evaluation backend in the
+    /// [`Auditing`](crate::Auditing) decorator (sampled replay of
+    /// incremental node preparations against a from-scratch rebuild,
+    /// matrix width checks) and re-verify every reported solution against
+    /// a fresh simulation. Audit work runs on private simulators and does
+    /// not perturb the reported work counters; results are recorded in
+    /// [`RectifyStats::audit_checks`] / [`RectifyStats::audit_violations`].
+    pub audit: bool,
 }
 
 impl RectifyConfig {
@@ -104,6 +112,7 @@ impl RectifyConfig {
             jobs: 1,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
+            audit: false,
         }
     }
 
@@ -132,6 +141,7 @@ impl RectifyConfig {
             jobs: 1,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
+            audit: false,
         }
     }
 }
@@ -247,6 +257,13 @@ pub struct RectifyStats {
     pub lines_truncated: usize,
     /// Deepest parameter-ladder level any node had to relax to.
     pub deepest_ladder_level: usize,
+    /// Invariant checks performed by the opt-in audit layer
+    /// ([`RectifyConfig::audit`]; 0 when the audit is off).
+    pub audit_checks: u64,
+    /// Audit checks that failed. Always 0 on a healthy engine; a nonzero
+    /// value means an incremental evaluation diverged from its
+    /// from-scratch replay or a reported solution did not verify.
+    pub audit_violations: u64,
     /// True when a budget (rounds, nodes, solutions, time) cut the search.
     pub truncated: bool,
 }
@@ -320,7 +337,11 @@ impl Rectifier {
     ///
     /// [`IncdxError::SequentialNetlist`] if the netlist holds state
     /// elements (scan-convert first), [`IncdxError::ShapeMismatch`] if
-    /// the vector or reference shapes disagree with the netlist.
+    /// the vector or reference shapes disagree with the netlist, and
+    /// [`IncdxError::Lint`] if the pre-flight lint pass finds
+    /// error-severity structural hazards (combinational cycles, undriven
+    /// wires, arity violations, …) that would make simulation results
+    /// undefined. Lint warnings and advisories never block construction.
     pub fn new(
         netlist: Netlist,
         vectors: PackedMatrix,
@@ -350,6 +371,16 @@ impl Rectifier {
                 expected: vectors.num_vectors(),
                 got: spec.po_values().num_vectors(),
             });
+        }
+        // Pre-flight lint: refuse structurally hazardous netlists (cycles,
+        // undriven wires, bad arities) up front instead of producing
+        // undefined simulation results deep inside the search.
+        let lint_errors: Vec<incdx_lint::Diagnostic> = incdx_lint::lint_netlist(&netlist)
+            .into_iter()
+            .filter(|d| d.severity == incdx_lint::Severity::Error)
+            .collect();
+        if !lint_errors.is_empty() {
+            return Err(IncdxError::Lint(lint_errors));
         }
         let base_inputs = netlist.inputs().to_vec();
         let base_cones = ConeCache::new(&netlist);
@@ -413,9 +444,57 @@ impl Rectifier {
         if self.config.exhaustive {
             solutions = minimal_solutions(solutions);
         }
+        if self.config.audit {
+            self.audit_solutions(&solutions);
+        }
         RectifyResult {
             solutions,
             stats: self.stats.clone(),
+        }
+    }
+
+    /// The audit layer's end-of-run gold check: re-apply every reported
+    /// tuple to the base netlist, simulate from scratch on a private
+    /// simulator, and verify the result matches the reference. Any
+    /// divergence is an engine bug (a false solution), recorded in
+    /// [`RectifyStats::audit_violations`] — and fatal in debug builds.
+    fn audit_solutions(&mut self, solutions: &[Solution]) {
+        let mut sim = incdx_sim::Simulator::new();
+        for s in solutions {
+            self.stats.audit_checks += 1;
+            let mut netlist = self.base.clone();
+            let applied = s.corrections.iter().all(|c| c.apply(&mut netlist).is_ok());
+            let verified = applied && {
+                let vals = sim.run_for_inputs(&netlist, &self.base_inputs, &self.vectors);
+                Response::compare(&netlist, &vals, &self.spec).matches()
+            };
+            if !verified {
+                self.stats.audit_violations += 1;
+                debug_assert!(false, "audit: reported solution failed replay: {s:?}");
+            }
+        }
+        // Minimality invariant (exhaustive mode): no reported tuple may be
+        // a strict superset of another.
+        if self.config.exhaustive {
+            let sets: Vec<Vec<Correction>> = solutions
+                .iter()
+                .map(|s| {
+                    let mut v = s.corrections.clone();
+                    v.sort();
+                    v
+                })
+                .collect();
+            for (i, a) in sets.iter().enumerate() {
+                self.stats.audit_checks += 1;
+                let dominated = sets
+                    .iter()
+                    .enumerate()
+                    .any(|(j, b)| i != j && b.len() < a.len() && b.iter().all(|c| a.contains(c)));
+                if dominated {
+                    self.stats.audit_violations += 1;
+                    debug_assert!(false, "audit: non-minimal tuple reported: {a:?}");
+                }
+            }
         }
     }
 
@@ -577,6 +656,14 @@ impl Rectifier {
         {
             self.stats.truncated = true;
         }
+        if self.config.audit || cfg!(debug_assertions) {
+            self.stats.audit_checks += 1;
+            let bad = tree.invariant_violations();
+            if bad > 0 {
+                self.stats.audit_violations += bad as u64;
+                debug_assert!(false, "audit: {bad} decision-tree invariant violation(s)");
+            }
+        }
         solutions
     }
 
@@ -640,6 +727,8 @@ impl Rectifier {
         self.stats.events_propagated += after.events - before.events;
         self.stats.words_skipped += after.skipped - before.skipped;
         self.stats.matrix_cache_hits += after.matrix_hits - before.matrix_hits;
+        self.stats.audit_checks += after.audit_checks - before.audit_checks;
+        self.stats.audit_violations += after.audit_violations - before.audit_violations;
         let Some(PreparedNode {
             netlist,
             vals,
@@ -708,17 +797,24 @@ impl Rectifier {
 }
 
 /// The backend the configuration selects: [`Incremental`] or
-/// [`FromScratch`], wrapped in [`Parallel`] when screening fans out.
+/// [`FromScratch`], wrapped in [`Parallel`] when screening fans out, and
+/// in [`Auditing`](crate::Auditing) (outermost) when the invariant audit
+/// is on.
 fn build_evaluator(config: &RectifyConfig) -> Box<dyn Evaluator> {
     let inner: Box<dyn Evaluator> = if config.incremental {
         Box::new(Incremental::new(config.matrix_cache_bytes))
     } else {
         Box::new(FromScratch::new())
     };
-    if config.jobs == 1 {
+    let inner: Box<dyn Evaluator> = if config.jobs == 1 {
         inner
     } else {
         Box::new(Parallel::new(inner, config.jobs))
+    };
+    if config.audit {
+        Box::new(crate::audit::Auditing::new(inner)) as Box<dyn Evaluator>
+    } else {
+        inner
     }
 }
 
@@ -1014,6 +1110,68 @@ mod tests {
             Err(IncdxError::SequentialNetlist { dffs }) => assert_eq!(dffs, 1),
             other => panic!("expected SequentialNetlist, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn hazardous_netlists_are_rejected_by_the_preflight_lint() {
+        use incdx_netlist::{Gate, GateKind};
+        // A combinational 2-cycle the parser could never produce, built
+        // through the unchecked escape hatch: g1 = AND(a, g2),
+        // g2 = AND(g1, a).
+        let gates = vec![
+            Gate::new(GateKind::Input, vec![]),
+            Gate::new(GateKind::And, vec![GateId(0), GateId(2)]),
+            Gate::new(GateKind::And, vec![GateId(1), GateId(0)]),
+        ];
+        let names = vec![Some("a".into()), Some("g1".into()), Some("g2".into())];
+        let cyclic = Netlist::from_parts_unchecked(gates, names, vec![GateId(1)]);
+        let pi = PackedMatrix::new(1, 8);
+        let spec = Response::capture(&cyclic, &PackedMatrix::new(cyclic.len(), 8));
+        match Rectifier::new(cyclic, pi, spec, RectifyConfig::dedc(1)) {
+            Err(IncdxError::Lint(diags)) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == incdx_lint::LintCode::CombinationalCycle));
+            }
+            other => panic!("expected Lint rejection, got {other:?}"),
+        }
+
+        // Two drivers for one wire name: also a pre-flight error.
+        let gates = vec![
+            Gate::new(GateKind::Input, vec![]),
+            Gate::new(GateKind::Not, vec![GateId(0)]),
+            Gate::new(GateKind::Not, vec![GateId(0)]),
+        ];
+        let names = vec![Some("a".into()), Some("y".into()), Some("y".into())];
+        let multi = Netlist::from_parts_unchecked(gates, names, vec![GateId(1)]);
+        let pi = PackedMatrix::new(1, 8);
+        let spec = Response::capture(&multi, &PackedMatrix::new(multi.len(), 8));
+        match Rectifier::new(multi, pi, spec, RectifyConfig::dedc(1)) {
+            Err(IncdxError::Lint(diags)) => {
+                assert!(diags
+                    .iter()
+                    .any(|d| d.code == incdx_lint::LintCode::MultiDrivenWire));
+            }
+            other => panic!("expected Lint rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn audited_run_passes_with_zero_violations() {
+        let good =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(t, c)\n")
+                .unwrap();
+        let bad =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = AND(t, c)\n")
+                .unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 64, 11);
+        let mut config = RectifyConfig::dedc(1);
+        config.audit = true;
+        let r = Rectifier::new(bad, pi, spec, config).unwrap().run();
+        assert!(!r.solutions.is_empty());
+        assert_eq!(r.stats.evaluator, "audit+incremental");
+        assert!(r.stats.audit_checks > 0, "audit layer must have run");
+        assert_eq!(r.stats.audit_violations, 0, "healthy engine audits clean");
     }
 
     #[test]

@@ -141,6 +141,33 @@ impl Tree {
         self.nodes.push(node);
     }
 
+    /// Audit hook: counts violated structural invariants — the node cap
+    /// (root exempt), the depth bound for non-root nodes, candidate
+    /// cursors inside bounds, and candidate lists sorted best-rank-first.
+    /// Returns 0 on a healthy tree; used by the opt-in engine audit
+    /// ([`RectifyConfig::audit`](crate::RectifyConfig)).
+    pub fn invariant_violations(&self) -> usize {
+        let mut bad = 0;
+        if self.nodes.len() > self.max_nodes.max(1) {
+            bad += 1;
+        }
+        for n in &self.nodes {
+            if n.depth() > 0 && n.depth() >= self.max_depth {
+                bad += 1;
+            }
+            if n.next > n.candidates.len() {
+                bad += 1;
+            }
+            if n.candidates
+                .windows(2)
+                .any(|w| w[0].rank.total_cmp(&w[1].rank).is_lt())
+            {
+                bad += 1;
+            }
+        }
+        bad
+    }
+
     /// Admits a child node under the cap rules: the node cap wins over
     /// the depth bound (a full tree is *truncation*, reported to the
     /// caller; a depth-capped child is merely uninteresting).

@@ -123,18 +123,32 @@ pub fn moore_machine(state_bits: usize, inputs: usize, outputs: usize, seed: u64
     let q: Vec<GateId> = (0..state_bits)
         .map(|i| b.add_named_gate(GateKind::Dff, vec![GateId(0)], format!("s{i}")))
         .collect();
-    let mut literals: Vec<GateId> = Vec::with_capacity(2 * (inputs + state_bits));
-    for &s in x.iter().chain(&q) {
-        literals.push(s);
-        literals.push(b.add_gate(GateKind::Not, vec![s]));
-    }
-    let random_sop = |b: &mut incdx_netlist::NetlistBuilder, rng: &mut StdRng| -> GateId {
+    // The conceptual literal table: index 2k is signal k, index 2k+1 its
+    // complement. NOT gates are materialized on first use so that
+    // literals the random SOPs never pick do not become dead gates (the
+    // `NL004` lint keeps the generated suite clean).
+    let signals: Vec<GateId> = x.iter().chain(&q).copied().collect();
+    let num_literals = 2 * signals.len();
+    let mut negations: Vec<Option<GateId>> = vec![None; signals.len()];
+    let random_sop = |b: &mut incdx_netlist::NetlistBuilder,
+                      rng: &mut StdRng,
+                      negations: &mut Vec<Option<GateId>>|
+     -> GateId {
         let num_terms = rng.random_range(2..=4);
         let terms: Vec<GateId> = (0..num_terms)
             .map(|_| {
-                let width = rng.random_range(2..=3.min(literals.len()));
+                let width = rng.random_range(2..=3.min(num_literals));
                 let lits: Vec<GateId> = (0..width)
-                    .map(|_| literals[rng.random_range(0..literals.len())])
+                    .map(|_| {
+                        let idx = rng.random_range(0..num_literals);
+                        if idx % 2 == 0 {
+                            signals[idx / 2]
+                        } else {
+                            *negations[idx / 2].get_or_insert_with(|| {
+                                b.add_gate(GateKind::Not, vec![signals[idx / 2]])
+                            })
+                        }
+                    })
                     .collect();
                 b.add_gate(GateKind::And, lits)
             })
@@ -142,10 +156,10 @@ pub fn moore_machine(state_bits: usize, inputs: usize, outputs: usize, seed: u64
         b.add_gate(GateKind::Or, terms)
     };
     let d: Vec<GateId> = (0..state_bits)
-        .map(|_| random_sop(&mut b, &mut rng))
+        .map(|_| random_sop(&mut b, &mut rng, &mut negations))
         .collect();
     for _ in 0..outputs {
-        let z = random_sop(&mut b, &mut rng);
+        let z = random_sop(&mut b, &mut rng, &mut negations);
         b.add_output(z);
     }
     build_with_dff_fixup(b, &q, &d)

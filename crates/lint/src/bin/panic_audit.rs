@@ -1,0 +1,45 @@
+//! Workspace panic audit, run by `scripts/verify.sh`.
+//!
+//! Scans every first-party source root for panicking constructs outside
+//! `#[cfg(test)]` code (strict set in `incdx-core`, base set elsewhere —
+//! see [`incdx_lint::panic_audit`] for the policy) and exits non-zero if
+//! any are found.
+//!
+//! Usage: `panic_audit [REPO_ROOT]` (defaults to the workspace this
+//! binary was built from).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/lint -> workspace root.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .canonicalize()
+                .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."))
+        });
+    match incdx_lint::panic_audit::audit_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("panic audit clean: no panicking constructs in first-party non-test code");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("panic audit: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!(
+                "panic audit failed to read sources under {}: {e}",
+                root.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! The built-in lint analyses, grouped by the kind of structure they
+//! inspect. Every module hosts one or more [`crate::Lint`] impls; the
+//! full set is assembled by [`crate::registry`].
+
+pub mod names;
+pub mod reach;
+pub mod scan_chain;
+pub mod structure;
+pub mod xregion;

@@ -1,0 +1,222 @@
+//! Graph-structural lints: combinational cycles (`NL001`), undriven
+//! wires (`NL002`), and per-kind arity violations (`NL007`).
+
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+use crate::diagnostic::{wire_name, Diagnostic, LintCode, Severity};
+use crate::engine::Lint;
+
+/// `NL001`: detects combinational cycles as strongly connected
+/// components of the combinational edge graph, via an iterative Tarjan
+/// SCC pass (explicit stacks, no recursion — the analysis must survive
+/// pathological million-gate chains without blowing the call stack).
+pub struct CombinationalCycle;
+
+impl Lint for CombinationalCycle {
+    fn code(&self) -> LintCode {
+        LintCode::CombinationalCycle
+    }
+
+    fn description(&self) -> &'static str {
+        "combinational feedback loop (simulation result undefined)"
+    }
+
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for scc in cyclic_sccs(netlist) {
+            let anchor = scc.iter().copied().min().expect("non-empty SCC");
+            let mut members: Vec<String> =
+                scc.iter().take(4).map(|&g| wire_name(netlist, g)).collect();
+            if scc.len() > members.len() {
+                members.push("…".into());
+            }
+            let message = if scc.len() == 1 {
+                format!("gate `{}` feeds itself combinationally", members[0])
+            } else {
+                format!(
+                    "{} gates form a combinational cycle ({})",
+                    scc.len(),
+                    members.join(" → ")
+                )
+            };
+            out.push(Diagnostic::at(
+                LintCode::CombinationalCycle,
+                Severity::Error,
+                netlist,
+                anchor,
+                message,
+                "break the loop with a flip-flop or re-route the feedback path",
+            ));
+        }
+    }
+}
+
+/// All strongly connected components that contain a cycle: size > 1, or
+/// a single gate with a combinational self-edge. Components are returned
+/// in ascending order of their smallest member id.
+fn cyclic_sccs(netlist: &Netlist) -> Vec<Vec<GateId>> {
+    let n = netlist.len();
+    // Combinational successor edges: `u -> v` when gate v reads line u
+    // and v is not a DFF (a DFF's fanin edge is sequential and cannot
+    // close a combinational loop). Out-of-range fanins have no edge.
+    let succ = |u: usize| {
+        netlist
+            .fanouts(GateId::from_index(u))
+            .iter()
+            .filter(|&&v| netlist.gate(v).kind() != GateKind::Dff)
+            .map(|&v| v.index())
+    };
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    // The explicit DFS call stack: (node, iterator position into succ).
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    let mut sccs: Vec<Vec<GateId>> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root as u32, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let v = v as usize;
+            if let Some(w) = succ(v).nth(*pos) {
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    call.push((w as u32, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    let p = parent as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow") as usize;
+                        on_stack[w] = false;
+                        scc.push(GateId::from_index(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    let cyclic = scc.len() > 1 || succ(scc[0].index()).any(|w| w == scc[0].index());
+                    if cyclic {
+                        scc.sort();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+    }
+    sccs.sort_by_key(|scc| scc[0]);
+    sccs
+}
+
+/// `NL002`: fanin or primary-output references to lines no gate drives.
+///
+/// The `.bench` parser resolves names, so in the in-memory form an
+/// undriven wire appears as a reference past the end of the gate list —
+/// the shape produced by dropping a driver from a netlist under edit.
+pub struct UndrivenWire;
+
+impl Lint for UndrivenWire {
+    fn code(&self) -> LintCode {
+        LintCode::UndrivenWire
+    }
+
+    fn description(&self) -> &'static str {
+        "fanin or output references a line no gate drives"
+    }
+
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        let n = netlist.len();
+        for (id, gate) in netlist.iter() {
+            for (slot, f) in gate.fanins().iter().enumerate() {
+                if f.index() >= n {
+                    out.push(Diagnostic::at(
+                        LintCode::UndrivenWire,
+                        Severity::Error,
+                        netlist,
+                        id,
+                        format!(
+                            "fanin {slot} references line {} which no gate drives",
+                            f.index()
+                        ),
+                        "connect the fanin to a driven line or add the missing driver",
+                    ));
+                }
+            }
+        }
+        for &o in netlist.outputs() {
+            if o.index() >= n {
+                out.push(Diagnostic::global(
+                    LintCode::UndrivenWire,
+                    Severity::Error,
+                    format!(
+                        "primary output references line {} which no gate drives",
+                        o.index()
+                    ),
+                    "point the OUTPUT declaration at a driven line",
+                ));
+            }
+        }
+    }
+}
+
+/// `NL007`: fanin counts outside the gate kind's legal arity range
+/// (e.g. a 3-input NOT, a 1-input XOR, an AND with no fanins).
+pub struct ArityViolation;
+
+impl Lint for ArityViolation {
+    fn code(&self) -> LintCode {
+        LintCode::ArityViolation
+    }
+
+    fn description(&self) -> &'static str {
+        "fanin count outside the gate kind's arity range"
+    }
+
+    fn check(&self, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+        for (id, gate) in netlist.iter() {
+            let (lo, hi) = gate.kind().arity();
+            let found = gate.fanins().len();
+            if found < lo || found > hi {
+                let range = if hi == usize::MAX {
+                    format!("at least {lo}")
+                } else if lo == hi {
+                    format!("exactly {lo}")
+                } else {
+                    format!("{lo}..={hi}")
+                };
+                out.push(Diagnostic::at(
+                    LintCode::ArityViolation,
+                    Severity::Error,
+                    netlist,
+                    id,
+                    format!(
+                        "{:?} gate has {found} fanins, expected {range}",
+                        gate.kind()
+                    ),
+                    "fix the fanin list or change the gate kind",
+                ));
+            }
+        }
+    }
+}

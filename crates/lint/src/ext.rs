@@ -1,0 +1,30 @@
+//! The `netlist.lint()` extension method.
+
+use incdx_netlist::Netlist;
+
+use crate::diagnostic::Diagnostic;
+use crate::engine::lint_netlist;
+
+/// Extension trait putting [`lint_netlist`] on [`Netlist`] itself, so
+/// call sites read `netlist.lint()`.
+///
+/// # Example
+///
+/// ```
+/// use incdx_lint::LintExt;
+///
+/// let n = incdx_netlist::parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")?;
+/// assert!(n.lint().is_empty());
+/// # Ok::<(), incdx_netlist::NetlistError>(())
+/// ```
+pub trait LintExt {
+    /// Runs every registered lint, returning findings sorted
+    /// most-severe first.
+    fn lint(&self) -> Vec<Diagnostic>;
+}
+
+impl LintExt for Netlist {
+    fn lint(&self) -> Vec<Diagnostic> {
+        lint_netlist(self)
+    }
+}

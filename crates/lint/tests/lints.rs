@@ -1,0 +1,385 @@
+//! Positive and negative tests for every lint code: each analysis must
+//! fire on a minimal netlist exhibiting its hazard and stay silent on a
+//! minimal clean netlist.
+
+use incdx_lint::{lint_netlist, Diagnostic, LintCode, LintExt, Severity};
+use incdx_netlist::{parse_bench, Gate, GateId, GateKind, Netlist};
+
+/// A clean reference netlist: y = NAND(a, b).
+fn clean() -> Netlist {
+    parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n").expect("clean netlist")
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+fn has(diags: &[Diagnostic], code: LintCode, severity: Severity) -> bool {
+    diags
+        .iter()
+        .any(|d| d.code == code && d.severity == severity)
+}
+
+#[test]
+fn clean_netlist_has_no_findings() {
+    assert_eq!(codes(&clean().lint()), vec![]);
+}
+
+// ---------------------------------------------------------------- NL001
+
+#[test]
+fn nl001_fires_on_two_gate_cycle() {
+    // u = AND(v, a); v = OR(u, a); y = BUF(u).
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::And, vec![GateId(2), GateId(0)]),
+        Gate::new(GateKind::Or, vec![GateId(1), GateId(0)]),
+        Gate::new(GateKind::Buf, vec![GateId(1)]),
+    ];
+    let n = Netlist::from_parts_unchecked(gates, vec![None; 4], vec![GateId(3)]);
+    assert!(!n.is_acyclic());
+    let diags = n.lint();
+    assert!(has(&diags, LintCode::CombinationalCycle, Severity::Error));
+    // One diagnostic per SCC, not per member.
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.code == LintCode::CombinationalCycle)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn nl001_fires_on_self_loop_and_anchors_it() {
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::And, vec![GateId(1), GateId(0)]),
+    ];
+    let n = Netlist::from_parts_unchecked(gates, vec![None; 2], vec![GateId(1)]);
+    let d = n
+        .lint()
+        .into_iter()
+        .find(|d| d.code == LintCode::CombinationalCycle)
+        .expect("self-loop detected");
+    assert_eq!(d.gate, Some(GateId(1)));
+    assert!(d.message.contains("feeds itself"), "{}", d.message);
+}
+
+#[test]
+fn nl001_silent_on_dff_feedback() {
+    // q = DFF(d); d = NOT(q) — sequential feedback is legal.
+    let n = parse_bench("OUTPUT(q)\nq = DFF(d)\nd = NOT(q)\n").expect("parses");
+    assert!(!n
+        .lint()
+        .iter()
+        .any(|d| d.code == LintCode::CombinationalCycle));
+}
+
+// ---------------------------------------------------------------- NL002
+
+#[test]
+fn nl002_fires_on_out_of_range_fanin() {
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::Not, vec![GateId(7)]),
+    ];
+    let n = Netlist::from_parts_unchecked(gates, vec![None; 2], vec![GateId(1)]);
+    let diags = n.lint();
+    assert!(has(&diags, LintCode::UndrivenWire, Severity::Error));
+}
+
+#[test]
+fn nl002_fires_on_out_of_range_output() {
+    let gates = vec![Gate::new(GateKind::Input, vec![])];
+    let n = Netlist::from_parts_unchecked(gates, vec![None], vec![GateId(9)]);
+    assert!(has(&n.lint(), LintCode::UndrivenWire, Severity::Error));
+}
+
+#[test]
+fn nl002_silent_on_fully_driven_netlist() {
+    assert!(!clean()
+        .lint()
+        .iter()
+        .any(|d| d.code == LintCode::UndrivenWire));
+}
+
+// ---------------------------------------------------------------- NL003
+
+#[test]
+fn nl003_fires_on_duplicate_wire_name() {
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::Not, vec![GateId(0)]),
+        Gate::new(GateKind::Buf, vec![GateId(0)]),
+    ];
+    let names = vec![Some("a".into()), Some("y".into()), Some("y".into())];
+    let n = Netlist::from_parts_unchecked(gates, names, vec![GateId(1)]);
+    let d = n
+        .lint()
+        .into_iter()
+        .find(|d| d.code == LintCode::MultiDrivenWire)
+        .expect("duplicate name detected");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("`y`"), "{}", d.message);
+}
+
+#[test]
+fn nl003_silent_on_distinct_names() {
+    assert!(!clean()
+        .lint()
+        .iter()
+        .any(|d| d.code == LintCode::MultiDrivenWire));
+}
+
+// ---------------------------------------------------------------- NL004
+
+#[test]
+fn nl004_fires_on_dead_logic_and_unused_input() {
+    // y = NOT(a); dead = AND(a, b) feeds nothing; c drives nothing.
+    let n = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = NOT(a)\ndead = AND(a, b)\n")
+        .expect("parses");
+    let diags = n.lint();
+    // Dead logic is a warning...
+    let dead = n.find_by_name("dead").unwrap();
+    assert!(diags.iter().any(|d| d.code == LintCode::DeadCone
+        && d.severity == Severity::Warning
+        && d.gate == Some(dead)));
+    // ...an unused primary input only an advisory.
+    let c = n.find_by_name("c").unwrap();
+    assert!(diags.iter().any(|d| d.code == LintCode::DeadCone
+        && d.severity == Severity::Info
+        && d.gate == Some(c)));
+    // `b` feeds the dead cone, so it is dead too — but `a` is live.
+    let a = n.find_by_name("a").unwrap();
+    assert!(!diags.iter().any(|d| d.gate == Some(a)));
+}
+
+#[test]
+fn nl004_counts_dff_paths_as_observable() {
+    // Logic feeding a DFF that feeds an output is alive.
+    let n = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(a)\n").expect("parses");
+    assert!(!n.lint().iter().any(|d| d.code == LintCode::DeadCone));
+}
+
+// ---------------------------------------------------------------- NL005
+
+#[test]
+fn nl005_fires_on_empty_output_list() {
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::Not, vec![GateId(0)]),
+    ];
+    let n = Netlist::from_parts_unchecked(gates, vec![None; 2], vec![]);
+    let d = n
+        .lint()
+        .into_iter()
+        .find(|d| d.code == LintCode::FloatingOutput)
+        .expect("empty output list detected");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn nl005_fires_on_constant_output() {
+    let n =
+        parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(k)\ny = NOT(a)\nk = CONST1()\n").expect("parses");
+    assert!(has(&n.lint(), LintCode::FloatingOutput, Severity::Warning));
+}
+
+#[test]
+fn nl005_advises_on_duplicate_output_listing() {
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::Not, vec![GateId(0)]),
+    ];
+    let n = Netlist::from_parts_unchecked(gates, vec![None; 2], vec![GateId(1), GateId(1)]);
+    assert!(has(&n.lint(), LintCode::FloatingOutput, Severity::Info));
+}
+
+#[test]
+fn nl005_silent_on_logic_outputs() {
+    assert!(!clean()
+        .lint()
+        .iter()
+        .any(|d| d.code == LintCode::FloatingOutput));
+}
+
+// ---------------------------------------------------------------- NL006
+
+#[test]
+fn nl006_fires_on_synthetic_shadow() {
+    // Gate 2 is named `n1`, shadowing unnamed gate 1's synthetic name.
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::Not, vec![GateId(0)]),
+        Gate::new(GateKind::Buf, vec![GateId(1)]),
+    ];
+    let names = vec![Some("a".into()), None, Some("n1".into())];
+    let n = Netlist::from_parts_unchecked(gates, names, vec![GateId(2)]);
+    assert!(has(&n.lint(), LintCode::ShadowedName, Severity::Warning));
+}
+
+#[test]
+fn nl006_fires_on_case_insensitive_collision() {
+    let n = parse_bench("INPUT(Sig)\nINPUT(sig)\nOUTPUT(y)\ny = AND(Sig, sig)\n")
+        .expect("case-preserving parser accepts both");
+    assert!(has(&n.lint(), LintCode::ShadowedName, Severity::Warning));
+}
+
+#[test]
+fn nl006_silent_on_matching_synthetic_names() {
+    // A name `n<id>` on its *own* line is how write_bench round-trips.
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::Not, vec![GateId(0)]),
+    ];
+    let names = vec![Some("n0".into()), Some("n1".into())];
+    let n = Netlist::from_parts_unchecked(gates, names, vec![GateId(1)]);
+    assert!(!n.lint().iter().any(|d| d.code == LintCode::ShadowedName));
+}
+
+// ---------------------------------------------------------------- NL007
+
+#[test]
+fn nl007_fires_on_bad_arities() {
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        // 2-input NOT.
+        Gate::new(GateKind::Not, vec![GateId(0), GateId(0)]),
+        // 1-input XOR.
+        Gate::new(GateKind::Xor, vec![GateId(0)]),
+        // 0-input AND.
+        Gate::new(GateKind::And, vec![]),
+        Gate::new(GateKind::Or, vec![GateId(1), GateId(2), GateId(3)]),
+    ];
+    let n = Netlist::from_parts_unchecked(gates, vec![None; 5], vec![GateId(4)]);
+    let diags = n.lint();
+    let arity: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.code == LintCode::ArityViolation)
+        .collect();
+    assert_eq!(arity.len(), 3);
+    assert!(arity.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn nl007_silent_on_wide_and_narrow_legal_gates() {
+    let n = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nw = AND(a, b, c)\nv = OR(a)\ny = XOR(w, v)\n",
+    )
+    .expect("parses");
+    assert!(!n.lint().iter().any(|d| d.code == LintCode::ArityViolation));
+}
+
+// ---------------------------------------------------------------- NL008
+
+#[test]
+fn nl008_fires_on_masked_constant_region() {
+    // k = CONST0; m = AND(a, k) is constant 0 although `a` is X-capable;
+    // y = OR(m, b) keeps the netlist observable and `b` live.
+    let n =
+        parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nk = CONST0()\nm = AND(a, k)\ny = OR(m, b)\n")
+            .expect("parses");
+    let m = n.find_by_name("m").unwrap();
+    let d = n
+        .lint()
+        .into_iter()
+        .find(|d| d.code == LintCode::ConstantRegion && d.gate == Some(m))
+        .expect("masked gate reported");
+    assert_eq!(d.severity, Severity::Info);
+    assert!(d.message.contains("masks"), "{}", d.message);
+}
+
+#[test]
+fn nl008_reports_pure_constant_cones_distinctly() {
+    let n = parse_bench(
+        "INPUT(a)\nOUTPUT(y)\nk0 = CONST0()\nk1 = CONST1()\nm = OR(k0, k1)\ny = AND(a, m)\n",
+    )
+    .expect("parses");
+    let m = n.find_by_name("m").unwrap();
+    let d = n
+        .lint()
+        .into_iter()
+        .find(|d| d.code == LintCode::ConstantRegion && d.gate == Some(m))
+        .expect("constant cone reported");
+    assert!(d.message.contains("cone is constant"), "{}", d.message);
+    // y = AND(a, 1) stays X-capable: no finding on y.
+    let y = n.find_by_name("y").unwrap();
+    assert!(!n
+        .lint()
+        .iter()
+        .any(|d| d.code == LintCode::ConstantRegion && d.gate == Some(y)));
+}
+
+#[test]
+fn nl008_silent_on_fully_x_capable_logic() {
+    assert!(!clean()
+        .lint()
+        .iter()
+        .any(|d| d.code == LintCode::ConstantRegion));
+}
+
+// ---------------------------------------------------------------- NL009
+
+#[test]
+fn nl009_fires_on_constant_dff_load() {
+    let n = parse_bench("INPUT(a)\nOUTPUT(y)\nk = CONST1()\nq = DFF(k)\ny = AND(q, a)\n")
+        .expect("parses");
+    let q = n.find_by_name("q").unwrap();
+    assert!(n.lint().iter().any(|d| d.code == LintCode::ScanChain
+        && d.severity == Severity::Warning
+        && d.gate == Some(q)
+        && d.message.contains("constant")));
+}
+
+#[test]
+fn nl009_fires_on_unobservable_state() {
+    // q's output feeds only dead logic: state never reaches a PO or DFF.
+    let n = parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\nq = DFF(a)\ndead = AND(q, a)\n")
+        .expect("parses");
+    let q = n.find_by_name("q").unwrap();
+    assert!(n.lint().iter().any(|d| d.code == LintCode::ScanChain
+        && d.severity == Severity::Warning
+        && d.gate == Some(q)
+        && d.message.contains("no primary output")));
+}
+
+#[test]
+fn nl009_silent_on_well_formed_scan_design() {
+    // State feeds logic feeding a PO, and DFF-to-DFF paths count as
+    // observable (the next scan cell captures them).
+    let n = parse_bench(
+        "INPUT(a)\nOUTPUT(y)\nq0 = DFF(d0)\nd0 = XOR(a, q0)\nq1 = DFF(q0)\ny = NOT(q1)\n",
+    )
+    .expect("parses");
+    assert!(!n.lint().iter().any(|d| d.code == LintCode::ScanChain));
+}
+
+#[test]
+fn nl009_silent_on_combinational_netlist() {
+    assert!(!clean().lint().iter().any(|d| d.code == LintCode::ScanChain));
+}
+
+// ------------------------------------------------------------- ordering
+
+#[test]
+fn findings_sort_most_severe_first() {
+    // A netlist with an Error (cycle), a Warning (dead cone via the
+    // cycle's unreachable region)… build one with an error + info.
+    let gates = vec![
+        Gate::new(GateKind::Input, vec![]),
+        Gate::new(GateKind::And, vec![GateId(1), GateId(0)]), // self-loop: Error
+        Gate::new(GateKind::Not, vec![GateId(0)]),
+    ];
+    let n = Netlist::from_parts_unchecked(
+        gates,
+        vec![None; 3],
+        vec![GateId(2), GateId(2)], // duplicate listing: Info
+    );
+    let diags = lint_netlist(&n);
+    assert!(diags.len() >= 2);
+    for pair in diags.windows(2) {
+        assert!(pair[0].severity >= pair[1].severity, "sorted by severity");
+    }
+    assert_eq!(diags[0].severity, Severity::Error);
+}

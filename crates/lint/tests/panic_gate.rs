@@ -1,0 +1,23 @@
+//! In-tree enforcement of the workspace panic policy: `cargo test`
+//! fails if any first-party crate grows a denied panicking construct in
+//! non-test code. `scripts/verify.sh` runs the same scanner through the
+//! `panic_audit` binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_free_of_denied_panicking_constructs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let violations =
+        incdx_lint::panic_audit::audit_workspace(&root).expect("workspace sources readable");
+    assert!(
+        violations.is_empty(),
+        "panic audit found {} violation(s):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

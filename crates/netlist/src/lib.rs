@@ -26,8 +26,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-
 mod bench_format;
 mod bitset;
 mod cone;

@@ -46,6 +46,7 @@ pub struct Netlist {
     topo: Vec<GateId>,
     topo_pos: Vec<u32>,
     levels: Vec<u32>,
+    acyclic: bool,
 }
 
 impl Netlist {
@@ -158,6 +159,21 @@ impl Netlist {
     /// Does the netlist contain no DFFs?
     pub fn is_combinational(&self) -> bool {
         self.gates.iter().all(|g| g.kind() != GateKind::Dff)
+    }
+
+    /// Is the combinational part acyclic?
+    ///
+    /// Always `true` for netlists built through the validating paths
+    /// ([`NetlistBuilder::build`], [`Netlist::replace_gate`], …). Can be
+    /// `false` only for structures admitted via
+    /// [`Netlist::from_parts_unchecked`], which exists so static-analysis
+    /// tooling can represent — and diagnose — hazardous circuits. For a
+    /// cyclic netlist [`Netlist::topo_order`] is only a partial order (the
+    /// gates on cycles are appended in id order), so simulation results
+    /// are undefined until the cycle is repaired.
+    #[inline]
+    pub fn is_acyclic(&self) -> bool {
+        self.acyclic
     }
 
     /// Errors with [`NetlistError::Sequential`] unless the netlist is
@@ -351,9 +367,14 @@ impl Netlist {
 
     /// Rebuilds fanouts, topological order and levels.
     ///
-    /// Invariant: callers have already ensured the combinational part is
-    /// acyclic (builder validation / `replace_gate` cone check), so the Kahn
-    /// pass must consume every gate.
+    /// The validating construction paths (builder validation /
+    /// `replace_gate` cone check) guarantee an acyclic combinational part,
+    /// so the Kahn pass consumes every gate and `acyclic` stays `true`.
+    /// Structures admitted via [`Netlist::from_parts_unchecked`] may be
+    /// cyclic or reference out-of-range fanins; the pass is tolerant of
+    /// both (out-of-range edges are ignored, cyclic gates are appended to
+    /// the topological order in id order) so the lint layer can inspect
+    /// the structure instead of the constructor crashing.
     fn rebuild(&mut self) {
         let n = self.gates.len();
         self.inputs = self
@@ -366,7 +387,9 @@ impl Netlist {
         self.fanouts = vec![Vec::new(); n];
         for (i, g) in self.gates.iter().enumerate() {
             for &f in g.fanins() {
-                self.fanouts[f.index()].push(GateId::from_index(i));
+                if f.index() < n {
+                    self.fanouts[f.index()].push(GateId::from_index(i));
+                }
             }
         }
         // Kahn over combinational edges: a DFF ignores its fanin edge.
@@ -377,7 +400,7 @@ impl Netlist {
                 if g.kind() == GateKind::Dff {
                     0
                 } else {
-                    g.fanins().len() as u32
+                    g.fanins().iter().filter(|f| f.index() < n).count() as u32
                 }
             })
             .collect();
@@ -406,11 +429,17 @@ impl Netlist {
                 }
             }
         }
-        assert_eq!(
-            self.topo.len(),
-            n,
-            "combinational cycle slipped past validation"
-        );
+        self.acyclic = self.topo.len() == n;
+        if !self.acyclic {
+            // Cyclic leftovers: append in id order so every gate has a
+            // topo position (required by the structural queries the lint
+            // analyses run); the order is only partial on the cycles.
+            for (i, &d) in indeg.iter().enumerate() {
+                if d > 0 {
+                    self.topo.push(GateId::from_index(i));
+                }
+            }
+        }
         self.topo_pos = vec![0; n];
         for (pos, &g) in self.topo.iter().enumerate() {
             self.topo_pos[g.index()] = pos as u32;
@@ -460,11 +489,47 @@ impl Netlist {
             topo: Vec::new(),
             topo_pos: Vec::new(),
             levels: Vec::new(),
+            acyclic: true,
         };
-        // Cycle check before `rebuild` asserts: run Kahn manually.
+        // Cycle check first so callers get a located error; `rebuild`
+        // would otherwise silently mark the netlist cyclic.
         nl.check_acyclic()?;
         nl.rebuild();
         Ok(nl)
+    }
+
+    /// Builds a netlist from raw parts with **no structural validation**.
+    ///
+    /// This is the escape hatch for static-analysis tooling: it admits
+    /// combinational cycles, out-of-range fanins and outputs, arity
+    /// violations, and an empty output list — exactly the hazards
+    /// `incdx-lint` exists to report. Out-of-range fanin references are
+    /// ignored by the structural queries (`fanouts`, `topo_order`,
+    /// `level`), and for a cyclic netlist the topological order is only
+    /// partial (see [`Netlist::is_acyclic`]), so **simulation results are
+    /// undefined** until the netlist lints clean. Every validating
+    /// constructor ([`crate::NetlistBuilder::build`], the `.bench`
+    /// parser) should be preferred when the structure is meant to be
+    /// sound.
+    pub fn from_parts_unchecked(
+        gates: Vec<Gate>,
+        mut names: Vec<Option<String>>,
+        outputs: Vec<GateId>,
+    ) -> Self {
+        names.resize(gates.len(), None);
+        let mut nl = Netlist {
+            gates,
+            names,
+            inputs: Vec::new(),
+            outputs,
+            fanouts: Vec::new(),
+            topo: Vec::new(),
+            topo_pos: Vec::new(),
+            levels: Vec::new(),
+            acyclic: true,
+        };
+        nl.rebuild();
+        nl
     }
 
     fn check_acyclic(&self) -> Result<(), NetlistError> {

@@ -1,0 +1,55 @@
+//! Regression tests: malformed `.bench` fixtures must be rejected at
+//! parse time with a located error, never parsed into a netlist the
+//! simulator would mis-evaluate.
+
+use incdx_netlist::{parse_bench, NetlistError};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn self_loop_fixture_is_rejected_with_location() {
+    let err = parse_bench(&fixture("self_loop.bench")).unwrap_err();
+    match err {
+        NetlistError::ParseBench { line, reason } => {
+            assert_eq!(line, 4, "error should point at the self-loop line");
+            assert!(reason.contains("drives itself"), "{reason}");
+        }
+        other => panic!("expected ParseBench, got {other}"),
+    }
+}
+
+#[test]
+fn duplicate_definition_fixture_is_rejected_with_location() {
+    let err = parse_bench(&fixture("duplicate_def.bench")).unwrap_err();
+    match err {
+        NetlistError::ParseBench { line, reason } => {
+            assert_eq!(line, 7, "error should point at the second definition");
+            assert!(reason.contains("defined twice"), "{reason}");
+        }
+        other => panic!("expected ParseBench, got {other}"),
+    }
+}
+
+#[test]
+fn multi_gate_cycle_fixture_is_rejected() {
+    let err = parse_bench(&fixture("cycle.bench")).unwrap_err();
+    assert!(
+        matches!(err, NetlistError::CombinationalCycle { .. }),
+        "expected CombinationalCycle, got {err}"
+    );
+}
+
+#[test]
+fn undriven_signal_fixture_is_rejected_with_location() {
+    let err = parse_bench(&fixture("undriven.bench")).unwrap_err();
+    match err {
+        NetlistError::ParseBench { line, reason } => {
+            assert_eq!(line, 4);
+            assert!(reason.contains("undefined signal"), "{reason}");
+        }
+        other => panic!("expected ParseBench, got {other}"),
+    }
+}

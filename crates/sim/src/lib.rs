@@ -30,8 +30,6 @@
 //! # Ok::<(), incdx_netlist::NetlistError>(())
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod logic5;
 mod packed;
 mod response;
