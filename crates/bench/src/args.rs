@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use incdx_core::TraversalKind;
+use incdx_core::{ChaosConfig, RectifyLimits, TraversalKind};
 
 /// Common experiment parameters.
 #[derive(Debug, Clone)]
@@ -35,6 +35,26 @@ pub struct Args {
     /// replays of incremental node preparations plus end-of-run solution
     /// verification, reported as the `audit` object of the JSON records.
     pub audit: bool,
+    /// Per-engine-run wall-clock deadline in milliseconds
+    /// (`--deadline-ms N`). Unlike `--time-limit` (the legacy per-level
+    /// budget), this drives [`RectifyLimits::deadline`]: the run stops at
+    /// a clean plan boundary with a typed verdict, ranked partial
+    /// solutions, and a resumable checkpoint.
+    pub deadline_ms: Option<u64>,
+    /// Total decision-tree node budget per engine run (`--max-nodes N`),
+    /// driving [`RectifyLimits::max_total_nodes`].
+    pub max_nodes: Option<u64>,
+    /// Deterministic chaos fault injection (`--chaos SEED,RATE`), parsed
+    /// by [`ChaosConfig::parse`]. Arms worker panics, cached-matrix bit
+    /// flips, and spurious width errors; the resilience layer must
+    /// recover to the chaos-off solution set.
+    pub chaos: Option<ChaosConfig>,
+    /// Write the first captured engine checkpoint (an early-stopped run)
+    /// to this path as one line of JSON (`--checkpoint PATH`).
+    pub checkpoint: Option<String>,
+    /// Resume a single checkpointed run from this path (`--resume PATH`)
+    /// instead of sweeping the full experiment grid.
+    pub resume: Option<String>,
 }
 
 impl Default for Args {
@@ -52,6 +72,11 @@ impl Default for Args {
             incremental: true,
             traversal: TraversalKind::default(),
             audit: false,
+            deadline_ms: None,
+            max_nodes: None,
+            chaos: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -82,6 +107,15 @@ impl Args {
                 "--incremental" => args.incremental = true,
                 "--no-incremental" => args.incremental = false,
                 "--audit" => args.audit = true,
+                "--deadline-ms" => args.deadline_ms = Some(parse_num(&value("--deadline-ms"))),
+                "--max-nodes" => args.max_nodes = Some(parse_num(&value("--max-nodes"))),
+                "--chaos" => {
+                    let v = value("--chaos");
+                    args.chaos =
+                        Some(ChaosConfig::parse(&v).unwrap_or_else(|e| die(&format!("{e}"))));
+                }
+                "--checkpoint" => args.checkpoint = Some(value("--checkpoint")),
+                "--resume" => args.resume = Some(value("--resume")),
                 "--traversal" => {
                     let v = value("--traversal");
                     args.traversal = v.parse().unwrap_or_else(|e| die(&format!("{e}")));
@@ -101,7 +135,9 @@ impl Args {
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
                          --time-limit SECONDS --jobs N --json|--no-json \
                          --incremental|--no-incremental --audit \
-                         --traversal bfs|dfs|naive-bfs|best-first"
+                         --traversal bfs|dfs|naive-bfs|best-first \
+                         --deadline-ms N --max-nodes N --chaos SEED,RATE \
+                         --checkpoint PATH --resume PATH"
                     );
                     std::process::exit(0);
                 }
@@ -113,6 +149,16 @@ impl Args {
 }
 
 impl Args {
+    /// The [`RectifyLimits`] implied by `--deadline-ms` / `--max-nodes`
+    /// (unset flags leave the corresponding limit disarmed).
+    pub fn limits(&self) -> RectifyLimits {
+        RectifyLimits {
+            deadline: self.deadline_ms.map(Duration::from_millis),
+            max_total_nodes: self.max_nodes,
+            ..RectifyLimits::default()
+        }
+    }
+
     /// Derives the RNG seed of one experiment trial. Every binary routes
     /// through here (instead of hand-rolled XOR formulas) so trial
     /// streams are decorrelated across experiments, circuits, fault
@@ -226,6 +272,43 @@ mod tests {
         }
         let a = Args::parse_from(["--traversal".to_string(), "rounds".to_string()]);
         assert_eq!(a.traversal, TraversalKind::RoundRobinBfs);
+    }
+
+    #[test]
+    fn resilience_flags_parse_and_map_to_limits() {
+        let a = Args::parse_from(
+            [
+                "--deadline-ms",
+                "50",
+                "--max-nodes",
+                "200",
+                "--chaos",
+                "7,0.05",
+                "--checkpoint",
+                "/tmp/ckpt.json",
+                "--resume",
+                "/tmp/old.json",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(a.deadline_ms, Some(50));
+        assert_eq!(a.max_nodes, Some(200));
+        let chaos = a.chaos.expect("chaos parsed");
+        assert_eq!(chaos.seed, 7);
+        assert!((chaos.rate - 0.05).abs() < 1e-12);
+        assert_eq!(a.checkpoint.as_deref(), Some("/tmp/ckpt.json"));
+        assert_eq!(a.resume.as_deref(), Some("/tmp/old.json"));
+        let limits = a.limits();
+        assert_eq!(limits.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(limits.max_total_nodes, Some(200));
+        assert_eq!(limits.max_words, None);
+        assert_eq!(limits.max_retained_bytes, None);
+    }
+
+    #[test]
+    fn default_limits_are_disarmed() {
+        let limits = Args::default().limits();
+        assert_eq!(limits, RectifyLimits::default());
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //! additionally emits one `RectifyReport` record per engine run, tagged
 //! `ablation_traversal/<circuit>/<strategy>/t<trial>`.
 
-use incdx_bench::{dedc_trial, run_parallel, scan_core, Args, Table};
+use std::process::ExitCode;
+
+use incdx_bench::{
+    dedc_trial, engine_error, run_parallel, try_scan_core, usage_error, Args, Table, TrialOptions,
+};
 use incdx_core::{RectifyReport, TraversalKind};
 
-fn main() {
+fn main() -> ExitCode {
     let args = Args::parse();
+    let base_opts = TrialOptions::from_args(&args);
     let circuits: Vec<String> = if args.circuits.is_empty() {
         vec!["c432a".into(), "c880a".into(), "c1908a".into()]
     } else {
@@ -35,28 +40,39 @@ fn main() {
     );
     let mut table = Table::new(["ckt", "traversal", "solved", "avg nodes", "avg time_s"]);
     for circuit in &circuits {
-        let golden = scan_core(circuit);
+        let golden = match try_scan_core(circuit) {
+            Ok(g) => g,
+            Err(e) => return usage_error(&e),
+        };
         for &traversal in &strategies {
             let label = traversal.as_str();
             let outcomes = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("ablation_traversal", circuit, errors, t, attempt);
-                    if let Some(out) = dedc_trial(
-                        &golden,
-                        errors,
-                        args.vectors,
-                        seed,
-                        args.time_limit,
-                        args.incremental,
-                        traversal,
-                        args.audit,
-                    ) {
-                        return Some(out);
+                    let mut opts =
+                        base_opts.labelled(format!("ablation_traversal/{circuit}/{label}/t{t}"));
+                    opts.traversal = traversal;
+                    match dedc_trial(&golden, errors, args.vectors, seed, args.time_limit, &opts) {
+                        Ok(Some(out)) => return Ok(Some(out)),
+                        Ok(None) => continue,
+                        Err(e) => return Err((t, e)),
                     }
                 }
-                None
+                Ok(None)
             });
-            let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            let mut done = Vec::new();
+            for outcome in outcomes {
+                match outcome {
+                    Ok(Some(out)) => done.push(out),
+                    Ok(None) => {}
+                    Err((t, e)) => {
+                        return engine_error(
+                            &format!("ablation_traversal/{circuit}/{label}/t{t}"),
+                            &e,
+                        )
+                    }
+                }
+            }
             if args.json {
                 for (trial, out) in done.iter().enumerate() {
                     let tag = format!("ablation_traversal/{circuit}/{label}/t{trial}");
@@ -65,6 +81,8 @@ fn main() {
                         1,
                         out.solutions,
                         out.sites,
+                        out.verdict,
+                        out.partials,
                         out.stats.clone(),
                     );
                     println!("{}", report.to_json());
@@ -88,4 +106,5 @@ fn main() {
         }
     }
     println!("{table}");
+    ExitCode::SUCCESS
 }

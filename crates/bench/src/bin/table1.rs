@@ -7,16 +7,75 @@
 //! masking rate the paper discusses for the 4-fault s-circuit runs.
 //!
 //! `cargo run -p incdx-bench --release --bin table1 -- [--trials N]
-//! [--vectors N] [--circuits a,b,c] [--seed N] [--time-limit SECS]`
+//! [--vectors N] [--circuits a,b,c] [--seed N] [--time-limit SECS]
+//! [--deadline-ms N] [--max-nodes N] [--chaos SEED,RATE]
+//! [--checkpoint PATH] [--resume PATH]`
+//!
+//! Exit codes follow the lint convention: 0 success, 1 engine error
+//! (with a one-line JSON record on stdout), 2 usage error.
+
+use std::process::ExitCode;
 
 use incdx_bench::{
-    optimize_for_table1, run_parallel, scan_core, stuck_at_trial, Args, Table,
+    engine_error, finish_with_checkpoint, load_checkpoint, optimize_for_table1, parse_run_label,
+    run_parallel, stuck_at_trial, try_scan_core, usage_error, Args, Table, TrialOptions,
     DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
 };
-use incdx_core::RectifyReport;
+use incdx_core::{Checkpoint, RectifyReport};
 
-fn main() {
+/// `--resume PATH`: re-runs exactly one checkpointed trial (to completion,
+/// or to the next armed limit) and reports it.
+fn resume_run(args: &Args, path: &str) -> ExitCode {
+    let checkpoint = match load_checkpoint(path) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let Some((experiment, circuit, k, _trial)) = parse_run_label(&checkpoint.label) else {
+        return usage_error(&format!(
+            "unrecognized checkpoint label `{}`",
+            checkpoint.label
+        ));
+    };
+    if experiment != "table1" {
+        return usage_error(&format!(
+            "checkpoint label `{}` is not a table1 run",
+            checkpoint.label
+        ));
+    }
+    let golden = match try_scan_core(circuit) {
+        Ok(g) => optimize_for_table1(&g),
+        Err(e) => return usage_error(&e),
+    };
+    let label = checkpoint.label.clone();
+    let (seed, vectors) = (checkpoint.trial_seed, checkpoint.vectors);
+    let mut opts = TrialOptions::from_args(args).labelled(label.clone());
+    opts.resume = Some(checkpoint);
+    match stuck_at_trial(&golden, k, vectors, seed, args.time_limit, &opts) {
+        Err(e) => engine_error(&label, &e),
+        Ok(None) => usage_error(&format!("checkpoint workload `{label}` did not regenerate")),
+        Ok(Some(out)) => {
+            let report = RectifyReport::from_parts(
+                &label,
+                1,
+                out.tuples,
+                out.sites,
+                out.verdict,
+                out.partials,
+                out.stats,
+            );
+            println!("{}", report.to_json());
+            finish_with_checkpoint(args.checkpoint.as_deref(), out.checkpoint.as_ref())
+        }
+    }
+}
+
+fn main() -> ExitCode {
     let args = Args::parse();
+    if let Some(path) = args.resume.clone() {
+        return resume_run(&args, &path);
+    }
+    let base_opts = TrialOptions::from_args(&args);
+    let mut captured: Option<Checkpoint> = None;
     let fault_counts = [1usize, 2, 3, 4];
     let circuits: Vec<String> = if args.circuits.is_empty() {
         DEFAULT_COMB_CIRCUITS
@@ -43,7 +102,10 @@ fn main() {
 
     for circuit in &circuits {
         // §4.1: optimize for area first (stuck-at experiments).
-        let golden = optimize_for_table1(&scan_core(circuit));
+        let golden = match try_scan_core(circuit) {
+            Ok(g) => optimize_for_table1(&g),
+            Err(e) => return usage_error(&e),
+        };
         let lines = golden.stats().lines;
         let mut row = vec![circuit.clone(), lines.to_string()];
         let mut masked_at_4 = String::from("-");
@@ -53,22 +115,28 @@ fn main() {
                 // seeds so every cell reports `trials` real runs.
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("table1", circuit, k, trial, attempt);
-                    if let Some(out) = stuck_at_trial(
-                        &golden,
-                        k,
-                        args.vectors,
-                        seed,
-                        args.time_limit,
-                        args.incremental,
-                        args.traversal,
-                        args.audit,
-                    ) {
-                        return Some(out);
+                    let opts = base_opts.labelled(format!("table1/{circuit}/k{k}/t{trial}"));
+                    match stuck_at_trial(&golden, k, args.vectors, seed, args.time_limit, &opts) {
+                        Ok(Some(out)) => return Ok(Some(out)),
+                        Ok(None) => continue,
+                        Err(e) => return Err((trial, e)),
                     }
                 }
-                None
+                Ok(None)
             });
-            let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            let mut done = Vec::new();
+            for outcome in outcomes {
+                match outcome {
+                    Ok(Some(out)) => done.push(out),
+                    Ok(None) => {}
+                    Err((trial, e)) => {
+                        return engine_error(&format!("table1/{circuit}/k{k}/t{trial}"), &e)
+                    }
+                }
+            }
+            if captured.is_none() {
+                captured = done.iter().find_map(|o| o.checkpoint.clone());
+            }
             if args.json {
                 // Trials parallelize above, so the engine itself runs with
                 // jobs = 1 (`RectifyConfig` default) — reported as such.
@@ -79,6 +147,8 @@ fn main() {
                         1,
                         out.tuples,
                         out.sites,
+                        out.verdict,
+                        out.partials,
                         out.stats.clone(),
                     );
                     println!("{}", report.to_json());
@@ -116,4 +186,5 @@ fn main() {
     }
     println!("\n{table}");
     println!("legend: '!' = an injected tuple was missed; '*' = a budget truncated ≥1 trial");
+    finish_with_checkpoint(args.checkpoint.as_deref(), captured.as_ref())
 }

@@ -5,15 +5,76 @@
 //! decision-tree nodes, the total time, and the success rate.
 //!
 //! `cargo run -p incdx-bench --release --bin table2 -- [--trials N]
-//! [--vectors N] [--circuits a,b,c] [--seed N] [--time-limit SECS]`
+//! [--vectors N] [--circuits a,b,c] [--seed N] [--time-limit SECS]
+//! [--deadline-ms N] [--max-nodes N] [--chaos SEED,RATE]
+//! [--checkpoint PATH] [--resume PATH]`
+//!
+//! Exit codes follow the lint convention: 0 success, 1 engine error
+//! (with a one-line JSON record on stdout), 2 usage error.
+
+use std::process::ExitCode;
 
 use incdx_bench::{
-    dedc_trial, run_parallel, scan_core, Args, Table, DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
+    dedc_trial, engine_error, finish_with_checkpoint, load_checkpoint, parse_run_label,
+    run_parallel, try_scan_core, usage_error, Args, Table, TrialOptions, DEFAULT_COMB_CIRCUITS,
+    DEFAULT_SEQ_CIRCUITS,
 };
-use incdx_core::RectifyReport;
+use incdx_core::{Checkpoint, RectifyReport};
 
-fn main() {
+/// `--resume PATH`: re-runs exactly one checkpointed trial (to completion,
+/// or to the next armed limit) and reports it.
+fn resume_run(args: &Args, path: &str) -> ExitCode {
+    let checkpoint = match load_checkpoint(path) {
+        Ok(c) => c,
+        Err(e) => return usage_error(&e),
+    };
+    let Some((experiment, circuit, k, _trial)) = parse_run_label(&checkpoint.label) else {
+        return usage_error(&format!(
+            "unrecognized checkpoint label `{}`",
+            checkpoint.label
+        ));
+    };
+    if experiment != "table2" {
+        return usage_error(&format!(
+            "checkpoint label `{}` is not a table2 run",
+            checkpoint.label
+        ));
+    }
+    // §4.2: table2 diagnoses the original (unoptimized) netlists.
+    let golden = match try_scan_core(circuit) {
+        Ok(g) => g,
+        Err(e) => return usage_error(&e),
+    };
+    let label = checkpoint.label.clone();
+    let (seed, vectors) = (checkpoint.trial_seed, checkpoint.vectors);
+    let mut opts = TrialOptions::from_args(args).labelled(label.clone());
+    opts.resume = Some(checkpoint);
+    match dedc_trial(&golden, k, vectors, seed, args.time_limit, &opts) {
+        Err(e) => engine_error(&label, &e),
+        Ok(None) => usage_error(&format!("checkpoint workload `{label}` did not regenerate")),
+        Ok(Some(out)) => {
+            let report = RectifyReport::from_parts(
+                &label,
+                1,
+                out.solutions,
+                out.sites,
+                out.verdict,
+                out.partials,
+                out.stats,
+            );
+            println!("{}", report.to_json());
+            finish_with_checkpoint(args.checkpoint.as_deref(), out.checkpoint.as_ref())
+        }
+    }
+}
+
+fn main() -> ExitCode {
     let args = Args::parse();
+    if let Some(path) = args.resume.clone() {
+        return resume_run(&args, &path);
+    }
+    let base_opts = TrialOptions::from_args(&args);
+    let mut captured: Option<Checkpoint> = None;
     let error_counts = [3usize, 4];
     let circuits: Vec<String> = if args.circuits.is_empty() {
         DEFAULT_COMB_CIRCUITS
@@ -41,28 +102,37 @@ fn main() {
 
     for circuit in &circuits {
         // §4.2: original (unoptimized) netlists, observable errors.
-        let golden = scan_core(circuit);
+        let golden = match try_scan_core(circuit) {
+            Ok(g) => g,
+            Err(e) => return usage_error(&e),
+        };
         let mut row = vec![circuit.clone()];
         for k in error_counts {
             let outcomes = run_parallel(args.trials, args.jobs, |trial| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("table2", circuit, k, trial, attempt);
-                    if let Some(out) = dedc_trial(
-                        &golden,
-                        k,
-                        args.vectors,
-                        seed,
-                        args.time_limit,
-                        args.incremental,
-                        args.traversal,
-                        args.audit,
-                    ) {
-                        return Some(out);
+                    let opts = base_opts.labelled(format!("table2/{circuit}/k{k}/t{trial}"));
+                    match dedc_trial(&golden, k, args.vectors, seed, args.time_limit, &opts) {
+                        Ok(Some(out)) => return Ok(Some(out)),
+                        Ok(None) => continue,
+                        Err(e) => return Err((trial, e)),
                     }
                 }
-                None
+                Ok(None)
             });
-            let done: Vec<_> = outcomes.into_iter().flatten().collect();
+            let mut done = Vec::new();
+            for outcome in outcomes {
+                match outcome {
+                    Ok(Some(out)) => done.push(out),
+                    Ok(None) => {}
+                    Err((trial, e)) => {
+                        return engine_error(&format!("table2/{circuit}/k{k}/t{trial}"), &e)
+                    }
+                }
+            }
+            if captured.is_none() {
+                captured = done.iter().find_map(|o| o.checkpoint.clone());
+            }
             if args.json {
                 // Trials parallelize above, so the engine itself runs with
                 // jobs = 1 (`RectifyConfig` default) — reported as such.
@@ -73,6 +143,8 @@ fn main() {
                         1,
                         out.solutions,
                         out.sites,
+                        out.verdict,
+                        out.partials,
                         out.stats.clone(),
                     );
                     println!("{}", report.to_json());
@@ -109,4 +181,5 @@ fn main() {
         println!("{}", table.render().lines().last().unwrap_or(""));
     }
     println!("\n{table}");
+    finish_with_checkpoint(args.checkpoint.as_deref(), captured.as_ref())
 }

@@ -3,7 +3,11 @@
 
 use std::time::{Duration, Instant};
 
-use incdx_core::{Rectifier, RectifyConfig, RectifyStats, TraversalKind};
+use crate::args::Args;
+use incdx_core::{
+    ChaosConfig, Checkpoint, IncdxError, Rectifier, RectifyConfig, RectifyLimits, RectifyStats,
+    TraversalKind, Verdict,
+};
 use incdx_fault::{inject_design_errors, inject_stuck_at_faults, InjectionConfig, StuckAt};
 use incdx_netlist::{scan_convert, Netlist};
 use incdx_opt::{optimize_for_area, OptConfig};
@@ -26,12 +30,92 @@ pub const DEFAULT_SEQ_CIRCUITS: &[&str] = &["s298a", "s344a", "s641a", "s1238a",
 ///
 /// Panics on unknown circuit names.
 pub fn scan_core(name: &str) -> Netlist {
-    let n = incdx_gen::generate(name).unwrap_or_else(|e| panic!("{e}"));
+    try_scan_core(name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`scan_core`], for binaries that map unknown circuit
+/// names onto their usage-error exit path (code 2) instead of panicking.
+pub fn try_scan_core(name: &str) -> Result<Netlist, String> {
+    let n = incdx_gen::generate(name).map_err(|e| format!("{e}"))?;
     if n.is_combinational() {
-        n
+        Ok(n)
     } else {
-        scan_convert(&n).expect("suite circuits scan-convert").0
+        Ok(scan_convert(&n).map_err(|e| format!("{e}"))?.0)
     }
+}
+
+/// Engine-facing options shared by every trial: backend/traversal
+/// selection plus the resilience layer (limits, chaos, checkpointing).
+/// Bundled so the trial signatures stay stable as knobs accrue.
+#[derive(Debug, Clone, Default)]
+pub struct TrialOptions {
+    /// Event-driven incremental engine (see [`Args::incremental`]).
+    pub incremental: bool,
+    /// Decision-tree scheduling policy.
+    pub traversal: TraversalKind,
+    /// Engine invariant audit ([`RectifyConfig::audit`]).
+    pub audit: bool,
+    /// Cooperative resource limits (deadline, node/word budgets); an
+    /// exhausted limit yields a typed verdict, ranked partial solutions,
+    /// and a resumable checkpoint on the outcome.
+    pub limits: RectifyLimits,
+    /// Deterministic chaos fault injection (`--chaos`).
+    pub chaos: Option<ChaosConfig>,
+    /// Run label stamped into reports and any captured checkpoint
+    /// (`experiment/circuit/kN/tM`).
+    pub label: String,
+    /// Resume from this checkpoint instead of starting fresh. The trial
+    /// seed must regenerate the checkpointed workload — pass
+    /// [`Checkpoint::trial_seed`] and [`Checkpoint::vectors`] back in.
+    pub resume: Option<Checkpoint>,
+}
+
+impl TrialOptions {
+    /// Lifts the engine-relevant flags out of parsed [`Args`].
+    pub fn from_args(args: &Args) -> Self {
+        TrialOptions {
+            incremental: args.incremental,
+            traversal: args.traversal,
+            audit: args.audit,
+            limits: args.limits(),
+            chaos: args.chaos,
+            label: String::new(),
+            resume: None,
+        }
+    }
+
+    /// A copy of these options aimed at a specific run label.
+    pub fn labelled(&self, label: String) -> Self {
+        let mut opts = self.clone();
+        opts.label = label;
+        opts
+    }
+}
+
+/// Splits an `experiment/circuit/kN/tM` run label (the scheme the table
+/// binaries stamp into reports and checkpoints) into its fields, so
+/// `--resume` can re-dispatch a checkpoint to the right workload.
+pub fn parse_run_label(label: &str) -> Option<(&str, &str, usize, usize)> {
+    let mut it = label.split('/');
+    let experiment = it.next()?;
+    let circuit = it.next()?;
+    let k = it.next()?.strip_prefix('k')?.parse().ok()?;
+    let trial = it.next()?.strip_prefix('t')?.parse().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some((experiment, circuit, k, trial))
+}
+
+/// Reads and validates a checkpoint file written by `--checkpoint`.
+pub fn load_checkpoint(path: &str) -> Result<Checkpoint, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Checkpoint::from_json(text.trim()).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Writes a checkpoint as one line of JSON (the `--checkpoint` flag).
+pub fn save_checkpoint(path: &str, checkpoint: &Checkpoint) -> Result<(), String> {
+    std::fs::write(path, checkpoint.to_json() + "\n").map_err(|e| format!("{path}: {e}"))
 }
 
 /// One Table 1 trial.
@@ -49,6 +133,12 @@ pub struct StuckAtOutcome {
     pub masked: bool,
     /// Wall-clock for the whole diagnosis.
     pub total: Duration,
+    /// Typed run outcome ([`Verdict::Exact`] on a clean full search).
+    pub verdict: Verdict,
+    /// Ranked partial solutions reported on an early stop.
+    pub partials: usize,
+    /// Checkpoint captured when a limit or cancellation stopped the run.
+    pub checkpoint: Option<Checkpoint>,
     /// Engine statistics.
     pub stats: RectifyStats,
 }
@@ -57,29 +147,23 @@ pub struct StuckAtOutcome {
 /// scan-converted): inject `faults` random stuck-at faults, capture the
 /// device responses, diagnose exhaustively and verify.
 ///
-/// Returns `None` when injection cannot produce an observable corruption
-/// (tiny circuits) — the caller draws a new seed.
+/// Returns `Ok(None)` when injection cannot produce an observable
+/// corruption (tiny circuits) — the caller draws a new seed — and
+/// `Err` when the engine itself rejects the workload, so binaries can
+/// exit with a structured error record.
 ///
-/// `incremental` selects the event-driven incremental engine; `false`
-/// reverts to full cone resimulation (bit-identical results, more
-/// simulated words). `traversal` picks the decision-tree scheduling
-/// policy ([`TraversalKind::default`] is the paper's round-robin BFS).
-/// `audit` turns on the engine invariant audit
-/// ([`RectifyConfig::audit`]): results are unchanged, and the run's
-/// check/violation counts land in [`RectifyStats`].
-#[allow(clippy::too_many_arguments)]
+/// `opts` selects the evaluator backend and traversal policy and arms
+/// the resilience layer; see [`TrialOptions`].
 pub fn stuck_at_trial(
     golden: &Netlist,
     faults: usize,
     vectors: usize,
     seed: u64,
     time_limit: Duration,
-    incremental: bool,
-    traversal: TraversalKind,
-    audit: bool,
-) -> Option<StuckAtOutcome> {
+    opts: &TrialOptions,
+) -> Result<Option<StuckAtOutcome>, IncdxError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let injection = inject_stuck_at_faults(
+    let injection = match inject_stuck_at_faults(
         golden,
         &InjectionConfig {
             count: faults,
@@ -88,8 +172,10 @@ pub fn stuck_at_trial(
             max_attempts: 100,
         },
         &mut rng,
-    )
-    .ok()?;
+    ) {
+        Ok(injection) => injection,
+        Err(_) => return Ok(None),
+    };
     let mut vec_rng = StdRng::seed_from_u64(seed ^ 0x00D1_A600);
     let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
     let mut sim = Simulator::new();
@@ -98,24 +184,30 @@ pub fn stuck_at_trial(
         &sim.run_for_inputs(&injection.corrupted, golden.inputs(), &pi),
     );
     if device.po_values().rows() != golden.outputs().len() {
-        return None;
+        return Ok(None);
     }
     // The device might not be excited on this vector set; that is a
     // legitimate "no failing behaviour" outcome the harness skips.
     {
         let vals = sim.run(golden, &pi);
         if Response::compare(golden, &vals, &device).matches() {
-            return None;
+            return Ok(None);
         }
     }
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(time_limit);
-    config.incremental = incremental;
-    config.traversal = traversal;
-    config.audit = audit;
+    config.incremental = opts.incremental;
+    config.traversal = opts.traversal;
+    config.audit = opts.audit;
+    config.limits = opts.limits;
+    config.chaos = opts.chaos;
     let started = Instant::now();
-    let mut engine = Rectifier::new(golden.clone(), pi, device, config).ok()?;
-    let result = engine.run();
+    let mut engine = Rectifier::new(golden.clone(), pi, device, config)?;
+    engine.set_checkpoint_meta(opts.label.clone(), seed);
+    let result = match &opts.resume {
+        Some(checkpoint) => engine.resume(checkpoint)?,
+        None => engine.run(),
+    };
     let total = started.elapsed();
     let mut injected: Vec<StuckAt> = injection.injected.clone();
     injected.sort();
@@ -128,14 +220,17 @@ pub fn stuck_at_trial(
         .iter()
         .all(|s| s.corrections.len() < faults)
         && !result.solutions.is_empty();
-    Some(StuckAtOutcome {
+    Ok(Some(StuckAtOutcome {
         tuples: result.solutions.len(),
         sites: result.distinct_sites(),
         recovered,
         masked,
         total,
+        verdict: result.verdict,
+        partials: result.partials.len(),
+        checkpoint: result.checkpoint,
         stats: result.stats,
-    })
+    }))
 }
 
 /// One Table 2 trial.
@@ -149,27 +244,30 @@ pub struct DedcOutcome {
     pub sites: usize,
     /// Wall-clock for the whole rectification.
     pub total: Duration,
+    /// Typed run outcome ([`Verdict::Exact`] on a clean full search).
+    pub verdict: Verdict,
+    /// Ranked partial solutions reported on an early stop.
+    pub partials: usize,
+    /// Checkpoint captured when a limit or cancellation stopped the run.
+    pub checkpoint: Option<Checkpoint>,
     /// Engine statistics.
     pub stats: RectifyStats,
 }
 
 /// Runs one DEDC trial on `golden` (used as the specification): inject
 /// `errors` observable design errors, rectify the corrupted design, and
-/// verify any claimed solution. See [`stuck_at_trial`] for
-/// `incremental` and `traversal`.
-#[allow(clippy::too_many_arguments)]
+/// verify any claimed solution. See [`stuck_at_trial`] for the
+/// `Ok(None)` / `Err` split and [`TrialOptions`] for `opts`.
 pub fn dedc_trial(
     golden: &Netlist,
     errors: usize,
     vectors: usize,
     seed: u64,
     time_limit: Duration,
-    incremental: bool,
-    traversal: TraversalKind,
-    audit: bool,
-) -> Option<DedcOutcome> {
+    opts: &TrialOptions,
+) -> Result<Option<DedcOutcome>, IncdxError> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let injection = inject_design_errors(
+    let injection = match inject_design_errors(
         golden,
         &InjectionConfig {
             count: errors,
@@ -178,26 +276,33 @@ pub fn dedc_trial(
             max_attempts: 300,
         },
         &mut rng,
-    )
-    .ok()?;
+    ) {
+        Ok(injection) => injection,
+        Err(_) => return Ok(None),
+    };
     let mut vec_rng = StdRng::seed_from_u64(seed ^ 0x0DED_C000);
     let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
     let mut sim = Simulator::new();
     let spec = Response::capture(golden, &sim.run(golden, &pi));
     let mut config = RectifyConfig::dedc(errors);
     config.time_limit = Some(time_limit);
-    config.incremental = incremental;
-    config.traversal = traversal;
-    config.audit = audit;
+    config.incremental = opts.incremental;
+    config.traversal = opts.traversal;
+    config.audit = opts.audit;
+    config.limits = opts.limits;
+    config.chaos = opts.chaos;
     let started = Instant::now();
     let mut engine = Rectifier::new(
         injection.corrupted.clone(),
         pi.clone(),
         spec.clone(),
         config,
-    )
-    .ok()?;
-    let result = engine.run();
+    )?;
+    engine.set_checkpoint_meta(opts.label.clone(), seed);
+    let result = match &opts.resume {
+        Some(checkpoint) => engine.resume(checkpoint)?,
+        None => engine.run(),
+    };
     let total = started.elapsed();
     let solved = match result.solutions.first() {
         Some(solution) => {
@@ -216,13 +321,16 @@ pub fn dedc_trial(
         }
         None => false,
     };
-    Some(DedcOutcome {
+    Ok(Some(DedcOutcome {
         solved,
         solutions: result.solutions.len(),
         sites: result.distinct_sites(),
         total,
+        verdict: result.verdict,
+        partials: result.partials.len(),
+        checkpoint: result.checkpoint,
         stats: result.stats,
-    })
+    }))
 }
 
 /// Optimizes a circuit the way §4.1 prescribes for the stuck-at
@@ -243,48 +351,111 @@ pub fn optimize_for_table1(netlist: &Netlist) -> Netlist {
 mod tests {
     use super::*;
 
+    fn base_opts() -> TrialOptions {
+        TrialOptions {
+            incremental: true,
+            traversal: TraversalKind::default(),
+            ..TrialOptions::default()
+        }
+    }
+
     #[test]
     fn stuck_at_trial_on_small_circuit() {
         let golden = scan_core("c432a");
-        let out = stuck_at_trial(
-            &golden,
-            1,
-            256,
-            3,
-            Duration::from_secs(20),
-            true,
-            TraversalKind::default(),
-            false,
-        )
-        .expect("injectable");
+        let out = stuck_at_trial(&golden, 1, 256, 3, Duration::from_secs(20), &base_opts())
+            .expect("well-formed workload")
+            .expect("injectable");
         assert!(out.tuples >= 1);
         assert!(out.recovered);
         assert!(!out.masked);
         assert!(out.sites >= out.tuples.min(1));
+        assert_eq!(out.verdict, Verdict::Exact);
+        assert_eq!(out.partials, 0);
+        assert!(out.checkpoint.is_none(), "clean run captures no checkpoint");
     }
 
     #[test]
     fn dedc_trial_on_small_circuit() {
         let golden = scan_core("c432a");
-        let out = dedc_trial(
-            &golden,
-            1,
-            256,
-            5,
-            Duration::from_secs(20),
-            true,
-            TraversalKind::default(),
-            true,
-        )
-        .expect("injectable");
+        let mut opts = base_opts();
+        opts.audit = true;
+        let out = dedc_trial(&golden, 1, 256, 5, Duration::from_secs(20), &opts)
+            .expect("well-formed workload")
+            .expect("injectable");
         assert!(out.solved);
+        assert_eq!(out.verdict, Verdict::Exact);
         assert!(out.stats.audit_checks > 0, "audit layer ran");
         assert_eq!(out.stats.audit_violations, 0, "c432a audits clean");
+    }
+
+    #[test]
+    fn deadline_trial_checkpoints_and_resumes_identically() {
+        let golden = scan_core("c432a");
+        // An impossible deadline stops the run at the first plan boundary.
+        let mut limited = base_opts();
+        limited.label = "table2/c432a/k2/t0".to_string();
+        limited.limits.deadline = Some(Duration::ZERO);
+        let out = dedc_trial(&golden, 2, 256, 5, Duration::from_secs(20), &limited)
+            .expect("well-formed workload")
+            .expect("injectable");
+        assert_eq!(out.verdict, Verdict::DeadlineExceeded);
+        assert!(out.partials > 0, "ranked partials on early stop");
+        let checkpoint = out.checkpoint.expect("early stop captures a checkpoint");
+        assert_eq!(checkpoint.label, "table2/c432a/k2/t0");
+        assert_eq!(checkpoint.trial_seed, 5);
+        assert_eq!(checkpoint.vectors, 256);
+
+        // Resume without limits and compare against the unlimited run.
+        let mut resume = base_opts();
+        resume.resume = Some(checkpoint);
+        let resumed = dedc_trial(&golden, 2, 256, 5, Duration::from_secs(20), &resume)
+            .expect("resume accepted")
+            .expect("injectable");
+        let fresh = dedc_trial(&golden, 2, 256, 5, Duration::from_secs(20), &base_opts())
+            .expect("well-formed workload")
+            .expect("injectable");
+        assert_eq!(resumed.verdict, fresh.verdict);
+        assert_eq!(resumed.solutions, fresh.solutions);
+        assert_eq!(resumed.sites, fresh.sites);
+        assert_eq!(resumed.solved, fresh.solved);
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let golden = scan_core("c432a");
+        let mut limited = base_opts();
+        limited.label = "table2/c432a/k2/t1".to_string();
+        limited.limits.max_total_nodes = Some(1);
+        let out = dedc_trial(&golden, 2, 256, 5, Duration::from_secs(20), &limited)
+            .expect("well-formed workload")
+            .expect("injectable");
+        let checkpoint = out.checkpoint.expect("budget stop captures a checkpoint");
+        let path = std::env::temp_dir().join("incdx_bench_ckpt_roundtrip.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        save_checkpoint(path, &checkpoint).expect("writable temp dir");
+        let loaded = load_checkpoint(path).expect("round trip");
+        assert_eq!(loaded.label, checkpoint.label);
+        assert_eq!(loaded.plan_pos, checkpoint.plan_pos);
+        assert_eq!(loaded.nodes.len(), checkpoint.nodes.len());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_labels_parse_and_reject_other_schemes() {
+        assert_eq!(
+            parse_run_label("table1/c432a/k3/t7"),
+            Some(("table1", "c432a", 3, 7))
+        );
+        assert_eq!(parse_run_label("fig2/c432a/budget4"), None);
+        assert_eq!(parse_run_label("table1/c432a/k3"), None);
+        assert_eq!(parse_run_label("table1/c432a/k3/t7/extra"), None);
+        assert_eq!(parse_run_label("table1/c432a/3/t7"), None);
     }
 
     #[test]
     fn scan_core_handles_both_families() {
         assert!(scan_core("c17").is_combinational());
         assert!(scan_core("s298a").is_combinational());
+        assert!(try_scan_core("not-a-circuit").is_err());
     }
 }

@@ -16,12 +16,15 @@
 //! reproducible.
 
 mod args;
+mod exit;
 mod experiments;
 mod table;
 
 pub use args::Args;
+pub use exit::{engine_error, engine_error_record, finish_with_checkpoint, usage_error};
 pub use experiments::{
-    dedc_trial, optimize_for_table1, scan_core, stuck_at_trial, DedcOutcome, StuckAtOutcome,
+    dedc_trial, load_checkpoint, optimize_for_table1, parse_run_label, save_checkpoint, scan_core,
+    stuck_at_trial, try_scan_core, DedcOutcome, StuckAtOutcome, TrialOptions,
     DEFAULT_COMB_CIRCUITS, DEFAULT_SEQ_CIRCUITS,
 };
 pub use incdx_core::run_parallel;

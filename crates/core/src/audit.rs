@@ -8,7 +8,7 @@
 //! * **structural sanity** — a corrected node circuit must stay acyclic
 //!   (corrections are cycle-screened upstream; a cycle here is an
 //!   engine bug);
-//! * **sampled replay** — every [`SAMPLE_STRIDE`]-th preparation is
+//! * **sampled replay** — every `SAMPLE_STRIDE`-th preparation is
 //!   rebuilt from the base circuit and fully resimulated on a private
 //!   simulator, and the matrices compared bit-for-bit. This is the
 //!   cache-coherence oracle for the incremental backend: a stale
@@ -30,6 +30,7 @@ use incdx_netlist::Netlist;
 use incdx_sim::{PackedMatrix, Simulator};
 
 use crate::evaluator::{EvalContext, Evaluator, PreparedNode, SimCounters};
+use crate::limits::{DegradationEvent, DegradationKind};
 
 /// Every `SAMPLE_STRIDE`-th preparation is replayed from scratch. Small
 /// enough to exercise deep tuples, large enough that an audited run
@@ -39,6 +40,20 @@ const SAMPLE_STRIDE: u64 = 7;
 /// Evaluator decorator running the invariant checks described in the
 /// module docs. Wraps the configured backend (outermost, so it sees
 /// exactly what the engine sees) when [`RectifyConfig::audit`] is set.
+///
+/// Two flavours:
+///
+/// * [`Auditing::new`] — the fail-fast audit: sampled replay (every
+///   `SAMPLE_STRIDE`-th prepare), violations recorded and (in debug
+///   builds) asserted on. A violation means an engine bug.
+/// * [`Auditing::resilient`] — the repairing audit used under chaos
+///   injection and evaluator fallback: *every* prepare is replayed,
+///   a corrupted matrix is **substituted** with the from-scratch
+///   reference instead of asserted on, and each repair is recorded as
+///   a structured [`DegradationEvent`] the session folds into
+///   [`RectifyStats`](crate::RectifyStats). Because the repaired
+///   matrix is what the engine (and any retained cache entry) sees,
+///   corruption can never poison downstream results.
 ///
 /// [`RectifyConfig::audit`]: crate::RectifyConfig::audit
 #[derive(Debug)]
@@ -50,10 +65,19 @@ pub struct Auditing {
     prepares: u64,
     checks: u64,
     violations: u64,
+    /// Replay every `stride`-th prepare (1 = every prepare).
+    stride: u64,
+    /// Substitute the replay reference on divergence instead of only
+    /// recording the violation.
+    repair: bool,
+    /// `debug_assert` on violations (the engine-bug audit) vs record
+    /// and continue (the resilience audit).
+    fail_fast: bool,
+    degradations: Vec<DegradationEvent>,
 }
 
 impl Auditing {
-    /// Wraps `inner` in the audit layer.
+    /// Wraps `inner` in the fail-fast audit layer.
     pub fn new(inner: Box<dyn Evaluator>) -> Self {
         Auditing {
             inner,
@@ -61,27 +85,46 @@ impl Auditing {
             prepares: 0,
             checks: 0,
             violations: 0,
+            stride: SAMPLE_STRIDE,
+            repair: false,
+            fail_fast: true,
+            degradations: Vec::new(),
         }
+    }
+
+    /// Wraps `inner` in the repairing audit layer: full-coverage replay,
+    /// divergence repaired by substitution and recorded as a
+    /// degradation. The evaluator stack the session builds under
+    /// `--chaos` (`audit(chaos(backend))`) relies on this layer to
+    /// catch every injected corruption.
+    pub fn resilient(inner: Box<dyn Evaluator>) -> Self {
+        let mut audit = Auditing::new(inner);
+        audit.stride = 1;
+        audit.repair = true;
+        audit.fail_fast = false;
+        audit
     }
 
     fn violation(&mut self, what: &str) {
         self.violations += 1;
-        debug_assert!(false, "audit: {what}");
+        if self.fail_fast {
+            debug_assert!(false, "audit: {what}");
+        }
     }
 
     fn check_prepared(
         &mut self,
         ctx: &EvalContext<'_>,
         corrections: &[Correction],
-        node: &PreparedNode,
+        node: &mut PreparedNode,
     ) {
         // Width consistency: a row per gate, a column set matching the
         // vectors. The screening stages index the matrix by gate id and
         // by vector word, so either mismatch corrupts the search.
         self.checks += 1;
-        if node.vals.rows() < node.netlist.len()
-            || node.vals.num_vectors() != ctx.vectors.num_vectors()
-        {
+        let width_bad = node.vals.rows() < node.netlist.len()
+            || node.vals.num_vectors() != ctx.vectors.num_vectors();
+        if width_bad {
             self.violation("prepared matrix shape diverges from (gates × vectors)");
         }
         // Structural sanity of the corrected circuit.
@@ -89,14 +132,34 @@ impl Auditing {
         if !node.netlist.is_acyclic() {
             self.violation("corrected node circuit is cyclic");
         }
-        // Sampled replay against a from-scratch rebuild.
-        if self.prepares.is_multiple_of(SAMPLE_STRIDE) {
+        // Replay against a from-scratch rebuild: sampled in fail-fast
+        // mode, forced whenever the width check already failed and a
+        // repair is possible.
+        if self.prepares.is_multiple_of(self.stride) || (width_bad && self.repair) {
             self.checks += 1;
             if let Some(reference) = self.replay(ctx, corrections) {
                 let agree = reference.rows() == node.vals.rows()
                     && (0..reference.rows()).all(|r| reference.row(r) == node.vals.row(r));
                 if !agree {
-                    self.violation("prepared matrix diverges from from-scratch replay");
+                    if !width_bad {
+                        self.violation("prepared matrix diverges from from-scratch replay");
+                    }
+                    if self.repair {
+                        let kind = if width_bad {
+                            DegradationKind::AuditRepair
+                        } else {
+                            DegradationKind::EvaluatorFallback
+                        };
+                        self.degradations.push(DegradationEvent::new(
+                            kind,
+                            1,
+                            format!(
+                                "replay substituted for a {}-correction node",
+                                corrections.len()
+                            ),
+                        ));
+                        node.vals = reference;
+                    }
                 }
             } else {
                 self.violation("corrections replayable by the backend failed to re-apply");
@@ -129,6 +192,10 @@ impl Evaluator for Auditing {
             "from-scratch" => "audit+from-scratch",
             "parallel+incremental" => "audit+parallel+incremental",
             "parallel+from-scratch" => "audit+parallel+from-scratch",
+            "chaos+incremental" => "audit+chaos+incremental",
+            "chaos+from-scratch" => "audit+chaos+from-scratch",
+            "chaos+parallel+incremental" => "audit+chaos+parallel+incremental",
+            "chaos+parallel+from-scratch" => "audit+chaos+parallel+from-scratch",
             _ => "audit",
         }
     }
@@ -154,10 +221,10 @@ impl Evaluator for Auditing {
         ctx: &mut EvalContext<'_>,
         corrections: &[Correction],
     ) -> Option<PreparedNode> {
-        let node = self.inner.prepare(ctx, corrections)?;
+        let mut node = self.inner.prepare(ctx, corrections)?;
         // Counted after sampling, so the very first preparation (the
         // root) is always replayed.
-        self.check_prepared(ctx, corrections, &node);
+        self.check_prepared(ctx, corrections, &mut node);
         self.prepares += 1;
         Some(node)
     }
@@ -176,6 +243,17 @@ impl Evaluator for Auditing {
         self.prepares = 0;
         self.checks = 0;
         self.violations = 0;
+        self.degradations.clear();
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.inner.retained_bytes()
+    }
+
+    fn take_degradations(&mut self) -> Vec<DegradationEvent> {
+        let mut events = std::mem::take(&mut self.degradations);
+        events.extend(self.inner.take_degradations());
+        events
     }
 }
 
@@ -280,5 +358,79 @@ mod tests {
         prepare(&mut aud, &n, &pi, &[]);
         // Release builds record instead of panicking.
         assert!(aud.counters().audit_violations > 0);
+    }
+
+    #[test]
+    fn resilient_mode_repairs_a_truncated_matrix() {
+        let (n, pi) = setup();
+        let mut aud = Auditing::resilient(Box::new(Truncating(FromScratch::new())));
+        let inputs: Vec<GateId> = n.inputs().to_vec();
+        let mut cones = ConeCache::new(&n);
+        let mut ctx = EvalContext {
+            base: &n,
+            base_inputs: &inputs,
+            vectors: &pi,
+            base_cones: &mut cones,
+        };
+        let node = aud.prepare(&mut ctx, &[]).expect("repaired, not dead");
+        assert_eq!(node.vals.rows(), n.len(), "full matrix substituted");
+        let events = aud.take_degradations();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, crate::limits::DegradationKind::AuditRepair);
+        assert!(aud.take_degradations().is_empty(), "drained");
+        // The substituted matrix equals a from-scratch reference.
+        let mut oracle = FromScratch::new();
+        let mut cones2 = ConeCache::new(&n);
+        let mut ctx2 = EvalContext {
+            base: &n,
+            base_inputs: &inputs,
+            vectors: &pi,
+            base_cones: &mut cones2,
+        };
+        let reference = oracle.prepare(&mut ctx2, &[]).expect("oracle prepares");
+        for r in 0..reference.vals.rows() {
+            assert_eq!(reference.vals.row(r), node.vals.row(r), "row {r}");
+        }
+    }
+
+    #[test]
+    fn resilient_mode_repairs_a_flipped_bit() {
+        use crate::chaos::{Chaos, ChaosConfig, ChaosState};
+        let (n, pi) = setup();
+        // Rate 1.0 chaos guarantees a corruption on the first prepare;
+        // the resilient audit must hand the engine a clean matrix and
+        // record exactly one degradation per corruption.
+        let state = ChaosState::new(ChaosConfig { seed: 2, rate: 1.0 });
+        let chaotic = Chaos::new(Box::new(Incremental::new(0)), state.clone());
+        let mut aud = Auditing::resilient(Box::new(chaotic));
+        assert_eq!(aud.name(), "audit+chaos+incremental");
+        let inputs: Vec<GateId> = n.inputs().to_vec();
+        let mut cones = ConeCache::new(&n);
+        let mut ctx = EvalContext {
+            base: &n,
+            base_inputs: &inputs,
+            vectors: &pi,
+            base_cones: &mut cones,
+        };
+        let node = aud.prepare(&mut ctx, &[]).expect("repaired");
+        assert!(state.summary().total() >= 1, "chaos injected");
+        assert_eq!(
+            aud.take_degradations().len() as u64,
+            state.summary().total(),
+            "every injected fault shows up as a degradation event"
+        );
+        let mut oracle = FromScratch::new();
+        let mut cones2 = ConeCache::new(&n);
+        let mut ctx2 = EvalContext {
+            base: &n,
+            base_inputs: &inputs,
+            vectors: &pi,
+            base_cones: &mut cones2,
+        };
+        let reference = oracle.prepare(&mut ctx2, &[]).expect("oracle prepares");
+        assert_eq!(reference.vals.rows(), node.vals.rows());
+        for r in 0..reference.vals.rows() {
+            assert_eq!(reference.vals.row(r), node.vals.row(r), "row {r}");
+        }
     }
 }

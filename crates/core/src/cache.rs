@@ -104,8 +104,7 @@ impl NodeMatrixCache {
         }
     }
 
-    /// Bytes currently held.
-    #[cfg(test)]
+    /// Bytes currently held (feeds the engine's retained-memory budget).
     pub fn bytes(&self) -> usize {
         self.bytes
     }

@@ -1,0 +1,809 @@
+//! Versioned JSON checkpoints for interrupted runs.
+//!
+//! When a supervised [`Rectifier`](crate::Rectifier) run stops on a
+//! deadline, budget, or cancellation, the engine serializes the live
+//! search state — the decision-tree frontier (every node with its
+//! candidate cursor), the visited-tuple set, the solutions accepted so
+//! far, and the round plan position — into a [`Checkpoint`].
+//! [`Rectifier::resume`](crate::Rectifier::resume) rehydrates that
+//! state and continues the search; because every evaluator backend is a
+//! pure function of the base circuit and the applied corrections, a
+//! resumed run reaches a solution set bit-identical to an uninterrupted
+//! one.
+//!
+//! The format is a single line of JSON, hand-rolled like the rest of
+//! the workspace's serialization (no serde): integers, booleans,
+//! strings, arrays and objects only. Candidate scores are `f64`s
+//! serialized as their IEEE-754 **bit patterns** (`u64`) so round-trips
+//! are exact. The full schema is documented in `EXPERIMENTS.md`.
+//!
+//! The checkpoint pins the session it belongs to: a structural
+//! fingerprint of the base netlist ([`netlist_fingerprint`]), the gate
+//! and vector counts, and the schema [`CHECKPOINT_VERSION`]. Resume
+//! refuses a checkpoint whose pins disagree with the session.
+
+use incdx_fault::{Correction, CorrectionAction};
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+use crate::error::IncdxError;
+use crate::tree::RankedCorrection;
+
+/// Schema version written by [`Checkpoint::to_json`] and required by
+/// [`Checkpoint::from_json`].
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One serialized decision-tree node: the tuple it represents, its
+/// surviving candidate list, the expansion cursor, and the failing
+/// count observed at evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointNode {
+    /// Corrections on the path from the root, in application order.
+    pub corrections: Vec<Correction>,
+    /// Screened candidates, best rank first.
+    pub candidates: Vec<RankedCorrection>,
+    /// Index of the next untried candidate.
+    pub next: usize,
+    /// Failing vectors when the node was evaluated.
+    pub failing: usize,
+}
+
+/// A serializable snapshot of an interrupted search (see the module
+/// docs). Produced by the engine on deadline/budget/cancel stops;
+/// consumed by [`Rectifier::resume`](crate::Rectifier::resume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// Harness-assigned run label (e.g. `table2/c432a/k3/t0`); empty
+    /// when the engine captured the checkpoint outside a bench run.
+    pub label: String,
+    /// Harness-assigned trial seed, so a driver can regenerate the
+    /// injected faults and vectors; 0 when not applicable.
+    pub trial_seed: u64,
+    /// Vector count of the run (pin: resume requires a matching set).
+    pub vectors: usize,
+    /// Gate count of the base netlist (pin).
+    pub base_gates: usize,
+    /// Structural fingerprint of the base netlist (pin; see
+    /// [`netlist_fingerprint`]).
+    pub base_hash: u64,
+    /// Parameter-ladder level the search was on.
+    pub level: usize,
+    /// Traversal iterations consumed at this level.
+    pub iterations: usize,
+    /// The round plan being drained when the run stopped (node
+    /// indices).
+    pub plan: Vec<usize>,
+    /// Position of the first *unprocessed* plan entry.
+    pub plan_pos: usize,
+    /// The decision tree, in creation order (index = node id).
+    pub nodes: Vec<CheckpointNode>,
+    /// Canonical (sorted) correction tuples already evaluated.
+    pub visited: Vec<Vec<Correction>>,
+    /// Solutions accepted before the stop, in discovery order.
+    pub solutions: Vec<Vec<Correction>>,
+}
+
+impl Checkpoint {
+    /// Renders the checkpoint as a single line of JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"checkpoint\":\"incdx\"");
+        push_kv_u64(&mut out, "version", u64::from(self.version));
+        push_kv_str(&mut out, "label", &self.label);
+        push_kv_u64(&mut out, "trial_seed", self.trial_seed);
+        push_kv_u64(&mut out, "vectors", self.vectors as u64);
+        out.push_str(&format!(
+            ",\"base\":{{\"gates\":{},\"hash\":{}}}",
+            self.base_gates, self.base_hash
+        ));
+        out.push_str(&format!(
+            ",\"search\":{{\"level\":{},\"iterations\":{},\"plan\":[",
+            self.level, self.iterations
+        ));
+        for (i, p) in self.plan.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.to_string());
+        }
+        out.push_str(&format!("],\"plan_pos\":{}}}", self.plan_pos));
+        out.push_str(",\"nodes\":[");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_node(&mut out, n);
+        }
+        out.push_str("],\"visited\":[");
+        for (i, v) in self.visited.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_corrections(&mut out, v);
+        }
+        out.push_str("],\"solutions\":[");
+        for (i, s) in self.solutions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_corrections(&mut out, s);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a checkpoint produced by [`Checkpoint::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`IncdxError::Checkpoint`] on malformed JSON, an unknown schema
+    /// version, or any field outside its domain.
+    pub fn from_json(text: &str) -> Result<Checkpoint, IncdxError> {
+        parse_checkpoint(text).map_err(|reason| IncdxError::Checkpoint { reason })
+    }
+}
+
+/// FNV-1a structural fingerprint of a netlist: gate kinds, fanin
+/// wiring, and the primary-output list. Renaming wires does not change
+/// the fingerprint; any structural edit does (modulo hash collisions,
+/// which resume additionally guards against with the gate count).
+pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for i in 0..netlist.len() {
+        let gate = netlist.gate(GateId::from_index(i));
+        mix(gate.kind().token().as_bytes());
+        for fi in gate.fanins() {
+            mix(&(fi.index() as u64).to_le_bytes());
+        }
+        mix(&[0xff]);
+    }
+    mix(&[0xfe]);
+    for o in netlist.outputs() {
+        mix(&(o.index() as u64).to_le_bytes());
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn push_kv_u64(out: &mut String, key: &str, v: u64) {
+    out.push_str(&format!(",\"{key}\":{v}"));
+}
+
+fn push_kv_str(out: &mut String, key: &str, v: &str) {
+    out.push_str(&format!(",\"{key}\":\"{}\"", crate::report::escape_json(v)));
+}
+
+fn write_node(out: &mut String, n: &CheckpointNode) {
+    out.push_str(&format!("{{\"next\":{},\"failing\":{}", n.next, n.failing));
+    out.push_str(",\"corrections\":");
+    write_corrections(out, &n.corrections);
+    out.push_str(",\"candidates\":[");
+    for (i, rc) in n.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_ranked(out, rc);
+    }
+    out.push_str("]}");
+}
+
+fn write_corrections(out: &mut String, cs: &[Correction]) {
+    out.push('[');
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_correction(out, c);
+    }
+    out.push(']');
+}
+
+fn write_correction(out: &mut String, c: &Correction) {
+    out.push_str(&format!("{{\"line\":{}", c.line().index()));
+    match c.action() {
+        CorrectionAction::SetConst(v) => out.push_str(&format!(",\"t\":\"set-const\",\"v\":{v}")),
+        CorrectionAction::ChangeKind(kind) => out.push_str(&format!(
+            ",\"t\":\"change-kind\",\"k\":\"{}\"",
+            kind.token()
+        )),
+        CorrectionAction::InvertInput { port } => {
+            out.push_str(&format!(",\"t\":\"invert-input\",\"p\":{port}"))
+        }
+        CorrectionAction::RemoveInput { port } => {
+            out.push_str(&format!(",\"t\":\"remove-input\",\"p\":{port}"))
+        }
+        CorrectionAction::AddInput { source } => {
+            out.push_str(&format!(",\"t\":\"add-input\",\"s\":{}", source.index()))
+        }
+        CorrectionAction::ReplaceInput { port, source } => out.push_str(&format!(
+            ",\"t\":\"replace-input\",\"p\":{port},\"s\":{}",
+            source.index()
+        )),
+        CorrectionAction::WireThrough { port } => {
+            out.push_str(&format!(",\"t\":\"wire-through\",\"p\":{port}"))
+        }
+        CorrectionAction::InsertGate { kind, other } => out.push_str(&format!(
+            ",\"t\":\"insert-gate\",\"k\":\"{}\",\"s\":{}",
+            kind.token(),
+            other.index()
+        )),
+    }
+    out.push('}');
+}
+
+fn write_ranked(out: &mut String, rc: &RankedCorrection) {
+    out.push_str("{\"c\":");
+    write_correction(out, &rc.correction);
+    // Scores as IEEE-754 bit patterns for an exact round-trip.
+    out.push_str(&format!(
+        ",\"rank\":{},\"h1\":{},\"h2\":{},\"h3\":{}}}",
+        rc.rank.to_bits(),
+        rc.h1_score.to_bits(),
+        rc.h2_fraction.to_bits(),
+        rc.h3_score.to_bits()
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Parsing: a minimal recursive-descent JSON reader covering exactly the
+// value kinds the writer emits (unsigned integers, booleans, strings,
+// arrays, objects). Result-based throughout — the engine crate never
+// panics on malformed input.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Bool(bool),
+    UInt(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            _ => Err(format!("expected object while reading `{key}`")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::UInt(v) => Ok(*v),
+            _ => Err("expected unsigned integer".to_string()),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, String> {
+        usize::try_from(self.as_u64()?).map_err(|_| "integer out of range".to_string())
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected string".to_string()),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err("expected boolean".to_string()),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected array".to_string()),
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+const MAX_DEPTH: usize = 32;
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Ok(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        match self.peek()? {
+            b'{' => self.object(depth),
+            b'[' => self.array(depth),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E' | b'-')) {
+            return Err(format!(
+                "only unsigned integers are valid here (byte {start})"
+            ));
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        digits
+            .parse::<u64>()
+            .map(Json::UInt)
+            .map_err(|_| format!("integer overflow at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-read at char granularity for multi-byte UTF-8.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.consume(b',')?;
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.consume(b':')?;
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            self.consume(b',')?;
+        }
+    }
+}
+
+fn parse_checkpoint(text: &str) -> Result<Checkpoint, String> {
+    let mut reader = Reader::new(text);
+    let root = reader.value(0)?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", reader.pos));
+    }
+    if root.get("checkpoint")?.as_str()? != "incdx" {
+        return Err("not an incdx checkpoint".to_string());
+    }
+    let version = u32::try_from(root.get("version")?.as_u64()?)
+        .map_err(|_| "version out of range".to_string())?;
+    if version != CHECKPOINT_VERSION {
+        return Err(format!(
+            "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+        ));
+    }
+    let base = root.get("base")?;
+    let search = root.get("search")?;
+    let plan = search
+        .get("plan")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_usize)
+        .collect::<Result<Vec<usize>, String>>()?;
+    let nodes = root
+        .get("nodes")?
+        .as_arr()?
+        .iter()
+        .map(parse_node)
+        .collect::<Result<Vec<CheckpointNode>, String>>()?;
+    let visited = parse_tuple_list(root.get("visited")?)?;
+    let solutions = parse_tuple_list(root.get("solutions")?)?;
+    let ckpt = Checkpoint {
+        version,
+        label: root.get("label")?.as_str()?.to_string(),
+        trial_seed: root.get("trial_seed")?.as_u64()?,
+        vectors: root.get("vectors")?.as_usize()?,
+        base_gates: base.get("gates")?.as_usize()?,
+        base_hash: base.get("hash")?.as_u64()?,
+        level: search.get("level")?.as_usize()?,
+        iterations: search.get("iterations")?.as_usize()?,
+        plan,
+        plan_pos: search.get("plan_pos")?.as_usize()?,
+        nodes,
+        visited,
+        solutions,
+    };
+    if ckpt.plan_pos > ckpt.plan.len() {
+        return Err("plan_pos past the end of the plan".to_string());
+    }
+    if let Some(&bad) = ckpt.plan.iter().find(|&&idx| idx >= ckpt.nodes.len()) {
+        return Err(format!("plan references missing node {bad}"));
+    }
+    for n in &ckpt.nodes {
+        if n.next > n.candidates.len() {
+            return Err("node cursor past its candidate list".to_string());
+        }
+    }
+    Ok(ckpt)
+}
+
+fn parse_tuple_list(v: &Json) -> Result<Vec<Vec<Correction>>, String> {
+    v.as_arr()?
+        .iter()
+        .map(|tuple| tuple.as_arr()?.iter().map(parse_correction).collect())
+        .collect()
+}
+
+fn parse_node(v: &Json) -> Result<CheckpointNode, String> {
+    Ok(CheckpointNode {
+        corrections: v
+            .get("corrections")?
+            .as_arr()?
+            .iter()
+            .map(parse_correction)
+            .collect::<Result<Vec<Correction>, String>>()?,
+        candidates: v
+            .get("candidates")?
+            .as_arr()?
+            .iter()
+            .map(parse_ranked)
+            .collect::<Result<Vec<RankedCorrection>, String>>()?,
+        next: v.get("next")?.as_usize()?,
+        failing: v.get("failing")?.as_usize()?,
+    })
+}
+
+fn parse_gate_id(v: &Json) -> Result<GateId, String> {
+    let idx = v.as_u64()?;
+    if idx > u64::from(u32::MAX) {
+        return Err(format!("gate id {idx} out of range"));
+    }
+    Ok(GateId::from_index(idx as usize))
+}
+
+fn parse_gate_kind(v: &Json) -> Result<GateKind, String> {
+    let token = v.as_str()?;
+    GateKind::from_token(token).ok_or_else(|| format!("unknown gate kind `{token}`"))
+}
+
+fn parse_correction(v: &Json) -> Result<Correction, String> {
+    let line = parse_gate_id(v.get("line")?)?;
+    let action = match v.get("t")?.as_str()? {
+        "set-const" => CorrectionAction::SetConst(v.get("v")?.as_bool()?),
+        "change-kind" => CorrectionAction::ChangeKind(parse_gate_kind(v.get("k")?)?),
+        "invert-input" => CorrectionAction::InvertInput {
+            port: v.get("p")?.as_usize()?,
+        },
+        "remove-input" => CorrectionAction::RemoveInput {
+            port: v.get("p")?.as_usize()?,
+        },
+        "add-input" => CorrectionAction::AddInput {
+            source: parse_gate_id(v.get("s")?)?,
+        },
+        "replace-input" => CorrectionAction::ReplaceInput {
+            port: v.get("p")?.as_usize()?,
+            source: parse_gate_id(v.get("s")?)?,
+        },
+        "wire-through" => CorrectionAction::WireThrough {
+            port: v.get("p")?.as_usize()?,
+        },
+        "insert-gate" => CorrectionAction::InsertGate {
+            kind: parse_gate_kind(v.get("k")?)?,
+            other: parse_gate_id(v.get("s")?)?,
+        },
+        other => return Err(format!("unknown correction tag `{other}`")),
+    };
+    Ok(Correction::new(line, action))
+}
+
+fn parse_ranked(v: &Json) -> Result<RankedCorrection, String> {
+    Ok(RankedCorrection {
+        correction: parse_correction(v.get("c")?)?,
+        rank: f64::from_bits(v.get("rank")?.as_u64()?),
+        h1_score: f64::from_bits(v.get("h1")?.as_u64()?),
+        h2_fraction: f64::from_bits(v.get("h2")?.as_u64()?),
+        h3_score: f64::from_bits(v.get("h3")?.as_u64()?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+
+    fn sample() -> Checkpoint {
+        let c1 = Correction::new(GateId(3), CorrectionAction::SetConst(true));
+        let c2 = Correction::new(
+            GateId(7),
+            CorrectionAction::InsertGate {
+                kind: GateKind::Nand,
+                other: GateId(1),
+            },
+        );
+        let c3 = Correction::new(
+            GateId(2),
+            CorrectionAction::ReplaceInput {
+                port: 1,
+                source: GateId(0),
+            },
+        );
+        let rc = |c: Correction, rank: f64| RankedCorrection {
+            correction: c,
+            rank,
+            h1_score: 0.31, // deliberately not exactly representable sums
+            h2_fraction: 2.0 / 3.0,
+            h3_score: 0.1 + 0.2,
+        };
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            label: "table2/c432a/k3/t0".to_string(),
+            trial_seed: 0xdead_beef,
+            vectors: 1024,
+            base_gates: 196,
+            base_hash: 0x1234_5678_9abc_def0,
+            level: 2,
+            iterations: 5,
+            plan: vec![0, 1],
+            plan_pos: 1,
+            nodes: vec![
+                CheckpointNode {
+                    corrections: vec![],
+                    candidates: vec![rc(c1, 0.9), rc(c2, 0.5)],
+                    next: 1,
+                    failing: 12,
+                },
+                CheckpointNode {
+                    corrections: vec![c1],
+                    candidates: vec![rc(c3, f64::NAN)],
+                    next: 0,
+                    failing: 4,
+                },
+            ],
+            visited: vec![vec![], vec![c1]],
+            solutions: vec![vec![c1, c2]],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let ckpt = sample();
+        let json = ckpt.to_json();
+        assert!(!json.contains('\n'));
+        let back = Checkpoint::from_json(&json).unwrap();
+        // NaN != NaN, so compare everything else structurally and the
+        // scores by bit pattern.
+        assert_eq!(back.label, ckpt.label);
+        assert_eq!(back.trial_seed, ckpt.trial_seed);
+        assert_eq!(back.vectors, ckpt.vectors);
+        assert_eq!(back.base_gates, ckpt.base_gates);
+        assert_eq!(back.base_hash, ckpt.base_hash);
+        assert_eq!(back.level, ckpt.level);
+        assert_eq!(back.plan, ckpt.plan);
+        assert_eq!(back.plan_pos, ckpt.plan_pos);
+        assert_eq!(back.visited, ckpt.visited);
+        assert_eq!(back.solutions, ckpt.solutions);
+        assert_eq!(back.nodes.len(), ckpt.nodes.len());
+        for (a, b) in back.nodes.iter().zip(&ckpt.nodes) {
+            assert_eq!(a.corrections, b.corrections);
+            assert_eq!(a.next, b.next);
+            assert_eq!(a.failing, b.failing);
+            for (x, y) in a.candidates.iter().zip(&b.candidates) {
+                assert_eq!(x.correction, y.correction);
+                assert_eq!(x.rank.to_bits(), y.rank.to_bits(), "bit-exact scores");
+                assert_eq!(x.h1_score.to_bits(), y.h1_score.to_bits());
+                assert_eq!(x.h2_fraction.to_bits(), y.h2_fraction.to_bits());
+                assert_eq!(x.h3_score.to_bits(), y.h3_score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn every_correction_action_round_trips() {
+        let actions = [
+            CorrectionAction::SetConst(false),
+            CorrectionAction::ChangeKind(GateKind::Xnor),
+            CorrectionAction::InvertInput { port: 2 },
+            CorrectionAction::RemoveInput { port: 0 },
+            CorrectionAction::AddInput { source: GateId(9) },
+            CorrectionAction::ReplaceInput {
+                port: 1,
+                source: GateId(4),
+            },
+            CorrectionAction::WireThrough { port: 1 },
+            CorrectionAction::InsertGate {
+                kind: GateKind::Xor,
+                other: GateId(5),
+            },
+        ];
+        for action in actions {
+            let c = Correction::new(GateId(11), action);
+            let mut s = String::new();
+            write_correction(&mut s, &c);
+            let parsed = Reader::new(&s).value(0).unwrap();
+            assert_eq!(parse_correction(&parsed).unwrap(), c, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_and_mismatched_inputs() {
+        assert!(Checkpoint::from_json("not json").is_err());
+        assert!(Checkpoint::from_json("{}").is_err());
+        assert!(Checkpoint::from_json("{\"checkpoint\":\"other\"}").is_err());
+        // Unknown version.
+        let mut ckpt = sample();
+        ckpt.version = 99;
+        let json = ckpt.to_json();
+        let err = Checkpoint::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+        // Truncated document.
+        let json = sample().to_json();
+        assert!(Checkpoint::from_json(&json[..json.len() - 2]).is_err());
+        // Out-of-bounds plan reference.
+        let mut ckpt = sample();
+        ckpt.plan = vec![7];
+        assert!(Checkpoint::from_json(&ckpt.to_json()).is_err());
+        // Cursor past the candidate list.
+        let mut ckpt = sample();
+        ckpt.nodes[0].next = 5;
+        assert!(Checkpoint::from_json(&ckpt.to_json()).is_err());
+        // Floats are rejected (scores travel as bit patterns).
+        assert!(Reader::new("1.5").value(0).is_err());
+    }
+
+    #[test]
+    fn label_escaping_survives() {
+        let mut ckpt = sample();
+        ckpt.label = "odd \"label\"\\with\nescapes".to_string();
+        let back = Checkpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(back.label, ckpt.label);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_names() {
+        let a = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n").unwrap();
+        let renamed = parse_bench("INPUT(p)\nINPUT(q)\nOUTPUT(z)\nz = AND(p, q)\n").unwrap();
+        let edited = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n").unwrap();
+        assert_eq!(netlist_fingerprint(&a), netlist_fingerprint(&renamed));
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&edited));
+    }
+}

@@ -59,6 +59,21 @@ pub enum IncdxError {
     /// up front. Carries every error-severity finding; warnings and
     /// advisories never block construction.
     Lint(Vec<Diagnostic>),
+    /// A checkpoint could not be parsed, or does not match the session
+    /// it is being resumed into (version, circuit fingerprint or vector
+    /// count mismatch).
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
+    /// A malformed flag-style specification string (e.g. a `--chaos
+    /// seed,rate` spec that does not parse).
+    InvalidSpec {
+        /// The flag/parameter name.
+        name: &'static str,
+        /// The offending input.
+        value: String,
+    },
 }
 
 impl fmt::Display for IncdxError {
@@ -95,6 +110,10 @@ impl fmt::Display for IncdxError {
                     write!(f, "\n  {d}")?;
                 }
                 Ok(())
+            }
+            IncdxError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            IncdxError::InvalidSpec { name, value } => {
+                write!(f, "invalid {name} spec {value:?}")
             }
         }
     }
@@ -145,6 +164,17 @@ mod tests {
         assert!(IncdxError::UnknownTraversal("zigzag".into())
             .to_string()
             .contains("zigzag"));
+        assert!(IncdxError::Checkpoint {
+            reason: "version 9 unsupported".into()
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(IncdxError::InvalidSpec {
+            name: "chaos",
+            value: "7;0.05".into()
+        }
+        .to_string()
+        .contains("chaos"));
     }
 
     #[test]

@@ -119,6 +119,22 @@ pub trait Evaluator: Debug + Send {
     /// Drops all retained/memoized state, returning the backend to its
     /// just-constructed condition (fresh counters included).
     fn reset(&mut self);
+
+    /// Approximate bytes of retained/cached state, for the engine's
+    /// retained-memory budget ([`RectifyLimits::max_retained_bytes`]).
+    /// Backends that keep nothing report 0.
+    ///
+    /// [`RectifyLimits::max_retained_bytes`]: crate::RectifyLimits::max_retained_bytes
+    fn retained_bytes(&self) -> usize {
+        0
+    }
+
+    /// Drains structured degradation events recorded since the last
+    /// call (audit repairs, evaluator fallbacks). Plain backends record
+    /// none; the [`Auditing`](crate::Auditing) decorator overrides this.
+    fn take_degradations(&mut self) -> Vec<crate::limits::DegradationEvent> {
+        Vec::new()
+    }
 }
 
 /// Rebuild every node from the base circuit and resimulate everything —
@@ -345,6 +361,14 @@ impl Evaluator for Incremental {
         self.base_vals = None;
         self.hits = 0;
     }
+
+    fn retained_bytes(&self) -> usize {
+        let base = self
+            .base_vals
+            .as_ref()
+            .map_or(0, |m| m.rows() * m.words_per_row() * 8);
+        self.cache.bytes() + base
+    }
 }
 
 /// Decorator adding a worker count for the parallel screening stages.
@@ -403,6 +427,14 @@ impl Evaluator for Parallel {
 
     fn reset(&mut self) {
         self.inner.reset()
+    }
+
+    fn retained_bytes(&self) -> usize {
+        self.inner.retained_bytes()
+    }
+
+    fn take_degradations(&mut self) -> Vec<crate::limits::DegradationEvent> {
+        self.inner.take_degradations()
     }
 }
 

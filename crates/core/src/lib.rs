@@ -69,8 +69,11 @@
 
 mod audit;
 mod cache;
+mod chaos;
+mod checkpoint;
 mod error;
 mod evaluator;
+mod limits;
 mod parallel;
 mod params;
 mod path_trace;
@@ -83,9 +86,14 @@ mod tree;
 mod wire;
 
 pub use audit::Auditing;
+pub use chaos::{Chaos, ChaosConfig, ChaosState, ChaosSummary};
+pub use checkpoint::{netlist_fingerprint, Checkpoint, CheckpointNode, CHECKPOINT_VERSION};
 pub use error::IncdxError;
 pub use evaluator::{
     EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode, SimCounters,
+};
+pub use limits::{
+    CancelToken, DegradationEvent, DegradationKind, PartialSolution, RectifyLimits, Verdict,
 };
 pub use parallel::{
     effective_jobs, run_parallel, run_parallel_with, ParallelOutcome, ParallelTelemetry,
@@ -93,7 +101,7 @@ pub use parallel::{
 pub use params::{default_ladder, ParamLevel};
 pub use path_trace::path_trace_counts;
 pub use pipeline::CandidatePipeline;
-pub use report::RectifyReport;
+pub use report::{escape_json, RectifyReport};
 pub use screen::{correction_output_row, correction_output_row_into, CorrectionScratch};
 pub use session::{Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution};
 pub use traversal::{BestFirst, DepthFirst, NaiveBfs, RoundRobinBfs, Traversal, TraversalKind};

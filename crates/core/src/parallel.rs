@@ -8,7 +8,20 @@
 //!
 //! Built on `std::thread::scope` (no external dependencies). Work is
 //! distributed by an atomic cursor, so uneven item costs self-balance.
+//!
+//! # Panic isolation
+//!
+//! This module is the workspace's **sanctioned `catch_unwind`
+//! boundary** (enforced by the `panic_audit` lint): a panicking task is
+//! caught at the worker, the worker's scratch state is discarded and
+//! rebuilt with `init()` (it may have been left inconsistent), and the
+//! failed items are retried serially after the parallel section
+//! drains. Only a *second* panic of the same item propagates. Every
+//! recovery is counted in [`ParallelTelemetry::panics_recovered`] so
+//! the engine can record the degradation and, after repeated failures,
+//! fall back to serial screening.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -55,6 +68,9 @@ pub struct ParallelTelemetry {
     pub busy: Duration,
     /// Wall-clock of the whole section.
     pub wall: Duration,
+    /// Worker panics caught and recovered by the serial retry (each one
+    /// is a first-attempt task failure whose retry succeeded).
+    pub panics_recovered: u64,
 }
 
 impl ParallelTelemetry {
@@ -75,6 +91,7 @@ impl ParallelTelemetry {
         self.workers = self.workers.max(other.workers);
         self.busy += other.busy;
         self.wall += other.wall;
+        self.panics_recovered += other.panics_recovered;
     }
 }
 
@@ -103,7 +120,10 @@ pub struct ParallelOutcome<T> {
 ///
 /// # Panics
 ///
-/// Propagates the first worker panic.
+/// A task panic is caught at the worker boundary (see the module
+/// docs): the worker's state is rebuilt with `init()` and the item is
+/// retried serially with fresh state. Only a retry panic propagates,
+/// so a deterministic (non-transient) task panic still surfaces.
 pub fn run_parallel_with<S, T, I, F>(n: usize, jobs: usize, init: I, f: F) -> ParallelOutcome<T>
 where
     T: Send,
@@ -114,8 +134,21 @@ where
     let started = Instant::now();
     if jobs <= 1 {
         let mut state = init();
+        let mut recovered = 0u64;
         let t0 = Instant::now();
-        let results: Vec<T> = (0..n).map(|i| f(&mut state, i)).collect();
+        let mut results: Vec<T> = Vec::with_capacity(n);
+        for i in 0..n {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                Ok(v) => results.push(v),
+                Err(_) => {
+                    // The panic may have left the scratch state
+                    // inconsistent: rebuild before the retry.
+                    recovered += 1;
+                    state = init();
+                    results.push(f(&mut state, i));
+                }
+            }
+        }
         let busy = t0.elapsed();
         return ParallelOutcome {
             results,
@@ -123,6 +156,7 @@ where
                 workers: 1,
                 busy,
                 wall: started.elapsed(),
+                panics_recovered: recovered,
             },
         };
     }
@@ -131,22 +165,30 @@ where
     // Each worker collects (index, value) pairs privately; the scope join
     // then scatters them back into index order. No locks, and a worker
     // panic surfaces via resume_unwind instead of poisoning shared state.
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    type WorkerYield<T> = (Vec<(usize, T)>, Vec<usize>);
+    let per_worker: Vec<WorkerYield<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = init();
                     let mut produced: Vec<(usize, T)> = Vec::new();
+                    let mut failed: Vec<usize> = Vec::new();
                     let t0 = Instant::now();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        produced.push((i, f(&mut state, i)));
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                            Ok(v) => produced.push((i, v)),
+                            Err(_) => {
+                                failed.push(i);
+                                state = init();
+                            }
+                        }
                     }
                     busy_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    produced
+                    (produced, failed)
                 })
             })
             .collect();
@@ -154,13 +196,30 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(produced) => produced,
+                // catch_unwind covers every task, so a join error means a
+                // panic escaped the boundary (e.g. in a Drop); propagate.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in per_worker.into_iter().flatten() {
-        slots[i] = Some(value);
+    let mut failed: Vec<usize> = Vec::new();
+    for (produced, worker_failed) in per_worker {
+        for (i, value) in produced {
+            slots[i] = Some(value);
+        }
+        failed.extend(worker_failed);
+    }
+    // Serial retry of the failed chunk, in index order on fresh state.
+    // Results stay deterministic because `f` is a pure function of
+    // (state-after-init, i); a second panic of the same item propagates.
+    let recovered = failed.len() as u64;
+    if !failed.is_empty() {
+        failed.sort_unstable();
+        let mut state = init();
+        for &i in &failed {
+            slots[i] = Some(f(&mut state, i));
+        }
     }
     let results = slots.into_iter().flatten().collect();
     ParallelOutcome {
@@ -169,6 +228,7 @@ where
             workers: jobs,
             busy: Duration::from_nanos(busy_nanos.load(Ordering::Relaxed)),
             wall: started.elapsed(),
+            panics_recovered: recovered,
         },
     }
 }
@@ -232,5 +292,105 @@ mod tests {
         assert_eq!(effective_jobs(2, 100), 2);
         assert!(effective_jobs(0, 100) >= 1);
         assert_eq!(effective_jobs(4, 0), 1);
+    }
+
+    #[test]
+    fn more_jobs_than_items_clamps_and_completes() {
+        let outcome = run_parallel_with(3, 16, || 0usize, |_, i| i + 1);
+        assert_eq!(outcome.results, vec![1, 2, 3]);
+        assert!(outcome.telemetry.workers <= 3, "no idle workers spawned");
+    }
+
+    #[test]
+    fn zero_items_with_many_jobs_yields_empty_outcome() {
+        let outcome = run_parallel_with(0, 8, || 0usize, |_, i| i);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.telemetry.workers, 1, "clamped to the serial path");
+        assert_eq!(outcome.telemetry.panics_recovered, 0);
+        // Satellite: merging an empty-outcome telemetry is a no-op on
+        // counters but still folds in the (near-zero) wall time.
+        let mut acc = ParallelTelemetry::default();
+        acc.merge(&outcome.telemetry);
+        assert_eq!(acc.workers, 1);
+        assert_eq!(acc.panics_recovered, 0);
+        assert!(acc.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates_panic_recoveries() {
+        let mut a = ParallelTelemetry {
+            workers: 2,
+            busy: Duration::from_millis(5),
+            wall: Duration::from_millis(3),
+            panics_recovered: 1,
+        };
+        let b = ParallelTelemetry {
+            workers: 4,
+            busy: Duration::from_millis(7),
+            wall: Duration::from_millis(2),
+            panics_recovered: 2,
+        };
+        a.merge(&b);
+        assert_eq!(a.workers, 4);
+        assert_eq!(a.panics_recovered, 3);
+        assert_eq!(a.busy, Duration::from_millis(12));
+    }
+
+    /// Installs a no-op panic hook for the duration of a test so the
+    /// intentional panics don't spam the test log, restoring the
+    /// previous hook afterwards.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(prev);
+        out
+    }
+
+    #[test]
+    fn transient_panic_is_recovered_with_identical_results() {
+        use std::sync::atomic::AtomicBool;
+        for jobs in [1, 4] {
+            let tripped = AtomicBool::new(false);
+            let outcome = with_quiet_panics(|| {
+                run_parallel_with(
+                    32,
+                    jobs,
+                    || 0u64,
+                    |acc, i| {
+                        if i == 17 && !tripped.swap(true, Ordering::SeqCst) {
+                            panic!("transient fault"); // panic-audit: allow
+                        }
+                        *acc += 1;
+                        i * 10
+                    },
+                )
+            });
+            let expected: Vec<usize> = (0..32).map(|i| i * 10).collect();
+            assert_eq!(outcome.results, expected, "jobs={jobs}");
+            assert_eq!(outcome.telemetry.panics_recovered, 1, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn deterministic_panic_still_propagates() {
+        for jobs in [1, 3] {
+            let caught = with_quiet_panics(|| {
+                std::panic::catch_unwind(|| {
+                    run_parallel_with(
+                        8,
+                        jobs,
+                        || (),
+                        |(), i| {
+                            if i == 5 {
+                                panic!("hard fault"); // panic-audit: allow
+                            }
+                            i
+                        },
+                    )
+                })
+            });
+            assert!(caught.is_err(), "retry panic must surface (jobs={jobs})");
+        }
     }
 }

@@ -17,6 +17,8 @@ use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, Correctio
 use incdx_netlist::{ConeCache, ConeSet, GateId, GateKind, Netlist};
 use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Response, Simulator};
 
+use crate::chaos::ChaosState;
+use crate::limits::CancelToken;
 use crate::parallel::run_parallel_with;
 use crate::params::ParamLevel;
 use crate::path_trace::path_trace_counts;
@@ -31,6 +33,8 @@ pub struct CandidatePipeline<'a> {
     spec: &'a Response,
     jobs: usize,
     incremental: bool,
+    cancel: CancelToken,
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl<'a> CandidatePipeline<'a> {
@@ -49,7 +53,30 @@ impl<'a> CandidatePipeline<'a> {
             spec,
             jobs,
             incremental,
+            cancel: CancelToken::new(),
+            chaos: None,
         }
+    }
+
+    /// Arms cooperative cancellation: once the token is cancelled, the
+    /// stage workers drop out immediately (their partial output is
+    /// discarded by the engine at its next limit check, never
+    /// checkpointed as complete). Workers use the non-counting
+    /// [`CancelToken::is_cancelled`], so the engine's deterministic
+    /// poll count is unaffected.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Arms deterministic chaos fault injection in the stage workers
+    /// (seeded one-shot panics; see [`ChaosState::maybe_panic`]). The
+    /// panic-isolation boundary in
+    /// [`run_parallel_with`](crate::parallel::run_parallel_with)
+    /// recovers each one by a serial retry, so results are unchanged.
+    pub fn with_chaos(mut self, chaos: Option<Arc<ChaosState>>) -> Self {
+        self.chaos = chaos;
+        self
     }
 
     /// Runs all four stages on one prepared, still-failing node and
@@ -186,11 +213,22 @@ impl<'a> CandidatePipeline<'a> {
         // Memoize every line's cone up front (serially), then share the
         // `Arc`s read-only across workers.
         let cone_refs: Vec<Arc<ConeSet>> = lines.iter().map(|&l| cones.get(netlist, l)).collect();
+        let cancel = &self.cancel;
+        let chaos = self
+            .chaos
+            .as_ref()
+            .map(|c| (Arc::clone(c), c.next_section()));
         let outcome = run_parallel_with(
             lines.len(),
             self.jobs,
             || (Simulator::new(), vals.clone(), Vec::<u64>::new()),
             |(sim, vals, saved), i| {
+                if cancel.is_cancelled() {
+                    return (0, 0, 0, 0);
+                }
+                if let Some((chaos, section)) = &chaos {
+                    chaos.maybe_panic(*section, i);
+                }
                 let line = lines[i];
                 let words_before = sim.words_simulated();
                 let events_before = sim.events_propagated();
@@ -330,6 +368,11 @@ impl<'a> CandidatePipeline<'a> {
         // wire-source eligibility test walk the same cones.
         let cone_refs: Vec<Arc<ConeSet>> =
             active.iter().map(|&(l, _)| cones.get(netlist, l)).collect();
+        let cancel = &self.cancel;
+        let chaos = self
+            .chaos
+            .as_ref()
+            .map(|c| (Arc::clone(c), c.next_section()));
         let outcome = run_parallel_with(
             active.len(),
             self.jobs,
@@ -343,6 +386,12 @@ impl<'a> CandidatePipeline<'a> {
                 )
             },
             |(sim, vals, saved, scratch, cols), li| {
+                if cancel.is_cancelled() {
+                    return (Vec::new(), ScreenDelta::default());
+                }
+                if let Some((chaos, section)) = &chaos {
+                    chaos.maybe_panic(*section, li);
+                }
                 let (line, _) = active[li];
                 let cone = &cone_refs[li];
                 let mut delta = ScreenDelta::default();

@@ -10,6 +10,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::limits::Verdict;
 use crate::session::{RectifyResult, RectifyStats};
 
 /// A flattened, serializable view of one [`crate::Rectifier::run`].
@@ -47,6 +48,11 @@ pub struct RectifyReport {
     pub solutions: usize,
     /// Distinct lines over all solutions ([`RectifyResult::distinct_sites`]).
     pub distinct_sites: usize,
+    /// Typed run outcome ([`RectifyResult::verdict`]).
+    pub verdict: Verdict,
+    /// Number of ranked partial solutions reported
+    /// ([`RectifyResult::partials`]).
+    pub partials: usize,
     /// The run's full counter/timer set.
     pub stats: RectifyStats,
 }
@@ -59,6 +65,8 @@ impl RectifyReport {
             jobs,
             result.solutions.len(),
             result.distinct_sites(),
+            result.verdict,
+            result.partials.len(),
             result.stats.clone(),
         )
     }
@@ -70,6 +78,8 @@ impl RectifyReport {
         jobs: usize,
         solutions: usize,
         distinct_sites: usize,
+        verdict: Verdict,
+        partials: usize,
         stats: RectifyStats,
     ) -> Self {
         RectifyReport {
@@ -77,6 +87,8 @@ impl RectifyReport {
             jobs,
             solutions,
             distinct_sites,
+            verdict,
+            partials,
             stats,
         }
     }
@@ -92,6 +104,16 @@ impl RectifyReport {
         out.push_str(&format!(",\"jobs\":{}", self.jobs));
         out.push_str(&format!(",\"solutions\":{}", self.solutions));
         out.push_str(&format!(",\"distinct_sites\":{}", self.distinct_sites));
+        out.push_str(&format!(",\"verdict\":\"{}\"", self.verdict.tag()));
+        if let Verdict::Partial {
+            best_remaining_failures,
+        } = self.verdict
+        {
+            out.push_str(&format!(
+                ",\"best_remaining_failures\":{best_remaining_failures}"
+            ));
+        }
+        out.push_str(&format!(",\"partials\":{}", self.partials));
         out.push_str(&format!(",\"nodes\":{}", s.nodes));
         out.push_str(&format!(",\"expansions_skipped\":{}", s.expansions_skipped));
         out.push_str(&format!(",\"rounds\":{}", s.rounds));
@@ -140,6 +162,26 @@ impl RectifyReport {
             ",\"audit\":{{\"checks\":{},\"violations\":{}}}",
             s.audit_checks, s.audit_violations,
         ));
+        out.push_str(",\"degradations\":[");
+        for (i, d) in s.degradations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"kind\":\"{}\",\"count\":{},\"detail\":\"{}\"}}",
+                d.kind.tag(),
+                d.count,
+                escape_json(&d.detail),
+            ));
+        }
+        out.push(']');
+        match &s.chaos {
+            Some(c) => out.push_str(&format!(
+                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{}}}",
+                c.panics, c.bit_flips, c.width_errors,
+            )),
+            None => out.push_str(",\"chaos\":null"),
+        }
         out.push('}');
         out
     }
@@ -155,7 +197,10 @@ fn secs(d: Duration) -> String {
     format!("{:.6}", d.as_secs_f64())
 }
 
-fn escape_json(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, and control characters). Shared by the report,
+/// checkpoint, and bench serializers.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -185,6 +230,9 @@ mod tests {
     fn json_is_one_line_and_balanced() {
         let result = RectifyResult {
             solutions: vec![],
+            verdict: Verdict::default(),
+            partials: vec![],
+            checkpoint: None,
             stats: RectifyStats::default(),
         };
         let json = RectifyReport::new("c17 \"quoted\"", 4, &result).to_json();
@@ -201,5 +249,44 @@ mod tests {
         assert!(json.contains("\"events_propagated\":0"));
         assert!(json.contains("\"cache\":{\"cone_hits\":0"));
         assert!(json.contains("\"audit\":{\"checks\":0,\"violations\":0}"));
+        assert!(json.contains("\"verdict\":\"exact\""));
+        assert!(json.contains("\"degradations\":[]"));
+        assert!(json.contains("\"chaos\":null"));
+    }
+
+    #[test]
+    fn degradations_and_verdict_serialize() {
+        use crate::limits::{DegradationEvent, DegradationKind};
+        let mut stats = RectifyStats::default();
+        stats.degradations.push(DegradationEvent::new(
+            DegradationKind::WorkerPanic,
+            2,
+            "2 worker panic(s) \"quoted\"",
+        ));
+        stats.chaos = Some(crate::ChaosSummary {
+            panics: 2,
+            bit_flips: 1,
+            width_errors: 0,
+        });
+        let report = RectifyReport::from_parts(
+            "chaos",
+            2,
+            0,
+            0,
+            Verdict::Partial {
+                best_remaining_failures: 7,
+            },
+            3,
+            stats,
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"verdict\":\"partial\""));
+        assert!(json.contains("\"best_remaining_failures\":7"));
+        assert!(json.contains("\"partials\":3"));
+        assert!(json.contains(
+            "\"degradations\":[{\"kind\":\"worker-panic\",\"count\":2,\"detail\":\"2 worker panic(s) \\\"quoted\\\"\"}]"
+        ));
+        assert!(json.contains("\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

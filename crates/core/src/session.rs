@@ -4,14 +4,21 @@
 //! decision [`Tree`](crate::tree::Tree).
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use incdx_fault::{Correction, CorrectionModel, StuckAt};
 use incdx_netlist::{ConeCache, GateId, Netlist, NetlistError};
 use incdx_sim::{PackedMatrix, Response};
 
+use crate::chaos::{Chaos, ChaosConfig, ChaosState, ChaosSummary};
+use crate::checkpoint::{netlist_fingerprint, Checkpoint, CheckpointNode, CHECKPOINT_VERSION};
 use crate::error::IncdxError;
 use crate::evaluator::{EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode};
+use crate::limits::{
+    CancelToken, DegradationEvent, DegradationKind, PartialSolution, RectifyLimits, StopReason,
+    Verdict,
+};
 use crate::parallel::ParallelTelemetry;
 use crate::params::{default_ladder, ParamLevel};
 use crate::pipeline::CandidatePipeline;
@@ -88,6 +95,21 @@ pub struct RectifyConfig {
     /// not perturb the reported work counters; results are recorded in
     /// [`RectifyStats::audit_checks`] / [`RectifyStats::audit_violations`].
     pub audit: bool,
+    /// Resource limits — wall-clock deadline and node/word/byte budgets
+    /// — checked cooperatively once per scheduled plan item (never
+    /// mid-node). The default is unlimited. Exceeding a limit stops the
+    /// search with the matching early-stop [`Verdict`], ranks the open
+    /// frontier into [`RectifyResult::partials`], and captures a
+    /// resumable [`Checkpoint`].
+    pub limits: RectifyLimits,
+    /// Deterministic chaos fault injection (`None` = off). When armed,
+    /// the evaluation stack is wrapped in [`Chaos`] (seeded worker
+    /// panics, cached-matrix bit flips, spurious width errors) inside a
+    /// repairing [`Auditing`](crate::Auditing) layer, so every injected
+    /// fault is caught and recovered — the solution set stays
+    /// bit-identical to a chaos-off run, and every recovery is recorded
+    /// in [`RectifyStats::degradations`].
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl RectifyConfig {
@@ -113,6 +135,8 @@ impl RectifyConfig {
             incremental: true,
             matrix_cache_bytes: 256 << 20,
             audit: false,
+            limits: RectifyLimits::default(),
+            chaos: None,
         }
     }
 
@@ -142,6 +166,8 @@ impl RectifyConfig {
             incremental: true,
             matrix_cache_bytes: 256 << 20,
             audit: false,
+            limits: RectifyLimits::default(),
+            chaos: None,
         }
     }
 }
@@ -266,6 +292,13 @@ pub struct RectifyStats {
     pub audit_violations: u64,
     /// True when a budget (rounds, nodes, solutions, time) cut the search.
     pub truncated: bool,
+    /// Every recovery the engine performed instead of aborting — worker
+    /// panics retried serially, audit repairs, parallel→serial fallback
+    /// — in occurrence order. Empty on an undisturbed run.
+    pub degradations: Vec<DegradationEvent>,
+    /// Fault-injection tally when the run was chaos-armed
+    /// ([`RectifyConfig::chaos`]); `None` otherwise.
+    pub chaos: Option<ChaosSummary>,
 }
 
 /// The outcome of [`Rectifier::run`].
@@ -276,6 +309,17 @@ pub struct RectifyResult {
     /// another). An empty-corrections solution means the netlist already
     /// matched the reference.
     pub solutions: Vec<Solution>,
+    /// Typed outcome of the run. Precedence when several apply:
+    /// cancelled > deadline > budget > partial > degraded > exact.
+    pub verdict: Verdict,
+    /// Best still-open correction tuples when the run stopped early (or
+    /// was truncated without finding a solution), ranked ascending by
+    /// remaining failing vectors. Empty on solved, unconstrained runs.
+    pub partials: Vec<PartialSolution>,
+    /// Resumable search snapshot, captured only on limit/cancel stops
+    /// (`None` otherwise). Serialize with [`Checkpoint::to_json`] and
+    /// continue later via [`Rectifier::resume`].
+    pub checkpoint: Option<Checkpoint>,
     /// Search statistics.
     pub stats: RectifyStats,
 }
@@ -297,6 +341,32 @@ enum NodeEval {
         candidates: Vec<RankedCorrection>,
         failing: usize,
     },
+}
+
+/// What one ladder level's traversal produced, including any early-stop
+/// bookkeeping for the run loop.
+struct LevelOutcome {
+    solutions: Vec<Solution>,
+    /// `Some` when a limit/cancel stop cut the level short.
+    stop: Option<StopReason>,
+    /// Ranked open frontier (populated on stops and solution-less
+    /// exits).
+    partials: Vec<PartialSolution>,
+    /// Captured only together with `stop`.
+    checkpoint: Option<Checkpoint>,
+}
+
+/// Rehydrated search state handed to [`Rectifier::run_inner`] by
+/// [`Rectifier::resume`]: the level to re-enter and the mid-plan
+/// position to continue from.
+struct ResumeState {
+    level: usize,
+    iterations: usize,
+    plan: Vec<usize>,
+    plan_pos: usize,
+    tree: Tree,
+    visited: HashSet<Vec<Correction>>,
+    solutions: Vec<Solution>,
 }
 
 /// The incremental rectification engine (see the crate docs for the
@@ -323,6 +393,21 @@ pub struct Rectifier {
     base_cones: ConeCache,
     traversal: Box<dyn Traversal>,
     evaluator: Box<dyn Evaluator>,
+    /// Cooperative cancellation handle, polled once per scheduled plan
+    /// item (see [`Rectifier::cancel_token`]).
+    cancel: CancelToken,
+    /// Shared chaos-injection state when [`RectifyConfig::chaos`] is
+    /// armed (the evaluator stack and the pipeline workers draw from
+    /// the same seeded stream).
+    chaos: Option<Arc<ChaosState>>,
+    /// Latched true after repeated recovered worker panics: screening
+    /// runs serially for the rest of the run (results are bit-identical
+    /// for every jobs count, so the fallback is lossless).
+    degrade_serial: bool,
+    /// Harness label stamped into captured checkpoints.
+    checkpoint_label: String,
+    /// Harness trial seed stamped into captured checkpoints.
+    checkpoint_seed: u64,
 }
 
 impl Rectifier {
@@ -385,7 +470,8 @@ impl Rectifier {
         let base_inputs = netlist.inputs().to_vec();
         let base_cones = ConeCache::new(&netlist);
         let traversal = config.traversal.build();
-        let evaluator = build_evaluator(&config);
+        let chaos = config.chaos.map(ChaosState::new);
+        let evaluator = build_evaluator(&config, chaos.clone());
         Ok(Rectifier {
             base: netlist,
             base_inputs,
@@ -396,7 +482,35 @@ impl Rectifier {
             base_cones,
             traversal,
             evaluator,
+            cancel: CancelToken::new(),
+            chaos,
+            degrade_serial: false,
+            checkpoint_label: String::new(),
+            checkpoint_seed: 0,
         })
+    }
+
+    /// A clone of the run's cancellation token. Hand it to another
+    /// thread (or arm [`CancelToken::trip_after`] in a test) and call
+    /// [`CancelToken::cancel`]; the engine notices at its next per-item
+    /// poll, stops with [`Verdict::Cancelled`], and captures a
+    /// checkpoint.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Replaces the cancellation token (e.g. to share one token across
+    /// several sessions).
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// Stamps a harness label and trial seed into any checkpoint this
+    /// session captures, so a driver can later re-dispatch the resumed
+    /// run to the right experiment.
+    pub fn set_checkpoint_meta(&mut self, label: impl Into<String>, trial_seed: u64) {
+        self.checkpoint_label = label.into();
+        self.checkpoint_seed = trial_seed;
     }
 
     /// Replaces the traversal strategy (defaults to the one selected by
@@ -420,18 +534,123 @@ impl Rectifier {
     /// corrections applied; call [`Rectifier::reset`] first for a
     /// cold-state run with pristine work counters.
     pub fn run(&mut self) -> RectifyResult {
+        self.run_inner(None)
+    }
+
+    /// Continues an interrupted search from a [`Checkpoint`] captured by
+    /// an earlier limit/cancel stop. The checkpoint must pin the same
+    /// base netlist (structural fingerprint + gate count) and vector
+    /// count as this session; the rehydrated tree is re-checked against
+    /// the decision-tree invariants before the search restarts. A
+    /// resumed run (without limits) reaches a solution set bit-identical
+    /// to an uninterrupted one, because every evaluator backend is a
+    /// pure function of the base circuit and the applied corrections.
+    ///
+    /// One caveat: a checkpoint captured after an *asynchronous*
+    /// [`CancelToken::cancel`] (as opposed to a deadline, budget, or
+    /// deterministic trip) may have cut a node's screening short, so its
+    /// resumed search explores a subset frontier — still invariant-clean
+    /// and replay-valid, but not necessarily identical.
+    ///
+    /// # Errors
+    ///
+    /// [`IncdxError::Checkpoint`] when the checkpoint pins a different
+    /// circuit or vector set, targets an unknown ladder level, or fails
+    /// the tree invariant audit.
+    pub fn resume(&mut self, checkpoint: &Checkpoint) -> Result<RectifyResult, IncdxError> {
+        let fail = |reason: String| IncdxError::Checkpoint { reason };
+        if checkpoint.version != CHECKPOINT_VERSION {
+            return Err(fail(format!(
+                "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                checkpoint.version
+            )));
+        }
+        if checkpoint.base_gates != self.base.len()
+            || checkpoint.base_hash != netlist_fingerprint(&self.base)
+        {
+            return Err(fail(
+                "checkpoint pins a different base netlist (gate count or structural fingerprint mismatch)"
+                    .to_string(),
+            ));
+        }
+        if checkpoint.vectors != self.vectors.num_vectors() {
+            return Err(fail(format!(
+                "checkpoint pins {} vectors, session has {}",
+                checkpoint.vectors,
+                self.vectors.num_vectors()
+            )));
+        }
+        if checkpoint.level >= self.config.ladder.len() {
+            return Err(fail(format!(
+                "checkpoint ladder level {} out of range (ladder has {} levels)",
+                checkpoint.level,
+                self.config.ladder.len()
+            )));
+        }
+        if checkpoint.nodes.is_empty() {
+            return Err(fail("checkpoint holds an empty decision tree".to_string()));
+        }
+        let nodes: Vec<Node> = checkpoint
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut node = Node::new(n.corrections.clone(), n.candidates.clone(), n.failing);
+                node.next = n.next;
+                node
+            })
+            .collect();
+        let tree = Tree::from_saved(nodes, self.config.max_corrections, self.config.max_nodes);
+        let bad = tree.invariant_violations();
+        if bad > 0 {
+            return Err(fail(format!(
+                "checkpoint tree fails {bad} decision-tree invariant(s)"
+            )));
+        }
+        let resume = ResumeState {
+            level: checkpoint.level,
+            iterations: checkpoint.iterations,
+            plan: checkpoint.plan.clone(),
+            plan_pos: checkpoint.plan_pos,
+            tree,
+            visited: checkpoint.visited.iter().cloned().collect(),
+            solutions: checkpoint
+                .solutions
+                .iter()
+                .map(|c| Solution {
+                    corrections: c.clone(),
+                })
+                .collect(),
+        };
+        Ok(self.run_inner(Some(resume)))
+    }
+
+    fn run_inner(&mut self, resume: Option<ResumeState>) -> RectifyResult {
         let started = Instant::now();
         self.stats = RectifyStats::default();
         self.stats.traversal = self.traversal.name();
         self.stats.evaluator = self.evaluator.name();
+        self.degrade_serial = false;
         // Global parameter relaxation (§3.3): the whole tree search runs at
         // one `h1/h2/h3` level; only if it "returns with no corrections" —
-        // no solution — does the run restart at the next, looser level.
+        // no solution — does the run restart at the next, looser level. A
+        // resumed run re-enters the ladder at the checkpointed level.
         let ladder = self.config.ladder.clone();
+        let start_level = resume.as_ref().map_or(0, |r| r.level);
+        let mut resume_state = resume;
         let mut solutions = Vec::new();
-        for (level_idx, level) in ladder.iter().enumerate() {
+        let mut partials = Vec::new();
+        let mut checkpoint = None;
+        let mut stop = None;
+        for (level_idx, level) in ladder.iter().enumerate().skip(start_level) {
             self.stats.deepest_ladder_level = level_idx;
-            solutions = self.search_level(level, started);
+            let outcome = self.search_level(level, level_idx, started, resume_state.take());
+            solutions = outcome.solutions;
+            partials = outcome.partials;
+            if outcome.stop.is_some() {
+                stop = outcome.stop;
+                checkpoint = outcome.checkpoint;
+                break;
+            }
             let out_of_time = self
                 .config
                 .time_limit
@@ -447,8 +666,40 @@ impl Rectifier {
         if self.config.audit {
             self.audit_solutions(&solutions);
         }
+        // Fold every recovery into the run's degradation ledger.
+        let mut degradations = self.evaluator.take_degradations();
+        let panics = self.stats.parallel.panics_recovered;
+        if panics > 0 {
+            degradations.push(DegradationEvent::new(
+                DegradationKind::WorkerPanic,
+                panics,
+                format!("{panics} screening worker panic(s) recovered by serial retry"),
+            ));
+        }
+        if self.degrade_serial {
+            degradations.push(DegradationEvent::new(
+                DegradationKind::ParallelDisabled,
+                1,
+                "repeated worker panics latched screening to serial",
+            ));
+        }
+        self.stats.degradations = degradations;
+        self.stats.chaos = self.chaos.as_ref().map(|c| c.summary());
+        let verdict = match stop {
+            Some(StopReason::Cancelled) => Verdict::Cancelled,
+            Some(StopReason::Deadline) => Verdict::DeadlineExceeded,
+            Some(StopReason::Budget) => Verdict::BudgetExhausted,
+            None if self.stats.truncated && solutions.is_empty() => Verdict::Partial {
+                best_remaining_failures: partials.first().map_or(0, |p| p.remaining_failures),
+            },
+            None if !self.stats.degradations.is_empty() => Verdict::Degraded,
+            None => Verdict::Exact,
+        };
         RectifyResult {
             solutions,
+            verdict,
+            partials,
+            checkpoint,
             stats: self.stats.clone(),
         }
     }
@@ -514,37 +765,68 @@ impl Rectifier {
         self.base_cones = ConeCache::new(&self.base);
     }
 
-    /// One full tree traversal at a fixed parameter level.
-    fn search_level(&mut self, level: &ParamLevel, started: Instant) -> Vec<Solution> {
-        let mut solutions: Vec<Solution> = Vec::new();
-        let mut seen_solutions: HashSet<Vec<Correction>> = HashSet::new();
-        let mut visited: HashSet<Vec<Correction>> = HashSet::new();
-        let mut tree = Tree::new(self.config.max_corrections, self.config.max_nodes);
-        let mut iterations = 0usize;
-
+    /// One full tree traversal at a fixed parameter level (entered
+    /// mid-plan when resuming from a checkpoint).
+    fn search_level(
+        &mut self,
+        level: &ParamLevel,
+        level_idx: usize,
+        started: Instant,
+        resume: Option<ResumeState>,
+    ) -> LevelOutcome {
+        let done = |solutions: Vec<Solution>| LevelOutcome {
+            solutions,
+            stop: None,
+            partials: Vec::new(),
+            checkpoint: None,
+        };
         let out_of_time = |s: &Self| {
             s.config
                 .time_limit
                 .is_some_and(|limit| started.elapsed() > limit)
         };
 
-        match self.evaluate(&[], level, true) {
-            NodeEval::Solved => {
-                return vec![Solution {
-                    corrections: vec![],
-                }];
-            }
-            NodeEval::Dead => {
-                return vec![];
-            }
-            NodeEval::Open {
-                candidates,
-                failing,
-            } => {
-                tree.push_root(Node::new(vec![], candidates, failing));
-            }
-        }
-        visited.insert(vec![]);
+        let (mut tree, mut visited, mut solutions, mut iterations, mut plan, mut plan_pos) =
+            match resume {
+                Some(r) => (
+                    r.tree,
+                    r.visited,
+                    r.solutions,
+                    r.iterations,
+                    r.plan,
+                    r.plan_pos,
+                ),
+                None => {
+                    let mut tree = Tree::new(self.config.max_corrections, self.config.max_nodes);
+                    match self.evaluate(&[], level, true) {
+                        NodeEval::Solved => {
+                            return done(vec![Solution {
+                                corrections: vec![],
+                            }]);
+                        }
+                        NodeEval::Dead => {
+                            return done(vec![]);
+                        }
+                        NodeEval::Open {
+                            candidates,
+                            failing,
+                        } => {
+                            tree.push_root(Node::new(vec![], candidates, failing));
+                        }
+                    }
+                    let mut visited = HashSet::new();
+                    visited.insert(vec![]);
+                    (tree, visited, Vec::new(), 0usize, Vec::new(), 0usize)
+                }
+            };
+        let mut seen_solutions: HashSet<Vec<Correction>> = solutions
+            .iter()
+            .map(|s| {
+                let mut v = s.corrections.clone();
+                v.sort();
+                v
+            })
+            .collect();
 
         // Rounds mode: each iteration is one round of Fig. 2, so the
         // budget is the round cap. Single-step strategies (DFS, naive
@@ -553,23 +835,31 @@ impl Rectifier {
         let iteration_budget = self
             .traversal
             .iteration_budget(self.config.max_rounds, self.config.max_nodes);
-        let mut plan: Vec<usize> = Vec::new();
-        'rounds: while iterations < iteration_budget {
-            if !tree.has_open() {
-                break;
-            }
-            iterations += 1;
-            self.stats.rounds += 1;
-            plan.clear();
-            self.traversal.schedule(&tree, &mut plan);
-            if plan.is_empty() {
-                break;
-            }
-            for &idx in &plan {
+        'search: loop {
+            // Drain the current plan (possibly mid-way after a resume).
+            while plan_pos < plan.len() {
+                // Limits are checked *before* an item is processed, so a
+                // captured checkpoint's `plan_pos` always names the
+                // first unprocessed entry — resume re-evaluates nothing
+                // and skips nothing.
+                if let Some(reason) = self.check_limits(started) {
+                    self.stats.truncated = true;
+                    let checkpoint = self.capture_checkpoint(
+                        level_idx, iterations, &plan, plan_pos, &tree, &visited, &solutions,
+                    );
+                    return LevelOutcome {
+                        partials: collect_partials(&tree),
+                        solutions,
+                        stop: Some(reason),
+                        checkpoint: Some(checkpoint),
+                    };
+                }
                 if out_of_time(self) {
                     self.stats.truncated = true;
-                    break 'rounds;
+                    break 'search;
                 }
+                let idx = plan[plan_pos];
+                plan_pos += 1;
                 {
                     let Some(node) = tree.get(idx) else {
                         continue;
@@ -620,11 +910,11 @@ impl Rectifier {
                             solutions.push(Solution { corrections });
                         }
                         if !self.config.exhaustive {
-                            break 'rounds;
+                            break 'search;
                         }
                         if solutions.len() >= self.config.max_solutions {
                             self.stats.truncated = true;
-                            break 'rounds;
+                            break 'search;
                         }
                     }
                     NodeEval::Dead => {}
@@ -649,6 +939,18 @@ impl Rectifier {
                     }
                 }
             }
+            // Plan drained: schedule the next round.
+            if iterations >= iteration_budget || !tree.has_open() {
+                break;
+            }
+            iterations += 1;
+            self.stats.rounds += 1;
+            plan.clear();
+            self.traversal.schedule(&tree, &mut plan);
+            plan_pos = 0;
+            if plan.is_empty() {
+                break;
+            }
         }
         if (self.config.exhaustive || solutions.is_empty())
             && iterations >= iteration_budget
@@ -664,7 +966,90 @@ impl Rectifier {
                 debug_assert!(false, "audit: {bad} decision-tree invariant violation(s)");
             }
         }
-        solutions
+        let partials = if solutions.is_empty() {
+            collect_partials(&tree)
+        } else {
+            Vec::new()
+        };
+        LevelOutcome {
+            solutions,
+            stop: None,
+            partials,
+            checkpoint: None,
+        }
+    }
+
+    /// One cooperative limit check, run once per scheduled plan item.
+    /// Cancellation has reporting precedence over the deadline, which
+    /// has precedence over the budgets.
+    fn check_limits(&self, started: Instant) -> Option<StopReason> {
+        if self.cancel.poll() {
+            return Some(StopReason::Cancelled);
+        }
+        let limits = &self.config.limits;
+        if limits.deadline.is_some_and(|d| started.elapsed() > d) {
+            return Some(StopReason::Deadline);
+        }
+        if limits
+            .max_total_nodes
+            .is_some_and(|n| self.stats.nodes as u64 >= n)
+        {
+            return Some(StopReason::Budget);
+        }
+        if limits
+            .max_words
+            .is_some_and(|w| self.stats.words_simulated >= w)
+        {
+            return Some(StopReason::Budget);
+        }
+        if limits
+            .max_retained_bytes
+            .is_some_and(|b| self.evaluator.retained_bytes() >= b)
+        {
+            return Some(StopReason::Budget);
+        }
+        None
+    }
+
+    /// Snapshots the live search into a [`Checkpoint`]. The visited set
+    /// is sorted so the serialized form is deterministic.
+    #[allow(clippy::too_many_arguments)]
+    fn capture_checkpoint(
+        &self,
+        level: usize,
+        iterations: usize,
+        plan: &[usize],
+        plan_pos: usize,
+        tree: &Tree,
+        visited: &HashSet<Vec<Correction>>,
+        solutions: &[Solution],
+    ) -> Checkpoint {
+        let mut visited: Vec<Vec<Correction>> = visited.iter().cloned().collect();
+        visited.sort();
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            label: self.checkpoint_label.clone(),
+            trial_seed: self.checkpoint_seed,
+            vectors: self.vectors.num_vectors(),
+            base_gates: self.base.len(),
+            base_hash: netlist_fingerprint(&self.base),
+            level,
+            iterations,
+            plan: plan.to_vec(),
+            plan_pos,
+            nodes: tree
+                .nodes()
+                .iter()
+                .map(|n| CheckpointNode {
+                    corrections: n.corrections.clone(),
+                    candidates: n.candidates.clone(),
+                    next: n.next,
+                    failing: n.failing,
+                })
+                .collect(),
+            visited,
+            solutions: solutions.iter().map(|s| s.corrections.clone()).collect(),
+        }
     }
 
     /// Evaluates one hypothetical node — the base netlist with
@@ -752,12 +1137,22 @@ impl Rectifier {
                 failing,
             }
         } else {
+            // After repeated recovered worker panics, screening latches
+            // to serial for the rest of the run (lossless: results are
+            // bit-identical for every jobs count).
+            let jobs = if self.degrade_serial {
+                1
+            } else {
+                self.evaluator.jobs()
+            };
             let pipeline = CandidatePipeline::new(
                 &self.config,
                 &self.spec,
-                self.evaluator.jobs(),
+                jobs,
                 self.evaluator.incremental(),
-            );
+            )
+            .with_cancel(self.cancel.clone())
+            .with_chaos(self.chaos.clone());
             let candidates = pipeline.run(
                 &netlist,
                 &vals,
@@ -767,6 +1162,12 @@ impl Rectifier {
                 &mut cones,
                 &mut self.stats,
             );
+            if !self.degrade_serial
+                && jobs != 1
+                && self.stats.parallel.panics_recovered >= PANIC_FALLBACK_THRESHOLD
+            {
+                self.degrade_serial = true;
+            }
             if candidates.is_empty() {
                 // "A leaf with failure" (§3.3).
                 NodeEval::Dead
@@ -796,11 +1197,17 @@ impl Rectifier {
     }
 }
 
+/// Recovered worker panics tolerated before screening latches to serial
+/// for the rest of the run ([`DegradationKind::ParallelDisabled`]).
+const PANIC_FALLBACK_THRESHOLD: u64 = 3;
+
 /// The backend the configuration selects: [`Incremental`] or
 /// [`FromScratch`], wrapped in [`Parallel`] when screening fans out, and
 /// in [`Auditing`](crate::Auditing) (outermost) when the invariant audit
-/// is on.
-fn build_evaluator(config: &RectifyConfig) -> Box<dyn Evaluator> {
+/// is on. A chaos-armed run instead wraps the stack in [`Chaos`] inside
+/// a *repairing* audit layer, so every injected corruption is caught
+/// and replaced by a from-scratch replay.
+fn build_evaluator(config: &RectifyConfig, chaos: Option<Arc<ChaosState>>) -> Box<dyn Evaluator> {
     let inner: Box<dyn Evaluator> = if config.incremental {
         Box::new(Incremental::new(config.matrix_cache_bytes))
     } else {
@@ -811,11 +1218,42 @@ fn build_evaluator(config: &RectifyConfig) -> Box<dyn Evaluator> {
     } else {
         Box::new(Parallel::new(inner, config.jobs))
     };
-    if config.audit {
-        Box::new(crate::audit::Auditing::new(inner)) as Box<dyn Evaluator>
-    } else {
-        inner
+    match chaos {
+        Some(state) => Box::new(crate::audit::Auditing::resilient(Box::new(Chaos::new(
+            inner, state,
+        )))) as Box<dyn Evaluator>,
+        None if config.audit => Box::new(crate::audit::Auditing::new(inner)) as Box<dyn Evaluator>,
+        None => inner,
     }
+}
+
+/// Ranks the still-open frontier of an interrupted (or unsuccessful)
+/// search: every non-root node as a [`PartialSolution`], ascending by
+/// remaining failing vectors (tuple size breaks ties). The root is
+/// included only when nothing deeper exists, so the list is never empty
+/// for a search that built a tree.
+fn collect_partials(tree: &Tree) -> Vec<PartialSolution> {
+    let mut partials: Vec<PartialSolution> = tree
+        .nodes()
+        .iter()
+        .filter(|n| n.depth() > 0)
+        .map(|n| PartialSolution {
+            corrections: n.corrections.clone(),
+            remaining_failures: n.failing,
+        })
+        .collect();
+    if partials.is_empty() {
+        partials.extend(tree.nodes().first().map(|root| PartialSolution {
+            corrections: root.corrections.clone(),
+            remaining_failures: root.failing,
+        }));
+    }
+    partials.sort_by(|a, b| {
+        a.remaining_failures
+            .cmp(&b.remaining_failures)
+            .then_with(|| a.corrections.len().cmp(&b.corrections.len()))
+    });
+    partials
 }
 
 /// Keeps only tuples that are minimal as sets (no other solution's

@@ -181,6 +181,18 @@ impl Tree {
         self.nodes.push(node);
         PushOutcome::Added(self.nodes.len() - 1)
     }
+
+    /// Rehydrates a tree from checkpointed nodes, bypassing the
+    /// admission rules (every node was admitted under them when the
+    /// checkpoint was captured). Callers must re-validate with
+    /// [`Tree::invariant_violations`]; `Checkpoint` resume does.
+    pub fn from_saved(nodes: Vec<Node>, max_depth: usize, max_nodes: usize) -> Self {
+        Tree {
+            nodes,
+            max_depth,
+            max_nodes,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use std::time::Instant;
 
 use incdx_core::{
     correction_output_row_into, path_trace_counts, run_parallel_with, CorrectionScratch,
-    ParamLevel, RankedCorrection, RectifyConfig, RectifyResult, RectifyStats, Solution,
+    ParamLevel, RankedCorrection, RectifyConfig, RectifyResult, RectifyStats, Solution, Verdict,
 };
 use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel};
 use incdx_netlist::{ConeCache, ConeSet, GateId, GateKind, Netlist};
@@ -187,6 +187,9 @@ impl LegacyRectifier {
         RectifyResult {
             solutions,
             stats: self.stats,
+            verdict: Verdict::default(),
+            partials: Vec::new(),
+            checkpoint: None,
         }
     }
 

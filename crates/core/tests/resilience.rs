@@ -1,0 +1,347 @@
+//! Integration tests of the resilience layer: cooperative limits,
+//! cancellation, checkpoint/resume identity, panic recovery, and the
+//! chaos fault-injection harness.
+//!
+//! The load-bearing property throughout: an early stop (deadline,
+//! budget, cancellation) happens only at a plan-item boundary, so the
+//! captured checkpoint resumes to *exactly* the solution set of an
+//! unlimited run, and every recovery the engine performs is visible as
+//! a structured degradation event.
+
+use std::sync::Once;
+use std::time::Duration;
+
+use incdx_core::{
+    ChaosConfig, Checkpoint, DegradationKind, PartialSolution, Rectifier, RectifyConfig,
+    RectifyLimits, Verdict,
+};
+use incdx_fault::StuckAt;
+use incdx_gen::{random_dag, RandomDagConfig};
+use incdx_netlist::{GateId, Netlist};
+use incdx_sim::{PackedMatrix, Response, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dag(seed: u64, gates: usize) -> Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs: 8,
+            gates,
+            outputs: 5,
+            max_fanin: 3,
+            xor_fraction: 0.1,
+            window: 16,
+        },
+        seed,
+    )
+}
+
+/// Injects stuck-at faults at `picks` and captures the faulty device's
+/// responses; `None` when a fault fails to apply or is not excited.
+fn stuck_at_workload(
+    golden: &Netlist,
+    picks: &[(usize, bool)],
+    vectors: usize,
+    seed: u64,
+) -> Option<(PackedMatrix, Response)> {
+    let mut device_nl = golden.clone();
+    for &(pick, v) in picks {
+        StuckAt::new(GateId::from_index(pick % golden.len()), v)
+            .apply(&mut device_nl)
+            .ok()?;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        &device_nl,
+        &sim.run_for_inputs(&device_nl, golden.inputs(), &pi),
+    );
+    let vals = sim.run(golden, &pi);
+    if Response::compare(golden, &vals, &device).matches() {
+        return None;
+    }
+    Some((pi, device))
+}
+
+/// Every reported partial must replay: applying its corrections to the
+/// base netlist leaves exactly `remaining_failures` failing vectors.
+fn assert_partials_replay(
+    base: &Netlist,
+    pi: &PackedMatrix,
+    reference: &Response,
+    partials: &[PartialSolution],
+) {
+    let mut sim = Simulator::new();
+    for partial in partials {
+        let mut fixed = base.clone();
+        for c in &partial.corrections {
+            c.apply(&mut fixed).expect("partial tuple applies");
+        }
+        let vals = sim.run_for_inputs(&fixed, base.inputs(), pi);
+        let remaining = Response::compare(&fixed, &vals, reference).num_failing();
+        assert_eq!(
+            remaining, partial.remaining_failures,
+            "partial {:?} does not replay",
+            partial.corrections
+        );
+    }
+}
+
+/// The acceptance scenario: a Table-1-style exhaustive stuck-at run on a
+/// large generated circuit with a 50 ms deadline stops with
+/// [`Verdict::DeadlineExceeded`], non-empty ranked partials, and a
+/// checkpoint that — resumed without limits, after a JSON round trip —
+/// reproduces the exact unlimited solution set.
+#[test]
+fn deadline_stops_with_checkpoint_and_resume_matches_unlimited() {
+    let golden = dag(11, 300);
+    let (pi, device) =
+        stuck_at_workload(&golden, &[(17, false), (123, true)], 192, 11).expect("excited faults");
+    let config = RectifyConfig::stuck_at_exhaustive(2);
+
+    let unlimited = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+        .expect("well-formed inputs")
+        .run();
+    assert!(
+        !unlimited.solutions.is_empty(),
+        "reference run finds the injected tuple"
+    );
+
+    let mut limited_config = config.clone();
+    limited_config.limits = RectifyLimits {
+        deadline: Some(Duration::from_millis(50)),
+        ..RectifyLimits::default()
+    };
+    let mut engine = Rectifier::new(golden.clone(), pi.clone(), device.clone(), limited_config)
+        .expect("well-formed inputs");
+    engine.set_checkpoint_meta("resilience/deadline", 11);
+    let limited = engine.run();
+    assert_eq!(limited.verdict, Verdict::DeadlineExceeded);
+    assert!(limited.stats.truncated);
+    assert!(
+        !limited.partials.is_empty(),
+        "ranked partials on a deadline stop"
+    );
+    assert_partials_replay(&golden, &pi, &device, &limited.partials);
+
+    let checkpoint = limited
+        .checkpoint
+        .expect("deadline stop captures a checkpoint");
+    assert_eq!(checkpoint.label, "resilience/deadline");
+    assert_eq!(checkpoint.trial_seed, 11);
+    let restored = Checkpoint::from_json(&checkpoint.to_json()).expect("JSON round trip");
+
+    let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+        .expect("well-formed inputs")
+        .resume(&restored)
+        .expect("checkpoint accepted");
+    assert_eq!(resumed.solutions, unlimited.solutions);
+    assert_eq!(resumed.verdict, unlimited.verdict);
+}
+
+/// A total-node budget stops the search with [`Verdict::BudgetExhausted`]
+/// and resumes losslessly, even across several checkpoint hops.
+#[test]
+fn node_budget_stops_and_chained_resume_matches_unlimited() {
+    let golden = dag(5, 40);
+    let (pi, device) =
+        stuck_at_workload(&golden, &[(9, true), (23, false)], 128, 5).expect("excited faults");
+    let config = RectifyConfig::dedc(2);
+
+    let unlimited = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+        .expect("well-formed inputs")
+        .run();
+
+    // Hop 1: stop after a single evaluated node.
+    let mut budget_config = config.clone();
+    budget_config.limits.max_total_nodes = Some(1);
+    let first = Rectifier::new(golden.clone(), pi.clone(), device.clone(), budget_config)
+        .expect("well-formed inputs")
+        .run();
+    assert_eq!(first.verdict, Verdict::BudgetExhausted);
+    assert_partials_replay(&golden, &pi, &device, &first.partials);
+    let checkpoint = first.checkpoint.expect("budget stop captures a checkpoint");
+
+    // Hop 2: resume with a slightly larger budget — may stop again.
+    let mut next_config = config.clone();
+    next_config.limits.max_total_nodes = Some(3);
+    let second = Rectifier::new(golden.clone(), pi.clone(), device.clone(), next_config)
+        .expect("well-formed inputs")
+        .resume(&checkpoint)
+        .expect("checkpoint accepted");
+    let final_result = match second.checkpoint {
+        Some(checkpoint) => {
+            assert_eq!(second.verdict, Verdict::BudgetExhausted);
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .resume(&checkpoint)
+                .expect("checkpoint accepted")
+        }
+        None => second,
+    };
+    assert_eq!(final_result.solutions, unlimited.solutions);
+    assert_eq!(final_result.verdict, unlimited.verdict);
+}
+
+/// A checkpoint is rejected when replayed against a different netlist —
+/// the fingerprint guard, not silent wrong answers.
+#[test]
+fn checkpoint_rejects_mismatched_netlist() {
+    let golden = dag(5, 40);
+    let (pi, device) =
+        stuck_at_workload(&golden, &[(9, true), (23, false)], 128, 5).expect("excited faults");
+    let mut config = RectifyConfig::dedc(2);
+    config.limits.max_total_nodes = Some(1);
+    let result = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+        .expect("well-formed inputs")
+        .run();
+    let checkpoint = result
+        .checkpoint
+        .expect("budget stop captures a checkpoint");
+
+    let other = dag(6, 40);
+    let (other_pi, other_device) =
+        stuck_at_workload(&other, &[(9, true), (23, false)], 128, 6).expect("excited faults");
+    let err = Rectifier::new(other, other_pi, other_device, RectifyConfig::dedc(2))
+        .expect("well-formed inputs")
+        .resume(&checkpoint);
+    assert!(err.is_err(), "foreign checkpoint must be rejected");
+}
+
+/// Silences the default panic printer for the *injected* chaos panics
+/// (they are expected and recovered); anything else still prints.
+fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("");
+            if !message.contains("chaos: injected") {
+                default(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Satellite 3 — cancellation safety: a token tripped after an
+    /// arbitrary number of limit polls stops the engine at a clean plan
+    /// boundary. Wherever the trip lands: the decision tree passes its
+    /// invariant audit, every reported partial replays, and a captured
+    /// checkpoint resumes to the uncancelled run's exact solution set.
+    #[test]
+    fn cancellation_at_any_step_leaves_clean_resumable_state(
+        seed in 0u64..24,
+        trip in 1u64..40,
+    ) {
+        let golden = dag(seed, 40);
+        let picks = [(7 + seed as usize, true), (19 + 2 * seed as usize, false)];
+        let Some((pi, device)) = stuck_at_workload(&golden, &picks, 128, seed) else {
+            return Ok(()); // fault not excited on this draw
+        };
+        let config = RectifyConfig::dedc(2);
+        let reference = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+            .expect("well-formed inputs")
+            .run();
+
+        let mut engine = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+            .expect("well-formed inputs");
+        let token = engine.cancel_token();
+        token.trip_after(trip);
+        let result = engine.run();
+
+        prop_assert_eq!(result.stats.audit_violations, 0, "tree invariants hold");
+        assert_partials_replay(&golden, &pi, &device, &result.partials);
+        if result.verdict == Verdict::Cancelled {
+            let checkpoint = result.checkpoint.expect("cancel stop captures a checkpoint");
+            let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .resume(&checkpoint)
+                .expect("checkpoint accepted");
+            prop_assert_eq!(&resumed.solutions, &reference.solutions);
+        } else {
+            // The trip count outlived the search: results are untouched.
+            prop_assert_eq!(&result.solutions, &reference.solutions);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The chaos harness contract: with deterministic fault injection at
+    /// rate 0.05 (worker panics, cached-matrix bit flips, spurious width
+    /// errors) the recovered solution set is bit-identical to the
+    /// chaos-off run, and *every* injected fault is accounted for as a
+    /// recovery — panics in the worker-panic degradation event, matrix
+    /// corruptions in the audit repair/fallback events.
+    #[test]
+    fn chaos_recovery_matches_chaos_off(
+        seed in 0u64..16,
+        chaos_seed in 0u64..64,
+        jobs in 1usize..3,
+    ) {
+        silence_injected_panics();
+        let golden = dag(seed, 40);
+        let picks = [(11 + seed as usize, false), (29 + 3 * seed as usize, true)];
+        let Some((pi, device)) = stuck_at_workload(&golden, &picks, 128, seed) else {
+            return Ok(()); // fault not excited on this draw
+        };
+        let run = |chaos: Option<ChaosConfig>| {
+            let mut config = RectifyConfig::dedc(2);
+            config.jobs = jobs;
+            config.chaos = chaos;
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .run()
+        };
+        let clean = run(None);
+        let chaotic = run(Some(ChaosConfig { seed: chaos_seed, rate: 0.05 }));
+
+        prop_assert_eq!(&clean.solutions, &chaotic.solutions, "recovery is lossless");
+        prop_assert!(clean.stats.chaos.is_none());
+        let summary = chaotic.stats.chaos.expect("chaos summary recorded");
+
+        // Injected panics were each recovered exactly once…
+        prop_assert_eq!(chaotic.stats.parallel.panics_recovered, summary.panics);
+        let panic_events: u64 = chaotic
+            .stats
+            .degradations
+            .iter()
+            .filter(|d| d.kind == DegradationKind::WorkerPanic)
+            .map(|d| d.count)
+            .sum();
+        prop_assert_eq!(panic_events, summary.panics);
+        // …and every matrix corruption was caught and repaired by the
+        // resilient audit layer.
+        let repair_events: u64 = chaotic
+            .stats
+            .degradations
+            .iter()
+            .filter(|d| {
+                matches!(
+                    d.kind,
+                    DegradationKind::AuditRepair | DegradationKind::EvaluatorFallback
+                )
+            })
+            .map(|d| d.count)
+            .sum();
+        prop_assert_eq!(repair_events, summary.bit_flips + summary.width_errors);
+        if summary.total() > 0 {
+            prop_assert!(
+                !chaotic.stats.degradations.is_empty(),
+                "injected faults surface as degradation events"
+            );
+            prop_assert_eq!(chaotic.verdict, Verdict::Degraded);
+        }
+    }
+}

@@ -17,7 +17,12 @@
 //!   engine's contract is typed errors, never aborts;
 //! * every other first-party crate may use targeted panics (generators
 //!   and benches assert on internal invariants) but must never ship
-//!   `todo!(`, `unimplemented!(`, or leftover `dbg!(` calls.
+//!   `todo!(`, `unimplemented!(`, or leftover `dbg!(` calls;
+//! * `catch_unwind(` is denied in strict paths *except* at the one
+//!   sanctioned worker boundary ([`UNWIND_SANCTIONED`]) — panic
+//!   isolation lives in `run_parallel_with`'s workers, and swallowing
+//!   panics anywhere else in the engine would hide real bugs from the
+//!   recovery accounting.
 //!
 //! A line ending in a `panic-audit: allow` comment is exempt; use it for
 //! deliberate, reviewed exceptions.
@@ -31,6 +36,15 @@ pub const BASE_DENY: &[&str] = &["todo!(", "unimplemented!(", "dbg!("]; // panic
 
 /// Additional constructs denied in strict (engine) paths.
 pub const STRICT_DENY: &[&str] = &[".unwrap(", ".expect(", "panic!(", "unreachable!("]; // panic-audit: allow
+
+/// Denied in strict paths outside the sanctioned worker boundary:
+/// panic isolation is `run_parallel_with`'s job alone.
+pub const UNWIND_DENY: &[&str] = &["catch_unwind("];
+
+/// Strict-path files allowed to use `catch_unwind(` — the parallel
+/// worker boundary where panic isolation is implemented and every
+/// recovery is counted into the run's telemetry.
+pub const UNWIND_SANCTIONED: &[&str] = &["crates/core/src/parallel.rs"];
 
 /// Repo-relative source roots audited under the strict policy.
 pub const STRICT_ROOTS: &[&str] = &["crates/core/src"];
@@ -98,7 +112,8 @@ pub fn audit_workspace(repo_root: &Path) -> io::Result<Vec<Violation>> {
             for file in files {
                 let src = fs::read_to_string(&file)?;
                 let rel_path = file.strip_prefix(repo_root).unwrap_or(&file).to_path_buf();
-                for (line, construct, text) in scan_source(&src, strict) {
+                let deny = deny_for(strict, &rel_path);
+                for (line, construct, text) in scan_source_with(&src, &deny) {
                     violations.push(Violation {
                         path: rel_path.clone(),
                         line,
@@ -126,9 +141,39 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Scans one source file, returning `(line, construct, text)` for every
-/// denied construct outside `#[cfg(test)]` items.
+/// The deny list applying to one repo-relative file under the given
+/// tier: strict paths add the panicking constructs and — outside the
+/// sanctioned worker boundary — `catch_unwind(`.
+pub fn deny_for(strict: bool, rel_path: &Path) -> Vec<&'static str> {
+    let mut deny: Vec<&'static str> = BASE_DENY.to_vec();
+    if strict {
+        deny.extend(STRICT_DENY);
+        let normalized: String = rel_path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if !UNWIND_SANCTIONED.contains(&normalized.as_str()) {
+            deny.extend(UNWIND_DENY);
+        }
+    }
+    deny
+}
+
+/// Scans one source file under the path-independent tier policy (no
+/// `catch_unwind` sanctioning — use [`scan_source_with`] and
+/// [`deny_for`] when the file's path is known).
 pub fn scan_source(src: &str, strict: bool) -> Vec<(usize, &'static str, String)> {
+    // Strict paths deny the base set too.
+    let strict_deny: Vec<&'static str> = STRICT_DENY.iter().chain(BASE_DENY).copied().collect();
+    let deny: &[&'static str] = if strict { &strict_deny } else { BASE_DENY };
+    scan_source_with(src, deny)
+}
+
+/// Scans one source file against an explicit deny list, returning
+/// `(line, construct, text)` for every denied construct outside
+/// `#[cfg(test)]` items.
+pub fn scan_source_with(src: &str, deny: &[&'static str]) -> Vec<(usize, &'static str, String)> {
     #[derive(Clone, Copy)]
     enum Mode {
         /// Auditing normal code.
@@ -160,9 +205,6 @@ pub fn scan_source(src: &str, strict: bool) -> Vec<(usize, &'static str, String)
 
     let mut mode = Mode::Code;
     let mut found = Vec::new();
-    // Strict paths deny the base set too.
-    let strict_deny: Vec<&'static str> = STRICT_DENY.iter().chain(BASE_DENY).copied().collect();
-    let deny: &[&'static str] = if strict { &strict_deny } else { BASE_DENY };
     for (idx, raw) in src.lines().enumerate() {
         // Strip line comments before both matching and brace counting;
         // doc-comment examples legitimately use `.unwrap()`.
@@ -325,6 +367,22 @@ fn live() { y.unwrap(); }
         let found = scan_source(src, true);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].0, 3);
+    }
+
+    #[test]
+    fn catch_unwind_denied_outside_sanctioned_boundary() {
+        let engine_file = Path::new("crates/core/src/session.rs");
+        let worker_file = Path::new("crates/core/src/parallel.rs");
+        let base_file = Path::new("crates/bench/src/lib.rs");
+        assert!(deny_for(true, engine_file).contains(&"catch_unwind("));
+        assert!(!deny_for(true, worker_file).contains(&"catch_unwind("));
+        assert!(!deny_for(false, base_file).contains(&"catch_unwind("));
+
+        let src = "fn f() {\n    let r = std::panic::catch_unwind(|| work());\n}\n";
+        let found = scan_source_with(src, &deny_for(true, engine_file));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1, "catch_unwind(");
+        assert!(scan_source_with(src, &deny_for(true, worker_file)).is_empty());
     }
 
     #[test]

@@ -180,6 +180,28 @@ impl GateKind {
             GateKind::Dff => "DFF",
         }
     }
+
+    /// Parses a canonical [`GateKind::token`] back to its kind
+    /// (case-insensitive). The inverse of [`GateKind::token`]; used by
+    /// checkpoint deserialization.
+    pub fn from_token(token: &str) -> Option<GateKind> {
+        let t = token.to_ascii_uppercase();
+        Some(match t.as_str() {
+            "INPUT" => GateKind::Input,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            "BUF" => GateKind::Buf,
+            "NOT" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "DFF" => GateKind::Dff,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for GateKind {
@@ -284,5 +306,31 @@ mod tests {
     #[should_panic(expected = "no combinational function")]
     fn eval_input_panics() {
         GateKind::Input.eval(&[]);
+    }
+
+    #[test]
+    fn token_round_trips_through_from_token() {
+        let all = [
+            GateKind::Input,
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Dff,
+        ];
+        for kind in all {
+            assert_eq!(GateKind::from_token(kind.token()), Some(kind));
+            assert_eq!(
+                GateKind::from_token(&kind.token().to_ascii_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(GateKind::from_token("MUX"), None);
     }
 }

@@ -19,8 +19,16 @@
 # aggregates nodes expanded and engine wall time per (circuit, strategy)
 # into BENCH_traversal.json.
 #
+# A third mode, `BENCH_MODE=robustness`, measures the cost of the
+# resilience layer when armed but never tripped: the table1 workload
+# runs once as the baseline and once with a deadline and node budget far
+# above anything the run needs (chaos off). Both runs traverse identical
+# trees — the script asserts the solution sets match — so the wall-time
+# delta is the price of the once-per-plan-item limit checks. The budget
+# is <= 2% overhead; BENCH_robustness.json records the measurement.
+#
 # Environment overrides (defaults reproduce the committed benchmarks):
-#   BENCH_MODE         incremental | traversal          (default incremental)
+#   BENCH_MODE         incremental | traversal | robustness  (default incremental)
 #   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a)
 #   BENCH_EXPERIMENTS  space-separated subset to run    (default "table1 fig2_rounds")
 #   BENCH_TRIALS       trials per cell                  (default 1)
@@ -41,7 +49,8 @@ TIME_LIMIT="${BENCH_TIME_LIMIT:-600}"
 case "$MODE" in
     incremental) OUT="${BENCH_OUT:-BENCH_incremental.json}" ;;
     traversal)   OUT="${BENCH_OUT:-BENCH_traversal.json}" ;;
-    *) echo "unknown BENCH_MODE $MODE (incremental|traversal)" >&2; exit 2 ;;
+    robustness)  OUT="${BENCH_OUT:-BENCH_robustness.json}" ;;
+    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness)" >&2; exit 2 ;;
 esac
 
 echo "==> build (release)"
@@ -109,6 +118,48 @@ if [ "$MODE" = traversal ]; then
         done
         printf ']}\n'
     } > "$OUT"
+    echo "wrote $OUT"
+    exit 0
+fi
+
+if [ "$MODE" = robustness ]; then
+    # $1=run name, rest = extra table1 flags. Captures the JSON records
+    # and prints the run's wall seconds.
+    run_table1() {
+        local name="$1" t0 t1
+        shift
+        t0=$(date +%s.%N)
+        "$bin/table1" --circuits "$CIRCUITS" --trials "$TRIALS" \
+            --vectors "$VECTORS" --seed "$SEED" --time-limit "$TIME_LIMIT" \
+            --json "$@" | grep '"report":"rectify"' > "$tmp/$name.jsonl"
+        t1=$(date +%s.%N)
+        awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}'
+    }
+    # Sorted "label solutions distinct_sites" fingerprint of a run —
+    # armed limits must not change what the search finds.
+    fingerprint() {
+        sed -E 's/.*"label":"([^"]*)".*"solutions":([0-9]+),"distinct_sites":([0-9]+).*/\1 \2 \3/' \
+            "$1" | sort
+    }
+    echo "==> table1 (baseline)"
+    base_wall=$(run_table1 baseline)
+    echo "==> table1 (limits armed, chaos off)"
+    armed_wall=$(run_table1 armed --deadline-ms 86400000 --max-nodes 1000000000)
+    if [ "$(fingerprint "$tmp/baseline.jsonl")" != "$(fingerprint "$tmp/armed.jsonl")" ]; then
+        echo "armed-limits run diverged from the baseline solution set" >&2
+        exit 1
+    fi
+    overhead=$(awk -v b="$base_wall" -v a="$armed_wall" \
+        'BEGIN{if (b > 0) printf "%.2f", (a - b) / b * 100; else print "null"}')
+    printf '{"bench":"robustness_overhead","seed":%s,"trials":%s,"vectors":%s,"circuits":"%s","wall_s":{"baseline":%s,"armed":%s},"overhead_pct":%s,"budget_pct":2.0,"results_identical":true}\n' \
+        "$SEED" "$TRIALS" "$VECTORS" "$CIRCUITS" "$base_wall" "$armed_wall" \
+        "$overhead" > "$OUT"
+    echo "    wall: baseline=${base_wall}s armed=${armed_wall}s overhead=${overhead}%" >&2
+    case "$overhead" in
+        -*|null) ;;
+        *) awk -v o="$overhead" 'BEGIN{exit !(o > 2.0)}' \
+            && echo "warning: armed-limits overhead ${overhead}% exceeds the 2% budget" >&2 ;;
+    esac
     echo "wrote $OUT"
     exit 0
 fi

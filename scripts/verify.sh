@@ -56,6 +56,47 @@ out="$(cargo run -p incdx-bench --release --bin table2 -- \
 echo "$out" | grep -q '"report":"rectify"' \
     || { echo "table2 emitted no RectifyReport JSON" >&2; exit 1; }
 
+# Reduces a run's JSON records to sorted "label solutions distinct_sites"
+# lines — the solution-set fingerprint the resilience smokes compare.
+solution_set() {
+    grep '"report":"rectify"' \
+        | sed -E 's/.*"label":"([^"]*)".*"solutions":([0-9]+),"distinct_sites":([0-9]+).*/\1 \2 \3/' \
+        | sort
+}
+
+echo "==> smoke: chaos recovery reproduces the chaos-off solution set"
+clean_out="$(cargo run -p incdx-bench --release --bin table2 -- \
+    --circuits c432a --trials 1 --vectors 256 --time-limit 60 --json 2>/dev/null)"
+chaos_out="$(cargo run -p incdx-bench --release --bin table2 -- \
+    --circuits c432a --trials 1 --vectors 256 --time-limit 60 --json \
+    --chaos 7,0.05 2>/dev/null)"
+clean_set="$(echo "$clean_out" | solution_set)"
+[ -n "$clean_set" ] || { echo "chaos-off table2 run emitted no reports" >&2; exit 1; }
+if [ "$clean_set" != "$(echo "$chaos_out" | solution_set)" ]; then
+    echo "table2 --chaos 7,0.05 diverged from the chaos-off solution set" >&2
+    exit 1
+fi
+
+echo "==> smoke: checkpoint/resume determinism"
+ckpt="$(mktemp)"
+# --max-nodes 1 is a deterministic stop, so the checkpoint is
+# reproducible; resuming without the budget must land on the same
+# solution set the unlimited run above found for that trial.
+cargo run -p incdx-bench --release --bin table2 -- \
+    --circuits c432a --trials 1 --vectors 256 --time-limit 60 \
+    --max-nodes 1 --checkpoint "$ckpt" >/dev/null 2>&1 \
+    || { echo "table2 --max-nodes 1 --checkpoint failed" >&2; exit 1; }
+[ -s "$ckpt" ] || { echo "table2 --max-nodes 1 wrote no checkpoint" >&2; exit 1; }
+resumed_set="$(cargo run -p incdx-bench --release --bin table2 -- \
+    --time-limit 60 --resume "$ckpt" 2>/dev/null | solution_set)"
+[ -n "$resumed_set" ] || { echo "table2 --resume emitted no report" >&2; exit 1; }
+resumed_label="${resumed_set%% *}"
+if [ "$resumed_set" != "$(echo "$clean_set" | grep "^$resumed_label ")" ]; then
+    echo "resumed run diverged from the unlimited run for $resumed_label" >&2
+    exit 1
+fi
+rm -f "$ckpt"
+
 echo "==> smoke: best-first traversal"
 bf_out="$(cargo run -p incdx-bench --release --bin ablation_traversal -- \
     --traversal best-first --circuits c432a --trials 1 --vectors 256 \
