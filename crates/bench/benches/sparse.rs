@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the hierarchical sparse simulation
+//! kernel: masked popcounts through a block summary versus the dense
+//! word-by-word walk, mask construction, and sparse cone resimulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdx_gen::generate;
+use incdx_netlist::GateId;
+use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Simulator, SparseMask};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// A failing-vector pattern with `density` of its 256-vector blocks
+/// occupied — the shape the rectifier sees on large vector sets where
+/// few vectors expose the fault.
+fn sparse_bits(num_vectors: usize, density: f64, rng: &mut StdRng) -> PackedBits {
+    let mut bits = PackedBits::new(num_vectors);
+    let blocks = num_vectors.div_ceil(256).max(1);
+    for b in 0..blocks {
+        if rng.random::<f64>() < density {
+            let base = b * 256;
+            for _ in 0..8 {
+                let v = base + rng.random_range(0..256usize);
+                if v < num_vectors {
+                    bits.set(v, true);
+                }
+            }
+        }
+    }
+    bits
+}
+
+fn bench_masked_popcount(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let nv = 16 * 1024;
+    let bits = sparse_bits(nv, 0.05, &mut rng);
+    let mask = SparseMask::from_bits(&bits);
+    let mut a = PackedBits::new(nv);
+    a.fill_random(&mut rng);
+    let mut b2 = PackedBits::new(nv);
+    b2.fill_random(&mut rng);
+    let mut group = c.benchmark_group("masked_popcount_16k");
+    group.bench_function("sparse", |b| {
+        b.iter(|| black_box(mask.xor_count_ones(black_box(a.words()), black_box(b2.words()))));
+    });
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            black_box(xor_masked_count_ones(
+                black_box(a.words()),
+                black_box(b2.words()),
+                black_box(bits.words()),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_mask_build(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(12);
+    let bits = sparse_bits(16 * 1024, 0.05, &mut rng);
+    c.bench_function("sparse_mask_from_bits_16k", |b| {
+        b.iter(|| black_box(SparseMask::from_bits(black_box(&bits))));
+    });
+}
+
+fn bench_cone_resim(c: &mut Criterion) {
+    let n = generate("c880a").unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    let pi = PackedMatrix::random(n.inputs().len(), 2048, &mut rng);
+    let stem = GateId::from_index(n.len() / 3);
+    let cone = n.fanout_cone_sorted(stem);
+    let mut group = c.benchmark_group("cone_events_c880a_2k");
+    for (label, sparse) in [("sparse", true), ("dense", false)] {
+        let mut sim = Simulator::new();
+        sim.set_sparse(sparse);
+        let mut vals = sim.run(&n, &pi);
+        // Flip one word of the stem so each pass propagates a narrow,
+        // block-local change through the cone.
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                vals.row_mut(stem.index())[3] ^= u64::MAX;
+                black_box(sim.run_cone_events(&n, black_box(&mut vals), &cone));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    sparse,
+    bench_masked_popcount,
+    bench_mask_build,
+    bench_cone_resim
+);
+criterion_main!(sparse);

@@ -27,6 +27,10 @@ pub struct Args {
     /// (`--no-incremental` reverts to full cone resimulation and disables
     /// the node-matrix cache; results are bit-identical either way).
     pub incremental: bool,
+    /// Use the hierarchical sparse simulation kernel (`--no-sparse`
+    /// reverts to the dense per-row kernels; results are bit-identical
+    /// either way — only the sparse work counters and wall time move).
+    pub sparse: bool,
     /// Decision-tree traversal strategy (`--traversal
     /// bfs|dfs|naive-bfs|best-first`; `bfs` is the paper's round-robin
     /// default).
@@ -70,6 +74,7 @@ impl Default for Args {
             jobs: 0,
             json: true,
             incremental: true,
+            sparse: true,
             traversal: TraversalKind::default(),
             audit: false,
             deadline_ms: None,
@@ -106,6 +111,8 @@ impl Args {
                 "--no-json" => args.json = false,
                 "--incremental" => args.incremental = true,
                 "--no-incremental" => args.incremental = false,
+                "--sparse" => args.sparse = true,
+                "--no-sparse" => args.sparse = false,
                 "--audit" => args.audit = true,
                 "--deadline-ms" => args.deadline_ms = Some(parse_num(&value("--deadline-ms"))),
                 "--max-nodes" => args.max_nodes = Some(parse_num(&value("--max-nodes"))),
@@ -134,7 +141,7 @@ impl Args {
                     eprintln!(
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
                          --time-limit SECONDS --jobs N --json|--no-json \
-                         --incremental|--no-incremental --audit \
+                         --incremental|--no-incremental --sparse|--no-sparse --audit \
                          --traversal bfs|dfs|naive-bfs|best-first \
                          --deadline-ms N --max-nodes N --chaos SEED,RATE \
                          --checkpoint PATH --resume PATH"
@@ -255,6 +262,13 @@ mod tests {
         assert!(Args::default().incremental, "incremental is the default");
         assert!(!Args::parse_from(["--no-incremental".to_string()]).incremental);
         assert!(Args::parse_from(["--incremental".to_string()]).incremental);
+    }
+
+    #[test]
+    fn sparse_flag_round_trips() {
+        assert!(Args::default().sparse, "sparse is the default");
+        assert!(!Args::parse_from(["--no-sparse".to_string()]).sparse);
+        assert!(Args::parse_from(["--sparse".to_string()]).sparse);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use incdx_sim::{PackedMatrix, Response, Simulator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn trial(golden: &Netlist, vectors: usize, seed: u64) -> Option<(usize, usize)> {
+fn trial(golden: &Netlist, vectors: usize, seed: u64, sparse: bool) -> Option<(usize, usize)> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_design_errors(
         golden,
@@ -34,6 +34,7 @@ fn trial(golden: &Netlist, vectors: usize, seed: u64) -> Option<(usize, usize)> 
     let spec = Response::capture(golden, &sim.run(golden, &pi));
     let mut config = RectifyConfig::dedc(1);
     config.max_candidates_per_node = usize::MAX;
+    config.sparse = sparse;
     let mut rect = Rectifier::new(
         injection.corrupted.clone(),
         pi.clone(),
@@ -98,7 +99,7 @@ fn main() {
         let results = run_parallel(args.trials, args.jobs, |t| {
             for attempt in 0..20u64 {
                 let seed = args.trial_seed("ablation_rank", circuit, 1, t, attempt);
-                if let Some(r) = trial(&golden, args.vectors, seed) {
+                if let Some(r) = trial(&golden, args.vectors, seed, args.sparse) {
                     return Some(r);
                 }
             }

@@ -22,7 +22,13 @@ struct Sweep {
     fix_survives: bool,
 }
 
-fn sweep_point(golden: &Netlist, vectors: usize, seed: u64, level: ParamLevel) -> Option<Sweep> {
+fn sweep_point(
+    golden: &Netlist,
+    vectors: usize,
+    seed: u64,
+    level: ParamLevel,
+    sparse: bool,
+) -> Option<Sweep> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_design_errors(
         golden,
@@ -42,6 +48,7 @@ fn sweep_point(golden: &Netlist, vectors: usize, seed: u64, level: ParamLevel) -
     let mut config = RectifyConfig::dedc(1);
     config.max_candidates_per_node = usize::MAX;
     config.theorem_floor = false; // sweep the raw threshold
+    config.sparse = sparse;
     let mut rect = Rectifier::new(
         injection.corrupted.clone(),
         pi.clone(),
@@ -95,7 +102,7 @@ fn main() {
             let results = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("ablation_screening", circuit, 1, t, attempt);
-                    if let Some(s) = sweep_point(&golden, args.vectors, seed, level) {
+                    if let Some(s) = sweep_point(&golden, args.vectors, seed, level, args.sparse) {
                         return Some(s);
                     }
                 }

@@ -29,6 +29,7 @@ fn trial(
     faults: usize,
     seed: u64,
     time_limit: std::time::Duration,
+    sparse: bool,
 ) -> Option<Trial> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_stuck_at_faults(
@@ -61,6 +62,7 @@ fn trial(
 
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(time_limit);
+    config.sparse = sparse;
     let result = Rectifier::new(golden.clone(), pi.clone(), device, config)
         .ok()?
         .run();
@@ -102,7 +104,15 @@ fn main() {
             let outcomes = run_parallel(args.trials, args.jobs, |t| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("baseline_dictionary", circuit, faults, t, attempt);
-                    if let Some(r) = trial(&golden, &dict, &pi, faults, seed, args.time_limit) {
+                    if let Some(r) = trial(
+                        &golden,
+                        &dict,
+                        &pi,
+                        faults,
+                        seed,
+                        args.time_limit,
+                        args.sparse,
+                    ) {
                         return Some(r);
                     }
                 }

@@ -27,6 +27,7 @@ fn trial(
     vectors: usize,
     seed: u64,
     time_limit: std::time::Duration,
+    sparse: bool,
 ) -> Option<Trial> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Draw a bridgeable random pair of logic lines.
@@ -75,6 +76,7 @@ fn trial(
     // design-error correction model (two InsertGate fixes max).
     let mut config = RectifyConfig::dedc(2);
     config.time_limit = Some(time_limit);
+    config.sparse = sparse;
     let result = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
         .ok()?
         .run();
@@ -119,7 +121,7 @@ fn main() {
         let outcomes = run_parallel(args.trials, args.jobs, |t| {
             for attempt in 0..20u64 {
                 let seed = args.trial_seed("bridging", circuit, 1, t, attempt);
-                if let Some(r) = trial(&golden, args.vectors, seed, args.time_limit) {
+                if let Some(r) = trial(&golden, args.vectors, seed, args.time_limit, args.sparse) {
                     return Some(r);
                 }
             }

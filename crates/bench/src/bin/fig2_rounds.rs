@@ -59,6 +59,7 @@ fn budget_config(args: &Args, budget: usize) -> RectifyConfig {
     config.max_rounds = budget;
     config.time_limit = Some(args.time_limit);
     config.incremental = args.incremental;
+    config.sparse = args.sparse;
     config.traversal = args.traversal;
     config.audit = args.audit;
     config.limits = args.limits();

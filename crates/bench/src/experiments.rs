@@ -51,6 +51,8 @@ pub fn try_scan_core(name: &str) -> Result<Netlist, String> {
 pub struct TrialOptions {
     /// Event-driven incremental engine (see [`Args::incremental`]).
     pub incremental: bool,
+    /// Hierarchical sparse simulation kernel (see [`Args::sparse`]).
+    pub sparse: bool,
     /// Decision-tree scheduling policy.
     pub traversal: TraversalKind,
     /// Engine invariant audit ([`RectifyConfig::audit`]).
@@ -75,6 +77,7 @@ impl TrialOptions {
     pub fn from_args(args: &Args) -> Self {
         TrialOptions {
             incremental: args.incremental,
+            sparse: args.sparse,
             traversal: args.traversal,
             audit: args.audit,
             limits: args.limits(),
@@ -197,6 +200,7 @@ pub fn stuck_at_trial(
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(time_limit);
     config.incremental = opts.incremental;
+    config.sparse = opts.sparse;
     config.traversal = opts.traversal;
     config.audit = opts.audit;
     config.limits = opts.limits;
@@ -287,6 +291,7 @@ pub fn dedc_trial(
     let mut config = RectifyConfig::dedc(errors);
     config.time_limit = Some(time_limit);
     config.incremental = opts.incremental;
+    config.sparse = opts.sparse;
     config.traversal = opts.traversal;
     config.audit = opts.audit;
     config.limits = opts.limits;
@@ -354,6 +359,7 @@ mod tests {
     fn base_opts() -> TrialOptions {
         TrialOptions {
             incremental: true,
+            sparse: true,
             traversal: TraversalKind::default(),
             ..TrialOptions::default()
         }

@@ -208,6 +208,10 @@ impl Evaluator for Auditing {
         self.inner.incremental()
     }
 
+    fn sparse(&self) -> bool {
+        self.inner.sparse()
+    }
+
     fn counters(&self) -> SimCounters {
         SimCounters {
             audit_checks: self.checks,

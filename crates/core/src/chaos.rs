@@ -63,12 +63,14 @@ pub struct ChaosSummary {
     pub bit_flips: u64,
     /// Prepared nodes whose matrix was truncated by a row.
     pub width_errors: u64,
+    /// Sparse-mask block-summary bits flipped in the candidate pipeline.
+    pub summary_flips: u64,
 }
 
 impl ChaosSummary {
     /// Total injected faults of all classes.
     pub fn total(&self) -> u64 {
-        self.panics + self.bit_flips + self.width_errors
+        self.panics + self.bit_flips + self.width_errors + self.summary_flips
     }
 }
 
@@ -76,11 +78,12 @@ impl fmt::Display for ChaosSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} injected ({} panics, {} bit flips, {} width errors)",
+            "{} injected ({} panics, {} bit flips, {} width errors, {} summary flips)",
             self.total(),
             self.panics,
             self.bit_flips,
-            self.width_errors
+            self.width_errors,
+            self.summary_flips
         )
     }
 }
@@ -97,9 +100,12 @@ pub struct ChaosState {
     section: AtomicU64,
     /// Monotone count of evaluator `prepare` calls (corruption keys).
     prepare_seq: AtomicU64,
+    /// Monotone count of sparse-mask builds (summary-corruption keys).
+    mask_seq: AtomicU64,
     panics: AtomicU64,
     bit_flips: AtomicU64,
     width_errors: AtomicU64,
+    summary_flips: AtomicU64,
     /// Keys that already fired: a retried task draws the same key, finds
     /// it spent, and succeeds — faults are transient by construction.
     fired: Mutex<HashSet<u64>>,
@@ -112,9 +118,11 @@ impl ChaosState {
             config,
             section: AtomicU64::new(0),
             prepare_seq: AtomicU64::new(0),
+            mask_seq: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             bit_flips: AtomicU64::new(0),
             width_errors: AtomicU64::new(0),
+            summary_flips: AtomicU64::new(0),
             fired: Mutex::new(HashSet::new()),
         })
     }
@@ -137,6 +145,7 @@ impl ChaosState {
             panics: self.panics.load(Ordering::Relaxed),
             bit_flips: self.bit_flips.load(Ordering::Relaxed),
             width_errors: self.width_errors.load(Ordering::Relaxed),
+            summary_flips: self.summary_flips.load(Ordering::Relaxed),
         }
     }
 
@@ -203,6 +212,29 @@ impl ChaosState {
         }
         false
     }
+
+    /// Flips one block-summary bit of a freshly built sparse
+    /// failing-vector mask if the injection stream selects this build —
+    /// the words stay intact, so the mask's `verify()` must fail and its
+    /// `repair()` must restore exactly the pre-corruption state. The
+    /// pipeline runs that verify/repair pair on every chaos-armed build
+    /// and records each repair as a `SparseRepair` degradation. Returns
+    /// `true` if a bit was flipped.
+    pub fn maybe_corrupt_mask(&self, mask: &mut incdx_sim::SparseMask) -> bool {
+        let seq = self.mask_seq.fetch_add(1, Ordering::Relaxed);
+        let nb = mask.summary().num_blocks();
+        if nb == 0 {
+            return false;
+        }
+        let key = 0x5AFE_0000_0000_0000 ^ seq;
+        if self.draw(key) < self.config.rate && self.arm(key) {
+            self.summary_flips.fetch_add(1, Ordering::Relaxed);
+            let d = splitmix64(self.config.seed ^ key);
+            mask.summary_mut().flip_bit((d % nb as u64) as usize);
+            return true;
+        }
+        false
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -248,6 +280,10 @@ impl Evaluator for Chaos {
 
     fn incremental(&self) -> bool {
         self.inner.incremental()
+    }
+
+    fn sparse(&self) -> bool {
+        self.inner.sparse()
     }
 
     fn counters(&self) -> SimCounters {
@@ -379,6 +415,30 @@ mod tests {
         }
         assert_eq!(node.vals.row(0), before.row(0));
         assert_eq!(state.summary().total(), 0);
+    }
+
+    #[test]
+    fn mask_corruption_breaks_verify_and_repair_restores_it() {
+        let state = ChaosState::new(ChaosConfig {
+            seed: 11,
+            rate: 1.0,
+        });
+        let mut bits = incdx_sim::PackedBits::new(600);
+        bits.set(5, true);
+        bits.set(400, true);
+        let mut mask = incdx_sim::SparseMask::from_bits(&bits);
+        let pristine = mask.clone();
+        assert!(state.maybe_corrupt_mask(&mut mask));
+        assert!(!mask.verify(), "a flipped summary bit must be detectable");
+        assert!(mask.repair());
+        assert_eq!(mask, pristine, "words are ground truth");
+        assert_eq!(state.summary().summary_flips, 1);
+        let zero = ChaosState::new(ChaosConfig {
+            seed: 11,
+            rate: 0.0,
+        });
+        assert!(!zero.maybe_corrupt_mask(&mut mask));
+        assert!(mask.verify());
     }
 
     #[test]

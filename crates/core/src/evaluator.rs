@@ -41,6 +41,14 @@ pub struct SimCounters {
     pub audit_checks: u64,
     /// Invariant checks that failed (always 0 on a healthy engine).
     pub audit_violations: u64,
+    /// All-zero [`BLOCK_WORDS`](incdx_sim::BLOCK_WORDS)-word blocks the
+    /// sparse kernel skipped without touching.
+    pub blocks_skipped: u64,
+    /// Rows/operations evaluated block-restricted by the sparse kernel.
+    pub sparse_rows: u64,
+    /// Operations where sparse mode was requested but the dense path ran
+    /// (rows too narrow, or a mask with no skippable block).
+    pub dense_fallbacks: u64,
 }
 
 /// Read-only run context handed to [`Evaluator::prepare`]: the base
@@ -86,6 +94,15 @@ pub trait Evaluator: Debug + Send {
     /// (Selects the column-restricted save/restore strategy in the
     /// screening stages.)
     fn incremental(&self) -> bool {
+        false
+    }
+
+    /// Is the hierarchical sparse kernel enabled? When `true`, node
+    /// preparation uses the block-granular cone walk and the candidate
+    /// pipeline restricts screening popcounts to occupied blocks of the
+    /// failing-vector mask (results are bit-identical either way; see
+    /// the "Simulation kernel" section of `ARCHITECTURE.md`).
+    fn sparse(&self) -> bool {
         false
     }
 
@@ -149,6 +166,12 @@ impl FromScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Enables/disables the sparse simulation kernel (builder style).
+    pub fn with_sparse(mut self, on: bool) -> Self {
+        self.sim.set_sparse(on);
+        self
+    }
 }
 
 impl Evaluator for FromScratch {
@@ -156,11 +179,18 @@ impl Evaluator for FromScratch {
         "from-scratch"
     }
 
+    fn sparse(&self) -> bool {
+        self.sim.sparse()
+    }
+
     fn counters(&self) -> SimCounters {
         SimCounters {
             words: self.sim.words_simulated(),
             events: self.sim.events_propagated(),
             skipped: self.sim.words_skipped(),
+            blocks_skipped: self.sim.blocks_skipped(),
+            sparse_rows: self.sim.sparse_rows(),
+            dense_fallbacks: self.sim.dense_fallbacks(),
             ..SimCounters::default()
         }
     }
@@ -202,7 +232,9 @@ impl Evaluator for FromScratch {
     }
 
     fn reset(&mut self) {
+        let sparse = self.sim.sparse();
         self.sim = Simulator::new();
+        self.sim.set_sparse(sparse);
     }
 }
 
@@ -232,6 +264,14 @@ impl Incremental {
             base_vals: None,
             hits: 0,
         }
+    }
+
+    /// Enables/disables the sparse simulation kernel (builder style).
+    /// Sparse mode changes no result — the change-bounded cone walk
+    /// just propagates per occupied block instead of per row.
+    pub fn with_sparse(mut self, on: bool) -> Self {
+        self.sim.set_sparse(on);
+        self
     }
 
     /// The base netlist's fully simulated value matrix, memoized (a pure
@@ -292,12 +332,19 @@ impl Evaluator for Incremental {
         true
     }
 
+    fn sparse(&self) -> bool {
+        self.sim.sparse()
+    }
+
     fn counters(&self) -> SimCounters {
         SimCounters {
             words: self.sim.words_simulated(),
             events: self.sim.events_propagated(),
             skipped: self.sim.words_skipped(),
             matrix_hits: self.hits,
+            blocks_skipped: self.sim.blocks_skipped(),
+            sparse_rows: self.sim.sparse_rows(),
+            dense_fallbacks: self.sim.dense_fallbacks(),
             ..SimCounters::default()
         }
     }
@@ -356,7 +403,9 @@ impl Evaluator for Incremental {
     }
 
     fn reset(&mut self) {
+        let sparse = self.sim.sparse();
         self.sim = Simulator::new();
+        self.sim.set_sparse(sparse);
         self.cache = NodeMatrixCache::new(self.cache_budget);
         self.base_vals = None;
         self.hits = 0;
@@ -403,6 +452,10 @@ impl Evaluator for Parallel {
 
     fn incremental(&self) -> bool {
         self.inner.incremental()
+    }
+
+    fn sparse(&self) -> bool {
+        self.inner.sparse()
     }
 
     fn counters(&self) -> SimCounters {
@@ -526,6 +579,20 @@ mod tests {
         assert!(inc.counters().words > 0);
         inc.reset();
         assert_eq!(inc.counters(), SimCounters::default());
+    }
+
+    #[test]
+    fn sparse_flag_survives_reset_and_decorators() {
+        let mut inc = Incremental::new(0).with_sparse(true);
+        assert!(inc.sparse());
+        inc.reset();
+        assert!(inc.sparse(), "reset must not silently drop sparse mode");
+        let mut scratch = FromScratch::new().with_sparse(true);
+        scratch.reset();
+        assert!(scratch.sparse());
+        let par = Parallel::new(Box::new(FromScratch::new().with_sparse(true)), 2);
+        assert!(par.sparse());
+        assert!(!Parallel::new(Box::new(FromScratch::new()), 2).sparse());
     }
 
     #[test]

@@ -226,6 +226,9 @@ pub enum DegradationKind {
     /// A prepared node failed a structural audit check (matrix width)
     /// and was rebuilt from the from-scratch replay.
     AuditRepair,
+    /// A sparse failing-vector mask's block summary diverged from its
+    /// words (a chaos summary flip) and was rebuilt from the words.
+    SparseRepair,
 }
 
 impl DegradationKind {
@@ -236,6 +239,7 @@ impl DegradationKind {
             DegradationKind::ParallelDisabled => "parallel-disabled",
             DegradationKind::EvaluatorFallback => "evaluator-fallback",
             DegradationKind::AuditRepair => "audit-repair",
+            DegradationKind::SparseRepair => "sparse-repair",
         }
     }
 }

@@ -15,10 +15,10 @@ use std::time::Instant;
 
 use incdx_fault::{enumerate_corrections, Correction, CorrectionAction, CorrectionModel};
 use incdx_netlist::{ConeCache, ConeSet, GateId, GateKind, Netlist};
-use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Response, Simulator};
+use incdx_sim::{xor_masked_count_ones, PackedBits, PackedMatrix, Response, Simulator, SparseMask};
 
 use crate::chaos::ChaosState;
-use crate::limits::CancelToken;
+use crate::limits::{CancelToken, DegradationEvent, DegradationKind};
 use crate::parallel::run_parallel_with;
 use crate::params::ParamLevel;
 use crate::path_trace::path_trace_counts;
@@ -33,6 +33,7 @@ pub struct CandidatePipeline<'a> {
     spec: &'a Response,
     jobs: usize,
     incremental: bool,
+    sparse: bool,
     cancel: CancelToken,
     chaos: Option<Arc<ChaosState>>,
 }
@@ -41,7 +42,9 @@ impl<'a> CandidatePipeline<'a> {
     /// A pipeline over this run's configuration and reference response.
     /// `jobs` and `incremental` come from the evaluation backend (they
     /// select the parallel fan-out and the column-restricted
-    /// save/restore strategy, not the results).
+    /// save/restore strategy, not the results). The sparse kernel
+    /// ([`RectifyConfig::sparse`]) restricts screening popcounts to
+    /// occupied blocks of the failing-vector mask.
     pub fn new(
         config: &'a RectifyConfig,
         spec: &'a Response,
@@ -53,6 +56,7 @@ impl<'a> CandidatePipeline<'a> {
             spec,
             jobs,
             incremental,
+            sparse: config.sparse,
             cancel: CancelToken::new(),
             chaos: None,
         }
@@ -154,11 +158,35 @@ impl<'a> CandidatePipeline<'a> {
         } else {
             level.h2
         };
+        // The sparse failing-vector mask is built once per node and
+        // shared read-only by every screening worker. The summary is a
+        // derived structure, so it is verified before use; a chaos-armed
+        // run may corrupt it here ([`ChaosState::maybe_corrupt_mask`]),
+        // and the verify/repair pair below catches exactly that —
+        // recorded as a [`DegradationKind::SparseRepair`] recovery.
+        let mask = if self.sparse {
+            let mut m = SparseMask::from_bits(response.failing_vectors());
+            if let Some(chaos) = &self.chaos {
+                chaos.maybe_corrupt_mask(&mut m);
+            }
+            if !m.verify() {
+                m.repair();
+                stats.degradations.push(DegradationEvent::new(
+                    DegradationKind::SparseRepair,
+                    1,
+                    "failing-vector block summary diverged from its words; rebuilt",
+                ));
+            }
+            Some(m)
+        } else {
+            None
+        };
         let mut ranked = self.screen(
             netlist,
             vals,
             response,
             &scored_lines,
+            mask.as_ref(),
             level,
             h2_threshold,
             n_err,
@@ -210,6 +238,14 @@ impl<'a> CandidatePipeline<'a> {
         let nv = vals.num_vectors();
         let spec = self.spec;
         let incremental = self.incremental;
+        // A PO's erroneous bits are a subset of the global error mask, so
+        // in sparse mode the rectified count only needs the nonzero error
+        // columns (bit-identical: `was_bad` is zero everywhere else).
+        let rect_cols: Vec<u32> = if self.sparse {
+            err_cols.clone()
+        } else {
+            (0..wpr as u32).collect()
+        };
         // Memoize every line's cone up front (serially), then share the
         // `Arc`s read-only across workers.
         let cone_refs: Vec<Arc<ConeSet>> = lines.iter().map(|&l| cones.get(netlist, l)).collect();
@@ -267,7 +303,8 @@ impl<'a> CandidatePipeline<'a> {
                     let after = vals.row(po.index());
                     let spec_row = spec.po_values().row(po_idx);
                     let before = response.po_values().row(po_idx);
-                    for w in 0..wpr {
+                    for &w in &rect_cols {
+                        let w = w as usize;
                         let was_bad = before[w] ^ spec_row[w];
                         let now_bad = after[w] ^ spec_row[w];
                         let mut fixed = was_bad & !now_bad;
@@ -327,6 +364,7 @@ impl<'a> CandidatePipeline<'a> {
         vals: &PackedMatrix,
         response: &Response,
         scored_lines: &[(GateId, f64)],
+        mask: Option<&SparseMask>,
         level: &ParamLevel,
         h2_threshold: f64,
         n_err: usize,
@@ -340,6 +378,23 @@ impl<'a> CandidatePipeline<'a> {
         let tail = PackedBits::new(nv).tail_mask();
         let err_words: Vec<u64> = response.failing_vectors().words().to_vec();
         let v_ratio = n_err as f64 / nv as f64;
+        // Heuristic-2 popcounts only read words under the error mask, so
+        // in sparse mode the wire loops walk just the occupied block
+        // ranges — every skipped word contributes zero either way (the
+        // sparse ≡ dense contract; see ARCHITECTURE.md). A mask with
+        // nothing to skip falls back to the dense single range.
+        let dense_range = [(0usize, wpr)];
+        if matches!(mask, Some(m) if m.is_dense()) {
+            stats.dense_fallbacks += 1;
+        }
+        // From here on `mask` is `Some` only when it actually skips work.
+        let mask = mask.filter(|m| !m.is_dense());
+        let sparse_ranges: Vec<(usize, usize)> =
+            mask.map_or_else(Vec::new, |m| m.occupied_ranges());
+        let (ranges, skip_per_op): (&[(usize, usize)], u64) = match mask {
+            Some(m) => (&sparse_ranges, m.summary().skipped_blocks() as u64),
+            None => (&dense_range, 0),
+        };
         // Old per-PO diff rows (for the after-failing-mask of POs outside
         // a candidate's cone).
         let old_diff: Vec<Vec<u64>> = netlist
@@ -395,6 +450,7 @@ impl<'a> CandidatePipeline<'a> {
                 let (line, _) = active[li];
                 let cone = &cone_refs[li];
                 let mut delta = ScreenDelta::default();
+                let mut sparse_ops = 0u64;
                 let words_before = sim.words_simulated();
                 let events_before = sim.events_propagated();
                 let skipped_before = sim.words_skipped();
@@ -417,7 +473,13 @@ impl<'a> CandidatePipeline<'a> {
                     else {
                         continue;
                     };
-                    let complemented = xor_masked_count_ones(new_row, &cur, &err_words);
+                    let complemented = match mask {
+                        Some(m) => {
+                            sparse_ops += 1;
+                            m.xor_count_ones(new_row, &cur)
+                        }
+                        None => xor_masked_count_ones(new_row, &cur, &err_words),
+                    };
                     if qualifies(complemented) {
                         pass.push((corr, complemented as f64 / n_err.max(1) as f64));
                     }
@@ -430,6 +492,10 @@ impl<'a> CandidatePipeline<'a> {
                         let gate = netlist.gate(line);
                         let kind = gate.kind();
                         let fanins = gate.fanins().to_vec();
+                        // Words outside the occupied ranges keep the fold
+                        // identity — safe, because `combine` results are
+                        // only read under the error mask, which is zero
+                        // there.
                         let fold = |skip: Option<usize>| -> Vec<u64> {
                             let mut acc = vec![identity; wpr];
                             for (p, &f) in fanins.iter().enumerate() {
@@ -437,11 +503,13 @@ impl<'a> CandidatePipeline<'a> {
                                     continue;
                                 }
                                 let row = vals.row(f.index());
-                                for (a, &r) in acc.iter_mut().zip(row) {
-                                    match family {
-                                        Family::And => *a &= r,
-                                        Family::Or => *a |= r,
-                                        Family::Xor => *a ^= r,
+                                for &(lo, hi) in ranges {
+                                    for (a, &r) in acc[lo..hi].iter_mut().zip(&row[lo..hi]) {
+                                        match family {
+                                            Family::And => *a &= r,
+                                            Family::Or => *a |= r,
+                                            Family::Xor => *a ^= r,
+                                        }
                                     }
                                 }
                             }
@@ -495,10 +563,14 @@ impl<'a> CandidatePipeline<'a> {
                             // AddInput.
                             if can_add && !fanins.contains(&src) {
                                 delta.screened += 1;
+                                sparse_ops += 1;
                                 let mut complemented = 0usize;
-                                for w in 0..wpr {
-                                    let diff = (combine(&core, srow, w) ^ cur[w]) & err_words[w];
-                                    complemented += diff.count_ones() as usize;
+                                for &(lo, hi) in ranges {
+                                    for w in lo..hi {
+                                        let diff =
+                                            (combine(&core, srow, w) ^ cur[w]) & err_words[w];
+                                        complemented += diff.count_ones() as usize;
+                                    }
                                 }
                                 if qualifies(complemented) {
                                     pass.push((
@@ -516,11 +588,14 @@ impl<'a> CandidatePipeline<'a> {
                                     continue;
                                 }
                                 delta.screened += 1;
+                                sparse_ops += 1;
                                 let mut complemented = 0usize;
-                                for w in 0..wpr {
-                                    let diff =
-                                        (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
-                                    complemented += diff.count_ones() as usize;
+                                for &(lo, hi) in ranges {
+                                    for w in lo..hi {
+                                        let diff =
+                                            (combine(&base_wo[p], srow, w) ^ cur[w]) & err_words[w];
+                                        complemented += diff.count_ones() as usize;
+                                    }
                                 }
                                 if qualifies(complemented) {
                                     pass.push((
@@ -549,16 +624,19 @@ impl<'a> CandidatePipeline<'a> {
                             };
                             for &k2 in insert_kinds {
                                 delta.screened += 1;
+                                sparse_ops += 1;
                                 let mut complemented = 0usize;
-                                for w in 0..wpr {
-                                    let v = match k2 {
-                                        GateKind::And => cur[w] & srow[w],
-                                        GateKind::Or => cur[w] | srow[w],
-                                        GateKind::Nand => !(cur[w] & srow[w]),
-                                        _ => !(cur[w] | srow[w]),
-                                    };
-                                    let diff = (v ^ cur[w]) & err_words[w];
-                                    complemented += diff.count_ones() as usize;
+                                for &(lo, hi) in ranges {
+                                    for w in lo..hi {
+                                        let v = match k2 {
+                                            GateKind::And => cur[w] & srow[w],
+                                            GateKind::Or => cur[w] | srow[w],
+                                            GateKind::Nand => !(cur[w] & srow[w]),
+                                            _ => !(cur[w] | srow[w]),
+                                        };
+                                        let diff = (v ^ cur[w]) & err_words[w];
+                                        complemented += diff.count_ones() as usize;
+                                    }
                                 }
                                 if qualifies(complemented) {
                                     pass.push((
@@ -677,6 +755,10 @@ impl<'a> CandidatePipeline<'a> {
                 delta.words = sim.words_simulated() - words_before;
                 delta.events = sim.events_propagated() - events_before;
                 delta.skipped = sim.words_skipped() - skipped_before;
+                if mask.is_some() {
+                    delta.sparse_rows = sparse_ops;
+                    delta.blocks_skipped = sparse_ops * skip_per_op;
+                }
                 (line_ranked, delta)
             },
         );
@@ -691,6 +773,8 @@ impl<'a> CandidatePipeline<'a> {
             stats.words_simulated += delta.words;
             stats.events_propagated += delta.events;
             stats.words_skipped += delta.skipped;
+            stats.blocks_skipped += delta.blocks_skipped;
+            stats.sparse_rows += delta.sparse_rows;
         }
         stats.parallel.merge(&outcome.telemetry);
         stats.screen_time += t_screen.elapsed();
@@ -734,4 +818,6 @@ struct ScreenDelta {
     words: u64,
     events: u64,
     skipped: u64,
+    blocks_skipped: u64,
+    sparse_rows: u64,
 }

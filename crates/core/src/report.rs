@@ -144,8 +144,13 @@ impl RectifyReport {
             s.candidates_truncated,
         ));
         out.push_str(&format!(
-            ",\"simulation\":{{\"words\":{},\"events_propagated\":{},\"words_skipped\":{}}}",
-            s.words_simulated, s.events_propagated, s.words_skipped,
+            ",\"simulation\":{{\"words\":{},\"events_propagated\":{},\"words_skipped\":{},\"blocks_skipped\":{},\"sparse_rows\":{},\"dense_fallbacks\":{}}}",
+            s.words_simulated,
+            s.events_propagated,
+            s.words_skipped,
+            s.blocks_skipped,
+            s.sparse_rows,
+            s.dense_fallbacks,
         ));
         out.push_str(&format!(
             ",\"cache\":{{\"cone_hits\":{},\"matrix_hits\":{},\"matrix_evictions\":{}}}",
@@ -177,8 +182,8 @@ impl RectifyReport {
         out.push(']');
         match &s.chaos {
             Some(c) => out.push_str(&format!(
-                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{}}}",
-                c.panics, c.bit_flips, c.width_errors,
+                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{}}}",
+                c.panics, c.bit_flips, c.width_errors, c.summary_flips,
             )),
             None => out.push_str(",\"chaos\":null"),
         }
@@ -267,6 +272,7 @@ mod tests {
             panics: 2,
             bit_flips: 1,
             width_errors: 0,
+            summary_flips: 3,
         });
         let report = RectifyReport::from_parts(
             "chaos",
@@ -286,7 +292,9 @@ mod tests {
         assert!(json.contains(
             "\"degradations\":[{\"kind\":\"worker-panic\",\"count\":2,\"detail\":\"2 worker panic(s) \\\"quoted\\\"\"}]"
         ));
-        assert!(json.contains("\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0}"));
+        assert!(json.contains(
+            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3}"
+        ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

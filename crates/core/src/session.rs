@@ -87,6 +87,14 @@ pub struct RectifyConfig {
     /// path (LRU beyond this; `0` disables the cache but keeps the
     /// change-bounded cone propagation).
     pub matrix_cache_bytes: usize,
+    /// Hierarchical sparse simulation kernel: cone propagation walks only
+    /// blocks whose fanin actually changed, and screening popcounts skip
+    /// all-zero blocks of the failing-vector mask. Bit-identical to the
+    /// dense path for every setting — only
+    /// [`RectifyStats::blocks_skipped`] / [`RectifyStats::sparse_rows`] /
+    /// [`RectifyStats::dense_fallbacks`] and wall time differ (see the
+    /// "Simulation kernel" section of `ARCHITECTURE.md`).
+    pub sparse: bool,
     /// Opt-in engine invariant audit: wrap the evaluation backend in the
     /// [`Auditing`](crate::Auditing) decorator (sampled replay of
     /// incremental node preparations against a from-scratch rebuild,
@@ -134,6 +142,7 @@ impl RectifyConfig {
             jobs: 1,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
+            sparse: true,
             audit: false,
             limits: RectifyLimits::default(),
             chaos: None,
@@ -165,6 +174,7 @@ impl RectifyConfig {
             jobs: 1,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
+            sparse: true,
             audit: false,
             limits: RectifyLimits::default(),
             chaos: None,
@@ -264,6 +274,15 @@ pub struct RectifyStats {
     /// changed fanin — simulation work avoided relative to plain cone
     /// resimulation.
     pub words_skipped: u64,
+    /// All-zero blocks the sparse kernel skipped without touching, summed
+    /// over cone propagation and screening popcounts
+    /// ([`RectifyConfig::sparse`]; 0 when sparse mode is off).
+    pub blocks_skipped: u64,
+    /// Rows/operations the sparse kernel evaluated block-restricted.
+    pub sparse_rows: u64,
+    /// Operations where sparse mode was on but the dense path ran anyway
+    /// (rows narrower than one block, or a mask with nothing to skip).
+    pub dense_fallbacks: u64,
     /// Memoized fanout-cone lookups served from a [`ConeCache`] instead of
     /// recomputed.
     pub cone_cache_hits: u64,
@@ -666,8 +685,11 @@ impl Rectifier {
         if self.config.audit {
             self.audit_solutions(&solutions);
         }
-        // Fold every recovery into the run's degradation ledger.
-        let mut degradations = self.evaluator.take_degradations();
+        // Fold every recovery into the run's degradation ledger, keeping
+        // the events the candidate pipeline already recorded in place
+        // (sparse-mask summary repairs).
+        let mut degradations = std::mem::take(&mut self.stats.degradations);
+        degradations.extend(self.evaluator.take_degradations());
         let panics = self.stats.parallel.panics_recovered;
         if panics > 0 {
             degradations.push(DegradationEvent::new(
@@ -1114,6 +1136,9 @@ impl Rectifier {
         self.stats.matrix_cache_hits += after.matrix_hits - before.matrix_hits;
         self.stats.audit_checks += after.audit_checks - before.audit_checks;
         self.stats.audit_violations += after.audit_violations - before.audit_violations;
+        self.stats.blocks_skipped += after.blocks_skipped - before.blocks_skipped;
+        self.stats.sparse_rows += after.sparse_rows - before.sparse_rows;
+        self.stats.dense_fallbacks += after.dense_fallbacks - before.dense_fallbacks;
         let Some(PreparedNode {
             netlist,
             vals,
@@ -1209,9 +1234,9 @@ const PANIC_FALLBACK_THRESHOLD: u64 = 3;
 /// and replaced by a from-scratch replay.
 fn build_evaluator(config: &RectifyConfig, chaos: Option<Arc<ChaosState>>) -> Box<dyn Evaluator> {
     let inner: Box<dyn Evaluator> = if config.incremental {
-        Box::new(Incremental::new(config.matrix_cache_bytes))
+        Box::new(Incremental::new(config.matrix_cache_bytes).with_sparse(config.sparse))
     } else {
-        Box::new(FromScratch::new())
+        Box::new(FromScratch::new().with_sparse(config.sparse))
     };
     let inner: Box<dyn Evaluator> = if config.jobs == 1 {
         inner

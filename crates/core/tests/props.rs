@@ -261,6 +261,69 @@ proptest! {
         prop_assert_eq!(full.stats.words_skipped, 0);
     }
 
+    /// The sparse kernel's engine-level equivalence contract: with wide
+    /// vector matrices (several summary blocks per row) the sparse and
+    /// dense engines return identical solutions, walk identical trees,
+    /// and screen identical candidate sets — in both evaluation
+    /// backends. Only the sparse work counters may differ.
+    #[test]
+    fn sparse_engine_matches_dense(
+        seed in 0u64..30,
+        pick in 0usize..1000,
+        v in prop::bool::ANY,
+        incremental in prop::bool::ANY,
+    ) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5BA5);
+        // 640 vectors = 10 words = 3 summary blocks per row.
+        let pi = PackedMatrix::random(golden.inputs().len(), 640, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        {
+            let vals = sim.run(&golden, &pi);
+            if Response::compare(&golden, &vals, &device).matches() {
+                return Ok(()); // fault not excited
+            }
+        }
+        let run = |sparse: bool| {
+            let mut config = RectifyConfig::dedc(2);
+            config.incremental = incremental;
+            config.sparse = sparse;
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .run()
+        };
+        let dense = run(false);
+        let sparse = run(true);
+        prop_assert_eq!(&dense.solutions, &sparse.solutions);
+        let d = &dense.stats;
+        let s = &sparse.stats;
+        prop_assert_eq!(d.nodes, s.nodes);
+        prop_assert_eq!(d.rounds, s.rounds);
+        prop_assert_eq!(d.corrections_screened, s.corrections_screened);
+        prop_assert_eq!(d.corrections_qualified, s.corrections_qualified);
+        prop_assert_eq!(d.corrections_rejected_h2, s.corrections_rejected_h2);
+        prop_assert_eq!(d.corrections_rejected_h3, s.corrections_rejected_h3);
+        prop_assert_eq!(d.lines_rejected_h1, s.lines_rejected_h1);
+        prop_assert_eq!(d.truncated, s.truncated);
+        // A dense run never touches the sparse machinery.
+        prop_assert_eq!(d.blocks_skipped, 0);
+        prop_assert_eq!(d.sparse_rows, 0);
+        prop_assert_eq!(d.dense_fallbacks, 0);
+        // A sparse run on a multi-fault search either skipped blocks or
+        // accounted an explicit dense fallback — never silently neither.
+        prop_assert!(
+            s.blocks_skipped > 0 || s.dense_fallbacks > 0 || s.sparse_rows > 0,
+            "sparse mode must meter its decisions"
+        );
+    }
+
     /// `run_cone_events` leaves the value matrix bit-identical to a plain
     /// `run_cone` after an arbitrary single-line disturbance on a random
     /// circuit.

@@ -336,6 +336,16 @@ proptest! {
             .map(|d| d.count)
             .sum();
         prop_assert_eq!(repair_events, summary.bit_flips + summary.width_errors);
+        // …and every sparse-mask summary flip was caught by the
+        // pipeline's verify/repair pair.
+        let sparse_repairs: u64 = chaotic
+            .stats
+            .degradations
+            .iter()
+            .filter(|d| d.kind == DegradationKind::SparseRepair)
+            .map(|d| d.count)
+            .sum();
+        prop_assert_eq!(sparse_repairs, summary.summary_flips);
         if summary.total() > 0 {
             prop_assert!(
                 !chaotic.stats.degradations.is_empty(),
@@ -343,5 +353,47 @@ proptest! {
             );
             prop_assert_eq!(chaotic.verdict, Verdict::Degraded);
         }
+    }
+
+    /// The sparse-kernel chaos contract: a chaos-armed *sparse* run —
+    /// block-summary flips included in the injection mix — recovers to
+    /// the exact solution set of an undisturbed *dense* run. This pins
+    /// both halves at once: sparse ≡ dense on results, and summary
+    /// corruption ≡ repaired (1:1 with `SparseRepair` degradations).
+    #[test]
+    fn chaos_sparse_recovery_matches_dense_chaos_off(
+        seed in 0u64..16,
+        chaos_seed in 0u64..64,
+    ) {
+        silence_injected_panics();
+        let golden = dag(seed ^ 0x51, 40);
+        let picks = [(13 + seed as usize, true), (31 + 2 * seed as usize, false)];
+        let Some((pi, device)) = stuck_at_workload(&golden, &picks, 320, seed) else {
+            return Ok(()); // fault not excited on this draw
+        };
+        let run = |sparse: bool, chaos: Option<ChaosConfig>| {
+            let mut config = RectifyConfig::dedc(2);
+            config.sparse = sparse;
+            config.chaos = chaos;
+            Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                .expect("well-formed inputs")
+                .run()
+        };
+        let dense_clean = run(false, None);
+        prop_assert_eq!(dense_clean.stats.sparse_rows, 0, "dense mode runs dense");
+        prop_assert_eq!(dense_clean.stats.blocks_skipped, 0);
+        let sparse_chaotic = run(true, Some(ChaosConfig { seed: chaos_seed, rate: 0.2 }));
+
+        prop_assert_eq!(&dense_clean.solutions, &sparse_chaotic.solutions,
+            "sparse recovery is lossless against the dense reference");
+        let summary = sparse_chaotic.stats.chaos.expect("chaos summary recorded");
+        let sparse_repairs: u64 = sparse_chaotic
+            .stats
+            .degradations
+            .iter()
+            .filter(|d| d.kind == DegradationKind::SparseRepair)
+            .map(|d| d.count)
+            .sum();
+        prop_assert_eq!(sparse_repairs, summary.summary_flips);
     }
 }

@@ -12,6 +12,10 @@
 //!   combinational cores),
 //! * [`Response`] — PO capture, failing-vector masks and mismatch counts
 //!   (the machinery behind the paper's `V_err`/`V_corr` bit-lists),
+//! * [`SparseMask`]/[`BlockSummary`] — the hierarchical sparse bitset
+//!   kernel: block-occupancy summaries over failing-vector masks, so
+//!   screening popcounts skip whole all-zero blocks (see the
+//!   "Simulation kernel" section of `ARCHITECTURE.md`),
 //! * [`logic5`] — the 5-valued D-calculus used by the PODEM ATPG substrate.
 //!
 //! # Example
@@ -35,8 +39,10 @@ mod packed;
 mod response;
 mod sequential;
 mod simulator;
+mod sparse;
 
 pub use packed::{xor_masked_count_ones, PackedBits, PackedMatrix};
 pub use response::Response;
 pub use sequential::SequentialSimulator;
 pub use simulator::Simulator;
+pub use sparse::{BlockSummary, SparseMask, BLOCK_WORDS};

@@ -1,6 +1,7 @@
 use incdx_netlist::{GateId, GateKind, Netlist};
 
 use crate::packed::PackedMatrix;
+use crate::sparse::{and_assign_wide, not_wide, or_assign_wide, xor_assign_wide, BLOCK_WORDS};
 
 /// Bit-parallel combinational simulator.
 ///
@@ -32,6 +33,17 @@ pub struct Simulator {
     // across calls without per-call allocation.
     changed_stamp: Vec<u64>,
     stamp_gen: u64,
+    sparse: bool,
+    blocks_skipped: u64,
+    sparse_rows: u64,
+    dense_fallbacks: u64,
+    // Per-line changed-*block* masks for the sparse walk, flat
+    // (`line * summary_words ..`); valid only where `changed_stamp`
+    // carries the current generation, so stale contents never need
+    // zeroing.
+    changed_blocks: Vec<u64>,
+    // Reusable per-gate union of changed fanin block masks.
+    block_union: Vec<u64>,
 }
 
 impl Simulator {
@@ -76,6 +88,38 @@ impl Simulator {
     /// avoided relative to a plain [`Self::run_cone`] over the same cone.
     pub fn words_skipped(&self) -> u64 {
         self.words_skipped
+    }
+
+    /// Enables the hierarchical sparse kernel for change-bounded cone
+    /// propagation: [`Self::run_cone_events`] tracks which
+    /// [`BLOCK_WORDS`]-word blocks of each row actually changed and
+    /// re-evaluates occupied blocks only. Results are bit-identical to
+    /// the dense walk for every circuit and planting — only the work
+    /// counters move (see `ARCHITECTURE.md`, "Simulation kernel").
+    pub fn set_sparse(&mut self, on: bool) {
+        self.sparse = on;
+    }
+
+    /// Is the sparse block-propagation kernel enabled?
+    pub fn sparse(&self) -> bool {
+        self.sparse
+    }
+
+    /// All-zero blocks the sparse walk skipped without touching
+    /// (0 unless [`Self::set_sparse`] is on).
+    pub fn blocks_skipped(&self) -> u64 {
+        self.blocks_skipped
+    }
+
+    /// Gate rows evaluated block-restricted by the sparse walk.
+    pub fn sparse_rows(&self) -> u64 {
+        self.sparse_rows
+    }
+
+    /// Cone walks that requested the sparse kernel but ran dense because
+    /// the rows were too narrow to hold more than one block.
+    pub fn dense_fallbacks(&self) -> u64 {
+        self.dense_fallbacks
     }
 
     /// Simulates the whole circuit on the given primary-input values
@@ -192,6 +236,12 @@ impl Simulator {
     /// [`Self::events_propagated`]; avoided words in
     /// [`Self::words_skipped`].
     ///
+    /// With [`Self::set_sparse`] on, the walk additionally tracks
+    /// change at [`BLOCK_WORDS`]-block granularity and skips all-zero
+    /// blocks within evaluated rows — bit-identical, fewer words
+    /// touched. Rows of at most one block fall back to this dense walk
+    /// (metered in [`Self::dense_fallbacks`]).
+    ///
     /// # Panics
     ///
     /// Panics if a cone gate is a DFF.
@@ -201,6 +251,12 @@ impl Simulator {
         vals: &mut PackedMatrix,
         cone: &[GateId],
     ) -> usize {
+        if self.sparse {
+            if vals.words_per_row() > BLOCK_WORDS {
+                return self.run_cone_events_sparse(netlist, vals, cone);
+            }
+            self.dense_fallbacks += 1;
+        }
         let Some((&stem, rest)) = cone.split_first() else {
             return 0;
         };
@@ -238,6 +294,138 @@ impl Simulator {
                 changed_gates += 1;
             }
         }
+        changed_gates
+    }
+
+    /// The sparse-kernel walk behind [`Self::run_cone_events`]: identical
+    /// change-bounded traversal, but each changed line carries a *block*
+    /// mask (one bit per [`BLOCK_WORDS`]-word block) instead of a single
+    /// changed flag. A gate whose fanins changed is re-evaluated only on
+    /// the union of their changed blocks — every other block of its row
+    /// is already consistent, because column `w` of a row depends on
+    /// column `w` of its fanin rows alone (the same independence argument
+    /// as [`Self::run_cone_events_cols`], at block granularity).
+    fn run_cone_events_sparse(
+        &mut self,
+        netlist: &Netlist,
+        vals: &mut PackedMatrix,
+        cone: &[GateId],
+    ) -> usize {
+        let Some((&stem, rest)) = cone.split_first() else {
+            return 0;
+        };
+        let wpr = vals.words_per_row();
+        let nblocks = wpr.div_ceil(BLOCK_WORDS);
+        let sw = nblocks.div_ceil(64);
+        if self.changed_stamp.len() < netlist.len() {
+            self.changed_stamp.resize(netlist.len(), 0);
+        }
+        if self.changed_blocks.len() < netlist.len() * sw {
+            self.changed_blocks.resize(netlist.len() * sw, 0);
+        }
+        self.stamp_gen += 1;
+        let gen = self.stamp_gen;
+        self.changed_stamp[stem.index()] = gen;
+        // The caller plants arbitrary stem values, so every stem block
+        // counts as changed.
+        {
+            let m = &mut self.changed_blocks[stem.index() * sw..(stem.index() + 1) * sw];
+            m.fill(!0);
+            if !nblocks.is_multiple_of(64) {
+                m[sw - 1] = (1u64 << (nblocks % 64)) - 1;
+            }
+        }
+        let mut full_union = vec![!0u64; sw];
+        if !nblocks.is_multiple_of(64) {
+            full_union[sw - 1] = (1u64 << (nblocks % 64)) - 1;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.resize(wpr, 0);
+        let mut union = std::mem::take(&mut self.block_union);
+        union.clear();
+        union.resize(sw, 0);
+        let mut changed_gates = 0;
+        for &id in rest {
+            let gate = netlist.gate(id);
+            let kind = gate.kind();
+            assert!(kind != GateKind::Dff, "combinational simulation only");
+            if kind == GateKind::Input {
+                continue;
+            }
+            union.fill(0);
+            let mut any = false;
+            for f in gate.fanins() {
+                if self.changed_stamp[f.index()] == gen {
+                    any = true;
+                    let m = &self.changed_blocks[f.index() * sw..(f.index() + 1) * sw];
+                    for (u, &w) in union.iter_mut().zip(m) {
+                        *u |= w;
+                    }
+                }
+            }
+            if !any {
+                self.words_skipped += wpr as u64;
+                self.blocks_skipped += nblocks as u64;
+                continue;
+            }
+            // Wide changes (every block in the union) take the dense
+            // walk's exact fast path — one full-width evaluation, one
+            // whole-row compare — so the block machinery only spends
+            // per-block overhead where it can also skip words. Narrowing
+            // to genuinely-changed blocks still happens in the
+            // comparison, at both widths.
+            let full = union.iter().zip(&full_union).all(|(&u, &f)| u == f);
+            let mut evaluated = 0usize;
+            let mut occupied = 0u64;
+            if full {
+                eval_packed_range_into(kind, gate.fanins(), vals, 0, &mut scratch[..wpr]);
+                evaluated = wpr;
+                occupied = nblocks as u64;
+            } else {
+                for b in iter_set_bits(&union) {
+                    let lo = b * BLOCK_WORDS;
+                    let hi = (lo + BLOCK_WORDS).min(wpr);
+                    eval_packed_range_into(kind, gate.fanins(), vals, lo, &mut scratch[lo..hi]);
+                    evaluated += hi - lo;
+                    occupied += 1;
+                }
+            }
+            self.words_simulated += evaluated as u64;
+            self.words_skipped += (wpr - evaluated) as u64;
+            self.blocks_skipped += nblocks as u64 - occupied;
+            self.events_propagated += 1;
+            self.sparse_rows += 1;
+            let row = vals.row_mut(id.index());
+            if full && row[..wpr] == scratch[..wpr] {
+                // Unchanged wide evaluation: one memcmp, no mask writes —
+                // the stamp stays stale, so downstream gates never read
+                // this gate's (garbage) block mask.
+                continue;
+            }
+            // Compare per evaluated block; the gate's own changed mask is
+            // the subset of blocks whose fresh value differs. The mask
+            // slice may hold stale garbage from an earlier generation, so
+            // it is rewritten wholesale before the stamp declares it live.
+            let out_mask = &mut self.changed_blocks[id.index() * sw..(id.index() + 1) * sw];
+            out_mask.fill(0);
+            let mut changed = false;
+            for b in iter_set_bits(&union) {
+                let lo = b * BLOCK_WORDS;
+                let hi = (lo + BLOCK_WORDS).min(wpr);
+                if row[lo..hi] != scratch[lo..hi] {
+                    row[lo..hi].copy_from_slice(&scratch[lo..hi]);
+                    out_mask[b / 64] |= 1u64 << (b % 64);
+                    changed = true;
+                }
+            }
+            if changed {
+                self.changed_stamp[id.index()] = gen;
+                changed_gates += 1;
+            }
+        }
+        self.scratch = scratch;
+        self.block_union = union;
         changed_gates
     }
 
@@ -331,6 +519,22 @@ impl Simulator {
     }
 }
 
+/// Iterates the set-bit positions of a word slice, ascending.
+fn iter_set_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut w = w;
+        std::iter::from_fn(move || {
+            if w == 0 {
+                None
+            } else {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
+}
+
 /// Evaluates `kind` over the fanin rows of `vals` into `out` (whole words;
 /// tail bits are garbage-in/garbage-out and must be masked by counters).
 pub(crate) fn eval_packed_into(
@@ -339,52 +543,54 @@ pub(crate) fn eval_packed_into(
     vals: &PackedMatrix,
     out: &mut [u64],
 ) {
+    eval_packed_range_into(kind, fanins, vals, 0, out);
+}
+
+/// Range-restricted core of [`eval_packed_into`]: evaluates word columns
+/// `lo .. lo + out.len()` of the fanin rows into `out`, with `[u64; 4]`
+/// wide-word chunked inner loops (straight-line per chunk, so the
+/// optimizer vectorizes the AND/OR/XOR folds).
+pub(crate) fn eval_packed_range_into(
+    kind: GateKind,
+    fanins: &[GateId],
+    vals: &PackedMatrix,
+    lo: usize,
+    out: &mut [u64],
+) {
+    let hi = lo + out.len();
     match kind {
         GateKind::Const0 => out.fill(0),
         GateKind::Const1 => out.fill(!0),
-        GateKind::Buf => out.copy_from_slice(vals.row(fanins[0].index())),
+        GateKind::Buf => out.copy_from_slice(&vals.row(fanins[0].index())[lo..hi]),
         GateKind::Not => {
-            for (o, &w) in out.iter_mut().zip(vals.row(fanins[0].index())) {
-                *o = !w;
-            }
+            out.copy_from_slice(&vals.row(fanins[0].index())[lo..hi]);
+            not_wide(out);
         }
         GateKind::And | GateKind::Nand => {
-            out.copy_from_slice(vals.row(fanins[0].index()));
+            out.copy_from_slice(&vals.row(fanins[0].index())[lo..hi]);
             for &f in &fanins[1..] {
-                for (o, &w) in out.iter_mut().zip(vals.row(f.index())) {
-                    *o &= w;
-                }
+                and_assign_wide(out, &vals.row(f.index())[lo..hi]);
             }
             if kind == GateKind::Nand {
-                for o in out.iter_mut() {
-                    *o = !*o;
-                }
+                not_wide(out);
             }
         }
         GateKind::Or | GateKind::Nor => {
-            out.copy_from_slice(vals.row(fanins[0].index()));
+            out.copy_from_slice(&vals.row(fanins[0].index())[lo..hi]);
             for &f in &fanins[1..] {
-                for (o, &w) in out.iter_mut().zip(vals.row(f.index())) {
-                    *o |= w;
-                }
+                or_assign_wide(out, &vals.row(f.index())[lo..hi]);
             }
             if kind == GateKind::Nor {
-                for o in out.iter_mut() {
-                    *o = !*o;
-                }
+                not_wide(out);
             }
         }
         GateKind::Xor | GateKind::Xnor => {
-            out.copy_from_slice(vals.row(fanins[0].index()));
+            out.copy_from_slice(&vals.row(fanins[0].index())[lo..hi]);
             for &f in &fanins[1..] {
-                for (o, &w) in out.iter_mut().zip(vals.row(f.index())) {
-                    *o ^= w;
-                }
+                xor_assign_wide(out, &vals.row(f.index())[lo..hi]);
             }
             if kind == GateKind::Xnor {
-                for o in out.iter_mut() {
-                    *o = !*o;
-                }
+                not_wide(out);
             }
         }
         GateKind::Input | GateKind::Dff => {
@@ -713,5 +919,77 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let n = parse_bench(C17).unwrap();
         let pi = PackedMatrix::new(2, 64);
         Simulator::new().run(&n, &pi);
+    }
+
+    #[test]
+    fn sparse_cone_events_match_dense_cone_events() {
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(53);
+        // 600 vectors = 10 words = 3 blocks; plant a difference confined
+        // to block 1, so blocks 0 and 2 are skippable everywhere.
+        let pi = PackedMatrix::random(5, 600, &mut rng);
+        let mut dense = Simulator::new();
+        let mut sparse = Simulator::new();
+        sparse.set_sparse(true);
+        assert!(sparse.sparse() && !dense.sparse());
+        let base = dense.run(&n, &pi);
+
+        for stem_name in ["10", "11", "16", "19"] {
+            let stem = n.find_by_name(stem_name).unwrap();
+            let cone = n.fanout_cone_sorted(stem);
+            let mut a = base.clone();
+            a.row_mut(stem.index())[5] ^= 0b1011;
+            let mut b = a.clone();
+            let ca = dense.run_cone_events(&n, &mut a, &cone);
+            let cb = sparse.run_cone_events(&n, &mut b, &cone);
+            assert_eq!(a, b, "stem {stem_name}");
+            assert_eq!(ca, cb, "stem {stem_name}");
+        }
+        assert!(sparse.blocks_skipped() > 0, "whole blocks were skipped");
+        assert!(sparse.sparse_rows() > 0);
+        assert_eq!(sparse.dense_fallbacks(), 0);
+        // The sparse walk touches no more words than the dense one.
+        assert!(sparse.words_simulated() <= dense.words_simulated());
+    }
+
+    #[test]
+    fn sparse_cone_events_match_on_full_width_planting() {
+        // Worst case for the kernel: the stem changes everywhere, so the
+        // block masks are all-ones and sparse degenerates to dense work —
+        // still bit-identical.
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(59);
+        let pi = PackedMatrix::random(5, 448, &mut rng); // 7 words, 2 blocks
+        let mut dense = Simulator::new();
+        let mut sparse = Simulator::new();
+        sparse.set_sparse(true);
+        let base = dense.run(&n, &pi);
+        let stem = n.find_by_name("11").unwrap();
+        let cone = n.fanout_cone_sorted(stem);
+        let mut a = base.clone();
+        for w in a.row_mut(stem.index()) {
+            *w = !*w;
+        }
+        let mut b = a.clone();
+        dense.run_cone_events(&n, &mut a, &cone);
+        sparse.run_cone_events(&n, &mut b, &cone);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_narrow_rows_fall_back_to_dense() {
+        let n = parse_bench(C17).unwrap();
+        let mut rng = StdRng::seed_from_u64(61);
+        let pi = PackedMatrix::random(5, 128, &mut rng); // 2 words < 1 block
+        let mut sim = Simulator::new();
+        sim.set_sparse(true);
+        let base = sim.run(&n, &pi);
+        let stem = n.find_by_name("16").unwrap();
+        let cone = n.fanout_cone_sorted(stem);
+        let mut vals = base.clone();
+        vals.row_mut(stem.index())[0] ^= 1;
+        sim.run_cone_events(&n, &mut vals, &cone);
+        assert_eq!(sim.dense_fallbacks(), 1);
+        assert_eq!(sim.sparse_rows(), 0);
     }
 }

@@ -1,0 +1,562 @@
+//! Hierarchical sparse bitset kernel for failing-vector masks.
+//!
+//! Failing-vector masks (and the `V_err`/`V_corr` row splits derived from
+//! them) are *mostly zero* once the diagnosis search gets a few levels
+//! deep: a node with three remaining failing vectors occupies at most
+//! three 64-bit words of a row that may span dozens. The dense kernels in
+//! [`crate::PackedBits`] still touch every word. This module adds a
+//! two-level view in the spirit of hierarchical sparse bitsets
+//! (hi_sparse_bitset): the mask words are grouped into fixed-size blocks
+//! of [`BLOCK_WORDS`] words, and a [`BlockSummary`] keeps one bit per
+//! block — set iff the block holds any set mask bit. Screening kernels
+//! then iterate *occupied blocks only*, skipping whole all-zero blocks
+//! without reading them, and run an explicit `[u64; 4]`-chunked
+//! (autovectorizable) inner loop within each block.
+//!
+//! # Equivalence contract
+//!
+//! Every sparse operation is bit-identical to its dense counterpart: a
+//! skipped block contributes only zero mask bits, and `x & 0 == 0` for
+//! every popcount the engine takes. The contract is pinned by the
+//! property suites (`sparse ≡ dense` on masks, cone propagation, and the
+//! full engine) and documented in `ARCHITECTURE.md`.
+
+use crate::packed::{tail_mask, PackedBits};
+
+/// Words per summary block (256 vectors). Chosen to match a `[u64; 4]`
+/// chunk, so the per-block inner loops autovectorize to 256-bit lanes.
+pub const BLOCK_WORDS: usize = 4;
+
+/// One-bit-per-block occupancy summary over a word slice: bit `b` is set
+/// iff block `b` (words `b * BLOCK_WORDS ..`) contains a nonzero word.
+///
+/// # Example
+///
+/// ```
+/// use incdx_sim::{BlockSummary, BLOCK_WORDS};
+///
+/// // Ten words = three blocks; only the middle block is occupied.
+/// let mut words = vec![0u64; 10];
+/// words[BLOCK_WORDS + 1] = 0b100;
+/// let summary = BlockSummary::from_words(&words);
+/// assert_eq!(summary.num_blocks(), 3);
+/// assert!(!summary.is_occupied(0) && summary.is_occupied(1));
+/// assert_eq!(summary.iter_occupied().collect::<Vec<_>>(), vec![1]);
+/// assert_eq!(summary.skipped_blocks(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockSummary {
+    bits: Vec<u64>,
+    num_blocks: usize,
+}
+
+impl BlockSummary {
+    /// Builds the summary of `words` (empty slice ⇒ zero blocks).
+    pub fn from_words(words: &[u64]) -> Self {
+        let num_blocks = words.len().div_ceil(BLOCK_WORDS);
+        let mut bits = vec![0u64; num_blocks.div_ceil(64)];
+        for (b, block) in words.chunks(BLOCK_WORDS).enumerate() {
+            if block.iter().any(|&w| w != 0) {
+                bits[b / 64] |= 1u64 << (b % 64);
+            }
+        }
+        BlockSummary { bits, num_blocks }
+    }
+
+    /// Number of blocks covered (including a trailing partial block).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Is block `b` occupied (does it hold any set bit)?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= num_blocks`.
+    #[inline]
+    pub fn is_occupied(&self, b: usize) -> bool {
+        assert!(b < self.num_blocks, "block index {b} out of range");
+        self.bits[b / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// Iterates the indices of occupied blocks, ascending.
+    pub fn iter_occupied(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Number of occupied blocks.
+    pub fn occupied_blocks(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of all-zero blocks — the work a sparse pass skips.
+    pub fn skipped_blocks(&self) -> usize {
+        self.num_blocks - self.occupied_blocks()
+    }
+
+    /// Flips summary bit `b` in place. This deliberately breaks the
+    /// summary/word invariant — it is the chaos harness's sparse-kernel
+    /// fault-injection site, repaired by [`SparseMask::repair`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b >= num_blocks`.
+    pub fn flip_bit(&mut self, b: usize) {
+        assert!(b < self.num_blocks, "block index {b} out of range");
+        self.bits[b / 64] ^= 1u64 << (b % 64);
+    }
+}
+
+/// A failing-vector mask with its block-occupancy summary: the sparse
+/// counterpart of a raw `&[u64]` mask, carrying everything the screening
+/// kernels need to skip all-zero blocks.
+///
+/// Invariant: summary bit `b` is set iff words `b * BLOCK_WORDS ..` of
+/// the mask hold a set bit, and the mask's tail bits (beyond
+/// [`Self::num_vectors`]) are zero. [`Self::repair`] re-establishes the
+/// summary from the words (the chaos recovery path).
+///
+/// # Example
+///
+/// ```
+/// use incdx_sim::{PackedBits, SparseMask};
+///
+/// // 600 vectors = 10 words = 3 blocks; two failing vectors, one block.
+/// let mut failing = PackedBits::new(600);
+/// failing.set(70, true);
+/// failing.set(130, true);
+/// let mask = SparseMask::from_bits(&failing);
+/// assert_eq!(mask.summary().occupied_blocks(), 1);
+///
+/// // Fused sparse popcount of (a ^ b) & mask, skipping empty blocks.
+/// let a = vec![!0u64; 10];
+/// let b = vec![0u64; 10];
+/// assert_eq!(mask.xor_count_ones(&a, &b), 2);
+/// assert_eq!(mask.and_count_ones(&a), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseMask {
+    words: Vec<u64>,
+    summary: BlockSummary,
+    num_vectors: usize,
+}
+
+impl SparseMask {
+    /// Builds the sparse view of a failing-vector row (tail bits are
+    /// cleared so raw-word kernels need no vector count).
+    pub fn from_bits(bits: &PackedBits) -> Self {
+        let mut words = bits.words().to_vec();
+        if let Some(last) = words.last_mut() {
+            *last &= tail_mask(bits.num_vectors());
+        }
+        let summary = BlockSummary::from_words(&words);
+        SparseMask {
+            words,
+            summary,
+            num_vectors: bits.num_vectors(),
+        }
+    }
+
+    /// The raw mask words (tail bits cleared).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of vectors the mask covers.
+    #[inline]
+    pub fn num_vectors(&self) -> usize {
+        self.num_vectors
+    }
+
+    /// The block-occupancy summary.
+    #[inline]
+    pub fn summary(&self) -> &BlockSummary {
+        &self.summary
+    }
+
+    /// Mutable access to the summary — the chaos harness's injection
+    /// point ([`BlockSummary::flip_bit`]); production code never needs
+    /// it.
+    #[inline]
+    pub fn summary_mut(&mut self) -> &mut BlockSummary {
+        &mut self.summary
+    }
+
+    /// Are all mask bits zero?
+    pub fn is_empty(&self) -> bool {
+        self.summary.occupied_blocks() == 0
+    }
+
+    /// True when no whole block can be skipped — the sparse pass would
+    /// touch every word anyway, so callers fall back to the dense
+    /// kernels (counted as `dense_fallbacks` in the run stats).
+    pub fn is_dense(&self) -> bool {
+        self.summary.skipped_blocks() == 0
+    }
+
+    /// Maximal runs of occupied blocks as half-open word ranges
+    /// `lo..hi` (clipped to the mask width). Iterating these covers
+    /// every word that can contribute to a masked count and nothing
+    /// else, with adjacent occupied blocks merged so inner loops stay
+    /// long enough to vectorize.
+    pub fn occupied_ranges(&self) -> Vec<(usize, usize)> {
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let nw = self.words.len();
+        for b in self.summary.iter_occupied() {
+            let lo = b * BLOCK_WORDS;
+            let hi = (lo + BLOCK_WORDS).min(nw);
+            match ranges.last_mut() {
+                Some((_, end)) if *end == lo => *end = hi,
+                _ => ranges.push((lo, hi)),
+            }
+        }
+        ranges
+    }
+
+    /// Fused sparse popcount of `(a ^ b) & mask`: iterates occupied
+    /// blocks only, wide-word chunked within each. Bit-identical to
+    /// [`crate::xor_masked_count_ones`] over the full slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is narrower than the mask.
+    pub fn xor_count_ones(&self, a: &[u64], b: &[u64]) -> usize {
+        let nw = self.words.len();
+        assert!(a.len() >= nw && b.len() >= nw, "row narrower than mask");
+        let mut n = 0;
+        for block in self.summary.iter_occupied() {
+            let lo = block * BLOCK_WORDS;
+            let hi = (lo + BLOCK_WORDS).min(nw);
+            n += xor_masked_count_wide(&a[lo..hi], &b[lo..hi], &self.words[lo..hi]);
+        }
+        n
+    }
+
+    /// Fused sparse popcount of `a & mask`, iterating occupied blocks
+    /// only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is narrower than the mask.
+    pub fn and_count_ones(&self, a: &[u64]) -> usize {
+        let nw = self.words.len();
+        assert!(a.len() >= nw, "row narrower than mask");
+        let mut n = 0;
+        for block in self.summary.iter_occupied() {
+            let lo = block * BLOCK_WORDS;
+            let hi = (lo + BLOCK_WORDS).min(nw);
+            n += and_masked_count_wide(&a[lo..hi], &self.words[lo..hi]);
+        }
+        n
+    }
+
+    /// Does the summary match the words? (`true` on every mask that has
+    /// not been corrupted.)
+    pub fn verify(&self) -> bool {
+        self.summary == BlockSummary::from_words(&self.words)
+    }
+
+    /// Rebuilds the summary from the words, returning `true` when it was
+    /// inconsistent — the recovery path for an injected summary flip.
+    /// The words themselves are ground truth and never change.
+    pub fn repair(&mut self) -> bool {
+        let fresh = BlockSummary::from_words(&self.words);
+        if fresh == self.summary {
+            false
+        } else {
+            self.summary = fresh;
+            true
+        }
+    }
+}
+
+/// Wide-word fused popcount of `(a ^ b) & m` over equal-length slices.
+/// The `[u64; 4]` chunking gives the optimizer straight-line 256-bit
+/// lanes; the remainder loop covers a trailing partial block.
+#[inline]
+pub(crate) fn xor_masked_count_wide(a: &[u64], b: &[u64], m: &[u64]) -> usize {
+    debug_assert!(a.len() == b.len() && a.len() == m.len());
+    let (a4, at) = a.as_chunks::<4>();
+    let (b4, bt) = b.as_chunks::<4>();
+    let (m4, mt) = m.as_chunks::<4>();
+    let mut n = 0usize;
+    for ((x, y), z) in a4.iter().zip(b4).zip(m4) {
+        for i in 0..4 {
+            n += ((x[i] ^ y[i]) & z[i]).count_ones() as usize;
+        }
+    }
+    for ((&x, &y), &z) in at.iter().zip(bt).zip(mt) {
+        n += ((x ^ y) & z).count_ones() as usize;
+    }
+    n
+}
+
+/// Wide-word fused popcount of `a & m` over equal-length slices.
+#[inline]
+pub(crate) fn and_masked_count_wide(a: &[u64], m: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), m.len());
+    let (a4, at) = a.as_chunks::<4>();
+    let (m4, mt) = m.as_chunks::<4>();
+    let mut n = 0usize;
+    for (x, z) in a4.iter().zip(m4) {
+        for i in 0..4 {
+            n += (x[i] & z[i]).count_ones() as usize;
+        }
+    }
+    for (&x, &z) in at.iter().zip(mt) {
+        n += (x & z).count_ones() as usize;
+    }
+    n
+}
+
+/// `acc[i] &= rhs[i]`, `[u64; 4]`-chunked.
+#[inline]
+pub(crate) fn and_assign_wide(acc: &mut [u64], rhs: &[u64]) {
+    binop_assign_wide(acc, rhs, |a, b| a & b);
+}
+
+/// `acc[i] |= rhs[i]`, `[u64; 4]`-chunked.
+#[inline]
+pub(crate) fn or_assign_wide(acc: &mut [u64], rhs: &[u64]) {
+    binop_assign_wide(acc, rhs, |a, b| a | b);
+}
+
+/// `acc[i] ^= rhs[i]`, `[u64; 4]`-chunked.
+#[inline]
+pub(crate) fn xor_assign_wide(acc: &mut [u64], rhs: &[u64]) {
+    binop_assign_wide(acc, rhs, |a, b| a ^ b);
+}
+
+/// `acc[i] = !acc[i]`, `[u64; 4]`-chunked.
+#[inline]
+pub(crate) fn not_wide(acc: &mut [u64]) {
+    let (a4, at) = acc.as_chunks_mut::<4>();
+    for x in a4 {
+        for w in x {
+            *w = !*w;
+        }
+    }
+    for w in at {
+        *w = !*w;
+    }
+}
+
+#[inline]
+fn binop_assign_wide(acc: &mut [u64], rhs: &[u64], op: impl Fn(u64, u64) -> u64) {
+    debug_assert_eq!(acc.len(), rhs.len());
+    let (a4, at) = acc.as_chunks_mut::<4>();
+    let (r4, rt) = rhs.as_chunks::<4>();
+    for (x, y) in a4.iter_mut().zip(r4) {
+        for i in 0..4 {
+            x[i] = op(x[i], y[i]);
+        }
+    }
+    for (x, &y) in at.iter_mut().zip(rt) {
+        *x = op(*x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::xor_masked_count_ones;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_mask(nv: usize, density: f64, rng: &mut StdRng) -> PackedBits {
+        let mut b = PackedBits::new(nv);
+        for v in 0..nv {
+            if rng.random::<f64>() < density {
+                b.set(v, true);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn summary_tracks_occupancy() {
+        let mut words = vec![0u64; 3 * BLOCK_WORDS + 2];
+        words[0] = 1;
+        words[3 * BLOCK_WORDS + 1] = 1 << 63;
+        let s = BlockSummary::from_words(&words);
+        assert_eq!(s.num_blocks(), 4);
+        assert!(s.is_occupied(0));
+        assert!(!s.is_occupied(1));
+        assert!(!s.is_occupied(2));
+        assert!(s.is_occupied(3), "trailing partial block counts");
+        assert_eq!(s.occupied_blocks(), 2);
+        assert_eq!(s.skipped_blocks(), 2);
+        assert_eq!(s.iter_occupied().collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn summary_of_zero_width_row_is_empty() {
+        // Regression companion to `PackedBits::iter_ones` on empty rows:
+        // the block iterator over a zero-width row must yield nothing and
+        // never index a word.
+        let s = BlockSummary::from_words(&[]);
+        assert_eq!(s.num_blocks(), 0);
+        assert_eq!(s.occupied_blocks(), 0);
+        assert_eq!(s.iter_occupied().count(), 0);
+        let mask = SparseMask::from_bits(&PackedBits::new(0));
+        assert!(mask.is_empty());
+        assert!(mask.occupied_ranges().is_empty());
+        assert_eq!(mask.xor_count_ones(&[], &[]), 0);
+        assert_eq!(mask.and_count_ones(&[]), 0);
+        assert!(mask.verify());
+    }
+
+    #[test]
+    fn word_boundary_width_has_no_tail_artifacts() {
+        // width % 64 == 0: `tail_mask` is all-ones, so from_bits must not
+        // clear real bits of the last word, and block math must still
+        // cover the final (full) word.
+        for nv in [64, 256, 320, 1024] {
+            let mut bits = PackedBits::new(nv);
+            bits.set(nv - 1, true);
+            bits.set(0, true);
+            let mask = SparseMask::from_bits(&bits);
+            assert_eq!(mask.words()[nv / 64 - 1] >> 63, 1, "nv={nv}");
+            let ones = vec![!0u64; nv / 64];
+            let zeros = vec![0u64; nv / 64];
+            assert_eq!(mask.xor_count_ones(&ones, &zeros), 2, "nv={nv}");
+            assert_eq!(mask.and_count_ones(&ones), 2, "nv={nv}");
+        }
+    }
+
+    #[test]
+    fn from_bits_clears_poisoned_tail() {
+        let mut bits = PackedBits::new(70);
+        bits.set(69, true);
+        bits.words_mut()[1] |= !0u64 << 6; // poison tail bits
+        let mask = SparseMask::from_bits(&bits);
+        assert_eq!(mask.words()[1], 1 << 5, "tail cleared, real bit kept");
+        let a = vec![!0u64; 2];
+        let b = vec![0u64; 2];
+        assert_eq!(mask.xor_count_ones(&a, &b), 1);
+    }
+
+    #[test]
+    fn sparse_counts_match_dense_counts() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for nv in [1, 63, 64, 65, 255, 256, 257, 600, 1024, 1500] {
+            for density in [0.0, 0.002, 0.05, 0.5] {
+                let mask = SparseMask::from_bits(&random_mask(nv, density, &mut rng));
+                let nw = nv.div_ceil(64);
+                let a: Vec<u64> = (0..nw).map(|_| rng.random()).collect();
+                let b: Vec<u64> = (0..nw).map(|_| rng.random()).collect();
+                assert_eq!(
+                    mask.xor_count_ones(&a, &b),
+                    xor_masked_count_ones(&a, &b, mask.words()),
+                    "nv={nv} density={density}"
+                );
+                let dense_and: usize = a
+                    .iter()
+                    .zip(mask.words())
+                    .map(|(&x, &m)| (x & m).count_ones() as usize)
+                    .sum();
+                assert_eq!(mask.and_count_ones(&a), dense_and);
+            }
+        }
+    }
+
+    #[test]
+    fn occupied_ranges_merge_adjacent_blocks_and_clip() {
+        // 9 words = 3 blocks (last partial); occupy blocks 1 and 2.
+        let mut bits = PackedBits::new(9 * 64 - 3);
+        bits.set(BLOCK_WORDS * 64, true);
+        bits.set(2 * BLOCK_WORDS * 64 + 1, true);
+        let mask = SparseMask::from_bits(&bits);
+        assert_eq!(mask.occupied_ranges(), vec![(BLOCK_WORDS, 9)]);
+    }
+
+    #[test]
+    fn flip_and_repair_round_trip() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut mask = SparseMask::from_bits(&random_mask(1024, 0.01, &mut rng));
+        let pristine = mask.clone();
+        assert!(mask.verify());
+        assert!(!mask.repair(), "repairing a healthy mask is a no-op");
+
+        mask.summary_mut().flip_bit(2);
+        assert!(!mask.verify());
+        assert!(mask.repair());
+        assert!(mask.verify());
+        assert_eq!(mask, pristine, "repair restores the exact summary");
+    }
+
+    #[test]
+    fn corrupted_summary_miscounts_then_repairs() {
+        // A cleared occupancy bit silently drops that block's bits from
+        // sparse counts — exactly the failure mode repair() guards.
+        let mut bits = PackedBits::new(512);
+        bits.set(10, true); // block 0
+        bits.set(300, true); // block 1
+        let mut mask = SparseMask::from_bits(&bits);
+        let a = vec![!0u64; 8];
+        let b = vec![0u64; 8];
+        assert_eq!(mask.xor_count_ones(&a, &b), 2);
+        mask.summary_mut().flip_bit(1);
+        assert_eq!(mask.xor_count_ones(&a, &b), 1, "corruption drops a bit");
+        assert!(mask.repair());
+        assert_eq!(mask.xor_count_ones(&a, &b), 2);
+    }
+
+    #[test]
+    fn wide_helpers_match_scalar() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 11, 16] {
+            let a: Vec<u64> = (0..len).map(|_| rng.random()).collect();
+            let b: Vec<u64> = (0..len).map(|_| rng.random()).collect();
+            let m: Vec<u64> = (0..len).map(|_| rng.random()).collect();
+            assert_eq!(
+                xor_masked_count_wide(&a, &b, &m),
+                xor_masked_count_ones(&a, &b, &m),
+                "len={len}"
+            );
+            let and_ref: usize = a
+                .iter()
+                .zip(&m)
+                .map(|(&x, &z)| (x & z).count_ones() as usize)
+                .sum();
+            assert_eq!(and_masked_count_wide(&a, &m), and_ref);
+            for (op, refop) in [
+                (
+                    and_assign_wide as fn(&mut [u64], &[u64]),
+                    (|x: u64, y: u64| x & y) as fn(u64, u64) -> u64,
+                ),
+                (or_assign_wide, |x, y| x | y),
+                (xor_assign_wide, |x, y| x ^ y),
+            ] {
+                let mut got = a.clone();
+                op(&mut got, &b);
+                let want: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| refop(x, y)).collect();
+                assert_eq!(got, want, "len={len}");
+            }
+            let mut got = a.clone();
+            not_wide(&mut got);
+            let want: Vec<u64> = a.iter().map(|&x| !x).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "narrower than mask")]
+    fn narrow_row_panics() {
+        let mask = SparseMask::from_bits(&PackedBits::ones(128));
+        mask.and_count_ones(&[0u64]);
+    }
+}

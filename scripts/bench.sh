@@ -27,8 +27,24 @@
 # delta is the price of the once-per-plan-item limit checks. The budget
 # is <= 2% overhead; BENCH_robustness.json records the measurement.
 #
+# A fourth mode, `BENCH_MODE=simd`, benchmarks the hierarchical sparse
+# simulation kernel: the fig2_rounds workload runs once with --no-sparse
+# (dense masked popcounts over every word) and once with --sparse (block
+# summaries skip all-zero blocks). The two runs are bit-identical — the
+# script asserts the solution fingerprints match — so the wall-time
+# delta is pure kernel throughput. BENCH_simd.json records wall and CPU
+# seconds per mode (the speedup is computed from CPU seconds, which a
+# contended core cannot distort), per-circuit engine seconds, and the
+# sparse-kernel counters (blocks_skipped, sparse_rows, dense_fallbacks).
+# Each kernel runs BENCH_REPEATS times (default 5), interleaved with
+# the other kernel pairwise, and times are summed,
+# damping scheduler noise; simd mode also defaults to 4096 vectors —
+# at the suite default of 1024 a row holds only four 256-vector blocks,
+# so there is nothing for the block summary to skip.
+#
 # Environment overrides (defaults reproduce the committed benchmarks):
-#   BENCH_MODE         incremental | traversal | robustness  (default incremental)
+#   BENCH_MODE         incremental | traversal | robustness | simd  (default incremental)
+#   BENCH_REPEATS      simd mode: runs per kernel, summed  (default 5)
 #   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a)
 #   BENCH_EXPERIMENTS  space-separated subset to run    (default "table1 fig2_rounds")
 #   BENCH_TRIALS       trials per cell                  (default 1)
@@ -43,14 +59,20 @@ MODE="${BENCH_MODE:-incremental}"
 CIRCUITS="${BENCH_CIRCUITS:-c432a,c880a}"
 EXPERIMENTS="${BENCH_EXPERIMENTS:-table1 fig2_rounds}"
 TRIALS="${BENCH_TRIALS:-1}"
-VECTORS="${BENCH_VECTORS:-1024}"
+if [ "${BENCH_MODE:-incremental}" = simd ]; then
+    VECTORS="${BENCH_VECTORS:-4096}"
+else
+    VECTORS="${BENCH_VECTORS:-1024}"
+fi
+REPEATS="${BENCH_REPEATS:-5}"
 SEED="${BENCH_SEED:-2002}"
 TIME_LIMIT="${BENCH_TIME_LIMIT:-600}"
 case "$MODE" in
     incremental) OUT="${BENCH_OUT:-BENCH_incremental.json}" ;;
     traversal)   OUT="${BENCH_OUT:-BENCH_traversal.json}" ;;
     robustness)  OUT="${BENCH_OUT:-BENCH_robustness.json}" ;;
-    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness)" >&2; exit 2 ;;
+    simd)        OUT="${BENCH_OUT:-BENCH_simd.json}" ;;
+    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness|simd)" >&2; exit 2 ;;
 esac
 
 echo "==> build (release)"
@@ -160,6 +182,104 @@ if [ "$MODE" = robustness ]; then
         *) awk -v o="$overhead" 'BEGIN{exit !(o > 2.0)}' \
             && echo "warning: armed-limits overhead ${overhead}% exceeds the 2% budget" >&2 ;;
     esac
+    echo "wrote $OUT"
+    exit 0
+fi
+
+if [ "$MODE" = simd ]; then
+    # $1=run name, $2=kernel flag. Captures the JSON records and prints
+    # the run's wall seconds (fig2_rounds benches one circuit per
+    # invocation).
+    # One fig2_rounds invocation; appends its records to $tmp/$1.jsonl
+    # and its "<wall_s> <user_s> <sys_s>" line to $tmp/$1.times. CPU
+    # seconds (user+sys) are immune to other processes stealing the
+    # core; wall time is recorded alongside for context. Dense and
+    # sparse invocations are interleaved pairwise so both kernels
+    # sample the same machine conditions.
+    run_one() {
+        local name="$1" flag="$2" ckt="$3" rep="$4" t0 t1
+        t0=$(date +%s.%N)
+        local TIMEFORMAT='%U %S'
+        { time "$bin/fig2_rounds" --circuits "$ckt" --vectors "$VECTORS" \
+            --seed "$SEED" --time-limit "$TIME_LIMIT" \
+            --json "$flag" | grep '"report":"rectify"' \
+            | sed "s/\"label\":\"/&r$rep\//" >> "$tmp/$name.jsonl"
+        } 2> "$tmp/one.cpu"
+        t1=$(date +%s.%N)
+        { awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f ", b-a}'
+          cat "$tmp/one.cpu"; } >> "$tmp/$name.times"
+    }
+    # Sums "$tmp/$1.times" into "<wall_s> <cpu_s>".
+    sum_times() {
+        awk '{w += $1; c += $2 + $3} END {printf "%.3f %.3f", w, c}' "$tmp/$1.times"
+    }
+    # Sorted "label solutions distinct_sites" fingerprint — the sparse
+    # kernel must not change what the search finds.
+    fingerprint() {
+        sed -E 's/.*"label":"([^"]*)".*"solutions":([0-9]+),"distinct_sites":([0-9]+).*/\1 \2 \3/' \
+            "$1" | sort
+    }
+    # Sums diagnosis+correction engine seconds for one circuit across a
+    # run's JSON records (labels are r<rep>/fig2_rounds/<circuit>/...).
+    engine_s() {
+        awk -v c="$2" '{
+            if (match($0, /"label":"[^"]*"/)) {
+                label = substr($0, RSTART + 10, RLENGTH - 11)
+                split(label, p, "/")
+            }
+            if (p[3] != c) next
+            while (match($0, /"(diagnosis|correction)":[0-9.]+/)) {
+                s = substr($0, RSTART, RLENGTH); sub(/.*:/, "", s); t += s + 0
+                $0 = substr($0, RSTART + RLENGTH)
+            }
+        } END { printf "%.3f", t }' "$1"
+    }
+    # Sums one numeric counter field across a run's JSON records.
+    sum_field() {
+        awk -v f="\"$2\":" '{
+            while (match($0, f "[0-9]+")) {
+                s = substr($0, RSTART, RLENGTH); sub(/.*:/, "", s); total += s + 0
+                $0 = substr($0, RSTART + RLENGTH)
+            }
+        } END { print total + 0 }' "$1"
+    }
+    : > "$tmp/dense.jsonl"; : > "$tmp/dense.times"
+    : > "$tmp/sparse.jsonl"; : > "$tmp/sparse.times"
+    for rep in $(seq "$REPEATS"); do
+        for ckt in ${CIRCUITS//,/ }; do
+            echo "==> fig2_rounds $ckt r$rep (dense, then sparse)"
+            run_one dense --no-sparse "$ckt" "$rep"
+            run_one sparse --sparse "$ckt" "$rep"
+        done
+    done
+    read -r dense_wall dense_cpu <<< "$(sum_times dense)"
+    read -r sparse_wall sparse_cpu <<< "$(sum_times sparse)"
+    if [ "$(fingerprint "$tmp/dense.jsonl")" != "$(fingerprint "$tmp/sparse.jsonl")" ]; then
+        echo "sparse-kernel run diverged from the dense solution set" >&2
+        exit 1
+    fi
+    blocks_skipped=$(sum_field "$tmp/sparse.jsonl" blocks_skipped)
+    sparse_rows=$(sum_field "$tmp/sparse.jsonl" sparse_rows)
+    dense_fallbacks=$(sum_field "$tmp/sparse.jsonl" dense_fallbacks)
+    speedup=$(awk -v d="$dense_cpu" -v s="$sparse_cpu" \
+        'BEGIN{if (s > 0) printf "%.2f", d/s; else print "null"}')
+    per_circuit=""
+    first_ckt=1
+    for ckt in ${CIRCUITS//,/ }; do
+        de=$(engine_s "$tmp/dense.jsonl" "$ckt")
+        se=$(engine_s "$tmp/sparse.jsonl" "$ckt")
+        [ "$first_ckt" -eq 1 ] || per_circuit="$per_circuit,"
+        first_ckt=0
+        per_circuit="$per_circuit{\"circuit\":\"$ckt\",\"engine_s\":{\"dense\":$de,\"sparse\":$se}}"
+        echo "    $ckt engine: dense=${de}s sparse=${se}s" >&2
+    done
+    printf '{"bench":"sparse_simd_kernel","seed":%s,"repeats":%s,"vectors":%s,"circuits":[%s],"wall_s":{"dense":%s,"sparse":%s},"cpu_s":{"dense":%s,"sparse":%s},"speedup":%s,"counters":{"blocks_skipped":%s,"sparse_rows":%s,"dense_fallbacks":%s},"results_identical":true}\n' \
+        "$SEED" "$REPEATS" "$VECTORS" "$per_circuit" "$dense_wall" "$sparse_wall" \
+        "$dense_cpu" "$sparse_cpu" \
+        "$speedup" "$blocks_skipped" "$sparse_rows" "$dense_fallbacks" > "$OUT"
+    echo "    wall: dense=${dense_wall}s sparse=${sparse_wall}s" >&2
+    echo "    cpu:  dense=${dense_cpu}s sparse=${sparse_cpu}s speedup=${speedup}x" >&2
+    echo "    counters: blocks_skipped=$blocks_skipped sparse_rows=$sparse_rows dense_fallbacks=$dense_fallbacks" >&2
     echo "wrote $OUT"
     exit 0
 fi

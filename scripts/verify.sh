@@ -113,4 +113,20 @@ grep -q '"words_simulated"' "$bench_out" \
     || { echo "bench.sh wrote no per-circuit word counts" >&2; exit 1; }
 rm -f "$bench_out"
 
+echo "==> smoke: sparse SIMD kernel bench (BENCH_MODE=simd)"
+simd_out="$(mktemp)"
+BENCH_MODE=simd BENCH_CIRCUITS=c432a BENCH_VECTORS=1024 BENCH_REPEATS=1 \
+    BENCH_TIME_LIMIT=10 BENCH_OUT="$simd_out" bash scripts/bench.sh \
+    >/dev/null 2>&1 || { echo "bench.sh simd smoke failed" >&2; exit 1; }
+grep -q '"results_identical":true' "$simd_out" \
+    || { echo "simd bench did not certify sparse == dense results" >&2; exit 1; }
+grep -q '"blocks_skipped"' "$simd_out" \
+    || { echo "simd bench wrote no sparse-kernel counters" >&2; exit 1; }
+rm -f "$simd_out"
+
+echo "==> smoke: sparse kernel criterion microbench"
+sparse_bench_out="$(cargo bench -p incdx-bench --bench sparse 2>/dev/null)"
+echo "$sparse_bench_out" | grep -q 'masked_popcount_16k/sparse' \
+    || { echo "criterion sparse microbench emitted no measurements" >&2; exit 1; }
+
 echo "verify: OK"
