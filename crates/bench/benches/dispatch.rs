@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks of the speculative dispatcher's shared
+//! frontier: priority-ordered push/pop throughput on one thread, and
+//! contended pop (steal) throughput with a producer racing consumers —
+//! the structure every dispatched engine run hammers once per node.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use incdx_core::{Frontier, Prio};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random priorities (SplitMix64), so the heap
+/// sees an adversarial interleaving rather than sorted input.
+fn priorities(n: usize) -> Vec<Prio> {
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|seq| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Prio {
+                primary: (z >> 11) as f64 / (1u64 << 53) as f64,
+                seq: seq as u64,
+            }
+        })
+        .collect()
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    let prios = priorities(1024);
+    c.bench_function("frontier_push_pop_1k", |b| {
+        b.iter(|| {
+            let frontier: Frontier<usize> = Frontier::new();
+            for (i, p) in prios.iter().enumerate() {
+                frontier.push(*p, Frontier::<usize>::MASTER_OWNER, i);
+            }
+            let mut drained = 0usize;
+            while let Some(popped) = frontier.pop_timeout(0, Duration::ZERO) {
+                drained += black_box(popped.item);
+            }
+            black_box(drained)
+        });
+    });
+}
+
+fn bench_contended_steal(c: &mut Criterion) {
+    let prios = Arc::new(priorities(1024));
+    c.bench_function("frontier_steal_1k_2workers", |b| {
+        b.iter(|| {
+            let frontier: Arc<Frontier<usize>> = Arc::new(Frontier::new());
+            let consumed: usize = std::thread::scope(|scope| {
+                let producer = {
+                    let frontier = Arc::clone(&frontier);
+                    let prios = Arc::clone(&prios);
+                    scope.spawn(move || {
+                        for (i, p) in prios.iter().enumerate() {
+                            // Owner 0: pops by worker 1 count as steals.
+                            frontier.push(*p, 0, i);
+                        }
+                        frontier.close();
+                    })
+                };
+                let consumers: Vec<_> = (0..2usize)
+                    .map(|worker| {
+                        let frontier = Arc::clone(&frontier);
+                        scope.spawn(move || {
+                            let mut got = 0usize;
+                            while let Some(popped) =
+                                frontier.pop_timeout(worker, Duration::from_millis(1))
+                            {
+                                got += black_box(popped.item);
+                            }
+                            got
+                        })
+                    })
+                    .collect();
+                producer.join().expect("producer");
+                consumers
+                    .into_iter()
+                    .map(|h| h.join().expect("consumer"))
+                    .sum()
+            });
+            black_box(consumed)
+        });
+    });
+}
+
+criterion_group!(dispatch, bench_push_pop, bench_contended_steal);
+criterion_main!(dispatch);

@@ -20,6 +20,11 @@ pub struct Args {
     pub time_limit: Duration,
     /// Worker threads (0 = all cores).
     pub jobs: usize,
+    /// Arm the speculative node dispatcher (`--dispatch`): `--jobs`
+    /// workers evaluate predicted tree expansions concurrently while
+    /// the serial master loop keeps the search deterministic
+    /// (`--no-dispatch` reverts to per-node parallel screening).
+    pub dispatch: bool,
     /// Emit a one-line `RectifyReport` JSON record per engine run
     /// (`--no-json` disables; see EXPERIMENTS.md for the schema).
     pub json: bool,
@@ -72,6 +77,7 @@ impl Default for Args {
             circuits: Vec::new(),
             time_limit: Duration::from_secs(30),
             jobs: 0,
+            dispatch: false,
             json: true,
             incremental: true,
             sparse: true,
@@ -107,6 +113,8 @@ impl Args {
                 "--trials" => args.trials = parse_num(&value("--trials")) as usize,
                 "--vectors" => args.vectors = parse_num(&value("--vectors")) as usize,
                 "--jobs" => args.jobs = parse_num(&value("--jobs")) as usize,
+                "--dispatch" => args.dispatch = true,
+                "--no-dispatch" => args.dispatch = false,
                 "--json" => args.json = true,
                 "--no-json" => args.json = false,
                 "--incremental" => args.incremental = true,
@@ -140,7 +148,8 @@ impl Args {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
-                         --time-limit SECONDS --jobs N --json|--no-json \
+                         --time-limit SECONDS --jobs N --dispatch|--no-dispatch \
+                         --json|--no-json \
                          --incremental|--no-incremental --sparse|--no-sparse --audit \
                          --traversal bfs|dfs|naive-bfs|best-first \
                          --deadline-ms N --max-nodes N --chaos SEED,RATE \
@@ -269,6 +278,15 @@ mod tests {
         assert!(Args::default().sparse, "sparse is the default");
         assert!(!Args::parse_from(["--no-sparse".to_string()]).sparse);
         assert!(Args::parse_from(["--sparse".to_string()]).sparse);
+    }
+
+    #[test]
+    fn dispatch_flag_round_trips() {
+        assert!(!Args::default().dispatch, "dispatch is opt-in");
+        assert!(Args::parse_from(["--dispatch".to_string()]).dispatch);
+        assert!(
+            !Args::parse_from(["--dispatch".to_string(), "--no-dispatch".to_string()]).dispatch
+        );
     }
 
     #[test]

@@ -28,8 +28,7 @@ fn trial(
     pi: &PackedMatrix,
     faults: usize,
     seed: u64,
-    time_limit: std::time::Duration,
-    sparse: bool,
+    args: &Args,
 ) -> Option<Trial> {
     let mut rng = StdRng::seed_from_u64(seed);
     let injection = inject_stuck_at_faults(
@@ -61,8 +60,12 @@ fn trial(
     let dictionary_closest_hits = closest.iter().any(|f| injected.contains(f));
 
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
-    config.time_limit = Some(time_limit);
-    config.sparse = sparse;
+    config.time_limit = Some(args.time_limit);
+    config.sparse = args.sparse;
+    config.dispatch = args.dispatch;
+    if args.dispatch {
+        config.jobs = args.jobs;
+    }
     let result = Rectifier::new(golden.clone(), pi.clone(), device, config)
         .ok()?
         .run();
@@ -79,6 +82,9 @@ fn trial(
 
 fn main() {
     let args = Args::parse();
+    // --dispatch hands the cores to the engine's node dispatcher, so
+    // trials serialize; otherwise the harness fans out across trials.
+    let trial_jobs = if args.dispatch { 1 } else { args.jobs };
     let circuits: Vec<String> = if args.circuits.is_empty() {
         vec!["c432a".into(), "c880a".into()]
     } else {
@@ -101,18 +107,10 @@ fn main() {
         let pi = PackedMatrix::random(golden.inputs().len(), args.vectors, &mut vec_rng);
         let dict = FaultDictionary::build(&golden, all_stuck_at_faults(&golden), &pi);
         for faults in [1usize, 2, 3] {
-            let outcomes = run_parallel(args.trials, args.jobs, |t| {
+            let outcomes = run_parallel(args.trials, trial_jobs, |t| {
                 for attempt in 0..20u64 {
                     let seed = args.trial_seed("baseline_dictionary", circuit, faults, t, attempt);
-                    if let Some(r) = trial(
-                        &golden,
-                        &dict,
-                        &pi,
-                        faults,
-                        seed,
-                        args.time_limit,
-                        args.sparse,
-                    ) {
+                    if let Some(r) = trial(&golden, &dict, &pi, faults, seed, &args) {
                         return Some(r);
                     }
                 }

@@ -22,13 +22,7 @@ struct Trial {
     nodes: usize,
 }
 
-fn trial(
-    golden: &Netlist,
-    vectors: usize,
-    seed: u64,
-    time_limit: std::time::Duration,
-    sparse: bool,
-) -> Option<Trial> {
+fn trial(golden: &Netlist, seed: u64, args: &Args) -> Option<Trial> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Draw a bridgeable random pair of logic lines.
     let lines: Vec<_> = golden
@@ -59,7 +53,7 @@ fn trial(
     }
     let fault = injected?;
     let mut vec_rng = StdRng::seed_from_u64(seed ^ 0xB41D);
-    let pi = PackedMatrix::random(golden.inputs().len(), vectors, &mut vec_rng);
+    let pi = PackedMatrix::random(golden.inputs().len(), args.vectors, &mut vec_rng);
     let mut sim = Simulator::new();
     let device = Response::capture(
         &bridged,
@@ -75,8 +69,12 @@ fn trial(
     // Rectify the *correct* netlist toward the bridged device using the
     // design-error correction model (two InsertGate fixes max).
     let mut config = RectifyConfig::dedc(2);
-    config.time_limit = Some(time_limit);
-    config.sparse = sparse;
+    config.time_limit = Some(args.time_limit);
+    config.sparse = args.sparse;
+    config.dispatch = args.dispatch;
+    if args.dispatch {
+        config.jobs = args.jobs;
+    }
     let result = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
         .ok()?
         .run();
@@ -105,6 +103,9 @@ fn trial(
 
 fn main() {
     let args = Args::parse();
+    // --dispatch hands the cores to the engine's node dispatcher, so
+    // trials serialize; otherwise the harness fans out across trials.
+    let trial_jobs = if args.dispatch { 1 } else { args.jobs };
     let circuits: Vec<String> = if args.circuits.is_empty() {
         vec!["c432a".into(), "c880a".into(), "c1908a".into()]
     } else {
@@ -118,10 +119,10 @@ fn main() {
     let mut table = Table::new(["ckt", "modeled", "avg nodes"]);
     for circuit in &circuits {
         let golden = scan_core(circuit);
-        let outcomes = run_parallel(args.trials, args.jobs, |t| {
+        let outcomes = run_parallel(args.trials, trial_jobs, |t| {
             for attempt in 0..20u64 {
                 let seed = args.trial_seed("bridging", circuit, 1, t, attempt);
-                if let Some(r) = trial(&golden, args.vectors, seed, args.time_limit, args.sparse) {
+                if let Some(r) = trial(&golden, seed, &args) {
                     return Some(r);
                 }
             }

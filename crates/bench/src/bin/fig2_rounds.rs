@@ -5,8 +5,9 @@
 //! and the round in which the first solution lands.
 //!
 //! `cargo run -p incdx-bench --release --bin fig2_rounds -- [--seed N]
-//! [--vectors N] [--circuits NAME] [--deadline-ms N] [--max-nodes N]
-//! [--chaos SEED,RATE] [--checkpoint PATH] [--resume PATH]`
+//! [--vectors N] [--circuits NAME] [--jobs N] [--dispatch]
+//! [--deadline-ms N] [--max-nodes N] [--chaos SEED,RATE]
+//! [--checkpoint PATH] [--resume PATH]`
 //!
 //! Exit codes follow the lint convention: 0 success, 1 engine error
 //! (with a one-line JSON record on stdout), 2 usage error.
@@ -65,8 +66,10 @@ fn budget_config(args: &Args, budget: usize) -> RectifyConfig {
     config.limits = args.limits();
     config.chaos = args.chaos;
     // A single engine run at a time — parallelism goes inside the
-    // screening stage rather than across trials.
+    // engine (screening workers, or the speculative node dispatcher
+    // under --dispatch) rather than across trials.
     config.jobs = args.jobs;
+    config.dispatch = args.dispatch;
     config
 }
 

@@ -8,8 +8,12 @@
 //!
 //! `cargo run -p incdx-bench --release --bin table1 -- [--trials N]
 //! [--vectors N] [--circuits a,b,c] [--seed N] [--time-limit SECS]
-//! [--deadline-ms N] [--max-nodes N] [--chaos SEED,RATE]
-//! [--checkpoint PATH] [--resume PATH]`
+//! [--jobs N] [--dispatch] [--deadline-ms N] [--max-nodes N]
+//! [--chaos SEED,RATE] [--checkpoint PATH] [--resume PATH]`
+//!
+//! `--jobs` normally parallelizes across trials; with `--dispatch` the
+//! trials run one at a time and the jobs go to the engine's speculative
+//! node dispatcher instead (results stay bit-identical either way).
 //!
 //! Exit codes follow the lint convention: 0 success, 1 engine error
 //! (with a one-line JSON record on stdout), 2 usage error.
@@ -75,6 +79,10 @@ fn main() -> ExitCode {
         return resume_run(&args, &path);
     }
     let base_opts = TrialOptions::from_args(&args);
+    // Under --dispatch the engine owns the cores, so trials serialize;
+    // otherwise the harness fans out across trials with serial engines.
+    let trial_jobs = if args.dispatch { 1 } else { args.jobs };
+    let engine_jobs = if args.dispatch { args.jobs } else { 1 };
     let mut captured: Option<Checkpoint> = None;
     let fault_counts = [1usize, 2, 3, 4];
     let circuits: Vec<String> = if args.circuits.is_empty() {
@@ -110,7 +118,7 @@ fn main() -> ExitCode {
         let mut row = vec![circuit.clone(), lines.to_string()];
         let mut masked_at_4 = String::from("-");
         for k in fault_counts {
-            let outcomes = run_parallel(args.trials, args.jobs, |trial| {
+            let outcomes = run_parallel(args.trials, trial_jobs, |trial| {
                 // Each trial gets a derived seed; re-draw on un-injectable
                 // seeds so every cell reports `trials` real runs.
                 for attempt in 0..20u64 {
@@ -138,13 +146,14 @@ fn main() -> ExitCode {
                 captured = done.iter().find_map(|o| o.checkpoint.clone());
             }
             if args.json {
-                // Trials parallelize above, so the engine itself runs with
-                // jobs = 1 (`RectifyConfig` default) — reported as such.
+                // Without --dispatch trials parallelize above and each
+                // engine runs with jobs = 1; with it the engine itself
+                // gets the jobs — reported accordingly.
                 for (trial, out) in done.iter().enumerate() {
                     let label = format!("table1/{circuit}/k{k}/t{trial}");
                     let report = RectifyReport::from_parts(
                         &label,
-                        1,
+                        engine_jobs,
                         out.tuples,
                         out.sites,
                         out.verdict,

@@ -55,6 +55,17 @@ pub struct TrialOptions {
     pub sparse: bool,
     /// Decision-tree scheduling policy.
     pub traversal: TraversalKind,
+    /// Arm the speculative node dispatcher
+    /// ([`RectifyConfig::dispatch`]): `jobs` workers evaluate predicted
+    /// tree expansions while the serial master loop keeps results
+    /// bit-identical. Binaries that normally parallelize across trials
+    /// should drop to one trial at a time when this is set, so the
+    /// dispatcher owns the cores.
+    pub dispatch: bool,
+    /// Engine worker threads when `dispatch` is armed (0 = all cores);
+    /// ignored otherwise — non-dispatched trials keep the config's
+    /// default and let the harness parallelize across trials instead.
+    pub jobs: usize,
     /// Engine invariant audit ([`RectifyConfig::audit`]).
     pub audit: bool,
     /// Cooperative resource limits (deadline, node/word budgets); an
@@ -79,6 +90,8 @@ impl TrialOptions {
             incremental: args.incremental,
             sparse: args.sparse,
             traversal: args.traversal,
+            dispatch: args.dispatch,
+            jobs: args.jobs,
             audit: args.audit,
             limits: args.limits(),
             chaos: args.chaos,
@@ -202,6 +215,10 @@ pub fn stuck_at_trial(
     config.incremental = opts.incremental;
     config.sparse = opts.sparse;
     config.traversal = opts.traversal;
+    config.dispatch = opts.dispatch;
+    if opts.dispatch {
+        config.jobs = opts.jobs;
+    }
     config.audit = opts.audit;
     config.limits = opts.limits;
     config.chaos = opts.chaos;
@@ -293,6 +310,10 @@ pub fn dedc_trial(
     config.incremental = opts.incremental;
     config.sparse = opts.sparse;
     config.traversal = opts.traversal;
+    config.dispatch = opts.dispatch;
+    if opts.dispatch {
+        config.jobs = opts.jobs;
+    }
     config.audit = opts.audit;
     config.limits = opts.limits;
     config.chaos = opts.chaos;

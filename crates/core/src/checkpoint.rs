@@ -9,7 +9,10 @@
 //! state and continues the search; because every evaluator backend is a
 //! pure function of the base circuit and the applied corrections, a
 //! resumed run reaches a solution set bit-identical to an uninterrupted
-//! one.
+//! one. Dispatched runs (`RectifyConfig::dispatch`) change nothing
+//! here: speculative worker results are a stateless cache over the
+//! tree and are never captured, so a checkpoint taken mid-dispatch is
+//! indistinguishable from a serial one.
 //!
 //! The format is a single line of JSON, hand-rolled like the rest of
 //! the workspace's serialization (no serde): integers, booleans,

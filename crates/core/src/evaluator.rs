@@ -14,6 +14,12 @@
 //! All backends are pure with respect to results: solutions and
 //! candidate rankings do not depend on the backend, only the work
 //! counters do (see the cache-invariants section of `ARCHITECTURE.md`).
+//!
+//! Besides the master session, each dispatcher worker (`dispatch.rs`)
+//! owns a private evaluator stack built by the same
+//! `session::build_evaluator` path, so speculative node preparation
+//! reuses these backends unchanged — purity is what makes a worker's
+//! result interchangeable with the master's.
 
 use std::fmt::Debug;
 

@@ -71,6 +71,7 @@ mod audit;
 mod cache;
 mod chaos;
 mod checkpoint;
+mod dispatch;
 mod error;
 mod evaluator;
 mod limits;
@@ -88,6 +89,7 @@ mod wire;
 pub use audit::Auditing;
 pub use chaos::{Chaos, ChaosConfig, ChaosState, ChaosSummary};
 pub use checkpoint::{netlist_fingerprint, Checkpoint, CheckpointNode, CHECKPOINT_VERSION};
+pub use dispatch::{DispatchTelemetry, Frontier, Popped, Prio};
 pub use error::IncdxError;
 pub use evaluator::{
     EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode, SimCounters,

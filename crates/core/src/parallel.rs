@@ -11,8 +11,9 @@
 //!
 //! # Panic isolation
 //!
-//! This module is the workspace's **sanctioned `catch_unwind`
-//! boundary** (enforced by the `panic_audit` lint): a panicking task is
+//! This module is one of the workspace's two **sanctioned
+//! `catch_unwind` boundaries** (enforced by the `panic_audit` lint;
+//! the other is the dispatcher worker loop in `dispatch.rs`): a panicking task is
 //! caught at the worker, the worker's scratch state is discarded and
 //! rebuilt with `init()` (it may have been left inconsistent), and the
 //! failed items are retried serially after the parallel section

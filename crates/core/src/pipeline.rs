@@ -9,6 +9,14 @@
 //! schedules nodes nor prepares matrices; it turns one prepared node
 //! into its ranked, screened candidate list (empty = a dead leaf,
 //! §3.3's "leaf with failure").
+//!
+//! The candidate list is a **pure function** of (netlist, value
+//! matrix, reference response, applied corrections, ladder level,
+//! config) — no hidden scheduling state leaks into the results. The
+//! speculative dispatcher (`dispatch.rs`) relies on this contract: a
+//! worker's pipeline output for a tuple is bit-identical to what the
+//! master would compute inline, which is what lets speculation
+//! substitute for inline evaluation without perturbing the search.
 
 use std::sync::Arc;
 use std::time::Instant;

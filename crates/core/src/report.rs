@@ -163,6 +163,45 @@ impl RectifyReport {
             secs(s.parallel.wall),
             s.parallel.utilization(),
         ));
+        match &s.dispatch {
+            Some(d) => {
+                out.push_str(&format!(
+                    ",\"dispatch\":{{\"workers\":{},\"tasks_executed\":{},\"tasks_stolen\":{},\"steal_failures\":{},\"speculative_hits\":{},\"speculative_misses\":{},\"hit_rate\":{:.4},\"tasks_wasted\":{},\"frontier_high_water\":{}",
+                    d.workers,
+                    d.tasks_executed,
+                    d.tasks_stolen,
+                    d.steal_failures,
+                    d.speculative_hits,
+                    d.speculative_misses,
+                    d.hit_rate(),
+                    d.tasks_wasted,
+                    d.frontier_high_water,
+                ));
+                out.push_str(",\"worker_nodes\":[");
+                for (i, n) in d.worker_nodes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&n.to_string());
+                }
+                out.push_str("],\"worker_busy\":[");
+                for (i, b) in d.worker_busy.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&secs(*b));
+                }
+                out.push_str("],\"worker_idle\":[");
+                for (i, t) in d.worker_idle.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&secs(*t));
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str(",\"dispatch\":null"),
+        }
         out.push_str(&format!(
             ",\"audit\":{{\"checks\":{},\"violations\":{}}}",
             s.audit_checks, s.audit_violations,
@@ -257,6 +296,40 @@ mod tests {
         assert!(json.contains("\"verdict\":\"exact\""));
         assert!(json.contains("\"degradations\":[]"));
         assert!(json.contains("\"chaos\":null"));
+        assert!(json.contains("\"dispatch\":null"));
+    }
+
+    #[test]
+    fn dispatch_telemetry_serializes() {
+        use std::time::Duration;
+        let stats = RectifyStats {
+            dispatch: Some(crate::DispatchTelemetry {
+                workers: 2,
+                tasks_executed: 10,
+                tasks_stolen: 3,
+                steal_failures: 1,
+                speculative_hits: 6,
+                speculative_misses: 2,
+                tasks_wasted: 4,
+                frontier_high_water: 5,
+                worker_nodes: vec![7, 3],
+                worker_busy: vec![Duration::from_millis(250), Duration::from_millis(125)],
+                worker_idle: vec![Duration::from_millis(50), Duration::ZERO],
+            }),
+            ..RectifyStats::default()
+        };
+        let report = RectifyReport::from_parts("dispatch", 2, 1, 1, Verdict::default(), 0, stats);
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"dispatch\":{\"workers\":2,\"tasks_executed\":10,\"tasks_stolen\":3,\
+             \"steal_failures\":1,\"speculative_hits\":6,\"speculative_misses\":2,\
+             \"hit_rate\":0.7500,\"tasks_wasted\":4,\"frontier_high_water\":5"
+        ));
+        assert!(json.contains("\"worker_nodes\":[7,3]"));
+        assert!(json.contains("\"worker_busy\":[0.250000,0.125000]"));
+        assert!(json.contains("\"worker_idle\":[0.050000,0.000000]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

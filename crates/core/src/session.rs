@@ -13,6 +13,7 @@ use incdx_sim::{PackedMatrix, Response};
 
 use crate::chaos::{Chaos, ChaosConfig, ChaosState, ChaosSummary};
 use crate::checkpoint::{netlist_fingerprint, Checkpoint, CheckpointNode, CHECKPOINT_VERSION};
+use crate::dispatch::{DispatchTelemetry, Dispatcher, SpecEval, SpecOutcome};
 use crate::error::IncdxError;
 use crate::evaluator::{EvalContext, Evaluator, FromScratch, Incremental, Parallel, PreparedNode};
 use crate::limits::{
@@ -75,6 +76,20 @@ pub struct RectifyConfig {
     /// state and merge in candidate-rank order. Selects the
     /// [`Parallel`] evaluator decorator.
     pub jobs: usize,
+    /// Work-stealing frontier dispatcher: parallelize across decision
+    /// -tree nodes instead of across one node's candidates. When armed
+    /// (and `jobs` resolves to more than one worker), a per-level pool
+    /// of workers speculatively evaluates the tuples the traversal is
+    /// predicted to expand next, each worker owning a private evaluator
+    /// stack, while the serial master loop remains the sole source of
+    /// truth — the solution set, node/round counts, and every
+    /// pipeline-deterministic counter stay bit-identical to the serial
+    /// run for any worker count and interleaving; only work-attribution
+    /// counters ([`RectifyStats::words_simulated`] and friends) become
+    /// schedule-dependent. Telemetry lands in
+    /// [`RectifyStats::dispatch`]. Checkpoints are unaffected: nothing
+    /// speculative is captured (see `ARCHITECTURE.md`, "Dispatcher").
+    pub dispatch: bool,
     /// Event-driven incremental node evaluation (the [`Incremental`]
     /// backend): reuse the parent node's cached value matrix and
     /// resimulate only the corrected line's fanout cone
@@ -140,6 +155,7 @@ impl RectifyConfig {
             time_limit: None,
             traversal: TraversalKind::RoundRobinBfs,
             jobs: 1,
+            dispatch: false,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
             sparse: true,
@@ -172,6 +188,7 @@ impl RectifyConfig {
             time_limit: None,
             traversal: TraversalKind::RoundRobinBfs,
             jobs: 1,
+            dispatch: false,
             incremental: true,
             matrix_cache_bytes: 256 << 20,
             sparse: true,
@@ -318,6 +335,11 @@ pub struct RectifyStats {
     /// Fault-injection tally when the run was chaos-armed
     /// ([`RectifyConfig::chaos`]); `None` otherwise.
     pub chaos: Option<ChaosSummary>,
+    /// Frontier-dispatcher telemetry when the run was dispatch-armed
+    /// ([`RectifyConfig::dispatch`] with more than one worker), merged
+    /// across ladder levels; `None` otherwise. Purely observational:
+    /// the speculative counters here never feed back into the search.
+    pub dispatch: Option<DispatchTelemetry>,
 }
 
 /// The outcome of [`Rectifier::run`].
@@ -490,7 +512,16 @@ impl Rectifier {
         let base_cones = ConeCache::new(&netlist);
         let traversal = config.traversal.build();
         let chaos = config.chaos.map(ChaosState::new);
-        let evaluator = build_evaluator(&config, chaos.clone());
+        // Under the frontier dispatcher the master evaluates serially
+        // (workers carry the parallelism), so its own stack skips the
+        // per-node `Parallel` fan-out — exactly one layer parallelizes.
+        let evaluator = if dispatch_armed(&config) {
+            let mut serial = config.clone();
+            serial.jobs = 1;
+            build_evaluator(&serial, chaos.clone())
+        } else {
+            build_evaluator(&config, chaos.clone())
+        };
         Ok(Rectifier {
             base: netlist,
             base_inputs,
@@ -771,12 +802,6 @@ impl Rectifier {
         }
     }
 
-    /// Consuming wrapper over [`Rectifier::run`] for the pre-engine API.
-    #[deprecated(note = "call `run(&mut self)`; the engine is reusable via `reset()`")]
-    pub fn run_once(mut self) -> RectifyResult {
-        self.run()
-    }
-
     /// Returns the engine to its just-constructed state: statistics
     /// zeroed, backend caches and memoized matrices dropped, cone cache
     /// rebuilt. After `reset`, [`Rectifier::run`] reproduces a fresh
@@ -788,13 +813,60 @@ impl Rectifier {
     }
 
     /// One full tree traversal at a fixed parameter level (entered
-    /// mid-plan when resuming from a checkpoint).
+    /// mid-plan when resuming from a checkpoint). When the frontier
+    /// dispatcher is armed, this wrapper owns its per-level lifecycle:
+    /// spawn the worker pool, run the traversal with speculation, then
+    /// seal — join the workers and fold their telemetry/degradation
+    /// ledgers into the run stats (wasted speculations included, so
+    /// chaos fault-to-degradation accounting stays 1:1).
     fn search_level(
         &mut self,
         level: &ParamLevel,
         level_idx: usize,
         started: Instant,
         resume: Option<ResumeState>,
+    ) -> LevelOutcome {
+        let dispatcher = if self.dispatch_armed() {
+            Some(Dispatcher::new(
+                &self.base,
+                &self.base_inputs,
+                &self.vectors,
+                &self.spec,
+                &self.config,
+                *level,
+                self.cancel.clone(),
+                self.chaos.clone(),
+            ))
+        } else {
+            None
+        };
+        let outcome =
+            self.search_level_inner(level, level_idx, started, resume, dispatcher.as_ref());
+        if let Some(dispatcher) = dispatcher {
+            let finish = dispatcher.finish();
+            self.stats.degradations.extend(finish.degradations);
+            self.stats.parallel.merge(&finish.parallel);
+            match &mut self.stats.dispatch {
+                Some(telemetry) => telemetry.merge(&finish.telemetry),
+                None => self.stats.dispatch = Some(finish.telemetry),
+            }
+        }
+        outcome
+    }
+
+    /// Is the work-stealing frontier dispatcher in effect for this run?
+    fn dispatch_armed(&self) -> bool {
+        dispatch_armed(&self.config)
+    }
+
+    /// The traversal loop proper (see [`Rectifier::search_level`]).
+    fn search_level_inner(
+        &mut self,
+        level: &ParamLevel,
+        level_idx: usize,
+        started: Instant,
+        resume: Option<ResumeState>,
+        disp: Option<&Dispatcher>,
     ) -> LevelOutcome {
         let done = |solutions: Vec<Solution>| LevelOutcome {
             solutions,
@@ -820,7 +892,7 @@ impl Rectifier {
                 ),
                 None => {
                     let mut tree = Tree::new(self.config.max_corrections, self.config.max_nodes);
-                    match self.evaluate(&[], level, true) {
+                    match self.evaluate(&[], level, true, disp) {
                         NodeEval::Solved => {
                             return done(vec![Solution {
                                 corrections: vec![],
@@ -880,6 +952,11 @@ impl Rectifier {
                     self.stats.truncated = true;
                     break 'search;
                 }
+                if let Some(d) = disp {
+                    // Lookahead: retract stale speculations and top the
+                    // frontier up with the predicted next expansions.
+                    d.prime(&tree, &plan, plan_pos, &visited, &*self.traversal);
+                }
                 let idx = plan[plan_pos];
                 plan_pos += 1;
                 {
@@ -924,7 +1001,7 @@ impl Rectifier {
                 // tree; evaluate it lazily — solution check only, no
                 // diagnosis/screening for a candidate list nobody reads.
                 let expandable = tree.expandable(corrections.len());
-                match self.evaluate(&corrections, level, expandable) {
+                match self.evaluate(&corrections, level, expandable, disp) {
                     NodeEval::Solved => {
                         let mut key = corrections.clone();
                         key.sort();
@@ -1085,7 +1162,7 @@ impl Rectifier {
         corrections: &[Correction],
         level: &ParamLevel,
     ) -> Vec<RankedCorrection> {
-        match self.evaluate(corrections, level, true) {
+        match self.evaluate(corrections, level, true, None) {
             NodeEval::Open { candidates, .. } => candidates,
             _ => Vec::new(),
         }
@@ -1104,9 +1181,10 @@ impl Rectifier {
         corrections: &[Correction],
         level: &ParamLevel,
         expand: bool,
+        disp: Option<&Dispatcher>,
     ) -> NodeEval {
         let t_eval = Instant::now();
-        let outcome = self.evaluate_node(corrections, level, expand);
+        let outcome = self.evaluate_node(corrections, level, expand, disp);
         self.stats.evaluate_time += t_eval.elapsed();
         outcome
     }
@@ -1116,7 +1194,17 @@ impl Rectifier {
         corrections: &[Correction],
         level: &ParamLevel,
         expand: bool,
+        disp: Option<&Dispatcher>,
     ) -> NodeEval {
+        // Speculation hit path: a dispatcher worker already ran this
+        // exact tuple through the full prepare → diagnose → screen
+        // pipeline. Only the `expand = true` semantics are speculated
+        // (the lazy path differs), and the root is never speculated.
+        if expand && !corrections.is_empty() {
+            if let Some(outcome) = disp.and_then(|d| d.take(corrections)) {
+                return self.commit_speculation(corrections, outcome);
+            }
+        }
         self.stats.nodes += 1;
         let t0 = Instant::now();
         let before = self.evaluator.counters();
@@ -1220,6 +1308,77 @@ impl Rectifier {
         }
         outcome
     }
+
+    /// Commits a finished speculation as this node's evaluation: counts
+    /// the node (master-side, so `stats.nodes` stays a deterministic
+    /// function of the traversal), absorbs the worker's work
+    /// attribution, hands the prepared matrix to the master evaluator
+    /// for child reuse, and converts the result. Bit-identical to the
+    /// inline evaluation it replaces (see the purity contract in
+    /// `dispatch.rs`).
+    fn commit_speculation(&mut self, corrections: &[Correction], outcome: SpecOutcome) -> NodeEval {
+        self.stats.nodes += 1;
+        absorb_speculative(&mut self.stats, &outcome.stats);
+        if let Some((netlist, vals)) = outcome.retained {
+            self.stats.matrix_cache_evictions += self.evaluator.retain(corrections, netlist, vals);
+        }
+        match outcome.eval {
+            SpecEval::Solved => NodeEval::Solved,
+            SpecEval::Dead => NodeEval::Dead,
+            SpecEval::Open {
+                candidates,
+                failing,
+            } => NodeEval::Open {
+                candidates,
+                failing,
+            },
+        }
+    }
+}
+
+/// Is the work-stealing frontier dispatcher in effect for `config`?
+/// Requires the opt-in flag *and* a resolved worker count above one
+/// (`dispatch` with `jobs = 1` is the plain serial engine, bit-identical
+/// by construction — no pool is ever spawned).
+fn dispatch_armed(config: &RectifyConfig) -> bool {
+    config.dispatch && crate::parallel::effective_jobs(config.jobs, usize::MAX) > 1
+}
+
+/// Folds a speculative evaluation's work attribution into the run
+/// stats: the stage timers and simulation/screening counters — exactly
+/// what the inline evaluation would have added. Deliberately *not*
+/// absorbed: `nodes`/`rounds`/`expansions_skipped` (master-side
+/// deterministic bookkeeping), `parallel` and `degradations` (already
+/// drained to the dispatcher ledger at task completion, wasted tasks
+/// included), and the run-level fields (names, verdict flags, chaos,
+/// dispatch).
+fn absorb_speculative(stats: &mut RectifyStats, spec: &RectifyStats) {
+    stats.diagnosis_time += spec.diagnosis_time;
+    stats.correction_time += spec.correction_time;
+    stats.simulation_time += spec.simulation_time;
+    stats.path_trace_time += spec.path_trace_time;
+    stats.rank_time += spec.rank_time;
+    stats.screen_time += spec.screen_time;
+    stats.evaluate_time += spec.evaluate_time;
+    stats.corrections_screened += spec.corrections_screened;
+    stats.corrections_qualified += spec.corrections_qualified;
+    stats.lines_rejected_h1 += spec.lines_rejected_h1;
+    stats.corrections_rejected_h2 += spec.corrections_rejected_h2;
+    stats.corrections_rejected_h3 += spec.corrections_rejected_h3;
+    stats.words_simulated += spec.words_simulated;
+    stats.events_propagated += spec.events_propagated;
+    stats.words_skipped += spec.words_skipped;
+    stats.blocks_skipped += spec.blocks_skipped;
+    stats.sparse_rows += spec.sparse_rows;
+    stats.dense_fallbacks += spec.dense_fallbacks;
+    stats.cone_cache_hits += spec.cone_cache_hits;
+    stats.matrix_cache_hits += spec.matrix_cache_hits;
+    stats.matrix_cache_evictions += spec.matrix_cache_evictions;
+    stats.audit_checks += spec.audit_checks;
+    stats.audit_violations += spec.audit_violations;
+    stats.wire_sources_truncated += spec.wire_sources_truncated;
+    stats.candidates_truncated += spec.candidates_truncated;
+    stats.lines_truncated += spec.lines_truncated;
 }
 
 /// Recovered worker panics tolerated before screening latches to serial
@@ -1232,7 +1391,12 @@ const PANIC_FALLBACK_THRESHOLD: u64 = 3;
 /// is on. A chaos-armed run instead wraps the stack in [`Chaos`] inside
 /// a *repairing* audit layer, so every injected corruption is caught
 /// and replaced by a from-scratch replay.
-fn build_evaluator(config: &RectifyConfig, chaos: Option<Arc<ChaosState>>) -> Box<dyn Evaluator> {
+/// Also used by the frontier dispatcher to build each worker's private
+/// stack (with `jobs = 1` and a divided cache budget).
+pub(crate) fn build_evaluator(
+    config: &RectifyConfig,
+    chaos: Option<Arc<ChaosState>>,
+) -> Box<dyn Evaluator> {
     let inner: Box<dyn Evaluator> = if config.incremental {
         Box::new(Incremental::new(config.matrix_cache_bytes).with_sparse(config.sparse))
     } else {

@@ -17,7 +17,7 @@ use std::fmt::Debug;
 use std::str::FromStr;
 
 use crate::error::IncdxError;
-use crate::tree::{Node, Tree};
+use crate::tree::{Node, RankedCorrection, Tree};
 
 /// A frontier-scheduling policy over the decision [`Tree`].
 pub trait Traversal: Debug + Send {
@@ -39,6 +39,19 @@ pub trait Traversal: Debug + Send {
     /// Fills `plan` with the node indices to expand this iteration, in
     /// order. `plan` arrives cleared. An empty plan ends the level.
     fn schedule(&mut self, tree: &Tree, plan: &mut Vec<usize>);
+
+    /// The policy reduced to a frontier priority: how urgently should
+    /// the child reached by applying `candidate` to `parent` be
+    /// speculatively evaluated by the
+    /// [dispatcher](crate::DispatchTelemetry)? Higher values pop first;
+    /// exact ties break by ascending [`Prio::seq`](crate::Prio) — the
+    /// push sequence number — so the pop order is deterministic for any
+    /// push order. The default is breadth-first (shallower children
+    /// first), matching both BFS policies.
+    fn frontier_priority(&self, parent: &Node, candidate: &RankedCorrection) -> f64 {
+        let _ = candidate;
+        -((parent.depth() + 1) as f64)
+    }
 }
 
 /// The paper's round-based schedule: every node present at the start of
@@ -75,6 +88,10 @@ impl Traversal for DepthFirst {
     fn schedule(&mut self, tree: &Tree, plan: &mut Vec<usize>) {
         plan.extend(tree.nodes().iter().rposition(Node::open));
     }
+
+    fn frontier_priority(&self, parent: &Node, _candidate: &RankedCorrection) -> f64 {
+        (parent.depth() + 1) as f64
+    }
 }
 
 /// Naive breadth-first: exhaust every candidate of the oldest open node
@@ -94,9 +111,15 @@ impl Traversal for NaiveBfs {
 
 /// Greedy best-first: expand the open node maximizing
 /// `next-candidate h1 / failing-vector count` — prefer nodes whose best
-/// untried correction promises the largest relative repair. Ties break
-/// toward the oldest node, so the policy degrades to breadth-first on a
-/// flat frontier.
+/// untried correction promises the largest relative repair.
+///
+/// Tie-breaking is part of the contract, not an accident of iteration:
+/// equal priorities (compared with the total order of
+/// [`f64::total_cmp`], so NaN scores cannot poison the comparison)
+/// resolve toward the *lowest node index*, i.e. stable creation order.
+/// Node indices are the tree's push sequence numbers, so the scheduled
+/// node is a deterministic function of the tree contents alone — the
+/// property the dispatcher's frontier relies on to replay identically.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BestFirst;
 
@@ -120,14 +143,26 @@ impl Traversal for BestFirst {
             };
             let better = match best {
                 None => true,
-                // Strict comparison keeps the earliest index on ties.
-                Some((_, bp)) => p.total_cmp(&bp).is_gt(),
+                Some((best_idx, bp)) => match p.total_cmp(&bp) {
+                    std::cmp::Ordering::Greater => true,
+                    // Explicit stable order: on an exact tie the lower
+                    // (older) sequence number wins. Iteration is
+                    // ascending so `idx > best_idx` here, but spelling
+                    // the rule out keeps it load-bearing, not
+                    // incidental.
+                    std::cmp::Ordering::Equal => idx < best_idx,
+                    std::cmp::Ordering::Less => false,
+                },
             };
             if better {
                 best = Some((idx, p));
             }
         }
         plan.extend(best.map(|(idx, _)| idx));
+    }
+
+    fn frontier_priority(&self, parent: &Node, candidate: &RankedCorrection) -> f64 {
+        candidate.h1_score / parent.failing.max(1) as f64
     }
 }
 
@@ -280,6 +315,47 @@ mod tests {
         let mut plan = Vec::new();
         BestFirst.schedule(&t, &mut plan);
         assert_eq!(plan, vec![0]);
+    }
+
+    #[test]
+    fn best_first_tie_break_is_stable_sequence_order() {
+        // Regression: a frontier full of exactly-equal priorities must
+        // schedule the lowest sequence number (creation order), for any
+        // frontier size and regardless of where the tied class sits.
+        for tied in 2..6usize {
+            let mut nodes = vec![Node::new(vec![], vec![], 1)]; // closed root
+            for k in 0..tied {
+                nodes.push(child(k as u32 + 1, vec![rc(0.25)], 4));
+            }
+            let t = tree_with(nodes);
+            let mut plan = Vec::new();
+            BestFirst.schedule(&t, &mut plan);
+            assert_eq!(plan, vec![1], "tied class of {tied} must pick oldest");
+        }
+        // NaN h1 scores take a fixed place in total_cmp's total order
+        // (positive NaN above every real) instead of poisoning the
+        // comparison — what the determinism contract needs is a total,
+        // stable order, and the dispatcher's Prio uses the same one.
+        let t = tree_with(vec![
+            Node::new(vec![], vec![rc(f64::NAN)], 1),
+            child(1, vec![rc(0.1)], 1),
+        ]);
+        let mut plan = Vec::new();
+        BestFirst.schedule(&t, &mut plan);
+        assert_eq!(plan, vec![0]);
+    }
+
+    #[test]
+    fn frontier_priorities_encode_the_policies() {
+        let parent = child(1, vec![rc(0.5)], 4); // depth 1
+        let cand = rc(0.8);
+        // BFS policies: shallower children first (higher = sooner).
+        assert_eq!(RoundRobinBfs.frontier_priority(&parent, &cand), -2.0);
+        assert_eq!(NaiveBfs.frontier_priority(&parent, &cand), -2.0);
+        // DFS: deeper children first.
+        assert_eq!(DepthFirst.frontier_priority(&parent, &cand), 2.0);
+        // Best-first: the candidate's own h1 per failing vector.
+        assert_eq!(BestFirst.frontier_priority(&parent, &cand), 0.2);
     }
 
     #[test]

@@ -18,11 +18,11 @@
 //! * every other first-party crate may use targeted panics (generators
 //!   and benches assert on internal invariants) but must never ship
 //!   `todo!(`, `unimplemented!(`, or leftover `dbg!(` calls;
-//! * `catch_unwind(` is denied in strict paths *except* at the one
-//!   sanctioned worker boundary ([`UNWIND_SANCTIONED`]) — panic
-//!   isolation lives in `run_parallel_with`'s workers, and swallowing
-//!   panics anywhere else in the engine would hide real bugs from the
-//!   recovery accounting.
+//! * `catch_unwind(` is denied in strict paths *except* at the
+//!   sanctioned worker boundaries ([`UNWIND_SANCTIONED`]) — panic
+//!   isolation lives in `run_parallel_with`'s workers and the frontier
+//!   dispatcher's worker loop, and swallowing panics anywhere else in
+//!   the engine would hide real bugs from the recovery accounting.
 //!
 //! A line ending in a `panic-audit: allow` comment is exempt; use it for
 //! deliberate, reviewed exceptions.
@@ -41,10 +41,12 @@ pub const STRICT_DENY: &[&str] = &[".unwrap(", ".expect(", "panic!(", "unreachab
 /// panic isolation is `run_parallel_with`'s job alone.
 pub const UNWIND_DENY: &[&str] = &["catch_unwind("];
 
-/// Strict-path files allowed to use `catch_unwind(` — the parallel
-/// worker boundary where panic isolation is implemented and every
-/// recovery is counted into the run's telemetry.
-pub const UNWIND_SANCTIONED: &[&str] = &["crates/core/src/parallel.rs"];
+/// Strict-path files allowed to use `catch_unwind(` — the two worker
+/// boundaries where panic isolation is implemented and every recovery
+/// is counted into the run's telemetry: the parallel screening workers
+/// (`run_parallel_with`) and the frontier-dispatcher worker loop.
+pub const UNWIND_SANCTIONED: &[&str] =
+    &["crates/core/src/parallel.rs", "crates/core/src/dispatch.rs"];
 
 /// Repo-relative source roots audited under the strict policy.
 pub const STRICT_ROOTS: &[&str] = &["crates/core/src"];
@@ -373,9 +375,14 @@ fn live() { y.unwrap(); }
     fn catch_unwind_denied_outside_sanctioned_boundary() {
         let engine_file = Path::new("crates/core/src/session.rs");
         let worker_file = Path::new("crates/core/src/parallel.rs");
+        let dispatch_file = Path::new("crates/core/src/dispatch.rs");
         let base_file = Path::new("crates/bench/src/lib.rs");
         assert!(deny_for(true, engine_file).contains(&"catch_unwind("));
         assert!(!deny_for(true, worker_file).contains(&"catch_unwind("));
+        assert!(
+            !deny_for(true, dispatch_file).contains(&"catch_unwind("),
+            "the dispatcher worker loop is the second sanctioned boundary"
+        );
         assert!(!deny_for(false, base_file).contains(&"catch_unwind("));
 
         let src = "fn f() {\n    let r = std::panic::catch_unwind(|| work());\n}\n";
