@@ -36,6 +36,16 @@ pub struct Args {
     /// reverts to the dense per-row kernels; results are bit-identical
     /// either way — only the sparse work counters and wall time move).
     pub sparse: bool,
+    /// Two-level hierarchical diagnosis (`--hierarchical`): diagnose the
+    /// cone-collapsed abstract netlist first, then resume on the
+    /// concrete netlist restricted to the implicated regions (`--flat`
+    /// reverts to single-level search; exhaustive solution sets are
+    /// identical either way).
+    pub hierarchical: bool,
+    /// Share one batched path-trace pass across all failing vectors
+    /// (`--batch-obs`; `--no-batch-obs` reverts to the per-vector walk;
+    /// marking counts are bit-identical either way).
+    pub batch_obs: bool,
     /// Decision-tree traversal strategy (`--traversal
     /// bfs|dfs|naive-bfs|best-first`; `bfs` is the paper's round-robin
     /// default).
@@ -81,6 +91,8 @@ impl Default for Args {
             json: true,
             incremental: true,
             sparse: true,
+            hierarchical: false,
+            batch_obs: false,
             traversal: TraversalKind::default(),
             audit: false,
             deadline_ms: None,
@@ -121,6 +133,10 @@ impl Args {
                 "--no-incremental" => args.incremental = false,
                 "--sparse" => args.sparse = true,
                 "--no-sparse" => args.sparse = false,
+                "--hierarchical" => args.hierarchical = true,
+                "--flat" => args.hierarchical = false,
+                "--batch-obs" => args.batch_obs = true,
+                "--no-batch-obs" => args.batch_obs = false,
                 "--audit" => args.audit = true,
                 "--deadline-ms" => args.deadline_ms = Some(parse_num(&value("--deadline-ms"))),
                 "--max-nodes" => args.max_nodes = Some(parse_num(&value("--max-nodes"))),
@@ -150,7 +166,8 @@ impl Args {
                         "flags: --seed N --trials N --vectors N --circuits a,b,c \
                          --time-limit SECONDS --jobs N --dispatch|--no-dispatch \
                          --json|--no-json \
-                         --incremental|--no-incremental --sparse|--no-sparse --audit \
+                         --incremental|--no-incremental --sparse|--no-sparse \
+                         --hierarchical|--flat --batch-obs|--no-batch-obs --audit \
                          --traversal bfs|dfs|naive-bfs|best-first \
                          --deadline-ms N --max-nodes N --chaos SEED,RATE \
                          --checkpoint PATH --resume PATH"
@@ -278,6 +295,24 @@ mod tests {
         assert!(Args::default().sparse, "sparse is the default");
         assert!(!Args::parse_from(["--no-sparse".to_string()]).sparse);
         assert!(Args::parse_from(["--sparse".to_string()]).sparse);
+    }
+
+    #[test]
+    fn hierarchical_flag_round_trips() {
+        assert!(!Args::default().hierarchical, "flat search is the default");
+        assert!(Args::parse_from(["--hierarchical".to_string()]).hierarchical);
+        assert!(
+            !Args::parse_from(["--hierarchical".to_string(), "--flat".to_string()]).hierarchical
+        );
+    }
+
+    #[test]
+    fn batch_obs_flag_round_trips() {
+        assert!(!Args::default().batch_obs, "per-vector path-trace default");
+        assert!(Args::parse_from(["--batch-obs".to_string()]).batch_obs);
+        assert!(
+            !Args::parse_from(["--batch-obs".to_string(), "--no-batch-obs".to_string()]).batch_obs
+        );
     }
 
     #[test]

@@ -62,6 +62,8 @@ fn trial(
     let mut config = RectifyConfig::stuck_at_exhaustive(faults);
     config.time_limit = Some(args.time_limit);
     config.sparse = args.sparse;
+    config.hierarchical = args.hierarchical;
+    config.batch_obs = args.batch_obs;
     config.dispatch = args.dispatch;
     if args.dispatch {
         config.jobs = args.jobs;

@@ -71,6 +71,8 @@ fn trial(golden: &Netlist, seed: u64, args: &Args) -> Option<Trial> {
     let mut config = RectifyConfig::dedc(2);
     config.time_limit = Some(args.time_limit);
     config.sparse = args.sparse;
+    config.hierarchical = args.hierarchical;
+    config.batch_obs = args.batch_obs;
     config.dispatch = args.dispatch;
     if args.dispatch {
         config.jobs = args.jobs;

@@ -61,6 +61,8 @@ fn budget_config(args: &Args, budget: usize) -> RectifyConfig {
     config.time_limit = Some(args.time_limit);
     config.incremental = args.incremental;
     config.sparse = args.sparse;
+    config.hierarchical = args.hierarchical;
+    config.batch_obs = args.batch_obs;
     config.traversal = args.traversal;
     config.audit = args.audit;
     config.limits = args.limits();

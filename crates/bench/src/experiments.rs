@@ -53,6 +53,11 @@ pub struct TrialOptions {
     pub incremental: bool,
     /// Hierarchical sparse simulation kernel (see [`Args::sparse`]).
     pub sparse: bool,
+    /// Two-level hierarchical diagnosis (see [`Args::hierarchical`]):
+    /// abstract-first search resumed on the implicated concrete regions.
+    pub hierarchical: bool,
+    /// Batched multi-observation path-trace (see [`Args::batch_obs`]).
+    pub batch_obs: bool,
     /// Decision-tree scheduling policy.
     pub traversal: TraversalKind,
     /// Arm the speculative node dispatcher
@@ -89,6 +94,8 @@ impl TrialOptions {
         TrialOptions {
             incremental: args.incremental,
             sparse: args.sparse,
+            hierarchical: args.hierarchical,
+            batch_obs: args.batch_obs,
             traversal: args.traversal,
             dispatch: args.dispatch,
             jobs: args.jobs,
@@ -214,6 +221,8 @@ pub fn stuck_at_trial(
     config.time_limit = Some(time_limit);
     config.incremental = opts.incremental;
     config.sparse = opts.sparse;
+    config.hierarchical = opts.hierarchical;
+    config.batch_obs = opts.batch_obs;
     config.traversal = opts.traversal;
     config.dispatch = opts.dispatch;
     if opts.dispatch {
@@ -309,6 +318,8 @@ pub fn dedc_trial(
     config.time_limit = Some(time_limit);
     config.incremental = opts.incremental;
     config.sparse = opts.sparse;
+    config.hierarchical = opts.hierarchical;
+    config.batch_obs = opts.batch_obs;
     config.traversal = opts.traversal;
     config.dispatch = opts.dispatch;
     if opts.dispatch {
@@ -399,6 +410,28 @@ mod tests {
         assert_eq!(out.verdict, Verdict::Exact);
         assert_eq!(out.partials, 0);
         assert!(out.checkpoint.is_none(), "clean run captures no checkpoint");
+    }
+
+    #[test]
+    fn hierarchical_trial_matches_flat_solution_counts() {
+        let golden = scan_core("c432a");
+        let mut hier = base_opts();
+        hier.hierarchical = true;
+        hier.batch_obs = true;
+        let h = stuck_at_trial(&golden, 1, 256, 3, Duration::from_secs(20), &hier)
+            .expect("well-formed workload")
+            .expect("injectable");
+        let f = stuck_at_trial(&golden, 1, 256, 3, Duration::from_secs(20), &base_opts())
+            .expect("well-formed workload")
+            .expect("injectable");
+        assert_eq!(h.tuples, f.tuples);
+        assert_eq!(h.sites, f.sites);
+        assert_eq!(h.recovered, f.recovered);
+        assert_eq!(h.verdict, f.verdict);
+        assert!(
+            h.stats.abstraction.is_some(),
+            "hierarchical run reports abstraction stats"
+        );
     }
 
     #[test]

@@ -65,12 +65,14 @@ pub struct ChaosSummary {
     pub width_errors: u64,
     /// Sparse-mask block-summary bits flipped in the candidate pipeline.
     pub summary_flips: u64,
+    /// Abstraction-map entries corrupted in hierarchical runs.
+    pub map_corruptions: u64,
 }
 
 impl ChaosSummary {
     /// Total injected faults of all classes.
     pub fn total(&self) -> u64 {
-        self.panics + self.bit_flips + self.width_errors + self.summary_flips
+        self.panics + self.bit_flips + self.width_errors + self.summary_flips + self.map_corruptions
     }
 }
 
@@ -78,12 +80,13 @@ impl fmt::Display for ChaosSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} injected ({} panics, {} bit flips, {} width errors, {} summary flips)",
+            "{} injected ({} panics, {} bit flips, {} width errors, {} summary flips, {} map corruptions)",
             self.total(),
             self.panics,
             self.bit_flips,
             self.width_errors,
-            self.summary_flips
+            self.summary_flips,
+            self.map_corruptions
         )
     }
 }
@@ -102,10 +105,13 @@ pub struct ChaosState {
     prepare_seq: AtomicU64,
     /// Monotone count of sparse-mask builds (summary-corruption keys).
     mask_seq: AtomicU64,
+    /// Monotone count of abstraction builds (map-corruption keys).
+    abstraction_seq: AtomicU64,
     panics: AtomicU64,
     bit_flips: AtomicU64,
     width_errors: AtomicU64,
     summary_flips: AtomicU64,
+    map_corruptions: AtomicU64,
     /// Keys that already fired: a retried task draws the same key, finds
     /// it spent, and succeeds — faults are transient by construction.
     fired: Mutex<HashSet<u64>>,
@@ -119,10 +125,12 @@ impl ChaosState {
             section: AtomicU64::new(0),
             prepare_seq: AtomicU64::new(0),
             mask_seq: AtomicU64::new(0),
+            abstraction_seq: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             bit_flips: AtomicU64::new(0),
             width_errors: AtomicU64::new(0),
             summary_flips: AtomicU64::new(0),
+            map_corruptions: AtomicU64::new(0),
             fired: Mutex::new(HashSet::new()),
         })
     }
@@ -146,6 +154,7 @@ impl ChaosState {
             bit_flips: self.bit_flips.load(Ordering::Relaxed),
             width_errors: self.width_errors.load(Ordering::Relaxed),
             summary_flips: self.summary_flips.load(Ordering::Relaxed),
+            map_corruptions: self.map_corruptions.load(Ordering::Relaxed),
         }
     }
 
@@ -246,6 +255,27 @@ impl ChaosState {
             self.summary_flips.fetch_add(1, Ordering::Relaxed);
             let d = splitmix64(self.config.seed ^ key);
             mask.summary_mut().flip_bit((d % nb as u64) as usize);
+            return true;
+        }
+        false
+    }
+
+    /// Corrupts one entry of a hierarchical run's abstraction map (once
+    /// per armed key). The map's structural invariant is a *derived*
+    /// property — [`incdx_netlist::AbstractionMap::validate`] detects
+    /// exactly this corruption, and the hierarchical engine rebuilds the
+    /// abstraction from the base netlist, recording an
+    /// `AbstractionRepair` degradation. Returns `true` if an entry was
+    /// corrupted.
+    pub fn maybe_corrupt_abstraction(&self, map: &mut incdx_netlist::AbstractionMap) -> bool {
+        let seq = self.abstraction_seq.fetch_add(1, Ordering::Relaxed);
+        if map.concrete_len() == 0 {
+            return false;
+        }
+        let key = 0xAB57_0000_0000_0000 ^ seq;
+        if self.draw(key) < self.config.rate && self.arm(key) {
+            self.map_corruptions.fetch_add(1, Ordering::Relaxed);
+            map.corrupt_for_chaos();
             return true;
         }
         false
@@ -474,6 +504,25 @@ mod tests {
         });
         assert!(!zero.maybe_corrupt_mask(&mut mask));
         assert!(mask.verify());
+    }
+
+    #[test]
+    fn abstraction_corruption_is_detectable_and_counted() {
+        let n = incdx_netlist::parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt1 = AND(a, b)\nt2 = AND(t1, c)\ny = NOT(t2)\n",
+        )
+        .unwrap();
+        let state = ChaosState::new(ChaosConfig { seed: 3, rate: 1.0 });
+        let mut abs = incdx_netlist::Abstraction::build(&n);
+        assert!(abs.map().validate());
+        assert!(state.maybe_corrupt_abstraction(abs.map_mut()));
+        assert!(!abs.map().validate(), "corruption must be detectable");
+        assert_eq!(state.summary().map_corruptions, 1);
+        assert!(state.summary().to_string().contains("1 map corruptions"));
+        let zero = ChaosState::new(ChaosConfig { seed: 3, rate: 0.0 });
+        let mut pristine = incdx_netlist::Abstraction::build(&n);
+        assert!(!zero.maybe_corrupt_abstraction(pristine.map_mut()));
+        assert!(pristine.map().validate());
     }
 
     #[test]

@@ -32,8 +32,10 @@ use crate::error::IncdxError;
 use crate::tree::RankedCorrection;
 
 /// Schema version written by [`Checkpoint::to_json`] and required by
-/// [`Checkpoint::from_json`].
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// [`Checkpoint::from_json`]. Version 2 added the hierarchical
+/// [`Checkpoint::phase`] field; version-1 documents are no longer
+/// accepted (they cannot say which phase to resume into).
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// One serialized decision-tree node: the tuple it represents, its
 /// surviving candidate list, the expansion cursor, and the failing
@@ -72,6 +74,12 @@ pub struct Checkpoint {
     pub base_hash: u64,
     /// Parameter-ladder level the search was on.
     pub level: usize,
+    /// Hierarchical phase the interrupted search was in: 0 = flat (the
+    /// only value non-hierarchical runs write), 1 = abstract diagnosis,
+    /// 2 = concrete diagnosis restricted to the implicated regions,
+    /// 3 = the final unrestricted concrete pass. Resume routes a
+    /// nonzero phase back into the hierarchical orchestrator.
+    pub phase: u32,
     /// Traversal iterations consumed at this level.
     pub iterations: usize,
     /// The round plan being drained when the run stopped (node
@@ -101,8 +109,8 @@ impl Checkpoint {
             self.base_gates, self.base_hash
         ));
         out.push_str(&format!(
-            ",\"search\":{{\"level\":{},\"iterations\":{},\"plan\":[",
-            self.level, self.iterations
+            ",\"search\":{{\"level\":{},\"phase\":{},\"iterations\":{},\"plan\":[",
+            self.level, self.phase, self.iterations
         ));
         for (i, p) in self.plan.iter().enumerate() {
             if i > 0 {
@@ -549,6 +557,8 @@ fn parse_checkpoint(text: &str) -> Result<Checkpoint, String> {
         base_gates: base.get("gates")?.as_usize()?,
         base_hash: base.get("hash")?.as_u64()?,
         level: search.get("level")?.as_usize()?,
+        phase: u32::try_from(search.get("phase")?.as_u64()?)
+            .map_err(|_| "phase out of range".to_string())?,
         iterations: search.get("iterations")?.as_usize()?,
         plan,
         plan_pos: search.get("plan_pos")?.as_usize()?,
@@ -556,6 +566,9 @@ fn parse_checkpoint(text: &str) -> Result<Checkpoint, String> {
         visited,
         solutions,
     };
+    if ckpt.phase > 3 {
+        return Err(format!("unknown hierarchical phase {}", ckpt.phase));
+    }
     if ckpt.plan_pos > ckpt.plan.len() {
         return Err("plan_pos past the end of the plan".to_string());
     }
@@ -685,6 +698,7 @@ mod tests {
             base_gates: 196,
             base_hash: 0x1234_5678_9abc_def0,
             level: 2,
+            phase: 2,
             iterations: 5,
             plan: vec![0, 1],
             plan_pos: 1,
@@ -721,6 +735,7 @@ mod tests {
         assert_eq!(back.base_gates, ckpt.base_gates);
         assert_eq!(back.base_hash, ckpt.base_hash);
         assert_eq!(back.level, ckpt.level);
+        assert_eq!(back.phase, ckpt.phase);
         assert_eq!(back.plan, ckpt.plan);
         assert_eq!(back.plan_pos, ckpt.plan_pos);
         assert_eq!(back.visited, ckpt.visited);
@@ -788,6 +803,10 @@ mod tests {
         // Cursor past the candidate list.
         let mut ckpt = sample();
         ckpt.nodes[0].next = 5;
+        assert!(Checkpoint::from_json(&ckpt.to_json()).is_err());
+        // Unknown hierarchical phase.
+        let mut ckpt = sample();
+        ckpt.phase = 4;
         assert!(Checkpoint::from_json(&ckpt.to_json()).is_err());
         // Floats are rejected (scores travel as bit patterns).
         assert!(Reader::new("1.5").value(0).is_err());

@@ -399,10 +399,14 @@ pub(crate) struct SpecOutcome {
     /// Degradations and parallel telemetry have already been drained to
     /// the dispatcher ledger when this is handed to the master.
     pub(crate) stats: RectifyStats,
-    /// The prepared (netlist, value matrix) for open, expandable nodes
-    /// — handed to the master evaluator's `retain` on commit so child
-    /// evaluations reuse it.
-    pub(crate) retained: Option<(Netlist, PackedMatrix)>,
+    /// Every keyed (prefix, netlist, value matrix) this task computed or
+    /// touched — the evaluated node itself when open and expandable,
+    /// plus its parent prefix. Handed to the master evaluator's `retain`
+    /// on commit so the master's `NodeMatrixCache` is as warm as if it
+    /// had evaluated the chain inline (without it, every hit leaves the
+    /// master's cache cold and `simulation.words` climbs under
+    /// `--dispatch`).
+    pub(crate) warmed: Vec<(Vec<Correction>, Netlist, PackedMatrix)>,
 }
 
 enum Slot {
@@ -906,6 +910,37 @@ fn execute(shared: &Shared, stack: &mut WorkerStack, corrections: &[Correction])
     let mut stats = RectifyStats::default();
     let t0 = Instant::now();
     let before = stack.evaluator.counters();
+    // Cache warming (incremental backends only): make sure the worker's
+    // private cache holds the parent prefix before preparing the node,
+    // and remember every pair this task touches so the master can merge
+    // them into its own cache on a hit. Without this each speculation is
+    // a cold replay of the whole tuple from the base matrix, and the
+    // replays — absorbed into the run's attribution on every hit — make
+    // `simulation.words` climb under `--dispatch`.
+    let mut warmed: Vec<(Vec<Correction>, Netlist, PackedMatrix)> = Vec::new();
+    if stack.evaluator.incremental() && corrections.len() > 1 {
+        let prefix = &corrections[..corrections.len() - 1];
+        let pair = stack.evaluator.cached(prefix).or_else(|| {
+            let prepared = {
+                let mut ctx = EvalContext {
+                    base: &shared.base,
+                    base_inputs: &shared.base_inputs,
+                    vectors: &shared.vectors,
+                    base_cones: &mut stack.base_cones,
+                };
+                stack.evaluator.prepare(&mut ctx, prefix)
+            };
+            prepared.map(|PreparedNode { netlist, vals, .. }| {
+                stack
+                    .evaluator
+                    .retain(prefix, netlist.clone(), vals.clone());
+                (netlist, vals)
+            })
+        });
+        if let Some((netlist, vals)) = pair {
+            warmed.push((prefix.to_vec(), netlist, vals));
+        }
+    }
     let prepared = {
         let mut ctx = EvalContext {
             base: &shared.base,
@@ -936,7 +971,7 @@ fn execute(shared: &Shared, stack: &mut WorkerStack, corrections: &[Correction])
         return SpecOutcome {
             eval: SpecEval::Dead,
             stats,
-            retained: None,
+            warmed,
         };
     };
     let response = Response::compare(&netlist, &vals, &shared.spec);
@@ -974,18 +1009,21 @@ fn execute(shared: &Shared, stack: &mut WorkerStack, corrections: &[Correction])
         }
     };
     stats.cone_cache_hits += cones.take_hits();
-    let retained = if matches!(eval, SpecEval::Open { .. })
-        && corrections.len() < shared.config.max_corrections
-    {
-        Some((netlist, vals))
-    } else {
-        None
-    };
+    if matches!(eval, SpecEval::Open { .. }) && corrections.len() < shared.config.max_corrections {
+        // Warm the worker's own cache too, so a chained child
+        // speculation starts from this matrix instead of replaying.
+        if stack.evaluator.incremental() {
+            stack
+                .evaluator
+                .retain(corrections, netlist.clone(), vals.clone());
+        }
+        warmed.push((corrections.to_vec(), netlist, vals));
+    }
     stats.evaluate_time += t_eval.elapsed();
     SpecOutcome {
         eval,
         stats,
-        retained,
+        warmed,
     }
 }
 

@@ -123,6 +123,15 @@ pub trait Evaluator: Debug + Send {
         corrections: &[Correction],
     ) -> Option<PreparedNode>;
 
+    /// Clones out the retained (netlist, matrix) pair for `corrections`
+    /// if this backend kept one, refreshing its recency. Backends that
+    /// keep nothing return `None`. Used by the dispatcher's cache
+    /// warming to probe a worker's private cache without triggering the
+    /// replay a [`Evaluator::prepare`] miss would cost.
+    fn cached(&mut self, _corrections: &[Correction]) -> Option<(Netlist, PackedMatrix)> {
+        None
+    }
+
     /// Offers an open node's (netlist, matrix) for child reuse. Returns
     /// the number of cache evictions this caused (0 for backends that
     /// keep nothing).
@@ -400,6 +409,10 @@ impl Evaluator for Incremental {
         })
     }
 
+    fn cached(&mut self, corrections: &[Correction]) -> Option<(Netlist, PackedMatrix)> {
+        self.cache.get_clone(corrections)
+    }
+
     fn retain(&mut self, corrections: &[Correction], netlist: Netlist, vals: PackedMatrix) -> u64 {
         self.cache.insert(corrections.to_vec(), netlist, vals)
     }
@@ -474,6 +487,10 @@ impl Evaluator for Parallel {
         corrections: &[Correction],
     ) -> Option<PreparedNode> {
         self.inner.prepare(ctx, corrections)
+    }
+
+    fn cached(&mut self, corrections: &[Correction]) -> Option<(Netlist, PackedMatrix)> {
+        self.inner.cached(corrections)
     }
 
     fn retain(&mut self, corrections: &[Correction], netlist: Netlist, vals: PackedMatrix) -> u64 {
@@ -561,6 +578,28 @@ mod tests {
         inc.release(&[]);
         assert!(prepare_with(&mut inc, &n, &pi, &tuple).is_some());
         assert_eq!(inc.counters().matrix_hits, 1, "released entry cannot hit");
+    }
+
+    #[test]
+    fn cached_probe_returns_retained_pairs_without_replay() {
+        let (n, pi) = setup();
+        let mut inc = Incremental::new(64 << 20);
+        assert!(inc.cached(&[]).is_none(), "nothing retained yet");
+        let root = prepare_with(&mut inc, &n, &pi, &[]).unwrap();
+        inc.retain(&[], root.netlist, root.vals.clone());
+        let words_before = inc.counters().words;
+        let (_, vals) = inc.cached(&[]).expect("retained pair is probeable");
+        assert_eq!(vals.row(0), root.vals.row(0), "probe clones the matrix");
+        assert_eq!(
+            inc.counters().words,
+            words_before,
+            "a probe simulates nothing"
+        );
+        // Backends that keep nothing answer None, so cache warming is a
+        // no-op for them.
+        assert!(FromScratch::new().cached(&[]).is_none());
+        let mut par = Parallel::new(Box::new(Incremental::new(64 << 20)), 2);
+        assert!(par.cached(&[]).is_none(), "decorator delegates");
     }
 
     #[test]

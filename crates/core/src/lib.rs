@@ -101,11 +101,13 @@ pub use parallel::{
     effective_jobs, run_parallel, run_parallel_with, ParallelOutcome, ParallelTelemetry,
 };
 pub use params::{default_ladder, ParamLevel};
-pub use path_trace::path_trace_counts;
+pub use path_trace::{path_trace_counts, path_trace_counts_batched};
 pub use pipeline::CandidatePipeline;
 pub use report::{escape_json, RectifyReport};
 pub use screen::{correction_output_row, correction_output_row_into, CorrectionScratch};
-pub use session::{Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution};
+pub use session::{
+    AbstractionStats, Rectifier, RectifyConfig, RectifyResult, RectifyStats, Solution,
+};
 pub use traversal::{BestFirst, DepthFirst, NaiveBfs, RoundRobinBfs, Traversal, TraversalKind};
 pub use tree::{Node, PushOutcome, RankedCorrection, Tree};
 pub use wire::wire_sources;

@@ -230,6 +230,11 @@ pub enum DegradationKind {
     /// A sparse failing-vector mask's block summary diverged from its
     /// words (a chaos summary flip) and was rebuilt from the words.
     SparseRepair,
+    /// A hierarchical run's [`AbstractionMap`](incdx_netlist::AbstractionMap)
+    /// failed its structural self-check (a chaos map corruption) and was
+    /// rebuilt from the base netlist — or the abstract session could not
+    /// be constructed and the run fell back to flat diagnosis.
+    AbstractionRepair,
 }
 
 impl DegradationKind {
@@ -241,6 +246,7 @@ impl DegradationKind {
             DegradationKind::EvaluatorFallback => "evaluator-fallback",
             DegradationKind::AuditRepair => "audit-repair",
             DegradationKind::SparseRepair => "sparse-repair",
+            DegradationKind::AbstractionRepair => "abstraction-repair",
         }
     }
 }

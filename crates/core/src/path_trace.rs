@@ -107,6 +107,124 @@ pub fn path_trace_counts(
     counts
 }
 
+/// The multi-observation batch form of [`path_trace_counts`]: one
+/// reverse-topological **bit-parallel** marking pass over the whole traced
+/// observation set, instead of one scalar DFS per failing vector.
+///
+/// Each gate carries a packed mark mask (one bit per traced failing
+/// vector). Primary-output seeds are the erroneous bits; at every gate the
+/// scalar marking rule is applied word-parallel: for an AND/NAND (OR/NOR)
+/// with controlling value `c`, a fanin is marked on the vectors where the
+/// gate is marked and either the fanin carries `c` or no fanin does;
+/// inverters, buffers and XOR-family gates propagate the gate's mask to
+/// every fanin. One reverse-topological pass reaches the fixpoint because
+/// marks only ever flow to topologically earlier gates, so each gate's
+/// mask is final when the pass reaches it.
+///
+/// Returns the per-line counts — **bit-identical** to
+/// [`path_trace_counts`] (property-tested below) — plus the number of
+/// failing observations actually batched (`min(vector_cap, failing)`).
+pub fn path_trace_counts_batched(
+    netlist: &Netlist,
+    vals: &PackedMatrix,
+    response: &Response,
+    spec: &Response,
+    vector_cap: usize,
+) -> (Vec<u32>, usize) {
+    let n = netlist.len();
+    let wpr = vals.words_per_row();
+    // Mask of the traced failing vectors: the first `vector_cap` failing
+    // vectors ascending, matching the scalar loop's `iter_ones().take()`.
+    let mut traced = vec![0u64; wpr];
+    let mut observations = 0usize;
+    for v in response.failing_vectors().iter_ones().take(vector_cap) {
+        traced[v / 64] |= 1u64 << (v % 64);
+        observations += 1;
+    }
+    let mut mark = vec![0u64; n * wpr];
+    // Seed every PO with its erroneous traced bits.
+    for (po_idx, &po) in netlist.outputs().iter().enumerate() {
+        let got = response.po_values().row(po_idx);
+        let want = spec.po_values().row(po_idx);
+        let row = &mut mark[po.index() * wpr..(po.index() + 1) * wpr];
+        for w in 0..wpr {
+            row[w] |= (got[w] ^ want[w]) & traced[w];
+        }
+    }
+    let mut scratch = vec![0u64; wpr];
+    for &g in netlist.topo_order().iter().rev() {
+        let gi = g.index() * wpr;
+        if mark[gi..gi + wpr].iter().all(|&w| w == 0) {
+            continue;
+        }
+        let gate = netlist.gate(g);
+        match gate.kind() {
+            GateKind::Not | GateKind::Buf | GateKind::Dff => {
+                let f = gate.fanins()[0].index() * wpr;
+                for w in 0..wpr {
+                    mark[f + w] |= mark[gi + w];
+                }
+            }
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                // `c` is Some for the whole and/or family; the scalar
+                // fallback (trace everything) is kept for parity.
+                let fanin_ctrl = |f: GateId, c: bool, w: usize| {
+                    let row = vals.row(f.index());
+                    if c {
+                        row[w]
+                    } else {
+                        !row[w]
+                    }
+                };
+                match gate.kind().controlling_value() {
+                    Some(c) => {
+                        // any_ctrl[w]: vectors where some fanin carries the
+                        // controlling value.
+                        scratch.iter_mut().for_each(|w| *w = 0);
+                        for &f in gate.fanins() {
+                            for (w, s) in scratch.iter_mut().enumerate() {
+                                *s |= fanin_ctrl(f, c, w);
+                            }
+                        }
+                        for &f in gate.fanins() {
+                            let fi = f.index() * wpr;
+                            for w in 0..wpr {
+                                mark[fi + w] |= mark[gi + w] & (fanin_ctrl(f, c, w) | !scratch[w]);
+                            }
+                        }
+                    }
+                    None => {
+                        for &f in gate.fanins() {
+                            let fi = f.index() * wpr;
+                            for w in 0..wpr {
+                                mark[fi + w] |= mark[gi + w];
+                            }
+                        }
+                    }
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                for &f in gate.fanins() {
+                    let fi = f.index() * wpr;
+                    for w in 0..wpr {
+                        mark[fi + w] |= mark[gi + w];
+                    }
+                }
+            }
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => {}
+        }
+    }
+    let counts = (0..n)
+        .map(|l| {
+            mark[l * wpr..(l + 1) * wpr]
+                .iter()
+                .map(|w| w.count_ones())
+                .sum()
+        })
+        .collect();
+    (counts, observations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +312,26 @@ mod tests {
         let counts = path_trace_counts(&corrupted, &vals, &resp, &spec, cap);
         assert!(counts.iter().all(|&c| c as usize <= cap));
         assert!(counts.iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn batched_counts_are_bit_identical_to_scalar_counts() {
+        // The multi-observation batch pass must be an exact re-expression
+        // of the per-vector DFS — same counts for every line, every cap.
+        for (circuit, seed) in [("c432a", 1u64), ("c880a", 2)] {
+            let golden = generate(circuit).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let inj = inject_design_errors(&golden, &InjectionConfig::default(), &mut rng).unwrap();
+            let (_pi, spec, resp, vals) = setup(&golden, &inj.corrupted, 256, seed + 7);
+            assert!(resp.num_failing() > 0);
+            for cap in [1usize, 3, 32, usize::MAX] {
+                let scalar = path_trace_counts(&inj.corrupted, &vals, &resp, &spec, cap);
+                let (batched, obs) =
+                    path_trace_counts_batched(&inj.corrupted, &vals, &resp, &spec, cap);
+                assert_eq!(scalar, batched, "{circuit} cap {cap}");
+                assert_eq!(obs, resp.failing_vectors().iter_ones().take(cap).count());
+            }
+        }
     }
 
     #[test]

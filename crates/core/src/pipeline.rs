@@ -29,7 +29,7 @@ use crate::chaos::ChaosState;
 use crate::limits::{CancelToken, DegradationEvent, DegradationKind};
 use crate::parallel::run_parallel_with;
 use crate::params::ParamLevel;
-use crate::path_trace::path_trace_counts;
+use crate::path_trace::{path_trace_counts, path_trace_counts_batched};
 use crate::screen::{correction_output_row_into, CorrectionScratch};
 use crate::session::{RectifyConfig, RectifyStats};
 use crate::tree::RankedCorrection;
@@ -108,14 +108,37 @@ impl<'a> CandidatePipeline<'a> {
     ) -> Vec<RankedCorrection> {
         // ---- Diagnosis (§3.1) ----
         let t1 = Instant::now();
-        let counts = path_trace_counts(
-            netlist,
-            vals,
-            response,
-            self.spec,
-            self.config.path_trace_vector_cap,
-        );
+        // Multi-observation batching shares the reverse-topological
+        // marking pass across the whole sampled observation set; the
+        // per-line counts are bit-identical to the per-vector walks.
+        let counts = if self.config.batch_obs {
+            let (counts, observations) = path_trace_counts_batched(
+                netlist,
+                vals,
+                response,
+                self.spec,
+                self.config.path_trace_vector_cap,
+            );
+            stats.path_trace_batches += 1;
+            stats.observations_batched += observations as u64;
+            counts
+        } else {
+            path_trace_counts(
+                netlist,
+                vals,
+                response,
+                self.spec,
+                self.config.path_trace_vector_cap,
+            )
+        };
         let mut marked: Vec<GateId> = netlist.ids().filter(|id| counts[id.index()] > 0).collect();
+        // Hierarchical phase 2 (or an explicit harness focus) restricts
+        // diagnosis to the implicated region: marks outside the sorted
+        // suspect set are discarded before ranking, so the tree never
+        // proposes corrections on unfocused lines.
+        if let Some(focus) = &self.config.focus {
+            marked.retain(|id| focus.binary_search(id).is_ok());
+        }
         marked.sort_by_key(|id| std::cmp::Reverse(counts[id.index()]));
         let fraction = self.config.path_trace_fraction.max(level.promote);
         let mut take = ((marked.len() as f64 * fraction).ceil() as usize)

@@ -153,9 +153,27 @@ impl RectifyReport {
             s.dense_fallbacks,
         ));
         out.push_str(&format!(
+            ",\"path_trace\":{{\"batches\":{},\"observations_batched\":{}}}",
+            s.path_trace_batches, s.observations_batched,
+        ));
+        out.push_str(&format!(
             ",\"cache\":{{\"cone_hits\":{},\"matrix_hits\":{},\"matrix_evictions\":{}}}",
             s.cone_cache_hits, s.matrix_cache_hits, s.matrix_cache_evictions,
         ));
+        match &s.abstraction {
+            Some(a) => out.push_str(&format!(
+                ",\"abstraction\":{{\"super_gates\":{},\"concrete_gates\":{},\"abstract_gates\":{},\"collapse_ratio\":{:.4},\"suspects_expanded\":{},\"refinement_rounds\":{},\"phase1_nodes\":{},\"phase2_nodes\":{}}}",
+                a.super_gates,
+                a.concrete_gates,
+                a.abstract_gates,
+                a.collapse_ratio,
+                a.suspects_expanded,
+                a.refinement_rounds,
+                a.phase1_nodes,
+                a.phase2_nodes,
+            )),
+            None => out.push_str(",\"abstraction\":null"),
+        }
         out.push_str(&format!(
             ",\"workers\":{{\"count\":{},\"busy\":{},\"wall\":{},\"utilization\":{:.4}}}",
             s.parallel.workers,
@@ -221,8 +239,8 @@ impl RectifyReport {
         out.push(']');
         match &s.chaos {
             Some(c) => out.push_str(&format!(
-                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{}}}",
-                c.panics, c.bit_flips, c.width_errors, c.summary_flips,
+                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{},\"map_corruptions\":{}}}",
+                c.panics, c.bit_flips, c.width_errors, c.summary_flips, c.map_corruptions,
             )),
             None => out.push_str(",\"chaos\":null"),
         }
@@ -297,6 +315,36 @@ mod tests {
         assert!(json.contains("\"degradations\":[]"));
         assert!(json.contains("\"chaos\":null"));
         assert!(json.contains("\"dispatch\":null"));
+        assert!(json.contains("\"abstraction\":null"));
+        assert!(json.contains("\"path_trace\":{\"batches\":0,\"observations_batched\":0}"));
+    }
+
+    #[test]
+    fn abstraction_telemetry_serializes() {
+        let stats = RectifyStats {
+            abstraction: Some(crate::AbstractionStats {
+                super_gates: 12,
+                concrete_gates: 100,
+                abstract_gates: 40,
+                collapse_ratio: 0.4,
+                suspects_expanded: 9,
+                refinement_rounds: 2,
+                phase1_nodes: 5,
+                phase2_nodes: 17,
+            }),
+            path_trace_batches: 3,
+            observations_batched: 96,
+            ..RectifyStats::default()
+        };
+        let report = RectifyReport::from_parts("hier", 1, 1, 1, Verdict::default(), 0, stats);
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"abstraction\":{\"super_gates\":12,\"concrete_gates\":100,\
+             \"abstract_gates\":40,\"collapse_ratio\":0.4000,\"suspects_expanded\":9,\
+             \"refinement_rounds\":2,\"phase1_nodes\":5,\"phase2_nodes\":17}"
+        ));
+        assert!(json.contains("\"path_trace\":{\"batches\":3,\"observations_batched\":96}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -346,6 +394,7 @@ mod tests {
             bit_flips: 1,
             width_errors: 0,
             summary_flips: 3,
+            map_corruptions: 1,
         });
         let report = RectifyReport::from_parts(
             "chaos",
@@ -366,7 +415,7 @@ mod tests {
             "\"degradations\":[{\"kind\":\"worker-panic\",\"count\":2,\"detail\":\"2 worker panic(s) \\\"quoted\\\"\"}]"
         ));
         assert!(json.contains(
-            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3}"
+            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3,\"map_corruptions\":1}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

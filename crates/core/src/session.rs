@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use incdx_fault::{Correction, CorrectionModel, StuckAt};
-use incdx_netlist::{ConeCache, GateId, Netlist, NetlistError};
+use incdx_netlist::{Abstraction, ConeCache, GateId, Netlist, NetlistError};
 use incdx_sim::{PackedMatrix, Response};
 
 use crate::chaos::{Chaos, ChaosConfig, ChaosState, ChaosSummary};
@@ -133,6 +133,32 @@ pub struct RectifyConfig {
     /// bit-identical to a chaos-off run, and every recovery is recorded
     /// in [`RectifyStats::degradations`].
     pub chaos: Option<ChaosConfig>,
+    /// Two-level hierarchical diagnosis: phase 1 diagnoses a fanout-free
+    /// -cone abstraction of the netlist (super-gates built by
+    /// [`Abstraction::build`](incdx_netlist::Abstraction::build)) through
+    /// the unchanged engine, phase 2 expands the implicated super-gates
+    /// and resumes diagnosis on the concrete netlist restricted to those
+    /// regions ([`RectifyConfig::focus`]), with replay validation of
+    /// every mapped-back solution. Exhaustive runs always finish with an
+    /// unrestricted concrete pass, so the reported solution set equals
+    /// the flat run's; DEDC runs return early on a replay-validated
+    /// restricted solution. Degenerate abstractions (no cone collapses)
+    /// fall back to flat diagnosis. Telemetry lands in
+    /// [`RectifyStats::abstraction`].
+    pub hierarchical: bool,
+    /// Multi-observation batching: path-trace marks every sampled
+    /// failing vector in one bit-parallel reverse-topological pass
+    /// (`path_trace_counts_batched`) instead of one depth-first walk per
+    /// observation. Bit-identical marked-line counts; only
+    /// [`RectifyStats::path_trace_batches`] /
+    /// [`RectifyStats::observations_batched`] and wall time differ.
+    pub batch_obs: bool,
+    /// Restricts diagnosis to a sorted set of suspect lines: path-trace
+    /// marks outside the set are discarded before ranking, so the tree
+    /// only ever proposes corrections on focused lines. `None` = no
+    /// restriction. Set internally by hierarchical phase 2; exposed for
+    /// harnesses that already know the implicated region.
+    pub focus: Option<Vec<GateId>>,
 }
 
 impl RectifyConfig {
@@ -162,6 +188,9 @@ impl RectifyConfig {
             audit: false,
             limits: RectifyLimits::default(),
             chaos: None,
+            hierarchical: false,
+            batch_obs: false,
+            focus: None,
         }
     }
 
@@ -195,6 +224,9 @@ impl RectifyConfig {
             audit: false,
             limits: RectifyLimits::default(),
             chaos: None,
+            hierarchical: false,
+            batch_obs: false,
+            focus: None,
         }
     }
 }
@@ -340,6 +372,42 @@ pub struct RectifyStats {
     /// across ladder levels; `None` otherwise. Purely observational:
     /// the speculative counters here never feed back into the search.
     pub dispatch: Option<DispatchTelemetry>,
+    /// Hierarchical-diagnosis telemetry when the run was armed with
+    /// [`RectifyConfig::hierarchical`] and the abstraction was not
+    /// degenerate; `None` otherwise (including flat fallbacks).
+    pub abstraction: Option<AbstractionStats>,
+    /// Bit-parallel batched path-trace passes run
+    /// ([`RectifyConfig::batch_obs`]; 0 when batching is off).
+    pub path_trace_batches: u64,
+    /// Failing-vector observations covered by those batched passes —
+    /// each would have been its own depth-first walk without batching.
+    pub observations_batched: u64,
+}
+
+/// Telemetry of one hierarchical run's abstraction and refinement
+/// ([`RectifyConfig::hierarchical`]); lands in
+/// [`RectifyStats::abstraction`] and the JSON report's `"abstraction"`
+/// object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AbstractionStats {
+    /// Fanout-free cones collapsed into super-gates.
+    pub super_gates: usize,
+    /// Gates in the concrete netlist.
+    pub concrete_gates: usize,
+    /// Gates in the abstract netlist phase 1 diagnosed.
+    pub abstract_gates: usize,
+    /// `abstract_gates / concrete_gates` (1.0 = nothing collapsed).
+    pub collapse_ratio: f64,
+    /// Concrete gates the implicated super-gates expanded to — the size
+    /// of phase 2's focus set.
+    pub suspects_expanded: usize,
+    /// Concrete diagnosis rounds after phase 1: 1 for a restricted pass
+    /// that sufficed, 2 when the unrestricted pass also ran.
+    pub refinement_rounds: usize,
+    /// Decision-tree nodes evaluated by the abstract phase.
+    pub phase1_nodes: usize,
+    /// Decision-tree nodes evaluated by the concrete phases.
+    pub phase2_nodes: usize,
 }
 
 /// The outcome of [`Rectifier::run`].
@@ -584,6 +652,15 @@ impl Rectifier {
     /// corrections applied; call [`Rectifier::reset`] first for a
     /// cold-state run with pristine work counters.
     pub fn run(&mut self) -> RectifyResult {
+        if self.config.hierarchical {
+            return match self.run_hierarchical(None) {
+                Ok(result) => result,
+                // Unreachable without a resume checkpoint (resume
+                // validation is the orchestrator's only error source),
+                // but the engine never panics: fall back to flat.
+                Err(_) => self.run_inner(None),
+            };
+        }
         self.run_inner(None)
     }
 
@@ -614,6 +691,18 @@ impl Rectifier {
                 "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
                 checkpoint.version
             )));
+        }
+        // A nonzero phase means the checkpoint was captured inside the
+        // hierarchical orchestrator: route it back there (phase 0 is a
+        // plain flat search and resumes below, in either configuration).
+        if checkpoint.phase != 0 {
+            if !self.config.hierarchical {
+                return Err(fail(format!(
+                    "checkpoint was captured in hierarchical phase {} but this session is flat",
+                    checkpoint.phase
+                )));
+            }
+            return self.run_hierarchical(Some(checkpoint));
         }
         if checkpoint.base_gates != self.base.len()
             || checkpoint.base_hash != netlist_fingerprint(&self.base)
@@ -755,6 +844,353 @@ impl Rectifier {
             checkpoint,
             stats: self.stats.clone(),
         }
+    }
+
+    /// The two-level hierarchical orchestration
+    /// ([`RectifyConfig::hierarchical`]).
+    ///
+    /// Phase 1 diagnoses the fanout-free-cone abstraction of the base
+    /// netlist through an unchanged child session (the abstract netlist
+    /// keeps the concrete input order and maps outputs 1:1, so the same
+    /// vectors and reference response apply). The implicated
+    /// super-gates then expand to their concrete members and phase 2
+    /// resumes diagnosis on the concrete netlist restricted to that
+    /// region ([`RectifyConfig::focus`]). A first-solution run returns
+    /// as soon as a restricted solution replay-validates against the
+    /// reference; exhaustive runs always finish with an unrestricted
+    /// concrete pass and merge, so the reported solution set equals the
+    /// flat run's by construction.
+    ///
+    /// Degenerate abstractions (nothing collapsed) and abstract-session
+    /// construction failures fall back to flat diagnosis (the latter
+    /// recorded as a [`DegradationKind::AbstractionRepair`]); a chaos
+    /// -corrupted [`AbstractionMap`](incdx_netlist::AbstractionMap) is
+    /// caught by its structural self-check and rebuilt, likewise
+    /// recorded.
+    ///
+    /// `resume` carries a phase-stamped checkpoint: phases before the
+    /// stamped one re-run deterministically (they reproduce the state
+    /// the interrupted run had derived), the stamped phase resumes
+    /// mid-plan, and later phases run normally — so the overall
+    /// solution set matches an uninterrupted run's.
+    fn run_hierarchical(
+        &mut self,
+        resume: Option<&Checkpoint>,
+    ) -> Result<RectifyResult, IncdxError> {
+        let started = Instant::now();
+        self.stats = RectifyStats::default();
+        self.stats.traversal = self.traversal.name();
+        self.stats.evaluator = self.evaluator.name();
+        let resume_phase = resume.map_or(0, |c| c.phase);
+
+        let mut abs = Abstraction::build(&self.base);
+        if let Some(chaos) = &self.chaos {
+            chaos.maybe_corrupt_abstraction(abs.map_mut());
+        }
+        if !abs.map().validate() {
+            self.stats.degradations.push(DegradationEvent::new(
+                DegradationKind::AbstractionRepair,
+                1,
+                "abstraction map failed its structural self-check; rebuilt from the base netlist",
+            ));
+            abs = Abstraction::build(&self.base);
+        }
+        if abs.is_degenerate() {
+            // Nothing collapsed: the hierarchy has no leverage. Run flat
+            // (`stats.abstraction` stays `None`, like a flat run).
+            let pending = std::mem::take(&mut self.stats.degradations);
+            return Ok(self.flat_fallback(pending));
+        }
+
+        let mut astats = AbstractionStats {
+            super_gates: abs.map().super_gates(),
+            concrete_gates: abs.map().concrete_len(),
+            abstract_gates: abs.map().abstract_len(),
+            collapse_ratio: abs.map().collapse_ratio(),
+            suspects_expanded: 0,
+            refinement_rounds: 0,
+            phase1_nodes: 0,
+            phase2_nodes: 0,
+        };
+
+        // Every child phase runs the unchanged generic engine: the same
+        // configuration, minus the orchestration-only fields.
+        let mut phase_cfg = self.config.clone();
+        phase_cfg.hierarchical = false;
+        phase_cfg.chaos = None;
+        phase_cfg.focus = None;
+
+        // ---- Phase 1: diagnose the abstraction ----
+        let mut p1_cfg = phase_cfg.clone();
+        p1_cfg.limits = remaining_limits(&self.config.limits, &self.stats, started);
+        p1_cfg.time_limit = remaining_time(self.config.time_limit, started);
+        let r1 = match self.run_child(
+            abs.netlist().clone(),
+            p1_cfg,
+            if resume_phase == 1 { resume } else { None },
+        ) {
+            Ok(r) => r,
+            Err(ChildError::Resume(e)) => return Err(e),
+            Err(ChildError::Construct(e)) => {
+                let mut pending = std::mem::take(&mut self.stats.degradations);
+                pending.push(DegradationEvent::new(
+                    DegradationKind::AbstractionRepair,
+                    1,
+                    format!(
+                        "abstract session construction failed ({e}); fell back to flat diagnosis"
+                    ),
+                ));
+                return Ok(self.flat_fallback(pending));
+            }
+        };
+        astats.phase1_nodes = r1.stats.nodes;
+        absorb_child(&mut self.stats, &r1.stats);
+        if r1.verdict.is_early_stop() {
+            // Phase-1 solutions/partials live in abstract gate-id space;
+            // the checkpoint (pinning the abstract netlist) carries the
+            // state forward instead.
+            return Ok(self.finish_hierarchical(
+                Vec::new(),
+                Some(r1.verdict),
+                Vec::new(),
+                r1.checkpoint,
+                1,
+                astats,
+            ));
+        }
+
+        // ---- Expand the implicated super-gates into the focus set ----
+        let mut abstract_lines: Vec<GateId> = r1.solutions.iter().flat_map(|s| s.lines()).collect();
+        if abstract_lines.is_empty() {
+            abstract_lines = r1
+                .partials
+                .iter()
+                .flat_map(|p| p.corrections.iter().map(|c| c.line()))
+                .collect();
+        }
+        abstract_lines.sort();
+        abstract_lines.dedup();
+        let mut suspects: Vec<GateId> = abstract_lines
+            .iter()
+            .filter(|a| a.index() < abs.map().abstract_len())
+            .flat_map(|&a| abs.map().members(a).iter().copied())
+            .collect();
+        suspects.sort();
+        suspects.dedup();
+        astats.suspects_expanded = suspects.len();
+
+        // ---- Phase 2: concrete diagnosis restricted to the region ----
+        let mut r2_solutions: Vec<Solution> = Vec::new();
+        if !suspects.is_empty() {
+            astats.refinement_rounds += 1;
+            let mut p2_cfg = phase_cfg.clone();
+            p2_cfg.focus = Some(suspects.clone());
+            p2_cfg.limits = remaining_limits(&self.config.limits, &self.stats, started);
+            p2_cfg.time_limit = remaining_time(self.config.time_limit, started);
+            let r2 = match self.run_child(
+                self.base.clone(),
+                p2_cfg,
+                if resume_phase == 2 { resume } else { None },
+            ) {
+                Ok(r) => r,
+                Err(ChildError::Resume(e)) => return Err(e),
+                Err(ChildError::Construct(e)) => {
+                    let mut pending = std::mem::take(&mut self.stats.degradations);
+                    pending.push(DegradationEvent::new(
+                        DegradationKind::AbstractionRepair,
+                        1,
+                        format!(
+                            "restricted session construction failed ({e}); fell back to flat diagnosis"
+                        ),
+                    ));
+                    return Ok(self.flat_fallback(pending));
+                }
+            };
+            astats.phase2_nodes += r2.stats.nodes;
+            absorb_child(&mut self.stats, &r2.stats);
+            if r2.verdict.is_early_stop() {
+                return Ok(self.finish_hierarchical(
+                    r2.solutions,
+                    Some(r2.verdict),
+                    r2.partials,
+                    r2.checkpoint,
+                    2,
+                    astats,
+                ));
+            }
+            if self.config.exhaustive {
+                // Restricted solutions are a subset of the unrestricted
+                // pass's; keep them for the merge below.
+                r2_solutions = r2.solutions;
+            } else if !r2.solutions.is_empty()
+                && r2.solutions.iter().all(|s| self.replay_validates(s))
+            {
+                // First-solution mode: a replay-validated restricted
+                // solution is the answer — this early return is the
+                // hierarchical speedup.
+                return Ok(self.finish_hierarchical(
+                    r2.solutions,
+                    None,
+                    Vec::new(),
+                    None,
+                    0,
+                    astats,
+                ));
+            }
+            // First-solution fall-through: nothing found in the region
+            // (or a solution failed replay — discarded); widen.
+        }
+
+        // ---- Phase 3: the unrestricted concrete pass ----
+        astats.refinement_rounds += 1;
+        let mut p3_cfg = phase_cfg.clone();
+        p3_cfg.limits = remaining_limits(&self.config.limits, &self.stats, started);
+        p3_cfg.time_limit = remaining_time(self.config.time_limit, started);
+        let r3 = match self.run_child(
+            self.base.clone(),
+            p3_cfg,
+            if resume_phase == 3 { resume } else { None },
+        ) {
+            Ok(r) => r,
+            Err(ChildError::Resume(e)) => return Err(e),
+            Err(ChildError::Construct(e)) => {
+                let mut pending = std::mem::take(&mut self.stats.degradations);
+                pending.push(DegradationEvent::new(
+                    DegradationKind::AbstractionRepair,
+                    1,
+                    format!(
+                        "unrestricted session construction failed ({e}); fell back to flat diagnosis"
+                    ),
+                ));
+                return Ok(self.flat_fallback(pending));
+            }
+        };
+        astats.phase2_nodes += r3.stats.nodes;
+        absorb_child(&mut self.stats, &r3.stats);
+
+        // Merge (exhaustive: dedupe + re-minimalize, so the set equals
+        // the flat run's; first-solution: phase 3 found it or nothing).
+        let mut seen: HashSet<Vec<Correction>> = HashSet::new();
+        let mut merged = Vec::new();
+        for s in r2_solutions.into_iter().chain(r3.solutions) {
+            let mut key = s.corrections.clone();
+            key.sort();
+            if seen.insert(key) {
+                merged.push(s);
+            }
+        }
+        let solutions = if self.config.exhaustive {
+            minimal_solutions(merged)
+        } else {
+            merged
+        };
+        if self.config.audit {
+            self.audit_solutions(&solutions);
+        }
+        let partials = if solutions.is_empty() {
+            r3.partials
+        } else {
+            Vec::new()
+        };
+        let stop = if r3.verdict.is_early_stop() {
+            Some(r3.verdict)
+        } else {
+            None
+        };
+        let checkpoint = if stop.is_some() { r3.checkpoint } else { None };
+        Ok(self.finish_hierarchical(solutions, stop, partials, checkpoint, 3, astats))
+    }
+
+    /// Constructs and runs one hierarchical child phase on `netlist`,
+    /// sharing this session's vectors, reference response, cancellation
+    /// token and checkpoint metadata. `resume` is a phase-stamped
+    /// checkpoint to continue mid-plan; its phase is cleared before the
+    /// child sees it (each child runs a plain flat search).
+    fn run_child(
+        &self,
+        netlist: Netlist,
+        config: RectifyConfig,
+        resume: Option<&Checkpoint>,
+    ) -> Result<RectifyResult, ChildError> {
+        let mut child = Rectifier::new(netlist, self.vectors.clone(), self.spec.clone(), config)
+            .map_err(ChildError::Construct)?;
+        child.set_cancel_token(self.cancel.clone());
+        child.set_checkpoint_meta(self.checkpoint_label.clone(), self.checkpoint_seed);
+        match resume {
+            Some(ckpt) => {
+                let mut flat = ckpt.clone();
+                flat.phase = 0;
+                child.resume(&flat).map_err(ChildError::Resume)
+            }
+            None => Ok(child.run()),
+        }
+    }
+
+    /// Seals a hierarchical run: stamps the phase into any captured
+    /// checkpoint, publishes the abstraction telemetry and chaos tally,
+    /// and derives the verdict with the same precedence as the flat
+    /// loop (early stop > partial > degraded > exact).
+    fn finish_hierarchical(
+        &mut self,
+        solutions: Vec<Solution>,
+        stop: Option<Verdict>,
+        partials: Vec<PartialSolution>,
+        mut checkpoint: Option<Checkpoint>,
+        phase: u32,
+        astats: AbstractionStats,
+    ) -> RectifyResult {
+        if let Some(c) = &mut checkpoint {
+            c.phase = phase;
+        }
+        self.stats.abstraction = Some(astats);
+        self.stats.chaos = self.chaos.as_ref().map(|c| c.summary());
+        let verdict = match stop {
+            Some(v) => v,
+            None if solutions.is_empty() && self.stats.truncated => Verdict::Partial {
+                best_remaining_failures: partials.first().map_or(0, |p| p.remaining_failures),
+            },
+            None if !self.stats.degradations.is_empty() => Verdict::Degraded,
+            None => Verdict::Exact,
+        };
+        RectifyResult {
+            solutions,
+            verdict,
+            partials,
+            checkpoint,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Runs the plain flat search after a hierarchical fallback,
+    /// prepending `pending` degradations (the reason for the fallback)
+    /// to the run's ledger.
+    fn flat_fallback(&mut self, pending: Vec<DegradationEvent>) -> RectifyResult {
+        let mut result = self.run_inner(None);
+        if !pending.is_empty() {
+            let mut all = pending;
+            all.extend(std::mem::take(&mut result.stats.degradations));
+            result.stats.degradations = all.clone();
+            self.stats.degradations = all;
+            if matches!(result.verdict, Verdict::Exact) {
+                result.verdict = Verdict::Degraded;
+            }
+        }
+        result
+    }
+
+    /// Replays one solution from scratch against the reference: apply
+    /// the corrections to a fresh copy of the base netlist, simulate on
+    /// a private simulator, compare. The hierarchical orchestrator
+    /// gates first-solution returns on this — a restricted phase-2
+    /// solution must also rectify the full concrete netlist.
+    fn replay_validates(&self, s: &Solution) -> bool {
+        let mut netlist = self.base.clone();
+        if !s.corrections.iter().all(|c| c.apply(&mut netlist).is_ok()) {
+            return false;
+        }
+        let mut sim = incdx_sim::Simulator::new();
+        let vals = sim.run_for_inputs(&netlist, &self.base_inputs, &self.vectors);
+        Response::compare(&netlist, &vals, &self.spec).matches()
     }
 
     /// The audit layer's end-of-run gold check: re-apply every reported
@@ -1133,6 +1569,7 @@ impl Rectifier {
             base_gates: self.base.len(),
             base_hash: netlist_fingerprint(&self.base),
             level,
+            phase: 0,
             iterations,
             plan: plan.to_vec(),
             plan_pos,
@@ -1202,7 +1639,7 @@ impl Rectifier {
         // (the lazy path differs), and the root is never speculated.
         if expand && !corrections.is_empty() {
             if let Some(outcome) = disp.and_then(|d| d.take(corrections)) {
-                return self.commit_speculation(corrections, outcome);
+                return self.commit_speculation(outcome);
             }
         }
         self.stats.nodes += 1;
@@ -1312,15 +1749,17 @@ impl Rectifier {
     /// Commits a finished speculation as this node's evaluation: counts
     /// the node (master-side, so `stats.nodes` stays a deterministic
     /// function of the traversal), absorbs the worker's work
-    /// attribution, hands the prepared matrix to the master evaluator
-    /// for child reuse, and converts the result. Bit-identical to the
-    /// inline evaluation it replaces (see the purity contract in
-    /// `dispatch.rs`).
-    fn commit_speculation(&mut self, corrections: &[Correction], outcome: SpecOutcome) -> NodeEval {
+    /// attribution, merges every node matrix the worker computed into
+    /// the master evaluator's cache — the evaluated node *and* its
+    /// parent prefix, so the master's cache stays as warm as an inline
+    /// evaluation would have left it — and converts the result.
+    /// Bit-identical to the inline evaluation it replaces (see the
+    /// purity contract in `dispatch.rs`).
+    fn commit_speculation(&mut self, outcome: SpecOutcome) -> NodeEval {
         self.stats.nodes += 1;
         absorb_speculative(&mut self.stats, &outcome.stats);
-        if let Some((netlist, vals)) = outcome.retained {
-            self.stats.matrix_cache_evictions += self.evaluator.retain(corrections, netlist, vals);
+        for (key, netlist, vals) in outcome.warmed {
+            self.stats.matrix_cache_evictions += self.evaluator.retain(&key, netlist, vals);
         }
         match outcome.eval {
             SpecEval::Solved => NodeEval::Solved,
@@ -1333,6 +1772,65 @@ impl Rectifier {
                 failing,
             },
         }
+    }
+}
+
+/// Why one hierarchical child phase failed: construction errors trigger
+/// the flat fallback (recorded as a degradation); resume errors mean the
+/// caller's checkpoint is bad and propagate as [`IncdxError`].
+enum ChildError {
+    Construct(IncdxError),
+    Resume(IncdxError),
+}
+
+/// The limit budget left for the next hierarchical phase: the deadline
+/// shrinks by elapsed wall time and the node/word budgets by what the
+/// earlier phases consumed; the retained-bytes cap bounds per-session
+/// state, not cumulative work, and passes through unchanged.
+fn remaining_limits(
+    limits: &RectifyLimits,
+    stats: &RectifyStats,
+    started: Instant,
+) -> RectifyLimits {
+    RectifyLimits {
+        deadline: limits.deadline.map(|d| d.saturating_sub(started.elapsed())),
+        max_total_nodes: limits
+            .max_total_nodes
+            .map(|n| n.saturating_sub(stats.nodes as u64)),
+        max_words: limits
+            .max_words
+            .map(|w| w.saturating_sub(stats.words_simulated)),
+        max_retained_bytes: limits.max_retained_bytes,
+    }
+}
+
+/// Remaining legacy wall-clock budget for the next hierarchical phase.
+fn remaining_time(limit: Option<Duration>, started: Instant) -> Option<Duration> {
+    limit.map(|t| t.saturating_sub(started.elapsed()))
+}
+
+/// Folds a hierarchical child phase's statistics into the
+/// orchestrator's: everything [`absorb_speculative`] covers, plus the
+/// master-side counters a full child run owns (`nodes`, `rounds`,
+/// skipped expansions, worker telemetry, degradations, truncation,
+/// ladder depth, dispatch telemetry). The run-level identity fields
+/// (backend names, chaos tally, abstraction telemetry) stay the
+/// orchestrator's own.
+fn absorb_child(stats: &mut RectifyStats, child: &RectifyStats) {
+    absorb_speculative(stats, child);
+    stats.nodes += child.nodes;
+    stats.expansions_skipped += child.expansions_skipped;
+    stats.rounds += child.rounds;
+    stats.parallel.merge(&child.parallel);
+    stats
+        .degradations
+        .extend(child.degradations.iter().cloned());
+    stats.truncated |= child.truncated;
+    stats.deepest_ladder_level = stats.deepest_ladder_level.max(child.deepest_ladder_level);
+    match (&mut stats.dispatch, &child.dispatch) {
+        (Some(mine), Some(theirs)) => mine.merge(theirs),
+        (None, Some(theirs)) => stats.dispatch = Some(theirs.clone()),
+        _ => {}
     }
 }
 
@@ -1379,6 +1877,8 @@ fn absorb_speculative(stats: &mut RectifyStats, spec: &RectifyStats) {
     stats.wire_sources_truncated += spec.wire_sources_truncated;
     stats.candidates_truncated += spec.candidates_truncated;
     stats.lines_truncated += spec.lines_truncated;
+    stats.path_trace_batches += spec.path_trace_batches;
+    stats.observations_batched += spec.observations_batched;
 }
 
 /// Recovered worker panics tolerated before screening latches to serial
@@ -1848,5 +2348,205 @@ mod tests {
         // matrices are pure functions of base + corrections).
         let third = engine.run();
         assert_eq!(first.solutions, third.solutions);
+    }
+
+    /// Two independent chains: the OR chain collapses into a super-gate
+    /// (so the abstraction is non-degenerate), the AND chain carries the
+    /// injected error.
+    fn two_chain_pair() -> (Netlist, Netlist) {
+        let good = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+             t1 = AND(a, b)\ny = AND(t1, c)\nu1 = OR(c, d)\nz = OR(u1, a)\n",
+        )
+        .unwrap();
+        let bad = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+             t1 = NAND(a, b)\ny = AND(t1, c)\nu1 = OR(c, d)\nz = OR(u1, a)\n",
+        )
+        .unwrap();
+        (good, bad)
+    }
+
+    #[test]
+    fn hierarchical_dedc_fixes_and_reports_abstraction() {
+        let (good, bad) = two_chain_pair();
+        let (pi, spec) = spec_and_vectors(&good, 128, 11);
+        let mut config = RectifyConfig::dedc(1);
+        config.hierarchical = true;
+        let r = Rectifier::new(bad.clone(), pi.clone(), spec.clone(), config)
+            .unwrap()
+            .run();
+        assert!(!r.solutions.is_empty(), "hierarchical run must find a fix");
+        let mut fixed = bad.clone();
+        for c in &r.solutions[0].corrections {
+            c.apply(&mut fixed).unwrap();
+        }
+        let mut sim = Simulator::new();
+        let vals = sim.run_for_inputs(&fixed, bad.inputs(), &pi);
+        assert!(Response::compare(&fixed, &vals, &spec).matches());
+        let a = r.stats.abstraction.expect("abstraction telemetry");
+        assert!(a.super_gates >= 1, "the OR chain must collapse");
+        assert!(a.abstract_gates < a.concrete_gates);
+        assert!(a.collapse_ratio < 1.0);
+        assert!(a.refinement_rounds >= 1);
+        assert!(a.phase1_nodes >= 1);
+    }
+
+    #[test]
+    fn hierarchical_exhaustive_matches_flat_solution_set() {
+        let (good, bad) = two_chain_pair();
+        let mut device = bad.clone();
+        StuckAt::new(bad.find_by_name("t1").unwrap(), true)
+            .apply(&mut device)
+            .unwrap();
+        let (pi, _) = spec_and_vectors(&good, 64, 12);
+        let mut sim = Simulator::new();
+        let resp = Response::capture(&device, &sim.run_for_inputs(&device, bad.inputs(), &pi));
+        let flat = Rectifier::new(
+            bad.clone(),
+            pi.clone(),
+            resp.clone(),
+            RectifyConfig::stuck_at_exhaustive(1),
+        )
+        .unwrap()
+        .run();
+        let mut hier_cfg = RectifyConfig::stuck_at_exhaustive(1);
+        hier_cfg.hierarchical = true;
+        let hier = Rectifier::new(bad.clone(), pi, resp, hier_cfg)
+            .unwrap()
+            .run();
+        let canon = |r: &RectifyResult| {
+            let mut v: Vec<Vec<Correction>> = r
+                .solutions
+                .iter()
+                .map(|s| {
+                    let mut c = s.corrections.clone();
+                    c.sort();
+                    c
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(canon(&flat), canon(&hier));
+    }
+
+    #[test]
+    fn hierarchical_already_correct_returns_empty_tuple() {
+        let (good, _) = two_chain_pair();
+        let (pi, spec) = spec_and_vectors(&good, 64, 13);
+        let mut config = RectifyConfig::dedc(1);
+        config.hierarchical = true;
+        let r = Rectifier::new(good, pi, spec, config).unwrap().run();
+        assert_eq!(r.solutions.len(), 1);
+        assert!(r.solutions[0].corrections.is_empty());
+    }
+
+    #[test]
+    fn degenerate_abstraction_falls_back_to_flat() {
+        // A single multi-fanout-free gate pair where nothing collapses:
+        // every internal gate is a stem (multi-fanout or PO).
+        let good = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nx = AND(a, b)\ny = OR(x, a)\nz = NOR(x, b)\n",
+        )
+        .unwrap();
+        let bad = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\nx = NAND(a, b)\ny = OR(x, a)\nz = NOR(x, b)\n",
+        )
+        .unwrap();
+        let (pi, spec) = spec_and_vectors(&good, 64, 14);
+        let mut config = RectifyConfig::dedc(1);
+        config.hierarchical = true;
+        let r = Rectifier::new(bad, pi, spec, config).unwrap().run();
+        assert!(!r.solutions.is_empty());
+        assert!(
+            r.stats.abstraction.is_none(),
+            "degenerate abstraction reports no telemetry (flat fallback)"
+        );
+    }
+
+    #[test]
+    fn batched_observations_match_unbatched_solutions() {
+        let (good, bad) = two_chain_pair();
+        let (pi, spec) = spec_and_vectors(&good, 128, 15);
+        let plain = Rectifier::new(
+            bad.clone(),
+            pi.clone(),
+            spec.clone(),
+            RectifyConfig::dedc(1),
+        )
+        .unwrap()
+        .run();
+        let mut batched_cfg = RectifyConfig::dedc(1);
+        batched_cfg.batch_obs = true;
+        let batched = Rectifier::new(bad, pi, spec, batched_cfg).unwrap().run();
+        assert_eq!(plain.solutions, batched.solutions);
+        assert_eq!(plain.stats.nodes, batched.stats.nodes);
+        assert_eq!(plain.stats.path_trace_batches, 0);
+        assert!(batched.stats.path_trace_batches > 0);
+        assert!(batched.stats.observations_batched > 0);
+    }
+
+    #[test]
+    fn dispatched_cache_merge_keeps_solution_fingerprints() {
+        // The worker-to-master cache merge (commit_speculation) must not
+        // perturb results: a dispatched multi-correction search carries
+        // the exact solution fingerprints of the serial engine.
+        let (good, bad) = two_chain_pair();
+        let mut device = bad.clone();
+        StuckAt::new(bad.find_by_name("t1").unwrap(), true)
+            .apply(&mut device)
+            .unwrap();
+        let (pi, _) = spec_and_vectors(&good, 64, 17);
+        let mut sim = Simulator::new();
+        let resp = Response::capture(&device, &sim.run_for_inputs(&device, bad.inputs(), &pi));
+        let run = |dispatch: bool, jobs: usize| {
+            let mut config = RectifyConfig::stuck_at_exhaustive(2);
+            config.dispatch = dispatch;
+            config.jobs = jobs;
+            Rectifier::new(bad.clone(), pi.clone(), resp.clone(), config)
+                .unwrap()
+                .run()
+        };
+        let serial = run(false, 1);
+        let dispatched = run(true, 3);
+        let fingerprint = |r: &RectifyResult| {
+            let mut v: Vec<Vec<Correction>> = r
+                .solutions
+                .iter()
+                .map(|s| {
+                    let mut c = s.corrections.clone();
+                    c.sort();
+                    c
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(fingerprint(&serial), fingerprint(&dispatched));
+        assert_eq!(serial.stats.nodes, dispatched.stats.nodes);
+        assert!(dispatched.stats.dispatch.is_some());
+    }
+
+    #[test]
+    fn focus_restricts_solutions_to_the_suspect_set() {
+        let (good, bad) = two_chain_pair();
+        let (pi, spec) = spec_and_vectors(&good, 128, 16);
+        let t1 = bad.find_by_name("t1").unwrap();
+        let y = bad.find_by_name("y").unwrap();
+        let mut focus = vec![t1, y];
+        focus.sort();
+        let mut config = RectifyConfig::dedc(1);
+        config.focus = Some(focus.clone());
+        let r = Rectifier::new(bad, pi, spec, config).unwrap().run();
+        assert!(!r.solutions.is_empty());
+        for s in &r.solutions {
+            for line in s.lines() {
+                assert!(
+                    focus.binary_search(&line).is_ok(),
+                    "solution line {line:?} outside the focus set"
+                );
+            }
+        }
     }
 }

@@ -524,6 +524,74 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Hierarchical mode reports exactly the flat solution set in
+    /// exhaustive mode — across every traversal strategy, with and
+    /// without multi-observation batching. The ISSUE-8 contract: the
+    /// abstraction changes node counts, never answers.
+    #[test]
+    fn hierarchical_search_matches_flat_across_traversals(
+        seed in 0u64..24,
+        pick in 0usize..1000,
+        v in prop::bool::ANY,
+    ) {
+        let golden = dag(seed);
+        let line = GateId::from_index(pick % golden.len());
+        let fault = StuckAt::new(line, v);
+        let mut device_nl = golden.clone();
+        if fault.apply(&mut device_nl).is_err() {
+            return Ok(());
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA857);
+        let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+        let mut sim = Simulator::new();
+        let device = Response::capture(&device_nl, &sim.run_for_inputs(&device_nl, golden.inputs(), &pi));
+        {
+            let vals = sim.run(&golden, &pi);
+            if Response::compare(&golden, &vals, &device).matches() {
+                return Ok(()); // fault not excited
+            }
+        }
+        let fingerprint = |r: &incdx_core::RectifyResult| {
+            let mut v: Vec<Vec<incdx_fault::Correction>> = r
+                .solutions
+                .iter()
+                .map(|s| {
+                    let mut c = s.corrections.clone();
+                    c.sort();
+                    c
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        for t in TraversalKind::ALL {
+            let run = |hierarchical: bool, batch_obs: bool| {
+                let mut config = RectifyConfig::stuck_at_exhaustive(1);
+                config.traversal = t;
+                config.hierarchical = hierarchical;
+                config.batch_obs = batch_obs;
+                Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                    .expect("well-formed inputs")
+                    .run()
+            };
+            let flat = run(false, false);
+            let hier = run(true, false);
+            let hier_batched = run(true, true);
+            prop_assert_eq!(fingerprint(&flat), fingerprint(&hier), "traversal {}", t.as_str());
+            prop_assert_eq!(
+                fingerprint(&flat),
+                fingerprint(&hier_batched),
+                "batched traversal {}",
+                t.as_str()
+            );
+            prop_assert_eq!(flat.verdict, hier.verdict);
+        }
+    }
+}
+
 /// Stats counters accumulate across rounds and respect the screening
 /// invariant `screened == rejected_h2 + rejected_h3 + qualified` — a
 /// multi-error run so the decision tree goes through several rounds

@@ -520,3 +520,94 @@ proptest! {
         prop_assert_eq!(sparse_repairs, summary.summary_flips);
     }
 }
+
+/// Tentpole satellite — chaos abstraction-map corruption: a hierarchical
+/// run whose [`AbstractionMap`](incdx_netlist::AbstractionMap) is
+/// corrupted by the chaos layer detects it via the structural
+/// self-check, rebuilds from the base netlist, records an
+/// `abstraction-repair` degradation, and still reports the chaos-off
+/// run's exact solution set.
+#[test]
+fn chaos_corrupted_abstraction_map_recovers_as_degradation() {
+    let golden = dag(21, 200);
+    let (pi, device) = [33usize, 57, 90, 120, 150]
+        .iter()
+        .find_map(|&pick| stuck_at_workload(&golden, &[(pick, pick % 2 == 0)], 96, 21))
+        .expect("at least one candidate site is excited");
+    let mut config = RectifyConfig::stuck_at_exhaustive(1);
+    config.hierarchical = true;
+    let clean = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+        .expect("well-formed inputs")
+        .run();
+    assert!(!clean.solutions.is_empty(), "reference run finds the fault");
+    config.chaos = Some(ChaosConfig { seed: 7, rate: 1.0 });
+    let chaotic = Rectifier::new(golden, pi, device, config)
+        .expect("well-formed inputs")
+        .run();
+    assert_eq!(chaotic.solutions, clean.solutions, "recovery is lossless");
+    let repairs: u64 = chaotic
+        .stats
+        .degradations
+        .iter()
+        .filter(|d| d.kind == DegradationKind::AbstractionRepair)
+        .map(|d| d.count)
+        .sum();
+    assert!(
+        repairs >= 1,
+        "map corruption must surface as a structured degradation: {:?}",
+        chaotic.stats.degradations
+    );
+    let summary = chaotic.stats.chaos.expect("chaos tally recorded");
+    assert_eq!(
+        summary.map_corruptions, repairs,
+        "1:1 fault-to-repair accounting"
+    );
+    assert_eq!(chaotic.verdict, Verdict::Degraded);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Tentpole — hierarchical checkpoint/resume: a node-budget stop in
+    /// *any* hierarchical phase (abstract, restricted, or unrestricted,
+    /// depending on where the budget lands) captures a phase-stamped
+    /// checkpoint that — after a JSON round trip — resumes to the
+    /// uninterrupted hierarchical run's exact solution set.
+    #[test]
+    fn hierarchical_budget_stop_resumes_to_uninterrupted(
+        seed in 1u64..400,
+        pick in 0usize..400,
+        budget in 3u64..40,
+    ) {
+        let golden = dag(seed, 160);
+        if let Some((pi, device)) = stuck_at_workload(&golden, &[(pick, pick % 2 == 0)], 96, seed) {
+            let mut config = RectifyConfig::stuck_at_exhaustive(1);
+            config.hierarchical = true;
+            let uninterrupted =
+                Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+                    .expect("well-formed inputs")
+                    .run();
+            let mut limited = config.clone();
+            limited.limits = RectifyLimits {
+                max_total_nodes: Some(budget),
+                ..RectifyLimits::default()
+            };
+            let stopped = Rectifier::new(golden.clone(), pi.clone(), device.clone(), limited)
+                .expect("well-formed inputs")
+                .run();
+            if let Some(checkpoint) = stopped.checkpoint {
+                prop_assert!(
+                    checkpoint.phase >= 1,
+                    "hierarchical checkpoints are phase-stamped, got phase {}",
+                    checkpoint.phase
+                );
+                let restored = Checkpoint::from_json(&checkpoint.to_json()).expect("round trip");
+                let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                    .expect("well-formed inputs")
+                    .resume(&restored)
+                    .expect("checkpoint accepted");
+                prop_assert_eq!(&resumed.solutions, &uninterrupted.solutions);
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@
 //! inspect. Every module hosts one or more [`crate::Lint`] impls; the
 //! full set is assembled by [`crate::registry`].
 
+pub mod abstraction;
 pub mod names;
 pub mod reach;
 pub mod scan_chain;

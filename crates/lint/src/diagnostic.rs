@@ -71,12 +71,15 @@ pub enum LintCode {
     /// `NL009` — full-scan consistency: a flip-flop with a constant load
     /// cone or with unobservable state.
     ScanChain,
+    /// `NL010` — fanout-free-cone abstraction with no leverage: two-level
+    /// hierarchical diagnosis would fall back to the flat engine.
+    DegenerateAbstraction,
 }
 
 /// Every registry-backed code, in code order. [`LintCode::ParseError`] is
 /// deliberately absent: it is emitted by tooling when parsing fails, not
 /// by an analysis over a parsed netlist.
-pub const ALL_CODES: [LintCode; 9] = [
+pub const ALL_CODES: [LintCode; 10] = [
     LintCode::CombinationalCycle,
     LintCode::UndrivenWire,
     LintCode::MultiDrivenWire,
@@ -86,6 +89,7 @@ pub const ALL_CODES: [LintCode; 9] = [
     LintCode::ArityViolation,
     LintCode::ConstantRegion,
     LintCode::ScanChain,
+    LintCode::DegenerateAbstraction,
 ];
 
 impl LintCode {
@@ -102,6 +106,7 @@ impl LintCode {
             LintCode::ArityViolation => "NL007",
             LintCode::ConstantRegion => "NL008",
             LintCode::ScanChain => "NL009",
+            LintCode::DegenerateAbstraction => "NL010",
         }
     }
 
@@ -118,6 +123,7 @@ impl LintCode {
             LintCode::ArityViolation => "arity-violation",
             LintCode::ConstantRegion => "constant-region",
             LintCode::ScanChain => "scan-chain",
+            LintCode::DegenerateAbstraction => "degenerate-abstraction",
         }
     }
 

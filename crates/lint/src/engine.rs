@@ -35,6 +35,7 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(checks::structure::ArityViolation),
         Box::new(checks::xregion::ConstantRegion),
         Box::new(checks::scan_chain::ScanChain),
+        Box::new(checks::abstraction::DegenerateAbstraction),
     ]
 }
 

@@ -48,8 +48,11 @@ pub const UNWIND_DENY: &[&str] = &["catch_unwind("];
 pub const UNWIND_SANCTIONED: &[&str] =
     &["crates/core/src/parallel.rs", "crates/core/src/dispatch.rs"];
 
-/// Repo-relative source roots audited under the strict policy.
-pub const STRICT_ROOTS: &[&str] = &["crates/core/src"];
+/// Repo-relative source roots audited under the strict policy: the
+/// engine itself, and the optimizer pre-pass that feeds it (a panic in
+/// a function-preserving rewrite must degrade to a no-op, not take a
+/// diagnosis run down).
+pub const STRICT_ROOTS: &[&str] = &["crates/core/src", "crates/opt/src"];
 
 /// Repo-relative source roots audited under the base policy. `bin/` and
 /// example code live under the same roots and are held to the same bar.
@@ -58,7 +61,6 @@ pub const BASE_ROOTS: &[&str] = &[
     "crates/sim/src",
     "crates/fault/src",
     "crates/atpg/src",
-    "crates/opt/src",
     "crates/gen/src",
     "crates/bench/src",
     "crates/lint/src",

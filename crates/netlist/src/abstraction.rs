@@ -1,0 +1,818 @@
+//! Cone abstraction: collapse maximal fanout-free regions into single
+//! super-gates (Siddiqi & Huang's "sequential diagnosis by abstraction"
+//! applied to the combinational rectification setting).
+//!
+//! [`Abstraction::build`] partitions the netlist into maximal fanout-free
+//! regions — a gate with exactly one reader joins its reader's region; a
+//! primary input/output, a multi-fanout stem, or a state element roots its
+//! own region — and replaces every region whose function matches a single
+//! wide gate over its leaves with that one gate. The result is an abstract
+//! [`Netlist`] (a plain netlist: the whole diagnosis stack consumes it
+//! through the same generic entry points as a concrete one) plus a
+//! bidirectional [`AbstractionMap`] tying every abstract gate to its
+//! concrete members.
+//!
+//! The **equivalence contract** (property-tested in this module and relied
+//! on by the hierarchical engine in `incdx-core`): the abstract netlist's
+//! inputs appear in the same order as the concrete inputs, its outputs map
+//! 1:1 onto the concrete outputs, and for every abstract gate `a`,
+//! simulating the abstract netlist on any vector set produces exactly the
+//! values the concrete netlist produces on the stem
+//! [`AbstractionMap::concrete_of`]`(a)`. Abstraction changes the *node
+//! count* a tree search must visit, never the observable behaviour.
+
+use crate::bitset::DenseBitSet;
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Regions with more than this many leaves are never truth-tabled (the
+/// table has `2^leaves` rows); they are copied gate-for-gate instead.
+pub const MAX_REGION_LEAVES: usize = 12;
+
+/// The single-gate kinds a region function is matched against, most
+/// specific first (so a single-leaf identity matches `Buf`, not a 1-input
+/// `And`). `Buf`/`Not` only apply to single-leaf regions and `Xor`/`Xnor`
+/// need at least two leaves; [`match_region`] respects the arities.
+const MATCH_KINDS: [GateKind; 10] = [
+    GateKind::Buf,
+    GateKind::Not,
+    GateKind::Const0,
+    GateKind::Const1,
+    GateKind::And,
+    GateKind::Nand,
+    GateKind::Or,
+    GateKind::Nor,
+    GateKind::Xor,
+    GateKind::Xnor,
+];
+
+/// Bidirectional map between a concrete netlist and its abstraction.
+///
+/// Every concrete gate belongs to exactly one abstract gate (its region's
+/// representative); every abstract gate owns a non-empty member list whose
+/// first-by-id element set partitions the concrete gate ids. A *super-gate*
+/// is an abstract gate with more than one member — a collapsed region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractionMap {
+    /// Concrete gate id → abstract gate id (region representative).
+    abstract_of: Vec<GateId>,
+    /// Abstract gate id → concrete region stem.
+    concrete_of: Vec<GateId>,
+    /// Abstract gate id → concrete region members, ascending by id.
+    members: Vec<Vec<GateId>>,
+    /// Number of abstract gates with more than one concrete member.
+    super_gates: usize,
+}
+
+impl AbstractionMap {
+    /// The abstract gate covering concrete gate `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for the concrete netlist.
+    #[inline]
+    pub fn abstract_of(&self, c: GateId) -> GateId {
+        self.abstract_of[c.index()]
+    }
+
+    /// The concrete stem an abstract gate represents (the region output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range for the abstract netlist.
+    #[inline]
+    pub fn concrete_of(&self, a: GateId) -> GateId {
+        self.concrete_of[a.index()]
+    }
+
+    /// The concrete members of abstract gate `a`, ascending by id. A
+    /// single-member list means the gate was copied 1:1; more members mean
+    /// a collapsed region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range for the abstract netlist.
+    #[inline]
+    pub fn members(&self, a: GateId) -> &[GateId] {
+        &self.members[a.index()]
+    }
+
+    /// Number of collapsed regions (abstract gates with > 1 member).
+    #[inline]
+    pub fn super_gates(&self) -> usize {
+        self.super_gates
+    }
+
+    /// Number of concrete gates covered by the map.
+    #[inline]
+    pub fn concrete_len(&self) -> usize {
+        self.abstract_of.len()
+    }
+
+    /// Number of abstract gates.
+    #[inline]
+    pub fn abstract_len(&self) -> usize {
+        self.concrete_of.len()
+    }
+
+    /// Abstract gates / concrete gates — below 1.0 when anything
+    /// collapsed, 1.0 for a degenerate (no collapsible cones) abstraction.
+    pub fn collapse_ratio(&self) -> f64 {
+        if self.abstract_of.is_empty() {
+            return 1.0;
+        }
+        self.concrete_of.len() as f64 / self.abstract_of.len() as f64
+    }
+
+    /// Structural self-check: both directions agree, member lists are
+    /// non-empty, contain their stem, and partition the concrete ids.
+    /// `true` on every map [`Abstraction::build`] produces; `false` after
+    /// any corruption (the hierarchical engine's chaos site relies on
+    /// this to detect an injected fault and rebuild).
+    pub fn validate(&self) -> bool {
+        let n_c = self.abstract_of.len();
+        let n_a = self.concrete_of.len();
+        if self.members.len() != n_a || n_a == 0 || n_a > n_c {
+            return false;
+        }
+        let mut covered = vec![false; n_c];
+        let mut supers = 0usize;
+        for (a_idx, members) in self.members.iter().enumerate() {
+            let a = GateId::from_index(a_idx);
+            let stem = self.concrete_of[a_idx];
+            if members.is_empty() || stem.index() >= n_c {
+                return false;
+            }
+            if !members.contains(&stem) {
+                return false;
+            }
+            if members.len() > 1 {
+                supers += 1;
+            }
+            for &m in members {
+                if m.index() >= n_c || covered[m.index()] || self.abstract_of[m.index()] != a {
+                    return false;
+                }
+                covered[m.index()] = true;
+            }
+        }
+        covered.into_iter().all(|c| c) && supers == self.super_gates
+    }
+
+    /// Deliberately corrupts one mapping entry (the first concrete gate is
+    /// remapped to a different abstract id, or the stem back-pointer is
+    /// bumped when there is only one abstract gate). A fault-injection
+    /// hook for chaos testing — after this call [`Self::validate`] returns
+    /// `false` on any map with at least one gate.
+    pub fn corrupt_for_chaos(&mut self) {
+        if self.concrete_of.len() > 1 {
+            let cur = self.abstract_of[0];
+            let next = if cur.index() == 0 { 1 } else { 0 };
+            self.abstract_of[0] = GateId::from_index(next);
+        } else if let Some(stem) = self.concrete_of.first_mut() {
+            *stem = GateId::from_index(stem.index() + 1);
+        }
+    }
+}
+
+/// A built abstraction: the abstract netlist and its concrete map.
+#[derive(Debug, Clone)]
+pub struct Abstraction {
+    netlist: Netlist,
+    map: AbstractionMap,
+}
+
+impl Abstraction {
+    /// The abstract netlist. A plain [`Netlist`] — simulate, lint, and
+    /// diagnose it through the same entry points as any concrete one.
+    #[inline]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The bidirectional super-gate ↔ concrete-members map.
+    #[inline]
+    pub fn map(&self) -> &AbstractionMap {
+        &self.map
+    }
+
+    /// Mutable access to the map — exists for the chaos fault-injection
+    /// site ([`AbstractionMap::corrupt_for_chaos`]).
+    #[inline]
+    pub fn map_mut(&mut self) -> &mut AbstractionMap {
+        &mut self.map
+    }
+
+    /// Is the abstraction degenerate — no region collapsed, so the
+    /// abstract netlist is gate-for-gate the concrete one?
+    pub fn is_degenerate(&self) -> bool {
+        self.map.super_gates() == 0
+    }
+
+    /// Builds the fanout-free-region abstraction of `netlist`.
+    ///
+    /// Region formation: a gate with exactly one reader that is neither a
+    /// primary output, a primary input, nor a DFF joins its reader's
+    /// region; every other gate roots its own. A multi-gate region of
+    /// logic gates with at most [`MAX_REGION_LEAVES`] leaves is
+    /// exhaustively truth-tabled over its leaves and — when the function
+    /// matches one of the ten single-gate kinds — replaced by that one
+    /// super-gate; unmatched or oversized regions are copied 1:1, so the
+    /// equivalence contract holds unconditionally.
+    pub fn build(netlist: &Netlist) -> Abstraction {
+        let n = netlist.len();
+        let mut is_po = DenseBitSet::new(n);
+        for &po in netlist.outputs() {
+            is_po.insert(po.index());
+        }
+        // Region representative (stem) per gate, resolved in reverse
+        // topological order so a single-fanout gate can chase its reader's
+        // already-final stem.
+        let mut stem: Vec<GateId> = netlist.ids().collect();
+        for &g in netlist.topo_order().iter().rev() {
+            let gate = netlist.gate(g);
+            let own_stem = matches!(gate.kind(), GateKind::Input | GateKind::Dff)
+                || is_po.contains(g.index())
+                || netlist.fanouts(g).len() != 1
+                || netlist.gate(netlist.fanouts(g)[0]).kind() == GateKind::Dff;
+            if !own_stem {
+                stem[g.index()] = stem[netlist.fanouts(g)[0].index()];
+            }
+        }
+        // Members per stem, ascending by id (ids() is ascending).
+        let mut region: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        for g in netlist.ids() {
+            region[stem[g.index()].index()].push(g);
+        }
+        // Decide each region's abstract form: `Some((kind, leaves))` for a
+        // collapsed super-gate, `None` for a 1:1 copy of its members. A
+        // region that cannot collapse wholly (too many leaves, or its
+        // function matches no single kind) is refined: connected same-kind
+        // subtrees of the associative kinds are salvaged as their own
+        // super-gates, which repartitions the stems.
+        let mut collapsed: Vec<Option<(GateKind, Vec<GateId>)>> = vec![None; n];
+        let mut refined = false;
+        for g in netlist.ids() {
+            let members = region[g.index()].clone();
+            if members.len() < 2 || !netlist.gate(g).kind().is_logic() {
+                continue;
+            }
+            if members
+                .iter()
+                .any(|&m| matches!(netlist.gate(m).kind(), GateKind::Input | GateKind::Dff))
+            {
+                continue;
+            }
+            let leaves = region_leaves(netlist, &members);
+            if !leaves.is_empty() && leaves.len() <= MAX_REGION_LEAVES {
+                if let Some(kind) = match_region(netlist, g, &members, &leaves) {
+                    collapsed[g.index()] = Some((kind, leaves));
+                    continue;
+                }
+            }
+            refine_region(netlist, &members, &mut stem, &mut collapsed);
+            refined = true;
+        }
+        if refined {
+            // Refinement reassigned stems; re-derive the member lists.
+            for r in region.iter_mut() {
+                r.clear();
+            }
+            for g in netlist.ids() {
+                region[stem[g.index()].index()].push(g);
+            }
+        }
+        // Emit the abstract netlist: inputs first in concrete input order
+        // (the equivalence contract's vector-matrix compatibility), then
+        // every surviving gate in concrete topological order.
+        let mut b = Netlist::builder();
+        let mut abstract_of: Vec<GateId> = vec![GateId::from_index(0); n];
+        let mut concrete_of: Vec<GateId> = Vec::new();
+        let mut members_out: Vec<Vec<GateId>> = Vec::new();
+        let mut super_gates = 0usize;
+        let mut emitted = DenseBitSet::new(n);
+        for &pi in netlist.inputs() {
+            let name = netlist.name(pi).unwrap_or("").to_string();
+            let a = if name.is_empty() {
+                // Anonymous inputs are rare (programmatic netlists); keep a
+                // synthesized stable name so `.bench` round-trips.
+                b.add_input(format!("pi{}", pi.index()))
+            } else {
+                b.add_input(name)
+            };
+            abstract_of[pi.index()] = a;
+            concrete_of.push(pi);
+            members_out.push(vec![pi]);
+            emitted.insert(pi.index());
+        }
+        for &g in netlist.topo_order() {
+            if emitted.contains(g.index()) {
+                continue;
+            }
+            let s = stem[g.index()];
+            if let Some((kind, leaves)) = &collapsed[s.index()] {
+                // The whole region becomes one super-gate, emitted when its
+                // stem comes up in topo order (all leaves are earlier).
+                if g != s {
+                    continue;
+                }
+                let fanins: Vec<GateId> = leaves.iter().map(|&l| abstract_of[l.index()]).collect();
+                let a = match netlist.name(s) {
+                    Some(name) => b.add_named_gate(*kind, fanins, name),
+                    None => b.add_gate(*kind, fanins),
+                };
+                for &m in &region[s.index()] {
+                    abstract_of[m.index()] = a;
+                    emitted.insert(m.index());
+                }
+                concrete_of.push(s);
+                members_out.push(region[s.index()].clone());
+                super_gates += 1;
+            } else {
+                // 1:1 copy. Fanins of a copied gate are either stems of
+                // other regions or earlier members of this same (uncopied)
+                // region — both already emitted in topo order.
+                let gate = netlist.gate(g);
+                let fanins: Vec<GateId> = gate
+                    .fanins()
+                    .iter()
+                    .map(|&f| abstract_of[f.index()])
+                    .collect();
+                let a = match netlist.name(g) {
+                    Some(name) => b.add_named_gate(gate.kind(), fanins, name),
+                    None => b.add_gate(gate.kind(), fanins),
+                };
+                abstract_of[g.index()] = a;
+                concrete_of.push(g);
+                members_out.push(vec![g]);
+                emitted.insert(g.index());
+            }
+        }
+        for &po in netlist.outputs() {
+            b.add_output(abstract_of[po.index()]);
+        }
+        let abstract_netlist = b
+            .build()
+            .expect("abstraction emits topologically ordered, arity-valid gates");
+        Abstraction {
+            netlist: abstract_netlist,
+            map: AbstractionMap {
+                abstract_of,
+                concrete_of,
+                members: members_out,
+                super_gates,
+            },
+        }
+    }
+}
+
+/// The leaves of a region: fanins of members that are not themselves
+/// members, deduplicated, ascending by concrete id. Every leaf is another
+/// region's stem (a single-fanout gate feeding into the region would have
+/// joined it).
+fn region_leaves(netlist: &Netlist, members: &[GateId]) -> Vec<GateId> {
+    let mut in_region = DenseBitSet::new(netlist.len());
+    for &m in members {
+        in_region.insert(m.index());
+    }
+    let mut leaves: Vec<GateId> = Vec::new();
+    for &m in members {
+        for &f in netlist.gate(m).fanins() {
+            if !in_region.contains(f.index()) && !leaves.contains(&f) {
+                leaves.push(f);
+            }
+        }
+    }
+    leaves.sort();
+    leaves
+}
+
+/// Re-partitions a region that cannot collapse wholly into connected
+/// same-kind subtrees of the associative kinds (`And`/`Or`/`Xor`), each
+/// capped at [`MAX_REGION_LEAVES`] leaves — an XOR ladder becomes a run
+/// of wide-XOR super-gates, an AND tree a run of wide ANDs. Every
+/// member's stem is reassigned (salvaged chunk members to their chunk
+/// root, everything else to itself) and each surviving multi-gate chunk
+/// is still verified through [`match_region`], so the equivalence
+/// contract is unconditional here too.
+fn refine_region(
+    netlist: &Netlist,
+    members: &[GateId],
+    stem: &mut [GateId],
+    collapsed: &mut [Option<(GateKind, Vec<GateId>)>],
+) {
+    struct Chunk {
+        root: GateId,
+        members: Vec<GateId>,
+        leaves: Vec<GateId>,
+        consumed: bool,
+    }
+    let mut in_region = DenseBitSet::new(netlist.len());
+    for &m in members {
+        in_region.insert(m.index());
+    }
+    let mut ordered: Vec<GateId> = members.to_vec();
+    ordered.sort_by_key(|&m| netlist.topo_position(m));
+    // Chunk index per processed member; fanins inside the region are
+    // always processed first (topological order), so lookups never miss.
+    let mut chunk_of: std::collections::HashMap<GateId, usize> =
+        std::collections::HashMap::with_capacity(members.len());
+    let mut chunks: Vec<Chunk> = Vec::with_capacity(members.len());
+    for &g in &ordered {
+        let kind = netlist.gate(g).kind();
+        let grows = matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor);
+        let mut cm = vec![g];
+        let mut cl: Vec<GateId> = Vec::new();
+        let fanins = netlist.gate(g).fanins();
+        for (idx, &f) in fanins.iter().enumerate() {
+            // Reserve one leaf slot per unprocessed fanin, so a merge
+            // never pushes the finished chunk past the leaf cap.
+            let reserve = fanins.len() - idx - 1;
+            if grows && in_region.contains(f.index()) && netlist.gate(f).kind() == kind {
+                let ci = chunk_of[&f];
+                if !chunks[ci].consumed {
+                    let extra = chunks[ci].leaves.iter().filter(|l| !cl.contains(l)).count();
+                    if cl.len() + extra + reserve <= MAX_REGION_LEAVES {
+                        cm.append(&mut chunks[ci].members);
+                        for &l in &chunks[ci].leaves {
+                            if !cl.contains(&l) {
+                                cl.push(l);
+                            }
+                        }
+                        chunks[ci].consumed = true;
+                        continue;
+                    }
+                }
+            }
+            // A duplicate fanin whose chunk was just absorbed is an
+            // internal member now, not a leaf.
+            if !cl.contains(&f) && !cm.contains(&f) {
+                cl.push(f);
+            }
+        }
+        chunk_of.insert(g, chunks.len());
+        chunks.push(Chunk {
+            root: g,
+            members: cm,
+            leaves: cl,
+            consumed: false,
+        });
+    }
+    for &m in members {
+        stem[m.index()] = m;
+    }
+    for chunk in &mut chunks {
+        if chunk.consumed || chunk.members.len() < 2 {
+            continue;
+        }
+        chunk.leaves.sort();
+        if chunk.leaves.is_empty() || chunk.leaves.len() > MAX_REGION_LEAVES {
+            continue;
+        }
+        if let Some(kind) = match_region(netlist, chunk.root, &chunk.members, &chunk.leaves) {
+            for &m in &chunk.members {
+                stem[m.index()] = chunk.root;
+            }
+            collapsed[chunk.root.index()] = Some((kind, chunk.leaves.clone()));
+        }
+    }
+}
+
+/// Exhaustively evaluates the region over all `2^leaves` leaf patterns
+/// and returns the single gate kind (over the leaves, in order) whose
+/// truth table matches the stem's — or `None` when no kind matches.
+fn match_region(
+    netlist: &Netlist,
+    stem: GateId,
+    members: &[GateId],
+    leaves: &[GateId],
+) -> Option<GateKind> {
+    let k = leaves.len();
+    let rows = 1usize << k;
+    let words = rows.div_ceil(64);
+    let tail = if rows.is_multiple_of(64) {
+        !0u64
+    } else {
+        (1u64 << (rows % 64)) - 1
+    };
+    // Leaf i's column of the exhaustive pattern matrix: bit r of the table
+    // is pattern r, whose i-th coordinate is `r >> i & 1`.
+    let mut table: std::collections::HashMap<GateId, Vec<u64>> =
+        std::collections::HashMap::with_capacity(members.len() + k);
+    for (i, &l) in leaves.iter().enumerate() {
+        let mut row = vec![0u64; words];
+        for (w, word) in row.iter_mut().enumerate() {
+            for bit in 0..64 {
+                let r = w * 64 + bit;
+                if r < rows && (r >> i) & 1 == 1 {
+                    *word |= 1u64 << bit;
+                }
+            }
+        }
+        table.insert(l, row);
+    }
+    // Members in topological order (region members of a valid netlist are
+    // already acyclic; sort by global topo position).
+    let mut ordered: Vec<GateId> = members.to_vec();
+    ordered.sort_by_key(|&m| netlist.topo_position(m));
+    for &m in &ordered {
+        let gate = netlist.gate(m);
+        let row = eval_kind_words(
+            gate.kind(),
+            &gate
+                .fanins()
+                .iter()
+                .map(|f| table.get(f).map(|r| r.as_slice()))
+                .collect::<Option<Vec<&[u64]>>>()?,
+            words,
+        )?;
+        table.insert(m, row);
+    }
+    let got = table.get(&stem)?;
+    for kind in MATCH_KINDS {
+        let (lo, hi) = kind.arity();
+        if k < lo || k > hi {
+            continue;
+        }
+        let leaf_rows: Vec<&[u64]> = leaves.iter().map(|l| table[l].as_slice()).collect();
+        if let Some(want) = eval_kind_words(kind, &leaf_rows, words) {
+            let matches = got.iter().zip(&want).enumerate().all(|(w, (&g, &e))| {
+                let mask = if w == words - 1 { tail } else { !0u64 };
+                g & mask == e & mask
+            });
+            if matches {
+                return Some(kind);
+            }
+        }
+    }
+    None
+}
+
+/// Word-parallel [`GateKind::eval`] over packed truth-table rows. `None`
+/// for kinds without a combinational function (inputs, DFFs) — callers
+/// exclude those from collapsible regions up front.
+fn eval_kind_words(kind: GateKind, fanins: &[&[u64]], words: usize) -> Option<Vec<u64>> {
+    let mut out = vec![0u64; words];
+    match kind {
+        GateKind::Const0 => {}
+        GateKind::Const1 => out.iter_mut().for_each(|w| *w = !0u64),
+        GateKind::Buf => out.copy_from_slice(fanins.first()?),
+        GateKind::Not => {
+            for (w, &f) in out.iter_mut().zip(fanins.first()?.iter()) {
+                *w = !f;
+            }
+        }
+        GateKind::And | GateKind::Nand => {
+            out.iter_mut().for_each(|w| *w = !0u64);
+            for row in fanins {
+                for (w, &f) in out.iter_mut().zip(row.iter()) {
+                    *w &= f;
+                }
+            }
+            if kind == GateKind::Nand {
+                out.iter_mut().for_each(|w| *w = !*w);
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            for row in fanins {
+                for (w, &f) in out.iter_mut().zip(row.iter()) {
+                    *w |= f;
+                }
+            }
+            if kind == GateKind::Nor {
+                out.iter_mut().for_each(|w| *w = !*w);
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            for row in fanins {
+                for (w, &f) in out.iter_mut().zip(row.iter()) {
+                    *w ^= f;
+                }
+            }
+            if kind == GateKind::Xnor {
+                out.iter_mut().for_each(|w| *w = !*w);
+            }
+        }
+        GateKind::Input | GateKind::Dff => return None,
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    /// An AND-chain `y = a & b & c & d` written as 2-input gates with no
+    /// internal fanout: the whole chain is one fanout-free region whose
+    /// function is a wide AND over the inputs.
+    const AND_CHAIN: &str = "\
+INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+t1 = AND(a, b)\nt2 = AND(t1, c)\ny = AND(t2, d)\n";
+
+    #[test]
+    fn and_chain_collapses_to_one_super_gate() {
+        let n = parse_bench(AND_CHAIN).unwrap();
+        let abs = Abstraction::build(&n);
+        assert!(!abs.is_degenerate());
+        assert_eq!(abs.map().super_gates(), 1);
+        // 4 inputs + 1 super-gate.
+        assert_eq!(abs.netlist().len(), 5);
+        let y = abs.netlist().find_by_name("y").unwrap();
+        assert_eq!(abs.netlist().gate(y).kind(), GateKind::And);
+        assert_eq!(abs.netlist().gate(y).fanins().len(), 4);
+        // The super-gate's members are the three chain gates.
+        assert_eq!(abs.map().members(y).len(), 3);
+        assert!(abs.map().validate());
+        assert!(abs.map().collapse_ratio() < 1.0);
+    }
+
+    #[test]
+    fn inputs_keep_concrete_order_and_outputs_map_one_to_one() {
+        for src in [C17, AND_CHAIN] {
+            let n = parse_bench(src).unwrap();
+            let abs = Abstraction::build(&n);
+            assert_eq!(abs.netlist().inputs().len(), n.inputs().len());
+            for (i, (&ci, &ai)) in n.inputs().iter().zip(abs.netlist().inputs()).enumerate() {
+                assert_eq!(abs.map().abstract_of(ci), ai, "input {i} order preserved");
+                assert_eq!(abs.netlist().name(ai), n.name(ci));
+            }
+            assert_eq!(abs.netlist().outputs().len(), n.outputs().len());
+            for (&co, &ao) in n.outputs().iter().zip(abs.netlist().outputs()) {
+                assert_eq!(abs.map().abstract_of(co), ao);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let n = parse_bench(AND_CHAIN).unwrap();
+        let mut abs = Abstraction::build(&n);
+        assert!(abs.map().validate());
+        abs.map_mut().corrupt_for_chaos();
+        assert!(!abs.map().validate());
+    }
+
+    #[test]
+    fn xor_tree_collapses_to_wide_xor() {
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = XOR(a, b)\ny = XOR(t, c)\n")
+                .unwrap();
+        let abs = Abstraction::build(&n);
+        assert_eq!(abs.map().super_gates(), 1);
+        let y = abs.netlist().find_by_name("y").unwrap();
+        assert_eq!(abs.netlist().gate(y).kind(), GateKind::Xor);
+        assert_eq!(abs.netlist().gate(y).fanins().len(), 3);
+    }
+
+    #[test]
+    fn aoi_region_with_no_single_gate_function_is_copied() {
+        // y = (a & b) | c has no single-gate equivalent over {a, b, c};
+        // the region must be copied 1:1 and the abstraction is degenerate.
+        let n =
+            parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a, b)\ny = OR(t, c)\n")
+                .unwrap();
+        let abs = Abstraction::build(&n);
+        assert!(abs.is_degenerate());
+        assert_eq!(abs.netlist().len(), n.len());
+        assert!(abs.map().validate());
+        assert!((abs.map().collapse_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_fanout_stems_stay_separate() {
+        // `11` fans out twice in c17, so nothing below it can be absorbed
+        // across that boundary.
+        let n = parse_bench(C17).unwrap();
+        let abs = Abstraction::build(&n);
+        assert!(abs.map().validate());
+        let eleven = n.find_by_name("11").unwrap();
+        let a = abs.map().abstract_of(eleven);
+        assert_eq!(abs.map().members(a), &[eleven]);
+    }
+
+    #[test]
+    fn not_chain_collapses_to_buf_or_not() {
+        // Double inverter == BUF of the input.
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\nt = NOT(a)\ny = NOT(t)\n").unwrap();
+        let abs = Abstraction::build(&n);
+        assert_eq!(abs.map().super_gates(), 1);
+        let y = abs.netlist().find_by_name("y").unwrap();
+        assert_eq!(abs.netlist().gate(y).kind(), GateKind::Buf);
+    }
+
+    /// A fanout-free XOR ladder wider than [`MAX_REGION_LEAVES`] cannot
+    /// collapse wholly; refinement must chunk it into several wide-XOR
+    /// super-gates that together still cover most of the ladder.
+    #[test]
+    fn oversized_xor_ladder_is_chunked_into_wide_xors() {
+        let width = 3 * MAX_REGION_LEAVES; // 36 leaves, 35 chain gates
+        let mut src = String::new();
+        for i in 0..width {
+            src.push_str(&format!("INPUT(d{i})\n"));
+        }
+        src.push_str("OUTPUT(y)\nt1 = XOR(d0, d1)\n");
+        for i in 2..width {
+            let out = if i + 1 == width {
+                "y".to_string()
+            } else {
+                format!("t{i}")
+            };
+            src.push_str(&format!("{out} = XOR(t{}, d{i})\n", i - 1));
+        }
+        let n = parse_bench(&src).unwrap();
+        let abs = Abstraction::build(&n);
+        assert!(abs.map().validate());
+        assert!(
+            abs.map().super_gates() >= 3,
+            "ladder chunks into >= 3 supers"
+        );
+        for a in abs.netlist().ids() {
+            if abs.map().members(a).len() > 1 {
+                assert_eq!(abs.netlist().gate(a).kind(), GateKind::Xor);
+                assert!(abs.netlist().gate(a).fanins().len() <= MAX_REGION_LEAVES);
+            }
+        }
+        // The chain shrinks by at least 2x at the gate level.
+        let concrete_gates = n.len() - n.inputs().len();
+        let abstract_gates = abs.netlist().len() - n.inputs().len();
+        assert!(
+            abstract_gates * 2 <= concrete_gates,
+            "{abstract_gates} vs {concrete_gates}"
+        );
+    }
+
+    /// A mixed region (an AND tree feeding an OR tree, single fanout
+    /// throughout) has no single-kind function, but refinement salvages
+    /// the homogeneous subtrees.
+    #[test]
+    fn mixed_kind_region_salvages_same_kind_subtrees() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nOUTPUT(y)\n\
+             a1 = AND(a, b)\na2 = AND(a1, c)\n\
+             o1 = OR(d, e)\no2 = OR(o1, f)\n\
+             y = XOR(a2, o2)\n",
+        )
+        .unwrap();
+        let abs = Abstraction::build(&n);
+        assert!(abs.map().validate());
+        assert_eq!(abs.map().super_gates(), 2, "AND tree + OR tree");
+        let y = abs.netlist().find_by_name("y").unwrap();
+        assert_eq!(abs.netlist().gate(y).kind(), GateKind::Xor);
+        let kinds: Vec<GateKind> = abs
+            .netlist()
+            .gate(y)
+            .fanins()
+            .iter()
+            .map(|&f| abs.netlist().gate(f).kind())
+            .collect();
+        assert!(kinds.contains(&GateKind::And));
+        assert!(kinds.contains(&GateKind::Or));
+    }
+
+    /// The equivalence contract, exhaustively: for every abstract gate,
+    /// its simulated row equals the concrete stem's row on every input
+    /// pattern.
+    #[test]
+    fn abstract_values_equal_concrete_stem_values_exhaustively() {
+        for src in [C17, AND_CHAIN] {
+            let n = parse_bench(src).unwrap();
+            let abs = Abstraction::build(&n);
+            assert!(abs.map().validate());
+            let k = n.inputs().len();
+            for pattern in 0u32..(1u32 << k) {
+                let assign = |nl: &Netlist| -> Vec<bool> {
+                    let mut vals = vec![false; nl.len()];
+                    for (i, &pi) in nl.inputs().iter().enumerate() {
+                        vals[pi.index()] = (pattern >> i) & 1 == 1;
+                    }
+                    for &g in nl.topo_order() {
+                        let gate = nl.gate(g);
+                        if gate.kind() == GateKind::Input {
+                            continue;
+                        }
+                        let fanins: Vec<bool> =
+                            gate.fanins().iter().map(|f| vals[f.index()]).collect();
+                        vals[g.index()] = gate.kind().eval(&fanins);
+                    }
+                    vals
+                };
+                let cv = assign(&n);
+                let av = assign(abs.netlist());
+                for a in abs.netlist().ids() {
+                    let stem = abs.map().concrete_of(a);
+                    assert_eq!(
+                        av[a.index()],
+                        cv[stem.index()],
+                        "pattern {pattern:#b}: abstract {a:?} vs concrete {stem:?} in {src:?}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! # }
 //! ```
 
+mod abstraction;
 mod bench_format;
 mod bitset;
 mod cone;
@@ -36,6 +37,7 @@ mod scan;
 mod transform;
 mod unroll;
 
+pub use abstraction::{Abstraction, AbstractionMap, MAX_REGION_LEAVES};
 pub use bench_format::{parse_bench, write_bench};
 pub use bitset::DenseBitSet;
 pub use cone::{ConeCache, ConeSet};

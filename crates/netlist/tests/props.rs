@@ -2,7 +2,8 @@
 //! by a self-contained random circuit strategy.
 
 use incdx_netlist::{
-    expand_xor_to_nand, parse_bench, write_bench, DenseBitSet, GateId, GateKind, Netlist,
+    expand_xor_to_nand, parse_bench, write_bench, Abstraction, DenseBitSet, GateId, GateKind,
+    Netlist,
 };
 use proptest::prelude::*;
 
@@ -167,6 +168,43 @@ proptest! {
         } else {
             // Success keeps the schedule valid.
             prop_assert_eq!(m.topo_order().len(), m.len());
+        }
+    }
+
+    /// The abstraction equivalence contract on arbitrary circuits: the
+    /// abstract netlist's value at every abstract gate equals the
+    /// concrete netlist's value at that gate's stem, for every sampled
+    /// input assignment, and the map always validates.
+    #[test]
+    fn abstraction_preserves_stem_values(n in arb_netlist(), patterns in prop::collection::vec(prop::collection::vec(prop::bool::ANY, 2..6), 1..8)) {
+        let abs = Abstraction::build(&n);
+        prop_assert!(abs.map().validate());
+        prop_assert_eq!(abs.netlist().inputs().len(), n.inputs().len());
+        prop_assert_eq!(abs.netlist().outputs().len(), n.outputs().len());
+        for pattern in &patterns {
+            let mut inputs = pattern.clone();
+            inputs.resize(n.inputs().len(), false);
+            let assign = |nl: &Netlist| -> Vec<bool> {
+                let mut vals = vec![false; nl.len()];
+                for (i, &pi) in nl.inputs().iter().enumerate() {
+                    vals[pi.index()] = inputs[i];
+                }
+                for &id in nl.topo_order() {
+                    let g = nl.gate(id);
+                    if g.kind() == GateKind::Input {
+                        continue;
+                    }
+                    let f: Vec<bool> = g.fanins().iter().map(|&x| vals[x.index()]).collect();
+                    vals[id.index()] = g.kind().eval(&f);
+                }
+                vals
+            };
+            let cv = assign(&n);
+            let av = assign(abs.netlist());
+            for a in abs.netlist().ids() {
+                let stem = abs.map().concrete_of(a);
+                prop_assert_eq!(av[a.index()], cv[stem.index()]);
+            }
         }
     }
 

@@ -23,9 +23,14 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod pass;
 mod passes;
 mod rewrite;
 
+pub use pass::{
+    default_schedule, run_schedule, ChainCollapsing, ConstantFolding, DeadSweep, Pass,
+    StructuralSharing,
+};
 pub use passes::{
     collapse_chains, dedupe_structural, optimize_for_area, propagate_constants,
     remove_redundancies, sweep_dead, OptConfig, OptimizeResult,

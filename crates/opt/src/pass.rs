@@ -1,0 +1,161 @@
+//! The [`Pass`] seam: a named, function-preserving netlist rewrite.
+//!
+//! The free pass functions at the crate root are the workhorses;
+//! this trait is the composition layer ROADMAP item 4 builds on — a
+//! rewriting pipeline where passes can be listed, reordered, repeated
+//! to fixpoint, and (eventually) run in reverse as a workload
+//! generator. Each existing pass gets a unit-struct adapter so drivers
+//! can hold a `&[&dyn Pass]` schedule today.
+
+use incdx_netlist::Netlist;
+
+use crate::passes::{collapse_chains, dedupe_structural, propagate_constants, sweep_dead};
+
+/// A function-preserving netlist rewrite.
+///
+/// Contract: for every valid combinational input, `run` returns a
+/// netlist with the same primary-input count (in the same order) and
+/// the same primary-output functions. A pass unable to improve the
+/// circuit returns it unchanged; a pass must never panic (the optimizer
+/// sits in front of diagnosis runs).
+pub trait Pass {
+    /// Stable, lowercase-hyphenated name (reported by pipeline drivers).
+    fn name(&self) -> &'static str;
+
+    /// Applies the rewrite.
+    fn run(&self, netlist: &Netlist) -> Netlist;
+}
+
+/// [`propagate_constants`] as a [`Pass`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantFolding;
+
+impl Pass for ConstantFolding {
+    fn name(&self) -> &'static str {
+        "constant-folding"
+    }
+
+    fn run(&self, netlist: &Netlist) -> Netlist {
+        propagate_constants(netlist)
+    }
+}
+
+/// [`collapse_chains`] as a [`Pass`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainCollapsing;
+
+impl Pass for ChainCollapsing {
+    fn name(&self) -> &'static str {
+        "chain-collapsing"
+    }
+
+    fn run(&self, netlist: &Netlist) -> Netlist {
+        collapse_chains(netlist)
+    }
+}
+
+/// [`dedupe_structural`] as a [`Pass`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructuralSharing;
+
+impl Pass for StructuralSharing {
+    fn name(&self) -> &'static str {
+        "structural-sharing"
+    }
+
+    fn run(&self, netlist: &Netlist) -> Netlist {
+        dedupe_structural(netlist)
+    }
+}
+
+/// [`sweep_dead`] as a [`Pass`] (the removal count is dropped; use the
+/// free function when it matters).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadSweep;
+
+impl Pass for DeadSweep {
+    fn name(&self) -> &'static str {
+        "dead-sweep"
+    }
+
+    fn run(&self, netlist: &Netlist) -> Netlist {
+        sweep_dead(netlist).0
+    }
+}
+
+/// The default simplification schedule, in the order
+/// [`optimize_for_area`](crate::optimize_for_area) applies them.
+pub fn default_schedule() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(ConstantFolding),
+        Box::new(ChainCollapsing),
+        Box::new(StructuralSharing),
+        Box::new(DeadSweep),
+    ]
+}
+
+/// Runs `schedule` left to right once over `netlist`.
+pub fn run_schedule(netlist: &Netlist, schedule: &[Box<dyn Pass>]) -> Netlist {
+    let mut current = netlist.clone();
+    for pass in schedule {
+        current = pass.run(&current);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::parse_bench;
+    use incdx_sim::{PackedMatrix, Response, Simulator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_equiv(a: &Netlist, b: &Netlist, seed: u64) {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pi = PackedMatrix::random(a.inputs().len(), 64, &mut rng);
+        let mut sim = Simulator::new();
+        let spec = Response::capture(a, &sim.run(a, &pi));
+        let vals = sim.run(b, &pi);
+        assert!(Response::compare(b, &vals, &spec).matches());
+    }
+
+    #[test]
+    fn adapters_match_their_free_functions() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nb1 = BUF(a)\nx1 = AND(b1, b)\n\
+             x2 = AND(b, a)\ndead = NOT(b)\ny = OR(x1, x2)\n",
+        )
+        .unwrap();
+        let pairs: Vec<(Box<dyn Pass>, Netlist)> = vec![
+            (Box::new(ConstantFolding), propagate_constants(&n)),
+            (Box::new(ChainCollapsing), collapse_chains(&n)),
+            (Box::new(StructuralSharing), dedupe_structural(&n)),
+            (Box::new(DeadSweep), sweep_dead(&n).0),
+        ];
+        for (pass, expected) in pairs {
+            let got = pass.run(&n);
+            assert_eq!(got.len(), expected.len(), "{}", pass.name());
+            assert_equiv(&n, &got, 7);
+        }
+    }
+
+    #[test]
+    fn default_schedule_preserves_function_and_names_are_unique() {
+        let n = parse_bench(
+            "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nb1 = BUF(a)\nn1 = NOT(b1)\nn2 = NOT(n1)\n\
+             x1 = AND(n2, b)\nx2 = AND(b, n2)\ny = OR(x1, x2)\n",
+        )
+        .unwrap();
+        let schedule = default_schedule();
+        let names: Vec<&str> = schedule.iter().map(|p| p.name()).collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "pass names must be unique");
+        let out = run_schedule(&n, &schedule);
+        assert!(out.len() < n.len(), "schedule simplifies the chain pair");
+        assert_equiv(&n, &out, 8);
+    }
+}

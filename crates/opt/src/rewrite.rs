@@ -41,13 +41,12 @@ impl Rewrite {
         }
     }
 
-    /// Rebuilds a validated netlist, preserving ids.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a pass produced an invalid structure (that is a pass bug,
-    /// not a user error).
-    pub fn finish(self) -> Netlist {
+    /// Rebuilds a validated netlist, preserving ids. A pass that
+    /// produced an invalid structure (a pass bug, not a user error)
+    /// yields the untouched `fallback` instead — trivially
+    /// function-preserving, so the optimizer degrades to a no-op rather
+    /// than taking a diagnosis run down with a panic.
+    pub fn finish_or(self, fallback: &Netlist) -> Netlist {
         let mut b = Netlist::builder();
         for i in 0..self.len() {
             match (self.kinds[i], &self.names[i]) {
@@ -68,8 +67,7 @@ impl Rewrite {
         for o in self.outputs {
             b.add_output(o);
         }
-        b.build()
-            .expect("optimizer pass produced an invalid netlist")
+        b.build().unwrap_or_else(|_| fallback.clone())
     }
 }
 
@@ -81,7 +79,7 @@ mod tests {
     #[test]
     fn roundtrip_is_identity() {
         let n = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = NOT(x)\n").unwrap();
-        let m = Rewrite::of(&n).finish();
+        let m = Rewrite::of(&n).finish_or(&n);
         assert_eq!(m.len(), n.len());
         for (id, g) in n.iter() {
             assert_eq!(m.gate(id).kind(), g.kind());
@@ -100,7 +98,7 @@ mod tests {
         let mut subst: Vec<GateId> = n.ids().collect();
         subst[x.index()] = a; // bypass the buffer
         rw.substitute(&subst);
-        let m = rw.finish();
+        let m = rw.finish_or(&n);
         let y = m.find_by_name("y").unwrap();
         assert_eq!(m.gate(y).fanins()[0], a);
     }

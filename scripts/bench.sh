@@ -52,13 +52,27 @@
 # wall-clock speedup is bounded by physical parallelism (on a 1-core
 # host the expected speedup is <= 1.0 and the run measures overhead).
 #
+# A sixth mode, `BENCH_MODE=hierarchical`, benchmarks two-level
+# hierarchical diagnosis at scale: the hier_scale binary runs paired
+# flat/hierarchical first-solution trials (identical injections, stems
+# of collapsed super-gates as fault sites) under one shared node budget
+# on c6288-scale circuits from crates/gen (c6288a plus the generated
+# parity2048 / sec256). BENCH_hierarchical.json records, per circuit,
+# the abstraction leverage (abstract gates, collapse ratio) and each
+# mode's solved count, summed nodes and wall time, plus the number of
+# trials where the hierarchical run solved inside a budget the flat
+# search exhausted — the mode's headline claim.
+#
 # Environment overrides (defaults reproduce the committed benchmarks):
-#   BENCH_MODE         incremental | traversal | robustness | simd | scaling  (default incremental)
+#   BENCH_MODE         incremental | traversal | robustness | simd | scaling | hierarchical  (default incremental)
 #   BENCH_REPEATS      simd mode: runs per kernel, summed  (default 5)
-#   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a)
+#   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a;
+#                      hierarchical: c6288a,parity2048,sec256)
 #   BENCH_EXPERIMENTS  space-separated subset to run    (default "table1 fig2_rounds")
-#   BENCH_TRIALS       trials per cell                  (default 1)
-#   BENCH_VECTORS      test vectors per run             (default 1024)
+#   BENCH_TRIALS       trials per cell                  (default 1; hierarchical: 3)
+#   BENCH_VECTORS      test vectors per run             (default 1024; simd: 4096;
+#                      hierarchical: 256)
+#   BENCH_BUDGET       hierarchical mode: shared node budget per run (default 2000)
 #   BENCH_SEED         master seed                      (default 2002)
 #   BENCH_TIME_LIMIT   per-run limit, seconds           (default 600)
 #   BENCH_OUT          output path (default BENCH_<mode>.json)
@@ -66,11 +80,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${BENCH_MODE:-incremental}"
-CIRCUITS="${BENCH_CIRCUITS:-c432a,c880a}"
+if [ "$MODE" = hierarchical ]; then
+    CIRCUITS="${BENCH_CIRCUITS:-c6288a,parity2048,sec256}"
+else
+    CIRCUITS="${BENCH_CIRCUITS:-c432a,c880a}"
+fi
 EXPERIMENTS="${BENCH_EXPERIMENTS:-table1 fig2_rounds}"
-TRIALS="${BENCH_TRIALS:-1}"
-if [ "${BENCH_MODE:-incremental}" = simd ]; then
+if [ "$MODE" = hierarchical ]; then
+    TRIALS="${BENCH_TRIALS:-3}"
+else
+    TRIALS="${BENCH_TRIALS:-1}"
+fi
+if [ "$MODE" = simd ]; then
     VECTORS="${BENCH_VECTORS:-4096}"
+elif [ "$MODE" = hierarchical ]; then
+    # 256 vectors excite and discriminate the paired injections while
+    # keeping three budget-bound runs per circuit affordable.
+    VECTORS="${BENCH_VECTORS:-256}"
 else
     VECTORS="${BENCH_VECTORS:-1024}"
 fi
@@ -83,7 +109,8 @@ case "$MODE" in
     robustness)  OUT="${BENCH_OUT:-BENCH_robustness.json}" ;;
     simd)        OUT="${BENCH_OUT:-BENCH_simd.json}" ;;
     scaling)     OUT="${BENCH_OUT:-BENCH_scaling.json}" ;;
-    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness|simd|scaling)" >&2; exit 2 ;;
+    hierarchical) OUT="${BENCH_OUT:-BENCH_hierarchical.json}" ;;
+    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness|simd|scaling|hierarchical)" >&2; exit 2 ;;
 esac
 
 echo "==> build (release)"
@@ -291,6 +318,75 @@ if [ "$MODE" = simd ]; then
     echo "    wall: dense=${dense_wall}s sparse=${sparse_wall}s" >&2
     echo "    cpu:  dense=${dense_cpu}s sparse=${sparse_cpu}s speedup=${speedup}x" >&2
     echo "    counters: blocks_skipped=$blocks_skipped sparse_rows=$sparse_rows dense_fallbacks=$dense_fallbacks" >&2
+    echo "wrote $OUT"
+    exit 0
+fi
+
+if [ "$MODE" = hierarchical ]; then
+    BUDGET="${BENCH_BUDGET:-2000}"
+    log="$tmp/hier.jsonl"
+    echo "==> hier_scale (paired flat/hierarchical, node budget $BUDGET)"
+    "$bin/hier_scale" --circuits "$CIRCUITS" --trials "$TRIALS" \
+        --vectors "$VECTORS" --seed "$SEED" --time-limit "$TIME_LIMIT" \
+        --max-nodes "$BUDGET" --json | grep '"report":"hier_scale"' > "$log"
+
+    # Per circuit: static leverage, per-mode aggregates, and the count of
+    # trials where the hierarchical run solved inside a budget the flat
+    # search exhausted (the mode's headline).
+    awk '{
+        c = m = ""; t = g = s = nd = w = ag = 0; cr = 1.0
+        if (match($0, /"circuit":"[^"]*"/)) c = substr($0, RSTART + 11, RLENGTH - 12)
+        if (match($0, /"mode":"[^"]*"/)) m = substr($0, RSTART + 8, RLENGTH - 9)
+        if (match($0, /"trial":[0-9]+/)) { x = substr($0, RSTART, RLENGTH); sub(/.*:/, "", x); t = x + 0 }
+        if (match($0, /"gates":[0-9]+/)) { x = substr($0, RSTART, RLENGTH); sub(/.*:/, "", x); g = x + 0 }
+        if (match($0, /"solved":true/)) s = 1
+        if (match($0, /"nodes":[0-9]+/)) { x = substr($0, RSTART, RLENGTH); sub(/.*:/, "", x); nd = x + 0 }
+        if (match($0, /"wall_ms":[0-9]+/)) { x = substr($0, RSTART, RLENGTH); sub(/.*:/, "", x); w = x + 0 }
+        if (match($0, /"abstract_gates":[0-9]+/)) { x = substr($0, RSTART, RLENGTH); sub(/.*:/, "", x); ag = x + 0 }
+        if (match($0, /"collapse_ratio":[0-9.]+/)) { x = substr($0, RSTART, RLENGTH); sub(/.*:/, "", x); cr = x + 0 }
+        if (c == "" || m == "") next
+        runs[c "/" m]++; solved[c "/" m] += s
+        nodes[c "/" m] += nd; wall[c "/" m] += w
+        gates[c] = g
+        if (m == "hierarchical") { agates[c] = ag; ratio[c] = cr }
+        ok[c "/" t "/" m] = s
+        seen[c "/" t] = c
+    } END {
+        for (k in seen) {
+            split(k, p, "/")
+            if (!ok[p[1] "/" p[2] "/flat"] && ok[p[1] "/" p[2] "/hierarchical"])
+                win[p[1]]++
+        }
+        for (c in gates)
+            printf "%s %d %d %.4f %d %d %d %d %d %d %d %d %d\n", c, gates[c], \
+                agates[c], ratio[c], \
+                solved[c "/flat"], runs[c "/flat"], nodes[c "/flat"], wall[c "/flat"], \
+                solved[c "/hierarchical"], runs[c "/hierarchical"], \
+                nodes[c "/hierarchical"], wall[c "/hierarchical"], win[c] + 0
+    }' "$log" | sort > "$tmp/hier.agg"
+
+    {
+        printf '{"bench":"hierarchical_scale","seed":%s,"trials":%s,"vectors":%s,"budget":%s,"faults":2' \
+            "$SEED" "$TRIALS" "$VECTORS" "$BUDGET"
+        printf ',"circuits":['
+        first_ckt=1
+        for ckt in ${CIRCUITS//,/ }; do
+            line="$(awk -v c="$ckt" '$1==c' "$tmp/hier.agg")"
+            [ -n "$line" ] || continue
+            read -r _ g ag cr fs fr fn fw hs hr hn hw win <<< "$line"
+            [ "$first_ckt" -eq 1 ] || printf ','
+            first_ckt=0
+            printf '{"circuit":"%s","gates":%s,"abstract_gates":%s,"collapse_ratio":%s' \
+                "$ckt" "$g" "$ag" "$cr"
+            printf ',"flat":{"solved":%s,"runs":%s,"nodes":%s,"wall_ms":%s}' \
+                "$fs" "$fr" "$fn" "$fw"
+            printf ',"hierarchical":{"solved":%s,"runs":%s,"nodes":%s,"wall_ms":%s}' \
+                "$hs" "$hr" "$hn" "$hw"
+            printf ',"hier_solves_where_flat_exhausts":%s}' "$win"
+            echo "    $ckt: ratio=$cr flat ${fs}/${fr} (${fn} nodes) hier ${hs}/${hr} (${hn} nodes) wins=$win" >&2
+        done
+        printf ']}\n'
+    } > "$OUT"
     echo "wrote $OUT"
     exit 0
 fi

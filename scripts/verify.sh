@@ -124,6 +124,34 @@ grep -q '"blocks_skipped"' "$simd_out" \
     || { echo "simd bench wrote no sparse-kernel counters" >&2; exit 1; }
 rm -f "$simd_out"
 
+echo "==> smoke: hierarchical diagnosis reproduces the flat solution set"
+# The two-level engine's contract: exhaustive hierarchical runs report
+# exactly the flat solution set (phase 3 + merge), with the abstraction
+# telemetry attached where the map had leverage.
+flat_set="$(cargo run -p incdx-bench --release --bin table2 -- \
+    --circuits c432a --trials 1 --vectors 256 --time-limit 60 --flat \
+    --json 2>/dev/null | solution_set)"
+[ -n "$flat_set" ] || { echo "table2 --flat emitted no reports" >&2; exit 1; }
+hier_out="$(cargo run -p incdx-bench --release --bin table2 -- \
+    --circuits c432a --trials 1 --vectors 256 --time-limit 60 --hierarchical \
+    --batch-obs --json 2>/dev/null)"
+if [ "$flat_set" != "$(echo "$hier_out" | solution_set)" ]; then
+    echo "table2 --hierarchical diverged from the --flat solution set" >&2
+    exit 1
+fi
+echo "$hier_out" | grep -q '"abstraction":{' \
+    || { echo "hierarchical run reported no abstraction telemetry" >&2; exit 1; }
+
+echo "==> smoke: hierarchical scale bench (BENCH_MODE=hierarchical)"
+hier_bench_out="$(mktemp)"
+BENCH_MODE=hierarchical BENCH_CIRCUITS=parity256 BENCH_TRIALS=1 \
+    BENCH_VECTORS=256 BENCH_BUDGET=2000 BENCH_TIME_LIMIT=30 \
+    BENCH_OUT="$hier_bench_out" bash scripts/bench.sh \
+    >/dev/null 2>&1 || { echo "bench.sh hierarchical smoke failed" >&2; exit 1; }
+grep -q '"hier_solves_where_flat_exhausts"' "$hier_bench_out" \
+    || { echo "hierarchical bench wrote no per-circuit comparison" >&2; exit 1; }
+rm -f "$hier_bench_out"
+
 echo "==> smoke: speculative dispatcher determinism (fig2_rounds --jobs 4)"
 # The dispatcher's contract: dispatched runs find exactly the serial
 # solution set, and repeated dispatched runs agree with each other.
