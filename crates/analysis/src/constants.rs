@@ -1,0 +1,258 @@
+//! Ternary constant propagation.
+//!
+//! Each line gets a value in the four-point lattice
+//! `Unreached < {Const0, Const1} < Varies`: the set of logic values the
+//! line can take across all input vectors, as far as structure alone can
+//! tell. `Const0`/`Const1` gates seed the analysis; the transfer functions
+//! are the exact ternary images of the gate functions (an AND with a
+//! `Const0` fanin is `Const0`, an XOR of two copies of a constant is that
+//! parity, and so on). `Unreached` (the empty value set) only survives on
+//! gates that sit on a combinational cycle.
+
+use incdx_netlist::{GateId, GateKind, Netlist};
+
+use crate::dataflow::{solve, Dataflow, Direction};
+
+/// One point of the constant lattice: the set of values a line can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Ternary {
+    /// Bottom: no value derived yet (only survives on cycles).
+    #[default]
+    Unreached,
+    /// The line is structurally pinned to logic 0.
+    Const0,
+    /// The line is structurally pinned to logic 1.
+    Const1,
+    /// Top: the line can take either value.
+    Varies,
+}
+
+impl Ternary {
+    /// Builds the lattice point from "can the line be 0 / be 1" flags.
+    pub fn from_can(can0: bool, can1: bool) -> Self {
+        match (can0, can1) {
+            (false, false) => Ternary::Unreached,
+            (true, false) => Ternary::Const0,
+            (false, true) => Ternary::Const1,
+            (true, true) => Ternary::Varies,
+        }
+    }
+
+    /// Can the line take the value 0?
+    pub fn can0(self) -> bool {
+        matches!(self, Ternary::Const0 | Ternary::Varies)
+    }
+
+    /// Can the line take the value 1?
+    pub fn can1(self) -> bool {
+        matches!(self, Ternary::Const1 | Ternary::Varies)
+    }
+
+    /// The pinned value, if the line is a proven constant.
+    pub fn constant(self) -> Option<bool> {
+        match self {
+            Ternary::Const0 => Some(false),
+            Ternary::Const1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+/// The logical complement (swaps the two constants, fixes the rest).
+impl std::ops::Not for Ternary {
+    type Output = Self;
+
+    fn not(self) -> Self {
+        Ternary::from_can(self.can1(), self.can0())
+    }
+}
+
+/// The exact ternary image of one gate function.
+///
+/// `value` supplies the lattice point of each fanin; the result is the
+/// set of outputs the gate can produce over every combination of fanin
+/// values drawn from those sets. Strict in [`Ternary::Unreached`]: if any
+/// fanin has the empty value set, so does the output.
+pub fn eval_gate(kind: GateKind, fanins: &[GateId], value: impl Fn(GateId) -> Ternary) -> Ternary {
+    match kind {
+        // Inputs and state-holding elements can take either value.
+        GateKind::Input | GateKind::Dff => Ternary::Varies,
+        GateKind::Const0 => Ternary::Const0,
+        GateKind::Const1 => Ternary::Const1,
+        GateKind::Buf => fanins.first().map(|&f| value(f)).unwrap_or_default(),
+        GateKind::Not => fanins.first().map(|&f| !value(f)).unwrap_or_default(),
+        GateKind::And | GateKind::Nand => {
+            let mut can1 = true;
+            let mut can0 = false;
+            for &f in fanins {
+                let v = value(f);
+                if v == Ternary::Unreached {
+                    return Ternary::Unreached;
+                }
+                can1 &= v.can1();
+                can0 |= v.can0();
+            }
+            let out = Ternary::from_can(can0, can1);
+            if kind == GateKind::Nand {
+                !out
+            } else {
+                out
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut can0 = true;
+            let mut can1 = false;
+            for &f in fanins {
+                let v = value(f);
+                if v == Ternary::Unreached {
+                    return Ternary::Unreached;
+                }
+                can0 &= v.can0();
+                can1 |= v.can1();
+            }
+            let out = Ternary::from_can(can0, can1);
+            if kind == GateKind::Nor {
+                !out
+            } else {
+                out
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Which parities are achievable over the fanin value sets.
+            let mut even = true;
+            let mut odd = false;
+            for &f in fanins {
+                let v = value(f);
+                if v == Ternary::Unreached {
+                    return Ternary::Unreached;
+                }
+                let (e, o) = (even, odd);
+                even = (e && v.can0()) || (o && v.can1());
+                odd = (o && v.can0()) || (e && v.can1());
+            }
+            let out = Ternary::from_can(even, odd);
+            if kind == GateKind::Xnor {
+                !out
+            } else {
+                out
+            }
+        }
+    }
+}
+
+/// The result of ternary constant propagation over one netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constants {
+    values: Vec<Ternary>,
+}
+
+struct ConstProp;
+
+impl Dataflow for ConstProp {
+    type Fact = Ternary;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn init(&self, _netlist: &Netlist, _id: GateId) -> Ternary {
+        Ternary::Unreached
+    }
+
+    fn transfer(&self, netlist: &Netlist, id: GateId, facts: &[Ternary]) -> Ternary {
+        let gate = netlist.gate(id);
+        // Out-of-range fanins (possible via `from_parts_unchecked`) read
+        // the `Unreached` default, keeping the pass total on hazardous
+        // structures — same contract as the lint crate's X-propagation.
+        eval_gate(gate.kind(), gate.fanins(), |f| {
+            facts.get(f.index()).copied().unwrap_or_default()
+        })
+    }
+}
+
+impl Constants {
+    /// Runs constant propagation to its fixed point.
+    pub fn compute(netlist: &Netlist) -> Self {
+        Constants {
+            values: solve(netlist, &ConstProp),
+        }
+    }
+
+    /// The lattice point of `line` ([`Ternary::Unreached`] if out of range).
+    pub fn value(&self, line: GateId) -> Ternary {
+        self.values.get(line.index()).copied().unwrap_or_default()
+    }
+
+    /// Number of lines proven constant.
+    pub fn const_lines(&self) -> usize {
+        self.values
+            .iter()
+            .filter(|v| v.constant().is_some())
+            .count()
+    }
+
+    /// Number of lines analysed.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no lines were analysed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::NetlistBuilder;
+
+    #[test]
+    fn constants_propagate_through_gates() {
+        let mut b = NetlistBuilder::new();
+        let i0 = b.add_input("i0");
+        let c1 = b.add_gate(GateKind::Const1, vec![]);
+        let c0 = b.add_gate(GateKind::Const0, vec![]);
+        let and_pass = b.add_gate(GateKind::And, vec![i0, c1]); // = i0
+        let and_kill = b.add_gate(GateKind::And, vec![i0, c0]); // = 0
+        let or_kill = b.add_gate(GateKind::Or, vec![i0, c1]); // = 1
+        let xor_inv = b.add_gate(GateKind::Xor, vec![c1, c1]); // = 0
+        let nor_inv = b.add_gate(GateKind::Nor, vec![c0, c0]); // = 1
+        b.add_output(and_pass);
+        b.add_output(and_kill);
+        b.add_output(or_kill);
+        b.add_output(xor_inv);
+        b.add_output(nor_inv);
+        let n = b.build().expect("valid");
+        let c = Constants::compute(&n);
+        assert_eq!(c.value(i0), Ternary::Varies);
+        assert_eq!(c.value(and_pass), Ternary::Varies);
+        assert_eq!(c.value(and_kill), Ternary::Const0);
+        assert_eq!(c.value(or_kill), Ternary::Const1);
+        assert_eq!(c.value(xor_inv), Ternary::Const0);
+        assert_eq!(c.value(nor_inv), Ternary::Const1);
+        assert_eq!(c.const_lines(), 6); // c0, c1 and the four derived above
+    }
+
+    #[test]
+    fn xor_parity_tracks_mixed_sets() {
+        let mut b = NetlistBuilder::new();
+        let i0 = b.add_input("i0");
+        let c1 = b.add_gate(GateKind::Const1, vec![]);
+        let x = b.add_gate(GateKind::Xor, vec![i0, c1]); // = NOT i0
+        let xn = b.add_gate(GateKind::Xnor, vec![c1, c1]); // = NOT(1^1) = 1
+        b.add_output(x);
+        b.add_output(xn);
+        let n = b.build().expect("valid");
+        let c = Constants::compute(&n);
+        assert_eq!(c.value(x), Ternary::Varies);
+        assert_eq!(c.value(xn), Ternary::Const1);
+    }
+
+    #[test]
+    fn not_flips_constants() {
+        assert_eq!(!Ternary::Const0, Ternary::Const1);
+        assert_eq!(!Ternary::Varies, Ternary::Varies);
+        assert_eq!(!Ternary::Unreached, Ternary::Unreached);
+    }
+}

@@ -1,0 +1,231 @@
+//! Per-line output-side dominator sets.
+//!
+//! `dom(l)` is the set of lines that *every* propagation path from `l` to
+//! any primary output must cross — the single-path chokepoints a fault
+//! effect at `l` is forced through. A line listed as a primary output is
+//! observed directly, so its dominator set is just `{l}`; a dead line (no
+//! path to any output) has no defined dominator set and is reported as
+//! `None`. Computed as a backward intersection dataflow on the shared
+//! worklist engine.
+//!
+//! In this workspace the table is telemetry, a lint substrate, and a
+//! chaos-engineering target (`corrupt_for_chaos` + `validate` form the
+//! engine's detect-and-rebuild cycle); the candidate pruner gets its power
+//! from the finer-grained [`crate::observable_changes`] query instead.
+
+use incdx_netlist::{GateId, Netlist};
+
+use crate::dataflow::{solve, Dataflow, Direction};
+
+/// Per-line output-side dominator sets for one netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominatorTable {
+    /// Sorted, deduplicated dominator set per line; `None` for lines with
+    /// no path to any primary output.
+    doms: Vec<Option<Vec<GateId>>>,
+}
+
+struct DomProp {
+    is_po: Vec<bool>,
+}
+
+impl Dataflow for DomProp {
+    type Fact = Option<Vec<GateId>>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn init(&self, _netlist: &Netlist, _id: GateId) -> Self::Fact {
+        None
+    }
+
+    fn transfer(&self, netlist: &Netlist, id: GateId, facts: &[Self::Fact]) -> Self::Fact {
+        if self.is_po[id.index()] {
+            // Directly observed: a PO dominates only itself.
+            return Some(vec![id]);
+        }
+        // Meet (intersection) over observed fanouts; None is the identity.
+        let mut acc: Option<Vec<GateId>> = None;
+        for &f in netlist.fanouts(id) {
+            let Some(theirs) = &facts[f.index()] else {
+                continue;
+            };
+            acc = Some(match acc {
+                None => theirs.clone(),
+                Some(mine) => intersect_sorted(&mine, theirs),
+            });
+        }
+        acc.map(|mut set| {
+            if let Err(pos) = set.binary_search(&id) {
+                set.insert(pos, id);
+            }
+            set
+        })
+    }
+}
+
+fn intersect_sorted(a: &[GateId], b: &[GateId]) -> Vec<GateId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+impl DominatorTable {
+    /// Computes the dominator table for `netlist`.
+    pub fn compute(netlist: &Netlist) -> Self {
+        let mut is_po = vec![false; netlist.len()];
+        for &po in netlist.outputs() {
+            // Out-of-range output references are ignored (hazardous
+            // structures; the lints report them separately).
+            if let Some(flag) = is_po.get_mut(po.index()) {
+                *flag = true;
+            }
+        }
+        DominatorTable {
+            doms: solve(netlist, &DomProp { is_po }),
+        }
+    }
+
+    /// The sorted dominator set of `line` (includes `line` itself), or
+    /// `None` when the line has no path to any primary output.
+    pub fn dominators(&self, line: GateId) -> Option<&[GateId]> {
+        self.doms.get(line.index())?.as_deref()
+    }
+
+    /// Number of lines with at least one *strict* dominator (a chokepoint
+    /// other than the line itself).
+    pub fn dominated_lines(&self) -> usize {
+        self.doms
+            .iter()
+            .filter(|d| d.as_ref().is_some_and(|s| s.len() > 1))
+            .count()
+    }
+
+    /// Number of lines in the table.
+    pub fn len(&self) -> usize {
+        self.doms.len()
+    }
+
+    /// True when the table covers no lines.
+    pub fn is_empty(&self) -> bool {
+        self.doms.is_empty()
+    }
+
+    /// Structural self-check: every defined set must be strictly sorted,
+    /// in range, and contain its own line (reflexivity). The engine runs
+    /// this after the chaos layer has had a chance to corrupt the table.
+    pub fn validate(&self) -> bool {
+        let n = self.doms.len();
+        for (i, dom) in self.doms.iter().enumerate() {
+            let Some(set) = dom else { continue };
+            if !set.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            if set.iter().any(|g| g.index() >= n) {
+                return false;
+            }
+            if set.binary_search(&GateId::from_index(i)).is_err() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Deterministic chaos corruption: removes the reflexive entry from
+    /// the last defined dominator set, which `validate` must catch.
+    /// Returns false when the table has nothing to corrupt.
+    pub fn corrupt_for_chaos(&mut self) -> bool {
+        for (i, dom) in self.doms.iter_mut().enumerate().rev() {
+            if let Some(set) = dom {
+                let me = GateId::from_index(i);
+                set.retain(|&g| g != me);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incdx_netlist::{GateKind, NetlistBuilder};
+
+    /// i0 → NOT → a ─┬─ AND(a, i1) ─┐
+    ///                └─ OR(a, i1) ──┴─ XOR → po
+    /// Every path from a (and from i0) must cross the XOR.
+    fn diamond() -> (incdx_netlist::Netlist, GateId, GateId, GateId) {
+        let mut b = NetlistBuilder::new();
+        let i0 = b.add_input("i0");
+        let i1 = b.add_input("i1");
+        let a = b.add_gate(GateKind::Not, vec![i0]);
+        let t = b.add_gate(GateKind::And, vec![a, i1]);
+        let e = b.add_gate(GateKind::Or, vec![a, i1]);
+        let x = b.add_gate(GateKind::Xor, vec![t, e]);
+        b.add_output(x);
+        (b.build().expect("valid"), i0, a, x)
+    }
+
+    #[test]
+    fn diamond_reconverges_at_the_xor() {
+        let (n, i0, a, x) = diamond();
+        let d = DominatorTable::compute(&n);
+        let da = d.dominators(a).expect("observed");
+        assert!(da.contains(&a) && da.contains(&x));
+        assert_eq!(da.len(), 2); // the branches cancel in the meet
+        let di = d.dominators(i0).expect("observed");
+        assert!(di.contains(&i0) && di.contains(&a) && di.contains(&x));
+        assert!(d.dominated_lines() >= 2);
+        assert!(d.validate());
+    }
+
+    #[test]
+    fn dead_lines_have_no_dominators() {
+        let mut b = NetlistBuilder::new();
+        let i0 = b.add_input("i0");
+        let dead = b.add_gate(GateKind::Not, vec![i0]);
+        let live = b.add_gate(GateKind::Buf, vec![i0]);
+        b.add_output(live);
+        let n = b.build().expect("valid");
+        let d = DominatorTable::compute(&n);
+        assert!(d.dominators(dead).is_none());
+        assert!(d.dominators(live).is_some());
+        assert!(d.validate());
+    }
+
+    #[test]
+    fn chain_dominators_are_the_whole_chain() {
+        let mut b = NetlistBuilder::new();
+        let i0 = b.add_input("i0");
+        let g1 = b.add_gate(GateKind::Not, vec![i0]);
+        let g2 = b.add_gate(GateKind::Buf, vec![g1]);
+        b.add_output(g2);
+        let n = b.build().expect("valid");
+        let d = DominatorTable::compute(&n);
+        assert_eq!(d.dominators(i0).expect("observed").len(), 3);
+    }
+
+    #[test]
+    fn corruption_is_caught_by_validate() {
+        let (n, ..) = diamond();
+        let mut d = DominatorTable::compute(&n);
+        assert!(d.validate());
+        assert!(d.corrupt_for_chaos());
+        assert!(!d.validate());
+        // Rebuild recovers.
+        d = DominatorTable::compute(&n);
+        assert!(d.validate());
+    }
+}

@@ -52,7 +52,9 @@ impl FaultClasses {
                         }
                     }
                     GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
-                        let c = gate.kind().controlling_value().expect("and/or family");
+                        let Some(c) = gate.kind().controlling_value() else {
+                            continue;
+                        };
                         let a = StuckAt::new(f, c);
                         let b = StuckAt::new(id, c ^ inverting);
                         if let (Some(&x), Some(&y)) = (index.get(&a), index.get(&b)) {

@@ -206,12 +206,10 @@ impl Podem<'_> {
         loop {
             let gate = self.netlist.gate(line);
             if gate.kind() == GateKind::Input {
-                let pi = self
-                    .netlist
-                    .inputs()
-                    .iter()
-                    .position(|&p| p == line)
-                    .expect("input gates are registered PIs");
+                // An Input gate outside the registered PI list only exists
+                // in malformed netlists; treat it as an unsatisfiable
+                // objective rather than aborting.
+                let pi = self.netlist.inputs().iter().position(|&p| p == line)?;
                 if self.pi_assign[pi] != V3::X {
                     return None; // objective conflicts with an assignment
                 }
@@ -231,7 +229,7 @@ impl Podem<'_> {
                     // when one controlling input suffices pick the easiest;
                     // when every input must be non-controlling pick the
                     // hardest first so conflicts surface early.
-                    let c = gate.kind().controlling_value().expect("and/or family");
+                    let c = gate.kind().controlling_value()?;
                     if v_core != c {
                         let pick = x_inputs
                             .iter()

@@ -88,7 +88,10 @@ impl Scoap {
                         (sat(odd) + 1, sat(even) + 1)
                     }
                 }
-                GateKind::Dff => unreachable!("combinational only"),
+                // State-holding elements never appear in the combinational
+                // netlists the engine feeds us; saturate rather than abort
+                // so a hostile netlist degrades instead of panicking.
+                GateKind::Dff => (Self::INFINITY, Self::INFINITY),
             };
             cc0[i] = sat(c0);
             cc1[i] = sat(c1);

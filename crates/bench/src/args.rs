@@ -42,6 +42,11 @@ pub struct Args {
     /// reverts to single-level search; exhaustive solution sets are
     /// identical either way).
     pub hierarchical: bool,
+    /// Arm the static-analysis pruning layer (`--prune`): candidate
+    /// lines provably unable to repair every failing output are dropped
+    /// before ranking (`--no-prune` reverts; solution sets are identical
+    /// either way — the pruning rules are sound by construction).
+    pub prune: bool,
     /// Share one batched path-trace pass across all failing vectors
     /// (`--batch-obs`; `--no-batch-obs` reverts to the per-vector walk;
     /// marking counts are bit-identical either way).
@@ -92,6 +97,7 @@ impl Default for Args {
             incremental: true,
             sparse: true,
             hierarchical: false,
+            prune: false,
             batch_obs: false,
             traversal: TraversalKind::default(),
             audit: false,
@@ -135,6 +141,8 @@ impl Args {
                 "--no-sparse" => args.sparse = false,
                 "--hierarchical" => args.hierarchical = true,
                 "--flat" => args.hierarchical = false,
+                "--prune" => args.prune = true,
+                "--no-prune" => args.prune = false,
                 "--batch-obs" => args.batch_obs = true,
                 "--no-batch-obs" => args.batch_obs = false,
                 "--audit" => args.audit = true,
@@ -167,7 +175,8 @@ impl Args {
                          --time-limit SECONDS --jobs N --dispatch|--no-dispatch \
                          --json|--no-json \
                          --incremental|--no-incremental --sparse|--no-sparse \
-                         --hierarchical|--flat --batch-obs|--no-batch-obs --audit \
+                         --hierarchical|--flat --prune|--no-prune \
+                         --batch-obs|--no-batch-obs --audit \
                          --traversal bfs|dfs|naive-bfs|best-first \
                          --deadline-ms N --max-nodes N --chaos SEED,RATE \
                          --checkpoint PATH --resume PATH"
@@ -304,6 +313,13 @@ mod tests {
         assert!(
             !Args::parse_from(["--hierarchical".to_string(), "--flat".to_string()]).hierarchical
         );
+    }
+
+    #[test]
+    fn prune_flag_round_trips() {
+        assert!(!Args::default().prune, "pruning is opt-in");
+        assert!(Args::parse_from(["--prune".to_string()]).prune);
+        assert!(!Args::parse_from(["--prune".to_string(), "--no-prune".to_string()]).prune);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn trial(
     config.time_limit = Some(args.time_limit);
     config.sparse = args.sparse;
     config.hierarchical = args.hierarchical;
+    config.prune = args.prune;
     config.batch_obs = args.batch_obs;
     config.dispatch = args.dispatch;
     if args.dispatch {

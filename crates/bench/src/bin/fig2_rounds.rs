@@ -62,6 +62,7 @@ fn budget_config(args: &Args, budget: usize) -> RectifyConfig {
     config.incremental = args.incremental;
     config.sparse = args.sparse;
     config.hierarchical = args.hierarchical;
+    config.prune = args.prune;
     config.batch_obs = args.batch_obs;
     config.traversal = args.traversal;
     config.audit = args.audit;

@@ -44,6 +44,7 @@ struct LintArgs {
     files: Vec<PathBuf>,
     suite: bool,
     json: bool,
+    codes: bool,
     deny: Vec<Deny>,
 }
 
@@ -52,6 +53,7 @@ fn parse_args<I: IntoIterator<Item = String>>(iter: I) -> Result<LintArgs, Strin
         files: Vec::new(),
         suite: false,
         json: false,
+        codes: false,
         deny: Vec::new(),
     };
     let mut it = iter.into_iter();
@@ -59,6 +61,7 @@ fn parse_args<I: IntoIterator<Item = String>>(iter: I) -> Result<LintArgs, Strin
         match flag.as_str() {
             "--suite" => args.suite = true,
             "--json" => args.json = true,
+            "--codes" => args.codes = true,
             "--deny" => {
                 let v = it.next().ok_or("missing value for --deny")?;
                 let spec = match v.to_ascii_lowercase().as_str() {
@@ -73,7 +76,7 @@ fn parse_args<I: IntoIterator<Item = String>>(iter: I) -> Result<LintArgs, Strin
                 args.deny.push(spec);
             }
             "--help" | "-h" => {
-                return Err("usage: lint [FILES...] [--suite] [--json] \
+                return Err("usage: lint [FILES...] [--suite] [--json] [--codes] \
                      [--deny error|warning|info|NLxxx]..."
                     .to_string())
             }
@@ -83,10 +86,21 @@ fn parse_args<I: IntoIterator<Item = String>>(iter: I) -> Result<LintArgs, Strin
             file => args.files.push(PathBuf::from(file)),
         }
     }
-    if args.files.is_empty() && !args.suite {
-        return Err("nothing to lint: pass .bench files and/or --suite".to_string());
+    if args.files.is_empty() && !args.suite && !args.codes {
+        return Err("nothing to lint: pass .bench files, --suite, or --codes".to_string());
     }
     Ok(args)
+}
+
+/// Prints every registered `NLxxx` code with its kebab-case name and
+/// one-line description. `NL000` is listed first by hand: it is emitted
+/// by tooling on parse failure, not by a registry analysis.
+fn emit_codes() {
+    println!("NL000 parse-error: the input could not be parsed at all");
+    for lint in incdx_lint::registry() {
+        let code = lint.code();
+        println!("{} {}: {}", code.as_str(), code.name(), lint.description());
+    }
 }
 
 /// Lints one target, already resolved to diagnostics.
@@ -190,6 +204,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.codes {
+        emit_codes();
+        if args.files.is_empty() && !args.suite {
+            return ExitCode::SUCCESS;
+        }
+    }
     let mut targets: Vec<TargetReport> = args.files.iter().map(lint_file).collect();
     if args.suite {
         targets.extend(lint_suite());
@@ -247,6 +267,20 @@ mod tests {
     fn empty_invocation_is_a_usage_error() {
         assert!(parse(&[]).is_err());
         assert!(parse(&["--json"]).is_err());
+    }
+
+    #[test]
+    fn codes_flag_needs_no_targets_and_covers_every_code() {
+        let a = parse(&["--codes"]).unwrap();
+        assert!(a.codes && a.files.is_empty() && !a.suite);
+        // Every registry code resolves a name and description for the
+        // listing, and the registry covers ALL_CODES exactly.
+        let registry = incdx_lint::registry();
+        assert_eq!(registry.len(), incdx_lint::ALL_CODES.len());
+        for lint in &registry {
+            assert!(!lint.description().is_empty());
+            assert!(lint.code().as_str().starts_with("NL"));
+        }
     }
 
     #[test]

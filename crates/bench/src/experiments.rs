@@ -56,6 +56,10 @@ pub struct TrialOptions {
     /// Two-level hierarchical diagnosis (see [`Args::hierarchical`]):
     /// abstract-first search resumed on the implicated concrete regions.
     pub hierarchical: bool,
+    /// Static-analysis candidate pruning (see [`Args::prune`]): sound
+    /// filtering of candidate lines before ranking; solution sets are
+    /// identical either way.
+    pub prune: bool,
     /// Batched multi-observation path-trace (see [`Args::batch_obs`]).
     pub batch_obs: bool,
     /// Decision-tree scheduling policy.
@@ -95,6 +99,7 @@ impl TrialOptions {
             incremental: args.incremental,
             sparse: args.sparse,
             hierarchical: args.hierarchical,
+            prune: args.prune,
             batch_obs: args.batch_obs,
             traversal: args.traversal,
             dispatch: args.dispatch,
@@ -222,6 +227,7 @@ pub fn stuck_at_trial(
     config.incremental = opts.incremental;
     config.sparse = opts.sparse;
     config.hierarchical = opts.hierarchical;
+    config.prune = opts.prune;
     config.batch_obs = opts.batch_obs;
     config.traversal = opts.traversal;
     config.dispatch = opts.dispatch;
@@ -319,6 +325,7 @@ pub fn dedc_trial(
     config.incremental = opts.incremental;
     config.sparse = opts.sparse;
     config.hierarchical = opts.hierarchical;
+    config.prune = opts.prune;
     config.batch_obs = opts.batch_obs;
     config.traversal = opts.traversal;
     config.dispatch = opts.dispatch;

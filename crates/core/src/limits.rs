@@ -235,6 +235,10 @@ pub enum DegradationKind {
     /// rebuilt from the base netlist — or the abstract session could not
     /// be constructed and the run fell back to flat diagnosis.
     AbstractionRepair,
+    /// A static-analysis table (the dominator table behind candidate
+    /// pruning telemetry) failed its structural self-check (a chaos
+    /// table corruption) and was rebuilt from the base netlist.
+    AnalysisRepair,
 }
 
 impl DegradationKind {
@@ -247,6 +251,7 @@ impl DegradationKind {
             DegradationKind::AuditRepair => "audit-repair",
             DegradationKind::SparseRepair => "sparse-repair",
             DegradationKind::AbstractionRepair => "abstraction-repair",
+            DegradationKind::AnalysisRepair => "analysis-repair",
         }
     }
 }

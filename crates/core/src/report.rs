@@ -123,12 +123,13 @@ impl RectifyReport {
         ));
         out.push_str(&format!(",\"truncated\":{}", s.truncated));
         out.push_str(&format!(
-            ",\"time\":{{\"evaluate\":{},\"simulation\":{},\"path_trace\":{},\"rank\":{},\"screen\":{},\"diagnosis\":{},\"correction\":{}}}",
+            ",\"time\":{{\"evaluate\":{},\"simulation\":{},\"path_trace\":{},\"rank\":{},\"screen\":{},\"prune\":{},\"diagnosis\":{},\"correction\":{}}}",
             secs(s.evaluate_time),
             secs(s.simulation_time),
             secs(s.path_trace_time),
             secs(s.rank_time),
             secs(s.screen_time),
+            secs(s.prune_time),
             secs(s.diagnosis_time),
             secs(s.correction_time),
         ));
@@ -173,6 +174,29 @@ impl RectifyReport {
                 a.phase2_nodes,
             )),
             None => out.push_str(",\"abstraction\":null"),
+        }
+        match &s.analysis {
+            Some(a) => out.push_str(&format!(
+                ",\"analysis\":{{\"const_lines\":{},\"dominated_lines\":{},\"table_rebuilds\":{},\"prune_checks\":{},\"static_pruned\":{}}}",
+                a.const_lines, a.dominated_lines, a.table_rebuilds, s.prune_checks, s.static_pruned,
+            )),
+            None => out.push_str(",\"analysis\":null"),
+        }
+        match &s.fault_classes {
+            Some(fc) => {
+                out.push_str(&format!(
+                    ",\"fault_classes\":{{\"classes\":{},\"faults\":{},\"representatives\":[",
+                    fc.classes, fc.faults,
+                ));
+                for (i, r) in fc.representatives.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\"", escape_json(r)));
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str(",\"fault_classes\":null"),
         }
         out.push_str(&format!(
             ",\"workers\":{{\"count\":{},\"busy\":{},\"wall\":{},\"utilization\":{:.4}}}",
@@ -239,8 +263,8 @@ impl RectifyReport {
         out.push(']');
         match &s.chaos {
             Some(c) => out.push_str(&format!(
-                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{},\"map_corruptions\":{}}}",
-                c.panics, c.bit_flips, c.width_errors, c.summary_flips, c.map_corruptions,
+                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{},\"map_corruptions\":{},\"table_corruptions\":{}}}",
+                c.panics, c.bit_flips, c.width_errors, c.summary_flips, c.map_corruptions, c.table_corruptions,
             )),
             None => out.push_str(",\"chaos\":null"),
         }
@@ -316,7 +340,39 @@ mod tests {
         assert!(json.contains("\"chaos\":null"));
         assert!(json.contains("\"dispatch\":null"));
         assert!(json.contains("\"abstraction\":null"));
+        assert!(json.contains("\"analysis\":null"));
+        assert!(json.contains("\"fault_classes\":null"));
         assert!(json.contains("\"path_trace\":{\"batches\":0,\"observations_batched\":0}"));
+    }
+
+    #[test]
+    fn analysis_and_fault_class_telemetry_serialize() {
+        let stats = RectifyStats {
+            analysis: Some(crate::AnalysisStats {
+                const_lines: 4,
+                dominated_lines: 11,
+                table_rebuilds: 1,
+            }),
+            prune_checks: 30,
+            static_pruned: 7,
+            fault_classes: Some(crate::FaultClassSummary {
+                classes: 2,
+                faults: 6,
+                representatives: vec!["y/0".to_string(), "g1/1".to_string()],
+            }),
+            ..RectifyStats::default()
+        };
+        let report = RectifyReport::from_parts("prune", 1, 1, 1, Verdict::default(), 0, stats);
+        let json = report.to_json();
+        assert!(json.contains(
+            "\"analysis\":{\"const_lines\":4,\"dominated_lines\":11,\
+             \"table_rebuilds\":1,\"prune_checks\":30,\"static_pruned\":7}"
+        ));
+        assert!(json.contains(
+            "\"fault_classes\":{\"classes\":2,\"faults\":6,\"representatives\":[\"y/0\",\"g1/1\"]}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]
@@ -395,6 +451,7 @@ mod tests {
             width_errors: 0,
             summary_flips: 3,
             map_corruptions: 1,
+            table_corruptions: 2,
         });
         let report = RectifyReport::from_parts(
             "chaos",
@@ -415,7 +472,7 @@ mod tests {
             "\"degradations\":[{\"kind\":\"worker-panic\",\"count\":2,\"detail\":\"2 worker panic(s) \\\"quoted\\\"\"}]"
         ));
         assert!(json.contains(
-            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3,\"map_corruptions\":1}"
+            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3,\"map_corruptions\":1,\"table_corruptions\":2}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

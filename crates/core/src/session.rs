@@ -159,6 +159,19 @@ pub struct RectifyConfig {
     /// restriction. Set internally by hierarchical phase 2; exposed for
     /// harnesses that already know the implicated region.
     pub focus: Option<Vec<GateId>>,
+    /// Static-analysis candidate pruning: build the
+    /// [`AnalysisTables`](incdx_analysis::AnalysisTables) for the job and
+    /// drop candidate lines whose effects provably cannot repair the
+    /// failing primary outputs before ranking/screening. Sound by
+    /// construction: the reachability check is a no-op contract on real
+    /// path-trace marks (every marked line reaches a failing PO), and the
+    /// covering check only fires on last-correction-slot nodes of
+    /// *exhaustive* runs, where dropping a provably dead candidate cannot
+    /// change the reported minimal solution set (first-solution DEDC runs
+    /// stay bit-identical by construction). Telemetry lands in
+    /// [`RectifyStats::static_pruned`] / [`RectifyStats::prune_checks`] /
+    /// [`RectifyStats::analysis`].
+    pub prune: bool,
 }
 
 impl RectifyConfig {
@@ -191,6 +204,7 @@ impl RectifyConfig {
             hierarchical: false,
             batch_obs: false,
             focus: None,
+            prune: false,
         }
     }
 
@@ -227,6 +241,7 @@ impl RectifyConfig {
             hierarchical: false,
             batch_obs: false,
             focus: None,
+            prune: false,
         }
     }
 }
@@ -296,6 +311,9 @@ pub struct RectifyStats {
     /// Total time evaluating decision-tree nodes (simulate + diagnose +
     /// screen; the sum over all nodes).
     pub evaluate_time: Duration,
+    /// Time in the static pruning stage (a component of
+    /// `diagnosis_time`; zero when pruning is off).
+    pub prune_time: Duration,
     /// Corrections evaluated against heuristic 2.
     pub corrections_screened: usize,
     /// Corrections surviving both screens (before the per-node cap).
@@ -382,6 +400,50 @@ pub struct RectifyStats {
     /// Failing-vector observations covered by those batched passes —
     /// each would have been its own depth-first walk without batching.
     pub observations_batched: u64,
+    /// Candidate lines dropped by the static pruning layer
+    /// ([`RectifyConfig::prune`]; 0 when pruning is off).
+    pub static_pruned: u64,
+    /// Candidate lines examined by the static pruning layer (each is one
+    /// reachability check, plus a covering check on last-slot exhaustive
+    /// nodes).
+    pub prune_checks: u64,
+    /// Static-analysis telemetry when the run was armed with
+    /// [`RectifyConfig::prune`]; `None` otherwise. In hierarchical runs
+    /// this is the sum over the child sessions' tables.
+    pub analysis: Option<AnalysisStats>,
+    /// Structural fault-equivalence summary, computed on the base netlist
+    /// whenever an exhaustive stuck-at run starts (independent of
+    /// pruning); `None` for other modes. The paper's Table-1 "equivalent
+    /// fault classes" numbers come from here.
+    pub fault_classes: Option<FaultClassSummary>,
+}
+
+/// Telemetry of the static-analysis tables behind candidate pruning
+/// ([`RectifyConfig::prune`]); lands in [`RectifyStats::analysis`] and
+/// the JSON report's `"analysis"` object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Lines the ternary lattice proved constant.
+    pub const_lines: usize,
+    /// Lines with at least one strict output-side dominator.
+    pub dominated_lines: usize,
+    /// Dominator tables rebuilt after failing their structural
+    /// self-check (nonzero only under chaos corruption).
+    pub table_rebuilds: u64,
+}
+
+/// Structural fault-equivalence classes of the base netlist, from
+/// [`incdx_atpg::FaultClasses`]; lands in [`RectifyStats::fault_classes`]
+/// and the JSON report's `"fault_classes"` object.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultClassSummary {
+    /// Number of structural equivalence classes.
+    pub classes: usize,
+    /// Total collapsed stuck-at faults (2 per line).
+    pub faults: usize,
+    /// One representative per class, formatted `line/polarity` (line
+    /// name when available, else the `n<id>` display form).
+    pub representatives: Vec<String>,
 }
 
 /// Telemetry of one hierarchical run's abstraction and refinement
@@ -513,6 +575,11 @@ pub struct Rectifier {
     /// runs serially for the rest of the run (results are bit-identical
     /// for every jobs count, so the fallback is lossless).
     degrade_serial: bool,
+    /// Static-analysis tables of the *base* netlist when
+    /// [`RectifyConfig::prune`] is armed; the pipeline consults them only
+    /// at the search root (whose netlist is the base) and recomputes
+    /// per-node facts elsewhere.
+    analysis: Option<incdx_analysis::AnalysisTables>,
     /// Harness label stamped into captured checkpoints.
     checkpoint_label: String,
     /// Harness trial seed stamped into captured checkpoints.
@@ -578,7 +645,15 @@ impl Rectifier {
         }
         let base_inputs = netlist.inputs().to_vec();
         let base_cones = ConeCache::new(&netlist);
-        let traversal = config.traversal.build();
+        let mut traversal = config.traversal.build();
+        // Seed the strategy with SCOAP observability unconditionally —
+        // not only when pruning is armed — so `--prune`/`--no-prune`
+        // schedules stay identical and the prune-equivalence contract
+        // holds bit-for-bit. (The netlist is combinational here; SCOAP
+        // requires exactly that.)
+        let scoap = incdx_atpg::Scoap::compute(&netlist);
+        let co: Vec<u32> = netlist.ids().map(|id| scoap.co(id)).collect();
+        traversal.seed_observability(&co);
         let chaos = config.chaos.map(ChaosState::new);
         // Under the frontier dispatcher the master evaluates serially
         // (workers carry the parallelism), so its own stack skips the
@@ -603,6 +678,7 @@ impl Rectifier {
             cancel: CancelToken::new(),
             chaos,
             degrade_serial: false,
+            analysis: None,
             checkpoint_label: String::new(),
             checkpoint_seed: 0,
         })
@@ -769,6 +845,8 @@ impl Rectifier {
         self.stats.traversal = self.traversal.name();
         self.stats.evaluator = self.evaluator.name();
         self.degrade_serial = false;
+        self.arm_analysis();
+        self.stats.fault_classes = fault_class_summary(&self.base, &self.config);
         // Global parameter relaxation (§3.3): the whole tree search runs at
         // one `h1/h2/h3` level; only if it "returns with no corrections" —
         // no solution — does the run restart at the next, looser level. A
@@ -846,6 +924,40 @@ impl Rectifier {
         }
     }
 
+    /// Builds (or clears) the job's static-analysis tables per
+    /// [`RectifyConfig::prune`], running the chaos
+    /// corrupt→validate→rebuild cycle on the dominator table: a
+    /// corrupted table must be caught by its structural self-check,
+    /// rebuilt from the base netlist, and recorded as an
+    /// [`DegradationKind::AnalysisRepair`] degradation.
+    fn arm_analysis(&mut self) {
+        self.analysis = None;
+        if !self.config.prune {
+            self.stats.analysis = None;
+            return;
+        }
+        let mut tables = incdx_analysis::AnalysisTables::compute(&self.base);
+        if let Some(chaos) = &self.chaos {
+            chaos.maybe_corrupt_analysis(&mut tables.dominators);
+        }
+        let mut rebuilds = 0;
+        if !tables.dominators.validate() {
+            tables.dominators = incdx_analysis::DominatorTable::compute(&self.base);
+            rebuilds = 1;
+            self.stats.degradations.push(DegradationEvent::new(
+                DegradationKind::AnalysisRepair,
+                1,
+                "dominator table failed its structural self-check; rebuilt from the base netlist",
+            ));
+        }
+        self.stats.analysis = Some(AnalysisStats {
+            const_lines: tables.constants.const_lines(),
+            dominated_lines: tables.dominators.dominated_lines(),
+            table_rebuilds: rebuilds,
+        });
+        self.analysis = Some(tables);
+    }
+
     /// The two-level hierarchical orchestration
     /// ([`RectifyConfig::hierarchical`]).
     ///
@@ -881,6 +993,7 @@ impl Rectifier {
         self.stats = RectifyStats::default();
         self.stats.traversal = self.traversal.name();
         self.stats.evaluator = self.evaluator.name();
+        self.stats.fault_classes = fault_class_summary(&self.base, &self.config);
         let resume_phase = resume.map_or(0, |c| c.phase);
 
         let mut abs = Abstraction::build(&self.base);
@@ -1702,7 +1815,8 @@ impl Rectifier {
                 self.evaluator.incremental(),
             )
             .with_cancel(self.cancel.clone())
-            .with_chaos(self.chaos.clone());
+            .with_chaos(self.chaos.clone())
+            .with_analysis(self.analysis.as_ref());
             let candidates = pipeline.run(
                 &netlist,
                 &vals,
@@ -1832,6 +1946,19 @@ fn absorb_child(stats: &mut RectifyStats, child: &RectifyStats) {
         (None, Some(theirs)) => stats.dispatch = Some(theirs.clone()),
         _ => {}
     }
+    // Static-analysis telemetry sums over child sessions (hierarchical
+    // phases each build tables for their own netlist).
+    match (&mut stats.analysis, &child.analysis) {
+        (Some(mine), Some(theirs)) => {
+            mine.const_lines += theirs.const_lines;
+            mine.dominated_lines += theirs.dominated_lines;
+            mine.table_rebuilds += theirs.table_rebuilds;
+        }
+        (None, Some(theirs)) => stats.analysis = Some(theirs.clone()),
+        _ => {}
+    }
+    // `fault_classes` is deliberately NOT absorbed: it is a run-level
+    // identity of the base netlist, not accumulated work.
 }
 
 /// Is the work-stealing frontier dispatcher in effect for `config`?
@@ -1858,6 +1985,7 @@ fn absorb_speculative(stats: &mut RectifyStats, spec: &RectifyStats) {
     stats.rank_time += spec.rank_time;
     stats.screen_time += spec.screen_time;
     stats.evaluate_time += spec.evaluate_time;
+    stats.prune_time += spec.prune_time;
     stats.corrections_screened += spec.corrections_screened;
     stats.corrections_qualified += spec.corrections_qualified;
     stats.lines_rejected_h1 += spec.lines_rejected_h1;
@@ -1879,6 +2007,36 @@ fn absorb_speculative(stats: &mut RectifyStats, spec: &RectifyStats) {
     stats.lines_truncated += spec.lines_truncated;
     stats.path_trace_batches += spec.path_trace_batches;
     stats.observations_batched += spec.observations_batched;
+    stats.static_pruned += spec.static_pruned;
+    stats.prune_checks += spec.prune_checks;
+}
+
+/// The structural fault-equivalence summary reported for exhaustive
+/// stuck-at runs ([`RectifyStats::fault_classes`]): collapsing comes
+/// from [`incdx_atpg::FaultClasses`] on the base netlist, so the
+/// Table-1-style "equivalent fault classes" numbers are the engine's
+/// own. `None` for other modes.
+fn fault_class_summary(netlist: &Netlist, config: &RectifyConfig) -> Option<FaultClassSummary> {
+    if config.model != CorrectionModel::StuckAt || !config.exhaustive {
+        return None;
+    }
+    let classes = incdx_atpg::FaultClasses::build(netlist);
+    let representatives = classes
+        .representatives()
+        .iter()
+        .map(|f| {
+            let line = match netlist.name(f.line()) {
+                Some(name) => name.to_string(),
+                None => f.line().to_string(),
+            };
+            format!("{}/{}", line, u8::from(f.value()))
+        })
+        .collect();
+    Some(FaultClassSummary {
+        classes: classes.classes().len(),
+        faults: classes.total_faults(),
+        representatives,
+    })
 }
 
 /// Recovered worker panics tolerated before screening latches to serial

@@ -52,6 +52,16 @@ pub trait Traversal: Debug + Send {
         let _ = candidate;
         -((parent.depth() + 1) as f64)
     }
+
+    /// Offers the policy a per-line SCOAP observability table (`CO`,
+    /// indexed by `GateId::index` on the session's base netlist; lower
+    /// means easier to observe). Called once by the engine right after
+    /// the strategy is built. The default ignores it; [`BestFirst`]
+    /// stores it and uses it as an infinitesimal tie-break so that among
+    /// equally promising candidates the most observable line goes first.
+    fn seed_observability(&mut self, co: &[u32]) {
+        let _ = co;
+    }
 }
 
 /// The paper's round-based schedule: every node present at the start of
@@ -120,13 +130,31 @@ impl Traversal for NaiveBfs {
 /// Node indices are the tree's push sequence numbers, so the scheduled
 /// node is a deterministic function of the tree contents alone — the
 /// property the dispatcher's frontier relies on to replay identically.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct BestFirst;
+#[derive(Debug, Clone, Default)]
+pub struct BestFirst {
+    /// SCOAP `CO` per line of the base netlist (empty until seeded).
+    co: Vec<u32>,
+}
 
 impl BestFirst {
-    fn priority(node: &Node) -> Option<f64> {
+    /// An infinitesimal bonus favouring more observable lines. Scaled to
+    /// `1e-9` so it can only reorder candidates whose heuristic scores
+    /// tie exactly (distinct h1 ratios on realistic tree sizes differ by
+    /// far more); unseeded strategies add nothing, preserving pure
+    /// creation-order tie-breaks.
+    fn co_bonus(&self, line: incdx_netlist::GateId) -> f64 {
+        if self.co.is_empty() {
+            return 0.0;
+        }
+        // Lines beyond the seeded table (grown by InsertGate corrections)
+        // get the best-case CO of 0: a neutral, deterministic choice.
+        let co = self.co.get(line.index()).copied().unwrap_or(0);
+        1e-9 / (1.0 + co as f64)
+    }
+
+    fn priority(&self, node: &Node) -> Option<f64> {
         let cand = node.peek()?;
-        Some(cand.h1_score / node.failing.max(1) as f64)
+        Some(cand.h1_score / node.failing.max(1) as f64 + self.co_bonus(cand.correction.line()))
     }
 }
 
@@ -138,7 +166,7 @@ impl Traversal for BestFirst {
     fn schedule(&mut self, tree: &Tree, plan: &mut Vec<usize>) {
         let mut best: Option<(usize, f64)> = None;
         for (idx, node) in tree.nodes().iter().enumerate() {
-            let Some(p) = Self::priority(node) else {
+            let Some(p) = self.priority(node) else {
                 continue;
             };
             let better = match best {
@@ -163,6 +191,11 @@ impl Traversal for BestFirst {
 
     fn frontier_priority(&self, parent: &Node, candidate: &RankedCorrection) -> f64 {
         candidate.h1_score / parent.failing.max(1) as f64
+            + self.co_bonus(candidate.correction.line())
+    }
+
+    fn seed_observability(&mut self, co: &[u32]) {
+        self.co = co.to_vec();
     }
 }
 
@@ -207,7 +240,7 @@ impl TraversalKind {
             TraversalKind::RoundRobinBfs => Box::new(RoundRobinBfs),
             TraversalKind::DepthFirst => Box::new(DepthFirst),
             TraversalKind::NaiveBfs => Box::new(NaiveBfs),
-            TraversalKind::BestFirst => Box::new(BestFirst),
+            TraversalKind::BestFirst => Box::new(BestFirst::default()),
         }
     }
 }
@@ -302,7 +335,7 @@ mod tests {
             child(3, vec![], 1),                  // closed
         ]);
         let mut plan = Vec::new();
-        BestFirst.schedule(&t, &mut plan);
+        BestFirst::default().schedule(&t, &mut plan);
         assert_eq!(plan, vec![1]);
     }
 
@@ -313,7 +346,7 @@ mod tests {
             child(1, vec![rc(0.4)], 2),
         ]);
         let mut plan = Vec::new();
-        BestFirst.schedule(&t, &mut plan);
+        BestFirst::default().schedule(&t, &mut plan);
         assert_eq!(plan, vec![0]);
     }
 
@@ -329,7 +362,7 @@ mod tests {
             }
             let t = tree_with(nodes);
             let mut plan = Vec::new();
-            BestFirst.schedule(&t, &mut plan);
+            BestFirst::default().schedule(&t, &mut plan);
             assert_eq!(plan, vec![1], "tied class of {tied} must pick oldest");
         }
         // NaN h1 scores take a fixed place in total_cmp's total order
@@ -341,8 +374,50 @@ mod tests {
             child(1, vec![rc(0.1)], 1),
         ]);
         let mut plan = Vec::new();
-        BestFirst.schedule(&t, &mut plan);
+        BestFirst::default().schedule(&t, &mut plan);
         assert_eq!(plan, vec![0]);
+    }
+
+    #[test]
+    fn seeded_best_first_breaks_exact_ties_by_observability() {
+        fn rc_at(line: u32, h1: f64) -> RankedCorrection {
+            RankedCorrection {
+                correction: Correction::new(GateId(line), CorrectionAction::SetConst(true)),
+                rank: h1,
+                h1_score: h1,
+                h2_fraction: 1.0,
+                h3_score: 1.0,
+            }
+        }
+        // Two open nodes with exactly tied h1/failing, differing only in
+        // which line their next candidate touches.
+        let t = tree_with(vec![
+            Node::new(vec![], vec![rc_at(0, 0.25)], 4), // CO 9
+            child(9, vec![rc_at(1, 0.25)], 4),          // CO 2 <- more observable
+        ]);
+        let mut seeded = BestFirst::default();
+        seeded.seed_observability(&[9, 2]);
+        let mut plan = Vec::new();
+        seeded.schedule(&t, &mut plan);
+        assert_eq!(plan, vec![1], "seeded CO must win exact ties");
+        // Unseeded: pure creation order.
+        let mut plan = Vec::new();
+        BestFirst::default().schedule(&t, &mut plan);
+        assert_eq!(plan, vec![0]);
+        // The bonus never outweighs a real score difference.
+        let t2 = tree_with(vec![
+            Node::new(vec![], vec![rc_at(0, 0.26)], 4),
+            child(9, vec![rc_at(1, 0.25)], 4),
+        ]);
+        let mut plan = Vec::new();
+        seeded.schedule(&t2, &mut plan);
+        assert_eq!(plan, vec![0]);
+        // Frontier priorities see the same bonus.
+        let parent = child(9, vec![rc_at(1, 0.5)], 4);
+        assert!(
+            seeded.frontier_priority(&parent, &rc_at(1, 0.8))
+                > seeded.frontier_priority(&parent, &rc_at(0, 0.8))
+        );
     }
 
     #[test]
@@ -355,13 +430,13 @@ mod tests {
         // DFS: deeper children first.
         assert_eq!(DepthFirst.frontier_priority(&parent, &cand), 2.0);
         // Best-first: the candidate's own h1 per failing vector.
-        assert_eq!(BestFirst.frontier_priority(&parent, &cand), 0.2);
+        assert_eq!(BestFirst::default().frontier_priority(&parent, &cand), 0.2);
     }
 
     #[test]
     fn single_step_budget_scales_with_node_cap() {
         assert_eq!(DepthFirst.iteration_budget(48, 1024), 4096);
-        assert_eq!(BestFirst.iteration_budget(1, 1024), 4096);
+        assert_eq!(BestFirst::default().iteration_budget(1, 1024), 4096);
         assert_eq!(NaiveBfs.iteration_budget(usize::MAX, 10), 40);
     }
 

@@ -1,0 +1,321 @@
+//! The static-pruning contract, property-tested: arming
+//! [`RectifyConfig::prune`] never changes *what* the engine finds.
+//!
+//! Two strengths of the promise, matching the two pruning rules:
+//!
+//! * **DEDC / first-solution mode** runs only the reachability rule,
+//!   which path-trace marking already guarantees — so a pruned run is
+//!   **bit-identical** to an unpruned one: same solutions in the same
+//!   order, same node and simulation counters. The prune layer is a
+//!   verified no-op there, visible only in `prune_checks`.
+//! * **Exhaustive mode** additionally drops last-slot candidates whose
+//!   observable changes provably miss a failing output. Dropping dead
+//!   work can reorder the visit sequence, so the promise weakens to
+//!   *solution-set* equality — across every traversal strategy, and
+//!   composed with the hierarchical, dispatched, and sparse engines and
+//!   with checkpoint/resume.
+//!
+//! A final chaos test corrupts the dominator table and pins the
+//! recover-by-rebuild path (`analysis-repair` degradation, 1:1 with the
+//! injected corruption count, lossless solutions).
+
+use incdx_core::{
+    ChaosConfig, Checkpoint, DegradationKind, Rectifier, RectifyConfig, RectifyResult,
+    TraversalKind, Verdict,
+};
+use incdx_fault::{Correction, StuckAt};
+use incdx_gen::{random_dag, RandomDagConfig};
+use incdx_netlist::{GateId, Netlist};
+use incdx_sim::{PackedMatrix, Response, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dag(seed: u64) -> Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs: 6,
+            gates: 40,
+            outputs: 4,
+            max_fanin: 3,
+            xor_fraction: 0.1,
+            window: 16,
+        },
+        seed,
+    )
+}
+
+/// Builds a diagnosable (golden, vectors, device) workload with `faults`
+/// injected stuck-at faults, or `None` when the faults are not excited.
+fn workload(seed: u64, pick: usize, faults: usize) -> Option<(Netlist, PackedMatrix, Response)> {
+    let golden = dag(seed);
+    let mut device_nl = golden.clone();
+    for f in 0..faults {
+        let line = GateId::from_index((pick + 13 * f) % golden.len());
+        if StuckAt::new(line, (pick + f).is_multiple_of(2))
+            .apply(&mut device_nl)
+            .is_err()
+        {
+            return None;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00E0_5EED);
+    let pi = PackedMatrix::random(golden.inputs().len(), 128, &mut rng);
+    let mut sim = Simulator::new();
+    let device = Response::capture(
+        &device_nl,
+        &sim.run_for_inputs(&device_nl, golden.inputs(), &pi),
+    );
+    let vals = sim.run(&golden, &pi);
+    if Response::compare(&golden, &vals, &device).matches() {
+        return None; // not excited
+    }
+    Some((golden, pi, device))
+}
+
+/// A solution set (order-insensitive): each solution as its sorted
+/// correction list, the whole collection sorted.
+fn solution_set(result: &RectifyResult) -> Vec<Vec<Correction>> {
+    let mut set: Vec<Vec<Correction>> = result
+        .solutions
+        .iter()
+        .map(|s| {
+            let mut c = s.corrections.clone();
+            c.sort();
+            c
+        })
+        .collect();
+    set.sort();
+    set
+}
+
+fn run(
+    golden: &Netlist,
+    pi: &PackedMatrix,
+    device: &Response,
+    config: RectifyConfig,
+) -> RectifyResult {
+    Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+        .expect("well-formed workload")
+        .run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Exhaustive diagnosis: for every traversal strategy, the pruned
+    /// run enumerates exactly the unpruned run's solution set, the
+    /// pruning layer demonstrably ran (`prune_checks > 0`), and the
+    /// analysis telemetry appears if and only if pruning was armed.
+    #[test]
+    fn pruned_exhaustive_matches_unpruned_on_every_traversal(
+        seed in 0u64..60,
+        pick in 0usize..1000,
+        faults in 1usize..3,
+    ) {
+        let Some((golden, pi, device)) = workload(seed, pick, faults) else {
+            return Ok(());
+        };
+        for kind in TraversalKind::ALL {
+            let go = |prune: bool| {
+                let mut config = RectifyConfig::stuck_at_exhaustive(faults);
+                config.traversal = kind;
+                config.prune = prune;
+                run(&golden, &pi, &device, config)
+            };
+            let plain = go(false);
+            if plain.stats.truncated {
+                return Ok(()); // budget-cut search: set equality is not promised
+            }
+            let pruned = go(true);
+            prop_assert!(!pruned.stats.truncated, "{kind:?} pruned run hit a budget");
+            prop_assert_eq!(
+                &solution_set(&plain),
+                &solution_set(&pruned),
+                "{:?}: pruning changed the solution set",
+                kind
+            );
+            prop_assert!(pruned.stats.prune_checks > 0, "{kind:?}: pruning never ran");
+            prop_assert!(pruned.stats.analysis.is_some(), "armed run reports tables");
+            prop_assert!(plain.stats.analysis.is_none(), "unarmed run reports none");
+            prop_assert!(plain.stats.prune_checks == 0 && plain.stats.static_pruned == 0);
+            // Exhaustive stuck-at runs carry the structural
+            // fault-equivalence summary, pruned or not.
+            let classes = pruned.stats.fault_classes.as_ref().expect("fault classes");
+            prop_assert!(classes.classes >= 1 && !classes.representatives.is_empty());
+            prop_assert_eq!(&plain.stats.fault_classes, &pruned.stats.fault_classes);
+        }
+    }
+
+    /// DEDC / first-solution diagnosis: pruning is a verified no-op —
+    /// the pruned run is bit-identical to the unpruned run (solutions in
+    /// order, node/round/simulation counters), not merely set-equal, and
+    /// the observability rule never fires (`static_pruned == 0`).
+    #[test]
+    fn dedc_pruning_is_bit_identical(
+        seed in 0u64..60,
+        pick in 0usize..1000,
+        faults in 1usize..3,
+    ) {
+        let Some((golden, pi, device)) = workload(seed, pick, faults) else {
+            return Ok(());
+        };
+        let go = |prune: bool| {
+            let mut config = RectifyConfig::dedc(2);
+            config.prune = prune;
+            run(&golden, &pi, &device, config)
+        };
+        let plain = go(false);
+        let pruned = go(true);
+        prop_assert_eq!(&plain.solutions, &pruned.solutions, "solutions and order");
+        prop_assert_eq!(plain.stats.nodes, pruned.stats.nodes, "nodes");
+        prop_assert_eq!(plain.stats.rounds, pruned.stats.rounds, "rounds");
+        prop_assert_eq!(
+            plain.stats.corrections_screened,
+            pruned.stats.corrections_screened,
+            "screened"
+        );
+        prop_assert_eq!(
+            plain.stats.words_simulated,
+            pruned.stats.words_simulated,
+            "words_simulated"
+        );
+        prop_assert_eq!(pruned.stats.static_pruned, 0, "rule 2 is exhaustive-only");
+        prop_assert!(pruned.stats.prune_checks > 0, "rule 1 still ran and counted");
+    }
+
+    /// Composition: pruning stacked on the hierarchical, dispatched, and
+    /// sparse engines still reproduces the flat unpruned solution set on
+    /// exhaustive diagnosis.
+    #[test]
+    fn pruning_composes_with_hierarchical_dispatch_and_sparse(
+        seed in 0u64..40,
+        pick in 0usize..1000,
+    ) {
+        let Some((golden, pi, device)) = workload(seed, pick, 1) else {
+            return Ok(());
+        };
+        let reference = run(&golden, &pi, &device, RectifyConfig::stuck_at_exhaustive(1));
+        if reference.stats.truncated {
+            return Ok(());
+        }
+        let expected = solution_set(&reference);
+        let variants: [&dyn Fn(&mut RectifyConfig); 3] = [
+            &|c| c.hierarchical = true,
+            &|c| {
+                c.dispatch = true;
+                c.jobs = 2;
+            },
+            &|c| c.sparse = true,
+        ];
+        for (i, tweak) in variants.iter().enumerate() {
+            let mut config = RectifyConfig::stuck_at_exhaustive(1);
+            config.prune = true;
+            tweak(&mut config);
+            let result = run(&golden, &pi, &device, config);
+            prop_assert!(!result.stats.truncated, "variant {i} hit a budget");
+            prop_assert_eq!(
+                &expected,
+                &solution_set(&result),
+                "variant {} diverged from the flat unpruned run",
+                i
+            );
+        }
+    }
+
+    /// Checkpoint/resume under pruning: a pruned run stopped by a node
+    /// budget resumes — still pruned, after a JSON round trip — to the
+    /// exact solution set of the unlimited pruned run (itself pinned to
+    /// the unpruned set by the properties above).
+    #[test]
+    fn pruned_budget_stop_resumes_to_unlimited(
+        seed in 0u64..24,
+        pick in 0usize..1000,
+        budget in 1u64..6,
+    ) {
+        let Some((golden, pi, device)) = workload(seed, pick, 2) else {
+            return Ok(());
+        };
+        let mut config = RectifyConfig::dedc(2);
+        config.prune = true;
+        let unlimited = run(&golden, &pi, &device, config.clone());
+
+        let mut limited_config = config.clone();
+        limited_config.limits.max_total_nodes = Some(budget);
+        let limited = run(&golden, &pi, &device, limited_config);
+        match limited.checkpoint {
+            Some(checkpoint) => {
+                prop_assert_eq!(limited.verdict, Verdict::BudgetExhausted);
+                let restored =
+                    Checkpoint::from_json(&checkpoint.to_json()).expect("JSON round trip");
+                let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                    .expect("well-formed workload")
+                    .resume(&restored)
+                    .expect("checkpoint accepted");
+                prop_assert_eq!(&resumed.solutions, &unlimited.solutions);
+            }
+            None => {
+                // The budget outlived the search: results are untouched.
+                prop_assert_eq!(&limited.solutions, &unlimited.solutions);
+            }
+        }
+    }
+}
+
+/// Chaos dominator-table corruption: a pruned run whose freshly built
+/// dominator table is corrupted by the chaos layer detects it via the
+/// structural self-check, rebuilds from the base netlist, records an
+/// `analysis-repair` degradation (1:1 with the corruption tally), and
+/// still reports the chaos-off pruned run's exact solution set.
+#[test]
+fn chaos_corrupted_dominator_table_recovers_as_degradation() {
+    let (golden, pi, device) = (0..8u64)
+        .find_map(|seed| workload(seed, 7 + seed as usize, 1))
+        .expect("at least one seed excites a fault");
+    let mut config = RectifyConfig::stuck_at_exhaustive(1);
+    config.prune = true;
+    let clean = run(&golden, &pi, &device, config.clone());
+    assert!(!clean.solutions.is_empty(), "reference run finds the fault");
+    assert!(
+        clean.stats.degradations.is_empty(),
+        "clean run degrades nothing"
+    );
+    assert_eq!(
+        clean
+            .stats
+            .analysis
+            .as_ref()
+            .expect("tables armed")
+            .table_rebuilds,
+        0
+    );
+
+    config.chaos = Some(ChaosConfig { seed: 3, rate: 1.0 });
+    let chaotic = run(&golden, &pi, &device, config);
+    assert_eq!(chaotic.solutions, clean.solutions, "recovery is lossless");
+    let repairs: u64 = chaotic
+        .stats
+        .degradations
+        .iter()
+        .filter(|d| d.kind == DegradationKind::AnalysisRepair)
+        .map(|d| d.count)
+        .sum();
+    assert!(
+        repairs >= 1,
+        "table corruption must surface as a structured degradation: {:?}",
+        chaotic.stats.degradations
+    );
+    let summary = chaotic.stats.chaos.expect("chaos tally recorded");
+    assert!(summary.table_corruptions >= 1, "the corruption site fired");
+    assert_eq!(
+        chaotic
+            .stats
+            .analysis
+            .as_ref()
+            .expect("tables armed")
+            .table_rebuilds,
+        repairs,
+        "1:1 corruption-to-rebuild accounting"
+    );
+    assert_eq!(chaotic.verdict, Verdict::Degraded);
+}

@@ -4,7 +4,9 @@
 
 pub mod abstraction;
 pub mod names;
+pub mod observability;
 pub mod reach;
+pub mod redundant;
 pub mod scan_chain;
 pub mod structure;
 pub mod xregion;

@@ -72,7 +72,7 @@ impl Lint for ConstantRegion {
 /// values, and logic folds its fanins. Out-of-range fanins and gates on
 /// combinational cycles (possible via `from_parts_unchecked`) read the X
 /// default, so the pass is total on hazardous structures.
-pub(crate) fn propagate_x(netlist: &Netlist) -> Vec<V3> {
+pub fn propagate_x(netlist: &Netlist) -> Vec<V3> {
     let n = netlist.len();
     let mut values = vec![V3::X; n];
     for &id in netlist.topo_order() {

@@ -74,12 +74,22 @@ pub enum LintCode {
     /// `NL010` — fanout-free-cone abstraction with no leverage: two-level
     /// hierarchical diagnosis would fall back to the flat engine.
     DegenerateAbstraction,
+    /// `NL011` — a line that structurally reaches primary outputs but
+    /// whose value changes are provably invisible at every one of them
+    /// (constant side-inputs block every sensitization path); faults
+    /// there are statically untestable.
+    UnobservableLine,
+    /// `NL012` — a gate provably equivalent to (the complement of) a
+    /// single fanin by static implication: every other fanin is a proven
+    /// constant at the gate's identity element, or all fanins are the
+    /// same line.
+    RedundantGate,
 }
 
 /// Every registry-backed code, in code order. [`LintCode::ParseError`] is
 /// deliberately absent: it is emitted by tooling when parsing fails, not
 /// by an analysis over a parsed netlist.
-pub const ALL_CODES: [LintCode; 10] = [
+pub const ALL_CODES: [LintCode; 12] = [
     LintCode::CombinationalCycle,
     LintCode::UndrivenWire,
     LintCode::MultiDrivenWire,
@@ -90,6 +100,8 @@ pub const ALL_CODES: [LintCode; 10] = [
     LintCode::ConstantRegion,
     LintCode::ScanChain,
     LintCode::DegenerateAbstraction,
+    LintCode::UnobservableLine,
+    LintCode::RedundantGate,
 ];
 
 impl LintCode {
@@ -107,6 +119,8 @@ impl LintCode {
             LintCode::ConstantRegion => "NL008",
             LintCode::ScanChain => "NL009",
             LintCode::DegenerateAbstraction => "NL010",
+            LintCode::UnobservableLine => "NL011",
+            LintCode::RedundantGate => "NL012",
         }
     }
 
@@ -124,6 +138,8 @@ impl LintCode {
             LintCode::ConstantRegion => "constant-region",
             LintCode::ScanChain => "scan-chain",
             LintCode::DegenerateAbstraction => "degenerate-abstraction",
+            LintCode::UnobservableLine => "unobservable-line",
+            LintCode::RedundantGate => "redundant-gate",
         }
     }
 

@@ -36,6 +36,8 @@ pub fn registry() -> Vec<Box<dyn Lint>> {
         Box::new(checks::xregion::ConstantRegion),
         Box::new(checks::scan_chain::ScanChain),
         Box::new(checks::abstraction::DegenerateAbstraction),
+        Box::new(checks::observability::UnobservableLine),
+        Box::new(checks::redundant::RedundantGate),
     ]
 }
 

@@ -38,6 +38,7 @@ mod engine;
 mod ext;
 pub mod panic_audit;
 
+pub use checks::xregion::propagate_x;
 pub use diagnostic::{Diagnostic, LintCode, Severity, ALL_CODES};
 pub use engine::{lint_netlist, registry, Lint};
 pub use ext::LintExt;

@@ -49,10 +49,18 @@ pub const UNWIND_SANCTIONED: &[&str] =
     &["crates/core/src/parallel.rs", "crates/core/src/dispatch.rs"];
 
 /// Repo-relative source roots audited under the strict policy: the
-/// engine itself, and the optimizer pre-pass that feeds it (a panic in
+/// engine itself, the optimizer pre-pass that feeds it (a panic in
 /// a function-preserving rewrite must degrade to a no-op, not take a
-/// diagnosis run down).
-pub const STRICT_ROOTS: &[&str] = &["crates/core/src", "crates/opt/src"];
+/// diagnosis run down), and the static substrates the engine now
+/// consults in-loop — the analysis tables behind candidate pruning and
+/// the SCOAP/collapsing passes behind traversal seeding and fault-class
+/// reporting.
+pub const STRICT_ROOTS: &[&str] = &[
+    "crates/core/src",
+    "crates/opt/src",
+    "crates/analysis/src",
+    "crates/atpg/src",
+];
 
 /// Repo-relative source roots audited under the base policy. `bin/` and
 /// example code live under the same roots and are held to the same bar.
@@ -60,7 +68,6 @@ pub const BASE_ROOTS: &[&str] = &[
     "crates/netlist/src",
     "crates/sim/src",
     "crates/fault/src",
-    "crates/atpg/src",
     "crates/gen/src",
     "crates/bench/src",
     "crates/lint/src",

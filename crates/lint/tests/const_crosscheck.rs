@@ -1,0 +1,135 @@
+//! Cross-check of three independently implemented constant analyses:
+//!
+//! 1. `incdx_analysis::Constants` — ternary dataflow to a fixed point;
+//! 2. `incdx_lint::propagate_x` — NL008's single-pass 3-valued
+//!    X-propagation over `incdx_sim::logic5::V3`;
+//! 3. `incdx_atpg::Scoap` — SCOAP controllability, where an unreachable
+//!    value saturates at [`Scoap::INFINITY`].
+//!
+//! All three walk the same netlist with different lattices and code
+//! paths, so agreement is strong evidence none of them has drifted:
+//! `Const0 ⟺ V3::Zero ⟺ cc1 saturated`, `Const1 ⟺ V3::One ⟺ cc0
+//! saturated`, `Varies ⟺ V3::X ⟺ both controllabilities finite`.
+//! Random DAGs from `incdx-gen` carry no constant gates, so the
+//! property test also re-checks each netlist with a deterministic
+//! sprinkling of gates overwritten to `Const0`/`Const1`, which gives
+//! the constant lattice points real work.
+
+use incdx_analysis::{Constants, Ternary};
+use incdx_atpg::Scoap;
+use incdx_gen::{random_dag, RandomDagConfig};
+use incdx_lint::propagate_x;
+use incdx_netlist::{Gate, GateKind, Netlist};
+use incdx_sim::logic5::V3;
+use proptest::prelude::*;
+
+fn dag(seed: u64) -> Netlist {
+    random_dag(
+        &RandomDagConfig {
+            inputs: 5,
+            gates: 40,
+            outputs: 4,
+            max_fanin: 3,
+            xor_fraction: 0.2,
+            window: 12,
+        },
+        seed,
+    )
+}
+
+/// Overwrites a deterministic selection of logic gates with constants
+/// (dropping their fanins keeps the DAG a DAG), so constant regions
+/// actually form and propagate.
+fn inject_constants(netlist: &Netlist) -> Netlist {
+    let gates: Vec<Gate> = netlist
+        .iter()
+        .map(|(id, g)| match id.index() % 11 {
+            3 if g.kind().is_logic() => Gate::new(GateKind::Const0, vec![]),
+            7 if g.kind().is_logic() => Gate::new(GateKind::Const1, vec![]),
+            _ => g.clone(),
+        })
+        .collect();
+    let names = (0..gates.len())
+        .map(|i| {
+            netlist
+                .name(incdx_netlist::GateId::from_index(i))
+                .map(str::to_string)
+        })
+        .collect();
+    Netlist::from_parts_unchecked(gates, names, netlist.outputs().to_vec())
+}
+
+fn crosscheck(netlist: &Netlist) -> Result<(), TestCaseError> {
+    let consts = Constants::compute(netlist);
+    let xvals = propagate_x(netlist);
+    let scoap = Scoap::compute(netlist);
+    for id in netlist.ids() {
+        let t = consts.value(id);
+        prop_assert!(t != Ternary::Unreached, "acyclic line {} unreached", id);
+        // Lattice 1 vs lattice 2: exact per-line agreement.
+        let want_v3 = match t {
+            Ternary::Const0 => V3::Zero,
+            Ternary::Const1 => V3::One,
+            _ => V3::X,
+        };
+        prop_assert_eq!(
+            xvals[id.index()],
+            want_v3,
+            "ternary {:?} vs X-prop {:?} at {}",
+            t,
+            xvals[id.index()],
+            id
+        );
+        // Lattice 1 vs SCOAP: a value is unreachable exactly when its
+        // controllability saturates.
+        prop_assert_eq!(
+            scoap.cc0(id) >= Scoap::INFINITY,
+            t == Ternary::Const1,
+            "cc0 saturation disagrees with ternary {:?} at {}",
+            t,
+            id
+        );
+        prop_assert_eq!(
+            scoap.cc1(id) >= Scoap::INFINITY,
+            t == Ternary::Const0,
+            "cc1 saturation disagrees with ternary {:?} at {}",
+            t,
+            id
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The three constant analyses agree on random DAGs, both pristine
+    /// (everything varies) and with injected constant gates.
+    #[test]
+    fn three_constant_analyses_agree(seed in 0u64..300) {
+        let n = dag(seed);
+        crosscheck(&n)?;
+        crosscheck(&inject_constants(&n))?;
+    }
+}
+
+/// A hand-built netlist exercising every lattice point at once.
+#[test]
+fn agreement_on_a_known_mixed_netlist() {
+    let mut b = Netlist::builder();
+    let a = b.add_input("a");
+    let c0 = b.add_gate(GateKind::Const0, vec![]);
+    let c1 = b.add_gate(GateKind::Const1, vec![]);
+    let pinned0 = b.add_gate(GateKind::And, vec![a, c0]); // ≡ 0
+    let pinned1 = b.add_gate(GateKind::Or, vec![a, c1]); // ≡ 1
+    let varies = b.add_gate(GateKind::Xor, vec![a, c1]); // ≡ ¬a
+    b.add_output(pinned0);
+    b.add_output(pinned1);
+    b.add_output(varies);
+    let n = b.build().expect("valid");
+    let consts = Constants::compute(&n);
+    assert_eq!(consts.value(pinned0), Ternary::Const0);
+    assert_eq!(consts.value(pinned1), Ternary::Const1);
+    assert_eq!(consts.value(varies), Ternary::Varies);
+    crosscheck(&n).expect("lattices agree");
+}

@@ -63,8 +63,18 @@
 # trials where the hierarchical run solved inside a budget the flat
 # search exhausted — the mode's headline claim.
 #
+# A seventh mode, `BENCH_MODE=analysis`, measures static candidate
+# pruning: the table1 (exhaustive stuck-at — both pruning rules) and
+# fig2_rounds (DEDC — where pruning is a verified no-op) workloads run
+# once with --no-prune and once with --prune. The script asserts the
+# solution fingerprints are identical — the pruning soundness contract —
+# and BENCH_analysis.json records, per circuit, nodes visited and words
+# simulated in each mode, plus the pruned runs' analysis telemetry
+# (prune checks, statically pruned candidates, constant/dominated line
+# counts from the tables).
+#
 # Environment overrides (defaults reproduce the committed benchmarks):
-#   BENCH_MODE         incremental | traversal | robustness | simd | scaling | hierarchical  (default incremental)
+#   BENCH_MODE         incremental | traversal | robustness | simd | scaling | hierarchical | analysis  (default incremental)
 #   BENCH_REPEATS      simd mode: runs per kernel, summed  (default 5)
 #   BENCH_CIRCUITS     comma-separated suite circuits   (default c432a,c880a;
 #                      hierarchical: c6288a,parity2048,sec256)
@@ -110,7 +120,8 @@ case "$MODE" in
     simd)        OUT="${BENCH_OUT:-BENCH_simd.json}" ;;
     scaling)     OUT="${BENCH_OUT:-BENCH_scaling.json}" ;;
     hierarchical) OUT="${BENCH_OUT:-BENCH_hierarchical.json}" ;;
-    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness|simd|scaling|hierarchical)" >&2; exit 2 ;;
+    analysis)    OUT="${BENCH_OUT:-BENCH_analysis.json}" ;;
+    *) echo "unknown BENCH_MODE $MODE (incremental|traversal|robustness|simd|scaling|hierarchical|analysis)" >&2; exit 2 ;;
 esac
 
 echo "==> build (release)"
@@ -384,6 +395,101 @@ if [ "$MODE" = hierarchical ]; then
                 "$hs" "$hr" "$hn" "$hw"
             printf ',"hier_solves_where_flat_exhausts":%s}' "$win"
             echo "    $ckt: ratio=$cr flat ${fs}/${fr} (${fn} nodes) hier ${hs}/${hr} (${hn} nodes) wins=$win" >&2
+        done
+        printf ']}\n'
+    } > "$OUT"
+    echo "wrote $OUT"
+    exit 0
+fi
+
+if [ "$MODE" = analysis ]; then
+    # $1=experiment $2=prune mode (off|on) $3=flag. Captures the JSON
+    # records in $tmp/$1.$2.jsonl and the wall seconds in $tmp/$1.$2.wall.
+    run_exp() {
+        local exp="$1" mode="$2" flag="$3" t0 t1
+        local log="$tmp/$exp.$mode.jsonl"
+        echo "==> $exp (pruning $mode)"
+        t0=$(date +%s.%N)
+        case "$exp" in
+            table1)
+                "$bin/table1" --circuits "$CIRCUITS" --trials "$TRIALS" \
+                    --vectors "$VECTORS" --seed "$SEED" --time-limit "$TIME_LIMIT" \
+                    --json "$flag" | grep '"report":"rectify"' > "$log" ;;
+            fig2_rounds)
+                # fig2_rounds benches one circuit per invocation.
+                : > "$log"
+                local ckt
+                for ckt in ${CIRCUITS//,/ }; do
+                    "$bin/fig2_rounds" --circuits "$ckt" --vectors "$VECTORS" \
+                        --seed "$SEED" --time-limit "$TIME_LIMIT" \
+                        --json "$flag" | grep '"report":"rectify"' >> "$log"
+                done ;;
+            *) echo "unknown experiment $exp" >&2; exit 2 ;;
+        esac
+        t1=$(date +%s.%N)
+        awk -v a="$t0" -v b="$t1" 'BEGIN{printf "%.3f", b-a}' > "$tmp/$exp.$mode.wall"
+    }
+    # Sorted "label solutions distinct_sites" fingerprint — pruning must
+    # not change what the search finds.
+    fingerprint() {
+        sed -E 's/.*"label":"([^"]*)".*"solutions":([0-9]+),"distinct_sites":([0-9]+).*/\1 \2 \3/' \
+            "$1" | sort
+    }
+    # Sums one regex-matched numeric field over a run's records,
+    # restricted to one circuit (the label's second `/` segment) when $3
+    # is non-empty.
+    sum_match() { # $1=jsonl $2=regex with trailing :[0-9]+ $3=circuit|""
+        awk -v c="$3" -v re="$2" '{
+            if (match($0, /"label":"[^"]*"/)) {
+                label = substr($0, RSTART + 9, RLENGTH - 10); split(label, p, "/")
+            }
+            if (c != "" && p[2] != c) next
+            if (match($0, re)) {
+                s = substr($0, RSTART, RLENGTH); sub(/.*:/, "", s); t += s + 0
+            }
+        } END { print t + 0 }' "$1"
+    }
+    for exp in $EXPERIMENTS; do
+        run_exp "$exp" off --no-prune
+        run_exp "$exp" on --prune
+        if [ "$(fingerprint "$tmp/$exp.off.jsonl")" != "$(fingerprint "$tmp/$exp.on.jsonl")" ]; then
+            echo "$exp --prune diverged from the --no-prune solution set" >&2
+            exit 1
+        fi
+    done
+    {
+        printf '{"bench":"static_pruning","seed":%s,"trials":%s,"vectors":%s,"results_identical":true' \
+            "$SEED" "$TRIALS" "$VECTORS"
+        printf ',"experiments":['
+        first_exp=1
+        for exp in $EXPERIMENTS; do
+            [ "$first_exp" -eq 1 ] || printf ','
+            first_exp=0
+            off_wall=$(cat "$tmp/$exp.off.wall")
+            on_wall=$(cat "$tmp/$exp.on.wall")
+            checks=$(sum_match "$tmp/$exp.on.jsonl" '"prune_checks":[0-9]+' "")
+            pruned=$(sum_match "$tmp/$exp.on.jsonl" '"static_pruned":[0-9]+' "")
+            consts=$(sum_match "$tmp/$exp.on.jsonl" '"const_lines":[0-9]+' "")
+            doms=$(sum_match "$tmp/$exp.on.jsonl" '"dominated_lines":[0-9]+' "")
+            printf '{"experiment":"%s","wall_s":{"off":%s,"on":%s}' \
+                "$exp" "$off_wall" "$on_wall"
+            printf ',"prune":{"checks":%s,"static_pruned":%s,"const_lines":%s,"dominated_lines":%s}' \
+                "$checks" "$pruned" "$consts" "$doms"
+            printf ',"circuits":['
+            first_ckt=1
+            for ckt in ${CIRCUITS//,/ }; do
+                no=$(sum_match "$tmp/$exp.off.jsonl" '"nodes":[0-9]+' "$ckt")
+                yo=$(sum_match "$tmp/$exp.on.jsonl" '"nodes":[0-9]+' "$ckt")
+                wo=$(sum_match "$tmp/$exp.off.jsonl" '"words":[0-9]+' "$ckt")
+                wy=$(sum_match "$tmp/$exp.on.jsonl" '"words":[0-9]+' "$ckt")
+                [ "$first_ckt" -eq 1 ] || printf ','
+                first_ckt=0
+                printf '{"circuit":"%s","nodes":{"off":%s,"on":%s},"words_simulated":{"off":%s,"on":%s}}' \
+                    "$ckt" "$no" "$yo" "$wo" "$wy"
+                echo "    $exp/$ckt: nodes off=$no on=$yo, words off=$wo on=$wy" >&2
+            done
+            printf ']}'
+            echo "    $exp: wall off=${off_wall}s on=${on_wall}s checks=$checks pruned=$pruned" >&2
         done
         printf ']}\n'
     } > "$OUT"
