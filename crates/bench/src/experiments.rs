@@ -135,15 +135,24 @@ pub fn parse_run_label(label: &str) -> Option<(&str, &str, usize, usize)> {
     Some((experiment, circuit, k, trial))
 }
 
-/// Reads and validates a checkpoint file written by `--checkpoint`.
+/// Reads and validates a checkpoint file written by `--checkpoint`,
+/// delegating to the core loader so a truncated or garbled file
+/// surfaces as the same typed [`IncdxError::CheckpointIo`] /
+/// [`IncdxError::Checkpoint`] the daemon's spool reports — never a
+/// panic, and never a half-parsed checkpoint handed to `resume`.
+///
+/// [`IncdxError::CheckpointIo`]: incdx_core::IncdxError::CheckpointIo
+/// [`IncdxError::Checkpoint`]: incdx_core::IncdxError::Checkpoint
 pub fn load_checkpoint(path: &str) -> Result<Checkpoint, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Checkpoint::from_json(text.trim()).map_err(|e| format!("{path}: {e}"))
+    incdx_core::load_checkpoint_file(std::path::Path::new(path)).map_err(|e| e.to_string())
 }
 
-/// Writes a checkpoint as one line of JSON (the `--checkpoint` flag).
+/// Writes a checkpoint for the `--checkpoint` flag via the core's
+/// atomic temp-file+rename writer, so a crash mid-write leaves either
+/// the previous complete checkpoint or none — never a torn line.
 pub fn save_checkpoint(path: &str, checkpoint: &Checkpoint) -> Result<(), String> {
-    std::fs::write(path, checkpoint.to_json() + "\n").map_err(|e| format!("{path}: {e}"))
+    incdx_core::save_checkpoint_file(std::path::Path::new(path), checkpoint)
+        .map_err(|e| e.to_string())
 }
 
 /// One Table 1 trial.
@@ -505,6 +514,51 @@ mod tests {
         assert_eq!(loaded.plan_pos, checkpoint.plan_pos);
         assert_eq!(loaded.nodes.len(), checkpoint.nodes.len());
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_checkpoint_file_is_a_typed_error_not_a_resume() {
+        let golden = scan_core("c432a");
+        let mut limited = base_opts();
+        limited.label = "table2/c432a/k2/t2".to_string();
+        limited.limits.max_total_nodes = Some(1);
+        let out = dedc_trial(&golden, 2, 256, 5, Duration::from_secs(20), &limited)
+            .expect("well-formed workload")
+            .expect("injectable");
+        let checkpoint = out.checkpoint.expect("budget stop captures a checkpoint");
+        let path = std::env::temp_dir().join("incdx_bench_ckpt_truncated.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        save_checkpoint(path, &checkpoint).expect("writable temp dir");
+
+        // Simulate a torn write: chop the file mid-line. The loader must
+        // refuse with a typed error naming the problem — the `--resume`
+        // path never even constructs an engine from it.
+        let full = std::fs::read_to_string(path).expect("readable");
+        std::fs::write(path, &full[..full.len() / 2]).expect("truncate");
+        let err = load_checkpoint(path).expect_err("torn checkpoint rejected");
+        assert!(
+            err.contains("checkpoint"),
+            "typed checkpoint error, got: {err}"
+        );
+
+        // Garbage that still parses as JSON but violates the schema is
+        // equally refused.
+        std::fs::write(path, "{\"version\":999}\n").expect("garbage");
+        assert!(load_checkpoint(path).is_err(), "schema garbage rejected");
+        let _ = std::fs::remove_file(path);
+
+        // And a checkpoint edited to pin the wrong workload is refused
+        // by `Rectifier::resume` itself (the last line of defence when
+        // the file parses cleanly but lies).
+        let mut wrong = checkpoint;
+        wrong.base_hash ^= 1;
+        let mut resume = base_opts();
+        resume.resume = Some(wrong);
+        let refused = dedc_trial(&golden, 2, 256, 5, Duration::from_secs(20), &resume);
+        assert!(
+            matches!(refused, Err(IncdxError::Checkpoint { .. })),
+            "resume must refuse a checkpoint pinning a different netlist"
+        );
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub struct ChaosSummary {
     pub map_corruptions: u64,
     /// Static-analysis dominator tables corrupted in pruning runs.
     pub table_corruptions: u64,
+    /// Serialized checkpoints torn on their way to the spool.
+    pub checkpoint_corruptions: u64,
 }
 
 impl ChaosSummary {
@@ -80,6 +82,7 @@ impl ChaosSummary {
             + self.summary_flips
             + self.map_corruptions
             + self.table_corruptions
+            + self.checkpoint_corruptions
     }
 }
 
@@ -87,14 +90,15 @@ impl fmt::Display for ChaosSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} injected ({} panics, {} bit flips, {} width errors, {} summary flips, {} map corruptions, {} table corruptions)",
+            "{} injected ({} panics, {} bit flips, {} width errors, {} summary flips, {} map corruptions, {} table corruptions, {} checkpoint corruptions)",
             self.total(),
             self.panics,
             self.bit_flips,
             self.width_errors,
             self.summary_flips,
             self.map_corruptions,
-            self.table_corruptions
+            self.table_corruptions,
+            self.checkpoint_corruptions
         )
     }
 }
@@ -117,12 +121,15 @@ pub struct ChaosState {
     abstraction_seq: AtomicU64,
     /// Monotone count of analysis-table builds (table-corruption keys).
     analysis_seq: AtomicU64,
+    /// Monotone count of checkpoint spool writes (corruption keys).
+    spool_seq: AtomicU64,
     panics: AtomicU64,
     bit_flips: AtomicU64,
     width_errors: AtomicU64,
     summary_flips: AtomicU64,
     map_corruptions: AtomicU64,
     table_corruptions: AtomicU64,
+    checkpoint_corruptions: AtomicU64,
     /// Keys that already fired: a retried task draws the same key, finds
     /// it spent, and succeeds — faults are transient by construction.
     fired: Mutex<HashSet<u64>>,
@@ -138,12 +145,14 @@ impl ChaosState {
             mask_seq: AtomicU64::new(0),
             abstraction_seq: AtomicU64::new(0),
             analysis_seq: AtomicU64::new(0),
+            spool_seq: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             bit_flips: AtomicU64::new(0),
             width_errors: AtomicU64::new(0),
             summary_flips: AtomicU64::new(0),
             map_corruptions: AtomicU64::new(0),
             table_corruptions: AtomicU64::new(0),
+            checkpoint_corruptions: AtomicU64::new(0),
             fired: Mutex::new(HashSet::new()),
         })
     }
@@ -169,6 +178,7 @@ impl ChaosState {
             summary_flips: self.summary_flips.load(Ordering::Relaxed),
             map_corruptions: self.map_corruptions.load(Ordering::Relaxed),
             table_corruptions: self.table_corruptions.load(Ordering::Relaxed),
+            checkpoint_corruptions: self.checkpoint_corruptions.load(Ordering::Relaxed),
         }
     }
 
@@ -313,6 +323,33 @@ impl ChaosState {
                 return false;
             }
             self.table_corruptions.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Tears a serialized checkpoint on its way to the spool (once per
+    /// armed key): the JSON line is truncated at a deterministic byte,
+    /// simulating a torn write. A strict prefix of a checkpoint
+    /// document can never parse as a complete one, so the spool's
+    /// write-then-read-back validation *must* detect the damage and
+    /// rewrite the line from the in-memory checkpoint, recording a
+    /// `CheckpointRepair` degradation — injected tears map 1:1 onto
+    /// repairs. Returns `true` if the line was torn.
+    pub fn maybe_corrupt_checkpoint(&self, json: &mut String) -> bool {
+        let seq = self.spool_seq.fetch_add(1, Ordering::Relaxed);
+        if json.len() < 2 {
+            return false;
+        }
+        let key = 0xC4E0_0000_0000_0000 ^ seq;
+        if self.draw(key) < self.config.rate && self.arm(key) {
+            self.checkpoint_corruptions.fetch_add(1, Ordering::Relaxed);
+            let d = splitmix64(self.config.seed ^ key);
+            let mut cut = (d % json.len() as u64) as usize;
+            while !json.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            json.truncate(cut);
             return true;
         }
         false
@@ -579,6 +616,52 @@ mod tests {
         let mut pristine = incdx_analysis::DominatorTable::compute(&n);
         assert!(!zero.maybe_corrupt_analysis(&mut pristine));
         assert!(pristine.validate());
+    }
+
+    #[test]
+    fn checkpoint_tear_is_detectable_and_counted() {
+        let state = ChaosState::new(ChaosConfig { seed: 6, rate: 1.0 });
+        // Any single-line checkpoint document will do; use a real one so
+        // the "strict prefix never parses" guarantee is exercised
+        // end-to-end.
+        let ckpt = crate::checkpoint::Checkpoint {
+            version: crate::checkpoint::CHECKPOINT_VERSION,
+            label: "chaos/test".to_string(),
+            trial_seed: 1,
+            vectors: 64,
+            base_gates: 4,
+            base_hash: 99,
+            level: 0,
+            phase: 0,
+            iterations: 0,
+            plan: vec![],
+            plan_pos: 0,
+            nodes: vec![],
+            visited: vec![],
+            solutions: vec![],
+        };
+        let pristine = ckpt.to_json();
+        let mut line = pristine.clone();
+        assert!(state.maybe_corrupt_checkpoint(&mut line));
+        assert!(line.len() < pristine.len(), "the line must be torn");
+        assert!(
+            crate::checkpoint::Checkpoint::from_json(&line).is_err(),
+            "a torn checkpoint must fail to parse: {line:?}"
+        );
+        assert_eq!(state.summary().checkpoint_corruptions, 1);
+        assert!(state
+            .summary()
+            .to_string()
+            .contains("1 checkpoint corruptions"));
+        // The next write draws a fresh sequence key; at rate 0 nothing
+        // fires and the line survives intact.
+        let zero = ChaosState::new(ChaosConfig { seed: 6, rate: 0.0 });
+        let mut clean = pristine.clone();
+        for _ in 0..32 {
+            assert!(!zero.maybe_corrupt_checkpoint(&mut clean));
+        }
+        assert_eq!(clean, pristine);
+        assert_eq!(zero.summary().total(), 0);
     }
 
     #[test]

@@ -25,10 +25,14 @@
 //! and vector counts, and the schema [`CHECKPOINT_VERSION`]. Resume
 //! refuses a checkpoint whose pins disagree with the session.
 
+use std::io::Write as _;
+use std::path::Path;
+
 use incdx_fault::{Correction, CorrectionAction};
 use incdx_netlist::{GateId, GateKind, Netlist};
 
 use crate::error::IncdxError;
+use crate::json::Json;
 use crate::tree::RankedCorrection;
 
 /// Schema version written by [`Checkpoint::to_json`] and required by
@@ -155,6 +159,48 @@ impl Checkpoint {
     }
 }
 
+/// Atomically persists a checkpoint to `path`: the JSON line is written
+/// to a sibling temp file, flushed to disk, and renamed into place, so
+/// a crash mid-write can never leave a truncated document under the
+/// final name — readers observe either the previous complete
+/// checkpoint or the new one.
+///
+/// # Errors
+///
+/// [`IncdxError::CheckpointIo`] if any filesystem step fails.
+pub fn save_checkpoint_file(path: &Path, ckpt: &Checkpoint) -> Result<(), IncdxError> {
+    let io_err = |detail: std::io::Error| IncdxError::CheckpointIo {
+        path: path.display().to_string(),
+        detail: detail.to_string(),
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+    file.write_all(ckpt.to_json().as_bytes()).map_err(io_err)?;
+    file.write_all(b"\n").map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+/// Loads a checkpoint previously written by [`save_checkpoint_file`]
+/// (or any single-line [`Checkpoint::to_json`] document).
+///
+/// # Errors
+///
+/// [`IncdxError::CheckpointIo`] if the file cannot be read, and
+/// [`IncdxError::Checkpoint`] if its contents are truncated, garbage,
+/// or fail the schema's domain checks — a torn spool file surfaces
+/// here as a typed error, never a panic.
+pub fn load_checkpoint_file(path: &Path) -> Result<Checkpoint, IncdxError> {
+    let text = std::fs::read_to_string(path).map_err(|e| IncdxError::CheckpointIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    })?;
+    Checkpoint::from_json(text.trim_end_matches(['\n', '\r']))
+}
+
 /// FNV-1a structural fingerprint of a netlist: gate kinds, fanin
 /// wiring, and the primary-output list. Renaming wires does not change
 /// the fingerprint; any structural edit does (modulo hash collisions,
@@ -268,261 +314,13 @@ fn write_ranked(out: &mut String, rc: &RankedCorrection) {
 }
 
 // ---------------------------------------------------------------------
-// Parsing: a minimal recursive-descent JSON reader covering exactly the
-// value kinds the writer emits (unsigned integers, booleans, strings,
-// arrays, objects). Result-based throughout — the engine crate never
+// Parsing: built on the workspace's shared minimal JSON reader
+// (`crate::json`). Result-based throughout — the engine crate never
 // panics on malformed input.
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Bool(bool),
-    UInt(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Result<&Json, String> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field `{key}`")),
-            _ => Err(format!("expected object while reading `{key}`")),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64, String> {
-        match self {
-            Json::UInt(v) => Ok(*v),
-            _ => Err("expected unsigned integer".to_string()),
-        }
-    }
-
-    fn as_usize(&self) -> Result<usize, String> {
-        usize::try_from(self.as_u64()?).map_err(|_| "integer out of range".to_string())
-    }
-
-    fn as_str(&self) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err("expected string".to_string()),
-        }
-    }
-
-    fn as_bool(&self) -> Result<bool, String> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            _ => Err("expected boolean".to_string()),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            _ => Err("expected array".to_string()),
-        }
-    }
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-const MAX_DEPTH: usize = 32;
-
-impl<'a> Reader<'a> {
-    fn new(text: &'a str) -> Self {
-        Reader {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))
-    }
-
-    fn consume(&mut self, b: u8) -> Result<(), String> {
-        let got = self.peek()?;
-        if got != b {
-            return Err(format!(
-                "expected `{}` at byte {}, found `{}`",
-                b as char, self.pos, got as char
-            ));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    fn eat(&mut self, b: u8) -> bool {
-        if self.peek() == Ok(b) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Json, String> {
-        if depth > MAX_DEPTH {
-            return Err("nesting too deep".to_string());
-        }
-        match self.peek()? {
-            b'{' => self.object(depth),
-            b'[' => self.array(depth),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'0'..=b'9' => self.number(),
-            other => Err(format!(
-                "unexpected `{}` at byte {}",
-                other as char, self.pos
-            )),
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E' | b'-')) {
-            return Err(format!(
-                "only unsigned integers are valid here (byte {start})"
-            ));
-        }
-        let digits = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| "non-utf8 number".to_string())?;
-        digits
-            .parse::<u64>()
-            .map(Json::UInt)
-            .map_err(|_| format!("integer overflow at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.consume(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = self
-                .bytes
-                .get(self.pos)
-                .copied()
-                .ok_or_else(|| "unterminated string".to_string())?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = self
-                        .bytes
-                        .get(self.pos)
-                        .copied()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| "truncated \\u escape".to_string())?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        other => return Err(format!("unknown escape `\\{}`", other as char)),
-                    }
-                }
-                _ => {
-                    // Re-read at char granularity for multi-byte UTF-8.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
-                        .map_err(|_| "non-utf8 string".to_string())?;
-                    let c = rest
-                        .chars()
-                        .next()
-                        .ok_or_else(|| "unterminated string".to_string())?;
-                    out.push(c);
-                    self.pos += c.len_utf8() - 1;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self, depth: usize) -> Result<Json, String> {
-        self.consume(b'[')?;
-        let mut items = Vec::new();
-        if self.eat(b']') {
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value(depth + 1)?);
-            if self.eat(b']') {
-                return Ok(Json::Arr(items));
-            }
-            self.consume(b',')?;
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Json, String> {
-        self.consume(b'{')?;
-        let mut fields = Vec::new();
-        if self.eat(b'}') {
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            let key = self.string()?;
-            self.consume(b':')?;
-            let val = self.value(depth + 1)?;
-            fields.push((key, val));
-            if self.eat(b'}') {
-                return Ok(Json::Obj(fields));
-            }
-            self.consume(b',')?;
-        }
-    }
-}
-
 fn parse_checkpoint(text: &str) -> Result<Checkpoint, String> {
-    let mut reader = Reader::new(text);
-    let root = reader.value(0)?;
-    reader.skip_ws();
-    if reader.pos != reader.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", reader.pos));
-    }
+    let root = crate::json::parse(text)?;
     if root.get("checkpoint")?.as_str()? != "incdx" {
         return Err("not an incdx checkpoint".to_string());
     }
@@ -777,7 +575,7 @@ mod tests {
             let c = Correction::new(GateId(11), action);
             let mut s = String::new();
             write_correction(&mut s, &c);
-            let parsed = Reader::new(&s).value(0).unwrap();
+            let parsed = crate::json::parse(&s).unwrap();
             assert_eq!(parse_correction(&parsed).unwrap(), c, "{s}");
         }
     }
@@ -809,7 +607,48 @@ mod tests {
         ckpt.phase = 4;
         assert!(Checkpoint::from_json(&ckpt.to_json()).is_err());
         // Floats are rejected (scores travel as bit patterns).
-        assert!(Reader::new("1.5").value(0).is_err());
+        assert!(crate::json::parse("1.5").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_typed() {
+        let dir = std::env::temp_dir().join(format!(
+            "incdx-ckpt-test-{}-{:x}",
+            std::process::id(),
+            netlist_fingerprint(&parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n").unwrap())
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let ckpt = sample();
+        save_checkpoint_file(&path, &ckpt).unwrap();
+        // The temp file must not survive a successful save.
+        assert!(!dir.join("run.ckpt.tmp").exists());
+        let back = load_checkpoint_file(&path).unwrap();
+        assert_eq!(back.label, ckpt.label);
+        assert_eq!(back.base_hash, ckpt.base_hash);
+
+        // A truncated document is a typed checkpoint error.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let torn = dir.join("torn.ckpt");
+        std::fs::write(&torn, &full[..full.len() / 2]).unwrap();
+        match load_checkpoint_file(&torn) {
+            Err(IncdxError::Checkpoint { .. }) => {}
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        // Garbage bytes likewise.
+        std::fs::write(&torn, "}}{{ not json").unwrap();
+        assert!(matches!(
+            load_checkpoint_file(&torn),
+            Err(IncdxError::Checkpoint { .. })
+        ));
+        // A missing file is an I/O error carrying the path.
+        match load_checkpoint_file(&dir.join("absent.ckpt")) {
+            Err(IncdxError::CheckpointIo { path, .. }) => {
+                assert!(path.contains("absent.ckpt"), "{path}");
+            }
+            other => panic!("expected CheckpointIo error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

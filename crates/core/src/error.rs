@@ -66,6 +66,17 @@ pub enum IncdxError {
         /// What went wrong.
         reason: String,
     },
+    /// A checkpoint file could not be read or written (the durability
+    /// layer around [`Checkpoint`](crate::Checkpoint): atomic saves and
+    /// spool recovery). Distinct from [`IncdxError::Checkpoint`], which
+    /// covers a file that was read fine but holds a torn or mismatched
+    /// document.
+    CheckpointIo {
+        /// The file being read or written.
+        path: String,
+        /// The underlying I/O failure.
+        detail: String,
+    },
     /// A malformed flag-style specification string (e.g. a `--chaos
     /// seed,rate` spec that does not parse).
     InvalidSpec {
@@ -112,6 +123,9 @@ impl fmt::Display for IncdxError {
                 Ok(())
             }
             IncdxError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+            IncdxError::CheckpointIo { path, detail } => {
+                write!(f, "checkpoint I/O error at {path}: {detail}")
+            }
             IncdxError::InvalidSpec { name, value } => {
                 write!(f, "invalid {name} spec {value:?}")
             }
@@ -175,6 +189,12 @@ mod tests {
         }
         .to_string()
         .contains("chaos"));
+        let io = IncdxError::CheckpointIo {
+            path: "/spool/job-3.json".into(),
+            detail: "No such file or directory".into(),
+        }
+        .to_string();
+        assert!(io.contains("/spool/job-3.json"), "{io}");
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! A minimal recursive-descent JSON reader shared by every hand-rolled
+//! line-JSON surface in the workspace (checkpoints, the serve wire
+//! protocol, bench tooling).
+//!
+//! The reader covers exactly the value kinds the workspace's writers
+//! emit: unsigned integers, booleans, strings, arrays and objects.
+//! Floats are deliberately rejected — scores travel as IEEE-754 bit
+//! patterns (`u64`) so round-trips are exact — and so are `null`s,
+//! which no writer produces. Everything is `Result`-based: malformed
+//! input surfaces as an error string naming the offending byte, never
+//! a panic, so untrusted bytes (a torn spool file, a garbled client
+//! request) are safe to feed in.
+//!
+//! Documents are capped at [`MAX_DEPTH`] nesting levels, which bounds
+//! recursion on adversarial input.
+
+/// Maximum nesting depth accepted by [`parse`]. Deeper documents are
+/// rejected with an error rather than risking stack exhaustion.
+pub const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value restricted to the workspace's wire subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the only number form the writers emit).
+    UInt(u64),
+    /// A string, with escapes already decoded.
+    Str(String),
+    /// An array of values.
+    Arr(Vec<Json>),
+    /// An object as an ordered key/value list (duplicate keys keep the
+    /// first occurrence when read through [`Json::get`]).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a required object field.
+    ///
+    /// # Errors
+    ///
+    /// If `self` is not an object or the field is absent.
+    pub fn get(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            _ => Err(format!("expected object while reading `{key}`")),
+        }
+    }
+
+    /// Looks up an optional object field; `None` when `self` is not an
+    /// object or the field is absent.
+    pub fn get_opt(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Reads the value as a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// If the value is not an unsigned integer.
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::UInt(v) => Ok(*v),
+            _ => Err("expected unsigned integer".to_string()),
+        }
+    }
+
+    /// Reads the value as a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// If the value is not an unsigned integer that fits in `usize`.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        usize::try_from(self.as_u64()?).map_err(|_| "integer out of range".to_string())
+    }
+
+    /// Reads the value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// If the value is not a string.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected string".to_string()),
+        }
+    }
+
+    /// Reads the value as a boolean.
+    ///
+    /// # Errors
+    ///
+    /// If the value is not a boolean.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err("expected boolean".to_string()),
+        }
+    }
+
+    /// Reads the value as an array slice.
+    ///
+    /// # Errors
+    ///
+    /// If the value is not an array.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected array".to_string()),
+        }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// The whole input must be consumed — trailing non-whitespace bytes are
+/// an error, which is how torn/concatenated spool lines are caught.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed byte.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut reader = Reader::new(text);
+    let root = reader.value(0)?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", reader.pos));
+    }
+    Ok(root)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(text: &'a str) -> Self {
+        Reader {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| format!("unexpected end of input at byte {}", self.pos))
+    }
+
+    fn consume(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Ok(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        match self.peek()? {
+            b'{' => self.object(depth),
+            b'[' => self.array(depth),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E' | b'-')) {
+            return Err(format!(
+                "only unsigned integers are valid here (byte {start})"
+            ));
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        digits
+            .parse::<u64>()
+            .map(Json::UInt)
+            .map_err(|_| format!("integer overflow at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.consume(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape `\\{}`", other as char)),
+                    }
+                }
+                _ if b < 0x80 => out.push(b as char),
+                _ => {
+                    // Decode exactly one multi-byte UTF-8 character —
+                    // validating only its own bytes keeps string
+                    // scanning linear even for multi-hundred-KB
+                    // embedded payloads (a checkpoint inside a spool
+                    // record).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("non-utf8 string".to_string()),
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    let c = std::str::from_utf8(chunk)
+                        .map_err(|_| "non-utf8 string".to_string())?
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "non-utf8 string".to_string())?;
+                    out.push(c);
+                    self.pos += len - 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.consume(b'[')?;
+        let mut items = Vec::new();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            self.consume(b',')?;
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.consume(b'{')?;
+        let mut fields = Vec::new();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.consume(b':')?;
+            let val = self.value(depth + 1)?;
+            fields.push((key, val));
+            if self.eat(b'}') {
+                return Ok(Json::Obj(fields));
+            }
+            self.consume(b',')?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_wire_subset() {
+        let doc = parse("{\"a\":1,\"b\":[true,\"x\\n\"],\"c\":{}}").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_u64().unwrap(), 1);
+        let arr = doc.get("b").unwrap().as_arr().unwrap();
+        assert!(arr[0].as_bool().unwrap());
+        assert_eq!(arr[1].as_str().unwrap(), "x\n");
+        assert!(doc.get("c").unwrap().get("missing").is_err());
+        assert_eq!(doc.get_opt("missing"), None);
+        assert!(doc.get_opt("a").is_some());
+    }
+
+    #[test]
+    fn rejects_everything_outside_the_subset() {
+        assert!(parse("1.5").is_err(), "floats");
+        assert!(parse("-3").is_err(), "negative integers");
+        assert!(parse("null").is_err(), "null");
+        assert!(parse("{\"a\":1} extra").is_err(), "trailing garbage");
+        assert!(parse("{\"a\":").is_err(), "truncation");
+        assert!(parse("").is_err(), "empty input");
+        assert!(parse("99999999999999999999999").is_err(), "overflow");
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err(), "nesting bomb");
+    }
+
+    #[test]
+    fn decodes_escapes_and_utf8() {
+        let doc = parse("\"caf\u{e9} \\u00e9 \\t\\\\\"").unwrap();
+        assert_eq!(doc.as_str().unwrap(), "café é \t\\");
+    }
+}

@@ -74,6 +74,7 @@ mod checkpoint;
 mod dispatch;
 mod error;
 mod evaluator;
+pub mod json;
 mod limits;
 mod parallel;
 mod params;
@@ -88,7 +89,10 @@ mod wire;
 
 pub use audit::Auditing;
 pub use chaos::{Chaos, ChaosConfig, ChaosState, ChaosSummary};
-pub use checkpoint::{netlist_fingerprint, Checkpoint, CheckpointNode, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    load_checkpoint_file, netlist_fingerprint, save_checkpoint_file, Checkpoint, CheckpointNode,
+    CHECKPOINT_VERSION,
+};
 pub use dispatch::{DispatchTelemetry, Frontier, Popped, Prio};
 pub use error::IncdxError;
 pub use evaluator::{

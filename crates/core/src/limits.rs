@@ -239,6 +239,10 @@ pub enum DegradationKind {
     /// pruning telemetry) failed its structural self-check (a chaos
     /// table corruption) and was rebuilt from the base netlist.
     AnalysisRepair,
+    /// A spooled checkpoint failed to parse back after a write (a torn
+    /// write or a chaos corruption) and was rewritten from the live
+    /// in-memory checkpoint before the damage could strand the job.
+    CheckpointRepair,
 }
 
 impl DegradationKind {
@@ -252,6 +256,7 @@ impl DegradationKind {
             DegradationKind::SparseRepair => "sparse-repair",
             DegradationKind::AbstractionRepair => "abstraction-repair",
             DegradationKind::AnalysisRepair => "analysis-repair",
+            DegradationKind::CheckpointRepair => "checkpoint-repair",
         }
     }
 }

@@ -263,8 +263,8 @@ impl RectifyReport {
         out.push(']');
         match &s.chaos {
             Some(c) => out.push_str(&format!(
-                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{},\"map_corruptions\":{},\"table_corruptions\":{}}}",
-                c.panics, c.bit_flips, c.width_errors, c.summary_flips, c.map_corruptions, c.table_corruptions,
+                ",\"chaos\":{{\"panics\":{},\"bit_flips\":{},\"width_errors\":{},\"summary_flips\":{},\"map_corruptions\":{},\"table_corruptions\":{},\"checkpoint_corruptions\":{}}}",
+                c.panics, c.bit_flips, c.width_errors, c.summary_flips, c.map_corruptions, c.table_corruptions, c.checkpoint_corruptions,
             )),
             None => out.push_str(",\"chaos\":null"),
         }
@@ -452,6 +452,7 @@ mod tests {
             summary_flips: 3,
             map_corruptions: 1,
             table_corruptions: 2,
+            checkpoint_corruptions: 1,
         });
         let report = RectifyReport::from_parts(
             "chaos",
@@ -472,7 +473,7 @@ mod tests {
             "\"degradations\":[{\"kind\":\"worker-panic\",\"count\":2,\"detail\":\"2 worker panic(s) \\\"quoted\\\"\"}]"
         ));
         assert!(json.contains(
-            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3,\"map_corruptions\":1,\"table_corruptions\":2}"
+            "\"chaos\":{\"panics\":2,\"bit_flips\":1,\"width_errors\":0,\"summary_flips\":3,\"map_corruptions\":1,\"table_corruptions\":2,\"checkpoint_corruptions\":1}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -721,6 +721,37 @@ impl Rectifier {
         self
     }
 
+    /// Replaces the base-netlist cone cache with a pre-warmed one —
+    /// typically a cheap [`ConeCache`] clone handed out by an
+    /// artifact-interning layer, so successive sessions (or successive
+    /// time slices of a resumable session) on the same circuit skip
+    /// recomputing fanout cones. Purely a cache swap: results are
+    /// unaffected because every cone is a pure function of the base
+    /// netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`IncdxError::ShapeMismatch`] if `cones` was built for a netlist
+    /// of a different size (the telltale of a stale cache).
+    pub fn with_base_cones(mut self, cones: ConeCache) -> Result<Self, IncdxError> {
+        if cones.capacity() != self.base.len() {
+            return Err(IncdxError::ShapeMismatch {
+                what: "cone cache slots",
+                expected: self.base.len(),
+                got: cones.capacity(),
+            });
+        }
+        self.base_cones = cones;
+        Ok(self)
+    }
+
+    /// The session's current base-netlist cone cache (read-only). An
+    /// interning layer clones this after a run to keep the warmed cones
+    /// for the circuit's next session or time slice.
+    pub fn base_cones(&self) -> &ConeCache {
+        &self.base_cones
+    }
+
     /// Runs the search. The engine is reusable: statistics restart at
     /// zero on every call, and memoized backend state (base matrix, node
     /// matrix cache) carries over — results are unaffected because every

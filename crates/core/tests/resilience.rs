@@ -611,3 +611,150 @@ proptest! {
         }
     }
 }
+
+/// Every reported solution must replay: applying its corrections to the
+/// base netlist makes the response match the reference on all vectors.
+fn assert_solutions_replay(
+    base: &Netlist,
+    pi: &PackedMatrix,
+    reference: &Response,
+    solutions: &[incdx_core::Solution],
+) {
+    let mut sim = Simulator::new();
+    for solution in solutions {
+        let mut fixed = base.clone();
+        for c in &solution.corrections {
+            c.apply(&mut fixed).expect("solution tuple applies");
+        }
+        let vals = sim.run_for_inputs(&fixed, base.inputs(), pi);
+        assert!(
+            Response::compare(&fixed, &vals, reference).matches(),
+            "solution {:?} does not replay",
+            solution.corrections
+        );
+    }
+}
+
+/// Satellite — concurrent cancellation: `cancel()` fired from another
+/// thread races the engine's own `check_limits` polling (and, when
+/// dispatch is armed, the dispatcher workers polling the same shared
+/// token). Wherever the asynchronous flag lands, the run ends at a
+/// clean plan boundary: the tree passes its invariant audit, partials
+/// and solutions replay, and any captured checkpoint is accepted by a
+/// fresh engine whose resumed results are equally clean. (Identity with
+/// the uncancelled run is *not* asserted here — an asynchronous cancel
+/// may cut a node's screening short, which is exactly the caveat
+/// `Rectifier::resume` documents; the deterministic-trip property test
+/// above covers identity.)
+#[test]
+fn concurrent_cancel_races_limit_polling_cleanly() {
+    let golden = dag(11, 300);
+    let (pi, device) =
+        stuck_at_workload(&golden, &[(17, false), (123, true)], 192, 11).expect("excited faults");
+    let mut cancelled_runs = 0;
+    for dispatch in [false, true] {
+        for delay_us in [0u64, 80, 400, 2_000, 8_000] {
+            let mut config = RectifyConfig::stuck_at_exhaustive(2);
+            config.dispatch = dispatch;
+            config.jobs = if dispatch { 4 } else { 1 };
+            let mut engine =
+                Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+                    .expect("well-formed inputs");
+            let token = engine.cancel_token();
+            let canceller = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_micros(delay_us));
+                token.cancel();
+            });
+            let result = engine.run();
+            canceller.join().expect("canceller thread joins");
+
+            assert_eq!(
+                result.stats.audit_violations, 0,
+                "tree invariants hold under a racing cancel (dispatch={dispatch}, delay={delay_us}us)"
+            );
+            assert_partials_replay(&golden, &pi, &device, &result.partials);
+            assert_solutions_replay(&golden, &pi, &device, &result.solutions);
+            if result.verdict == Verdict::Cancelled {
+                cancelled_runs += 1;
+                let checkpoint = result
+                    .checkpoint
+                    .expect("cancel stop captures a checkpoint");
+                let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                    .expect("well-formed inputs")
+                    .resume(&checkpoint)
+                    .expect("asynchronously captured checkpoint is still accepted");
+                assert_eq!(resumed.stats.audit_violations, 0);
+                assert_solutions_replay(&golden, &pi, &device, &resumed.solutions);
+            }
+        }
+    }
+    // On a loaded machine every racing cancel can miss (the run finishes
+    // before the canceller thread is scheduled). Deterministic backstop:
+    // trip the token mid-search so the cancelled path is always exercised.
+    if cancelled_runs == 0 {
+        let config = RectifyConfig::stuck_at_exhaustive(2);
+        let mut engine = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+            .expect("well-formed inputs");
+        engine.cancel_token().trip_after(3);
+        let result = engine.run();
+        assert_eq!(result.verdict, Verdict::Cancelled);
+        cancelled_runs += 1;
+        let checkpoint = result
+            .checkpoint
+            .expect("cancel stop captures a checkpoint");
+        let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+            .expect("well-formed inputs")
+            .resume(&checkpoint)
+            .expect("checkpoint accepted");
+        assert_eq!(resumed.stats.audit_violations, 0);
+        assert_solutions_replay(&golden, &pi, &device, &resumed.solutions);
+    }
+    assert!(cancelled_runs > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite — mid-phase hierarchical cancellation: a deterministic
+    /// token trip landing inside the hierarchical orchestrator stops
+    /// the run with a phase-stamped checkpoint (phase >= 1) that
+    /// resumes — through the same orchestrator — to the uninterrupted
+    /// hierarchical run's exact solution set.
+    #[test]
+    fn hierarchical_mid_phase_cancel_resumes_identically(
+        seed in 1u64..200,
+        pick in 0usize..400,
+        trip in 1u64..30,
+    ) {
+        let golden = dag(seed, 160);
+        if let Some((pi, device)) = stuck_at_workload(&golden, &[(pick, pick % 2 == 0)], 96, seed) {
+            let mut config = RectifyConfig::stuck_at_exhaustive(1);
+            config.hierarchical = true;
+            let uninterrupted =
+                Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+                    .expect("well-formed inputs")
+                    .run();
+            let mut engine =
+                Rectifier::new(golden.clone(), pi.clone(), device.clone(), config.clone())
+                    .expect("well-formed inputs");
+            engine.cancel_token().trip_after(trip);
+            let stopped = engine.run();
+            if stopped.verdict == Verdict::Cancelled {
+                let checkpoint = stopped.checkpoint.expect("cancel stop captures a checkpoint");
+                prop_assert!(
+                    checkpoint.phase >= 1,
+                    "hierarchical cancel checkpoints are phase-stamped, got phase {}",
+                    checkpoint.phase
+                );
+                let restored = Checkpoint::from_json(&checkpoint.to_json()).expect("round trip");
+                let resumed = Rectifier::new(golden.clone(), pi.clone(), device.clone(), config)
+                    .expect("well-formed inputs")
+                    .resume(&restored)
+                    .expect("checkpoint accepted");
+                prop_assert_eq!(&resumed.solutions, &uninterrupted.solutions);
+            } else {
+                prop_assert_eq!(&stopped.solutions, &uninterrupted.solutions);
+            }
+        }
+    }
+}

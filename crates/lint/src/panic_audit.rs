@@ -41,12 +41,17 @@ pub const STRICT_DENY: &[&str] = &[".unwrap(", ".expect(", "panic!(", "unreachab
 /// panic isolation is `run_parallel_with`'s job alone.
 pub const UNWIND_DENY: &[&str] = &["catch_unwind("];
 
-/// Strict-path files allowed to use `catch_unwind(` — the two worker
+/// Strict-path files allowed to use `catch_unwind(` — the worker
 /// boundaries where panic isolation is implemented and every recovery
 /// is counted into the run's telemetry: the parallel screening workers
-/// (`run_parallel_with`) and the frontier-dispatcher worker loop.
-pub const UNWIND_SANCTIONED: &[&str] =
-    &["crates/core/src/parallel.rs", "crates/core/src/dispatch.rs"];
+/// (`run_parallel_with`), the frontier-dispatcher worker loop, and the
+/// serve daemon's per-job slice boundary (a panicking job fails alone
+/// and increments `panics_isolated`).
+pub const UNWIND_SANCTIONED: &[&str] = &[
+    "crates/core/src/parallel.rs",
+    "crates/core/src/dispatch.rs",
+    "crates/serve/src/server.rs",
+];
 
 /// Repo-relative source roots audited under the strict policy: the
 /// engine itself, the optimizer pre-pass that feeds it (a panic in
@@ -54,12 +59,15 @@ pub const UNWIND_SANCTIONED: &[&str] =
 /// diagnosis run down), and the static substrates the engine now
 /// consults in-loop — the analysis tables behind candidate pruning and
 /// the SCOAP/collapsing passes behind traversal seeding and fault-class
-/// reporting.
+/// reporting. The serve daemon is held to the same bar: a long-running
+/// multi-tenant process whose contract is typed rejections and
+/// degradations, never aborts.
 pub const STRICT_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/opt/src",
     "crates/analysis/src",
     "crates/atpg/src",
+    "crates/serve/src",
 ];
 
 /// Repo-relative source roots audited under the base policy. `bin/` and
@@ -391,6 +399,16 @@ fn live() { y.unwrap(); }
         assert!(
             !deny_for(true, dispatch_file).contains(&"catch_unwind("),
             "the dispatcher worker loop is the second sanctioned boundary"
+        );
+        let serve_file = Path::new("crates/serve/src/server.rs");
+        let serve_other = Path::new("crates/serve/src/spool.rs");
+        assert!(
+            !deny_for(true, serve_file).contains(&"catch_unwind("),
+            "the daemon's slice boundary is the third sanctioned boundary"
+        );
+        assert!(
+            deny_for(true, serve_other).contains(&"catch_unwind("),
+            "only server.rs is sanctioned in the serve crate"
         );
         assert!(!deny_for(false, base_file).contains(&"catch_unwind("));
 

@@ -67,7 +67,10 @@ impl ConeSet {
 /// rebuild fanouts, invalidating every cone) — build a fresh cache for the
 /// edited netlist instead. Entries are handed out as [`Arc<ConeSet>`] so
 /// screening workers can hold them without cloning the underlying vectors.
-#[derive(Debug, Default)]
+/// Cloning is cheap — populated slots are `Arc`s, so a clone shares
+/// every computed cone with the original (a warmed cache can be handed
+/// to each slice of a resumable session without recomputation).
+#[derive(Debug, Default, Clone)]
 pub struct ConeCache {
     slots: Vec<Option<Arc<ConeSet>>>,
     hits: u64,
@@ -113,6 +116,16 @@ impl ConeCache {
     /// (used to fold per-evaluation hits into run statistics).
     pub fn take_hits(&mut self) -> u64 {
         std::mem::take(&mut self.hits)
+    }
+
+    /// Number of stems whose cone has been computed and memoized.
+    pub fn populated(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Capacity in stems (the gate count of the bound netlist).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 

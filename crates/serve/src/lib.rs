@@ -1,0 +1,43 @@
+//! `incdx-serve`: a crash-tolerant multi-tenant diagnosis daemon.
+//!
+//! The service layer over the incremental rectification engine
+//! (`incdx-core`): clients submit diagnosis jobs — a netlist source
+//! plus an injected-error spec — over a newline-delimited JSON TCP
+//! protocol ([`proto`]), and a fixed worker pool time-slices the jobs
+//! through the engine under deficit-round-robin fair-share scheduling
+//! ([`sched`]). Slicing is built on the engine's lossless
+//! checkpoint/resume contract, so a job diced into hundreds of
+//! preempted slices reaches a solution set bit-identical to one
+//! uninterrupted run.
+//!
+//! Robustness is the point (see [`server`] for the full contract):
+//! durable atomically-written spool records ([`spool`]) survive
+//! `kill -9` and recover deterministically; torn or corrupt spool
+//! files are detected, quarantined, and reported — never a panic;
+//! per-job panic isolation keeps one poisoned job from taking the
+//! daemon down; and admission control rejects overload with typed
+//! `retry_after_ms` backpressure instead of silently degrading.
+//! Expensive per-circuit artifacts (parsed netlists, vector sets,
+//! fanout-cone caches) are interned once and shared `Arc`-read-only
+//! across jobs ([`intern`]).
+//!
+//! The wire protocol and event schemas are documented in
+//! `EXPERIMENTS.md`; the scheduling and recovery invariants in
+//! `ARCHITECTURE.md`.
+
+pub mod intern;
+pub mod job;
+pub mod proto;
+pub mod sched;
+pub mod server;
+pub mod spool;
+
+pub use intern::{Intern, InternStats, Interned};
+pub use job::{
+    build_workload, solution_fingerprint, BuiltWorkload, JobOutcome, JobSpec, JobState, Model,
+    Source, Workload,
+};
+pub use proto::{reject, reject_queue_full, RejectCode, Request};
+pub use sched::DrrQueue;
+pub use server::{ServeConfig, Server};
+pub use spool::{ScanReport, Spool, SpoolRecord, SPOOL_VERSION};

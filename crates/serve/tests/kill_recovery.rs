@@ -1,0 +1,119 @@
+//! The headline robustness test: `kill -9` the daemon process mid-job,
+//! restart it over the same spool, and assert the interrupted job
+//! resumes to the solution set an uninterrupted run produces.
+//!
+//! This drives the real `incdx-serve` binary (not an in-process
+//! server), so the recovery path exercised is exactly the production
+//! one: torn-write-safe spool records on disk, a new process, a cold
+//! intern cache, and checkpoint resume across an abrupt SIGKILL.
+
+mod common;
+
+use std::io::{BufRead as _, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use common::{
+    giant_spec, giant_submit_line, is_terminal, reference_outcome, spool_dir, state_of, Client,
+};
+use incdx_core::json;
+
+/// A daemon child process plus its parsed ready line.
+struct Daemon {
+    child: Child,
+    port: u16,
+    recovered: u64,
+}
+
+fn spawn_daemon(spool: &std::path::Path, quantum: u64) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_incdx-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--spool",
+            &spool.display().to_string(),
+            "--workers",
+            "1",
+            "--quantum",
+            &quantum.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn incdx-serve");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read ready line");
+    let ready = json::parse(line.trim()).expect("ready line is JSON");
+    assert_eq!(ready.get("serve").and_then(|v| v.as_str()), Ok("ready"));
+    let addr = ready.get("addr").and_then(|v| v.as_str()).expect("addr");
+    let port: u16 = addr
+        .rsplit(':')
+        .next()
+        .and_then(|p| p.parse().ok())
+        .expect("port in ready line");
+    let recovered = ready.get("recovered").and_then(|v| v.as_u64()).unwrap();
+    Daemon {
+        child,
+        port,
+        recovered,
+    }
+}
+
+#[test]
+fn kill_minus_nine_mid_job_recovery_is_deterministic() {
+    let spec = giant_spec();
+    let (expected_fp, expected_verdict) = reference_outcome(&spec);
+    let dir = spool_dir("kill9");
+
+    // Phase 1: slice the giant job in a real daemon process, then
+    // SIGKILL it mid-search (no shutdown handler runs, no flush — the
+    // only survivor is what the atomic spool writes already made
+    // durable).
+    let daemon = spawn_daemon(&dir, 50);
+    assert_eq!(daemon.recovered, 0);
+    let mut client = Client::connect(daemon.port);
+    let submit = client.request(&giant_submit_line("t"));
+    assert_eq!(submit.get("ok").and_then(|v| v.as_bool()), Ok(true));
+    let id = submit.get("job").and_then(|v| v.as_u64()).unwrap();
+    client.wait_status(id, Duration::from_secs(120), |s| {
+        s.get("slices").and_then(|v| v.as_u64()).unwrap() >= 2
+    });
+    let mid = client.request(&format!("{{\"req\":\"status\",\"job\":{id}}}"));
+    assert!(!is_terminal(&mid), "must kill mid-search, not after");
+    let mut child = daemon.child;
+    child.kill().expect("SIGKILL the daemon");
+    let _ = child.wait();
+
+    // Phase 2: restart over the same spool. The ready line reports the
+    // recovered job; auto-resume reruns it from its last durable
+    // checkpoint to completion.
+    let daemon = spawn_daemon(&dir, 50);
+    assert_eq!(
+        daemon.recovered, 1,
+        "the interrupted job must be recovered from the spool"
+    );
+    let mut client = Client::connect(daemon.port);
+    let s = client.wait_status(id, Duration::from_secs(300), is_terminal);
+    assert_eq!(state_of(&s), "done");
+    assert_eq!(
+        s.get("verdict").and_then(|v| v.as_str()).unwrap(),
+        expected_verdict
+    );
+    assert_eq!(
+        s.get("solutions_fp").and_then(|v| v.as_u64()).unwrap(),
+        expected_fp,
+        "recovery must reach the uninterrupted run's exact solution set"
+    );
+    let stats = client.request("{\"req\":\"stats\"}");
+    assert_eq!(stats.get("recovered").and_then(|v| v.as_u64()), Ok(1));
+
+    // Graceful shutdown ends the process with exit code 0.
+    let bye = client.request("{\"req\":\"shutdown\"}");
+    assert_eq!(bye.get("ok").and_then(|v| v.as_bool()), Ok(true));
+    let mut child = daemon.child;
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "clean shutdown must exit 0");
+}

@@ -8,7 +8,8 @@ cd "$(dirname "$0")/.."
 # First-party packages (the third_party/ vendored crates are workspace
 # members too, so formatting must be scoped per package).
 FMT_PACKAGES=(incdx incdx-analysis incdx-atpg incdx-bench incdx-core
-    incdx-fault incdx-gen incdx-lint incdx-netlist incdx-opt incdx-sim)
+    incdx-fault incdx-gen incdx-lint incdx-netlist incdx-opt incdx-serve
+    incdx-sim)
 
 fmt_args=()
 for p in "${FMT_PACKAGES[@]}"; do fmt_args+=(-p "$p"); done
@@ -200,6 +201,23 @@ grep -q '"results_identical":true' "$analysis_out" \
 grep -q '"static_pruned"' "$analysis_out" \
     || { echo "analysis bench wrote no pruning counters" >&2; exit 1; }
 rm -f "$analysis_out"
+
+echo "==> smoke: serve daemon kill -9 recovery (BENCH_MODE=serve)"
+# The daemon's headline robustness contract, end to end against real
+# processes: serve_load starts a daemon, runs two jobs (plus a small
+# closed-loop load), SIGKILLs a second daemon mid-job, restarts it over
+# the same spool, and exits nonzero unless the interrupted job resumes
+# to the *identical* solution fingerprint an uninterrupted control run
+# produces — and unless the interned-artifact hit rate is nonzero.
+serve_out="$(mktemp)"
+BENCH_MODE=serve BENCH_SMALL=40 BENCH_GIANTS=1 BENCH_THREADS=2 \
+    BENCH_WORKERS=2 BENCH_OUT="$serve_out" bash scripts/bench.sh \
+    >/dev/null 2>&1 || { echo "bench.sh serve smoke failed" >&2; exit 1; }
+grep -q '"identical":true' "$serve_out" \
+    || { echo "serve recovery fingerprint diverged from the control run" >&2; exit 1; }
+grep -q '"jobs_recovered":1' "$serve_out" \
+    || { echo "serve restart recovered no job from the spool" >&2; exit 1; }
+rm -f "$serve_out"
 
 echo "==> smoke: dispatcher criterion microbench compiles"
 cargo bench -p incdx-bench --bench dispatch --no-run >/dev/null 2>&1 \
